@@ -1,0 +1,61 @@
+// Section 8, "Compression Speed": wall-clock time to compress 250M random
+// entries on the multi-core host CPU (compression is a host-side, one-time
+// activity; on updates the column is recompressed and re-shipped).
+//
+// Paper reference (6-core Xeon): GPU-FOR ~1.2 s, GPU-DFOR ~1.3 s,
+// GPU-RFOR ~2.2 s (random data is RLE-hostile, so RFOR does extra work).
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "codec/parallel_encode.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr size_t kPaperN = 250'000'000;
+
+template <typename F>
+double TimeSeconds(F&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 32 << 20));
+  auto values = GenUniformBits(n, 16, 99);
+
+  bench::PrintTitle("Section 8: host compression speed (wall clock)");
+  bench::PrintNote("threads: " +
+                   std::to_string(ThreadPool::Global().num_threads()) +
+                   "; n = " + std::to_string(n) +
+                   "; projected to 250M entries");
+  std::printf("%-10s %12s %14s %12s\n", "scheme", "measured_s", "proj_250M_s",
+              "paper_s");
+
+  const double t_for = TimeSeconds(
+      [&] { codec::ParallelGpuForEncode(values.data(), n); });
+  std::printf("%-10s %12.3f %14.2f %12.1f\n", "GPU-FOR", t_for,
+              bench::Project(t_for, n, kPaperN), 1.2);
+
+  const double t_dfor = TimeSeconds(
+      [&] { codec::ParallelGpuDForEncode(values.data(), n); });
+  std::printf("%-10s %12.3f %14.2f %12.1f\n", "GPU-DFOR", t_dfor,
+              bench::Project(t_dfor, n, kPaperN), 1.3);
+
+  const double t_rfor = TimeSeconds(
+      [&] { codec::ParallelGpuRForEncode(values.data(), n); });
+  std::printf("%-10s %12.3f %14.2f %12.1f\n", "GPU-RFOR", t_rfor,
+              bench::Project(t_rfor, n, kPaperN), 2.2);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

@@ -1,0 +1,106 @@
+// Figure 10: decompression performance on SSB columns.
+//  (a) one-on-one cascade comparison, nvCOMP vs GPU-* (per cascade family):
+//      paper: GPU-FOR 2.4x faster than nvCOMP FOR+BitPack, GPU-DFOR 3.5x
+//      faster than nvCOMP Delta+FOR+BitPack, GPU-RFOR 2x faster than nvCOMP
+//      RLE+FOR+BitPack.
+//  (b) geomean decompression time across all SSB columns per system:
+//      paper: GPU-* beats Planner 5.5x, GPU-BP 2x, nvCOMP 2.2x.
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr uint64_t kPaperRows = 120'000'000;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint32_t rows =
+      static_cast<uint32_t>(flags.GetInt("rows", 3'000'000));
+  ssb::SsbData data = ssb::GenerateSsbSmall(rows);
+  const uint32_t n = data.lineorder.size();
+
+  // --- (a) per-cascade one-on-one, averaged over the SSB columns whose
+  // GPU-* choice matches the cascade family ---
+  bench::PrintTitle(
+      "Figure 10a: decompression time per cascade, nvCOMP vs GPU-* "
+      "(proj. ms, avg over matching SSB columns)");
+  std::printf("%-22s %10s %10s %8s\n", "cascade", "nvCOMP", "GPU-*",
+              "speedup");
+
+  struct Accum {
+    double nv = 0, star = 0;
+    int count = 0;
+  };
+  std::map<int, Accum> per_family;  // keyed by GPU-* scheme
+  std::map<int, Accum> per_system_geo;
+
+  double geo[4] = {0, 0, 0, 0};  // Planner, GPU-BP, nvCOMP, GPU-*
+  const codec::System systems[] = {codec::System::kPlanner,
+                                   codec::System::kGpuBp,
+                                   codec::System::kNvcomp,
+                                   codec::System::kGpuStar};
+
+  for (int c = 0; c < ssb::kNumLoCols; ++c) {
+    const auto& values =
+        data.lineorder.column(static_cast<ssb::LoCol>(c));
+    // Family comparison (a): encode with both systems, decompress.
+    auto star_col = codec::SystemEncode(codec::System::kGpuStar,
+                                        values.data(), values.size());
+    auto nv_col = codec::SystemEncode(codec::System::kNvcomp, values.data(),
+                                      values.size());
+    sim::Device dev;
+    const double star_ms = bench::Project(
+        codec::SystemDecompress(dev, star_col).time_ms, n, kPaperRows);
+    const double nv_ms = bench::Project(
+        codec::SystemDecompress(dev, nv_col).time_ms, n, kPaperRows);
+    Accum& a = per_family[static_cast<int>(star_col.column.scheme())];
+    a.nv += nv_ms;
+    a.star += star_ms;
+    a.count++;
+
+    // Geomean comparison (b).
+    for (int s = 0; s < 4; ++s) {
+      auto col = codec::SystemEncode(systems[s], values.data(), values.size());
+      sim::Device dev2;
+      geo[s] += std::log(bench::Project(
+          codec::SystemDecompress(dev2, col).time_ms, n, kPaperRows));
+    }
+  }
+
+  const std::map<int, const char*> family_names = {
+      {static_cast<int>(codec::Scheme::kGpuFor), "FOR+BitPack"},
+      {static_cast<int>(codec::Scheme::kGpuDFor), "Delta+FOR+BitPack"},
+      {static_cast<int>(codec::Scheme::kGpuRFor), "RLE+FOR+BitPack"},
+  };
+  for (const auto& [scheme, acc] : per_family) {
+    if (acc.count == 0) continue;
+    const double nv = acc.nv / acc.count;
+    const double star = acc.star / acc.count;
+    std::printf("%-22s %10.2f %10.2f %7.1fx\n", family_names.at(scheme), nv,
+                star, nv / star);
+  }
+  bench::PrintNote("paper speedups: FOR 2.4x, Delta+FOR 3.5x, RLE+FOR 2x");
+
+  bench::PrintTitle(
+      "Figure 10b: geomean decompression across SSB columns (proj. ms)");
+  std::printf("%-10s %10s %10s %10s\n", "Planner", "GPU-BP", "nvCOMP",
+              "GPU-*");
+  double g[4];
+  for (int s = 0; s < 4; ++s) g[s] = std::exp(geo[s] / ssb::kNumLoCols);
+  std::printf("%-10.2f %10.2f %10.2f %10.2f\n", g[0], g[1], g[2], g[3]);
+  std::printf("vs GPU-*:  %8.1fx %9.1fx %9.1fx %9.1fx\n", g[0] / g[3],
+              g[1] / g[3], g[2] / g[3], 1.0);
+  bench::PrintNote("paper: Planner 5.5x, GPU-BP 2x, nvCOMP 2.2x slower");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

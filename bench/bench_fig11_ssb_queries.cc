@@ -1,0 +1,70 @@
+// Figure 11: end-to-end performance on the 13 Star Schema Benchmark queries
+// for OmniSci, Planner, GPU-BP, nvCOMP, GPU-*, and None (Crystal on
+// uncompressed data). Times projected to SF20 (120M rows).
+//
+// Paper shape: None 1.35x faster than GPU-*; GPU-* beats Planner 4x,
+// GPU-BP 2.4x, nvCOMP 2.6x, OmniSci 12x (geomean).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr uint64_t kPaperRows = 120'000'000;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint32_t rows =
+      static_cast<uint32_t>(flags.GetInt("rows", 3'000'000));
+  ssb::SsbData data = ssb::GenerateSsbSmall(rows);
+  const uint32_t n = data.lineorder.size();
+  ssb::QueryRunner runner(data);
+
+  const codec::System systems[] = {
+      codec::System::kOmnisci, codec::System::kPlanner, codec::System::kGpuBp,
+      codec::System::kNvcomp,  codec::System::kGpuStar, codec::System::kNone};
+
+  bench::PrintTitle("Figure 11: SSB query time (proj. ms at SF20)");
+  std::printf("%-8s", "query");
+  for (auto s : systems) std::printf(" %9s", codec::SystemName(s));
+  std::printf("\n");
+
+  std::vector<ssb::EncodedLineorder> encoded;
+  for (auto s : systems) encoded.push_back(ssb::EncodeLineorder(data, s));
+
+  double geo[6] = {0, 0, 0, 0, 0, 0};
+  for (ssb::QueryId q : ssb::AllQueries()) {
+    std::printf("%-8s", ssb::QueryName(q));
+    for (int s = 0; s < 6; ++s) {
+      sim::Device dev;
+      auto result = runner.Run(dev, encoded[s], q);
+      const double ms = bench::Project(result.time_ms, n, kPaperRows);
+      geo[s] += std::log(ms);
+      std::printf(" %9.2f", ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-8s", "geomean");
+  for (int s = 0; s < 6; ++s) std::printf(" %9.2f", std::exp(geo[s] / 13.0));
+  std::printf("\n");
+  const double star = std::exp(geo[4] / 13.0);
+  std::printf("%-8s", "vs GPU-*");
+  for (int s = 0; s < 6; ++s) {
+    std::printf(" %8.2fx", std::exp(geo[s] / 13.0) / star);
+  }
+  std::printf("\n");
+  bench::PrintNote(
+      "paper geomeans vs GPU-*: OmniSci 12x, Planner 4x, GPU-BP 2.4x, "
+      "nvCOMP 2.6x, None 0.74x (1.35x faster)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

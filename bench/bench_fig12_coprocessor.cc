@@ -1,0 +1,67 @@
+// Figure 12: GPU-as-coprocessor model. Data starts on the CPU; the fact
+// columns a query needs are shipped over PCIe (12.8 GB/s), then the query
+// runs on the device. One query per flight (q1.1, q2.1, q3.1, q4.1),
+// None vs GPU-*.
+//
+// Paper shape: query runtime is dominated by PCIe transfer; compression
+// makes the end-to-end run 2.3x faster (geomean).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr uint64_t kPaperRows = 120'000'000;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint32_t rows =
+      static_cast<uint32_t>(flags.GetInt("rows", 3'000'000));
+  ssb::SsbData data = ssb::GenerateSsbSmall(rows);
+  const uint32_t n = data.lineorder.size();
+  ssb::QueryRunner runner(data);
+
+  auto none = ssb::EncodeLineorder(data, codec::System::kNone);
+  auto star = ssb::EncodeLineorder(data, codec::System::kGpuStar);
+
+  bench::PrintTitle(
+      "Figure 12: coprocessor model, PCIe transfer + query (proj. ms)");
+  std::printf("%-8s %12s %12s %10s\n", "query", "None", "GPU-*", "speedup");
+
+  const ssb::QueryId queries[] = {ssb::QueryId::kQ11, ssb::QueryId::kQ21,
+                                  ssb::QueryId::kQ31, ssb::QueryId::kQ41};
+  double geo_none = 0, geo_star = 0;
+  for (ssb::QueryId q : queries) {
+    auto run_with = [&](const ssb::EncodedLineorder& enc) {
+      sim::Device dev;
+      // Ship every fact column the query touches over PCIe.
+      uint64_t bytes = 0;
+      for (ssb::LoCol col : ssb::QueryColumns(q)) {
+        bytes += enc.col(col).compressed_bytes();
+      }
+      dev.Transfer(bytes);
+      auto result = runner.Run(dev, enc, q);
+      return bench::Project(dev.elapsed_ms(), n, kPaperRows);
+    };
+    const double t_none = run_with(none);
+    const double t_star = run_with(star);
+    geo_none += std::log(t_none);
+    geo_star += std::log(t_star);
+    std::printf("%-8s %12.1f %12.1f %9.2fx\n", ssb::QueryName(q), t_none,
+                t_star, t_none / t_star);
+  }
+  std::printf("%-8s %12.1f %12.1f %9.2fx\n", "geomean",
+              std::exp(geo_none / 4), std::exp(geo_star / 4),
+              std::exp(geo_none / 4) / std::exp(geo_star / 4));
+  bench::PrintNote("paper: compression makes co-processor queries 2.3x faster");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

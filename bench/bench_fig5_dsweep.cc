@@ -1,0 +1,49 @@
+// Figure 5: decompression time with varying number of data blocks per
+// thread block (D in {1, 2, 4, 8, 16, 32}), GPU-FOR vs None.
+//
+// Paper shape (V100, 500M ints U(0,2^16), decode to registers): largest
+// drop from D=1 (~6.5 ms) to D=4 (~2.4 ms); marginal gains to D=16; D=32
+// deteriorates sharply (occupancy loss + register spilling). None ~2.4 ms.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "kernels/decompress.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr size_t kPaperN = 500'000'000;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 16 << 20));
+
+  bench::PrintTitle("Figure 5: decompression time vs blocks per thread block");
+  std::printf("%-10s %12s %12s\n", "D", "sim_ms", "proj_ms");
+
+  auto values = GenUniformBits(n, 16, 42);
+  auto enc = format::GpuForEncode(values.data(), n);
+  sim::Device dev;
+
+  for (int d : {1, 2, 4, 8, 16, 32}) {
+    kernels::UnpackConfig cfg;
+    cfg.d = d;
+    auto run = kernels::DecompressGpuFor(dev, enc, cfg,
+                                         /*write_output=*/false);
+    std::printf("GPU-FOR/%-2d %12.4f %12.2f\n", d, run.time_ms,
+                bench::Project(run.time_ms, n, kPaperN));
+  }
+  auto none = kernels::ReadUncompressed(dev, values);
+  std::printf("%-10s %12.4f %12.2f\n", "None", none.time_ms,
+              bench::Project(none.time_ms, n, kPaperN));
+  bench::PrintNote(
+      "paper: D=1 ~6.5ms, D=4 ~2.4ms, D=16 marginally better, D=32 much "
+      "worse; None ~2.4ms");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

@@ -1,0 +1,91 @@
+// Figure 7: performance with varying bitwidths. 250M uniform ints with
+// exactly i effective bits, i = 2,4,..,30.
+//  (a) decompression time (read compressed -> decode -> write back) for
+//      None, NSF, GPU-FOR, GPU-DFOR, GPU-RFOR and the three cascaded
+//      variants (FOR+BitPack, Delta+FOR+BitPack, RLE+FOR+BitPack);
+//  (b) compression rate (bits per int) for None, NSF, GPU-FOR, GPU-DFOR,
+//      GPU-RFOR.
+//
+// Paper shape: bit-packed schemes track the bitwidth linearly (overheads
+// 0.75 / 0.81 / ~0.7 bits per int); NSF is a 8/16/32 staircase; GPU-FOR is
+// within 15% of None (worst at b=7); cascaded variants are 2.6x / 4x / 8x
+// slower than their tile-based counterparts; RLE+FOR+BitPack ~20ms.
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "kernels/decompress.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr size_t kPaperN = 250'000'000;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 16 << 20));
+
+  bench::PrintTitle("Figure 7a: decompression time vs bitwidth (proj. ms)");
+  std::printf("%-4s %9s %9s %9s %9s %9s %9s %9s %9s\n", "b", "None", "NSF",
+              "GPU-FOR", "GPU-DFOR", "GPU-RFOR", "FOR+BP", "D+F+BP",
+              "R+F+BP");
+
+  std::vector<std::array<double, 6>> rates;
+  std::vector<uint32_t> widths;
+  for (uint32_t b = 2; b <= 30; b += 2) {
+    auto values = GenUniformBits(n, b, 1000 + b);
+    sim::Device dev;
+
+    auto ffor = format::GpuForEncode(values.data(), n);
+    auto dfor = format::GpuDForEncode(values.data(), n);
+    auto rfor = format::GpuRForEncode(values.data(), n);
+    auto nsf = format::NsfEncode(values.data(), n);
+
+    const double t_none =
+        bench::Project(kernels::CopyUncompressed(dev, values).time_ms, n,
+                       kPaperN);
+    const double t_nsf =
+        bench::Project(kernels::DecompressNsf(dev, nsf).time_ms, n, kPaperN);
+    const double t_for = bench::Project(
+        kernels::DecompressGpuFor(dev, ffor).time_ms, n, kPaperN);
+    const double t_dfor = bench::Project(
+        kernels::DecompressGpuDFor(dev, dfor).time_ms, n, kPaperN);
+    const double t_rfor = bench::Project(
+        kernels::DecompressGpuRFor(dev, rfor).time_ms, n, kPaperN);
+    const double t_for_c = bench::Project(
+        kernels::DecompressForBitPackCascaded(dev, ffor).time_ms, n, kPaperN);
+    const double t_dfor_c = bench::Project(
+        kernels::DecompressDeltaForBitPackCascaded(dev, dfor).time_ms, n,
+        kPaperN);
+    const double t_rfor_c = bench::Project(
+        kernels::DecompressRleForBitPackCascaded(dev, rfor).time_ms, n,
+        kPaperN);
+
+    std::printf("%-4u %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n", b,
+                t_none, t_nsf, t_for, t_dfor, t_rfor, t_for_c, t_dfor_c,
+                t_rfor_c);
+    widths.push_back(b);
+    rates.push_back({32.0, nsf.bits_per_int(), ffor.bits_per_int(),
+                     dfor.bits_per_int(), rfor.bits_per_int(), 0});
+  }
+
+  bench::PrintTitle("Figure 7b: compression rate vs bitwidth (bits per int)");
+  std::printf("%-4s %9s %9s %9s %9s %9s\n", "b", "None", "NSF", "GPU-FOR",
+              "GPU-DFOR", "GPU-RFOR");
+  for (size_t i = 0; i < widths.size(); ++i) {
+    std::printf("%-4u %9.2f %9.2f %9.2f %9.2f %9.2f\n", widths[i],
+                rates[i][0], rates[i][1], rates[i][2], rates[i][3],
+                rates[i][4]);
+  }
+  bench::PrintNote(
+      "paper: GPU-FOR = b + 0.75, GPU-DFOR = b + ~1.8 (unsorted deltas need "
+      "one extra bit), GPU-RFOR = b + ~0.7, NSF staircase 8/16/32");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

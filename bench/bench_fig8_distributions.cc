@@ -1,0 +1,144 @@
+// Figure 8: comparison of compression schemes on different data
+// distributions (250M entries).
+//   D1 (a-b): sorted array, unique count 2^2 .. 2^28
+//   D2 (c-d): normal distribution, sigma=20, mean 2^8 .. 2^28
+//   D3 (e-f): Zipf distribution, alpha 1 .. 5 (with NSV)
+// For each: compression rate (bits/int) and decompression time.
+//
+// Paper shape: D1 — GPU-RFOR/RLE best below ~2^22 uniques, GPU-DFOR best
+// above (1.8 bits/int at 2^28); GPU-RFOR 2.5x faster than RLE. D2 — the
+// bit-aligned schemes get ~3x smaller footprints than NSF beyond mean 2^16.
+// D3 — bit-aligned schemes adapt to skew; NSV compresses well but decodes
+// far slower than everything else.
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "kernels/decompress.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr size_t kPaperN = 250'000'000;
+
+struct SchemeResult {
+  double bits;
+  double proj_ms;
+};
+
+SchemeResult RunScheme(const char* scheme, const std::vector<uint32_t>& v) {
+  sim::Device dev;
+  const size_t n = v.size();
+  std::string name = scheme;
+  if (name == "None") {
+    auto run = kernels::CopyUncompressed(dev, v);
+    return {32.0, bench::Project(run.time_ms, n, kPaperN)};
+  }
+  if (name == "NSF") {
+    auto enc = format::NsfEncode(v.data(), n);
+    auto run = kernels::DecompressNsf(dev, enc);
+    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
+  }
+  if (name == "NSV") {
+    auto enc = format::NsvEncode(v.data(), n);
+    auto run = kernels::DecompressNsv(dev, enc);
+    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
+  }
+  if (name == "GPU-FOR") {
+    auto enc = format::GpuForEncode(v.data(), n);
+    auto run = kernels::DecompressGpuFor(dev, enc);
+    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
+  }
+  if (name == "GPU-DFOR") {
+    auto enc = format::GpuDForEncode(v.data(), n);
+    auto run = kernels::DecompressGpuDFor(dev, enc);
+    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
+  }
+  if (name == "GPU-RFOR") {
+    auto enc = format::GpuRForEncode(v.data(), n);
+    auto run = kernels::DecompressGpuRFor(dev, enc);
+    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
+  }
+  // RLE
+  auto enc = format::RleEncode(v.data(), n);
+  auto run = kernels::DecompressRle(dev, enc);
+  return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
+}
+
+void RunSweep(const char* title, const std::vector<const char*>& schemes,
+              const std::vector<std::string>& labels,
+              const std::vector<std::vector<uint32_t>>& datasets) {
+  bench::PrintTitle(title);
+  std::printf("%-12s", "param");
+  for (const char* s : schemes) std::printf(" %9s/%-7s", s, "ms|bpi");
+  std::printf("\n");
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    std::printf("%-12s", labels[i].c_str());
+    for (const char* s : schemes) {
+      SchemeResult r = RunScheme(s, datasets[i]);
+      std::printf(" %9.2f/%-7.2f", r.proj_ms, r.bits);
+    }
+    std::printf("\n");
+  }
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 8 << 20));
+
+  // D1: sorted, varying unique count.
+  {
+    std::vector<std::vector<uint32_t>> datasets;
+    std::vector<std::string> labels;
+    for (uint32_t log_u : {2u, 5u, 10u, 15u, 20u, 22u, 25u, 28u}) {
+      const uint64_t uniques = std::min<uint64_t>(1ull << log_u, n);
+      datasets.push_back(GenSortedUnique(n, uniques, 7 + log_u));
+      labels.push_back("2^" + std::to_string(log_u));
+    }
+    RunSweep("Figure 8 a-b: D1 sorted, varying unique count (proj ms | bits/int)",
+             {"None", "NSF", "GPU-FOR", "GPU-DFOR", "GPU-RFOR", "RLE"},
+             labels, datasets);
+    bench::PrintNote(
+        "paper: GPU-RFOR best <=2^22 uniques; GPU-DFOR best above (1.8 "
+        "bits/int at 2^28); GPU-RFOR ~2.5x faster than RLE");
+  }
+
+  // D2: normal with varying mean.
+  {
+    std::vector<std::vector<uint32_t>> datasets;
+    std::vector<std::string> labels;
+    for (uint32_t log_m : {8u, 12u, 16u, 20u, 24u, 28u}) {
+      datasets.push_back(
+          GenNormal(n, static_cast<double>(1ull << log_m), 20.0, 100 + log_m));
+      labels.push_back("2^" + std::to_string(log_m));
+    }
+    RunSweep("Figure 8 c-d: D2 normal (sigma=20), varying mean",
+             {"None", "NSF", "GPU-FOR", "GPU-DFOR"}, labels, datasets);
+    bench::PrintNote(
+        "paper: bit-aligned schemes ~3x smaller than None/NSF beyond mean "
+        "2^16 thanks to FOR");
+  }
+
+  // D3: Zipf with varying alpha.
+  {
+    std::vector<std::vector<uint32_t>> datasets;
+    std::vector<std::string> labels;
+    for (double alpha : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+      datasets.push_back(GenZipf(n, 1u << 24, alpha, 200 + (int)alpha));
+      labels.push_back("alpha=" + std::to_string((int)alpha));
+    }
+    RunSweep("Figure 8 e-f: D3 Zipf, varying skew",
+             {"None", "NSF", "NSV", "GPU-FOR", "GPU-DFOR"}, labels, datasets);
+    bench::PrintNote(
+        "paper: bit-aligned schemes adapt to skew (better rate AND faster); "
+        "NSV adapts but decodes much slower than everything else");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

@@ -1,0 +1,87 @@
+// Format-design ablations for the parameters DESIGN.md calls out (beyond
+// the paper's own Section 4.2/4.3 studies):
+//   (1) GPU-FOR block size: the 128-value block balances FOR adaptivity
+//       (smaller = tighter references) against metadata (3 words/block).
+//   (2) GPU-DFOR blocks-per-tile (D): larger tiles amortize the first-value
+//       word and give the prefix sum more work per block, but reduce
+//       decode parallelism for short columns.
+//   (3) GPU-RFOR block size: 512 balances run-splitting losses at block
+//       boundaries against the shared-memory footprint of the expansion.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "kernels/decompress.h"
+
+namespace tilecomp {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 8 << 20));
+
+  // (1) GPU-FOR block size on skewed data (Zipf): small blocks adapt.
+  {
+    bench::PrintTitle("Ablation: GPU-FOR block size (Zipf alpha=2 data)");
+    std::printf("%-12s %12s %12s\n", "block_size", "bits/int", "sim_ms");
+    auto values = GenZipf(n, 1 << 24, 2.0, 31);
+    for (uint32_t bs : {128u, 256u, 512u, 1024u}) {
+      format::GpuForOptions opt;
+      opt.block_size = bs;
+      auto enc = format::GpuForEncode(values.data(), n, opt);
+      sim::Device dev;
+      kernels::UnpackConfig cfg;
+      cfg.d = static_cast<int>(512 / bs);
+      if (cfg.d < 1) cfg.d = 1;
+      auto run = kernels::DecompressGpuFor(dev, enc, cfg);
+      std::printf("%-12u %12.2f %12.4f\n", bs, enc.bits_per_int(),
+                  run.time_ms);
+    }
+    bench::PrintNote("smaller blocks adapt the reference to skew; 128 is "
+                     "the paper's sweet spot");
+  }
+
+  // (2) GPU-DFOR blocks per tile on sorted data.
+  {
+    bench::PrintTitle("Ablation: GPU-DFOR blocks per tile (sorted data)");
+    std::printf("%-12s %12s %12s\n", "tile_blocks", "bits/int", "sim_ms");
+    auto values = GenSortedGaps(n, 40, 32);
+    for (uint32_t bpt : {1u, 2u, 4u, 8u, 16u}) {
+      format::GpuDForOptions opt;
+      opt.blocks_per_tile = bpt;
+      auto enc = format::GpuDForEncode(values.data(), n, opt);
+      sim::Device dev;
+      auto run = kernels::DecompressGpuDFor(dev, enc);
+      std::printf("%-12u %12.2f %12.4f\n", bpt, enc.bits_per_int(),
+                  run.time_ms);
+    }
+    bench::PrintNote("the paper uses 4 (one 512-value tile per thread "
+                     "block); 1 doubles first-value overhead, 16 cuts "
+                     "parallelism");
+  }
+
+  // (3) GPU-RFOR block size on runs data.
+  {
+    bench::PrintTitle("Ablation: GPU-RFOR block size (runs data, avg 32)");
+    std::printf("%-12s %12s %12s\n", "block_size", "bits/int", "sim_ms");
+    auto values = GenRuns(n, 32, 14, 33);
+    for (uint32_t bs : {128u, 256u, 512u, 1024u, 2048u}) {
+      format::GpuRForOptions opt;
+      opt.block_size = bs;
+      auto enc = format::GpuRForEncode(values.data(), n, opt);
+      sim::Device dev;
+      auto run = kernels::DecompressGpuRFor(dev, enc);
+      std::printf("%-12u %12.2f %12.4f\n", bs, enc.bits_per_int(),
+                  run.time_ms);
+    }
+    bench::PrintNote("small blocks split runs at boundaries (worse rate); "
+                     "large blocks inflate shared memory per thread block "
+                     "(occupancy)");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

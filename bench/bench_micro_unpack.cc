@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks of the host-side primitives: bit
+// packing/unpacking throughput across widths, format encoders, and the
+// block-decode routines that the simulated kernels execute functionally.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "format/bitpack.h"
+#include "format/gpudfor.h"
+#include "format/gpufor.h"
+#include "format/gpurfor.h"
+
+namespace tilecomp {
+namespace {
+
+void BM_PackArray(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  const size_t n = 1 << 16;
+  auto values = GenUniformBits(n, bits, bits);
+  for (auto _ : state) {
+    std::vector<uint32_t> out;
+    out.reserve(n);
+    format::PackArray(values.data(), n, bits, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PackArray)->Arg(1)->Arg(5)->Arg(13)->Arg(17)->Arg(27)->Arg(32);
+
+void BM_UnpackArray(benchmark::State& state) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  const size_t n = 1 << 16;
+  auto values = GenUniformBits(n, bits, bits);
+  std::vector<uint32_t> packed;
+  format::PackArray(values.data(), n, bits, &packed);
+  packed.push_back(0);
+  std::vector<uint32_t> out(n);
+  for (auto _ : state) {
+    format::UnpackArray(packed.data(), n, bits, out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UnpackArray)->Arg(1)->Arg(5)->Arg(13)->Arg(17)->Arg(27)->Arg(32);
+
+void BM_GpuForEncode(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  auto values = GenUniformBits(n, static_cast<uint32_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto enc = format::GpuForEncode(values.data(), n);
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GpuForEncode)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_GpuForDecodeBlock(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  auto values = GenUniformBits(n, 16, 4);
+  auto enc = format::GpuForEncode(values.data(), n);
+  std::vector<uint32_t> out(enc.header.block_size);
+  uint32_t block = 0;
+  for (auto _ : state) {
+    format::GpuForDecodeBlock(
+        enc.header, enc.data.data() + enc.block_starts[block], out.data());
+    benchmark::DoNotOptimize(out);
+    block = (block + 1) % enc.header.num_blocks();
+  }
+  state.SetItemsProcessed(state.iterations() * enc.header.block_size);
+}
+BENCHMARK(BM_GpuForDecodeBlock);
+
+void BM_GpuDForDecodeTile(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  auto values = GenSortedGaps(n, 50, 5);
+  auto enc = format::GpuDForEncode(values.data(), n);
+  std::vector<uint32_t> out(enc.header.values_per_tile());
+  uint32_t tile = 0;
+  for (auto _ : state) {
+    format::GpuDForDecodeTile(enc.header, enc, tile, out.data());
+    benchmark::DoNotOptimize(out);
+    tile = (tile + 1) % enc.header.num_tiles();
+  }
+  state.SetItemsProcessed(state.iterations() * enc.header.values_per_tile());
+}
+BENCHMARK(BM_GpuDForDecodeTile);
+
+void BM_GpuRForDecodeBlock(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  auto values = GenRuns(n, 16, 12, 6);
+  auto enc = format::GpuRForEncode(values.data(), n);
+  std::vector<uint32_t> out(enc.header.block_size);
+  uint32_t block = 0;
+  for (auto _ : state) {
+    format::GpuRForDecodeBlock(enc, block, out.data());
+    benchmark::DoNotOptimize(out);
+    block = (block + 1) % enc.header.num_blocks();
+  }
+  state.SetItemsProcessed(state.iterations() * enc.header.block_size);
+}
+BENCHMARK(BM_GpuRForDecodeBlock);
+
+}  // namespace
+}  // namespace tilecomp
+
+BENCHMARK_MAIN();

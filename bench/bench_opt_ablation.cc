@@ -1,0 +1,67 @@
+// Section 4.2 optimization ablation: decode 500M uniform U(0, 2^16) ints
+// (decode-to-registers, no output write), one row per optimization level.
+//
+// Paper reference (V100, 500M ints):
+//   base algorithm        18 ms
+//   + shared memory        7 ms
+//   + multi-block (D=4)    2.39 ms
+//   + precomputed offsets  2.1 ms
+//   reading uncompressed   2.4 ms
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "kernels/decompress.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr size_t kPaperN = 500'000'000;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 16 << 20));
+
+  bench::PrintTitle("Section 4.2 ablation: fast bit unpacking optimizations");
+  bench::PrintNote("dataset: " + std::to_string(n) + " ints U(0,2^16); " +
+                   "times projected to paper scale (500M)");
+  std::printf("%-28s %12s %12s %12s\n", "variant", "sim_ms", "proj_ms",
+              "paper_ms");
+
+  auto values = GenUniformBits(n, 16, 42);
+  auto enc = format::GpuForEncode(values.data(), n);
+  sim::Device dev;
+
+  struct Row {
+    const char* name;
+    kernels::UnpackOpt opt;
+    int d;
+    double paper_ms;
+  };
+  const Row rows[] = {
+      {"base algorithm", kernels::UnpackOpt::kBase, 1, 18.0},
+      {"+ shared memory", kernels::UnpackOpt::kSharedMemory, 1, 7.0},
+      {"+ multi-block (D=4)", kernels::UnpackOpt::kMultiBlock, 4, 2.39},
+      {"+ precomputed offsets", kernels::UnpackOpt::kPrecomputeOffsets, 4,
+       2.1},
+  };
+  for (const Row& row : rows) {
+    kernels::UnpackConfig cfg;
+    cfg.opt = row.opt;
+    cfg.d = row.d;
+    auto run = kernels::DecompressGpuFor(dev, enc, cfg,
+                                         /*write_output=*/false);
+    std::printf("%-28s %12.4f %12.2f %12.2f\n", row.name, run.time_ms,
+                bench::Project(run.time_ms, n, kPaperN), row.paper_ms);
+  }
+  auto uncompressed = kernels::ReadUncompressed(dev, values);
+  std::printf("%-28s %12.4f %12.2f %12.2f\n", "reading uncompressed",
+              uncompressed.time_ms,
+              bench::Project(uncompressed.time_ms, n, kPaperN), 2.4);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

@@ -1,0 +1,97 @@
+// Section 8, "Random Access Performance": a predicate bitvector selects a
+// random subset of 250M entries; selectivity sweeps 0 -> 1.
+//
+// Compressed tiles lack random access: a tile with >= 1 selected entry must
+// be fully loaded and decoded. Uncompressed columns are read at 128-byte
+// cache-line granularity. Paper: GPU-FOR/GPU-DFOR plateau at ~2.1 ms once
+// sigma > 1/TILE_SIZE; uncompressed plateaus at ~2.5 ms once sigma > 1/32;
+// compressed is never materially worse.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "kernels/decompress.h"
+#include "kernels/load_tile.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr size_t kPaperN = 250'000'000;
+constexpr uint32_t kTile = 512;
+constexpr uint32_t kLineValues = 32;  // 128B cache line / 4B
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 16 << 20));
+  auto values = GenUniformBits(n, 16, 5);
+  auto enc = format::GpuForEncode(values.data(), n);
+
+  bench::PrintTitle(
+      "Section 8: random access under a selective predicate (proj. ms)");
+  std::printf("%-12s %14s %14s\n", "selectivity", "uncompressed", "GPU-FOR");
+
+  Rng rng(7);
+  for (double sigma : {1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.3, 0.5, 1.0}) {
+    // Build the predicate bitvector.
+    std::vector<uint8_t> selected(n, 0);
+    for (size_t i = 0; i < n; ++i) selected[i] = rng.NextDouble() < sigma;
+
+    // Uncompressed: gather at 128B line granularity.
+    sim::Device dev_u;
+    {
+      sim::LaunchConfig lc;
+      lc.grid_dim = CeilDiv<int64_t>(n, kTile);
+      lc.block_threads = 128;
+      lc.regs_per_thread = 24;
+      dev_u.Launch(lc, [&](sim::BlockContext& ctx) {
+        const size_t begin = static_cast<size_t>(ctx.block_id()) * kTile;
+        const size_t end = std::min(begin + kTile, n);
+        // Bitvector read (1 bit per entry, coalesced).
+        ctx.CoalescedRead((end - begin) / 8 + 1, true);
+        uint32_t lines = 0;
+        for (size_t line = begin; line < end; line += kLineValues) {
+          bool any = false;
+          for (size_t i = line; i < std::min(line + kLineValues, end); ++i) {
+            any |= selected[i] != 0;
+          }
+          lines += any;
+        }
+        ctx.ScatteredRead(lines, 128);
+        ctx.Compute(end - begin);
+      });
+    }
+
+    // GPU-FOR: decode any tile with >= 1 selected entry; skip others.
+    sim::Device dev_c;
+    {
+      kernels::UnpackConfig cfg;
+      sim::LaunchConfig lc = kernels::GpuForLaunchConfig(enc, cfg);
+      std::vector<uint32_t> tile(kTile);
+      dev_c.Launch(lc, [&](sim::BlockContext& ctx) {
+        const size_t begin = static_cast<size_t>(ctx.block_id()) * kTile;
+        const size_t end = std::min(begin + kTile, n);
+        ctx.CoalescedRead((end - begin) / 8 + 1, true);  // bitvector
+        bool any = false;
+        for (size_t i = begin; i < end; ++i) any |= selected[i] != 0;
+        if (!any) return;
+        uint32_t local[kTile];
+        kernels::LoadBitPack(ctx, enc, ctx.block_id(), cfg, local);
+      });
+    }
+
+    std::printf("%-12g %14.2f %14.2f\n", sigma,
+                bench::Project(dev_u.elapsed_ms(), n, kPaperN),
+                bench::Project(dev_c.elapsed_ms(), n, kPaperN));
+  }
+  bench::PrintNote(
+      "paper: uncompressed plateaus ~2.5ms beyond sigma=1/32; GPU-FOR "
+      "plateaus ~2.1ms beyond sigma=1/512 — random access does not hurt "
+      "the compressed format");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

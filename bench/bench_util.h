@@ -1,0 +1,35 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each binary regenerates one table/figure of the paper: it runs the
+// *functional* simulation at a laptop-scale default N (override with --n or
+// --sf), measures traffic exactly, and projects the modeled time to the
+// paper's dataset size (traffic scales linearly in N; fixed overheads are a
+// sub-percent error at paper scale). Paper-reported reference numbers are
+// printed alongside for comparison in EXPERIMENTS.md.
+#ifndef TILECOMP_BENCH_BENCH_UTIL_H_
+#define TILECOMP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+
+namespace tilecomp::bench {
+
+// Scale a time measured on an n_sim-sized input to the paper's n_paper.
+inline double Project(double time_ms, size_t n_sim, size_t n_paper) {
+  return time_ms * static_cast<double>(n_paper) /
+         static_cast<double>(n_sim);
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("#  %s\n", note.c_str());
+}
+
+}  // namespace tilecomp::bench
+
+#endif  // TILECOMP_BENCH_BENCH_UTIL_H_

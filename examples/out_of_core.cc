@@ -1,0 +1,77 @@
+// Out-of-core streaming (Section 8, "Out-of-core Dataset"): when the
+// compressed working set exceeds device memory, columns stream chunk by
+// chunk over PCIe while the previous chunk is being decoded — a classic
+// double-buffered pipeline. Steady-state throughput is governed by
+// max(transfer, compute) per chunk, so compression (which shrinks only the
+// transfer leg) translates almost 1:1 into end-to-end speedup on the
+// link-bound side.
+//
+//   $ ./examples/out_of_core [--n 8000000] [--chunks 16]
+#include <algorithm>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "kernels/decompress.h"
+
+int main(int argc, char** argv) {
+  using namespace tilecomp;
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 8 << 20));
+  const int chunks = static_cast<int>(flags.GetInt("chunks", 16));
+  const size_t chunk_values = n / chunks;
+
+  auto values = GenUniformBits(n, 14, 3);
+
+  struct Variant {
+    const char* name;
+    bool compressed;
+  };
+  for (Variant variant : {Variant{"uncompressed", false},
+                          Variant{"GPU-FOR", true}}) {
+    sim::Device dev;
+    double transfer_total = 0;
+    double compute_total = 0;
+    double pipeline_ms = 0;
+    double prev_compute = 0;
+
+    for (int c = 0; c < chunks; ++c) {
+      const size_t begin = c * chunk_values;
+      const size_t len =
+          std::min(chunk_values, values.size() - begin);
+      double transfer_ms = 0;
+      double compute_ms = 0;
+      if (variant.compressed) {
+        auto enc = format::GpuForEncode(values.data() + begin, len);
+        transfer_ms =
+            sim::EstimateTransferMs(dev.spec(), enc.compressed_bytes());
+        const double t0 = dev.elapsed_ms();
+        auto run = kernels::DecompressGpuFor(dev, enc, {},
+                                             /*write_output=*/false);
+        compute_ms = dev.elapsed_ms() - t0;
+        (void)run;
+      } else {
+        transfer_ms = sim::EstimateTransferMs(dev.spec(), len * 4);
+        const double t0 = dev.elapsed_ms();
+        std::vector<uint32_t> chunk(values.begin() + begin,
+                                    values.begin() + begin + len);
+        kernels::ReadUncompressed(dev, chunk);
+        compute_ms = dev.elapsed_ms() - t0;
+      }
+      // Double buffering: chunk c's transfer overlaps chunk c-1's decode.
+      pipeline_ms += std::max(transfer_ms, prev_compute);
+      prev_compute = compute_ms;
+      transfer_total += transfer_ms;
+      compute_total += compute_ms;
+    }
+    pipeline_ms += prev_compute;  // drain the last chunk's decode
+
+    std::printf(
+        "%-14s transfer %8.3f ms  decode %8.3f ms  pipelined %8.3f ms\n",
+        variant.name, transfer_total, compute_total, pipeline_ms);
+  }
+  std::printf(
+      "\nwith double buffering the PCIe leg dominates, so the compressed\n"
+      "pipeline finishes ~(compression ratio)x sooner (Section 9.5)\n");
+  return 0;
+}

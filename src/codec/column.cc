@@ -1,0 +1,217 @@
+#include "codec/column.h"
+
+#include "common/macros.h"
+
+namespace tilecomp::codec {
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNone:
+      return "None";
+    case Scheme::kGpuFor:
+      return "GPU-FOR";
+    case Scheme::kGpuDFor:
+      return "GPU-DFOR";
+    case Scheme::kGpuRFor:
+      return "GPU-RFOR";
+    case Scheme::kNsf:
+      return "NSF";
+    case Scheme::kNsv:
+      return "NSV";
+    case Scheme::kRle:
+      return "RLE";
+    case Scheme::kGpuBp:
+      return "GPU-BP";
+    case Scheme::kSimdBp128:
+      return "GPU-SIMDBP128";
+  }
+  return "?";
+}
+
+const char* SystemName(System system) {
+  switch (system) {
+    case System::kNone:
+      return "None";
+    case System::kGpuStar:
+      return "GPU-*";
+    case System::kNvcomp:
+      return "nvCOMP";
+    case System::kPlanner:
+      return "Planner";
+    case System::kGpuBp:
+      return "GPU-BP";
+    case System::kOmnisci:
+      return "OmniSci";
+  }
+  return "?";
+}
+
+CompressedColumn CompressedColumn::Encode(Scheme scheme,
+                                          const uint32_t* values,
+                                          size_t count) {
+  TILECOMP_CHECK(count <= 0xFFFFFFFFull);
+  CompressedColumn col;
+  col.scheme_ = scheme;
+  col.count_ = static_cast<uint32_t>(count);
+  switch (scheme) {
+    case Scheme::kNone:
+      col.raw_ = std::make_shared<std::vector<uint32_t>>(values,
+                                                         values + count);
+      break;
+    case Scheme::kGpuFor:
+      col.gpu_for_ = std::make_shared<format::GpuForEncoded>(
+          format::GpuForEncode(values, count));
+      break;
+    case Scheme::kGpuDFor:
+      col.gpu_dfor_ = std::make_shared<format::GpuDForEncoded>(
+          format::GpuDForEncode(values, count));
+      break;
+    case Scheme::kGpuRFor:
+      col.gpu_rfor_ = std::make_shared<format::GpuRForEncoded>(
+          format::GpuRForEncode(values, count));
+      break;
+    case Scheme::kNsf:
+      col.nsf_ =
+          std::make_shared<format::NsfEncoded>(format::NsfEncode(values, count));
+      break;
+    case Scheme::kNsv:
+      col.nsv_ =
+          std::make_shared<format::NsvEncoded>(format::NsvEncode(values, count));
+      break;
+    case Scheme::kRle:
+      col.rle_ =
+          std::make_shared<format::RleEncoded>(format::RleEncode(values, count));
+      break;
+    case Scheme::kGpuBp: {
+      format::GpuForOptions options;
+      options.zero_reference = true;
+      options.miniblock_count = 1;
+      col.gpu_for_ = std::make_shared<format::GpuForEncoded>(
+          format::GpuForEncode(values, count, options));
+      break;
+    }
+    case Scheme::kSimdBp128:
+      col.simdbp_ = std::make_shared<format::SimdBp128Encoded>(
+          format::SimdBp128Encode(values, count));
+      break;
+  }
+  return col;
+}
+
+CompressedColumn CompressedColumn::FromRaw(std::vector<uint32_t> values) {
+  CompressedColumn col;
+  col.scheme_ = Scheme::kNone;
+  col.count_ = static_cast<uint32_t>(values.size());
+  col.raw_ = std::make_shared<std::vector<uint32_t>>(std::move(values));
+  return col;
+}
+
+CompressedColumn CompressedColumn::FromGpuFor(format::GpuForEncoded encoded,
+                                              Scheme scheme) {
+  TILECOMP_CHECK(scheme == Scheme::kGpuFor || scheme == Scheme::kGpuBp);
+  CompressedColumn col;
+  col.scheme_ = scheme;
+  col.count_ = encoded.header.total_count;
+  col.gpu_for_ = std::make_shared<format::GpuForEncoded>(std::move(encoded));
+  return col;
+}
+
+CompressedColumn CompressedColumn::FromGpuDFor(format::GpuDForEncoded encoded) {
+  CompressedColumn col;
+  col.scheme_ = Scheme::kGpuDFor;
+  col.count_ = encoded.header.total_count;
+  col.gpu_dfor_ =
+      std::make_shared<format::GpuDForEncoded>(std::move(encoded));
+  return col;
+}
+
+CompressedColumn CompressedColumn::FromGpuRFor(format::GpuRForEncoded encoded) {
+  CompressedColumn col;
+  col.scheme_ = Scheme::kGpuRFor;
+  col.count_ = encoded.header.total_count;
+  col.gpu_rfor_ =
+      std::make_shared<format::GpuRForEncoded>(std::move(encoded));
+  return col;
+}
+
+CompressedColumn CompressedColumn::FromNsf(format::NsfEncoded encoded) {
+  CompressedColumn col;
+  col.scheme_ = Scheme::kNsf;
+  col.count_ = encoded.total_count;
+  col.nsf_ = std::make_shared<format::NsfEncoded>(std::move(encoded));
+  return col;
+}
+
+CompressedColumn CompressedColumn::FromNsv(format::NsvEncoded encoded) {
+  CompressedColumn col;
+  col.scheme_ = Scheme::kNsv;
+  col.count_ = encoded.total_count;
+  col.nsv_ = std::make_shared<format::NsvEncoded>(std::move(encoded));
+  return col;
+}
+
+CompressedColumn CompressedColumn::FromRle(format::RleEncoded encoded) {
+  CompressedColumn col;
+  col.scheme_ = Scheme::kRle;
+  col.count_ = encoded.total_count;
+  col.rle_ = std::make_shared<format::RleEncoded>(std::move(encoded));
+  return col;
+}
+
+CompressedColumn CompressedColumn::FromSimdBp128(
+    format::SimdBp128Encoded encoded) {
+  CompressedColumn col;
+  col.scheme_ = Scheme::kSimdBp128;
+  col.count_ = encoded.total_count;
+  col.simdbp_ =
+      std::make_shared<format::SimdBp128Encoded>(std::move(encoded));
+  return col;
+}
+
+uint64_t CompressedColumn::compressed_bytes() const {
+  switch (scheme_) {
+    case Scheme::kNone:
+      return static_cast<uint64_t>(count_) * 4;
+    case Scheme::kGpuFor:
+    case Scheme::kGpuBp:
+      return gpu_for_->compressed_bytes();
+    case Scheme::kGpuDFor:
+      return gpu_dfor_->compressed_bytes();
+    case Scheme::kGpuRFor:
+      return gpu_rfor_->compressed_bytes();
+    case Scheme::kNsf:
+      return nsf_->compressed_bytes();
+    case Scheme::kNsv:
+      return nsv_->compressed_bytes();
+    case Scheme::kRle:
+      return rle_->compressed_bytes();
+    case Scheme::kSimdBp128:
+      return simdbp_->compressed_bytes();
+  }
+  return 0;
+}
+
+std::vector<uint32_t> CompressedColumn::DecodeHost() const {
+  switch (scheme_) {
+    case Scheme::kNone:
+      return *raw_;
+    case Scheme::kGpuFor:
+    case Scheme::kGpuBp:
+      return format::GpuForDecodeHost(*gpu_for_);
+    case Scheme::kGpuDFor:
+      return format::GpuDForDecodeHost(*gpu_dfor_);
+    case Scheme::kGpuRFor:
+      return format::GpuRForDecodeHost(*gpu_rfor_);
+    case Scheme::kNsf:
+      return format::NsfDecodeHost(*nsf_);
+    case Scheme::kNsv:
+      return format::NsvDecodeHost(*nsv_);
+    case Scheme::kRle:
+      return format::RleDecodeHost(*rle_);
+    case Scheme::kSimdBp128:
+      return format::SimdBp128DecodeHost(*simdbp_);
+  }
+  return {};
+}
+
+}  // namespace tilecomp::codec

@@ -1,0 +1,96 @@
+// CompressedColumn: the library's central value type. Holds one integer
+// column (or dictionary-encoded string column) in one of the supported
+// encodings, exposes size/ratio accessors, and hands the underlying encoded
+// stream to the simulated kernels.
+#ifndef TILECOMP_CODEC_COLUMN_H_
+#define TILECOMP_CODEC_COLUMN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codec/scheme.h"
+#include "format/gpudfor.h"
+#include "format/gpufor.h"
+#include "format/gpurfor.h"
+#include "format/ns.h"
+#include "format/rle.h"
+#include "format/simdbp128.h"
+
+namespace tilecomp::codec {
+
+class CompressedColumn {
+ public:
+  CompressedColumn() = default;
+
+  // Encode `count` values with the given scheme. For kNone the values are
+  // stored verbatim.
+  static CompressedColumn Encode(Scheme scheme, const uint32_t* values,
+                                 size_t count);
+  static CompressedColumn Encode(Scheme scheme,
+                                 const std::vector<uint32_t>& values) {
+    return Encode(scheme, values.data(), values.size());
+  }
+
+  // Wrap already-encoded streams (deserialization, zero-copy adoption).
+  // `scheme` for FromGpuFor may be kGpuFor or kGpuBp (same container).
+  static CompressedColumn FromRaw(std::vector<uint32_t> values);
+  static CompressedColumn FromGpuFor(format::GpuForEncoded encoded,
+                                     Scheme scheme = Scheme::kGpuFor);
+  static CompressedColumn FromGpuDFor(format::GpuDForEncoded encoded);
+  static CompressedColumn FromGpuRFor(format::GpuRForEncoded encoded);
+  static CompressedColumn FromNsf(format::NsfEncoded encoded);
+  static CompressedColumn FromNsv(format::NsvEncoded encoded);
+  static CompressedColumn FromRle(format::RleEncoded encoded);
+  static CompressedColumn FromSimdBp128(format::SimdBp128Encoded encoded);
+
+  Scheme scheme() const { return scheme_; }
+  uint32_t size() const { return count_; }
+
+  // Compressed footprint in bytes (uncompressed footprint for kNone).
+  uint64_t compressed_bytes() const;
+  double bits_per_int() const {
+    return count_ == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) / count_;
+  }
+  double compression_ratio() const {
+    const uint64_t raw = static_cast<uint64_t>(count_) * 4;
+    return compressed_bytes() == 0
+               ? 1.0
+               : static_cast<double>(raw) / compressed_bytes();
+  }
+
+  // Host-side (reference) decode.
+  std::vector<uint32_t> DecodeHost() const;
+
+  // Accessors to the underlying encodings; non-null only for the matching
+  // scheme. Used by the simulated kernels and the benchmarks.
+  const std::vector<uint32_t>* raw() const { return raw_.get(); }
+  const format::GpuForEncoded* gpu_for() const { return gpu_for_.get(); }
+  const format::GpuDForEncoded* gpu_dfor() const { return gpu_dfor_.get(); }
+  const format::GpuRForEncoded* gpu_rfor() const { return gpu_rfor_.get(); }
+  const format::NsfEncoded* nsf() const { return nsf_.get(); }
+  const format::NsvEncoded* nsv() const { return nsv_.get(); }
+  const format::RleEncoded* rle() const { return rle_.get(); }
+  const format::SimdBp128Encoded* simdbp() const { return simdbp_.get(); }
+
+ private:
+  Scheme scheme_ = Scheme::kNone;
+  uint32_t count_ = 0;
+  // Exactly one of these is set, matching scheme_. kGpuBp reuses the
+  // GpuForEncoded container (zero reference, single miniblock).
+  std::shared_ptr<std::vector<uint32_t>> raw_;
+  std::shared_ptr<format::GpuForEncoded> gpu_for_;
+  std::shared_ptr<format::GpuDForEncoded> gpu_dfor_;
+  std::shared_ptr<format::GpuRForEncoded> gpu_rfor_;
+  std::shared_ptr<format::NsfEncoded> nsf_;
+  std::shared_ptr<format::NsvEncoded> nsv_;
+  std::shared_ptr<format::RleEncoded> rle_;
+  std::shared_ptr<format::SimdBp128Encoded> simdbp_;
+};
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_COLUMN_H_

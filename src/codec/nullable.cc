@@ -1,0 +1,43 @@
+#include "codec/nullable.h"
+
+#include "common/macros.h"
+
+namespace tilecomp::codec {
+
+NullableColumn NullableColumn::Encode(const std::vector<uint32_t>& values,
+                                      const std::vector<uint8_t>& validity) {
+  TILECOMP_CHECK(values.size() == validity.size());
+  NullableColumn col;
+
+  // Forward-fill null slots so they compress as run extensions instead of
+  // widening the miniblock; the validity column restores them as nulls.
+  std::vector<uint32_t> filled(values.size());
+  std::vector<uint32_t> valid_words(values.size());
+  uint32_t last_valid = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (validity[i]) {
+      last_valid = values[i];
+    } else {
+      ++col.null_count_;
+    }
+    filled[i] = last_valid;
+    valid_words[i] = validity[i] ? 1 : 0;
+  }
+
+  col.values_ = EncodeGpuStar(filled.data(), filled.size());
+  col.validity_ =
+      CompressedColumn::Encode(Scheme::kGpuRFor, valid_words);
+  return col;
+}
+
+std::vector<std::optional<uint32_t>> NullableColumn::DecodeHost() const {
+  std::vector<uint32_t> values = values_.DecodeHost();
+  std::vector<uint32_t> validity = validity_.DecodeHost();
+  std::vector<std::optional<uint32_t>> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (validity[i]) out[i] = values[i];
+  }
+  return out;
+}
+
+}  // namespace tilecomp::codec

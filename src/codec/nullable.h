@@ -1,0 +1,45 @@
+// Nullable column support. Column stores ship a validity structure next to
+// the values; here validity is a 0/1 integer column compressed with
+// GPU-RFOR (null patterns are clustered in practice, so the run-length
+// cascade collapses it), and null slots are filled with the previous valid
+// value before value compression so they never widen a miniblock.
+#ifndef TILECOMP_CODEC_NULLABLE_H_
+#define TILECOMP_CODEC_NULLABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/column.h"
+#include "codec/stats.h"
+
+namespace tilecomp::codec {
+
+class NullableColumn {
+ public:
+  // validity[i] != 0 means values[i] is valid. values at null positions are
+  // ignored.
+  static NullableColumn Encode(const std::vector<uint32_t>& values,
+                               const std::vector<uint8_t>& validity);
+
+  uint32_t size() const { return values_.size(); }
+  uint32_t null_count() const { return null_count_; }
+  uint64_t compressed_bytes() const {
+    return values_.compressed_bytes() + validity_.compressed_bytes();
+  }
+
+  const CompressedColumn& values() const { return values_; }
+  const CompressedColumn& validity() const { return validity_; }
+
+  // Decode to optionals (host reference path).
+  std::vector<std::optional<uint32_t>> DecodeHost() const;
+
+ private:
+  CompressedColumn values_;
+  CompressedColumn validity_;  // 0/1 per row
+  uint32_t null_count_ = 0;
+};
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_NULLABLE_H_

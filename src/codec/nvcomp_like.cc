@@ -1,0 +1,173 @@
+#include "codec/nvcomp_like.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "format/bitpack.h"
+
+namespace tilecomp::codec {
+
+namespace {
+
+// Pack `seq` with a signed frame of reference and a single bit width.
+// Returns (reference, bits); appends packed words to out.
+std::pair<uint32_t, uint32_t> PackWithFor(const std::vector<uint32_t>& seq,
+                                          std::vector<uint32_t>* out) {
+  if (seq.empty()) return {0, 0};
+  int32_t reference = static_cast<int32_t>(seq[0]);
+  for (uint32_t v : seq) {
+    reference = std::min(reference, static_cast<int32_t>(v));
+  }
+  uint32_t max_off = 0;
+  for (uint32_t v : seq) {
+    max_off = std::max(max_off, v - static_cast<uint32_t>(reference));
+  }
+  const uint32_t bits = tilecomp::BitsNeeded(max_off);
+  format::BitWriter writer(out);
+  for (uint32_t v : seq) {
+    writer.Append((v - static_cast<uint32_t>(reference)) & LowMask(bits),
+                  bits);
+  }
+  writer.AlignToWord();
+  return {static_cast<uint32_t>(reference), bits};
+}
+
+std::vector<uint32_t> UnpackWithFor(const uint32_t* words, uint32_t count,
+                                    uint32_t reference, uint32_t bits) {
+  std::vector<uint32_t> out(count);
+  uint64_t bit_index = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    out[i] = reference + format::UnpackBits(words, bit_index, bits);
+    bit_index += bits;
+  }
+  return out;
+}
+
+}  // namespace
+
+NvcompEncoded NvcompEncodeWith(const uint32_t* values, size_t count,
+                               NvcompCascadeConfig config) {
+  TILECOMP_CHECK(count <= 0xFFFFFFFFull);
+  NvcompEncoded enc;
+  enc.total_count = static_cast<uint32_t>(count);
+  enc.config = config;
+
+  const uint32_t psize = enc.partition_size;
+  const uint32_t parts = enc.num_partitions();
+  std::vector<uint32_t> vals;
+  std::vector<uint32_t> lens;
+
+  for (uint32_t p = 0; p < parts; ++p) {
+    enc.partition_starts.push_back(static_cast<uint32_t>(enc.data.size()));
+    const size_t begin = static_cast<size_t>(p) * psize;
+    const size_t len = std::min<size_t>(psize, count - begin);
+
+    // Layer 1 (optional): RLE.
+    vals.clear();
+    lens.clear();
+    if (config.use_rle) {
+      size_t i = 0;
+      while (i < len) {
+        const uint32_t v = values[begin + i];
+        size_t j = i + 1;
+        while (j < len && values[begin + j] == v) ++j;
+        vals.push_back(v);
+        lens.push_back(static_cast<uint32_t>(j - i));
+        i = j;
+      }
+    } else {
+      vals.assign(values + begin, values + begin + len);
+    }
+
+    // Layer 2 (optional): Delta over the value stream (wrapping).
+    uint32_t first_value = vals.empty() ? 0 : vals[0];
+    if (config.use_delta && !vals.empty()) {
+      for (size_t i = vals.size() - 1; i > 0; --i) {
+        vals[i] -= vals[i - 1];
+      }
+      vals[0] = 0;
+    }
+
+    // Layer 3: bit-packing with per-partition FOR.
+    const size_t header_at = enc.data.size();
+    enc.data.insert(enc.data.end(), 16, 0);  // fixed chunk metadata block
+    auto [vref, vbits] = PackWithFor(vals, &enc.data);
+    uint32_t lref = 0;
+    uint32_t lbits = 0;
+    if (config.use_rle) {
+      auto packed = PackWithFor(lens, &enc.data);
+      lref = packed.first;
+      lbits = packed.second;
+    }
+    enc.data[header_at + 0] = static_cast<uint32_t>(len);
+    enc.data[header_at + 1] = static_cast<uint32_t>(vals.size());
+    enc.data[header_at + 2] = first_value;
+    enc.data[header_at + 3] = vref;
+    enc.data[header_at + 4] = vbits;
+    enc.data[header_at + 5] = lref;
+    enc.data[header_at + 6] = lbits;
+    enc.data[header_at + 7] = 0;  // reserved / format version
+  }
+  enc.partition_starts.push_back(static_cast<uint32_t>(enc.data.size()));
+  return enc;
+}
+
+NvcompEncoded NvcompEncode(const uint32_t* values, size_t count) {
+  NvcompEncoded best;
+  bool have = false;
+  for (bool rle : {false, true}) {
+    for (bool delta : {false, true}) {
+      NvcompCascadeConfig config;
+      config.use_rle = rle;
+      config.use_delta = delta;
+      NvcompEncoded candidate = NvcompEncodeWith(values, count, config);
+      if (!have || candidate.compressed_bytes() < best.compressed_bytes()) {
+        best = std::move(candidate);
+        have = true;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> NvcompDecodeHost(const NvcompEncoded& enc) {
+  std::vector<uint32_t> out;
+  out.reserve(enc.total_count);
+  const uint32_t parts = enc.num_partitions();
+  for (uint32_t p = 0; p < parts; ++p) {
+    const uint32_t* part = enc.data.data() + enc.partition_starts[p];
+    const uint32_t len = part[0];
+    const uint32_t nvals = part[1];
+    const uint32_t first_value = part[2];
+    const uint32_t vref = part[3];
+    const uint32_t vbits = part[4];
+    const uint32_t lref = part[5];
+    const uint32_t lbits = part[6];
+    const uint32_t* payload = part + 16;
+
+    std::vector<uint32_t> vals = UnpackWithFor(payload, nvals, vref, vbits);
+    const uint32_t vwords =
+        static_cast<uint32_t>(CeilDiv<uint64_t>(
+            static_cast<uint64_t>(nvals) * vbits, 32));
+
+    if (enc.config.use_delta && !vals.empty()) {
+      vals[0] = first_value;
+      for (size_t i = 1; i < vals.size(); ++i) vals[i] += vals[i - 1];
+    }
+    if (enc.config.use_rle) {
+      std::vector<uint32_t> lens =
+          UnpackWithFor(payload + vwords, nvals, lref, lbits);
+      for (uint32_t r = 0; r < nvals; ++r) {
+        out.insert(out.end(), lens[r], vals[r]);
+      }
+    } else {
+      out.insert(out.end(), vals.begin(), vals.end());
+    }
+    (void)len;
+  }
+  TILECOMP_CHECK(out.size() == enc.total_count);
+  return out;
+}
+
+}  // namespace tilecomp::codec

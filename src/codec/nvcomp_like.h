@@ -1,0 +1,79 @@
+// A reimplementation of the nvCOMP cascaded-compression format family
+// (the "nvCOMP" baseline of Section 9.4).
+//
+// nvCOMP's cascaded scheme compresses fixed-size partitions independently
+// with a configurable pipeline of RLE and Delta layers followed by
+// bit-packing (with a per-partition frame of reference). Unlike GPU-*:
+//   - each packed stream uses a single bit width per 1024-value partition
+//     (no 32-value miniblocks), so one skewed value widens the whole
+//     partition;
+//   - per-partition metadata is heavier (a fixed 16-word header per
+//     partition);
+//   - decompression runs one kernel per cascade layer with global-memory
+//     intermediates — it cannot fuse layers or inline into query execution.
+#ifndef TILECOMP_CODEC_NVCOMP_LIKE_H_
+#define TILECOMP_CODEC_NVCOMP_LIKE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tilecomp::codec {
+
+struct NvcompCascadeConfig {
+  bool use_rle = false;
+  bool use_delta = false;
+  // Bit-packing is always the final layer, as in nvCOMP's cascaded default.
+};
+
+struct NvcompEncoded {
+  uint32_t total_count = 0;
+  uint32_t partition_size = 1024;
+  NvcompCascadeConfig config;
+  // Word offsets of each partition (num_partitions + 1).
+  std::vector<uint32_t> partition_starts;
+  // Per partition: a 16-word header (cascade flags, layer offsets/sizes,
+  // run count, first value, references, bit widths — modeling nvCOMP's
+  // per-chunk CascadedMetadata), then the packed value stream and, for RLE
+  // configs, the packed run-length stream.
+  std::vector<uint32_t> data;
+
+  uint32_t num_partitions() const {
+    return partition_size == 0
+               ? 0
+               : static_cast<uint32_t>(
+                     (static_cast<uint64_t>(total_count) + partition_size - 1) /
+                     partition_size);
+  }
+  uint64_t compressed_bytes() const {
+    return 16 + (partition_starts.size() + data.size()) * 4;
+  }
+  double bits_per_int() const {
+    return total_count == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) / total_count;
+  }
+  // Kernel passes required by layer-at-a-time decompression: 1 (bitpack) +
+  // 1 per delta layer + 3 per RLE layer (scan, scatter, gather/propagate),
+  // and an extra bit-unpack pass for the RLE length stream.
+  int decompression_passes() const {
+    int passes = 1;
+    if (config.use_rle) passes += 1 + 3;
+    if (config.use_delta) passes += 1;
+    return passes;
+  }
+};
+
+// Encode with a fixed cascade config.
+NvcompEncoded NvcompEncodeWith(const uint32_t* values, size_t count,
+                               NvcompCascadeConfig config);
+
+// nvCOMP auto-selection: try all four cascade configs, keep the smallest
+// (this is what nvCOMP's cascaded-selector does).
+NvcompEncoded NvcompEncode(const uint32_t* values, size_t count);
+
+std::vector<uint32_t> NvcompDecodeHost(const NvcompEncoded& encoded);
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_NVCOMP_LIKE_H_

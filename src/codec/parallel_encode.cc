@@ -1,0 +1,132 @@
+#include "codec/parallel_encode.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "common/thread_pool.h"
+
+namespace tilecomp::codec {
+
+namespace {
+
+// Segment boundaries aligned to `unit` values; ~4 segments per pool thread
+// for load balance.
+std::vector<std::pair<size_t, size_t>> Segments(size_t count, size_t unit) {
+  std::vector<std::pair<size_t, size_t>> segments;
+  if (count == 0) return segments;
+  const size_t threads = ThreadPool::Global().num_threads();
+  const size_t target = std::max<size_t>(
+      unit, RoundUp<size_t>(count / (threads * 4 + 1) + 1, unit));
+  for (size_t begin = 0; begin < count; begin += target) {
+    segments.emplace_back(begin, std::min(begin + target, count));
+  }
+  return segments;
+}
+
+}  // namespace
+
+format::GpuForEncoded ParallelGpuForEncode(
+    const uint32_t* values, size_t count,
+    const format::GpuForOptions& options) {
+  auto segments = Segments(count, options.block_size);
+  if (segments.size() <= 1) return format::GpuForEncode(values, count, options);
+
+  std::vector<format::GpuForEncoded> parts(segments.size());
+  ThreadPool::Global().ParallelFor(segments.size(), [&](size_t i) {
+    parts[i] = format::GpuForEncode(values + segments[i].first,
+                                    segments[i].second - segments[i].first,
+                                    options);
+  });
+
+  format::GpuForEncoded out;
+  out.header.total_count = static_cast<uint32_t>(count);
+  out.header.block_size = options.block_size;
+  out.header.miniblock_count = options.miniblock_count;
+  for (const auto& part : parts) {
+    const uint32_t base = static_cast<uint32_t>(out.data.size());
+    // Each part's final block-start is its sentinel; skip it, the next
+    // part's starts (or the final sentinel) continue the sequence.
+    for (size_t b = 0; b + 1 < part.block_starts.size(); ++b) {
+      out.block_starts.push_back(base + part.block_starts[b]);
+    }
+    out.data.insert(out.data.end(), part.data.begin(), part.data.end());
+  }
+  out.block_starts.push_back(static_cast<uint32_t>(out.data.size()));
+  return out;
+}
+
+format::GpuDForEncoded ParallelGpuDForEncode(
+    const uint32_t* values, size_t count,
+    const format::GpuDForOptions& options) {
+  const size_t unit =
+      static_cast<size_t>(options.block_size) * options.blocks_per_tile;
+  auto segments = Segments(count, unit);
+  if (segments.size() <= 1) {
+    return format::GpuDForEncode(values, count, options);
+  }
+
+  std::vector<format::GpuDForEncoded> parts(segments.size());
+  ThreadPool::Global().ParallelFor(segments.size(), [&](size_t i) {
+    parts[i] = format::GpuDForEncode(values + segments[i].first,
+                                     segments[i].second - segments[i].first,
+                                     options);
+  });
+
+  format::GpuDForEncoded out;
+  out.header.total_count = static_cast<uint32_t>(count);
+  out.header.block_size = options.block_size;
+  out.header.miniblock_count = options.miniblock_count;
+  out.header.blocks_per_tile = options.blocks_per_tile;
+  for (const auto& part : parts) {
+    const uint32_t base = static_cast<uint32_t>(out.data.size());
+    for (size_t b = 0; b + 1 < part.block_starts.size(); ++b) {
+      out.block_starts.push_back(base + part.block_starts[b]);
+    }
+    out.data.insert(out.data.end(), part.data.begin(), part.data.end());
+    out.first_values.insert(out.first_values.end(), part.first_values.begin(),
+                            part.first_values.end());
+  }
+  out.block_starts.push_back(static_cast<uint32_t>(out.data.size()));
+  return out;
+}
+
+format::GpuRForEncoded ParallelGpuRForEncode(
+    const uint32_t* values, size_t count,
+    const format::GpuRForOptions& options) {
+  auto segments = Segments(count, options.block_size);
+  if (segments.size() <= 1) {
+    return format::GpuRForEncode(values, count, options);
+  }
+
+  std::vector<format::GpuRForEncoded> parts(segments.size());
+  ThreadPool::Global().ParallelFor(segments.size(), [&](size_t i) {
+    parts[i] = format::GpuRForEncode(values + segments[i].first,
+                                     segments[i].second - segments[i].first,
+                                     options);
+  });
+
+  format::GpuRForEncoded out;
+  out.header.total_count = static_cast<uint32_t>(count);
+  out.header.block_size = options.block_size;
+  for (const auto& part : parts) {
+    const uint32_t vbase = static_cast<uint32_t>(out.value_data.size());
+    const uint32_t lbase = static_cast<uint32_t>(out.length_data.size());
+    for (size_t b = 0; b + 1 < part.value_block_starts.size(); ++b) {
+      out.value_block_starts.push_back(vbase + part.value_block_starts[b]);
+      out.length_block_starts.push_back(lbase + part.length_block_starts[b]);
+    }
+    out.value_data.insert(out.value_data.end(), part.value_data.begin(),
+                          part.value_data.end());
+    out.length_data.insert(out.length_data.end(), part.length_data.begin(),
+                           part.length_data.end());
+  }
+  out.value_block_starts.push_back(
+      static_cast<uint32_t>(out.value_data.size()));
+  out.length_block_starts.push_back(
+      static_cast<uint32_t>(out.length_data.size()));
+  return out;
+}
+
+}  // namespace tilecomp::codec

@@ -1,0 +1,36 @@
+// Multi-threaded host-side encoders (Section 8, "Compression Speed": in
+// analytics workloads compression is a one-time activity that happens on
+// the CPU side; on updates the data is recompressed and re-shipped).
+//
+// The input is split into segments aligned to the format's independence
+// boundary (GPU-FOR blocks, GPU-DFOR tiles, GPU-RFOR blocks), each segment
+// is encoded on a pool thread, and the per-segment streams are stitched
+// (block starts rebased onto the concatenated data array). The result is
+// bit-identical to the single-threaded encoder.
+#ifndef TILECOMP_CODEC_PARALLEL_ENCODE_H_
+#define TILECOMP_CODEC_PARALLEL_ENCODE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "format/gpudfor.h"
+#include "format/gpufor.h"
+#include "format/gpurfor.h"
+
+namespace tilecomp::codec {
+
+format::GpuForEncoded ParallelGpuForEncode(
+    const uint32_t* values, size_t count,
+    const format::GpuForOptions& options = format::GpuForOptions());
+
+format::GpuDForEncoded ParallelGpuDForEncode(
+    const uint32_t* values, size_t count,
+    const format::GpuDForOptions& options = format::GpuDForOptions());
+
+format::GpuRForEncoded ParallelGpuRForEncode(
+    const uint32_t* values, size_t count,
+    const format::GpuRForOptions& options = format::GpuRForOptions());
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_PARALLEL_ENCODE_H_

@@ -1,0 +1,71 @@
+// The byte-aligned compression planner of Fang et al. [18] (the "Planner"
+// baseline of Section 9.4).
+//
+// The planner inspects column statistics and chooses, per column, the plan
+// with the best compression ratio from cascades of the five basic
+// lightweight techniques — but supports only *byte-aligned* null
+// suppression (NSF/NSV), no bit-level packing. Candidate plans:
+//
+//   NONE, NSF, NSV, FOR+NSF, FOR+NSV, DELTA+NSF, DELTA+NSV,
+//   RLE+NSF, RLE+NSV, RLE+DELTA+NSV
+//
+// FOR subtracts a per-4096-partition minimum; DELTA is per-partition;
+// RLE produces (values, lengths) columns, each NS-encoded. Decompression
+// executes one kernel per layer (the cascading model of Figure 2 left).
+#ifndef TILECOMP_CODEC_PLANNER_H_
+#define TILECOMP_CODEC_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tilecomp::codec {
+
+enum class PlannerNs { kNone, kNsf, kNsv };
+
+struct PlannerPlan {
+  bool use_rle = false;
+  bool use_delta = false;
+  bool use_for = false;
+  PlannerNs ns = PlannerNs::kNone;
+
+  // Number of decompression kernel passes under the cascading model.
+  int decompression_passes() const {
+    int passes = 0;
+    if (ns != PlannerNs::kNone) passes += use_rle ? 2 : 1;  // both streams
+    if (ns == PlannerNs::kNsv) passes += 1;                 // offset scan
+    if (use_for) passes += 1;
+    if (use_delta) passes += 1;
+    if (use_rle) passes += 3;  // scan, scatter, gather/propagate
+    return std::max(passes, 1);
+  }
+  std::string ToString() const;
+};
+
+struct PlannerEncoded {
+  uint32_t total_count = 0;
+  uint32_t partition_size = 4096;
+  PlannerPlan plan;
+  uint64_t payload_bytes = 0;  // computed exact encoded footprint
+
+  // The planner baseline keeps the functional data as transformed arrays;
+  // sizes are exact for the chosen byte-aligned encoding.
+  std::vector<uint32_t> original;  // for host decode fidelity
+
+  uint64_t compressed_bytes() const { return 16 + payload_bytes; }
+  double bits_per_int() const {
+    return total_count == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) / total_count;
+  }
+};
+
+// Evaluate all candidate plans and keep the smallest (exact sizes).
+PlannerEncoded PlannerEncode(const uint32_t* values, size_t count);
+
+std::vector<uint32_t> PlannerDecodeHost(const PlannerEncoded& encoded);
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_PLANNER_H_

@@ -1,0 +1,35 @@
+// Compression scheme and system identifiers used across the public API.
+#ifndef TILECOMP_CODEC_SCHEME_H_
+#define TILECOMP_CODEC_SCHEME_H_
+
+namespace tilecomp::codec {
+
+// Single-column compression schemes.
+enum class Scheme {
+  kNone,        // uncompressed 4-byte integers
+  kGpuFor,      // FOR + bit-packing, tile format (Section 4)
+  kGpuDFor,     // Delta + FOR + bit-packing (Section 5)
+  kGpuRFor,     // RLE + FOR + bit-packing (Section 6)
+  kNsf,         // fixed byte-aligned null suppression (Fang et al.)
+  kNsv,         // variable byte-aligned null suppression (Fang et al.)
+  kRle,         // plain run-length encoding
+  kGpuBp,       // single-layer bit-packing, no FOR (Mallia et al.)
+  kSimdBp128,   // vertical-layout bit-packing (Section 4.3 ablation)
+};
+
+// End-to-end systems compared in Section 9.4 (Figures 9-11).
+enum class System {
+  kNone,     // Crystal on uncompressed data
+  kGpuStar,  // this paper: per-column best of GPU-FOR/DFOR/RFOR, inline
+  kNvcomp,   // nvCOMP-style cascades, layer-at-a-time decompression
+  kPlanner,  // Fang et al. byte-aligned compression planner
+  kGpuBp,    // Mallia et al. bit-packing, decompress-then-query
+  kOmnisci,  // commercial engine: no compression, non-tiled execution
+};
+
+const char* SchemeName(Scheme scheme);
+const char* SystemName(System system);
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_SCHEME_H_

@@ -1,0 +1,303 @@
+#include "codec/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace tilecomp::codec {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x504D4354;  // "TCMP" little endian
+constexpr uint32_t kVersion = 1;
+
+uint32_t CrcTableEntry(uint32_t i) {
+  uint32_t c = i;
+  for (int k = 0; k < 8; ++k) {
+    c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+  }
+  return c;
+}
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U32(uint32_t v) { Bytes(&v, 4); }
+  void U64(uint64_t v) { Bytes(&v, 8); }
+  void VecU32(const std::vector<uint32_t>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * 4);
+  }
+  void VecU8(const std::vector<uint8_t>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size());
+  }
+
+ private:
+  void Bytes(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    out_->insert(out_->end(), b, b + n);
+  }
+  std::vector<uint8_t>* out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U32(uint32_t* v) { return Bytes(v, 4); }
+  bool U64(uint64_t* v) { return Bytes(v, 8); }
+  bool VecU32(std::vector<uint32_t>* v) {
+    uint64_t n = 0;
+    if (!U64(&n) || n * 4 > remaining()) return false;
+    v->resize(n);
+    return Bytes(v->data(), n * 4);
+  }
+  bool VecU8(std::vector<uint8_t>* v) {
+    uint64_t n = 0;
+    if (!U64(&n) || n > remaining()) return false;
+    v->resize(n);
+    return Bytes(v->data(), n);
+  }
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  bool Bytes(void* p, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) table[i] = CrcTableEntry(i);
+    return true;
+  }();
+  (void)init;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t> Serialize(const CompressedColumn& column) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  switch (column.scheme()) {
+    case Scheme::kNone:
+      w.VecU32(*column.raw());
+      break;
+    case Scheme::kGpuFor:
+    case Scheme::kGpuBp: {
+      const auto& e = *column.gpu_for();
+      w.U32(e.header.total_count);
+      w.U32(e.header.block_size);
+      w.U32(e.header.miniblock_count);
+      w.VecU32(e.block_starts);
+      w.VecU32(e.data);
+      break;
+    }
+    case Scheme::kGpuDFor: {
+      const auto& e = *column.gpu_dfor();
+      w.U32(e.header.total_count);
+      w.U32(e.header.block_size);
+      w.U32(e.header.miniblock_count);
+      w.U32(e.header.blocks_per_tile);
+      w.VecU32(e.block_starts);
+      w.VecU32(e.first_values);
+      w.VecU32(e.data);
+      break;
+    }
+    case Scheme::kGpuRFor: {
+      const auto& e = *column.gpu_rfor();
+      w.U32(e.header.total_count);
+      w.U32(e.header.block_size);
+      w.VecU32(e.value_block_starts);
+      w.VecU32(e.length_block_starts);
+      w.VecU32(e.value_data);
+      w.VecU32(e.length_data);
+      break;
+    }
+    case Scheme::kNsf: {
+      const auto& e = *column.nsf();
+      w.U32(e.total_count);
+      w.U32(e.bytes_per_value);
+      w.VecU8(e.data);
+      break;
+    }
+    case Scheme::kNsv: {
+      const auto& e = *column.nsv();
+      w.U32(e.total_count);
+      w.VecU8(e.data);
+      w.VecU8(e.tags);
+      w.VecU32(e.chunk_starts);
+      break;
+    }
+    case Scheme::kRle: {
+      const auto& e = *column.rle();
+      w.U32(e.total_count);
+      w.U32(e.block_size);
+      w.VecU32(e.run_starts);
+      w.VecU32(e.values);
+      w.VecU32(e.lengths);
+      break;
+    }
+    case Scheme::kSimdBp128: {
+      const auto& e = *column.simdbp();
+      w.U32(e.total_count);
+      w.VecU32(e.block_starts);
+      w.VecU32(e.data);
+      break;
+    }
+  }
+
+  std::vector<uint8_t> out;
+  ByteWriter header(&out);
+  header.U32(kMagic);
+  header.U32(kVersion);
+  header.U32(static_cast<uint32_t>(column.scheme()));
+  header.U64(payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  header.U32(Crc32(payload.data(), payload.size()));
+  return out;
+}
+
+bool Deserialize(const uint8_t* data, size_t size, CompressedColumn* column) {
+  ByteReader r(data, size);
+  uint32_t magic = 0, version = 0, scheme_raw = 0;
+  uint64_t payload_size = 0;
+  if (!r.U32(&magic) || !r.U32(&version) || !r.U32(&scheme_raw) ||
+      !r.U64(&payload_size)) {
+    return false;
+  }
+  TILECOMP_CHECK_MSG(magic == kMagic, "not a tilecomp column file");
+  TILECOMP_CHECK_MSG(version == kVersion, "unsupported format version");
+  if (payload_size + 4 > r.remaining()) return false;
+
+  // Verify checksum before parsing.
+  const uint8_t* payload = data + r.pos();
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, payload + payload_size, 4);
+  if (Crc32(payload, payload_size) != stored_crc) return false;
+
+  ByteReader p(payload, payload_size);
+  const Scheme scheme = static_cast<Scheme>(scheme_raw);
+  switch (scheme) {
+    case Scheme::kNone: {
+      std::vector<uint32_t> values;
+      if (!p.VecU32(&values)) return false;
+      *column = CompressedColumn::FromRaw(std::move(values));
+      return true;
+    }
+    case Scheme::kGpuFor:
+    case Scheme::kGpuBp: {
+      format::GpuForEncoded e;
+      if (!p.U32(&e.header.total_count) || !p.U32(&e.header.block_size) ||
+          !p.U32(&e.header.miniblock_count) || !p.VecU32(&e.block_starts) ||
+          !p.VecU32(&e.data)) {
+        return false;
+      }
+      *column = CompressedColumn::FromGpuFor(std::move(e), scheme);
+      return true;
+    }
+    case Scheme::kGpuDFor: {
+      format::GpuDForEncoded e;
+      if (!p.U32(&e.header.total_count) || !p.U32(&e.header.block_size) ||
+          !p.U32(&e.header.miniblock_count) ||
+          !p.U32(&e.header.blocks_per_tile) || !p.VecU32(&e.block_starts) ||
+          !p.VecU32(&e.first_values) || !p.VecU32(&e.data)) {
+        return false;
+      }
+      *column = CompressedColumn::FromGpuDFor(std::move(e));
+      return true;
+    }
+    case Scheme::kGpuRFor: {
+      format::GpuRForEncoded e;
+      if (!p.U32(&e.header.total_count) || !p.U32(&e.header.block_size) ||
+          !p.VecU32(&e.value_block_starts) ||
+          !p.VecU32(&e.length_block_starts) || !p.VecU32(&e.value_data) ||
+          !p.VecU32(&e.length_data)) {
+        return false;
+      }
+      *column = CompressedColumn::FromGpuRFor(std::move(e));
+      return true;
+    }
+    case Scheme::kNsf: {
+      format::NsfEncoded e;
+      if (!p.U32(&e.total_count) || !p.U32(&e.bytes_per_value) ||
+          !p.VecU8(&e.data)) {
+        return false;
+      }
+      *column = CompressedColumn::FromNsf(std::move(e));
+      return true;
+    }
+    case Scheme::kNsv: {
+      format::NsvEncoded e;
+      if (!p.U32(&e.total_count) || !p.VecU8(&e.data) || !p.VecU8(&e.tags) ||
+          !p.VecU32(&e.chunk_starts)) {
+        return false;
+      }
+      *column = CompressedColumn::FromNsv(std::move(e));
+      return true;
+    }
+    case Scheme::kRle: {
+      format::RleEncoded e;
+      if (!p.U32(&e.total_count) || !p.U32(&e.block_size) ||
+          !p.VecU32(&e.run_starts) || !p.VecU32(&e.values) ||
+          !p.VecU32(&e.lengths)) {
+        return false;
+      }
+      *column = CompressedColumn::FromRle(std::move(e));
+      return true;
+    }
+    case Scheme::kSimdBp128: {
+      format::SimdBp128Encoded e;
+      if (!p.U32(&e.total_count) || !p.VecU32(&e.block_starts) ||
+          !p.VecU32(&e.data)) {
+        return false;
+      }
+      *column = CompressedColumn::FromSimdBp128(std::move(e));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WriteColumnFile(const std::string& path,
+                     const CompressedColumn& column) {
+  std::vector<uint8_t> bytes = Serialize(column);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                  bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool ReadColumnFile(const std::string& path, CompressedColumn* column) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const bool read_ok =
+      std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!read_ok) return false;
+  return Deserialize(bytes.data(), bytes.size(), column);
+}
+
+}  // namespace tilecomp::codec

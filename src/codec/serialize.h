@@ -1,0 +1,39 @@
+// Binary serialization of compressed columns: a versioned, checksummed
+// container so columns can be compressed once on the host, persisted, and
+// shipped to (simulated) device memory later — the "compression is a
+// one-time activity" workflow of Section 8.
+//
+// Layout (little endian):
+//   [magic "TCMP"] [version u32] [scheme u32] [payload bytes u64]
+//   [payload ...] [crc32 u32 over payload]
+//
+// The payload is the format's own struct: a sequence of length-prefixed
+// uint32 vectors plus the header words.
+#ifndef TILECOMP_CODEC_SERIALIZE_H_
+#define TILECOMP_CODEC_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/column.h"
+
+namespace tilecomp::codec {
+
+// Serialize to an in-memory buffer.
+std::vector<uint8_t> Serialize(const CompressedColumn& column);
+
+// Parse a buffer produced by Serialize. Aborts (CHECK) on magic/version
+// mismatch; returns false on truncation or checksum failure.
+bool Deserialize(const uint8_t* data, size_t size, CompressedColumn* column);
+
+// File convenience wrappers. Return false on I/O failure.
+bool WriteColumnFile(const std::string& path, const CompressedColumn& column);
+bool ReadColumnFile(const std::string& path, CompressedColumn* column);
+
+// CRC-32 (IEEE 802.3) used for the payload checksum; exposed for tests.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_SERIALIZE_H_

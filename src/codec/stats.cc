@@ -1,0 +1,74 @@
+#include "codec/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tilecomp::codec {
+
+ColumnStats ComputeStats(const uint32_t* values, size_t count) {
+  ColumnStats stats;
+  stats.count = count;
+  if (count == 0) return stats;
+
+  stats.min = values[0];
+  stats.max = values[0];
+  stats.sorted = true;
+  uint64_t runs = 1;
+  for (size_t i = 1; i < count; ++i) {
+    stats.min = std::min(stats.min, values[i]);
+    stats.max = std::max(stats.max, values[i]);
+    if (values[i] < values[i - 1]) stats.sorted = false;
+    if (values[i] != values[i - 1]) ++runs;
+  }
+  stats.avg_run_length = static_cast<double>(count) / runs;
+
+  // Distinct count: exact via hashing on a sample-capped budget; on very
+  // large columns sample the first 2^22 values (good enough for a
+  // choose-the-scheme decision).
+  const size_t sample = std::min<size_t>(count, 1ull << 22);
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(sample / 4);
+  for (size_t i = 0; i < sample; ++i) seen.insert(values[i]);
+  stats.distinct = seen.size();
+  if (sample < count) {
+    // Scale conservatively: distinct values grow sub-linearly; report at
+    // least the sample's distinct count.
+    stats.distinct =
+        std::max<uint64_t>(stats.distinct, seen.size());
+  }
+  return stats;
+}
+
+Scheme ChooseScheme(const ColumnStats& stats) {
+  if (stats.count == 0) return Scheme::kGpuFor;
+  // High average run length or low cardinality: RLE pays off.
+  if (stats.avg_run_length >= 4.0 || stats.distinct <= 16) {
+    return Scheme::kGpuRFor;
+  }
+  // Sorted/semi-sorted with a large value domain: delta coding pays off.
+  if (stats.sorted && stats.distinct > (1u << 16)) {
+    return Scheme::kGpuDFor;
+  }
+  return Scheme::kGpuFor;
+}
+
+CompressedColumn EncodeGpuStar(const uint32_t* values, size_t count) {
+  // Candidates in increasing decompression cost (FOR < DFOR < RFOR,
+  // Section 9.2): a more expensive scheme must be at least 2% smaller to
+  // displace a cheaper one. Without the margin, GPU-RFOR "wins" on
+  // run-free data purely via its lower per-512-block metadata while being
+  // strictly slower to decode.
+  CompressedColumn best =
+      CompressedColumn::Encode(Scheme::kGpuFor, values, count);
+  for (Scheme scheme : {Scheme::kGpuDFor, Scheme::kGpuRFor}) {
+    CompressedColumn candidate =
+        CompressedColumn::Encode(scheme, values, count);
+    if (static_cast<double>(candidate.compressed_bytes()) <
+        0.98 * static_cast<double>(best.compressed_bytes())) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace tilecomp::codec

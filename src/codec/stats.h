@@ -1,0 +1,38 @@
+// Column statistics and the GPU-* scheme chooser (Section 8).
+#ifndef TILECOMP_CODEC_STATS_H_
+#define TILECOMP_CODEC_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "codec/column.h"
+#include "codec/scheme.h"
+
+namespace tilecomp::codec {
+
+struct ColumnStats {
+  uint32_t min = 0;
+  uint32_t max = 0;
+  // Exact distinct count for small cardinalities, estimate above 2^20.
+  uint64_t distinct = 0;
+  double avg_run_length = 1.0;
+  bool sorted = false;
+  size_t count = 0;
+};
+
+ColumnStats ComputeStats(const uint32_t* values, size_t count);
+
+// The Section 8 rule of thumb:
+//   - sorted (or semi-sorted) with many distinct values -> GPU-DFOR
+//   - few distinct values or high average run length    -> GPU-RFOR
+//   - otherwise                                         -> GPU-FOR
+Scheme ChooseScheme(const ColumnStats& stats);
+
+// "The rule-of-thumb when choosing a compression scheme is to use the one
+// that has the lowest storage footprint": encode with all three GPU-*
+// schemes and keep the smallest. This is the GPU-* hybrid of Section 9.4.
+CompressedColumn EncodeGpuStar(const uint32_t* values, size_t count);
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_STATS_H_

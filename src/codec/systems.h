@@ -1,0 +1,57 @@
+// System-level column encoding and decompression: wraps each compared
+// system's per-column choice (Figure 9) and its decompression pipeline
+// (Figures 10-11) behind one interface.
+#ifndef TILECOMP_CODEC_SYSTEMS_H_
+#define TILECOMP_CODEC_SYSTEMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codec/column.h"
+#include "codec/nvcomp_like.h"
+#include "codec/planner.h"
+#include "codec/scheme.h"
+#include "kernels/decompress.h"
+#include "sim/device.h"
+
+namespace tilecomp::codec {
+
+// One column as stored by one of the compared systems.
+struct SystemColumn {
+  System system = System::kNone;
+  // For kNone / kGpuStar / kGpuBp / kOmnisci.
+  CompressedColumn column;
+  // For kNvcomp / kPlanner.
+  std::shared_ptr<NvcompEncoded> nvcomp;
+  std::shared_ptr<PlannerEncoded> planner;
+
+  uint32_t size() const;
+  uint64_t compressed_bytes() const;
+  double bits_per_int() const {
+    return size() == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) / size();
+  }
+  std::vector<uint32_t> DecodeHost() const;
+};
+
+// Encode a column the way `system` would store it:
+//   kNone / kOmnisci -> uncompressed (OmniSci applies only dictionary
+//                       encoding, which has already happened upstream);
+//   kGpuStar         -> best of GPU-FOR / GPU-DFOR / GPU-RFOR;
+//   kNvcomp          -> best nvCOMP cascade;
+//   kPlanner         -> best byte-aligned plan;
+//   kGpuBp           -> per-block bit-packing without FOR.
+SystemColumn SystemEncode(System system, const uint32_t* values, size_t count);
+
+// Decompress a system column on the simulated device, using the system's
+// decompression pipeline (single fused kernel for GPU-*, one kernel per
+// layer for nvCOMP/Planner, etc.). Returns decoded values + modeled cost.
+kernels::DecompressRun SystemDecompress(sim::Device& dev,
+                                        const SystemColumn& column);
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_SYSTEMS_H_

@@ -1,0 +1,90 @@
+// Typed column adapters (Section 4.1: "GPU-FOR can be used to efficiently
+// compress attributes of type integer, decimal, or dictionary-encoded
+// string"). Decimals are stored as fixed-point integers; strings are
+// dictionary encoded. Both reduce to the uint32 integer path, so every
+// scheme, kernel, and benchmark applies unchanged.
+#ifndef TILECOMP_CODEC_TYPED_COLUMN_H_
+#define TILECOMP_CODEC_TYPED_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/column.h"
+#include "codec/stats.h"
+#include "common/macros.h"
+#include "ssb/dictionary.h"
+
+namespace tilecomp::codec {
+
+// A fixed-point decimal column: value = integer * 10^-scale. Values must be
+// non-negative and fit in 32 bits at the chosen scale (the paper's data
+// model; SSB money columns use scale 2).
+class DecimalColumn {
+ public:
+  explicit DecimalColumn(int scale) : scale_(scale), pow_(1) {
+    TILECOMP_CHECK(scale >= 0 && scale <= 9);
+    for (int i = 0; i < scale; ++i) pow_ *= 10;
+  }
+
+  void Append(double value) {
+    TILECOMP_CHECK(value >= 0);
+    const double fixed = value * pow_ + 0.5;
+    TILECOMP_CHECK(fixed < 4294967296.0);
+    raw_.push_back(static_cast<uint32_t>(fixed));
+  }
+  void AppendFixed(uint32_t fixed) { raw_.push_back(fixed); }
+
+  double Value(size_t i) const {
+    return static_cast<double>(raw_[i]) / pow_;
+  }
+  size_t size() const { return raw_.size(); }
+  int scale() const { return scale_; }
+  const std::vector<uint32_t>& fixed_values() const { return raw_; }
+
+  // Compress with the GPU-* chooser; decompression returns fixed-point
+  // integers convertible via Value().
+  CompressedColumn Compress() const {
+    return EncodeGpuStar(raw_.data(), raw_.size());
+  }
+
+ private:
+  int scale_;
+  uint32_t pow_;
+  std::vector<uint32_t> raw_;
+};
+
+// A dictionary-encoded string column: codes are assigned in first-seen
+// order (use SortedStringColumn below when range predicates on strings must
+// map to code ranges).
+class StringColumn {
+ public:
+  void Append(const std::string& value) {
+    codes_.push_back(dict_.GetOrAdd(value));
+  }
+
+  const std::string& Value(size_t i) const { return dict_.Value(codes_[i]); }
+  size_t size() const { return codes_.size(); }
+  const ssb::Dictionary& dictionary() const { return dict_; }
+  const std::vector<uint32_t>& codes() const { return codes_; }
+
+  CompressedColumn Compress() const {
+    return EncodeGpuStar(codes_.data(), codes_.size());
+  }
+
+  // Equality predicate pushdown: returns the code to compare against, or
+  // false if the constant cannot match any row.
+  bool CodeFor(const std::string& value, uint32_t* code) const {
+    if (!dict_.Contains(value)) return false;
+    *code = dict_.Code(value);
+    return true;
+  }
+
+ private:
+  ssb::Dictionary dict_;
+  std::vector<uint32_t> codes_;
+};
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_TYPED_COLUMN_H_

@@ -1,0 +1,31 @@
+#include "codec/u64_column.h"
+
+#include "common/macros.h"
+
+namespace tilecomp::codec {
+
+U64Column U64Column::Encode(const std::vector<uint64_t>& values) {
+  TILECOMP_CHECK(values.size() <= 0xFFFFFFFFull);
+  std::vector<uint32_t> low(values.size());
+  std::vector<uint32_t> high(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    low[i] = static_cast<uint32_t>(values[i]);
+    high[i] = static_cast<uint32_t>(values[i] >> 32);
+  }
+  U64Column col;
+  col.low_ = EncodeGpuStar(low.data(), low.size());
+  col.high_ = EncodeGpuStar(high.data(), high.size());
+  return col;
+}
+
+std::vector<uint64_t> U64Column::DecodeHost() const {
+  std::vector<uint32_t> low = low_.DecodeHost();
+  std::vector<uint32_t> high = high_.DecodeHost();
+  std::vector<uint64_t> out(low.size());
+  for (size_t i = 0; i < low.size(); ++i) {
+    out[i] = (static_cast<uint64_t>(high[i]) << 32) | low[i];
+  }
+  return out;
+}
+
+}  // namespace tilecomp::codec

@@ -1,0 +1,44 @@
+// 64-bit integer columns. The tile formats are 32-bit native (the paper's
+// data model); 64-bit values are stored as two correlated 32-bit columns
+// (low/high words), each compressed independently with the GPU-* chooser.
+// For the common cases — counters, timestamps, money — the high word is
+// constant or slowly varying, so it collapses under FOR/RLE and the
+// effective cost approaches the 32-bit path.
+#ifndef TILECOMP_CODEC_U64_COLUMN_H_
+#define TILECOMP_CODEC_U64_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/column.h"
+#include "codec/stats.h"
+
+namespace tilecomp::codec {
+
+class U64Column {
+ public:
+  static U64Column Encode(const std::vector<uint64_t>& values);
+
+  uint32_t size() const { return low_.size(); }
+  uint64_t compressed_bytes() const {
+    return low_.compressed_bytes() + high_.compressed_bytes();
+  }
+  double bits_per_int() const {
+    return size() == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) / size();
+  }
+
+  const CompressedColumn& low() const { return low_; }
+  const CompressedColumn& high() const { return high_; }
+
+  std::vector<uint64_t> DecodeHost() const;
+
+ private:
+  CompressedColumn low_;
+  CompressedColumn high_;
+};
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_U64_COLUMN_H_

@@ -1,0 +1,23 @@
+#include "codec/zone_map.h"
+
+#include <algorithm>
+
+namespace tilecomp::codec {
+
+ZoneMap ZoneMap::Build(const uint32_t* values, size_t count) {
+  ZoneMap zm;
+  for (size_t begin = 0; begin < count; begin += kTileSize) {
+    const size_t end = std::min(begin + kTileSize, count);
+    uint32_t lo = values[begin];
+    uint32_t hi = values[begin];
+    for (size_t i = begin + 1; i < end; ++i) {
+      lo = std::min(lo, values[i]);
+      hi = std::max(hi, values[i]);
+    }
+    zm.mins_.push_back(lo);
+    zm.maxs_.push_back(hi);
+  }
+  return zm;
+}
+
+}  // namespace tilecomp::codec

@@ -1,0 +1,46 @@
+// Per-tile zone maps: min/max per 512-value tile, enabling predicate
+// pushdown with whole-tile skipping. This generalizes the paper's
+// Section 8 random-access observation — a compressed tile must be decoded
+// entirely or not at all, so the natural skipping granularity *is* the
+// tile, and a zone map decides without touching the data.
+#ifndef TILECOMP_CODEC_ZONE_MAP_H_
+#define TILECOMP_CODEC_ZONE_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tilecomp::codec {
+
+class ZoneMap {
+ public:
+  static constexpr uint32_t kTileSize = 512;
+
+  // Build from raw values (one zone per 512 values).
+  static ZoneMap Build(const uint32_t* values, size_t count);
+
+  size_t num_tiles() const { return mins_.size(); }
+  uint32_t tile_min(size_t tile) const { return mins_[tile]; }
+  uint32_t tile_max(size_t tile) const { return maxs_[tile]; }
+  uint64_t bytes() const { return (mins_.size() + maxs_.size()) * 4; }
+
+  // Can any value in `tile` fall inside [lo, hi]?
+  bool TileCanMatch(size_t tile, uint32_t lo, uint32_t hi) const {
+    return maxs_[tile] >= lo && mins_[tile] <= hi;
+  }
+
+  // Number of tiles a [lo, hi] range predicate must actually decode.
+  size_t CountMatchingTiles(uint32_t lo, uint32_t hi) const {
+    size_t n = 0;
+    for (size_t t = 0; t < mins_.size(); ++t) n += TileCanMatch(t, lo, hi);
+    return n;
+  }
+
+ private:
+  std::vector<uint32_t> mins_;
+  std::vector<uint32_t> maxs_;
+};
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_ZONE_MAP_H_

@@ -1,0 +1,43 @@
+// Bit-manipulation helpers used by the bit-packing formats.
+#ifndef TILECOMP_COMMON_BIT_UTIL_H_
+#define TILECOMP_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace tilecomp {
+
+// Number of bits needed to represent `v` in an unsigned binary encoding.
+// BitsNeeded(0) == 0 by convention (a run of zeros packs into zero bits).
+inline uint32_t BitsNeeded(uint32_t v) {
+  return v == 0 ? 0u : 32u - static_cast<uint32_t>(std::countl_zero(v));
+}
+
+inline uint32_t BitsNeeded64(uint64_t v) {
+  return v == 0 ? 0u : 64u - static_cast<uint32_t>(std::countl_zero(v));
+}
+
+// ceil(a / b) for positive integers.
+template <typename T>
+constexpr T CeilDiv(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+// Round `a` up to the nearest multiple of `b`.
+template <typename T>
+constexpr T RoundUp(T a, T b) {
+  return CeilDiv(a, b) * b;
+}
+
+// Mask with the low `bits` bits set; Mask(32) == 0xFFFFFFFF.
+inline uint32_t LowMask(uint32_t bits) {
+  return bits >= 32 ? 0xFFFFFFFFu : ((1u << bits) - 1u);
+}
+
+inline uint64_t LowMask64(uint32_t bits) {
+  return bits >= 64 ? ~0ull : ((1ull << bits) - 1ull);
+}
+
+}  // namespace tilecomp
+
+#endif  // TILECOMP_COMMON_BIT_UTIL_H_

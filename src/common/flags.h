@@ -1,0 +1,28 @@
+// Minimal command-line flag parsing for benchmark/example binaries.
+// Supports "--name value" and "--name=value".
+#ifndef TILECOMP_COMMON_FLAGS_H_
+#define TILECOMP_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tilecomp {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tilecomp
+
+#endif  // TILECOMP_COMMON_FLAGS_H_

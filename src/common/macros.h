@@ -1,0 +1,42 @@
+// Assertion and utility macros shared across the tilecomp codebase.
+#ifndef TILECOMP_COMMON_MACROS_H_
+#define TILECOMP_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Unconditional runtime check. Used on cold paths (encoder setup, format
+// validation); aborts with a message on failure. The library does not use
+// exceptions.
+#define TILECOMP_CHECK(cond)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define TILECOMP_CHECK_MSG(cond, msg)                                        \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Debug-only check, compiled out of release hot loops.
+#ifndef NDEBUG
+#define TILECOMP_DCHECK(cond) TILECOMP_CHECK(cond)
+#else
+#define TILECOMP_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#endif
+
+#define TILECOMP_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;               \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // TILECOMP_COMMON_MACROS_H_

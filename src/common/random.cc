@@ -1,0 +1,135 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tilecomp {
+
+std::vector<uint32_t> GenUniformBits(size_t n, uint32_t bits, uint64_t seed) {
+  TILECOMP_CHECK(bits <= 32);
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  const uint64_t bound = bits >= 32 ? (1ull << 32) : (1ull << bits);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint32_t>(rng.NextBounded(bound));
+  }
+  if (bits > 0 && n > 0) {
+    // Pin the top of the range so the dataset has exactly `bits` effective
+    // bits, as in the paper ("all data elements in the i-th dataset have
+    // exactly i effective bits").
+    out[rng.NextBounded(n)] = static_cast<uint32_t>(bound - 1);
+  }
+  return out;
+}
+
+std::vector<uint32_t> GenUniformRange(size_t n, uint32_t lo, uint32_t hi,
+                                      uint64_t seed) {
+  TILECOMP_CHECK(lo < hi);
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = lo + static_cast<uint32_t>(rng.NextBounded(hi - lo));
+  }
+  return out;
+}
+
+std::vector<uint32_t> GenSortedUnique(size_t n, uint64_t unique_count,
+                                      uint64_t seed) {
+  TILECOMP_CHECK(unique_count >= 1);
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  // Each of the `unique_count` values occupies a contiguous segment of
+  // roughly n/unique_count positions (a table sorted on this column).
+  // Segment lengths are randomized +/-50% to avoid perfectly regular runs.
+  if (unique_count >= n) {
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint32_t>(i);
+    return out;
+  }
+  const double avg = static_cast<double>(n) / static_cast<double>(unique_count);
+  size_t pos = 0;
+  uint64_t value = 0;
+  while (pos < n) {
+    double jitter = 0.5 + rng.NextDouble();  // [0.5, 1.5)
+    size_t len = std::max<size_t>(1, static_cast<size_t>(avg * jitter));
+    len = std::min(len, n - pos);
+    for (size_t i = 0; i < len; ++i) out[pos + i] = static_cast<uint32_t>(value);
+    pos += len;
+    if (value + 1 < unique_count) ++value;
+  }
+  return out;
+}
+
+std::vector<uint32_t> GenNormal(size_t n, double mean, double stddev,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Box-Muller.
+    double u1 = rng.NextDouble();
+    double u2 = rng.NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double v = mean + stddev * z;
+    if (v < 0) v = 0;
+    if (v > 4294967295.0) v = 4294967295.0;
+    out[i] = static_cast<uint32_t>(v);
+  }
+  return out;
+}
+
+std::vector<uint32_t> GenZipf(size_t n, uint64_t universe, double alpha,
+                              uint64_t seed) {
+  TILECOMP_CHECK(universe >= 1);
+  Rng rng(seed);
+  // Inverse-CDF sampling over a truncated harmonic table. For large
+  // universes sample rank via the standard two-region approximation.
+  const uint64_t table_size = std::min<uint64_t>(universe, 1u << 20);
+  std::vector<double> cdf(table_size);
+  double sum = 0;
+  for (uint64_t k = 0; k < table_size; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf[k] = sum;
+  }
+  for (auto& c : cdf) c /= sum;
+  std::vector<uint32_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    uint64_t rank = static_cast<uint64_t>(it - cdf.begin());
+    out[i] = static_cast<uint32_t>(std::min<uint64_t>(rank, universe - 1));
+  }
+  return out;
+}
+
+std::vector<uint32_t> GenRuns(size_t n, uint32_t avg_run_length,
+                              uint32_t value_bits, uint64_t seed) {
+  TILECOMP_CHECK(avg_run_length >= 1);
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  const uint64_t vbound = value_bits >= 32 ? (1ull << 32) : (1ull << value_bits);
+  size_t pos = 0;
+  while (pos < n) {
+    size_t len = 1 + rng.NextBounded(2ull * avg_run_length - 1);
+    len = std::min(len, n - pos);
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(vbound));
+    for (size_t i = 0; i < len; ++i) out[pos + i] = v;
+    pos += len;
+  }
+  return out;
+}
+
+std::vector<uint32_t> GenSortedGaps(size_t n, uint32_t max_gap, uint64_t seed) {
+  TILECOMP_CHECK(max_gap >= 1);
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    v += 1 + rng.NextBounded(max_gap);
+    out[i] = static_cast<uint32_t>(v);
+  }
+  return out;
+}
+
+}  // namespace tilecomp

@@ -1,0 +1,75 @@
+// Deterministic random-number generation and the synthetic data
+// distributions used in the paper's evaluation (Sections 9.2 and 9.3).
+#ifndef TILECOMP_COMMON_RANDOM_H_
+#define TILECOMP_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tilecomp {
+
+// SplitMix64: tiny, fast, high-quality 64-bit generator. Deterministic for a
+// given seed so every test and benchmark is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBounded(uint64_t bound) {
+    return bound == 0 ? 0 : Next() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// --- Synthetic dataset generators (evaluation Sections 9.2 / 9.3) ---
+
+// Uniform values in [0, 2^bits): the varying-bitwidth dataset of Section 9.2.
+std::vector<uint32_t> GenUniformBits(size_t n, uint32_t bits, uint64_t seed);
+
+// Uniform values in [lo, hi).
+std::vector<uint32_t> GenUniformRange(size_t n, uint32_t lo, uint32_t hi,
+                                      uint64_t seed);
+
+// D1: a sorted array with `unique_count` distinct values spread over the
+// array (resembles a table sorted on one column).
+std::vector<uint32_t> GenSortedUnique(size_t n, uint64_t unique_count,
+                                      uint64_t seed);
+
+// D2: normal distribution, standard deviation `stddev`, mean `mean`,
+// clamped at 0 (values are stored as unsigned 32-bit ints).
+std::vector<uint32_t> GenNormal(size_t n, double mean, double stddev,
+                                uint64_t seed);
+
+// D3: Zipfian distribution over `universe` distinct values with exponent
+// `alpha` (1 = least skewed, 5 = most skewed). Resembles dictionary codes of
+// a text corpus.
+std::vector<uint32_t> GenZipf(size_t n, uint64_t universe, double alpha,
+                              uint64_t seed);
+
+// Runs of equal values whose lengths are uniform in [1, 2*avg_run_length-1];
+// values are uniform in [0, 2^value_bits).
+std::vector<uint32_t> GenRuns(size_t n, uint32_t avg_run_length,
+                              uint32_t value_bits, uint64_t seed);
+
+// Strictly increasing array (sorted, all values unique): 0..n-1 with random
+// positive gaps bounded by `max_gap`.
+std::vector<uint32_t> GenSortedGaps(size_t n, uint32_t max_gap, uint64_t seed);
+
+}  // namespace tilecomp
+
+#endif  // TILECOMP_COMMON_RANDOM_H_

@@ -1,0 +1,61 @@
+// A minimal work-stealing-free thread pool with a ParallelFor convenience.
+// Used by the simulator to execute thread blocks and by the host-side
+// encoders (the paper compresses on a 6-core CPU host, Section 8).
+#ifndef TILECOMP_COMMON_THREAD_POOL_H_
+#define TILECOMP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tilecomp {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  TILECOMP_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueue a task; tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Block until all submitted tasks have completed.
+  void Wait();
+
+  // Run body(i) for i in [0, count) across the pool, chunked; blocks until
+  // done. body must be safe to call concurrently for distinct i.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  // Chunked variant: body(begin, end) on contiguous ranges.
+  void ParallelForRange(
+      size_t count, const std::function<void(size_t, size_t)>& body);
+
+  // Process-wide default pool (sized to hardware concurrency).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tilecomp
+
+#endif  // TILECOMP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,81 @@
+// Dense group-by aggregation buffer in simulated global memory. SSB group-by
+// spaces are small and dense (year x brand, year x nation, ...), so Crystal
+// aggregates with atomic adds into a dense array; the array is L2-resident.
+#ifndef TILECOMP_CRYSTAL_AGGREGATOR_H_
+#define TILECOMP_CRYSTAL_AGGREGATOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "sim/block_context.h"
+
+namespace tilecomp::crystal {
+
+class GroupAccumulator {
+ public:
+  explicit GroupAccumulator(uint32_t dim0, uint32_t dim1 = 1,
+                            uint32_t dim2 = 1)
+      : dim0_(dim0), dim1_(dim1), dim2_(dim2) {
+    const size_t total =
+        static_cast<size_t>(dim0) * dim1 * dim2;
+    TILECOMP_CHECK(total > 0 && total <= (1u << 24));
+    cells_ = std::make_unique<std::atomic<int64_t>[]>(total);
+    for (size_t i = 0; i < total; ++i) {
+      cells_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Atomic add into group (k0, k1, k2). Functional only; use AggCost for
+  // the per-tile accounting.
+  void Add(uint32_t k0, uint32_t k1, uint32_t k2, int64_t value) {
+    TILECOMP_DCHECK(k0 < dim0_ && k1 < dim1_ && k2 < dim2_);
+    const size_t idx =
+        (static_cast<size_t>(k0) * dim1_ + k1) * dim2_ + k2;
+    cells_[idx].fetch_add(value, std::memory_order_relaxed);
+  }
+  void Add(uint32_t k0, int64_t value) { Add(k0, 0, 0, value); }
+
+  // Cost of `count` atomic aggregate updates issued by one thread block:
+  // L2-resident atomics — instruction issue + ALU, no HBM bytes.
+  static void AggCost(sim::BlockContext& ctx, uint32_t count) {
+    ctx.stats().warp_global_accesses += CeilDiv<uint32_t>(count, 32);
+    ctx.Compute(static_cast<uint64_t>(count) * 4);
+  }
+
+  // Host-side extraction of non-empty groups.
+  std::map<std::array<uint32_t, 3>, int64_t> NonZeroGroups() const {
+    std::map<std::array<uint32_t, 3>, int64_t> out;
+    for (uint32_t a = 0; a < dim0_; ++a) {
+      for (uint32_t b = 0; b < dim1_; ++b) {
+        for (uint32_t c = 0; c < dim2_; ++c) {
+          const size_t idx = (static_cast<size_t>(a) * dim1_ + b) * dim2_ + c;
+          const int64_t v = cells_[idx].load(std::memory_order_relaxed);
+          if (v != 0) out[{a, b, c}] = v;
+        }
+      }
+    }
+    return out;
+  }
+
+  int64_t Total() const {
+    int64_t total = 0;
+    const size_t n = static_cast<size_t>(dim0_) * dim1_ * dim2_;
+    for (size_t i = 0; i < n; ++i) {
+      total += cells_[i].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  uint32_t dim0_, dim1_, dim2_;
+  std::unique_ptr<std::atomic<int64_t>[]> cells_;
+};
+
+}  // namespace tilecomp::crystal
+
+#endif  // TILECOMP_CRYSTAL_AGGREGATOR_H_

@@ -1,0 +1,77 @@
+#include "crystal/hash_table.h"
+
+#include <algorithm>
+
+namespace tilecomp::crystal {
+
+HashTable::HashTable(uint32_t expected_keys) {
+  uint32_t cap = 64;
+  while (cap < 2 * std::max(expected_keys, 1u)) cap <<= 1;
+  capacity_ = cap;
+  slots_ = std::make_unique<std::atomic<uint64_t>[]>(capacity_);
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void HashTable::BuildOnDevice(sim::Device& dev,
+                              const std::vector<uint32_t>& keys,
+                              const std::vector<uint32_t>& payloads,
+                              const std::function<bool(uint32_t)>& filter) {
+  TILECOMP_CHECK(keys.size() == payloads.size());
+  const uint32_t n = static_cast<uint32_t>(keys.size());
+  std::atomic<uint32_t> inserted{0};
+
+  sim::LaunchConfig lc;
+  lc.block_threads = 128;
+  lc.grid_dim = std::max<int64_t>(1, CeilDiv<int64_t>(n, 512));
+  lc.regs_per_thread = 24;
+  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    const uint32_t begin =
+        static_cast<uint32_t>(ctx.block_id()) * 512;
+    const uint32_t end = std::min(begin + 512, n);
+    if (begin >= end) return;
+    // Read the key and payload columns coalesced.
+    ctx.CoalescedRead(static_cast<uint64_t>(end - begin) * 8, true);
+    uint32_t local_inserted = 0;
+    for (uint32_t i = begin; i < end; ++i) {
+      if (!filter(i)) continue;
+      const uint32_t key = keys[i];
+      TILECOMP_DCHECK(key != 0);
+      uint64_t entry =
+          (static_cast<uint64_t>(key) << 32) | payloads[i];
+      uint32_t slot = Slot(key);
+      for (;;) {
+        uint64_t expected = 0;
+        if (slots_[slot].compare_exchange_strong(expected, entry,
+                                                 std::memory_order_relaxed)) {
+          ++local_inserted;
+          break;
+        }
+        if ((expected >> 32) == key) break;  // duplicate key: keep first
+        slot = (slot + 1) & (capacity_ - 1);
+      }
+    }
+    // Insert cost: scattered writes into the (L2-resident) table.
+    ctx.stats().warp_global_accesses +=
+        CeilDiv<uint32_t>(end - begin, 32) * 2;
+    ctx.Compute(static_cast<uint64_t>(end - begin) * 8);
+    inserted.fetch_add(local_inserted, std::memory_order_relaxed);
+  });
+  entries_ += inserted.load();
+}
+
+bool HashTable::Probe(uint32_t key, uint32_t* payload) const {
+  uint32_t slot = Slot(key);
+  for (;;) {
+    const uint64_t entry = slots_[slot].load(std::memory_order_relaxed);
+    if (entry == 0) return false;
+    if ((entry >> 32) == key) {
+      *payload = static_cast<uint32_t>(entry);
+      return true;
+    }
+    slot = (slot + 1) & (capacity_ - 1);
+  }
+}
+
+}  // namespace tilecomp::crystal

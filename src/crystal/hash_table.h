@@ -1,0 +1,64 @@
+// Open-addressing hash table in simulated global memory, used by the SSB
+// query kernels for dimension joins (Section 9.4). Dimension tables are
+// small, so probe traffic is L2-resident: probes cost instruction issue and
+// latency, not HBM bandwidth.
+#ifndef TILECOMP_CRYSTAL_HASH_TABLE_H_
+#define TILECOMP_CRYSTAL_HASH_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "sim/device.h"
+
+namespace tilecomp::crystal {
+
+class HashTable {
+ public:
+  // Capacity is rounded up to a power of two >= 2 * expected_keys.
+  explicit HashTable(uint32_t expected_keys);
+
+  // Build the table on the device: one kernel over the dimension table,
+  // inserting key -> payload for every row that passes `filter`. Keys must
+  // be nonzero and unique (primary keys).
+  void BuildOnDevice(sim::Device& dev, const std::vector<uint32_t>& keys,
+                     const std::vector<uint32_t>& payloads,
+                     const std::function<bool(uint32_t row)>& filter);
+
+  // Functional probe (device-function side). Returns true and sets *payload
+  // if present. Accounting is done by the caller via ProbeCost().
+  bool Probe(uint32_t key, uint32_t* payload) const;
+
+  // Account the cost of `count` probes issued by one thread block: the
+  // table is L2-resident, so probes cost warp instructions + ALU, not HBM
+  // bytes.
+  static void ProbeCost(sim::BlockContext& ctx, uint32_t count) {
+    ctx.stats().warp_global_accesses += CeilDiv<uint32_t>(count, 32) * 2;
+    ctx.Compute(static_cast<uint64_t>(count) * 6);
+  }
+
+  uint32_t capacity() const { return capacity_; }
+  uint64_t bytes() const { return static_cast<uint64_t>(capacity_) * 8; }
+  uint32_t entries() const { return entries_; }
+
+ private:
+  uint32_t Slot(uint32_t key) const {
+    // Multiplicative (Fibonacci) hashing.
+    return static_cast<uint32_t>(
+               (static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> 32) &
+           (capacity_ - 1);
+  }
+
+  uint32_t capacity_ = 0;
+  uint32_t entries_ = 0;
+  // Slot = key << 32 | payload; key 0 means empty.
+  std::unique_ptr<std::atomic<uint64_t>[]> slots_;
+};
+
+}  // namespace tilecomp::crystal
+
+#endif  // TILECOMP_CRYSTAL_HASH_TABLE_H_

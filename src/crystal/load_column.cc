@@ -1,0 +1,79 @@
+#include "crystal/load_column.h"
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+
+namespace tilecomp::crystal {
+
+int64_t NumTiles(uint32_t count) {
+  return CeilDiv<int64_t>(count, kTileSize);
+}
+
+uint32_t LoadColumnTile(sim::BlockContext& ctx,
+                        const codec::CompressedColumn& column,
+                        int64_t tile_id, uint32_t* out_tile) {
+  switch (column.scheme()) {
+    case codec::Scheme::kNone: {
+      const auto& raw = *column.raw();
+      return kernels::BlockLoadRaw(ctx, raw.data(),
+                                   static_cast<uint32_t>(raw.size()), tile_id,
+                                   kTileSize, out_tile);
+    }
+    case codec::Scheme::kGpuFor: {
+      kernels::UnpackConfig cfg;  // D = 4 -> 512-value tile
+      TILECOMP_DCHECK(column.gpu_for()->header.block_size *
+                          static_cast<uint32_t>(cfg.effective_d()) ==
+                      kTileSize);
+      return kernels::LoadBitPack(ctx, *column.gpu_for(), tile_id, cfg,
+                                  out_tile);
+    }
+    case codec::Scheme::kGpuDFor: {
+      TILECOMP_DCHECK(column.gpu_dfor()->header.values_per_tile() ==
+                      kTileSize);
+      return kernels::LoadDBitPack(ctx, *column.gpu_dfor(), tile_id,
+                                   out_tile);
+    }
+    case codec::Scheme::kGpuRFor: {
+      TILECOMP_DCHECK(column.gpu_rfor()->header.block_size == kTileSize);
+      return kernels::LoadRBitPack(ctx, *column.gpu_rfor(), tile_id,
+                                   out_tile);
+    }
+    case codec::Scheme::kGpuBp: {
+      // GPU-BP blocks are 128 values with no multi-block staging: four
+      // independent single-block loads per tile.
+      kernels::UnpackConfig cfg;
+      cfg.d = 1;
+      cfg.opt = kernels::UnpackOpt::kSharedMemory;
+      uint32_t total = 0;
+      for (int64_t b = 0; b < 4; ++b) {
+        total += kernels::LoadBitPack(ctx, *column.gpu_for(), tile_id * 4 + b,
+                                      cfg, out_tile + b * 128);
+      }
+      return total;
+    }
+    default:
+      TILECOMP_CHECK_MSG(false,
+                         "scheme cannot be decoded inline with a query");
+  }
+  return 0;
+}
+
+int ColumnSmemBytes(const codec::CompressedColumn& column) {
+  switch (column.scheme()) {
+    case codec::Scheme::kNone:
+      return 0;  // BlockLoad goes straight to registers
+    case codec::Scheme::kGpuFor:
+    case codec::Scheme::kGpuBp: {
+      kernels::UnpackConfig cfg;
+      return kernels::GpuForSmemBytes(*column.gpu_for(), cfg);
+    }
+    case codec::Scheme::kGpuDFor:
+      return kernels::GpuDForSmemBytes(*column.gpu_dfor());
+    case codec::Scheme::kGpuRFor:
+      return kernels::GpuRForSmemBytes(*column.gpu_rfor());
+    default:
+      return 0;
+  }
+}
+
+}  // namespace tilecomp::crystal

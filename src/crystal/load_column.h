@@ -1,0 +1,40 @@
+// Crystal integration (Section 7): tile loading for query kernels.
+//
+// A query kernel processes one 512-value tile of the fact table per thread
+// block. LoadColumnTile is the single entry point a kernel uses to
+// materialize a column's tile into "registers" — for an uncompressed column
+// it is Crystal's BlockLoad; for a compressed column it dispatches to the
+// LoadBitPack / LoadDBitPack / LoadRBitPack device functions. Swapping a
+// query from uncompressed to compressed data is exactly this one call —
+// the paper's single-line-of-code integration.
+#ifndef TILECOMP_CRYSTAL_LOAD_COLUMN_H_
+#define TILECOMP_CRYSTAL_LOAD_COLUMN_H_
+
+#include <cstdint>
+
+#include "codec/column.h"
+#include "kernels/load_tile.h"
+#include "sim/block_context.h"
+
+namespace tilecomp::crystal {
+
+// Values per tile: 4 GPU-FOR blocks = 1 GPU-DFOR tile = 1 GPU-RFOR block.
+inline constexpr uint32_t kTileSize = 512;
+
+// Number of tiles needed to cover a column of `count` values.
+int64_t NumTiles(uint32_t count);
+
+// Load tile `tile_id` of `column` into out_tile[kTileSize]; returns the
+// number of valid values. Supports kNone, kGpuFor, kGpuDFor, kGpuRFor and
+// kGpuBp columns (the schemes that can be decoded inline with a query).
+uint32_t LoadColumnTile(sim::BlockContext& ctx,
+                        const codec::CompressedColumn& column,
+                        int64_t tile_id, uint32_t* out_tile);
+
+// Estimated shared-memory footprint one tile-load of `column` contributes
+// to a query kernel's launch config.
+int ColumnSmemBytes(const codec::CompressedColumn& column);
+
+}  // namespace tilecomp::crystal
+
+#endif  // TILECOMP_CRYSTAL_LOAD_COLUMN_H_

@@ -1,0 +1,104 @@
+// Crystal-style block-wide primitives (Shanbhag et al. [40]): the building
+// blocks analytic query kernels compose over a tile held in "registers".
+// Each primitive runs the whole thread block's work functionally and
+// accounts the ALU/shared-memory cost the real device function would incur.
+//
+// Flags follow Crystal's convention: a 0/1 byte per tile slot, combined
+// conjunctively by successive predicates.
+#ifndef TILECOMP_CRYSTAL_PRIMITIVES_H_
+#define TILECOMP_CRYSTAL_PRIMITIVES_H_
+
+#include <cstdint>
+
+#include "sim/block_context.h"
+
+namespace tilecomp::crystal {
+
+// --- Predicates (BlockPred*) ---
+
+// flags[i] = (items[i] OP value) for i in [0, n). One ALU op per item.
+inline void BlockPredEq(sim::BlockContext& ctx, const uint32_t* items,
+                        uint32_t n, uint32_t value, uint8_t* flags) {
+  for (uint32_t i = 0; i < n; ++i) flags[i] = items[i] == value;
+  ctx.Compute(n);
+}
+
+inline void BlockPredLt(sim::BlockContext& ctx, const uint32_t* items,
+                        uint32_t n, uint32_t value, uint8_t* flags) {
+  for (uint32_t i = 0; i < n; ++i) flags[i] = items[i] < value;
+  ctx.Compute(n);
+}
+
+inline void BlockPredBetween(sim::BlockContext& ctx, const uint32_t* items,
+                             uint32_t n, uint32_t lo, uint32_t hi,
+                             uint8_t* flags) {
+  for (uint32_t i = 0; i < n; ++i) {
+    flags[i] = items[i] >= lo && items[i] <= hi;
+  }
+  ctx.Compute(2ull * n);
+}
+
+// flags[i] &= (items[i] OP ...): the And variants chain predicates.
+inline void BlockPredAndEq(sim::BlockContext& ctx, const uint32_t* items,
+                           uint32_t n, uint32_t value, uint8_t* flags) {
+  for (uint32_t i = 0; i < n; ++i) flags[i] &= items[i] == value;
+  ctx.Compute(n);
+}
+
+inline void BlockPredAndBetween(sim::BlockContext& ctx,
+                                const uint32_t* items, uint32_t n,
+                                uint32_t lo, uint32_t hi, uint8_t* flags) {
+  for (uint32_t i = 0; i < n; ++i) {
+    flags[i] &= items[i] >= lo && items[i] <= hi;
+  }
+  ctx.Compute(2ull * n);
+}
+
+// --- Reductions (BlockReduce / BlockSum) ---
+
+// Masked sum over the tile: per-thread partials + a log-depth shared-memory
+// tree (Crystal's BlockSum).
+inline uint64_t BlockSumMasked(sim::BlockContext& ctx, const uint32_t* items,
+                               const uint8_t* flags, uint32_t n) {
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (flags[i]) sum += items[i];
+  }
+  ctx.Compute(n);
+  ctx.Shared(static_cast<uint64_t>(ctx.block_threads()) * 8 * 2);
+  for (int i = 0; i < 8; ++i) ctx.Barrier();  // log2(256) tree levels
+  return sum;
+}
+
+// Count of set flags.
+inline uint32_t BlockCount(sim::BlockContext& ctx, const uint8_t* flags,
+                           uint32_t n) {
+  uint32_t count = 0;
+  for (uint32_t i = 0; i < n; ++i) count += flags[i];
+  ctx.Compute(n);
+  ctx.Shared(static_cast<uint64_t>(ctx.block_threads()) * 4 * 2);
+  for (int i = 0; i < 8; ++i) ctx.Barrier();
+  return count;
+}
+
+// --- Compaction (BlockShuffle) ---
+
+// Gather the flagged items contiguously into `out`; returns how many.
+// A shared-memory prefix sum over the flags produces the write offsets.
+inline uint32_t BlockCompact(sim::BlockContext& ctx, const uint32_t* items,
+                             const uint8_t* flags, uint32_t n,
+                             uint32_t* out) {
+  uint32_t pos = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (flags[i]) out[pos++] = items[i];
+  }
+  // Offsets via block scan + one shared round trip per surviving item.
+  ctx.Shared(2ull * n * 12);
+  ctx.Compute(2ull * n);
+  for (int i = 0; i < 20; ++i) ctx.Barrier();
+  return pos;
+}
+
+}  // namespace tilecomp::crystal
+
+#endif  // TILECOMP_CRYSTAL_PRIMITIVES_H_

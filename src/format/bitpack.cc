@@ -1,0 +1,32 @@
+#include "format/bitpack.h"
+
+namespace tilecomp::format {
+
+size_t PackArray(const uint32_t* values, size_t count, uint32_t bits,
+                 std::vector<uint32_t>* out) {
+  const size_t before = out->size();
+  BitWriter writer(out);
+  for (size_t i = 0; i < count; ++i) {
+    writer.Append(values[i] & LowMask(bits), bits);
+  }
+  writer.AlignToWord();
+  return out->size() - before;
+}
+
+void UnpackArray(const uint32_t* words, size_t count, uint32_t bits,
+                 uint32_t* out) {
+  if (bits == 0) {
+    for (size_t i = 0; i < count; ++i) out[i] = 0;
+    return;
+  }
+  uint64_t bit_index = 0;
+  for (size_t i = 0; i < count; ++i) {
+    // Guard the two-word window at the stream tail: when the entry ends
+    // exactly on the final word boundary the second word is never needed,
+    // so read it only when the entry actually straddles words.
+    out[i] = UnpackBits(words, bit_index, bits);
+    bit_index += bits;
+  }
+}
+
+}  // namespace tilecomp::format

@@ -1,0 +1,83 @@
+// Horizontal-layout bit-packing primitives (Section 4.1).
+//
+// Values are written as consecutive b-bit strings concatenated into a stream
+// of 32-bit words, ignoring byte boundaries. Extraction uses the 8-byte-load
+// technique of Algorithm 1: an entry at an arbitrary bit offset always fits
+// in the 64-bit window formed by two adjacent words.
+#ifndef TILECOMP_FORMAT_BITPACK_H_
+#define TILECOMP_FORMAT_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+
+namespace tilecomp::format {
+
+// Appends bit-packed values to a word stream.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint32_t>* out) : out_(out) {
+    TILECOMP_CHECK(out != nullptr);
+  }
+
+  // Append the low `bits` bits of `value`. bits in [0, 32]; with bits == 0
+  // nothing is written (value must be 0).
+  void Append(uint32_t value, uint32_t bits) {
+    TILECOMP_DCHECK(bits <= 32);
+    TILECOMP_DCHECK((value & ~LowMask(bits)) == 0);
+    if (bits == 0) return;
+    if (bit_pos_ == 0) out_->push_back(0);
+    uint32_t word_bits = 32 - bit_pos_;
+    if (bits <= word_bits) {
+      out_->back() |= value << bit_pos_;
+      bit_pos_ = (bit_pos_ + bits) & 31;
+    } else {
+      out_->back() |= value << bit_pos_;
+      out_->push_back(value >> word_bits);
+      bit_pos_ = bits - word_bits;
+    }
+  }
+
+  // Pad to the next 32-bit boundary.
+  void AlignToWord() { bit_pos_ = 0; }
+
+  uint32_t bit_pos() const { return bit_pos_; }
+
+ private:
+  std::vector<uint32_t>* out_;
+  uint32_t bit_pos_ = 0;  // write position within the current word
+};
+
+// Extract the `bits`-bit value starting at absolute bit offset `bit_index`
+// in `words`. Requires words[] to have one extra readable word past the last
+// entry's final word when the entry ends exactly at a word boundary; the
+// encoders below always emit formats where this holds (miniblocks end on
+// word boundaries), and the helper guards the tail read.
+inline uint32_t UnpackBits(const uint32_t* words, uint64_t bit_index,
+                           uint32_t bits) {
+  if (bits == 0) return 0;
+  const uint64_t word_index = bit_index >> 5;
+  const uint32_t bit_in_word = static_cast<uint32_t>(bit_index & 31);
+  // 8-byte window: entry never spans more than two 32-bit words (bits<=32).
+  uint64_t window = words[word_index];
+  if (bit_in_word + bits > 32) {
+    window |= static_cast<uint64_t>(words[word_index + 1]) << 32;
+  }
+  return static_cast<uint32_t>((window >> bit_in_word) & LowMask64(bits));
+}
+
+// Pack `count` values with a fixed bit width; output is word-aligned at the
+// end. Returns number of words appended.
+size_t PackArray(const uint32_t* values, size_t count, uint32_t bits,
+                 std::vector<uint32_t>* out);
+
+// Unpack `count` fixed-width values starting at out_words[0] bit 0.
+void UnpackArray(const uint32_t* words, size_t count, uint32_t bits,
+                 uint32_t* out);
+
+}  // namespace tilecomp::format
+
+#endif  // TILECOMP_FORMAT_BITPACK_H_

@@ -1,0 +1,158 @@
+#include "format/gpudfor.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "format/bitpack.h"
+
+namespace tilecomp::format {
+
+namespace {
+
+void ValidateOptions(const GpuDForOptions& options) {
+  TILECOMP_CHECK(options.block_size > 0);
+  TILECOMP_CHECK(options.miniblock_count == 1 ||
+                 options.miniblock_count == 2 ||
+                 options.miniblock_count == 4);
+  TILECOMP_CHECK(options.block_size % options.miniblock_count == 0);
+  TILECOMP_CHECK((options.block_size / options.miniblock_count) % 32 == 0);
+  TILECOMP_CHECK(options.blocks_per_tile >= 1);
+}
+
+}  // namespace
+
+GpuDForEncoded GpuDForEncode(const uint32_t* values, size_t count,
+                             const GpuDForOptions& options) {
+  ValidateOptions(options);
+  TILECOMP_CHECK(count <= 0xFFFFFFFFull);
+
+  GpuDForEncoded encoded;
+  encoded.header.total_count = static_cast<uint32_t>(count);
+  encoded.header.block_size = options.block_size;
+  encoded.header.miniblock_count = options.miniblock_count;
+  encoded.header.blocks_per_tile = options.blocks_per_tile;
+
+  const GpuDForHeader& h = encoded.header;
+  const uint32_t block_size = h.block_size;
+  const uint32_t mb_count = h.miniblock_count;
+  const uint32_t mb_values = block_size / mb_count;
+  const uint32_t num_tiles = h.num_tiles();
+  const uint32_t vpt = h.values_per_tile();
+
+  std::vector<uint32_t> deltas(vpt);
+
+  for (uint32_t t = 0; t < num_tiles; ++t) {
+    const size_t tile_begin = static_cast<size_t>(t) * vpt;
+    const size_t tile_len = std::min<size_t>(vpt, count - tile_begin);
+
+    const uint32_t first_value = values[tile_begin];
+    encoded.first_values.push_back(first_value);
+    encoded.data.push_back(first_value);
+
+    // Wrapping deltas within the tile; the first delta of a tile and any
+    // padding past total_count are 0 (Section 5.1: "we pad the deltas with
+    // 0 to ensure every block has 128 entries").
+    deltas[0] = 0;
+    for (size_t i = 1; i < tile_len; ++i) {
+      deltas[i] = values[tile_begin + i] - values[tile_begin + i - 1];
+    }
+    for (size_t i = tile_len; i < vpt; ++i) deltas[i] = 0;
+
+    // GPU-FOR encode each block of deltas with a signed reference.
+    for (uint32_t b = 0; b < h.blocks_per_tile; ++b) {
+      encoded.block_starts.push_back(
+          static_cast<uint32_t>(encoded.data.size()));
+      const uint32_t* dblock = deltas.data() + b * block_size;
+
+      int32_t reference = static_cast<int32_t>(dblock[0]);
+      for (uint32_t i = 1; i < block_size; ++i) {
+        reference = std::min(reference, static_cast<int32_t>(dblock[i]));
+      }
+
+      uint32_t bitwidth_word = 0;
+      uint32_t widths[4] = {0, 0, 0, 0};
+      std::vector<uint32_t> offsets(block_size);
+      for (uint32_t i = 0; i < block_size; ++i) {
+        // Wrap-safe: the true difference fits in 32 bits because both values
+        // are int32 and reference is the minimum.
+        offsets[i] = dblock[i] - static_cast<uint32_t>(reference);
+      }
+      for (uint32_t m = 0; m < mb_count; ++m) {
+        uint32_t max_off = 0;
+        for (uint32_t i = 0; i < mb_values; ++i) {
+          max_off = std::max(max_off, offsets[m * mb_values + i]);
+        }
+        widths[m] = BitsNeeded(max_off);
+        bitwidth_word |= widths[m] << (8 * m);
+      }
+
+      encoded.data.push_back(static_cast<uint32_t>(reference));
+      encoded.data.push_back(bitwidth_word);
+      for (uint32_t m = 0; m < mb_count; ++m) {
+        PackArray(offsets.data() + m * mb_values, mb_values, widths[m],
+                  &encoded.data);
+      }
+    }
+  }
+  encoded.block_starts.push_back(static_cast<uint32_t>(encoded.data.size()));
+  return encoded;
+}
+
+void GpuDForDecodeTile(const GpuDForHeader& header,
+                       const GpuDForEncoded& encoded, uint32_t tile,
+                       uint32_t* out) {
+  const uint32_t block_size = header.block_size;
+  const uint32_t mb_count = header.miniblock_count;
+  const uint32_t mb_values = block_size / mb_count;
+  const uint32_t vpt = header.values_per_tile();
+  const uint32_t first_block = tile * header.blocks_per_tile;
+  const uint32_t num_blocks = header.num_blocks();
+
+  // Unpack deltas for every block of the tile.
+  for (uint32_t b = 0; b < header.blocks_per_tile; ++b) {
+    uint32_t* dst = out + b * block_size;
+    const uint32_t block = first_block + b;
+    if (block >= num_blocks) {
+      std::fill(dst, dst + block_size, 0u);
+      continue;
+    }
+    const uint32_t* block_data =
+        encoded.data.data() + encoded.block_starts[block];
+    const uint32_t reference = block_data[0];
+    uint32_t bitwidth_word = block_data[1];
+    const uint32_t* packed = block_data + 2;
+    for (uint32_t m = 0; m < mb_count; ++m) {
+      const uint32_t bits = bitwidth_word & 0xFF;
+      bitwidth_word >>= 8;
+      uint64_t bit_index = 0;
+      for (uint32_t i = 0; i < mb_values; ++i) {
+        dst[m * mb_values + i] =
+            reference + UnpackBits(packed, bit_index, bits);
+        bit_index += bits;
+      }
+      packed += (static_cast<uint64_t>(bits) * mb_values) / 32;
+    }
+  }
+
+  // Prefix-sum the deltas starting from the tile's first value (the first
+  // delta is the 0 pad, so out[0] becomes first_value).
+  uint32_t acc = encoded.first_values[tile];
+  for (uint32_t i = 0; i < vpt; ++i) {
+    acc += out[i];
+    out[i] = acc;
+  }
+}
+
+std::vector<uint32_t> GpuDForDecodeHost(const GpuDForEncoded& encoded) {
+  const GpuDForHeader& h = encoded.header;
+  const uint32_t num_tiles = h.num_tiles();
+  const uint32_t vpt = h.values_per_tile();
+  std::vector<uint32_t> out(static_cast<size_t>(num_tiles) * vpt);
+  for (uint32_t t = 0; t < num_tiles; ++t) {
+    GpuDForDecodeTile(h, encoded, t, out.data() + static_cast<size_t>(t) * vpt);
+  }
+  out.resize(h.total_count);
+  return out;
+}
+
+}  // namespace tilecomp::format

@@ -1,0 +1,94 @@
+// GPU-DFOR: delta encoding + frame-of-reference + bit-packing (Section 5,
+// Figure 6).
+//
+// The array is partitioned into *tiles* of D blocks x 128 values. Each tile
+// is delta-encoded independently so tiles decode in parallel: the tile's
+// first value is stored verbatim before its first block ("First Value" in
+// Figure 6) and every entry of the tile becomes a delta against its
+// predecessor (the first delta of a tile is 0-padded). Deltas are then
+// GPU-FOR encoded per block of 128 with a per-block *signed* reference.
+//
+// Arithmetic is modular (mod 2^32): deltas are computed and re-applied with
+// wrapping 32-bit adds, so any uint32 input round-trips exactly, including
+// unsorted data with negative deltas. The per-block FOR reference is the
+// minimum delta interpreted as int32; offsets from it always fit in 32 bits.
+//
+// Overhead: GPU-FOR's 0.75 bits/int + 1 first-value word per D=4 blocks
+// = 0.81 bits per int (Section 9.2).
+#ifndef TILECOMP_FORMAT_GPUDFOR_H_
+#define TILECOMP_FORMAT_GPUDFOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tilecomp::format {
+
+struct GpuDForHeader {
+  uint32_t total_count = 0;
+  uint32_t block_size = 128;
+  uint32_t miniblock_count = 4;
+  // Blocks per tile (the D of Section 4.2); each tile is an independent
+  // delta-decoding unit handled by one thread block.
+  uint32_t blocks_per_tile = 4;
+
+  uint32_t values_per_miniblock() const {
+    return block_size / miniblock_count;
+  }
+  uint32_t values_per_tile() const { return block_size * blocks_per_tile; }
+  uint32_t num_blocks() const {
+    return block_size == 0 ? 0 : (total_count + block_size - 1) / block_size;
+  }
+  uint32_t num_tiles() const {
+    uint32_t vpt = values_per_tile();
+    return vpt == 0 ? 0 : (total_count + vpt - 1) / vpt;
+  }
+};
+
+struct GpuDForEncoded {
+  GpuDForHeader header;
+  // Word offset of each *block* (num_blocks + 1 entries). The first block of
+  // every tile is preceded by the tile's first-value word, which the block
+  // start already skips; see `first_values`.
+  std::vector<uint32_t> block_starts;
+  // First value of each tile, stored in the data stream before the tile's
+  // first block (kept mirrored here for O(1) host access).
+  std::vector<uint32_t> first_values;
+  std::vector<uint32_t> data;
+
+  uint64_t compressed_bytes() const {
+    // first_values live inside `data`; don't double count the mirror.
+    return sizeof(GpuDForHeader) + block_starts.size() * 4 + data.size() * 4;
+  }
+  double bits_per_int() const {
+    return header.total_count == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) /
+                     header.total_count;
+  }
+};
+
+struct GpuDForOptions {
+  uint32_t block_size = 128;
+  uint32_t miniblock_count = 4;
+  uint32_t blocks_per_tile = 4;
+};
+
+GpuDForEncoded GpuDForEncode(const uint32_t* values, size_t count,
+                             const GpuDForOptions& options = GpuDForOptions());
+
+// Reference host decoder.
+std::vector<uint32_t> GpuDForDecodeHost(const GpuDForEncoded& encoded);
+
+// Decode one tile's deltas+prefix-sum into `out` (values_per_tile entries,
+// padding included). `tile_first_word` points at the tile's first-value word
+// in the data stream.
+void GpuDForDecodeTile(const GpuDForHeader& header,
+                       const GpuDForEncoded& encoded, uint32_t tile,
+                       uint32_t* out);
+
+}  // namespace tilecomp::format
+
+#endif  // TILECOMP_FORMAT_GPUDFOR_H_

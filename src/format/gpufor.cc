@@ -1,0 +1,117 @@
+#include "format/gpufor.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "format/bitpack.h"
+
+namespace tilecomp::format {
+
+namespace {
+
+// Validate option combinations supported by the decoder's 32-bit-boundary
+// invariant: each miniblock must hold a multiple of 32 values.
+void ValidateOptions(const GpuForOptions& options) {
+  TILECOMP_CHECK(options.block_size > 0);
+  TILECOMP_CHECK(options.miniblock_count == 1 ||
+                 options.miniblock_count == 2 ||
+                 options.miniblock_count == 4);
+  TILECOMP_CHECK(options.block_size % options.miniblock_count == 0);
+  TILECOMP_CHECK((options.block_size / options.miniblock_count) % 32 == 0);
+}
+
+}  // namespace
+
+GpuForEncoded GpuForEncode(const uint32_t* values, size_t count,
+                           const GpuForOptions& options) {
+  ValidateOptions(options);
+  TILECOMP_CHECK(count <= 0xFFFFFFFFull);
+
+  GpuForEncoded encoded;
+  encoded.header.total_count = static_cast<uint32_t>(count);
+  encoded.header.block_size = options.block_size;
+  encoded.header.miniblock_count = options.miniblock_count;
+
+  const uint32_t block_size = options.block_size;
+  const uint32_t mb_count = options.miniblock_count;
+  const uint32_t mb_values = block_size / mb_count;
+  const uint32_t num_blocks = encoded.header.num_blocks();
+
+  encoded.block_starts.reserve(num_blocks + 1);
+  std::vector<uint32_t> padded(block_size);
+
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    encoded.block_starts.push_back(static_cast<uint32_t>(encoded.data.size()));
+
+    const size_t begin = static_cast<size_t>(b) * block_size;
+    const size_t len = std::min<size_t>(block_size, count - begin);
+
+    // Reference = block minimum (Section 4.1), or 0 for the GPU-BP variant.
+    uint32_t reference = options.zero_reference ? 0u : values[begin];
+    if (!options.zero_reference) {
+      for (size_t i = 1; i < len; ++i) {
+        reference = std::min(reference, values[begin + i]);
+      }
+    }
+    // Offsets from the reference; pad the trailing partial block with the
+    // reference itself (offset 0).
+    for (size_t i = 0; i < len; ++i) padded[i] = values[begin + i] - reference;
+    for (size_t i = len; i < block_size; ++i) padded[i] = 0;
+
+    // Per-miniblock bit widths.
+    uint32_t bitwidth_word = 0;
+    uint32_t widths[4] = {0, 0, 0, 0};
+    for (uint32_t m = 0; m < mb_count; ++m) {
+      uint32_t max_off = 0;
+      for (uint32_t i = 0; i < mb_values; ++i) {
+        max_off = std::max(max_off, padded[m * mb_values + i]);
+      }
+      widths[m] = BitsNeeded(max_off);
+      bitwidth_word |= widths[m] << (8 * m);
+    }
+
+    encoded.data.push_back(reference);
+    encoded.data.push_back(bitwidth_word);
+    for (uint32_t m = 0; m < mb_count; ++m) {
+      PackArray(padded.data() + m * mb_values, mb_values, widths[m],
+                &encoded.data);
+    }
+  }
+  encoded.block_starts.push_back(static_cast<uint32_t>(encoded.data.size()));
+  return encoded;
+}
+
+void GpuForDecodeBlock(const GpuForHeader& header, const uint32_t* block_data,
+                       uint32_t* out) {
+  const uint32_t mb_count = header.miniblock_count;
+  const uint32_t mb_values = header.block_size / mb_count;
+  const uint32_t reference = block_data[0];
+  uint32_t bitwidth_word = block_data[1];
+
+  const uint32_t* packed = block_data + 2;
+  for (uint32_t m = 0; m < mb_count; ++m) {
+    const uint32_t bits = bitwidth_word & 0xFF;
+    bitwidth_word >>= 8;
+    uint64_t bit_index = 0;
+    for (uint32_t i = 0; i < mb_values; ++i) {
+      out[m * mb_values + i] = reference + UnpackBits(packed, bit_index, bits);
+      bit_index += bits;
+    }
+    // Miniblocks hold multiples of 32 values, so each ends word-aligned.
+    packed += (static_cast<uint64_t>(bits) * mb_values) / 32;
+  }
+}
+
+std::vector<uint32_t> GpuForDecodeHost(const GpuForEncoded& encoded) {
+  const GpuForHeader& h = encoded.header;
+  const uint32_t num_blocks = h.num_blocks();
+  std::vector<uint32_t> out(static_cast<size_t>(num_blocks) * h.block_size);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    GpuForDecodeBlock(h, encoded.data.data() + encoded.block_starts[b],
+                      out.data() + static_cast<size_t>(b) * h.block_size);
+  }
+  out.resize(h.total_count);
+  return out;
+}
+
+}  // namespace tilecomp::format

@@ -1,0 +1,93 @@
+// GPU-FOR: frame-of-reference + bit-packing in the tile-granular format of
+// Section 4.1 (Figures 3 and 4).
+//
+// Values are partitioned into blocks of `block_size` (default 128) integers,
+// each block split into `miniblock_count` (default 4) miniblocks of 32
+// values. Per block the stream stores:
+//
+//   [reference : u32] [bitwidth word : u32 = 4 x u8] [packed miniblocks...]
+//
+// Each miniblock is packed with its own bit width (max bits over the
+// miniblock after subtracting the block reference), and because a miniblock
+// holds 32 values it always ends on a 32-bit word boundary for any width.
+// Block start offsets (in words) live in a separate `block_starts` array so
+// thousands of thread blocks can decode independently. Stream metadata
+// (total count, block size, miniblock count) forms the header.
+//
+// Overhead: 3 words per 128 values = 0.75 bits per int (Section 9.2).
+#ifndef TILECOMP_FORMAT_GPUFOR_H_
+#define TILECOMP_FORMAT_GPUFOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tilecomp::format {
+
+// Stream header (Figure 3: "total count / block size / miniblock count").
+struct GpuForHeader {
+  uint32_t total_count = 0;
+  uint32_t block_size = 128;
+  uint32_t miniblock_count = 4;
+
+  uint32_t values_per_miniblock() const {
+    return block_size / miniblock_count;
+  }
+  uint32_t num_blocks() const {
+    return block_size == 0 ? 0 : (total_count + block_size - 1) / block_size;
+  }
+};
+
+// An encoded GPU-FOR stream.
+struct GpuForEncoded {
+  GpuForHeader header;
+  // Word offset of each block within `data`; num_blocks + 1 entries so a
+  // thread block can read [start, end) with one extra lookup (Section 4.2,
+  // Optimization 1).
+  std::vector<uint32_t> block_starts;
+  // Concatenated encoded blocks.
+  std::vector<uint32_t> data;
+
+  // Total compressed footprint: header + block starts + data.
+  uint64_t compressed_bytes() const {
+    return sizeof(GpuForHeader) + block_starts.size() * 4 + data.size() * 4;
+  }
+  double bits_per_int() const {
+    return header.total_count == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) /
+                     header.total_count;
+  }
+};
+
+// Encoding options. The defaults reproduce the paper's format exactly.
+struct GpuForOptions {
+  uint32_t block_size = 128;
+  // Must divide block_size with a multiple-of-32 quotient; supported values
+  // are 1, 2 and 4 (1 gives the "bit-packing without miniblocks" variant of
+  // Section 4.3).
+  uint32_t miniblock_count = 4;
+  // Force reference = 0, i.e., plain bit-packing without frame-of-reference.
+  // Used to model GPU-BP (Mallia et al. [33]), which lacks FOR.
+  bool zero_reference = false;
+};
+
+// Encode `count` unsigned 32-bit values. Trailing partial blocks are padded
+// with the reference value (decodes to the reference; callers truncate by
+// total_count).
+GpuForEncoded GpuForEncode(const uint32_t* values, size_t count,
+                           const GpuForOptions& options = GpuForOptions());
+
+// Reference (host, scalar) decoder; returns exactly total_count values.
+std::vector<uint32_t> GpuForDecodeHost(const GpuForEncoded& encoded);
+
+// Decode a single block into `out` (holds block_size entries, padded region
+// included). Shared by the simulated device functions.
+void GpuForDecodeBlock(const GpuForHeader& header, const uint32_t* block_data,
+                       uint32_t* out);
+
+}  // namespace tilecomp::format
+
+#endif  // TILECOMP_FORMAT_GPUFOR_H_

@@ -1,0 +1,131 @@
+#include "format/gpurfor.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "format/bitpack.h"
+
+namespace tilecomp::format {
+
+GpuRForEncoded GpuRForEncode(const uint32_t* values, size_t count,
+                             const GpuRForOptions& options) {
+  TILECOMP_CHECK(options.block_size > 0);
+  TILECOMP_CHECK(count <= 0xFFFFFFFFull);
+
+  GpuRForEncoded encoded;
+  encoded.header.total_count = static_cast<uint32_t>(count);
+  encoded.header.block_size = options.block_size;
+  const uint32_t block_size = options.block_size;
+  const uint32_t num_blocks = encoded.header.num_blocks();
+
+  std::vector<uint32_t> run_values;
+  std::vector<uint32_t> run_lengths;
+  run_values.reserve(block_size);
+  run_lengths.reserve(block_size);
+
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = static_cast<size_t>(b) * block_size;
+    const size_t len = std::min<size_t>(block_size, count - begin);
+
+    // RLE within the block.
+    run_values.clear();
+    run_lengths.clear();
+    size_t i = 0;
+    while (i < len) {
+      const uint32_t v = values[begin + i];
+      size_t j = i + 1;
+      while (j < len && values[begin + j] == v) ++j;
+      run_values.push_back(v);
+      run_lengths.push_back(static_cast<uint32_t>(j - i));
+      i = j;
+    }
+    const uint32_t run_count = static_cast<uint32_t>(run_values.size());
+
+    // FOR + bit-pack the values array.
+    encoded.value_block_starts.push_back(
+        static_cast<uint32_t>(encoded.value_data.size()));
+    uint32_t vref = run_values[0];
+    for (uint32_t r = 1; r < run_count; ++r) {
+      vref = std::min(vref, run_values[r]);
+    }
+    uint32_t vmax = 0;
+    for (uint32_t r = 0; r < run_count; ++r) {
+      run_values[r] -= vref;
+      vmax = std::max(vmax, run_values[r]);
+    }
+    const uint32_t vbits = BitsNeeded(vmax);
+    encoded.value_data.push_back(run_count);
+    encoded.value_data.push_back(vref);
+    encoded.value_data.push_back(vbits);
+    PackArray(run_values.data(), run_count, vbits, &encoded.value_data);
+
+    // FOR + bit-pack the lengths array (lengths >= 1, so the reference is
+    // at least 1).
+    encoded.length_block_starts.push_back(
+        static_cast<uint32_t>(encoded.length_data.size()));
+    uint32_t lref = run_lengths[0];
+    for (uint32_t r = 1; r < run_count; ++r) {
+      lref = std::min(lref, run_lengths[r]);
+    }
+    uint32_t lmax = 0;
+    for (uint32_t r = 0; r < run_count; ++r) {
+      run_lengths[r] -= lref;
+      lmax = std::max(lmax, run_lengths[r]);
+    }
+    const uint32_t lbits = BitsNeeded(lmax);
+    encoded.length_data.push_back(lref);
+    encoded.length_data.push_back(lbits);
+    PackArray(run_lengths.data(), run_count, lbits, &encoded.length_data);
+  }
+  encoded.value_block_starts.push_back(
+      static_cast<uint32_t>(encoded.value_data.size()));
+  encoded.length_block_starts.push_back(
+      static_cast<uint32_t>(encoded.length_data.size()));
+  return encoded;
+}
+
+uint32_t GpuRForUnpackRuns(const GpuRForEncoded& encoded, uint32_t block,
+                           uint32_t* values, uint32_t* lengths) {
+  const uint32_t* vblock =
+      encoded.value_data.data() + encoded.value_block_starts[block];
+  const uint32_t run_count = vblock[0];
+  const uint32_t vref = vblock[1];
+  const uint32_t vbits = vblock[2];
+  UnpackArray(vblock + 3, run_count, vbits, values);
+  for (uint32_t r = 0; r < run_count; ++r) values[r] += vref;
+
+  const uint32_t* lblock =
+      encoded.length_data.data() + encoded.length_block_starts[block];
+  const uint32_t lref = lblock[0];
+  const uint32_t lbits = lblock[1];
+  UnpackArray(lblock + 2, run_count, lbits, lengths);
+  for (uint32_t r = 0; r < run_count; ++r) lengths[r] += lref;
+  return run_count;
+}
+
+uint32_t GpuRForDecodeBlock(const GpuRForEncoded& encoded, uint32_t block,
+                            uint32_t* out) {
+  const uint32_t block_size = encoded.header.block_size;
+  std::vector<uint32_t> values(block_size);
+  std::vector<uint32_t> lengths(block_size);
+  const uint32_t run_count = GpuRForUnpackRuns(encoded, block, values.data(),
+                                               lengths.data());
+  uint32_t pos = 0;
+  for (uint32_t r = 0; r < run_count; ++r) {
+    for (uint32_t k = 0; k < lengths[r]; ++k) out[pos++] = values[r];
+  }
+  return pos;
+}
+
+std::vector<uint32_t> GpuRForDecodeHost(const GpuRForEncoded& encoded) {
+  const GpuRForHeader& h = encoded.header;
+  std::vector<uint32_t> out(h.total_count);
+  uint32_t pos = 0;
+  for (uint32_t b = 0; b < h.num_blocks(); ++b) {
+    pos += GpuRForDecodeBlock(encoded, b, out.data() + pos);
+  }
+  TILECOMP_CHECK(pos == h.total_count);
+  return out;
+}
+
+}  // namespace tilecomp::format

@@ -1,0 +1,85 @@
+// GPU-RFOR: run-length encoding + frame-of-reference + bit-packing
+// (Section 6).
+//
+// The array is partitioned into logical blocks of `block_size` (default 512)
+// values. RLE is applied to each block independently (runs never cross block
+// boundaries), producing a values array and a run-lengths array per block.
+// FOR + bit-packing is applied on top of both arrays separately, and the two
+// compressed representations are stored as separate streams, each with its
+// own block-starts array. Each block additionally stores its run count
+// ("extra metadata of the run length/values count at the beginning of each
+// block").
+//
+// Per-block stream layout (both streams):
+//   values  stream: [run_count:u32][reference:u32][bits:u32][packed values]
+//   lengths stream: [reference:u32][bits:u32][packed lengths]
+//
+// Both packed sections are padded to a word boundary so blocks start
+// word-aligned. Because a block covers 512 values, metadata overhead is
+// lower than GPU-FOR's (Section 9.2: "slightly less than GPU-FOR").
+#ifndef TILECOMP_FORMAT_GPURFOR_H_
+#define TILECOMP_FORMAT_GPURFOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tilecomp::format {
+
+struct GpuRForHeader {
+  uint32_t total_count = 0;
+  uint32_t block_size = 512;
+
+  uint32_t num_blocks() const {
+    return block_size == 0 ? 0 : (total_count + block_size - 1) / block_size;
+  }
+};
+
+struct GpuRForEncoded {
+  GpuRForHeader header;
+  // Word offsets into the two streams; num_blocks + 1 entries each.
+  std::vector<uint32_t> value_block_starts;
+  std::vector<uint32_t> length_block_starts;
+  std::vector<uint32_t> value_data;
+  std::vector<uint32_t> length_data;
+
+  uint64_t compressed_bytes() const {
+    return sizeof(GpuRForHeader) +
+           (value_block_starts.size() + length_block_starts.size() +
+            value_data.size() + length_data.size()) *
+               4;
+  }
+  double bits_per_int() const {
+    return header.total_count == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) /
+                     header.total_count;
+  }
+};
+
+struct GpuRForOptions {
+  uint32_t block_size = 512;
+};
+
+GpuRForEncoded GpuRForEncode(const uint32_t* values, size_t count,
+                             const GpuRForOptions& options = GpuRForOptions());
+
+// Reference host decoder.
+std::vector<uint32_t> GpuRForDecodeHost(const GpuRForEncoded& encoded);
+
+// Decode one block (block_size entries; the trailing block may produce
+// fewer — returns the number of values written).
+uint32_t GpuRForDecodeBlock(const GpuRForEncoded& encoded, uint32_t block,
+                            uint32_t* out);
+
+// Unpack one block's (values, lengths) run arrays without expanding them.
+// Returns the run count; `values` and `lengths` must hold block_size
+// entries. Used by the simulated device function and by tests.
+uint32_t GpuRForUnpackRuns(const GpuRForEncoded& encoded, uint32_t block,
+                           uint32_t* values, uint32_t* lengths);
+
+}  // namespace tilecomp::format
+
+#endif  // TILECOMP_FORMAT_GPURFOR_H_

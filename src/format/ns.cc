@@ -1,0 +1,76 @@
+#include "format/ns.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+
+namespace tilecomp::format {
+
+NsfEncoded NsfEncode(const uint32_t* values, size_t count) {
+  TILECOMP_CHECK(count <= 0xFFFFFFFFull);
+  NsfEncoded encoded;
+  encoded.total_count = static_cast<uint32_t>(count);
+
+  uint32_t max_value = 0;
+  for (size_t i = 0; i < count; ++i) max_value = std::max(max_value, values[i]);
+  const uint32_t bits = BitsNeeded(max_value);
+  encoded.bytes_per_value = bits <= 8 ? 1 : (bits <= 16 ? 2 : 4);
+
+  encoded.data.resize(count * encoded.bytes_per_value);
+  uint8_t* out = encoded.data.data();
+  for (size_t i = 0; i < count; ++i) {
+    std::memcpy(out + i * encoded.bytes_per_value, &values[i],
+                encoded.bytes_per_value);
+  }
+  return encoded;
+}
+
+std::vector<uint32_t> NsfDecodeHost(const NsfEncoded& encoded) {
+  std::vector<uint32_t> out(encoded.total_count, 0);
+  const uint8_t* in = encoded.data.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    std::memcpy(&out[i], in + i * encoded.bytes_per_value,
+                encoded.bytes_per_value);
+  }
+  return out;
+}
+
+NsvEncoded NsvEncode(const uint32_t* values, size_t count) {
+  TILECOMP_CHECK(count <= 0xFFFFFFFFull);
+  NsvEncoded encoded;
+  encoded.total_count = static_cast<uint32_t>(count);
+  encoded.tags.resize((count + 3) / 4, 0);
+
+  for (size_t i = 0; i < count; ++i) {
+    if (i % NsvEncoded::kChunk == 0) {
+      encoded.chunk_starts.push_back(
+          static_cast<uint32_t>(encoded.data.size()));
+    }
+    const uint32_t bits = BitsNeeded(values[i]);
+    const uint32_t nbytes = std::max(1u, (bits + 7) / 8);
+    encoded.tags[i / 4] |= (nbytes - 1) << ((i % 4) * 2);
+    const size_t pos = encoded.data.size();
+    encoded.data.resize(pos + nbytes);
+    std::memcpy(encoded.data.data() + pos, &values[i], nbytes);
+  }
+  encoded.chunk_starts.push_back(static_cast<uint32_t>(encoded.data.size()));
+  return encoded;
+}
+
+std::vector<uint32_t> NsvDecodeHost(const NsvEncoded& encoded) {
+  std::vector<uint32_t> out(encoded.total_count, 0);
+  size_t pos = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const uint32_t nbytes =
+        ((encoded.tags[i / 4] >> ((i % 4) * 2)) & 0x3) + 1;
+    uint32_t v = 0;
+    std::memcpy(&v, encoded.data.data() + pos, nbytes);
+    out[i] = v;
+    pos += nbytes;
+  }
+  return out;
+}
+
+}  // namespace tilecomp::format

@@ -1,0 +1,59 @@
+// Byte-aligned null-suppression baselines from Fang et al. [18]
+// (Section 9.2 / 9.3):
+//
+//   NSF — fixed-length: the entire array is encoded with 1, 2 or 4 bytes per
+//         entry depending on the maximum value. Decodes with a staircase
+//         cost profile (Figure 7a).
+//   NSV — variable-length: each value uses 1..4 bytes; a separate tag array
+//         stores the byte count per value with 2 bits. Adapts to skew but
+//         decodes slowly (Figure 8 e-f).
+#ifndef TILECOMP_FORMAT_NS_H_
+#define TILECOMP_FORMAT_NS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tilecomp::format {
+
+struct NsfEncoded {
+  uint32_t total_count = 0;
+  uint32_t bytes_per_value = 4;  // 1, 2 or 4
+  std::vector<uint8_t> data;
+
+  uint64_t compressed_bytes() const { return 8 + data.size(); }
+  double bits_per_int() const {
+    return total_count == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) / total_count;
+  }
+};
+
+NsfEncoded NsfEncode(const uint32_t* values, size_t count);
+std::vector<uint32_t> NsfDecodeHost(const NsfEncoded& encoded);
+
+struct NsvEncoded {
+  uint32_t total_count = 0;
+  std::vector<uint8_t> data;   // variable-length payload bytes
+  std::vector<uint8_t> tags;   // 2 bits per value: byte count - 1
+  // Offsets of each 512-value chunk into `data`, so the GPU can decode
+  // chunks in parallel (NSV has no random access within a chunk).
+  std::vector<uint32_t> chunk_starts;
+  static constexpr uint32_t kChunk = 512;
+
+  uint64_t compressed_bytes() const {
+    return 8 + data.size() + tags.size() + chunk_starts.size() * 4;
+  }
+  double bits_per_int() const {
+    return total_count == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) / total_count;
+  }
+};
+
+NsvEncoded NsvEncode(const uint32_t* values, size_t count);
+std::vector<uint32_t> NsvDecodeHost(const NsvEncoded& encoded);
+
+}  // namespace tilecomp::format
+
+#endif  // TILECOMP_FORMAT_NS_H_

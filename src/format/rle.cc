@@ -1,0 +1,47 @@
+#include "format/rle.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace tilecomp::format {
+
+RleEncoded RleEncode(const uint32_t* values, size_t count,
+                     uint32_t block_size) {
+  TILECOMP_CHECK(count <= 0xFFFFFFFFull);
+  TILECOMP_CHECK(block_size > 0);
+  RleEncoded encoded;
+  encoded.total_count = static_cast<uint32_t>(count);
+  encoded.block_size = block_size;
+
+  const uint32_t num_blocks =
+      static_cast<uint32_t>((count + block_size - 1) / block_size);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    encoded.run_starts.push_back(encoded.num_runs());
+    const size_t begin = static_cast<size_t>(b) * block_size;
+    const size_t len = std::min<size_t>(block_size, count - begin);
+    size_t i = 0;
+    while (i < len) {
+      const uint32_t v = values[begin + i];
+      size_t j = i + 1;
+      while (j < len && values[begin + j] == v) ++j;
+      encoded.values.push_back(v);
+      encoded.lengths.push_back(static_cast<uint32_t>(j - i));
+      i = j;
+    }
+  }
+  encoded.run_starts.push_back(encoded.num_runs());
+  return encoded;
+}
+
+std::vector<uint32_t> RleDecodeHost(const RleEncoded& encoded) {
+  std::vector<uint32_t> out;
+  out.reserve(encoded.total_count);
+  for (uint32_t r = 0; r < encoded.num_runs(); ++r) {
+    out.insert(out.end(), encoded.lengths[r], encoded.values[r]);
+  }
+  TILECOMP_CHECK(out.size() == encoded.total_count);
+  return out;
+}
+
+}  // namespace tilecomp::format

@@ -1,0 +1,42 @@
+// Plain run-length encoding baseline (Section 9.3): runs of equal values are
+// stored as uncompressed (value, run-length) 32-bit pairs in two separate
+// columns. Runs are broken at block boundaries (512 values) so the GPU can
+// expand blocks independently; decompression uses the 4-step
+// scatter/prefix-sum expansion of Fang et al. [18] executed as separate
+// kernel passes (cascading model).
+#ifndef TILECOMP_FORMAT_RLE_H_
+#define TILECOMP_FORMAT_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tilecomp::format {
+
+struct RleEncoded {
+  uint32_t total_count = 0;
+  uint32_t block_size = 512;
+  // Run index range of each block: runs of block b are
+  // [run_starts[b], run_starts[b+1]).
+  std::vector<uint32_t> run_starts;
+  std::vector<uint32_t> values;
+  std::vector<uint32_t> lengths;
+
+  uint32_t num_runs() const { return static_cast<uint32_t>(values.size()); }
+  uint64_t compressed_bytes() const {
+    return 8 + (run_starts.size() + values.size() + lengths.size()) * 4;
+  }
+  double bits_per_int() const {
+    return total_count == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) / total_count;
+  }
+};
+
+RleEncoded RleEncode(const uint32_t* values, size_t count,
+                     uint32_t block_size = 512);
+std::vector<uint32_t> RleDecodeHost(const RleEncoded& encoded);
+
+}  // namespace tilecomp::format
+
+#endif  // TILECOMP_FORMAT_RLE_H_

@@ -1,0 +1,96 @@
+#include "format/simdbp128.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "format/bitpack.h"
+
+namespace tilecomp::format {
+
+SimdBp128Encoded SimdBp128Encode(const uint32_t* values, size_t count) {
+  TILECOMP_CHECK(count <= 0xFFFFFFFFull);
+  SimdBp128Encoded encoded;
+  encoded.total_count = static_cast<uint32_t>(count);
+  constexpr uint32_t kBlock = SimdBp128Encoded::kBlockSize;
+  constexpr uint32_t kLanes = SimdBp128Encoded::kLanes;
+  constexpr uint32_t kPerLane = SimdBp128Encoded::kValuesPerLane;
+
+  std::vector<uint32_t> lane_words;  // per-lane packed segment scratch
+  std::vector<uint32_t> offsets(kBlock);
+
+  const uint32_t num_blocks = encoded.num_blocks();
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    encoded.block_starts.push_back(static_cast<uint32_t>(encoded.data.size()));
+    const size_t begin = static_cast<size_t>(b) * kBlock;
+    const size_t len = std::min<size_t>(kBlock, count - begin);
+
+    uint32_t reference = values[begin];
+    for (size_t i = 1; i < len; ++i) {
+      reference = std::min(reference, values[begin + i]);
+    }
+    uint32_t max_off = 0;
+    for (size_t i = 0; i < len; ++i) {
+      offsets[i] = values[begin + i] - reference;
+      max_off = std::max(max_off, offsets[i]);
+    }
+    for (size_t i = len; i < kBlock; ++i) offsets[i] = 0;
+    const uint32_t bits = BitsNeeded(max_off);
+
+    encoded.data.push_back(reference);
+    encoded.data.push_back(bits);
+
+    // Pack each lane's 128 values (value i -> lane i % 32, row i / 32),
+    // then stripe lane segments word-by-word.
+    const uint32_t words_per_lane = 4 * bits;  // 128 * bits / 32
+    std::vector<std::vector<uint32_t>> lanes(kLanes);
+    for (uint32_t l = 0; l < kLanes; ++l) {
+      uint32_t lane_values[kPerLane];
+      for (uint32_t r = 0; r < kPerLane; ++r) {
+        lane_values[r] = offsets[r * kLanes + l];
+      }
+      lanes[l].clear();
+      PackArray(lane_values, kPerLane, bits, &lanes[l]);
+      TILECOMP_CHECK(lanes[l].size() == words_per_lane);
+    }
+    for (uint32_t w = 0; w < words_per_lane; ++w) {
+      for (uint32_t l = 0; l < kLanes; ++l) {
+        encoded.data.push_back(lanes[l][w]);
+      }
+    }
+  }
+  encoded.block_starts.push_back(static_cast<uint32_t>(encoded.data.size()));
+  return encoded;
+}
+
+std::vector<uint32_t> SimdBp128DecodeHost(const SimdBp128Encoded& encoded) {
+  constexpr uint32_t kBlock = SimdBp128Encoded::kBlockSize;
+  constexpr uint32_t kLanes = SimdBp128Encoded::kLanes;
+  constexpr uint32_t kPerLane = SimdBp128Encoded::kValuesPerLane;
+
+  const uint32_t num_blocks = encoded.num_blocks();
+  std::vector<uint32_t> out(static_cast<size_t>(num_blocks) * kBlock);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    const uint32_t* block = encoded.data.data() + encoded.block_starts[b];
+    const uint32_t reference = block[0];
+    const uint32_t bits = block[1];
+    const uint32_t* striped = block + 2;
+    const uint32_t words_per_lane = 4 * bits;
+    std::vector<uint32_t> lane_words(words_per_lane);
+    uint32_t lane_values[kPerLane];
+    for (uint32_t l = 0; l < kLanes; ++l) {
+      for (uint32_t w = 0; w < words_per_lane; ++w) {
+        lane_words[w] = striped[w * kLanes + l];
+      }
+      UnpackArray(lane_words.data(), kPerLane, bits, lane_values);
+      for (uint32_t r = 0; r < kPerLane; ++r) {
+        out[static_cast<size_t>(b) * kBlock + r * kLanes + l] =
+            reference + lane_values[r];
+      }
+    }
+  }
+  out.resize(encoded.total_count);
+  return out;
+}
+
+}  // namespace tilecomp::format

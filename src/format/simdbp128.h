@@ -1,0 +1,49 @@
+// GPU-SIMDBP128: the vertical-layout bit-packing scheme discussed in the
+// Section 4.3 ablation ("GPU-FOR vs CPU Designs").
+//
+// Translating SIMD-BP128's 4-lane SSE layout to a 32-lane GPU warp forces a
+// block size of 4096 values (32 lanes x 128 values per lane, so every lane
+// terminates on a 32-bit boundary). Each block stores a reference (min) and
+// a single bit width (max over the whole 4096-value block — which is why one
+// skewed value inflates the entire block, Section 4.3). Values are striped
+// vertically: value i belongs to lane i mod 32; packed lane segments are
+// word-interleaved across lanes.
+#ifndef TILECOMP_FORMAT_SIMDBP128_H_
+#define TILECOMP_FORMAT_SIMDBP128_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tilecomp::format {
+
+struct SimdBp128Encoded {
+  static constexpr uint32_t kLanes = 32;
+  static constexpr uint32_t kValuesPerLane = 128;
+  static constexpr uint32_t kBlockSize = kLanes * kValuesPerLane;  // 4096
+
+  uint32_t total_count = 0;
+  std::vector<uint32_t> block_starts;
+  std::vector<uint32_t> data;  // per block: [reference][bits][striped words]
+
+  uint32_t num_blocks() const {
+    return static_cast<uint32_t>((static_cast<uint64_t>(total_count) +
+                                  kBlockSize - 1) /
+                                 kBlockSize);
+  }
+  uint64_t compressed_bytes() const {
+    return 8 + (block_starts.size() + data.size()) * 4;
+  }
+  double bits_per_int() const {
+    return total_count == 0
+               ? 0.0
+               : 8.0 * static_cast<double>(compressed_bytes()) / total_count;
+  }
+};
+
+SimdBp128Encoded SimdBp128Encode(const uint32_t* values, size_t count);
+std::vector<uint32_t> SimdBp128DecodeHost(const SimdBp128Encoded& encoded);
+
+}  // namespace tilecomp::format
+
+#endif  // TILECOMP_FORMAT_SIMDBP128_H_

@@ -1,0 +1,55 @@
+// Block-wide prefix sum (Blelloch work-efficient scan [13]) executed in
+// shared memory, as used by GPU-DFOR delta decoding (Section 5.2) and the
+// GPU-RFOR run expansion (Section 6). The functional result is computed
+// in-place; the accounting mirrors the up-sweep/down-sweep access pattern:
+// 2(n-1) add steps, each reading two and writing one shared-memory word,
+// with 2*log2(n) barriers.
+#ifndef TILECOMP_KERNELS_BLOCK_SCAN_H_
+#define TILECOMP_KERNELS_BLOCK_SCAN_H_
+
+#include <cstdint>
+
+#include "common/bit_util.h"
+#include "sim/block_context.h"
+
+namespace tilecomp::kernels {
+
+// In-place *inclusive* prefix sum over data[0..n); wrapping uint32 adds.
+inline void BlockScanInclusive(sim::BlockContext& ctx, uint32_t* data,
+                               uint32_t n) {
+  if (n == 0) return;
+  // Functional result (sequential host loop is bit-identical to the
+  // parallel scan under wrapping addition).
+  uint32_t acc = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    acc += data[i];
+    data[i] = acc;
+  }
+  // Accounting for the Blelloch up/down sweeps.
+  const uint64_t add_steps = 2ull * (n > 0 ? n - 1 : 0);
+  ctx.Shared(add_steps * 12);  // two 4B reads + one 4B write per add
+  ctx.Compute(add_steps);
+  const uint32_t levels = BitsNeeded(n > 1 ? n - 1 : 1);
+  for (uint32_t i = 0; i < 2 * levels; ++i) ctx.Barrier();
+}
+
+// In-place *exclusive* prefix sum; returns the total.
+inline uint32_t BlockScanExclusive(sim::BlockContext& ctx, uint32_t* data,
+                                   uint32_t n) {
+  uint32_t acc = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t v = data[i];
+    data[i] = acc;
+    acc += v;
+  }
+  const uint64_t add_steps = 2ull * (n > 0 ? n - 1 : 0);
+  ctx.Shared(add_steps * 12);
+  ctx.Compute(add_steps);
+  const uint32_t levels = BitsNeeded(n > 1 ? n - 1 : 1);
+  for (uint32_t i = 0; i < 2 * levels; ++i) ctx.Barrier();
+  return acc;
+}
+
+}  // namespace tilecomp::kernels
+
+#endif  // TILECOMP_KERNELS_BLOCK_SCAN_H_

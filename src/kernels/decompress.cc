@@ -1,0 +1,449 @@
+#include "kernels/decompress.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "kernels/block_scan.h"
+
+namespace tilecomp::kernels {
+
+namespace {
+
+// Captures the device timeline around a decompression run.
+class TimelineScope {
+ public:
+  explicit TimelineScope(sim::Device& dev)
+      : dev_(dev),
+        start_ms_(dev.elapsed_ms()),
+        start_launches_(dev.kernel_launches()),
+        start_stats_(dev.total_stats()) {}
+
+  void Finish(DecompressRun* run) const {
+    run->time_ms = dev_.elapsed_ms() - start_ms_;
+    run->kernel_launches = dev_.kernel_launches() - start_launches_;
+    sim::KernelStats delta = dev_.total_stats();
+    delta.global_bytes_read -= start_stats_.global_bytes_read;
+    delta.global_bytes_written -= start_stats_.global_bytes_written;
+    delta.warp_global_accesses -= start_stats_.warp_global_accesses;
+    delta.shared_bytes -= start_stats_.shared_bytes;
+    delta.compute_ops -= start_stats_.compute_ops;
+    delta.barriers -= start_stats_.barriers;
+    run->stats = delta;
+  }
+
+ private:
+  sim::Device& dev_;
+  double start_ms_;
+  uint64_t start_launches_;
+  sim::KernelStats start_stats_;
+};
+
+}  // namespace
+
+void StreamingPass(sim::Device& dev, uint64_t n_values, uint64_t read_bytes,
+                   uint64_t write_bytes, uint64_t ops_per_value) {
+  sim::LaunchConfig lc;
+  lc.block_threads = 256;
+  lc.grid_dim = std::max<int64_t>(
+      1, static_cast<int64_t>(CeilDiv<uint64_t>(n_values, 256 * 4)));
+  lc.regs_per_thread = 24;
+  lc.smem_bytes_per_block = 0;
+  const int64_t grid = lc.grid_dim;
+  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    ctx.CoalescedRead(read_bytes / grid, true);
+    ctx.CoalescedWrite(write_bytes / grid, true);
+    ctx.Compute(ops_per_value * n_values / grid);
+  });
+}
+
+namespace {
+// Backwards-compatible alias used by the cascade implementations below.
+inline void StreamingKernel(sim::Device& dev, uint64_t n, uint64_t r,
+                            uint64_t w, uint64_t ops) {
+  StreamingPass(dev, n, r, w, ops);
+}
+
+// A device-wide scan pass: streams `n` values through block-wide Blelloch
+// scans in shared memory (read + write global, plus the scan's shared
+// traffic and barriers per block).
+void ScanPass(sim::Device& dev, uint64_t n) {
+  sim::LaunchConfig lc;
+  lc.block_threads = 128;
+  lc.grid_dim = std::max<int64_t>(
+      1, static_cast<int64_t>(CeilDiv<uint64_t>(n, 512)));
+  lc.regs_per_thread = 28;
+  lc.smem_bytes_per_block = 512 * 4;
+  const int64_t grid = lc.grid_dim;
+  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    ctx.CoalescedRead(n * 4 / grid, true);
+    ctx.Shared(n * 24 / grid);
+    ctx.Compute(n * 4 / grid);
+    for (int i = 0; i < 20; ++i) ctx.Barrier();  // 2*log2(512) + carry-in
+    ctx.CoalescedWrite(n * 4 / grid, true);
+  });
+}
+
+// A scatter pass: `count` random single-word writes into an `out_n`-sized
+// array (run-start scatter of the RLE expansion) — inherently uncoalesced.
+void ScatterPass(sim::Device& dev, uint64_t count, uint64_t read_bytes) {
+  sim::LaunchConfig lc;
+  lc.block_threads = 256;
+  lc.grid_dim = std::max<int64_t>(
+      1, static_cast<int64_t>(CeilDiv<uint64_t>(count, 1024)));
+  lc.regs_per_thread = 24;
+  const int64_t grid = lc.grid_dim;
+  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    ctx.CoalescedRead(read_bytes / grid, true);
+    ctx.ScatteredWrite(count / grid, 4);
+    ctx.Compute(2 * count / grid);
+  });
+}
+}  // namespace
+
+DecompressRun DecompressGpuFor(sim::Device& dev,
+                               const format::GpuForEncoded& enc,
+                               const UnpackConfig& cfg, bool write_output) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const format::GpuForHeader& h = enc.header;
+  const uint32_t tile_values = h.block_size * cfg.effective_d();
+  run.output.resize(static_cast<size_t>(h.num_blocks()) * h.block_size);
+
+  sim::LaunchConfig lc = GpuForLaunchConfig(enc, cfg);
+  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    uint32_t* out_tile =
+        run.output.data() + static_cast<size_t>(ctx.block_id()) * tile_values;
+    const uint32_t n = LoadBitPack(ctx, enc, ctx.block_id(), cfg, out_tile);
+    if (write_output) ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, true);
+  });
+
+  run.output.resize(h.total_count);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun DecompressGpuDFor(sim::Device& dev,
+                                const format::GpuDForEncoded& enc) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const format::GpuDForHeader& h = enc.header;
+  const uint32_t vpt = h.values_per_tile();
+  run.output.resize(static_cast<size_t>(h.num_tiles()) * vpt);
+
+  sim::LaunchConfig lc = GpuDForLaunchConfig(enc);
+  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    uint32_t* out_tile =
+        run.output.data() + static_cast<size_t>(ctx.block_id()) * vpt;
+    const uint32_t n = LoadDBitPack(ctx, enc, ctx.block_id(), out_tile);
+    ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, true);
+  });
+
+  run.output.resize(h.total_count);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun DecompressGpuRFor(sim::Device& dev,
+                                const format::GpuRForEncoded& enc) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const format::GpuRForHeader& h = enc.header;
+  run.output.resize(static_cast<size_t>(h.num_blocks()) * h.block_size);
+
+  sim::LaunchConfig lc = GpuRForLaunchConfig(enc);
+  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    uint32_t* out_tile = run.output.data() +
+                         static_cast<size_t>(ctx.block_id()) * h.block_size;
+    const uint32_t n = LoadRBitPack(ctx, enc, ctx.block_id(), out_tile);
+    ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, true);
+  });
+
+  // Compact: every block except possibly the last is full, so the layout is
+  // already dense; just trim the padding of the final block.
+  run.output.resize(h.total_count);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
+                                           const format::GpuForEncoded& enc) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const format::GpuForHeader& h = enc.header;
+  const uint64_t n = h.total_count;
+  const size_t padded = static_cast<size_t>(h.num_blocks()) * h.block_size;
+
+  // Kernel 1: bit-unpack offsets -> global intermediate.
+  std::vector<uint32_t> offsets(padded);
+  UnpackConfig cfg;  // same staging quality as the fused kernel
+  sim::LaunchConfig lc1 = GpuForLaunchConfig(enc, cfg);
+  const uint32_t tile_values = h.block_size * cfg.effective_d();
+  dev.Launch(lc1, [&](sim::BlockContext& ctx) {
+    uint32_t* out_tile =
+        offsets.data() + static_cast<size_t>(ctx.block_id()) * tile_values;
+    const uint32_t got = LoadBitPack(ctx, enc, ctx.block_id(), cfg, out_tile);
+    // Strip the reference again: the cascade's first layer outputs raw
+    // offsets to global memory.
+    const int64_t first_block = ctx.block_id() * cfg.effective_d();
+    for (uint32_t i = 0; i < got; ++i) {
+      const size_t block = static_cast<size_t>(first_block) + i / h.block_size;
+      out_tile[i] -= enc.data[enc.block_starts[block]];
+    }
+    ctx.CoalescedWrite(static_cast<uint64_t>(got) * 4, true);
+  });
+
+  // Kernel 2: add per-block reference -> final output.
+  run.output.assign(padded, 0);
+  StreamingKernel(dev, n, /*read=*/n * 4 + h.num_blocks() * 4,
+                  /*write=*/n * 4, /*ops=*/2);
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+    const size_t block = i / h.block_size;
+    run.output[i] = offsets[i] + enc.data[enc.block_starts[block]];
+  }
+
+  run.output.resize(h.total_count);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun DecompressDeltaForBitPackCascaded(
+    sim::Device& dev, const format::GpuDForEncoded& enc) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const format::GpuDForHeader& h = enc.header;
+  const uint64_t n = h.total_count;
+  const uint32_t vpt = h.values_per_tile();
+  const size_t padded = static_cast<size_t>(h.num_tiles()) * vpt;
+
+  // Kernels 1+2: unpack offsets, add references -> delta array in global
+  // memory (two passes, as in prior work).
+  std::vector<uint32_t> deltas(padded, 0);
+  sim::LaunchConfig lc1 = GpuDForLaunchConfig(enc);
+  // Pass 1: unpack (same traffic as the staging part of the fused kernel,
+  // plus the global write of raw offsets).
+  dev.Launch(lc1, [&](sim::BlockContext& ctx) {
+    const uint32_t first_block =
+        static_cast<uint32_t>(ctx.block_id()) * h.blocks_per_tile;
+    const uint32_t last_block =
+        std::min(first_block + h.blocks_per_tile, h.num_blocks());
+    if (last_block <= first_block) return;
+    const uint64_t data_bytes =
+        static_cast<uint64_t>(enc.block_starts[last_block] -
+                              enc.block_starts[first_block]) *
+        4;
+    ctx.CoalescedRead((last_block - first_block + 1) * 4, false);
+    ctx.CoalescedRead(data_bytes, false);
+    ctx.Shared(data_bytes);
+    const uint64_t values =
+        static_cast<uint64_t>(last_block - first_block) * h.block_size;
+    ctx.Shared(values * 12);
+    ctx.Compute(values * 6);
+    ctx.CoalescedWrite(values * 4, true);
+  });
+  // Pass 2: add per-block reference.
+  StreamingKernel(dev, n, n * 4 + h.num_blocks() * 4, n * 4, 2);
+
+  // Functional: unpack deltas via the tile decoder's block logic, without
+  // the prefix sum (recompute deltas from the reference decoder's output).
+  std::vector<uint32_t> decoded = format::GpuDForDecodeHost(enc);
+
+  // Kernel 3: prefix sum per tile (read deltas, block-wide scan in shared
+  // memory, write final values).
+  ScanPass(dev, n);
+
+  run.output = std::move(decoded);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun DecompressRleForBitPackCascaded(
+    sim::Device& dev, const format::GpuRForEncoded& enc) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const format::GpuRForHeader& h = enc.header;
+  const uint64_t n = h.total_count;
+  // Total runs across all blocks.
+  uint64_t total_runs = 0;
+  for (uint32_t b = 0; b < h.num_blocks(); ++b) {
+    total_runs += enc.value_data[enc.value_block_starts[b]];
+  }
+  const uint64_t comp_v = enc.value_data.size() * 4;
+  const uint64_t comp_l = enc.length_data.size() * 4;
+
+  // Kernels 1-4: FOR+BitPack decode of the values and run-length columns
+  // (unpack + add-reference for each).
+  StreamingKernel(dev, total_runs, comp_v, total_runs * 4, 6);        // K1
+  StreamingKernel(dev, total_runs, total_runs * 4, total_runs * 4, 2);  // K2
+  StreamingKernel(dev, total_runs, comp_l, total_runs * 4, 6);        // K3
+  StreamingKernel(dev, total_runs, total_runs * 4, total_runs * 4, 2);  // K4
+
+  // Kernels 5-8: the RLE expansion of Fang et al. [18] with global
+  // intermediates: scan of run lengths, random scatter of run indices into
+  // the marker array, inclusive max-scan, gather.
+  ScanPass(dev, total_runs);                                  // K5
+  // K6: scatter into the zero-initialized marker array (grid covers the
+  // full output; runs land scattered).
+  {
+    sim::LaunchConfig lc;
+    lc.block_threads = 256;
+    lc.grid_dim = std::max<int64_t>(1, static_cast<int64_t>(n / 1024));
+    lc.regs_per_thread = 24;
+    const int64_t grid = lc.grid_dim;
+    const uint64_t runs_local = total_runs;
+    dev.Launch(lc, [&, runs_local](sim::BlockContext& ctx) {
+      ctx.CoalescedRead(runs_local * 8 / grid, true);
+      ctx.CoalescedWrite(n * 4 / grid, true);  // marker init
+      ctx.ScatteredWrite(runs_local / grid, 4);
+    });
+  }
+  ScanPass(dev, n);                                           // K7
+  StreamingKernel(dev, n, n * 4 + total_runs * 4, n * 4, 2);  // K8
+
+  run.output = format::GpuRForDecodeHost(enc);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun DecompressNsf(sim::Device& dev, const format::NsfEncoded& enc) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const uint64_t n = enc.total_count;
+  StreamingKernel(dev, n, n * enc.bytes_per_value, n * 4, 2);
+  run.output = format::NsfDecodeHost(enc);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun DecompressNsv(sim::Device& dev, const format::NsvEncoded& enc) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const uint64_t n = enc.total_count;
+  // K1: expand 2-bit tags into per-value byte counts.
+  StreamingKernel(dev, n, n / 4, n * 4, 3);
+  // K2: device-wide exclusive scan -> byte offsets.
+  StreamingKernel(dev, n, n * 4, n * 4, 2);
+  // K3: variable-length gather. Each warp's 32 loads cover an unpredictable
+  // window of ~2.5 bytes/value; accesses are effectively scattered.
+  {
+    sim::LaunchConfig lc;
+    lc.block_threads = 256;
+    lc.grid_dim =
+        std::max<int64_t>(1, static_cast<int64_t>(CeilDiv<uint64_t>(n, 1024)));
+    lc.regs_per_thread = 28;
+    const int64_t grid = lc.grid_dim;
+    const uint64_t data_bytes = enc.data.size();
+    dev.Launch(lc, [&](sim::BlockContext& ctx) {
+      ctx.CoalescedRead(n * 4 / grid, true);  // offsets
+      ctx.WindowedRead(n / grid, /*window=*/32 * (data_bytes / std::max<uint64_t>(n, 1) + 1),
+                       1);
+      ctx.Compute(6 * n / grid);
+      ctx.CoalescedWrite(n * 4 / grid, true);
+    });
+  }
+  run.output = format::NsvDecodeHost(enc);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun DecompressRle(sim::Device& dev, const format::RleEncoded& enc) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const uint64_t n = enc.total_count;
+  const uint64_t runs = enc.num_runs();
+  // The four expansion steps of Fang et al. [18]: scan the run lengths,
+  // scatter run indices into the zero-initialized marker array (the memset
+  // is folded into the scan pass's write), inclusive max-scan over the
+  // markers, gather the run values.
+  ScanPass(dev, runs);                                   // K1
+  StreamingKernel(dev, n, runs * 4, n * 4, 1);           // K2 marker init
+  ScatterPass(dev, runs, runs * 8);                      // K2' scatter
+  ScanPass(dev, n);                                      // K3
+  StreamingKernel(dev, n, n * 4 + runs * 4, n * 4, 2);   // K4 gather
+  run.output = format::RleDecodeHost(enc);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun DecompressGpuBp(sim::Device& dev,
+                              const format::GpuForEncoded& enc) {
+  // Mallia et al.'s GPU-BP: horizontal bit-packing decoded one block per
+  // thread block without multi-block staging or offset precompute.
+  UnpackConfig cfg;
+  cfg.d = 1;
+  cfg.opt = UnpackOpt::kSharedMemory;
+  return DecompressGpuFor(dev, enc, cfg);
+}
+
+DecompressRun DecompressSimdBp128(sim::Device& dev,
+                                  const format::SimdBp128Encoded& enc,
+                                  bool write_output) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  constexpr uint32_t kBlock = format::SimdBp128Encoded::kBlockSize;
+  const uint32_t num_blocks = enc.num_blocks();
+
+  sim::LaunchConfig lc;
+  lc.grid_dim = num_blocks;
+  lc.block_threads = 128;
+  // 32 values per thread tank occupancy (Section 4.3); the dynamically
+  // indexed 32-entry per-thread array additionally lives in local (=global)
+  // memory — that traffic is charged explicitly in the kernel body.
+  lc.regs_per_thread = 96;
+  const uint32_t avg_words =
+      num_blocks == 0 ? 0
+                      : static_cast<uint32_t>(enc.data.size() / num_blocks);
+  lc.smem_bytes_per_block = static_cast<int>(avg_words * 4);
+
+  std::vector<uint32_t> decoded = format::SimdBp128DecodeHost(enc);
+  run.output.resize(static_cast<size_t>(num_blocks) * kBlock);
+  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    const uint32_t b = static_cast<uint32_t>(ctx.block_id());
+    const uint64_t words =
+        enc.block_starts[b + 1] - enc.block_starts[b];
+    ctx.CoalescedRead(words * 4 + 8, false);
+    ctx.Shared(words * 4);
+    ctx.Barrier();
+    ctx.Shared(static_cast<uint64_t>(kBlock) * 8);
+    ctx.Compute(static_cast<uint64_t>(kBlock) * 6);
+    // Local-memory round trip of the dynamically indexed per-thread
+    // 32-entry output arrays (one store + one load per decoded value).
+    ctx.CoalescedWrite(static_cast<uint64_t>(kBlock) * 4, true);
+    ctx.CoalescedRead(static_cast<uint64_t>(kBlock) * 4, true);
+    const uint64_t begin = static_cast<uint64_t>(b) * kBlock;
+    const uint64_t cnt =
+        std::min<uint64_t>(kBlock, decoded.size() - begin);
+    std::memcpy(run.output.data() + begin, decoded.data() + begin, cnt * 4);
+    if (write_output) {
+      ctx.CoalescedWrite(static_cast<uint64_t>(kBlock) * 4, true);
+    }
+  });
+
+  run.output.resize(enc.total_count);
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun CopyUncompressed(sim::Device& dev,
+                               const std::vector<uint32_t>& values) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const uint64_t n = values.size();
+  StreamingKernel(dev, n, n * 4, n * 4, 1);
+  run.output = values;
+  scope.Finish(&run);
+  return run;
+}
+
+DecompressRun ReadUncompressed(sim::Device& dev,
+                               const std::vector<uint32_t>& values) {
+  DecompressRun run;
+  TimelineScope scope(dev);
+  const uint64_t n = values.size();
+  StreamingKernel(dev, n, n * 4, 0, 1);
+  run.output = values;
+  scope.Finish(&run);
+  return run;
+}
+
+}  // namespace tilecomp::kernels

@@ -1,0 +1,97 @@
+// Full-column decompression entry points for every scheme in the paper's
+// evaluation (Sections 9.2-9.4): the tile-based schemes (single fused
+// kernel), their cascaded counterparts (one kernel per compression layer
+// with global-memory intermediates — the prior-work model of Figure 2 left),
+// and the byte-aligned / vertical baselines.
+//
+// Every function decodes the stream on the simulated device, returns the
+// decoded values plus the modeled time, kernel-launch count and traffic.
+// Functional output is bit-exact with the host reference decoders.
+#ifndef TILECOMP_KERNELS_DECOMPRESS_H_
+#define TILECOMP_KERNELS_DECOMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "format/gpudfor.h"
+#include "format/gpufor.h"
+#include "format/gpurfor.h"
+#include "format/ns.h"
+#include "format/rle.h"
+#include "format/simdbp128.h"
+#include "kernels/load_tile.h"
+#include "sim/device.h"
+
+namespace tilecomp::kernels {
+
+struct DecompressRun {
+  std::vector<uint32_t> output;
+  double time_ms = 0.0;
+  uint64_t kernel_launches = 0;
+  sim::KernelStats stats;
+};
+
+// --- Tile-based (single-pass) decompression, Section 3 ---
+
+// `write_output` = false models decode-to-registers (the Section 4.2 / 4.3
+// microbenchmark setting); true additionally streams the decoded values back
+// to global memory (the Figure 7a setting).
+DecompressRun DecompressGpuFor(sim::Device& dev,
+                               const format::GpuForEncoded& enc,
+                               const UnpackConfig& cfg = UnpackConfig(),
+                               bool write_output = true);
+DecompressRun DecompressGpuDFor(sim::Device& dev,
+                                const format::GpuDForEncoded& enc);
+DecompressRun DecompressGpuRFor(sim::Device& dev,
+                                const format::GpuRForEncoded& enc);
+
+// --- Cascaded (layer-at-a-time) decompression baselines, Figure 2 left ---
+
+// FOR+BitPack: 2 kernel passes (unpack, add-reference).
+DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
+                                           const format::GpuForEncoded& enc);
+// Delta+FOR+BitPack: 3 kernel passes (unpack, add-reference, prefix sum).
+DecompressRun DecompressDeltaForBitPackCascaded(
+    sim::Device& dev, const format::GpuDForEncoded& enc);
+// RLE+FOR+BitPack: 8 kernel passes (4 to decode FOR+BitPack for the values
+// and run-length columns, 4 for the RLE expansion of Fang et al. [18]).
+DecompressRun DecompressRleForBitPackCascaded(
+    sim::Device& dev, const format::GpuRForEncoded& enc);
+
+// --- Byte-aligned / other baselines ---
+
+// NSF: single widening pass.
+DecompressRun DecompressNsf(sim::Device& dev, const format::NsfEncoded& enc);
+// NSV: 3 passes (tag expansion, device-wide scan, variable-length gather).
+DecompressRun DecompressNsv(sim::Device& dev, const format::NsvEncoded& enc);
+// Plain RLE: 4 passes (zero-init, scan, scatter, propagate/gather).
+DecompressRun DecompressRle(sim::Device& dev, const format::RleEncoded& enc);
+// GPU-BP (Mallia et al. [33]): single bit-packing layer decoded tile-style
+// but without the paper's optimizations (D = 1, no offset precompute).
+DecompressRun DecompressGpuBp(sim::Device& dev,
+                              const format::GpuForEncoded& enc);
+// GPU-SIMDBP128: vertical layout, 4096-value blocks (Section 4.3).
+DecompressRun DecompressSimdBp128(sim::Device& dev,
+                                  const format::SimdBp128Encoded& enc,
+                                  bool write_output = true);
+
+// A generic streaming kernel pass (coalesced read of `read_bytes`, write of
+// `write_bytes`, `ops_per_value` ALU operations per logical value). Building
+// block for modeling cascaded decompression pipelines of other systems.
+void StreamingPass(sim::Device& dev, uint64_t n_values, uint64_t read_bytes,
+                   uint64_t write_bytes, uint64_t ops_per_value);
+
+// --- "None" ---
+
+// Stream an uncompressed column (read + write), the None series of
+// Figures 5/7/8.
+DecompressRun CopyUncompressed(sim::Device& dev,
+                               const std::vector<uint32_t>& values);
+// Read-only pass over an uncompressed column (the paper's "reading an
+// uncompressed dataset" reference point, Section 4.2).
+DecompressRun ReadUncompressed(sim::Device& dev,
+                               const std::vector<uint32_t>& values);
+
+}  // namespace tilecomp::kernels
+
+#endif  // TILECOMP_KERNELS_DECOMPRESS_H_

@@ -1,0 +1,300 @@
+#include "kernels/load_tile.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "kernels/block_scan.h"
+
+namespace tilecomp::kernels {
+
+namespace {
+
+// Average encoded words per block, used to declare shared-memory footprints.
+uint32_t AvgBlockWords(size_t data_words, uint32_t num_blocks) {
+  return num_blocks == 0
+             ? 0
+             : static_cast<uint32_t>(CeilDiv<size_t>(data_words, num_blocks));
+}
+
+}  // namespace
+
+int EstimateRegsPerThread(int d) {
+  // ~16 registers of working state plus ~4 per kept output value (output,
+  // offsets, unpack temporaries partially overlapping). At D=32 this crosses
+  // the spill threshold of the performance model, reproducing the paper's
+  // D=32 cliff (Section 4.2) and the GPU-SIMDBP128 penalty (Section 4.3).
+  return 16 + 4 * d;
+}
+
+int GpuForSmemBytes(const format::GpuForEncoded& enc,
+                    const UnpackConfig& cfg) {
+  if (cfg.opt == UnpackOpt::kBase) return 0;
+  const uint32_t avg =
+      AvgBlockWords(enc.data.size(), enc.header.num_blocks());
+  int bytes = cfg.effective_d() * static_cast<int>(avg) * 4;
+  if (cfg.opt == UnpackOpt::kPrecomputeOffsets) {
+    // Precomputed (offset, bitwidth) pairs per miniblock.
+    bytes += cfg.effective_d() * static_cast<int>(enc.header.miniblock_count) * 8;
+  }
+  return bytes;
+}
+
+int GpuDForSmemBytes(const format::GpuDForEncoded& enc) {
+  const uint32_t avg =
+      AvgBlockWords(enc.data.size(), enc.header.num_blocks());
+  // Encoded blocks + the decoded-delta buffer shared with the block scan.
+  return static_cast<int>(enc.header.blocks_per_tile * avg * 4 +
+                          enc.header.values_per_tile() * 4);
+}
+
+int GpuRForSmemBytes(const format::GpuRForEncoded& enc) {
+  const uint32_t num_blocks = enc.header.num_blocks();
+  const uint32_t avg_v = AvgBlockWords(enc.value_data.size(), num_blocks);
+  const uint32_t avg_l = AvgBlockWords(enc.length_data.size(), num_blocks);
+  // Two encoded streams plus run buffers plus the 512-entry expansion
+  // buffer ("twice more resources than GPU-DFOR", Section 6).
+  return static_cast<int>((avg_v + avg_l) * 4 + 2 * enc.header.block_size * 4 +
+                          enc.header.block_size * 4);
+}
+
+sim::LaunchConfig GpuForLaunchConfig(const format::GpuForEncoded& enc,
+                                     const UnpackConfig& cfg) {
+  sim::LaunchConfig lc;
+  const int d = cfg.effective_d();
+  lc.grid_dim = CeilDiv<int64_t>(enc.header.num_blocks(), d);
+  lc.block_threads = static_cast<int>(enc.header.block_size);
+  lc.smem_bytes_per_block = GpuForSmemBytes(enc, cfg);
+  lc.regs_per_thread = EstimateRegsPerThread(d);
+  return lc;
+}
+
+sim::LaunchConfig GpuDForLaunchConfig(const format::GpuDForEncoded& enc) {
+  sim::LaunchConfig lc;
+  lc.grid_dim = enc.header.num_tiles();
+  lc.block_threads = static_cast<int>(enc.header.block_size);
+  lc.smem_bytes_per_block = GpuDForSmemBytes(enc);
+  lc.regs_per_thread =
+      EstimateRegsPerThread(static_cast<int>(enc.header.blocks_per_tile));
+  return lc;
+}
+
+sim::LaunchConfig GpuRForLaunchConfig(const format::GpuRForEncoded& enc) {
+  sim::LaunchConfig lc;
+  lc.grid_dim = enc.header.num_blocks();
+  lc.block_threads = 128;
+  lc.smem_bytes_per_block = GpuRForSmemBytes(enc);
+  // One 512-value logical block per thread block: 4 outputs per thread,
+  // doubled working set for the two streams.
+  lc.regs_per_thread = EstimateRegsPerThread(8);
+  return lc;
+}
+
+uint32_t LoadBitPack(sim::BlockContext& ctx, const format::GpuForEncoded& enc,
+                     int64_t tile_id, const UnpackConfig& cfg,
+                     uint32_t* out_tile) {
+  const format::GpuForHeader& h = enc.header;
+  const int d = cfg.effective_d();
+  const uint32_t num_blocks = h.num_blocks();
+  const int64_t first_block = tile_id * d;
+  const uint32_t block_size = h.block_size;
+  const uint32_t mb_count = h.miniblock_count;
+
+  uint32_t valid = 0;
+  const int blocks_here = static_cast<int>(
+      std::min<int64_t>(d, num_blocks - first_block));
+  if (blocks_here <= 0) return 0;
+
+  const uint32_t start_word = enc.block_starts[first_block];
+  const uint32_t end_word = enc.block_starts[first_block + blocks_here];
+  const uint64_t data_bytes = static_cast<uint64_t>(end_word - start_word) * 4;
+
+  switch (cfg.opt) {
+    case UnpackOpt::kBase: {
+      // Algorithm 1: every thread hits global memory directly. Per warp:
+      // block start, reference and bitwidth word are broadcast loads; the
+      // 8-byte element windows of a warp fall inside one miniblock.
+      ctx.BroadcastRead(4);  // block_starts[block_id]
+      ctx.BroadcastRead(4);  // reference
+      ctx.BroadcastRead(4);  // bitwidth word
+      const uint32_t* block_data = enc.data.data() + start_word;
+      uint32_t bw = block_data[1];
+      for (uint32_t m = 0; m < mb_count; ++m) {
+        const uint32_t bits = (bw >> (8 * m)) & 0xFF;
+        // One warp (32 threads) covers one miniblock: per-thread 8-byte
+        // loads inside a 4*bits-byte window.
+        ctx.WindowedRead(block_size / mb_count, 4ull * bits + 8,
+                         /*accesses_per_thread=*/2);
+      }
+      // Miniblock-offset loop (lines 8-10) + shift/mask extraction.
+      ctx.Compute(static_cast<uint64_t>(block_size) * 14);
+      break;
+    }
+    case UnpackOpt::kSharedMemory:
+    case UnpackOpt::kMultiBlock:
+    case UnpackOpt::kPrecomputeOffsets: {
+      // Optimization 1/2: one coalesced staging pass of the D data blocks
+      // plus the D+1 block-start lookups (irregular when D is small).
+      ctx.CoalescedRead(static_cast<uint64_t>(blocks_here + 1) * 4,
+                        /*aligned=*/false);
+      ctx.CoalescedRead(data_bytes, /*aligned=*/false);
+      ctx.Shared(data_bytes);  // write staging into shared memory
+      ctx.Barrier();
+      const uint64_t values =
+          static_cast<uint64_t>(blocks_here) * block_size;
+      if (cfg.opt == UnpackOpt::kPrecomputeOffsets) {
+        // Optimization 3: D*4 (offset,width) pairs computed once by the
+        // first D*4 threads (prefix sum over the bitwidth word).
+        ctx.Shared(static_cast<uint64_t>(blocks_here) * mb_count * 8ull * 2);
+        ctx.Compute(static_cast<uint64_t>(blocks_here) * mb_count * 8);
+        ctx.Barrier();
+        // Per value: 8-byte window read + (offset,width) lookup; extraction
+        // is 5-6 ALU ops.
+        ctx.Shared(values * (8 + 4));
+        ctx.Compute(values * 6);
+      } else {
+        // Per value: 8-byte window read + bitwidth word re-read + the
+        // per-thread miniblock-offset loop.
+        ctx.Shared(values * (8 + 4));
+        ctx.Compute(values * 14);
+      }
+      break;
+    }
+  }
+
+  // Functional decode (bit-exact with the format's reference decoder).
+  for (int b = 0; b < blocks_here; ++b) {
+    const uint32_t block = static_cast<uint32_t>(first_block) + b;
+    format::GpuForDecodeBlock(h, enc.data.data() + enc.block_starts[block],
+                              out_tile + static_cast<size_t>(b) * block_size);
+  }
+  const uint64_t tile_begin =
+      static_cast<uint64_t>(first_block) * block_size;
+  valid = static_cast<uint32_t>(std::min<uint64_t>(
+      static_cast<uint64_t>(blocks_here) * block_size,
+      h.total_count - tile_begin));
+  return valid;
+}
+
+uint32_t LoadDBitPack(sim::BlockContext& ctx,
+                      const format::GpuDForEncoded& enc, int64_t tile_id,
+                      uint32_t* out_tile) {
+  const format::GpuDForHeader& h = enc.header;
+  const uint32_t vpt = h.values_per_tile();
+  const uint32_t first_block =
+      static_cast<uint32_t>(tile_id) * h.blocks_per_tile;
+  const uint32_t last_block = std::min(first_block + h.blocks_per_tile,
+                                       h.num_blocks());
+  const uint32_t blocks_here = last_block - first_block;
+  if (blocks_here == 0) return 0;
+
+  const uint64_t data_bytes =
+      static_cast<uint64_t>(enc.block_starts[last_block] -
+                            enc.block_starts[first_block]) *
+      4;
+
+  // Stage: block starts, first-value word, encoded blocks.
+  ctx.CoalescedRead(static_cast<uint64_t>(blocks_here + 1) * 4, false);
+  ctx.BroadcastRead(4);  // tile first value
+  ctx.CoalescedRead(data_bytes + 4, false);
+  ctx.Shared(data_bytes);
+  ctx.Barrier();
+
+  // Unpack deltas into shared memory (precomputed-offset fast path), then
+  // the fused block-wide prefix sum (Section 5.2).
+  const uint64_t values = static_cast<uint64_t>(blocks_here) * h.block_size;
+  ctx.Shared(static_cast<uint64_t>(blocks_here) * h.miniblock_count * 16);
+  ctx.Compute(static_cast<uint64_t>(blocks_here) * h.miniblock_count * 8);
+  ctx.Barrier();
+  ctx.Shared(values * (8 + 4));  // window reads
+  ctx.Shared(values * 4);        // deltas written to the scan buffer
+  ctx.Compute(values * 6);
+
+  // Functional decode (includes the tile prefix sum); scan accounting below
+  // reflects the real element count.
+  format::GpuDForDecodeTile(h, enc, static_cast<uint32_t>(tile_id), out_tile);
+  {
+    const uint64_t add_steps = 2ull * (values > 0 ? values - 1 : 0);
+    ctx.Shared(add_steps * 12);
+    ctx.Compute(add_steps);
+    const uint32_t levels = BitsNeeded(static_cast<uint32_t>(values));
+    for (uint32_t i = 0; i < 2 * levels; ++i) ctx.Barrier();
+  }
+
+  const uint64_t tile_begin = static_cast<uint64_t>(tile_id) * vpt;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(vpt, h.total_count - tile_begin));
+}
+
+uint32_t LoadRBitPack(sim::BlockContext& ctx,
+                      const format::GpuRForEncoded& enc, int64_t block_id,
+                      uint32_t* out_tile) {
+  const format::GpuRForHeader& h = enc.header;
+  const uint32_t block = static_cast<uint32_t>(block_id);
+  if (block >= h.num_blocks()) return 0;
+
+  const uint64_t vbytes =
+      static_cast<uint64_t>(enc.value_block_starts[block + 1] -
+                            enc.value_block_starts[block]) *
+      4;
+  const uint64_t lbytes =
+      static_cast<uint64_t>(enc.length_block_starts[block + 1] -
+                            enc.length_block_starts[block]) *
+      4;
+
+  // Stage both compressed streams (two block-start lookups + two data
+  // reads — the doubled resource cost of Section 6).
+  ctx.CoalescedRead(8, false);
+  ctx.CoalescedRead(8, false);
+  ctx.CoalescedRead(vbytes, false);
+  ctx.CoalescedRead(lbytes, false);
+  ctx.Shared(vbytes + lbytes);
+  ctx.Barrier();
+
+  // Unpack runs.
+  std::vector<uint32_t> values(h.block_size);
+  std::vector<uint32_t> lengths(h.block_size);
+  const uint32_t runs =
+      format::GpuRForUnpackRuns(enc, block, values.data(), lengths.data());
+  ctx.Shared(static_cast<uint64_t>(runs) * (8 + 4) * 2);
+  ctx.Compute(static_cast<uint64_t>(runs) * 12);
+  ctx.Barrier();
+
+  // Expansion: the four steps of Fang et al. [18] — exclusive scan over the
+  // lengths, scatter of run indices, inclusive max-scan over positions,
+  // gather of values — all in shared memory.
+  std::vector<uint32_t> offsets(lengths.begin(), lengths.begin() + runs);
+  uint32_t total = BlockScanExclusive(ctx, offsets.data(), runs);
+  std::vector<uint32_t> run_index(h.block_size, 0);
+  for (uint32_t r = 0; r < runs; ++r) run_index[offsets[r]] = r;
+  ctx.Shared(static_cast<uint64_t>(runs) * 4);  // scatter
+  // Max-scan propagation.
+  uint32_t cur = 0;
+  for (uint32_t i = 0; i < total; ++i) {
+    cur = std::max(cur, run_index[i]);
+    out_tile[i] = values[cur];
+  }
+  {
+    const uint64_t add_steps = 2ull * (total > 0 ? total - 1 : 0);
+    ctx.Shared(add_steps * 12 + static_cast<uint64_t>(total) * 8);
+    ctx.Compute(add_steps + total * 2);
+    const uint32_t levels = BitsNeeded(total ? total : 1);
+    for (uint32_t i = 0; i < 2 * levels; ++i) ctx.Barrier();
+  }
+  return total;
+}
+
+uint32_t BlockLoadRaw(sim::BlockContext& ctx, const uint32_t* column,
+                      uint32_t column_count, int64_t tile_id,
+                      uint32_t tile_size, uint32_t* out_tile) {
+  const uint64_t begin = static_cast<uint64_t>(tile_id) * tile_size;
+  if (begin >= column_count) return 0;
+  const uint32_t n = static_cast<uint32_t>(
+      std::min<uint64_t>(tile_size, column_count - begin));
+  ctx.CoalescedRead(static_cast<uint64_t>(n) * 4, /*aligned=*/true);
+  std::memcpy(out_tile, column + begin, static_cast<size_t>(n) * 4);
+  return n;
+}
+
+}  // namespace tilecomp::kernels

@@ -1,0 +1,93 @@
+// Tile-based decompression device functions (Sections 4-7).
+//
+// Each function decodes one tile of encoded data inside a simulated kernel:
+// it is called from a kernel body with the thread block's BlockContext, reads
+// the tile's encoded blocks from "global memory" (accounting the traffic a
+// real CUDA thread block would generate), decodes in "shared memory", and
+// deposits the decoded values into `out_tile` — the stand-in for the
+// per-thread registers of the Crystal execution model. Query kernels call
+// these in place of a plain BlockLoad, which is exactly the paper's
+// single-line-of-code integration story (Section 7).
+#ifndef TILECOMP_KERNELS_LOAD_TILE_H_
+#define TILECOMP_KERNELS_LOAD_TILE_H_
+
+#include <cstdint>
+
+#include "format/gpudfor.h"
+#include "format/gpufor.h"
+#include "format/gpurfor.h"
+#include "sim/block_context.h"
+#include "sim/stats.h"
+
+namespace tilecomp::kernels {
+
+// Implementation levels of the bit-unpacking kernel, matching the paper's
+// Section 4.2 optimization ablation.
+enum class UnpackOpt {
+  kBase,                // Algorithm 1: per-thread global-memory accesses
+  kSharedMemory,        // Optimization 1: stage the data block in smem (D=1)
+  kMultiBlock,          // Optimization 2: D blocks per thread block
+  kPrecomputeOffsets,   // Optimization 3: precomputed miniblock offsets
+};
+
+struct UnpackConfig {
+  // Data blocks decoded per thread block (the paper's D; Section 4.2,
+  // Optimization 2). Ignored (treated as 1) for kBase/kSharedMemory.
+  int d = 4;
+  UnpackOpt opt = UnpackOpt::kPrecomputeOffsets;
+
+  int effective_d() const {
+    return (opt == UnpackOpt::kBase || opt == UnpackOpt::kSharedMemory) ? 1
+                                                                        : d;
+  }
+};
+
+// --- Launch-resource estimators (drive the occupancy model) ---
+
+// Estimated live registers per thread for a D-block unpack kernel: working
+// set plus the D output values each thread keeps in registers. Past ~128
+// the perf model converts the excess into local-memory spill traffic, which
+// is what the paper observes at D=32 (Section 4.2) and for the vertical
+// GPU-SIMDBP128 layout (Section 4.3).
+int EstimateRegsPerThread(int d);
+
+// Declared shared memory for a GPU-FOR unpack launch: D average-sized
+// encoded blocks (+ the decode staging the scheme needs).
+int GpuForSmemBytes(const format::GpuForEncoded& enc, const UnpackConfig& cfg);
+int GpuDForSmemBytes(const format::GpuDForEncoded& enc);
+int GpuRForSmemBytes(const format::GpuRForEncoded& enc);
+
+sim::LaunchConfig GpuForLaunchConfig(const format::GpuForEncoded& enc,
+                                     const UnpackConfig& cfg);
+sim::LaunchConfig GpuDForLaunchConfig(const format::GpuDForEncoded& enc);
+sim::LaunchConfig GpuRForLaunchConfig(const format::GpuRForEncoded& enc);
+
+// --- Device functions ---
+
+// Decode tile `tile_id` (cfg.effective_d() consecutive 128-value blocks) of
+// a GPU-FOR stream into out_tile. Returns the number of valid (non-padding)
+// values deposited.
+uint32_t LoadBitPack(sim::BlockContext& ctx, const format::GpuForEncoded& enc,
+                     int64_t tile_id, const UnpackConfig& cfg,
+                     uint32_t* out_tile);
+
+// Decode one GPU-DFOR tile (blocks_per_tile blocks + fused block-wide
+// prefix sum; Section 5.2).
+uint32_t LoadDBitPack(sim::BlockContext& ctx,
+                      const format::GpuDForEncoded& enc, int64_t tile_id,
+                      uint32_t* out_tile);
+
+// Decode one GPU-RFOR block (512 logical values: unpack runs + in-smem
+// scatter/prefix-sum expansion; Section 6).
+uint32_t LoadRBitPack(sim::BlockContext& ctx,
+                      const format::GpuRForEncoded& enc, int64_t block_id,
+                      uint32_t* out_tile);
+
+// Crystal-style BlockLoad of an uncompressed column tile.
+uint32_t BlockLoadRaw(sim::BlockContext& ctx, const uint32_t* column,
+                      uint32_t column_count, int64_t tile_id,
+                      uint32_t tile_size, uint32_t* out_tile);
+
+}  // namespace tilecomp::kernels
+
+#endif  // TILECOMP_KERNELS_LOAD_TILE_H_

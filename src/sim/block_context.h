@@ -1,0 +1,164 @@
+// BlockContext: the per-thread-block execution environment handed to
+// simulated kernels. A kernel is a callable `void(BlockContext&)` written in
+// block-synchronous style: it performs the work of all `block_threads()`
+// threads of one thread block, phase by phase, calling the accounting
+// primitives below to record the memory traffic and compute the real CUDA
+// kernel would generate.
+//
+// The accounting primitives mirror the access patterns the paper reasons
+// about in Section 4.2:
+//   - CoalescedRead/Write: a block-cooperative contiguous access (BlockLoad
+//     style); cost = sector-rounded bytes, one warp instruction per 128 B.
+//   - BroadcastRead: every warp loads the same small word (e.g., a block
+//     header); cost = one sector and one instruction per warp.
+//   - ScatteredRead/Write: independent per-thread accesses landing in
+//     distinct sectors (the "irregular access" the paper's optimizations
+//     remove); cost = one sector and one instruction replay per access.
+//   - Shared / Compute / Barrier: shared-memory traffic, ALU work, and
+//     __syncthreads counts.
+#ifndef TILECOMP_SIM_BLOCK_CONTEXT_H_
+#define TILECOMP_SIM_BLOCK_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "sim/device_spec.h"
+#include "sim/stats.h"
+
+namespace tilecomp::sim {
+
+class BlockContext {
+ public:
+  BlockContext(int block_threads, int warp_size = 32)
+      : block_threads_(block_threads), warp_size_(warp_size) {
+    TILECOMP_CHECK(block_threads >= 1);
+  }
+
+  void Reset(int64_t block_id) {
+    block_id_ = block_id;
+    smem_used_ = 0;
+  }
+
+  int64_t block_id() const { return block_id_; }
+  int block_threads() const { return block_threads_; }
+  int warps_per_block() const {
+    return CeilDiv(block_threads_, warp_size_);
+  }
+
+  // --- Global-memory accounting ---
+
+  // Block-cooperative read of a contiguous `bytes`-long range. `aligned`
+  // ranges start on a sector boundary; unaligned ranges touch one extra
+  // sector (the partial-segment effect of Section 4.2, Optimization 2).
+  void CoalescedRead(uint64_t bytes, bool aligned = false) {
+    if (bytes == 0) return;
+    uint64_t sectors = CeilDiv<uint64_t>(bytes, DeviceSpec::kSectorBytes) +
+                       (aligned ? 0 : 1);
+    stats_.global_bytes_read += sectors * DeviceSpec::kSectorBytes;
+    // Block-cooperative loads are vectorized (128-bit per thread, as in
+    // Crystal's BlockLoad): one warp instruction covers two transactions.
+    stats_.warp_global_accesses +=
+        CeilDiv<uint64_t>(bytes, 2 * DeviceSpec::kTransactionBytes);
+  }
+
+  void CoalescedWrite(uint64_t bytes, bool aligned = true) {
+    if (bytes == 0) return;
+    uint64_t sectors = CeilDiv<uint64_t>(bytes, DeviceSpec::kSectorBytes) +
+                       (aligned ? 0 : 1);
+    stats_.global_bytes_written += sectors * DeviceSpec::kSectorBytes;
+    stats_.warp_global_accesses +=
+        CeilDiv<uint64_t>(bytes, 2 * DeviceSpec::kTransactionBytes);
+  }
+
+  // Every warp of the block loads the same `bytes`-sized word (bytes <= 32).
+  void BroadcastRead(uint32_t bytes = 4) {
+    (void)bytes;
+    stats_.global_bytes_read +=
+        static_cast<uint64_t>(warps_per_block()) * DeviceSpec::kSectorBytes;
+    stats_.warp_global_accesses += warps_per_block();
+  }
+
+  // `count` independent thread accesses of `bytes_each`, each landing in its
+  // own sector(s) (worst-case uncoalesced).
+  // Scattered sectors pipeline through the memory system (a warp's 32
+  // divergent transactions are replays of one instruction, kept in flight
+  // together), so the latency charge is a fraction of the sector count.
+  static constexpr uint64_t kScatterPipelining = 8;
+  // Random sectors also pay DRAM row activation: effective bandwidth is
+  // ~4/7 of the streaming peak, modeled as inflated bytes.
+  static constexpr uint64_t kDramRandomPenaltyNum = 7;
+  static constexpr uint64_t kDramRandomPenaltyDen = 4;
+
+  void ScatteredRead(uint64_t count, uint32_t bytes_each = 4) {
+    uint64_t sectors_each =
+        CeilDiv<uint64_t>(bytes_each, DeviceSpec::kSectorBytes);
+    stats_.global_bytes_read += count * sectors_each *
+                                DeviceSpec::kSectorBytes *
+                                kDramRandomPenaltyNum / kDramRandomPenaltyDen;
+    stats_.warp_global_accesses +=
+        CeilDiv<uint64_t>(count * sectors_each, kScatterPipelining);
+  }
+
+  void ScatteredWrite(uint64_t count, uint32_t bytes_each = 4) {
+    uint64_t sectors_each =
+        CeilDiv<uint64_t>(bytes_each, DeviceSpec::kSectorBytes);
+    stats_.global_bytes_written += count * sectors_each *
+                                   DeviceSpec::kSectorBytes *
+                                   kDramRandomPenaltyNum /
+                                   kDramRandomPenaltyDen;
+    stats_.warp_global_accesses +=
+        CeilDiv<uint64_t>(count * sectors_each, kScatterPipelining);
+  }
+
+  // `count` per-thread accesses whose addresses within each warp fall in a
+  // contiguous window of `window_bytes` (e.g., bit-packed entries of one
+  // miniblock): the warp coalesces them into the sectors covering the
+  // window. Used for per-thread reads that are *mostly* coalesced.
+  void WindowedRead(uint64_t count, uint64_t window_bytes,
+                    uint32_t accesses_per_thread = 1) {
+    uint64_t warps = CeilDiv<uint64_t>(count, warp_size_);
+    uint64_t sectors_per_warp =
+        CeilDiv<uint64_t>(window_bytes, DeviceSpec::kSectorBytes) + 1;
+    stats_.global_bytes_read +=
+        warps * sectors_per_warp * DeviceSpec::kSectorBytes;
+    stats_.warp_global_accesses += warps * accesses_per_thread;
+  }
+
+  // --- On-chip accounting ---
+
+  void Shared(uint64_t bytes) { stats_.shared_bytes += bytes; }
+  void Compute(uint64_t ops) { stats_.compute_ops += ops; }
+  void Barrier() { ++stats_.barriers; }
+
+  // --- Shared-memory scratch arena ---
+  // Returns block-local scratch; contents are undefined after Reset(). The
+  // arena grows on demand; the *declared* shared-memory footprint used for
+  // occupancy is the LaunchConfig's smem_bytes_per_block.
+  template <typename T>
+  T* SmemAlloc(size_t count) {
+    size_t bytes = RoundUp<size_t>(count * sizeof(T), 16);
+    if (smem_used_ + bytes > smem_arena_.size()) {
+      smem_arena_.resize(smem_used_ + bytes);
+    }
+    T* p = reinterpret_cast<T*>(smem_arena_.data() + smem_used_);
+    smem_used_ += bytes;
+    return p;
+  }
+
+  KernelStats& stats() { return stats_; }
+  const KernelStats& stats() const { return stats_; }
+
+ private:
+  int block_threads_;
+  int warp_size_;
+  int64_t block_id_ = 0;
+  KernelStats stats_;
+  std::vector<uint8_t> smem_arena_;
+  size_t smem_used_ = 0;
+};
+
+}  // namespace tilecomp::sim
+
+#endif  // TILECOMP_SIM_BLOCK_CONTEXT_H_

@@ -1,0 +1,55 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+namespace tilecomp::sim {
+
+Device::Device(DeviceSpec spec) : spec_(spec), pool_() {}
+
+KernelResult Device::Launch(const LaunchConfig& cfg, const KernelBody& body) {
+  TILECOMP_CHECK(cfg.grid_dim >= 0);
+  TILECOMP_CHECK(cfg.block_threads >= 1 && cfg.block_threads <= 1024);
+
+  KernelStats merged;
+  std::mutex merge_mu;
+
+  const int64_t grid = cfg.grid_dim;
+  if (grid > 0) {
+    // Each pool chunk owns one reusable BlockContext; stats merge at the
+    // end of the chunk. Blocks are independent, matching the CUDA model.
+    pool_.ParallelForRange(
+        static_cast<size_t>(grid), [&](size_t begin, size_t end) {
+          BlockContext ctx(cfg.block_threads, spec_.warp_size);
+          for (size_t b = begin; b < end; ++b) {
+            ctx.Reset(static_cast<int64_t>(b));
+            body(ctx);
+          }
+          std::lock_guard<std::mutex> lock(merge_mu);
+          merged += ctx.stats();
+        });
+  }
+
+  KernelResult result;
+  result.config = cfg;
+  result.stats = merged;
+  result.time_ms = EstimateKernelTimeMs(spec_, cfg, merged);
+
+  total_stats_ += merged;
+  elapsed_ms_ += result.time_ms;
+  ++kernel_launches_;
+  return result;
+}
+
+double Device::Transfer(uint64_t bytes) {
+  double ms = EstimateTransferMs(spec_, bytes);
+  elapsed_ms_ += ms;
+  return ms;
+}
+
+void Device::ResetTimeline() {
+  total_stats_ = KernelStats();
+  elapsed_ms_ = 0.0;
+  kernel_launches_ = 0;
+}
+
+}  // namespace tilecomp::sim

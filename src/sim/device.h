@@ -1,0 +1,63 @@
+// The simulated GPU device: launches kernels (executing thread blocks on a
+// host thread pool), accumulates per-kernel work counters, and keeps a
+// timeline of modeled execution and transfer time.
+#ifndef TILECOMP_SIM_DEVICE_H_
+#define TILECOMP_SIM_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+#include "sim/block_context.h"
+#include "sim/device_spec.h"
+#include "sim/perf_model.h"
+#include "sim/stats.h"
+
+namespace tilecomp::sim {
+
+// A kernel body runs the work of one thread block. It is invoked once per
+// block id in [0, grid_dim); invocations may run concurrently on host
+// threads and must only share data through the buffers they operate on
+// (as real CUDA blocks do).
+using KernelBody = std::function<void(BlockContext&)>;
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec());
+
+  TILECOMP_DISALLOW_COPY_AND_ASSIGN(Device);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  // Execute `body` for every block of the launch, collect work counters,
+  // model the kernel time, and append it to the device timeline.
+  KernelResult Launch(const LaunchConfig& cfg, const KernelBody& body);
+
+  // Model a host->device (or device->host) PCIe transfer of `bytes` and
+  // append it to the timeline. Returns the transfer time in ms.
+  double Transfer(uint64_t bytes);
+
+  // Append externally-computed time (e.g., host-side work) to the timeline.
+  void AddTimeMs(double ms) { elapsed_ms_ += ms; }
+
+  // --- Timeline / accumulation ---
+  double elapsed_ms() const { return elapsed_ms_; }
+  uint64_t kernel_launches() const { return kernel_launches_; }
+  const KernelStats& total_stats() const { return total_stats_; }
+  void ResetTimeline();
+
+ private:
+  DeviceSpec spec_;
+  ThreadPool pool_;
+  KernelStats total_stats_;
+  double elapsed_ms_ = 0.0;
+  uint64_t kernel_launches_ = 0;
+};
+
+}  // namespace tilecomp::sim
+
+#endif  // TILECOMP_SIM_DEVICE_H_

@@ -1,0 +1,64 @@
+// Hardware description of the simulated GPU. Defaults model the Nvidia V100
+// used in the paper's evaluation (Section 9.1) plus the resource limits the
+// paper quotes in Section 4.2.
+#ifndef TILECOMP_SIM_DEVICE_SPEC_H_
+#define TILECOMP_SIM_DEVICE_SPEC_H_
+
+namespace tilecomp::sim {
+
+struct DeviceSpec {
+  // --- Bandwidths ---
+  // Global memory (HBM2) read/write bandwidth, GB/s (paper Section 9.1).
+  double global_bw_gbps = 880.0;
+  // Shared memory aggregate bandwidth, GB/s ("an order of magnitude higher
+  // than global memory", Section 2.1: ~10 TBps vs 900 GBps on V100).
+  double shared_bw_gbps = 9500.0;
+  // Bidirectional PCIe 3 x16 transfer bandwidth, GB/s (Section 9.1).
+  double pcie_gbps = 12.8;
+
+  // --- Latency / overheads ---
+  // Fixed kernel-launch overhead, microseconds.
+  double kernel_launch_us = 5.0;
+  // Global-memory access latency, nanoseconds.
+  double mem_latency_ns = 430.0;
+  // Per-thread-block scheduling/drain overhead, nanoseconds. Covers block
+  // dispatch and barrier pipeline drain; dominates for tiny blocks (D=1).
+  double block_sched_ns = 110.0;
+
+  // --- Parallelism ---
+  int sm_count = 80;
+  int warp_size = 32;
+  int max_warps_per_sm = 64;
+
+  // --- Occupancy limits (paper Section 4.2: "each thread can only use 65
+  // registers and 48 bytes of shared memory per thread at full occupancy")---
+  int regs_per_thread_full_occupancy = 65;
+  int smem_bytes_per_thread_full_occupancy = 48;
+  // Register ceiling per thread before the compiler starts spilling to
+  // local (= global) memory at realistic occupancy targets; beyond the
+  // full-occupancy budget the model first loses occupancy, beyond this it
+  // additionally pays spill traffic.
+  int regs_per_thread_limit = 128;
+
+  // --- Compute ---
+  // Aggregate simple-integer-op throughput, ops/s.
+  double int_ops_per_sec = 9.0e12;
+
+  // --- Calibration ---
+  // Fraction of theoretical latency-hiding concurrency achieved in practice
+  // (dependent loads, partial occupancy ramp, cache interference).
+  // Calibrated against the paper's Section 4.2 ablation.
+  double latency_efficiency = 0.33;
+  // Occupancy at which global bandwidth saturates (V100 saturates HBM well
+  // below 100% occupancy).
+  double bw_saturation_occupancy = 0.25;
+
+  // Size of a global-memory sector (minimum transfer granularity), bytes.
+  static constexpr int kSectorBytes = 32;
+  // Size of a full coalesced transaction, bytes (Section 2.1 / [40]).
+  static constexpr int kTransactionBytes = 128;
+};
+
+}  // namespace tilecomp::sim
+
+#endif  // TILECOMP_SIM_DEVICE_SPEC_H_

@@ -1,0 +1,97 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace tilecomp::sim {
+
+double Occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
+  TILECOMP_CHECK(cfg.block_threads > 0);
+  double occ = 1.0;
+  // Register pressure: full occupancy is sustainable up to the budget the
+  // paper quotes; past it, resident warps scale down proportionally.
+  if (cfg.regs_per_thread > spec.regs_per_thread_full_occupancy) {
+    occ = std::min(
+        occ, static_cast<double>(spec.regs_per_thread_full_occupancy) /
+                 static_cast<double>(
+                     std::min(cfg.regs_per_thread, spec.regs_per_thread_limit)));
+  }
+  // Shared-memory pressure, per thread.
+  const double smem_per_thread =
+      static_cast<double>(cfg.smem_bytes_per_block) /
+      static_cast<double>(cfg.block_threads);
+  if (smem_per_thread > spec.smem_bytes_per_thread_full_occupancy) {
+    occ = std::min(occ, spec.smem_bytes_per_thread_full_occupancy /
+                            smem_per_thread);
+  }
+  // A launch smaller than the machine cannot fill it.
+  const double total_warps_needed =
+      static_cast<double>(cfg.grid_dim) * cfg.block_threads / spec.warp_size;
+  const double machine_warps =
+      static_cast<double>(spec.sm_count) * spec.max_warps_per_sm;
+  occ = std::min(occ, std::max(total_warps_needed / machine_warps, 1e-6));
+  return std::min(occ, 1.0);
+}
+
+double EstimateKernelTimeMs(const DeviceSpec& spec, const LaunchConfig& cfg,
+                            const KernelStats& stats) {
+  const double occ = Occupancy(spec, cfg);
+
+  // Register spilling: registers demanded beyond the hard per-thread limit
+  // live in local memory, i.e., global traffic (one round trip per spilled
+  // register per thread is a reasonable lower bound).
+  double spill_bytes = 0;
+  if (cfg.regs_per_thread > spec.regs_per_thread_limit) {
+    const double spilled = cfg.regs_per_thread - spec.regs_per_thread_limit;
+    const double total_threads =
+        static_cast<double>(cfg.grid_dim) * cfg.block_threads;
+    spill_bytes = spilled * 4.0 * total_threads * 2.0;  // store + reload
+  }
+
+  // Bandwidth term. Effective bandwidth saturates once occupancy passes
+  // bw_saturation_occupancy.
+  const double bw_frac =
+      std::min(1.0, occ / spec.bw_saturation_occupancy);
+  const double bw_eff = spec.global_bw_gbps * 1e9 * std::max(bw_frac, 1e-6);
+  const double t_bw =
+      (static_cast<double>(stats.global_bytes_total()) + spill_bytes) / bw_eff;
+
+  // Latency term (Little's law): in-flight warp-level accesses are bounded
+  // by resident warps; throughput = concurrency / latency.
+  const double conc = spec.sm_count * spec.max_warps_per_sm * occ *
+                      spec.latency_efficiency;
+  const double t_lat = static_cast<double>(stats.warp_global_accesses) *
+                       (spec.mem_latency_ns * 1e-9) / std::max(conc, 1.0);
+
+  // Shared-memory bandwidth term.
+  const double t_smem =
+      static_cast<double>(stats.shared_bytes) / (spec.shared_bw_gbps * 1e9);
+
+  // Compute term. Block-wide barriers stall every thread of the block for
+  // a few pipeline slots; charge them as equivalent ALU work.
+  const double barrier_ops = static_cast<double>(stats.barriers) *
+                             cfg.block_threads * 3.0;
+  const double t_comp =
+      (static_cast<double>(stats.compute_ops) + barrier_ops) /
+      spec.int_ops_per_sec;
+
+  // Block-scheduling term: many tiny blocks pay dispatch/drain overhead.
+  const double t_sched = static_cast<double>(cfg.grid_dim) *
+                         (spec.block_sched_ns * 1e-9) / spec.sm_count;
+
+  // Memory-system terms (global bandwidth, latency hiding, block dispatch)
+  // overlap with each other; shared-memory and ALU work both occupy the SM
+  // core pipelines and therefore add on top of the memory-system critical
+  // path (this additive split is what makes Section 4.2's Optimization 3 —
+  // pure compute reduction — visible even in bandwidth-bound kernels).
+  const double t = spec.kernel_launch_us * 1e-6 +
+                   std::max({t_bw, t_lat, t_sched}) + t_smem + t_comp;
+  return t * 1e3;
+}
+
+double EstimateTransferMs(const DeviceSpec& spec, uint64_t bytes) {
+  return static_cast<double>(bytes) / (spec.pcie_gbps * 1e9) * 1e3;
+}
+
+}  // namespace tilecomp::sim

@@ -1,0 +1,39 @@
+// Analytic timing model: converts measured kernel work (KernelStats) into
+// modeled wall-clock time on the simulated device.
+//
+// The model is a max-of-bottlenecks roofline:
+//
+//   t = launch + max( global_bytes / BW_eff(occupancy),
+//                     warp_accesses * latency / concurrency(occupancy),
+//                     shared_bytes / BW_shared,
+//                     compute_ops / IPS,
+//                     grid_dim * block_sched / sm_count )
+//
+// with occupancy derived from the per-thread register and shared-memory
+// budgets the paper quotes for the V100 (Section 4.2), and register spilling
+// beyond the hard limit converted into extra global traffic. Constants are
+// calibrated against the paper's own ablation numbers (Section 4.2: 18 ms ->
+// 7 ms -> 2.4 ms -> 2.1 ms for 500M ints at bitwidth 16).
+#ifndef TILECOMP_SIM_PERF_MODEL_H_
+#define TILECOMP_SIM_PERF_MODEL_H_
+
+#include "sim/device_spec.h"
+#include "sim/stats.h"
+
+namespace tilecomp::sim {
+
+// Fraction of the SM's warp slots occupied given the launch's per-thread
+// register and shared-memory demands. In [0, 1].
+double Occupancy(const DeviceSpec& spec, const LaunchConfig& cfg);
+
+// Modeled execution time of one kernel, in milliseconds (excluding data
+// transfer over PCIe; see EstimateTransferMs).
+double EstimateKernelTimeMs(const DeviceSpec& spec, const LaunchConfig& cfg,
+                            const KernelStats& stats);
+
+// Modeled host<->device transfer time over PCIe, in milliseconds.
+double EstimateTransferMs(const DeviceSpec& spec, uint64_t bytes);
+
+}  // namespace tilecomp::sim
+
+#endif  // TILECOMP_SIM_PERF_MODEL_H_

@@ -1,0 +1,64 @@
+// Traffic and work counters collected while executing a simulated kernel.
+#ifndef TILECOMP_SIM_STATS_H_
+#define TILECOMP_SIM_STATS_H_
+
+#include <cstdint>
+
+namespace tilecomp::sim {
+
+// Counters for one kernel execution (or an accumulation over several).
+// All global-memory byte counts are sector-accurate: every access is rounded
+// to the 32-byte sectors it touches, so uncoalesced access patterns cost
+// more bytes than the data they return — exactly the effect the paper's
+// optimizations 1-3 (Section 4.2) target.
+struct KernelStats {
+  uint64_t global_bytes_read = 0;
+  uint64_t global_bytes_written = 0;
+  // Number of warp-level global load/store instructions issued. Drives the
+  // latency term of the performance model.
+  uint64_t warp_global_accesses = 0;
+  // Bytes moved through shared memory (reads + writes).
+  uint64_t shared_bytes = 0;
+  // Simple integer/ALU operations executed.
+  uint64_t compute_ops = 0;
+  // Number of block-wide barriers (__syncthreads) executed, summed over
+  // blocks.
+  uint64_t barriers = 0;
+
+  uint64_t global_bytes_total() const {
+    return global_bytes_read + global_bytes_written;
+  }
+
+  KernelStats& operator+=(const KernelStats& o) {
+    global_bytes_read += o.global_bytes_read;
+    global_bytes_written += o.global_bytes_written;
+    warp_global_accesses += o.warp_global_accesses;
+    shared_bytes += o.shared_bytes;
+    compute_ops += o.compute_ops;
+    barriers += o.barriers;
+    return *this;
+  }
+};
+
+// Static launch configuration of a kernel; consumed by the occupancy model.
+struct LaunchConfig {
+  // Number of thread blocks.
+  int64_t grid_dim = 0;
+  // Threads per block (32..1024).
+  int block_threads = 128;
+  // Declared shared memory per block, bytes.
+  int smem_bytes_per_block = 0;
+  // Estimated live registers per thread.
+  int regs_per_thread = 32;
+};
+
+// Result of launching one kernel: measured work plus modeled time.
+struct KernelResult {
+  LaunchConfig config;
+  KernelStats stats;
+  double time_ms = 0.0;
+};
+
+}  // namespace tilecomp::sim
+
+#endif  // TILECOMP_SIM_STATS_H_

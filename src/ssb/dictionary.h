@@ -1,0 +1,56 @@
+// Order-preserving string dictionary. SSB string attributes are dictionary
+// encoded into integers before loading (Section 9.4: "we dictionary encode
+// the string columns into integers prior to data loading and the queries
+// run directly on dictionary-encoded values").
+#ifndef TILECOMP_SSB_DICTIONARY_H_
+#define TILECOMP_SSB_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tilecomp::ssb {
+
+class Dictionary {
+ public:
+  // Returns the code for `value`, inserting it if new. Codes are assigned
+  // in insertion order; generators insert in sorted order so that range
+  // predicates on strings map to range predicates on codes.
+  uint32_t GetOrAdd(const std::string& value) {
+    auto it = index_.find(value);
+    if (it != index_.end()) return it->second;
+    const uint32_t code = static_cast<uint32_t>(values_.size());
+    values_.push_back(value);
+    index_.emplace(value, code);
+    return code;
+  }
+
+  // Code lookup for a value that must exist (query constants).
+  uint32_t Code(const std::string& value) const {
+    auto it = index_.find(value);
+    TILECOMP_CHECK_MSG(it != index_.end(), value.c_str());
+    return it->second;
+  }
+
+  bool Contains(const std::string& value) const {
+    return index_.count(value) > 0;
+  }
+
+  const std::string& Value(uint32_t code) const {
+    TILECOMP_CHECK(code < values_.size());
+    return values_[code];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace tilecomp::ssb
+
+#endif  // TILECOMP_SSB_DICTIONARY_H_

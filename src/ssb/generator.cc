@@ -1,0 +1,306 @@
+#include "ssb/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace tilecomp::ssb {
+
+namespace {
+
+struct NationInfo {
+  const char* name;
+  const char* region;
+};
+
+// The 25 dbgen nations and their regions.
+constexpr NationInfo kNations[] = {
+    {"ALGERIA", "AFRICA"},        {"ARGENTINA", "AMERICA"},
+    {"BRAZIL", "AMERICA"},        {"CANADA", "AMERICA"},
+    {"CHINA", "ASIA"},            {"EGYPT", "MIDDLE EAST"},
+    {"ETHIOPIA", "AFRICA"},       {"FRANCE", "EUROPE"},
+    {"GERMANY", "EUROPE"},        {"INDIA", "ASIA"},
+    {"INDONESIA", "ASIA"},        {"IRAN", "MIDDLE EAST"},
+    {"IRAQ", "MIDDLE EAST"},      {"JAPAN", "ASIA"},
+    {"JORDAN", "MIDDLE EAST"},    {"KENYA", "AFRICA"},
+    {"MOROCCO", "AFRICA"},        {"MOZAMBIQUE", "AFRICA"},
+    {"PERU", "AMERICA"},          {"ROMANIA", "EUROPE"},
+    {"RUSSIA", "EUROPE"},         {"SAUDI ARABIA", "MIDDLE EAST"},
+    {"UNITED KINGDOM", "EUROPE"}, {"UNITED STATES", "AMERICA"},
+    {"VIETNAM", "ASIA"},
+};
+constexpr int kNumNations = 25;
+
+constexpr const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                   "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+bool IsLeap(int y) { return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0); }
+
+int DaysInMonth(int y, int m) {
+  static const int days[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  return (m == 2 && IsLeap(y)) ? 29 : days[m - 1];
+}
+
+// dbgen city: first 9 characters of the nation (space padded) + one digit.
+std::string CityName(const std::string& nation, int digit) {
+  std::string prefix = nation.substr(0, 9);
+  prefix.resize(9, ' ');
+  return prefix + static_cast<char>('0' + digit);
+}
+
+}  // namespace
+
+const char* LoColName(LoCol col) {
+  switch (col) {
+    case LoCol::kOrderkey:
+      return "orderkey";
+    case LoCol::kOrderdate:
+      return "orderdate";
+    case LoCol::kOrdtotalprice:
+      return "ordtotalprice";
+    case LoCol::kCustkey:
+      return "custkey";
+    case LoCol::kPartkey:
+      return "partkey";
+    case LoCol::kSuppkey:
+      return "suppkey";
+    case LoCol::kLinenumber:
+      return "linenumber";
+    case LoCol::kQuantity:
+      return "quantity";
+    case LoCol::kTax:
+      return "tax";
+    case LoCol::kDiscount:
+      return "discount";
+    case LoCol::kCommitdate:
+      return "commitdate";
+    case LoCol::kExtendedprice:
+      return "extendedprice";
+    case LoCol::kRevenue:
+      return "revenue";
+    case LoCol::kSupplycost:
+      return "supplycost";
+  }
+  return "?";
+}
+
+const std::vector<uint32_t>& LineorderTable::column(LoCol col) const {
+  switch (col) {
+    case LoCol::kOrderkey:
+      return orderkey;
+    case LoCol::kOrderdate:
+      return orderdate;
+    case LoCol::kOrdtotalprice:
+      return ordtotalprice;
+    case LoCol::kCustkey:
+      return custkey;
+    case LoCol::kPartkey:
+      return partkey;
+    case LoCol::kSuppkey:
+      return suppkey;
+    case LoCol::kLinenumber:
+      return linenumber;
+    case LoCol::kQuantity:
+      return quantity;
+    case LoCol::kTax:
+      return tax;
+    case LoCol::kDiscount:
+      return discount;
+    case LoCol::kCommitdate:
+      return commitdate;
+    case LoCol::kExtendedprice:
+      return extendedprice;
+    case LoCol::kRevenue:
+      return revenue;
+    case LoCol::kSupplycost:
+      return supplycost;
+  }
+  return orderkey;
+}
+
+uint64_t SsbData::total_bytes() const {
+  uint64_t n = 0;
+  for (int c = 0; c < kNumLoCols; ++c) {
+    n += lineorder.column(static_cast<LoCol>(c)).size();
+  }
+  n += date.datekey.size() * 5;
+  n += supplier.suppkey.size() * 4;
+  n += customer.custkey.size() * 4;
+  n += part.partkey.size() * 4;
+  return n * 4;
+}
+
+SsbData GenerateSsb(const GeneratorOptions& options) {
+  TILECOMP_CHECK(options.scale_factor >= 1);
+  TILECOMP_CHECK(options.row_divisor >= 1);
+  SsbData data;
+  data.scale_factor = options.scale_factor;
+  Rng rng(options.seed);
+
+  // --- Dictionaries (inserted in sorted order: order-preserving codes) ---
+  {
+    std::vector<std::string> regions = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                        "MIDDLE EAST"};
+    for (const auto& r : regions) data.region_dict.GetOrAdd(r);
+    for (const auto& n : kNations) data.nation_dict.GetOrAdd(n.name);
+    for (const auto& n : kNations) {
+      for (int d = 0; d < 10; ++d) {
+        data.city_dict.GetOrAdd(CityName(n.name, d));
+      }
+    }
+    char buf[16];
+    for (int m = 1; m <= 5; ++m) {
+      std::snprintf(buf, sizeof(buf), "MFGR#%d", m);
+      data.mfgr_dict.GetOrAdd(buf);
+    }
+    for (int m = 1; m <= 5; ++m) {
+      for (int c = 1; c <= 5; ++c) {
+        std::snprintf(buf, sizeof(buf), "MFGR#%d%d", m, c);
+        data.category_dict.GetOrAdd(buf);
+      }
+    }
+    // Brand = category + a 2-digit suffix 1..40 (zero padded so that the
+    // dictionary's insertion order is also the query's string order).
+    for (int m = 1; m <= 5; ++m) {
+      for (int c = 1; c <= 5; ++c) {
+        for (int b = 1; b <= 40; ++b) {
+          std::snprintf(buf, sizeof(buf), "MFGR#%d%d%02d", m, c, b);
+          data.brand_dict.GetOrAdd(buf);
+        }
+      }
+    }
+    for (int y = 1992; y <= 1998; ++y) {
+      for (int m = 0; m < 12; ++m) {
+        data.yearmonth_dict.GetOrAdd(std::string(kMonths[m]) +
+                                     std::to_string(y));
+      }
+    }
+  }
+
+  // --- Date: one row per day, 1992-01-01 .. 1998-12-31 ---
+  for (int y = 1992; y <= 1998; ++y) {
+    int day_of_year = 0;
+    for (int m = 1; m <= 12; ++m) {
+      for (int d = 1; d <= DaysInMonth(y, m); ++d) {
+        ++day_of_year;
+        data.date.datekey.push_back(y * 10000 + m * 100 + d);
+        data.date.year.push_back(y);
+        data.date.yearmonthnum.push_back(y * 100 + m);
+        data.date.yearmonth.push_back(data.yearmonth_dict.Code(
+            std::string(kMonths[m - 1]) + std::to_string(y)));
+        data.date.weeknuminyear.push_back((day_of_year - 1) / 7 + 1);
+      }
+    }
+  }
+  const uint32_t num_days = data.date.size();
+
+  // --- Supplier: 2,000 * SF rows ---
+  const uint32_t num_suppliers = 2000u * options.scale_factor;
+  for (uint32_t i = 0; i < num_suppliers; ++i) {
+    const NationInfo& n = kNations[rng.NextBounded(kNumNations)];
+    data.supplier.suppkey.push_back(i + 1);
+    data.supplier.nation.push_back(data.nation_dict.Code(n.name));
+    data.supplier.region.push_back(data.region_dict.Code(n.region));
+    data.supplier.city.push_back(data.city_dict.Code(
+        CityName(n.name, static_cast<int>(rng.NextBounded(10)))));
+  }
+
+  // --- Customer: 30,000 * SF rows ---
+  const uint32_t num_customers = 30000u * options.scale_factor;
+  for (uint32_t i = 0; i < num_customers; ++i) {
+    const NationInfo& n = kNations[rng.NextBounded(kNumNations)];
+    data.customer.custkey.push_back(i + 1);
+    data.customer.nation.push_back(data.nation_dict.Code(n.name));
+    data.customer.region.push_back(data.region_dict.Code(n.region));
+    data.customer.city.push_back(data.city_dict.Code(
+        CityName(n.name, static_cast<int>(rng.NextBounded(10)))));
+  }
+
+  // --- Part: 200,000 * (1 + floor(log2 SF)) rows ---
+  uint32_t part_mult = 1;
+  for (int sf = options.scale_factor; sf > 1; sf >>= 1) ++part_mult;
+  const uint32_t num_parts = 200000u * part_mult;
+  // Per-part retail price drives extendedprice/supplycost (dbgen-like).
+  std::vector<uint32_t> part_price(num_parts);
+  for (uint32_t i = 0; i < num_parts; ++i) {
+    const uint32_t m = 1 + static_cast<uint32_t>(rng.NextBounded(5));
+    const uint32_t c = 1 + static_cast<uint32_t>(rng.NextBounded(5));
+    const uint32_t b = 1 + static_cast<uint32_t>(rng.NextBounded(40));
+    char buf[16];
+    data.part.partkey.push_back(i + 1);
+    std::snprintf(buf, sizeof(buf), "MFGR#%u", m);
+    data.part.mfgr.push_back(data.mfgr_dict.Code(buf));
+    std::snprintf(buf, sizeof(buf), "MFGR#%u%u", m, c);
+    data.part.category.push_back(data.category_dict.Code(buf));
+    std::snprintf(buf, sizeof(buf), "MFGR#%u%u%02u", m, c, b);
+    data.part.brand1.push_back(data.brand_dict.Code(buf));
+    part_price[i] = 90000 + static_cast<uint32_t>(rng.NextBounded(20001));
+  }
+
+  // --- Lineorder: 1,500,000 * SF orders of 1..7 lines (avg 4) ---
+  const uint64_t num_orders =
+      1500000ull * options.scale_factor / options.row_divisor;
+  LineorderTable& lo = data.lineorder;
+  const size_t approx_rows = static_cast<size_t>(num_orders) * 4;
+  for (int c = 0; c < kNumLoCols; ++c) {
+    // Reserve through the accessor's non-const twin below.
+  }
+  lo.orderkey.reserve(approx_rows);
+  lo.orderdate.reserve(approx_rows);
+
+  for (uint64_t o = 1; o <= num_orders; ++o) {
+    const uint32_t lines = 1 + static_cast<uint32_t>(rng.NextBounded(7));
+    const uint32_t custkey =
+        1 + static_cast<uint32_t>(rng.NextBounded(num_customers));
+    const uint32_t date_idx =
+        static_cast<uint32_t>(rng.NextBounded(num_days));
+    const uint32_t orderdate = data.date.datekey[date_idx];
+
+    uint64_t order_total = 0;
+    const size_t first_row = lo.orderkey.size();
+    for (uint32_t l = 1; l <= lines; ++l) {
+      const uint32_t partkey =
+          1 + static_cast<uint32_t>(rng.NextBounded(num_parts));
+      const uint32_t suppkey =
+          1 + static_cast<uint32_t>(rng.NextBounded(num_suppliers));
+      const uint32_t quantity = 1 + static_cast<uint32_t>(rng.NextBounded(50));
+      const uint32_t discount = static_cast<uint32_t>(rng.NextBounded(11));
+      const uint32_t tax = static_cast<uint32_t>(rng.NextBounded(9));
+      const uint32_t price = part_price[partkey - 1];
+      const uint32_t eprice = quantity * price / 10;  // dbgen magnitude
+      const uint32_t revenue =
+          static_cast<uint32_t>(static_cast<uint64_t>(eprice) *
+                                (100 - discount) / 100);
+      const uint32_t supplycost = 6 * price / 10;
+      const uint32_t commit_idx = std::min(
+          num_days - 1,
+          date_idx + 30 + static_cast<uint32_t>(rng.NextBounded(61)));
+
+      lo.orderkey.push_back(static_cast<uint32_t>(o));
+      lo.orderdate.push_back(orderdate);
+      lo.custkey.push_back(custkey);
+      lo.partkey.push_back(partkey);
+      lo.suppkey.push_back(suppkey);
+      lo.linenumber.push_back(l);
+      lo.quantity.push_back(quantity);
+      lo.discount.push_back(discount);
+      lo.tax.push_back(tax);
+      lo.extendedprice.push_back(eprice);
+      lo.revenue.push_back(revenue);
+      lo.supplycost.push_back(supplycost);
+      lo.commitdate.push_back(data.date.datekey[commit_idx]);
+      order_total += eprice;
+    }
+    // ordtotalprice: the order's total, constant across its lines.
+    const uint32_t total32 = static_cast<uint32_t>(
+        std::min<uint64_t>(order_total, 0xFFFFFFFFull));
+    for (size_t r = first_row; r < lo.orderkey.size(); ++r) {
+      lo.ordtotalprice.push_back(total32);
+    }
+  }
+  return data;
+}
+
+}  // namespace tilecomp::ssb

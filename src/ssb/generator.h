@@ -1,0 +1,37 @@
+// SSB data generator: reproduces dbgen's schema, key domains and — the part
+// that matters for compression — the per-column value distributions:
+// sorted lo_orderkey with order-sized runs, run-length structure in the
+// per-order columns (custkey, orderdate, ordtotalprice), uniform small
+// domains (quantity, discount, tax), large random money columns
+// (extendedprice, revenue, supplycost), and dictionary-encoded strings.
+#ifndef TILECOMP_SSB_GENERATOR_H_
+#define TILECOMP_SSB_GENERATOR_H_
+
+#include <cstdint>
+
+#include "ssb/schema.h"
+
+namespace tilecomp::ssb {
+
+struct GeneratorOptions {
+  int scale_factor = 1;  // SF n => n * 6,000,000 lineorder rows
+  uint64_t seed = 20220612;  // SIGMOD'22 opening day
+  // Scale down the row count for fast tests: rows = 6M * sf / divisor.
+  uint32_t row_divisor = 1;
+};
+
+SsbData GenerateSsb(const GeneratorOptions& options);
+
+// Convenience for tests.
+inline SsbData GenerateSsbSmall(uint32_t rows_approx) {
+  GeneratorOptions options;
+  options.scale_factor = 1;
+  options.row_divisor =
+      rows_approx == 0 ? 1
+                       : static_cast<uint32_t>(6000000 / rows_approx + 1);
+  return GenerateSsb(options);
+}
+
+}  // namespace tilecomp::ssb
+
+#endif  // TILECOMP_SSB_GENERATOR_H_

@@ -1,0 +1,835 @@
+#include "ssb/queries.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "crystal/aggregator.h"
+#include "crystal/hash_table.h"
+#include "crystal/load_column.h"
+
+namespace tilecomp::ssb {
+
+namespace {
+
+using crystal::GroupAccumulator;
+using crystal::HashTable;
+using crystal::kTileSize;
+
+const char* kQueryNames[] = {"q1.1", "q1.2", "q1.3", "q2.1", "q2.2",
+                             "q2.3", "q3.1", "q3.2", "q3.3", "q3.4",
+                             "q4.1", "q4.2", "q4.3"};
+
+// A fact-side hash join: probe `ht` with `key_col`; a row survives only if
+// the key is present. The payload feeds group-key slot `group_slot`
+// (-1: payload unused).
+struct JoinStep {
+  LoCol key_col;
+  const HashTable* ht;
+  int group_slot = -1;
+};
+
+// Internal per-query plan driving the shared Crystal kernel.
+struct QueryPlan {
+  // Fact predicate columns, evaluated before any join.
+  std::vector<LoCol> pred_cols;
+  // pred(vals) with vals[i] = value of pred_cols[i] for the row.
+  std::function<bool(const uint32_t*)> pred;
+  std::vector<JoinStep> joins;
+  // Aggregate: sum over expression of agg_cols values.
+  std::vector<LoCol> agg_cols;
+  std::function<int64_t(const uint32_t*)> agg;
+  // Dense group dimensions (slot 0 is the year: dim 7 -> 1992..1998).
+  std::array<uint32_t, 3> group_dims = {1, 1, 1};
+
+  std::vector<LoCol> UniqueCols() const {
+    std::vector<LoCol> cols = pred_cols;
+    for (const auto& j : joins) cols.push_back(j.key_col);
+    cols.insert(cols.end(), agg_cols.begin(), agg_cols.end());
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    return cols;
+  }
+};
+
+// Everything needed to run one query: hash tables + plan. Hash-table builds
+// launch kernels on `dev`, so construction is part of the measured query.
+struct PreparedQuery {
+  std::vector<std::unique_ptr<HashTable>> tables;
+  QueryPlan plan;
+};
+
+constexpr uint32_t kYearDim = 7;  // 1992..1998
+
+}  // namespace
+
+const char* QueryName(QueryId query) {
+  return kQueryNames[static_cast<int>(query)];
+}
+
+std::vector<QueryId> AllQueries() {
+  std::vector<QueryId> all;
+  for (int q = 0; q <= static_cast<int>(QueryId::kQ43); ++q) {
+    all.push_back(static_cast<QueryId>(q));
+  }
+  return all;
+}
+
+std::vector<LoCol> QueryColumns(QueryId query) {
+  switch (query) {
+    case QueryId::kQ11:
+    case QueryId::kQ12:
+    case QueryId::kQ13:
+      return {LoCol::kOrderdate, LoCol::kDiscount, LoCol::kQuantity,
+              LoCol::kExtendedprice};
+    case QueryId::kQ21:
+    case QueryId::kQ22:
+    case QueryId::kQ23:
+      return {LoCol::kPartkey, LoCol::kSuppkey, LoCol::kOrderdate,
+              LoCol::kRevenue};
+    case QueryId::kQ31:
+    case QueryId::kQ32:
+    case QueryId::kQ33:
+    case QueryId::kQ34:
+      return {LoCol::kCustkey, LoCol::kSuppkey, LoCol::kOrderdate,
+              LoCol::kRevenue};
+    case QueryId::kQ41:
+    case QueryId::kQ42:
+    case QueryId::kQ43:
+      return {LoCol::kCustkey, LoCol::kSuppkey, LoCol::kPartkey,
+              LoCol::kOrderdate, LoCol::kRevenue, LoCol::kSupplycost};
+  }
+  return {};
+}
+
+EncodedLineorder EncodeLineorder(const SsbData& data, codec::System system) {
+  EncodedLineorder enc;
+  enc.system = system;
+  for (int c = 0; c < kNumLoCols; ++c) {
+    const auto& col = data.lineorder.column(static_cast<LoCol>(c));
+    enc.cols[c] = codec::SystemEncode(system, col.data(), col.size());
+  }
+  return enc;
+}
+
+// ---------------------------------------------------------------------------
+// Query preparation (dimension hash tables + plans)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<HashTable> BuildDimTable(
+    sim::Device& dev, const std::vector<uint32_t>& keys,
+    const std::vector<uint32_t>& payloads,
+    const std::function<bool(uint32_t)>& filter) {
+  auto ht = std::make_unique<HashTable>(
+      static_cast<uint32_t>(keys.size()));
+  ht->BuildOnDevice(dev, keys, payloads, filter);
+  return ht;
+}
+
+PreparedQuery Prepare(sim::Device& dev, const SsbData& data, QueryId query) {
+  PreparedQuery pq;
+  const auto& d = data.date;
+  const auto& s = data.supplier;
+  const auto& c = data.customer;
+  const auto& p = data.part;
+
+  auto date_ht = [&](const std::function<bool(uint32_t)>& filter,
+                     bool payload_year) {
+    std::vector<uint32_t> payload(d.size());
+    for (uint32_t i = 0; i < d.size(); ++i) {
+      payload[i] = payload_year ? d.year[i] - 1992 : 0;
+    }
+    return BuildDimTable(dev, d.datekey, payload, filter);
+  };
+
+  switch (query) {
+    // --- Flight 1: selection + scalar aggregate ---
+    // select sum(lo_extendedprice*lo_discount) ... where <date pred> and
+    // lo_discount between .. and lo_quantity ..
+    case QueryId::kQ11: {
+      pq.tables.push_back(
+          date_ht([&](uint32_t i) { return d.year[i] == 1993; }, false));
+      pq.plan.pred_cols = {LoCol::kDiscount, LoCol::kQuantity};
+      pq.plan.pred = [](const uint32_t* v) {
+        return v[0] >= 1 && v[0] <= 3 && v[1] < 25;
+      };
+      pq.plan.joins = {{LoCol::kOrderdate, pq.tables[0].get(), -1}};
+      pq.plan.agg_cols = {LoCol::kExtendedprice, LoCol::kDiscount};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]) * v[1];
+      };
+      break;
+    }
+    case QueryId::kQ12: {
+      pq.tables.push_back(date_ht(
+          [&](uint32_t i) { return d.yearmonthnum[i] == 199401; }, false));
+      pq.plan.pred_cols = {LoCol::kDiscount, LoCol::kQuantity};
+      pq.plan.pred = [](const uint32_t* v) {
+        return v[0] >= 4 && v[0] <= 6 && v[1] >= 26 && v[1] <= 35;
+      };
+      pq.plan.joins = {{LoCol::kOrderdate, pq.tables[0].get(), -1}};
+      pq.plan.agg_cols = {LoCol::kExtendedprice, LoCol::kDiscount};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]) * v[1];
+      };
+      break;
+    }
+    case QueryId::kQ13: {
+      pq.tables.push_back(date_ht(
+          [&](uint32_t i) {
+            return d.weeknuminyear[i] == 6 && d.year[i] == 1994;
+          },
+          false));
+      pq.plan.pred_cols = {LoCol::kDiscount, LoCol::kQuantity};
+      pq.plan.pred = [](const uint32_t* v) {
+        return v[0] >= 5 && v[0] <= 7 && v[1] >= 26 && v[1] <= 35;
+      };
+      pq.plan.joins = {{LoCol::kOrderdate, pq.tables[0].get(), -1}};
+      pq.plan.agg_cols = {LoCol::kExtendedprice, LoCol::kDiscount};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]) * v[1];
+      };
+      break;
+    }
+
+    // --- Flight 2: part x supplier x date, group by (year, brand) ---
+    case QueryId::kQ21:
+    case QueryId::kQ22:
+    case QueryId::kQ23: {
+      std::function<bool(uint32_t)> part_filter;
+      if (query == QueryId::kQ21) {
+        const uint32_t cat = data.category_dict.Code("MFGR#12");
+        part_filter = [&p, cat](uint32_t i) { return p.category[i] == cat; };
+      } else if (query == QueryId::kQ22) {
+        const uint32_t lo = data.brand_dict.Code("MFGR#2221");
+        const uint32_t hi = data.brand_dict.Code("MFGR#2228");
+        part_filter = [&p, lo, hi](uint32_t i) {
+          return p.brand1[i] >= lo && p.brand1[i] <= hi;
+        };
+      } else {
+        const uint32_t b = data.brand_dict.Code("MFGR#2239");
+        part_filter = [&p, b](uint32_t i) { return p.brand1[i] == b; };
+      }
+      const char* region = query == QueryId::kQ21   ? "AMERICA"
+                           : query == QueryId::kQ22 ? "ASIA"
+                                                    : "EUROPE";
+      const uint32_t region_code = data.region_dict.Code(region);
+
+      pq.tables.push_back(
+          BuildDimTable(dev, p.partkey, p.brand1, part_filter));
+      pq.tables.push_back(BuildDimTable(
+          dev, s.suppkey, std::vector<uint32_t>(s.size(), 0),
+          [&s, region_code](uint32_t i) {
+            return s.region[i] == region_code;
+          }));
+      pq.tables.push_back(date_ht([](uint32_t) { return true; }, true));
+
+      pq.plan.joins = {{LoCol::kPartkey, pq.tables[0].get(), 1},
+                       {LoCol::kSuppkey, pq.tables[1].get(), -1},
+                       {LoCol::kOrderdate, pq.tables[2].get(), 0}};
+      pq.plan.agg_cols = {LoCol::kRevenue};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]);
+      };
+      pq.plan.group_dims = {kYearDim, data.brand_dict.size(), 1};
+      break;
+    }
+
+    // --- Flight 3: customer x supplier x date ---
+    case QueryId::kQ31: {
+      const uint32_t asia = data.region_dict.Code("ASIA");
+      pq.tables.push_back(BuildDimTable(
+          dev, c.custkey, c.nation,
+          [&c, asia](uint32_t i) { return c.region[i] == asia; }));
+      pq.tables.push_back(BuildDimTable(
+          dev, s.suppkey, s.nation,
+          [&s, asia](uint32_t i) { return s.region[i] == asia; }));
+      pq.tables.push_back(date_ht(
+          [&](uint32_t i) {
+            return d.year[i] >= 1992 && d.year[i] <= 1997;
+          },
+          true));
+      pq.plan.joins = {{LoCol::kCustkey, pq.tables[0].get(), 1},
+                       {LoCol::kSuppkey, pq.tables[1].get(), 2},
+                       {LoCol::kOrderdate, pq.tables[2].get(), 0}};
+      pq.plan.agg_cols = {LoCol::kRevenue};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]);
+      };
+      pq.plan.group_dims = {kYearDim, data.nation_dict.size(),
+                            data.nation_dict.size()};
+      break;
+    }
+    case QueryId::kQ32: {
+      const uint32_t us = data.nation_dict.Code("UNITED STATES");
+      pq.tables.push_back(BuildDimTable(
+          dev, c.custkey, c.city,
+          [&c, us](uint32_t i) { return c.nation[i] == us; }));
+      pq.tables.push_back(BuildDimTable(
+          dev, s.suppkey, s.city,
+          [&s, us](uint32_t i) { return s.nation[i] == us; }));
+      pq.tables.push_back(date_ht(
+          [&](uint32_t i) {
+            return d.year[i] >= 1992 && d.year[i] <= 1997;
+          },
+          true));
+      pq.plan.joins = {{LoCol::kCustkey, pq.tables[0].get(), 1},
+                       {LoCol::kSuppkey, pq.tables[1].get(), 2},
+                       {LoCol::kOrderdate, pq.tables[2].get(), 0}};
+      pq.plan.agg_cols = {LoCol::kRevenue};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]);
+      };
+      pq.plan.group_dims = {kYearDim, data.city_dict.size(),
+                            data.city_dict.size()};
+      break;
+    }
+    case QueryId::kQ33:
+    case QueryId::kQ34: {
+      const uint32_t city1 = data.city_dict.Code("UNITED KI1");
+      const uint32_t city5 = data.city_dict.Code("UNITED KI5");
+      auto city_filter = [city1, city5](const std::vector<uint32_t>& cities) {
+        return [&cities, city1, city5](uint32_t i) {
+          return cities[i] == city1 || cities[i] == city5;
+        };
+      };
+      pq.tables.push_back(
+          BuildDimTable(dev, c.custkey, c.city, city_filter(c.city)));
+      pq.tables.push_back(
+          BuildDimTable(dev, s.suppkey, s.city, city_filter(s.city)));
+      if (query == QueryId::kQ33) {
+        pq.tables.push_back(date_ht(
+            [&](uint32_t i) {
+              return d.year[i] >= 1992 && d.year[i] <= 1997;
+            },
+            true));
+      } else {
+        const uint32_t dec97 = data.yearmonth_dict.Code("Dec1997");
+        pq.tables.push_back(date_ht(
+            [&, dec97](uint32_t i) { return d.yearmonth[i] == dec97; },
+            true));
+      }
+      pq.plan.joins = {{LoCol::kCustkey, pq.tables[0].get(), 1},
+                       {LoCol::kSuppkey, pq.tables[1].get(), 2},
+                       {LoCol::kOrderdate, pq.tables[2].get(), 0}};
+      pq.plan.agg_cols = {LoCol::kRevenue};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]);
+      };
+      pq.plan.group_dims = {kYearDim, data.city_dict.size(),
+                            data.city_dict.size()};
+      break;
+    }
+
+    // --- Flight 4: customer x supplier x part x date ---
+    case QueryId::kQ41: {
+      const uint32_t america = data.region_dict.Code("AMERICA");
+      const uint32_t m1 = data.mfgr_dict.Code("MFGR#1");
+      const uint32_t m2 = data.mfgr_dict.Code("MFGR#2");
+      pq.tables.push_back(BuildDimTable(
+          dev, c.custkey, c.nation,
+          [&c, america](uint32_t i) { return c.region[i] == america; }));
+      pq.tables.push_back(BuildDimTable(
+          dev, s.suppkey, std::vector<uint32_t>(s.size(), 0),
+          [&s, america](uint32_t i) { return s.region[i] == america; }));
+      pq.tables.push_back(BuildDimTable(
+          dev, p.partkey, std::vector<uint32_t>(p.size(), 0),
+          [&p, m1, m2](uint32_t i) {
+            return p.mfgr[i] == m1 || p.mfgr[i] == m2;
+          }));
+      pq.tables.push_back(date_ht([](uint32_t) { return true; }, true));
+      pq.plan.joins = {{LoCol::kCustkey, pq.tables[0].get(), 1},
+                       {LoCol::kSuppkey, pq.tables[1].get(), -1},
+                       {LoCol::kPartkey, pq.tables[2].get(), -1},
+                       {LoCol::kOrderdate, pq.tables[3].get(), 0}};
+      pq.plan.agg_cols = {LoCol::kRevenue, LoCol::kSupplycost};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]) - v[1];
+      };
+      pq.plan.group_dims = {kYearDim, data.nation_dict.size(), 1};
+      break;
+    }
+    case QueryId::kQ42: {
+      const uint32_t america = data.region_dict.Code("AMERICA");
+      const uint32_t m1 = data.mfgr_dict.Code("MFGR#1");
+      const uint32_t m2 = data.mfgr_dict.Code("MFGR#2");
+      pq.tables.push_back(BuildDimTable(
+          dev, c.custkey, std::vector<uint32_t>(c.size(), 0),
+          [&c, america](uint32_t i) { return c.region[i] == america; }));
+      pq.tables.push_back(BuildDimTable(
+          dev, s.suppkey, s.nation,
+          [&s, america](uint32_t i) { return s.region[i] == america; }));
+      pq.tables.push_back(BuildDimTable(
+          dev, p.partkey, p.category,
+          [&p, m1, m2](uint32_t i) {
+            return p.mfgr[i] == m1 || p.mfgr[i] == m2;
+          }));
+      pq.tables.push_back(date_ht(
+          [&](uint32_t i) { return d.year[i] == 1997 || d.year[i] == 1998; },
+          true));
+      pq.plan.joins = {{LoCol::kCustkey, pq.tables[0].get(), -1},
+                       {LoCol::kSuppkey, pq.tables[1].get(), 1},
+                       {LoCol::kPartkey, pq.tables[2].get(), 2},
+                       {LoCol::kOrderdate, pq.tables[3].get(), 0}};
+      pq.plan.agg_cols = {LoCol::kRevenue, LoCol::kSupplycost};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]) - v[1];
+      };
+      pq.plan.group_dims = {kYearDim, data.nation_dict.size(),
+                            data.category_dict.size()};
+      break;
+    }
+    case QueryId::kQ43: {
+      const uint32_t us = data.nation_dict.Code("UNITED STATES");
+      const uint32_t cat14 = data.category_dict.Code("MFGR#14");
+      pq.tables.push_back(BuildDimTable(
+          dev, c.custkey, std::vector<uint32_t>(c.size(), 0),
+          [](uint32_t) { return true; }));
+      pq.tables.push_back(BuildDimTable(
+          dev, s.suppkey, s.city,
+          [&s, us](uint32_t i) { return s.nation[i] == us; }));
+      pq.tables.push_back(BuildDimTable(
+          dev, p.partkey, p.brand1,
+          [&p, cat14](uint32_t i) { return p.category[i] == cat14; }));
+      pq.tables.push_back(date_ht(
+          [&](uint32_t i) { return d.year[i] == 1997 || d.year[i] == 1998; },
+          true));
+      pq.plan.joins = {{LoCol::kSuppkey, pq.tables[1].get(), 1},
+                       {LoCol::kPartkey, pq.tables[2].get(), 2},
+                       {LoCol::kCustkey, pq.tables[0].get(), -1},
+                       {LoCol::kOrderdate, pq.tables[3].get(), 0}};
+      pq.plan.agg_cols = {LoCol::kRevenue, LoCol::kSupplycost};
+      pq.plan.agg = [](const uint32_t* v) {
+        return static_cast<int64_t>(v[0]) - v[1];
+      };
+      pq.plan.group_dims = {kYearDim, data.city_dict.size(),
+                            data.brand_dict.size()};
+      break;
+    }
+  }
+  return pq;
+}
+
+// Convert dense accumulator coordinates back to result keys.
+std::map<GroupKey, int64_t> ExtractGroups(const GroupAccumulator& acc,
+                                          const std::array<uint32_t, 3>& dims) {
+  std::map<GroupKey, int64_t> out;
+  for (const auto& [k, v] : acc.NonZeroGroups()) {
+    GroupKey key = k;
+    if (dims[0] == kYearDim) key[0] += 1992;
+    out[key] = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Crystal tile-based execution
+// ---------------------------------------------------------------------------
+
+QueryResult QueryRunner::RunCrystal(sim::Device& dev,
+                                    const EncodedLineorder& lineorder,
+                                    QueryId query) const {
+  const double ms0 = dev.elapsed_ms();
+  const uint64_t launches0 = dev.kernel_launches();
+
+  PreparedQuery pq = Prepare(dev, data_, query);
+  const QueryPlan& plan = pq.plan;
+  const uint32_t rows = data_.lineorder.size();
+  const int64_t num_tiles = crystal::NumTiles(rows);
+
+  GroupAccumulator acc(plan.group_dims[0], plan.group_dims[1],
+                       plan.group_dims[2]);
+
+  // Columns every tile will load.
+  std::vector<LoCol> cols = plan.UniqueCols();
+
+  sim::LaunchConfig lc;
+  lc.grid_dim = num_tiles;
+  lc.block_threads = 128;
+  int smem = 0;
+  for (LoCol col : cols) {
+    smem += crystal::ColumnSmemBytes(lineorder.col(col).column);
+  }
+  lc.smem_bytes_per_block = smem;
+  lc.regs_per_thread = 20 + 5 * static_cast<int>(cols.size());
+
+  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    const int64_t tile = ctx.block_id();
+    uint32_t pred_vals[4][kTileSize];
+    uint32_t key_vals[kTileSize];
+    uint32_t agg_vals[2][kTileSize];
+    uint8_t flags[kTileSize];
+    uint32_t slots[3][kTileSize];
+
+    // 1. Predicates.
+    uint32_t n = kTileSize;
+    for (size_t pc = 0; pc < plan.pred_cols.size(); ++pc) {
+      n = crystal::LoadColumnTile(
+          ctx, lineorder.col(plan.pred_cols[pc]).column, tile, pred_vals[pc]);
+    }
+    if (plan.pred_cols.empty()) {
+      n = std::min<uint32_t>(
+          kTileSize, rows - static_cast<uint32_t>(tile) * kTileSize);
+      std::fill(flags, flags + n, 1);
+    } else {
+      ctx.Compute(static_cast<uint64_t>(n) * 2 * plan.pred_cols.size());
+      uint32_t v[4];
+      for (uint32_t i = 0; i < n; ++i) {
+        for (size_t pc = 0; pc < plan.pred_cols.size(); ++pc) {
+          v[pc] = pred_vals[pc][i];
+        }
+        flags[i] = plan.pred(v) ? 1 : 0;
+      }
+    }
+    uint32_t live = 0;
+    for (uint32_t i = 0; i < n; ++i) live += flags[i];
+    // Tile-level short circuit: a fully filtered tile skips all further
+    // column loads (Section 8, random-access discussion).
+    if (live == 0) return;
+
+    // 2. Joins.
+    for (const JoinStep& join : pq.plan.joins) {
+      crystal::LoadColumnTile(ctx, lineorder.col(join.key_col).column, tile,
+                              key_vals);
+      HashTable::ProbeCost(ctx, live);
+      uint32_t still = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!flags[i]) continue;
+        uint32_t payload = 0;
+        if (join.ht->Probe(key_vals[i], &payload)) {
+          if (join.group_slot >= 0) slots[join.group_slot][i] = payload;
+          ++still;
+        } else {
+          flags[i] = 0;
+        }
+      }
+      live = still;
+      if (live == 0) return;
+    }
+
+    // 3. Aggregate.
+    for (size_t ac = 0; ac < plan.agg_cols.size(); ++ac) {
+      crystal::LoadColumnTile(ctx, lineorder.col(plan.agg_cols[ac]).column,
+                              tile, agg_vals[ac]);
+    }
+    GroupAccumulator::AggCost(ctx, live);
+    uint32_t v[2];
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!flags[i]) continue;
+      for (size_t ac = 0; ac < plan.agg_cols.size(); ++ac) {
+        v[ac] = agg_vals[ac][i];
+      }
+      const uint32_t k0 =
+          plan.group_dims[0] > 1 ? slots[0][i] : 0;
+      const uint32_t k1 =
+          plan.group_dims[1] > 1 ? slots[1][i] : 0;
+      const uint32_t k2 =
+          plan.group_dims[2] > 1 ? slots[2][i] : 0;
+      acc.Add(k0, k1, k2, plan.agg(v));
+    }
+  });
+
+  QueryResult result;
+  result.groups = ExtractGroups(acc, plan.group_dims);
+  result.time_ms = dev.elapsed_ms() - ms0;
+  result.kernel_launches = dev.kernel_launches() - launches0;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Non-tiled (OmniSci-like) execution: operator-at-a-time with materialized
+// row-id intermediates and gather passes.
+// ---------------------------------------------------------------------------
+
+QueryResult QueryRunner::RunNonTiled(sim::Device& dev,
+                                     const EncodedLineorder& lineorder,
+                                     QueryId query) const {
+  const double ms0 = dev.elapsed_ms();
+  const uint64_t launches0 = dev.kernel_launches();
+  (void)lineorder;
+
+  // Build the same dimension tables (small cost).
+  PreparedQuery pq = Prepare(dev, data_, query);
+  const QueryPlan& plan = pq.plan;
+  const uint64_t n = data_.lineorder.size();
+
+  // Predicate passes: read column, write selection vector.
+  for (size_t i = 0; i < plan.pred_cols.size(); ++i) {
+    kernels::StreamingPass(dev, n, n * 4, n * 4, 2);
+  }
+  // Join passes: read key column + row-id list, probe the hash table with
+  // per-row random accesses (dimension tables at scale exceed L2 for a
+  // non-tiled engine), write the surviving row-id list.
+  for (size_t j = 0; j < plan.joins.size(); ++j) {
+    sim::LaunchConfig lc;
+    lc.block_threads = 256;
+    lc.grid_dim = std::max<int64_t>(1, static_cast<int64_t>(n / 1024));
+    lc.regs_per_thread = 32;
+    const int64_t grid = lc.grid_dim;
+    dev.Launch(lc, [&](sim::BlockContext& ctx) {
+      ctx.CoalescedRead(n * 8 / grid, true);  // keys + row ids
+      ctx.ScatteredRead(n / grid, 8);         // hash-table probes
+      ctx.Compute(8 * n / grid);
+      ctx.CoalescedWrite(n * 4 / grid, true);
+    });
+  }
+  // Gather passes: operator-at-a-time engines re-materialize every carried
+  // attribute (group payloads + aggregate inputs) through row-id gathers
+  // after each join, so the gather count scales with joins x carried.
+  uint32_t carried = static_cast<uint32_t>(plan.agg_cols.size());
+  for (const auto& j : plan.joins) {
+    if (j.group_slot >= 0) ++carried;
+  }
+  const uint32_t gathers =
+      carried * std::max<uint32_t>(1, static_cast<uint32_t>(plan.joins.size()));
+  for (uint32_t g = 0; g < gathers; ++g) {
+    sim::LaunchConfig lc;
+    lc.block_threads = 256;
+    lc.grid_dim = std::max<int64_t>(1, static_cast<int64_t>(n / 1024));
+    lc.regs_per_thread = 28;
+    const int64_t grid = lc.grid_dim;
+    dev.Launch(lc, [&](sim::BlockContext& ctx) {
+      ctx.CoalescedRead(n * 4 / grid, true);   // row ids
+      ctx.ScatteredRead(n / grid, 4);          // gathered attribute
+      ctx.CoalescedWrite(n * 4 / grid, true);  // materialized column
+    });
+  }
+  // Final aggregation pass over the materialized columns.
+  kernels::StreamingPass(dev, n, n * 4 * (1 + carried), 1024, 4);
+
+  // Functional result comes from the reference executor (the modeled engine
+  // computes the same answer by construction).
+  QueryResult result = RunHostReference(query);
+  result.time_ms = dev.elapsed_ms() - ms0;
+  result.kernel_launches = dev.kernel_launches() - launches0;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// System dispatch
+// ---------------------------------------------------------------------------
+
+QueryResult QueryRunner::Run(sim::Device& dev,
+                             const EncodedLineorder& lineorder,
+                             QueryId query) const {
+  switch (lineorder.system) {
+    case codec::System::kNone:
+    case codec::System::kGpuStar:
+      return RunCrystal(dev, lineorder, query);
+    case codec::System::kOmnisci:
+      return RunNonTiled(dev, lineorder, query);
+    case codec::System::kGpuBp:
+    case codec::System::kNvcomp:
+    case codec::System::kPlanner: {
+      // Decompress-then-query: these systems cannot inline decompression
+      // into the query kernel (Section 9.4).
+      const double ms0 = dev.elapsed_ms();
+      const uint64_t launches0 = dev.kernel_launches();
+      // Decompress-then-query: these systems are decoding libraries and
+      // cannot inline decompression into the query kernel (Section 9.4:
+      // "all these schemes cannot decompress the columns inline with the
+      // query execution").
+      EncodedLineorder decompressed;
+      decompressed.system = codec::System::kNone;
+      for (LoCol col : QueryColumns(query)) {
+        auto run = codec::SystemDecompress(dev, lineorder.col(col));
+        decompressed.cols[static_cast<int>(col)] = codec::SystemEncode(
+            codec::System::kNone, run.output.data(), run.output.size());
+      }
+      QueryResult result = RunCrystal(dev, decompressed, query);
+      result.time_ms = dev.elapsed_ms() - ms0;
+      result.kernel_launches = dev.kernel_launches() - launches0;
+      return result;
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Host reference executor (independent row-at-a-time implementation)
+// ---------------------------------------------------------------------------
+
+QueryRunner::QueryRunner(const SsbData& data) : data_(data) {}
+
+QueryResult QueryRunner::RunHostReference(QueryId query) const {
+  const LineorderTable& lo = data_.lineorder;
+  const DateTable& d = data_.date;
+  const SupplierTable& s = data_.supplier;
+  const CustomerTable& c = data_.customer;
+  const PartTable& p = data_.part;
+
+  // Dense dimension lookups (keys are 1..n); date is keyed by datekey.
+  std::unordered_map<uint32_t, uint32_t> date_row;
+  date_row.reserve(d.size() * 2);
+  for (uint32_t i = 0; i < d.size(); ++i) date_row[d.datekey[i]] = i;
+  auto drow = [&](uint32_t datekey) { return date_row.at(datekey); };
+
+  QueryResult result;
+  auto& groups = result.groups;
+  const uint32_t rows = lo.size();
+
+  auto flight1 = [&](auto date_pred, uint32_t dlo, uint32_t dhi, uint32_t qlo,
+                     uint32_t qhi) {
+    int64_t sum = 0;
+    for (uint32_t i = 0; i < rows; ++i) {
+      if (lo.discount[i] < dlo || lo.discount[i] > dhi) continue;
+      if (lo.quantity[i] < qlo || lo.quantity[i] > qhi) continue;
+      const uint32_t dr = drow(lo.orderdate[i]);
+      if (!date_pred(dr)) continue;
+      sum += static_cast<int64_t>(lo.extendedprice[i]) * lo.discount[i];
+    }
+    if (sum != 0) groups[{0, 0, 0}] = sum;
+  };
+
+  switch (query) {
+    case QueryId::kQ11:
+      flight1([&](uint32_t dr) { return d.year[dr] == 1993; }, 1, 3, 0, 24);
+      break;
+    case QueryId::kQ12:
+      flight1([&](uint32_t dr) { return d.yearmonthnum[dr] == 199401; }, 4, 6,
+              26, 35);
+      break;
+    case QueryId::kQ13:
+      flight1(
+          [&](uint32_t dr) {
+            return d.weeknuminyear[dr] == 6 && d.year[dr] == 1994;
+          },
+          5, 7, 26, 35);
+      break;
+
+    case QueryId::kQ21:
+    case QueryId::kQ22:
+    case QueryId::kQ23: {
+      uint32_t lo_brand = 0, hi_brand = 0, cat = 0;
+      bool by_cat = false;
+      if (query == QueryId::kQ21) {
+        cat = data_.category_dict.Code("MFGR#12");
+        by_cat = true;
+      } else if (query == QueryId::kQ22) {
+        lo_brand = data_.brand_dict.Code("MFGR#2221");
+        hi_brand = data_.brand_dict.Code("MFGR#2228");
+      } else {
+        lo_brand = hi_brand = data_.brand_dict.Code("MFGR#2239");
+      }
+      const char* region_name = query == QueryId::kQ21   ? "AMERICA"
+                                : query == QueryId::kQ22 ? "ASIA"
+                                                         : "EUROPE";
+      const uint32_t region = data_.region_dict.Code(region_name);
+      for (uint32_t i = 0; i < rows; ++i) {
+        const uint32_t pr = lo.partkey[i] - 1;
+        if (by_cat) {
+          if (p.category[pr] != cat) continue;
+        } else if (p.brand1[pr] < lo_brand || p.brand1[pr] > hi_brand) {
+          continue;
+        }
+        if (s.region[lo.suppkey[i] - 1] != region) continue;
+        const uint32_t year = d.year[drow(lo.orderdate[i])];
+        groups[{year, p.brand1[pr], 0}] += lo.revenue[i];
+      }
+      break;
+    }
+
+    case QueryId::kQ31: {
+      const uint32_t asia = data_.region_dict.Code("ASIA");
+      for (uint32_t i = 0; i < rows; ++i) {
+        const uint32_t cr = lo.custkey[i] - 1;
+        const uint32_t sr = lo.suppkey[i] - 1;
+        if (c.region[cr] != asia || s.region[sr] != asia) continue;
+        const uint32_t year = d.year[drow(lo.orderdate[i])];
+        if (year < 1992 || year > 1997) continue;
+        groups[{year, c.nation[cr], s.nation[sr]}] += lo.revenue[i];
+      }
+      break;
+    }
+    case QueryId::kQ32: {
+      const uint32_t us = data_.nation_dict.Code("UNITED STATES");
+      for (uint32_t i = 0; i < rows; ++i) {
+        const uint32_t cr = lo.custkey[i] - 1;
+        const uint32_t sr = lo.suppkey[i] - 1;
+        if (c.nation[cr] != us || s.nation[sr] != us) continue;
+        const uint32_t year = d.year[drow(lo.orderdate[i])];
+        if (year < 1992 || year > 1997) continue;
+        groups[{year, c.city[cr], s.city[sr]}] += lo.revenue[i];
+      }
+      break;
+    }
+    case QueryId::kQ33:
+    case QueryId::kQ34: {
+      const uint32_t city1 = data_.city_dict.Code("UNITED KI1");
+      const uint32_t city5 = data_.city_dict.Code("UNITED KI5");
+      const uint32_t dec97 = data_.yearmonth_dict.Code("Dec1997");
+      for (uint32_t i = 0; i < rows; ++i) {
+        const uint32_t cr = lo.custkey[i] - 1;
+        const uint32_t sr = lo.suppkey[i] - 1;
+        if (c.city[cr] != city1 && c.city[cr] != city5) continue;
+        if (s.city[sr] != city1 && s.city[sr] != city5) continue;
+        const uint32_t dr = drow(lo.orderdate[i]);
+        if (query == QueryId::kQ33) {
+          if (d.year[dr] < 1992 || d.year[dr] > 1997) continue;
+        } else {
+          if (d.yearmonth[dr] != dec97) continue;
+        }
+        groups[{d.year[dr], c.city[cr], s.city[sr]}] += lo.revenue[i];
+      }
+      break;
+    }
+
+    case QueryId::kQ41: {
+      const uint32_t america = data_.region_dict.Code("AMERICA");
+      const uint32_t m1 = data_.mfgr_dict.Code("MFGR#1");
+      const uint32_t m2 = data_.mfgr_dict.Code("MFGR#2");
+      for (uint32_t i = 0; i < rows; ++i) {
+        const uint32_t cr = lo.custkey[i] - 1;
+        const uint32_t sr = lo.suppkey[i] - 1;
+        const uint32_t pr = lo.partkey[i] - 1;
+        if (c.region[cr] != america || s.region[sr] != america) continue;
+        if (p.mfgr[pr] != m1 && p.mfgr[pr] != m2) continue;
+        const uint32_t year = d.year[drow(lo.orderdate[i])];
+        groups[{year, c.nation[cr], 0}] +=
+            static_cast<int64_t>(lo.revenue[i]) - lo.supplycost[i];
+      }
+      break;
+    }
+    case QueryId::kQ42: {
+      const uint32_t america = data_.region_dict.Code("AMERICA");
+      const uint32_t m1 = data_.mfgr_dict.Code("MFGR#1");
+      const uint32_t m2 = data_.mfgr_dict.Code("MFGR#2");
+      for (uint32_t i = 0; i < rows; ++i) {
+        const uint32_t cr = lo.custkey[i] - 1;
+        const uint32_t sr = lo.suppkey[i] - 1;
+        const uint32_t pr = lo.partkey[i] - 1;
+        if (c.region[cr] != america || s.region[sr] != america) continue;
+        if (p.mfgr[pr] != m1 && p.mfgr[pr] != m2) continue;
+        const uint32_t year = d.year[drow(lo.orderdate[i])];
+        if (year != 1997 && year != 1998) continue;
+        groups[{year, s.nation[sr], p.category[pr]}] +=
+            static_cast<int64_t>(lo.revenue[i]) - lo.supplycost[i];
+      }
+      break;
+    }
+    case QueryId::kQ43: {
+      const uint32_t us = data_.nation_dict.Code("UNITED STATES");
+      const uint32_t cat14 = data_.category_dict.Code("MFGR#14");
+      for (uint32_t i = 0; i < rows; ++i) {
+        const uint32_t sr = lo.suppkey[i] - 1;
+        const uint32_t pr = lo.partkey[i] - 1;
+        if (s.nation[sr] != us) continue;
+        if (p.category[pr] != cat14) continue;
+        const uint32_t year = d.year[drow(lo.orderdate[i])];
+        if (year != 1997 && year != 1998) continue;
+        groups[{year, s.city[sr], p.brand1[pr]}] +=
+            static_cast<int64_t>(lo.revenue[i]) - lo.supplycost[i];
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace tilecomp::ssb

@@ -1,0 +1,98 @@
+// The 13 Star Schema Benchmark queries (Section 9.4, Figure 11), executed
+// three ways:
+//
+//   1. Crystal tile-based kernels on the simulated device, with each fact
+//      column loaded through LoadColumnTile — uncompressed (None), inline
+//      GPU-* decompression, or GPU-BP;
+//   2. decompress-then-query for systems that cannot inline decompression
+//      (nvCOMP, Planner);
+//   3. a non-tiled operator-at-a-time engine modeling OmniSci;
+//
+// plus an independent host (CPU, row-at-a-time) reference executor used to
+// validate every device result bit-exactly.
+#ifndef TILECOMP_SSB_QUERIES_H_
+#define TILECOMP_SSB_QUERIES_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "codec/systems.h"
+#include "sim/device.h"
+#include "ssb/schema.h"
+
+namespace tilecomp::ssb {
+
+enum class QueryId {
+  kQ11, kQ12, kQ13,
+  kQ21, kQ22, kQ23,
+  kQ31, kQ32, kQ33, kQ34,
+  kQ41, kQ42, kQ43,
+};
+const char* QueryName(QueryId query);
+std::vector<QueryId> AllQueries();
+
+// The lineorder columns a query touches (used by decompress-then-query
+// systems and the co-processor transfer model).
+std::vector<LoCol> QueryColumns(QueryId query);
+
+// The lineorder fact table as stored by one system (dimension tables are
+// small and stay uncompressed, as in the paper).
+struct EncodedLineorder {
+  codec::System system = codec::System::kNone;
+  std::array<codec::SystemColumn, kNumLoCols> cols;
+
+  const codec::SystemColumn& col(LoCol c) const {
+    return cols[static_cast<int>(c)];
+  }
+  uint64_t compressed_bytes() const {
+    uint64_t total = 0;
+    for (const auto& c : cols) total += c.compressed_bytes();
+    return total;
+  }
+};
+
+EncodedLineorder EncodeLineorder(const SsbData& data, codec::System system);
+
+// Group key: (year, attr1, attr2); unused components are 0. Values are the
+// real year and dictionary codes, so results compare across executors.
+using GroupKey = std::array<uint32_t, 3>;
+
+struct QueryResult {
+  std::map<GroupKey, int64_t> groups;
+  double time_ms = 0.0;
+  uint64_t kernel_launches = 0;
+
+  int64_t scalar() const {
+    int64_t total = 0;
+    for (const auto& [k, v] : groups) total += v;
+    return total;
+  }
+};
+
+class QueryRunner {
+ public:
+  explicit QueryRunner(const SsbData& data);
+
+  // Execute on the simulated device using the system's pipeline.
+  QueryResult Run(sim::Device& dev, const EncodedLineorder& lineorder,
+                  QueryId query) const;
+
+  // Independent row-at-a-time reference executor (host).
+  QueryResult RunHostReference(QueryId query) const;
+
+  const SsbData& data() const { return data_; }
+
+ private:
+  QueryResult RunCrystal(sim::Device& dev, const EncodedLineorder& lineorder,
+                         QueryId query) const;
+  QueryResult RunNonTiled(sim::Device& dev, const EncodedLineorder& lineorder,
+                          QueryId query) const;
+
+  const SsbData& data_;
+};
+
+}  // namespace tilecomp::ssb
+
+#endif  // TILECOMP_SSB_QUERIES_H_

@@ -1,0 +1,110 @@
+// The Star Schema Benchmark schema [35]: one fact table (lineorder) and
+// four dimension tables (date, supplier, customer, part), all columns as
+// 32-bit integers (strings dictionary encoded).
+#ifndef TILECOMP_SSB_SCHEMA_H_
+#define TILECOMP_SSB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ssb/dictionary.h"
+
+namespace tilecomp::ssb {
+
+struct DateTable {
+  std::vector<uint32_t> datekey;        // yyyymmdd
+  std::vector<uint32_t> year;           // 1992..1998
+  std::vector<uint32_t> yearmonthnum;   // yyyymm
+  std::vector<uint32_t> yearmonth;      // dict: "Jan1992".."Dec1998"
+  std::vector<uint32_t> weeknuminyear;  // 1..53
+  uint32_t size() const { return static_cast<uint32_t>(datekey.size()); }
+};
+
+struct SupplierTable {
+  std::vector<uint32_t> suppkey;  // 1..2000*SF
+  std::vector<uint32_t> city;     // dict, 250 values
+  std::vector<uint32_t> nation;   // dict, 25 values
+  std::vector<uint32_t> region;   // dict, 5 values
+  uint32_t size() const { return static_cast<uint32_t>(suppkey.size()); }
+};
+
+struct CustomerTable {
+  std::vector<uint32_t> custkey;  // 1..30000*SF
+  std::vector<uint32_t> city;
+  std::vector<uint32_t> nation;
+  std::vector<uint32_t> region;
+  uint32_t size() const { return static_cast<uint32_t>(custkey.size()); }
+};
+
+struct PartTable {
+  std::vector<uint32_t> partkey;   // 1..200000*(1+floor(log2 SF))
+  std::vector<uint32_t> mfgr;      // dict, 5 values  (MFGR#1..5)
+  std::vector<uint32_t> category;  // dict, 25 values (MFGR#11..55)
+  std::vector<uint32_t> brand1;    // dict, 1000 values (MFGR#1101..)
+  uint32_t size() const { return static_cast<uint32_t>(partkey.size()); }
+};
+
+// The 14 lineorder columns evaluated in Figure 9.
+enum class LoCol {
+  kOrderkey,
+  kOrderdate,
+  kOrdtotalprice,
+  kCustkey,
+  kPartkey,
+  kSuppkey,
+  kLinenumber,
+  kQuantity,
+  kTax,
+  kDiscount,
+  kCommitdate,
+  kExtendedprice,
+  kRevenue,
+  kSupplycost,
+};
+inline constexpr int kNumLoCols = 14;
+const char* LoColName(LoCol col);
+
+struct LineorderTable {
+  std::vector<uint32_t> orderkey;
+  std::vector<uint32_t> orderdate;  // datekey of the order (FK to date)
+  std::vector<uint32_t> ordtotalprice;
+  std::vector<uint32_t> custkey;
+  std::vector<uint32_t> partkey;
+  std::vector<uint32_t> suppkey;
+  std::vector<uint32_t> linenumber;
+  std::vector<uint32_t> quantity;
+  std::vector<uint32_t> tax;
+  std::vector<uint32_t> discount;
+  std::vector<uint32_t> commitdate;
+  std::vector<uint32_t> extendedprice;
+  std::vector<uint32_t> revenue;
+  std::vector<uint32_t> supplycost;
+
+  uint32_t size() const { return static_cast<uint32_t>(orderkey.size()); }
+  const std::vector<uint32_t>& column(LoCol col) const;
+};
+
+struct SsbData {
+  int scale_factor = 1;
+  LineorderTable lineorder;
+  DateTable date;
+  SupplierTable supplier;
+  CustomerTable customer;
+  PartTable part;
+
+  // Shared dictionaries (city/nation/region shared by supplier & customer).
+  Dictionary city_dict;
+  Dictionary nation_dict;
+  Dictionary region_dict;
+  Dictionary mfgr_dict;
+  Dictionary category_dict;
+  Dictionary brand_dict;
+  Dictionary yearmonth_dict;
+
+  uint64_t total_bytes() const;
+};
+
+}  // namespace tilecomp::ssb
+
+#endif  // TILECOMP_SSB_SCHEMA_H_

@@ -1,0 +1,35 @@
+// Umbrella header: the tilecomp public API.
+//
+//   #include "tilecomp.h"
+//
+//   auto col = tilecomp::codec::EncodeGpuStar(data, n);   // compress
+//   tilecomp::sim::Device dev;                            // simulated V100
+//   auto out = tilecomp::codec::SystemDecompress(dev, ...);
+//
+// See README.md for the quick tour and examples/ for runnable programs.
+#ifndef TILECOMP_TILECOMP_H_
+#define TILECOMP_TILECOMP_H_
+
+#include "codec/column.h"            // CompressedColumn, Scheme
+#include "common/flags.h"            // CLI flag parsing
+#include "common/random.h"           // Rng + synthetic distributions
+#include "codec/nvcomp_like.h"       // nvCOMP-style cascade baseline
+#include "codec/parallel_encode.h"   // multi-threaded host encoders
+#include "codec/planner.h"           // Fang et al. planner baseline
+#include "codec/stats.h"             // ComputeStats, ChooseScheme, EncodeGpuStar
+#include "codec/systems.h"           // SystemEncode / SystemDecompress
+#include "codec/nullable.h"          // NullableColumn (validity bitmaps)
+#include "codec/serialize.h"         // column persistence
+#include "codec/typed_column.h"      // DecimalColumn, StringColumn
+#include "codec/u64_column.h"        // 64-bit integer columns
+#include "codec/zone_map.h"          // per-tile min/max skipping
+#include "crystal/aggregator.h"      // GroupAccumulator
+#include "crystal/hash_table.h"      // HashTable
+#include "crystal/load_column.h"     // LoadColumnTile (query integration)
+#include "kernels/decompress.h"      // full-column decompression kernels
+#include "kernels/load_tile.h"       // LoadBitPack / LoadDBitPack / LoadRBitPack
+#include "sim/device.h"              // Device, LaunchConfig, BlockContext
+#include "ssb/generator.h"           // Star Schema Benchmark data
+#include "ssb/queries.h"             // the 13 SSB queries
+
+#endif  // TILECOMP_TILECOMP_H_

@@ -1,0 +1,82 @@
+// Unit tests for the horizontal bit-packing primitives.
+#include "format/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace tilecomp::format {
+namespace {
+
+TEST(BitWriterTest, AppendSingleFullWord) {
+  std::vector<uint32_t> out;
+  BitWriter w(&out);
+  w.Append(0xDEADBEEF, 32);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0xDEADBEEFu);
+}
+
+TEST(BitWriterTest, ZeroBitsWritesNothing) {
+  std::vector<uint32_t> out;
+  BitWriter w(&out);
+  for (int i = 0; i < 100; ++i) w.Append(0, 0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BitWriterTest, StraddlesWordBoundary) {
+  std::vector<uint32_t> out;
+  BitWriter w(&out);
+  // 3 x 12 bits = 36 bits -> 2 words.
+  w.Append(0xABC, 12);
+  w.Append(0x123, 12);
+  w.Append(0xFFF, 12);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(UnpackBits(out.data(), 0, 12), 0xABCu);
+  EXPECT_EQ(UnpackBits(out.data(), 12, 12), 0x123u);
+  EXPECT_EQ(UnpackBits(out.data(), 24, 12), 0xFFFu);
+}
+
+TEST(BitWriterTest, AlignToWordPads) {
+  std::vector<uint32_t> out;
+  BitWriter w(&out);
+  w.Append(0x3, 2);
+  w.AlignToWord();
+  w.Append(0x5, 3);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0x3u);
+  EXPECT_EQ(out[1], 0x5u);
+}
+
+TEST(PackArrayTest, RoundTripAllBitWidths) {
+  for (uint32_t bits = 0; bits <= 32; ++bits) {
+    const size_t n = 97;  // deliberately not a multiple of 32
+    auto values = GenUniformBits(n, bits, /*seed=*/bits + 1);
+    std::vector<uint32_t> packed;
+    PackArray(values.data(), n, bits, &packed);
+    // Ensure the two-word window never reads past the end.
+    packed.push_back(0);
+    std::vector<uint32_t> out(n);
+    UnpackArray(packed.data(), n, bits, out.data());
+    EXPECT_EQ(values, out) << "bits=" << bits;
+  }
+}
+
+TEST(PackArrayTest, PackedSizeIsMinimal) {
+  const size_t n = 64;
+  std::vector<uint32_t> values(n, 1);
+  std::vector<uint32_t> packed;
+  const size_t words = PackArray(values.data(), n, 5, &packed);
+  EXPECT_EQ(words, (n * 5 + 31) / 32);
+}
+
+TEST(UnpackBitsTest, ExtractsAtArbitraryOffsets) {
+  std::vector<uint32_t> words = {0xFFFFFFFF, 0x0, 0xAAAAAAAA};
+  EXPECT_EQ(UnpackBits(words.data(), 30, 4), 0x3u);   // 2 ones then 2 zeros
+  EXPECT_EQ(UnpackBits(words.data(), 0, 32), 0xFFFFFFFFu);
+  EXPECT_EQ(UnpackBits(words.data(), 64, 8), 0xAAu);
+}
+
+}  // namespace
+}  // namespace tilecomp::format

@@ -1,0 +1,95 @@
+// Calibration regression tests: the performance model is deterministic, so
+// the projected headline numbers of the paper's experiments are pinned here
+// with generous tolerances. If a model change moves a result outside the
+// band the paper's shape no longer holds — these tests are the contract for
+// EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "kernels/decompress.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr size_t kSimN = 8 << 20;
+
+double ProjectTo(double ms, size_t paper_n) {
+  return bench::Project(ms, kSimN, paper_n);
+}
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  static const std::vector<uint32_t>& Data() {
+    static const auto* values =
+        new std::vector<uint32_t>(GenUniformBits(kSimN, 16, 42));
+    return *values;
+  }
+  static const format::GpuForEncoded& Encoded() {
+    static const auto* enc = new format::GpuForEncoded(
+        format::GpuForEncode(Data().data(), Data().size()));
+    return *enc;
+  }
+};
+
+TEST_F(CalibrationTest, Section42BaseAlgorithm) {
+  // Paper: 18 ms at 500M.
+  sim::Device dev;
+  kernels::UnpackConfig cfg;
+  cfg.opt = kernels::UnpackOpt::kBase;
+  const double ms = ProjectTo(
+      kernels::DecompressGpuFor(dev, Encoded(), cfg, false).time_ms,
+      500'000'000);
+  EXPECT_GT(ms, 12.0);
+  EXPECT_LT(ms, 27.0);
+}
+
+TEST_F(CalibrationTest, Section42SharedMemory) {
+  // Paper: 7 ms.
+  sim::Device dev;
+  kernels::UnpackConfig cfg;
+  cfg.opt = kernels::UnpackOpt::kSharedMemory;
+  const double ms = ProjectTo(
+      kernels::DecompressGpuFor(dev, Encoded(), cfg, false).time_ms,
+      500'000'000);
+  EXPECT_GT(ms, 4.5);
+  EXPECT_LT(ms, 10.5);
+}
+
+TEST_F(CalibrationTest, Section42FullOptimizations) {
+  // Paper: 2.1 ms, just below the 2.4 ms uncompressed read.
+  sim::Device dev;
+  const double ms = ProjectTo(
+      kernels::DecompressGpuFor(dev, Encoded(), {}, false).time_ms,
+      500'000'000);
+  EXPECT_GT(ms, 1.4);
+  EXPECT_LT(ms, 3.2);
+}
+
+TEST_F(CalibrationTest, UncompressedReadMatchesPaperReference) {
+  // Paper: reading 500M uncompressed ints takes 2.4 ms (2 GB at 880 GB/s).
+  sim::Device dev;
+  const double ms = ProjectTo(
+      kernels::ReadUncompressed(dev, Data()).time_ms, 500'000'000);
+  EXPECT_NEAR(ms, 2.4, 0.5);
+}
+
+TEST_F(CalibrationTest, HeadlineDecompressionSpeedupVsCascade) {
+  // Abstract/Section 9: tile-based decompression is ~2.2x faster than the
+  // best cascaded alternative on the same format family.
+  sim::Device dev;
+  const double fused =
+      kernels::DecompressGpuFor(dev, Encoded()).time_ms;
+  const double cascaded =
+      kernels::DecompressForBitPackCascaded(dev, Encoded()).time_ms;
+  EXPECT_GT(cascaded / fused, 1.6);
+  EXPECT_LT(cascaded / fused, 4.0);
+}
+
+TEST_F(CalibrationTest, CompressionRatioAtBitwidth16) {
+  // 16-bit uniform data: 16.75 bits/int exactly (16 + 3 words/128).
+  EXPECT_NEAR(Encoded().bits_per_int(), 16.75, 0.05);
+}
+
+}  // namespace
+}  // namespace tilecomp

@@ -1,0 +1,178 @@
+// Unit tests for the codec layer: CompressedColumn, statistics, the GPU-*
+// chooser, and the nvCOMP-like and Planner baseline encoders.
+#include <gtest/gtest.h>
+
+#include "codec/column.h"
+#include "codec/nvcomp_like.h"
+#include "codec/planner.h"
+#include "codec/stats.h"
+#include "codec/systems.h"
+#include "common/random.h"
+
+namespace tilecomp::codec {
+namespace {
+
+TEST(CompressedColumnTest, EverySchemeRoundTrips) {
+  auto values = GenUniformBits(10000, 14, 1);
+  for (Scheme scheme :
+       {Scheme::kNone, Scheme::kGpuFor, Scheme::kGpuDFor, Scheme::kGpuRFor,
+        Scheme::kNsf, Scheme::kNsv, Scheme::kRle, Scheme::kGpuBp,
+        Scheme::kSimdBp128}) {
+    auto col = CompressedColumn::Encode(scheme, values);
+    EXPECT_EQ(col.scheme(), scheme);
+    EXPECT_EQ(col.size(), values.size());
+    EXPECT_EQ(col.DecodeHost(), values) << SchemeName(scheme);
+    EXPECT_GT(col.compressed_bytes(), 0u);
+  }
+}
+
+TEST(CompressedColumnTest, CompressionRatioSane) {
+  auto values = GenUniformBits(100000, 8, 2);
+  auto col = CompressedColumn::Encode(Scheme::kGpuFor, values);
+  EXPECT_GT(col.compression_ratio(), 3.0);  // 8+0.75 bits vs 32
+  EXPECT_LT(col.compression_ratio(), 4.0);
+}
+
+TEST(ColumnStatsTest, DetectsSortedness) {
+  auto sorted = GenSortedGaps(10000, 5, 3);
+  auto stats = ComputeStats(sorted.data(), sorted.size());
+  EXPECT_TRUE(stats.sorted);
+  auto shuffled = GenUniformBits(10000, 20, 4);
+  EXPECT_FALSE(ComputeStats(shuffled.data(), shuffled.size()).sorted);
+}
+
+TEST(ColumnStatsTest, RunLengthAndDistinct) {
+  auto runs = GenRuns(10000, 10, 8, 5);
+  auto stats = ComputeStats(runs.data(), runs.size());
+  EXPECT_GT(stats.avg_run_length, 5.0);
+  EXPECT_LE(stats.distinct, 256u);
+  EXPECT_EQ(stats.count, 10000u);
+}
+
+TEST(ChooseSchemeTest, Section8Rules) {
+  // High run length -> GPU-RFOR.
+  auto runs = GenRuns(50000, 16, 12, 6);
+  EXPECT_EQ(ChooseScheme(ComputeStats(runs.data(), runs.size())),
+            Scheme::kGpuRFor);
+  // Sorted, high cardinality -> GPU-DFOR.
+  auto sorted = GenSortedGaps(500000, 10, 7);
+  EXPECT_EQ(ChooseScheme(ComputeStats(sorted.data(), sorted.size())),
+            Scheme::kGpuDFor);
+  // Unsorted uniform -> GPU-FOR.
+  auto uniform = GenUniformBits(50000, 20, 8);
+  EXPECT_EQ(ChooseScheme(ComputeStats(uniform.data(), uniform.size())),
+            Scheme::kGpuFor);
+}
+
+TEST(ChooseSchemeTest, RuleAgreesWithExhaustiveSearchOnTypicalData) {
+  // The Section 8 rule should pick the same scheme the exhaustive
+  // smallest-footprint search does on characteristic inputs.
+  struct Case {
+    std::vector<uint32_t> data;
+  };
+  std::vector<std::vector<uint32_t>> datasets = {
+      GenRuns(100000, 32, 16, 11),     // runs -> RFOR
+      GenSortedGaps(100000, 20, 12),   // sorted -> DFOR
+      GenUniformBits(100000, 18, 13),  // uniform -> FOR
+  };
+  for (const auto& ds : datasets) {
+    Scheme rule = ChooseScheme(ComputeStats(ds.data(), ds.size()));
+    CompressedColumn best = EncodeGpuStar(ds.data(), ds.size());
+    EXPECT_EQ(rule, best.scheme());
+  }
+}
+
+TEST(EncodeGpuStarTest, PicksSmallest) {
+  auto values = GenRuns(100000, 64, 10, 14);
+  auto star = EncodeGpuStar(values.data(), values.size());
+  for (Scheme scheme : {Scheme::kGpuFor, Scheme::kGpuDFor, Scheme::kGpuRFor}) {
+    auto other = CompressedColumn::Encode(scheme, values);
+    EXPECT_LE(star.compressed_bytes(), other.compressed_bytes());
+  }
+}
+
+class NvcompConfigTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(NvcompConfigTest, RoundTripsEveryCascade) {
+  auto [rle, delta] = GetParam();
+  NvcompCascadeConfig config{rle, delta};
+  for (auto values :
+       {GenUniformBits(20000, 12, 21), GenRuns(20000, 8, 10, 22),
+        GenSortedGaps(20000, 100, 23)}) {
+    auto enc = NvcompEncodeWith(values.data(), values.size(), config);
+    EXPECT_EQ(NvcompDecodeHost(enc), values);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cascades, NvcompConfigTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(NvcompTest, AutoSelectionPicksRleForRuns) {
+  auto values = GenRuns(100000, 64, 8, 24);
+  auto enc = NvcompEncode(values.data(), values.size());
+  EXPECT_TRUE(enc.config.use_rle);
+  EXPECT_EQ(NvcompDecodeHost(enc), values);
+}
+
+TEST(NvcompTest, CompressionCloseToGpuStarButNotBetterOnSkew) {
+  // Section 9.4: GPU-* ~2% smaller thanks to per-miniblock bit widths.
+  // Inject per-block skew: one large value per 128.
+  auto values = GenUniformBits(1 << 20, 8, 25);
+  for (size_t i = 0; i < values.size(); i += 128) values[i] = 1 << 20;
+  auto star = EncodeGpuStar(values.data(), values.size());
+  auto nv = NvcompEncode(values.data(), values.size());
+  EXPECT_LT(star.compressed_bytes(), nv.compressed_bytes());
+}
+
+TEST(PlannerTest, ChoosesByteAlignedPlans) {
+  // Small ints: NSF should win.
+  auto small = GenUniformBits(100000, 6, 26);
+  auto plan_small = PlannerEncode(small.data(), small.size());
+  EXPECT_EQ(plan_small.plan.ns, PlannerNs::kNsf);
+  EXPECT_LE(plan_small.compressed_bytes(), 100000u + 4096);
+
+  // Large random ints: best byte-aligned choice still needs >= 3 bytes,
+  // where bit-packing needs ~26 bits (Section 9.4's lo_extendedprice
+  // observation).
+  auto big = GenUniformRange(100000, 1 << 24, 1 << 26, 27);
+  auto plan_big = PlannerEncode(big.data(), big.size());
+  auto star_big = EncodeGpuStar(big.data(), big.size());
+  EXPECT_GT(static_cast<double>(plan_big.compressed_bytes()),
+            1.1 * star_big.compressed_bytes());
+}
+
+TEST(PlannerTest, RlePlanForRunsData) {
+  auto values = GenRuns(100000, 64, 10, 28);
+  auto enc = PlannerEncode(values.data(), values.size());
+  EXPECT_TRUE(enc.plan.use_rle);
+  EXPECT_LT(enc.compressed_bytes(), 100000u);  // < 1 byte/int
+}
+
+TEST(SystemEncodeTest, DecompressMatchesForAllSystems) {
+  auto values = GenRuns(200000, 6, 14, 29);
+  sim::Device dev;
+  for (System system : {System::kNone, System::kGpuStar, System::kNvcomp,
+                        System::kPlanner, System::kGpuBp}) {
+    auto col = SystemEncode(system, values.data(), values.size());
+    auto run = SystemDecompress(dev, col);
+    EXPECT_EQ(run.output, values) << SystemName(system);
+    EXPECT_GT(run.time_ms, 0.0);
+  }
+}
+
+TEST(SystemEncodeTest, CascadedSystemsLaunchMoreKernels) {
+  auto values = GenRuns(500000, 32, 12, 30);
+  sim::Device dev;
+  auto star = SystemDecompress(
+      dev, SystemEncode(System::kGpuStar, values.data(), values.size()));
+  auto nv = SystemDecompress(
+      dev, SystemEncode(System::kNvcomp, values.data(), values.size()));
+  EXPECT_EQ(star.kernel_launches, 1u);
+  EXPECT_GT(nv.kernel_launches, 2u);
+  EXPECT_GT(nv.time_ms, star.time_ms);
+}
+
+}  // namespace
+}  // namespace tilecomp::codec

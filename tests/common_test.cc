@@ -1,0 +1,138 @@
+// Unit tests for the common substrate: bit utilities, RNG distributions,
+// thread pool, and flag parsing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <atomic>
+#include <numeric>
+
+#include "common/bit_util.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace tilecomp {
+namespace {
+
+TEST(BitUtilTest, BitsNeeded) {
+  EXPECT_EQ(BitsNeeded(0), 0u);
+  EXPECT_EQ(BitsNeeded(1), 1u);
+  EXPECT_EQ(BitsNeeded(2), 2u);
+  EXPECT_EQ(BitsNeeded(3), 2u);
+  EXPECT_EQ(BitsNeeded(255), 8u);
+  EXPECT_EQ(BitsNeeded(256), 9u);
+  EXPECT_EQ(BitsNeeded(0xFFFFFFFF), 32u);
+}
+
+TEST(BitUtilTest, CeilDivRoundUp) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(RoundUp(10, 4), 12);
+  EXPECT_EQ(RoundUp(12, 4), 12);
+}
+
+TEST(BitUtilTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(1), 1u);
+  EXPECT_EQ(LowMask(31), 0x7FFFFFFFu);
+  EXPECT_EQ(LowMask(32), 0xFFFFFFFFu);
+  EXPECT_EQ(LowMask64(33), 0x1FFFFFFFFull);
+  EXPECT_EQ(LowMask64(64), ~0ull);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(DistributionTest, UniformBitsExactEffectiveBits) {
+  for (uint32_t bits : {1u, 7u, 16u, 31u}) {
+    auto v = GenUniformBits(10000, bits, bits);
+    uint32_t max_value = *std::max_element(v.begin(), v.end());
+    EXPECT_EQ(BitsNeeded(max_value), bits);
+  }
+}
+
+TEST(DistributionTest, SortedUniqueIsSortedWithRequestedCardinality) {
+  auto v = GenSortedUnique(100000, 1000, 3);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  std::set<uint32_t> uniq(v.begin(), v.end());
+  EXPECT_NEAR(static_cast<double>(uniq.size()), 1000.0, 20.0);
+}
+
+TEST(DistributionTest, NormalHasRequestedMoments) {
+  auto v = GenNormal(200000, 1 << 20, 20.0, 5);
+  double mean = std::accumulate(v.begin(), v.end(), 0.0) / v.size();
+  EXPECT_NEAR(mean, 1 << 20, 1.0);
+  double var = 0;
+  for (uint32_t x : v) var += (x - mean) * (x - mean);
+  var /= v.size();
+  EXPECT_NEAR(std::sqrt(var), 20.0, 1.0);
+}
+
+TEST(DistributionTest, ZipfIsSkewed) {
+  auto v = GenZipf(100000, 1 << 16, 2.0, 7);
+  size_t zeros = std::count(v.begin(), v.end(), 0u);
+  EXPECT_GT(zeros, v.size() / 2);  // alpha=2: rank 1 holds > 60% of mass
+}
+
+TEST(DistributionTest, RunsHaveRequestedAverageLength) {
+  auto v = GenRuns(100000, 16, 12, 9);
+  uint64_t runs = 1;
+  for (size_t i = 1; i < v.size(); ++i) runs += v[i] != v[i - 1];
+  const double avg = static_cast<double>(v.size()) / runs;
+  EXPECT_NEAR(avg, 16.0, 2.0);
+}
+
+TEST(DistributionTest, SortedGapsStrictlyIncreasing) {
+  auto v = GenSortedGaps(10000, 100, 11);
+  for (size_t i = 1; i < v.size(); ++i) ASSERT_LT(v[i - 1], v[i]);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyParallelForReturns) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, RangesPartitionExactly) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  pool.ParallelForRange(12345, [&](size_t begin, size_t end) {
+    total += end - begin;
+  });
+  EXPECT_EQ(total.load(), 12345u);
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog",   "--n",     "100",  "--ratio=2.5",
+                        "--name", "hello",   "--verbose"};
+  Flags flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("n", 0), 100);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0), 2.5);
+  EXPECT_EQ(flags.GetString("name", ""), "hello");
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+}  // namespace
+}  // namespace tilecomp

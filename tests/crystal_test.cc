@@ -1,0 +1,192 @@
+// Unit tests for the Crystal query-engine primitives: hash table, block
+// scan, group accumulator, and the scheme-dispatching tile loader.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "codec/stats.h"
+#include "common/random.h"
+#include "crystal/aggregator.h"
+#include "crystal/hash_table.h"
+#include "crystal/load_column.h"
+#include "kernels/block_scan.h"
+
+namespace tilecomp::crystal {
+namespace {
+
+TEST(HashTableTest, BuildAndProbe) {
+  sim::Device dev;
+  std::vector<uint32_t> keys;
+  std::vector<uint32_t> payloads;
+  for (uint32_t i = 1; i <= 5000; ++i) {
+    keys.push_back(i);
+    payloads.push_back(i * 7);
+  }
+  HashTable ht(5000);
+  ht.BuildOnDevice(dev, keys, payloads, [](uint32_t) { return true; });
+  EXPECT_EQ(ht.entries(), 5000u);
+  for (uint32_t i = 1; i <= 5000; ++i) {
+    uint32_t payload = 0;
+    ASSERT_TRUE(ht.Probe(i, &payload)) << i;
+    EXPECT_EQ(payload, i * 7);
+  }
+  uint32_t payload = 0;
+  EXPECT_FALSE(ht.Probe(6001, &payload));
+  EXPECT_FALSE(ht.Probe(0xFFFFFFFF, &payload));
+}
+
+TEST(HashTableTest, FilterSelectsSubset) {
+  sim::Device dev;
+  std::vector<uint32_t> keys;
+  std::vector<uint32_t> payloads;
+  for (uint32_t i = 1; i <= 1000; ++i) {
+    keys.push_back(i);
+    payloads.push_back(i);
+  }
+  HashTable ht(1000);
+  ht.BuildOnDevice(dev, keys, payloads,
+                   [&](uint32_t row) { return keys[row] % 3 == 0; });
+  uint32_t payload = 0;
+  EXPECT_TRUE(ht.Probe(33, &payload));
+  EXPECT_FALSE(ht.Probe(34, &payload));
+  EXPECT_EQ(ht.entries(), 333u);
+}
+
+TEST(HashTableTest, CapacityIsPowerOfTwoAndRoomy) {
+  HashTable ht(100);
+  EXPECT_GE(ht.capacity(), 200u);
+  EXPECT_EQ(ht.capacity() & (ht.capacity() - 1), 0u);
+}
+
+TEST(HashTableTest, ParallelBuildFindsAllKeys) {
+  // Build from many blocks concurrently; CAS insertion must not lose keys.
+  sim::Device dev;
+  const uint32_t n = 100000;
+  std::vector<uint32_t> keys(n);
+  std::vector<uint32_t> payloads(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    keys[i] = i + 1;
+    payloads[i] = i ^ 0xABCD;
+  }
+  HashTable ht(n);
+  ht.BuildOnDevice(dev, keys, payloads, [](uint32_t) { return true; });
+  for (uint32_t i = 0; i < n; i += 997) {
+    uint32_t payload = 0;
+    ASSERT_TRUE(ht.Probe(keys[i], &payload));
+    EXPECT_EQ(payload, payloads[i]);
+  }
+}
+
+TEST(GroupAccumulatorTest, ThreeDimensionalGroups) {
+  GroupAccumulator acc(7, 25, 25);
+  acc.Add(0, 1, 2, 100);
+  acc.Add(0, 1, 2, -30);
+  acc.Add(6, 24, 24, 7);
+  auto groups = acc.NonZeroGroups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ((groups[{0, 1, 2}]), 70);
+  EXPECT_EQ((groups[{6, 24, 24}]), 7);
+  EXPECT_EQ(acc.Total(), 77);
+}
+
+TEST(GroupAccumulatorTest, ZeroSumGroupsDisappear) {
+  GroupAccumulator acc(4);
+  acc.Add(2, 10);
+  acc.Add(2, -10);
+  EXPECT_TRUE(acc.NonZeroGroups().empty());
+}
+
+TEST(BlockScanTest, InclusiveMatchesSequential) {
+  sim::BlockContext ctx(128);
+  auto values = GenUniformBits(512, 8, 3);
+  auto expected = values;
+  uint32_t acc = 0;
+  for (auto& v : expected) {
+    acc += v;
+    v = acc;
+  }
+  kernels::BlockScanInclusive(ctx, values.data(), 512);
+  EXPECT_EQ(values, expected);
+  EXPECT_GT(ctx.stats().shared_bytes, 0u);
+  EXPECT_GT(ctx.stats().barriers, 0u);
+}
+
+TEST(BlockScanTest, ExclusiveReturnsTotal) {
+  sim::BlockContext ctx(128);
+  std::vector<uint32_t> values = {5, 3, 2, 7};
+  const uint32_t total =
+      kernels::BlockScanExclusive(ctx, values.data(), 4);
+  EXPECT_EQ(total, 17u);
+  EXPECT_EQ(values, (std::vector<uint32_t>{0, 5, 8, 10}));
+}
+
+TEST(BlockScanTest, WrapsModulo32Bits) {
+  sim::BlockContext ctx(128);
+  std::vector<uint32_t> values = {0xFFFFFFFF, 2};
+  kernels::BlockScanInclusive(ctx, values.data(), 2);
+  EXPECT_EQ(values[0], 0xFFFFFFFFu);
+  EXPECT_EQ(values[1], 1u);  // wrapped
+}
+
+class LoadColumnTileTest
+    : public ::testing::TestWithParam<codec::Scheme> {};
+
+TEST_P(LoadColumnTileTest, EveryInlineSchemeLoadsCorrectTiles) {
+  const codec::Scheme scheme = GetParam();
+  const size_t n = 10 * kTileSize + 37;  // partial last tile
+  auto values = GenRuns(n, 6, 14, 77);
+  auto column = codec::CompressedColumn::Encode(scheme, values);
+
+  sim::BlockContext ctx(128);
+  uint32_t tile[kTileSize];
+  size_t checked = 0;
+  for (int64_t t = 0; t < NumTiles(static_cast<uint32_t>(n)); ++t) {
+    ctx.Reset(t);
+    const uint32_t got = LoadColumnTile(ctx, column, t, tile);
+    const size_t begin = static_cast<size_t>(t) * kTileSize;
+    ASSERT_EQ(got, std::min<size_t>(kTileSize, n - begin));
+    for (uint32_t i = 0; i < got; ++i) {
+      ASSERT_EQ(tile[i], values[begin + i]) << "tile " << t << " idx " << i;
+    }
+    checked += got;
+  }
+  EXPECT_EQ(checked, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InlineSchemes, LoadColumnTileTest,
+    ::testing::Values(codec::Scheme::kNone, codec::Scheme::kGpuFor,
+                      codec::Scheme::kGpuDFor, codec::Scheme::kGpuRFor,
+                      codec::Scheme::kGpuBp),
+    [](const ::testing::TestParamInfo<codec::Scheme>& info) {
+      std::string name = codec::SchemeName(info.param);
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      }
+      return out;
+    });
+
+TEST(LoadColumnTileTest, CompressedLoadCostsLessTrafficThanRaw) {
+  const size_t n = 100 * kTileSize;
+  auto values = GenUniformBits(n, 8, 5);
+  auto raw = codec::CompressedColumn::Encode(codec::Scheme::kNone, values);
+  auto packed = codec::CompressedColumn::Encode(codec::Scheme::kGpuFor, values);
+
+  sim::BlockContext raw_ctx(128), packed_ctx(128);
+  uint32_t tile[kTileSize];
+  for (int64_t t = 0; t < 100; ++t) {
+    raw_ctx.Reset(t);
+    LoadColumnTile(raw_ctx, raw, t, tile);
+    packed_ctx.Reset(t);
+    LoadColumnTile(packed_ctx, packed, t, tile);
+  }
+  // 8-bit data: ~4x less global traffic, at the price of on-chip work.
+  EXPECT_LT(packed_ctx.stats().global_bytes_read,
+            raw_ctx.stats().global_bytes_read / 2);
+  EXPECT_GT(packed_ctx.stats().shared_bytes, raw_ctx.stats().shared_bytes);
+}
+
+}  // namespace
+}  // namespace tilecomp::crystal

@@ -1,0 +1,210 @@
+// Integration tests: every simulated decompression path must produce
+// bit-exact output, and the modeled timings must reproduce the paper's
+// qualitative claims (single-pass beats cascaded, optimization ablation,
+// scheme ordering).
+#include "kernels/decompress.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "kernels/load_tile.h"
+
+namespace tilecomp::kernels {
+namespace {
+
+using format::GpuDForEncode;
+using format::GpuForEncode;
+using format::GpuForOptions;
+using format::GpuRForEncode;
+using format::NsfEncode;
+using format::NsvEncode;
+using format::RleEncode;
+using format::SimdBp128Encode;
+
+class DecompressCorrectnessTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DecompressCorrectnessTest, AllPathsBitExact) {
+  const size_t n = GetParam();
+  auto values = GenUniformBits(n, 16, n);
+  sim::Device dev;
+
+  auto ffor = GpuForEncode(values.data(), n);
+  EXPECT_EQ(DecompressGpuFor(dev, ffor).output, values);
+  EXPECT_EQ(DecompressForBitPackCascaded(dev, ffor).output, values);
+
+  auto dfor = GpuDForEncode(values.data(), n);
+  EXPECT_EQ(DecompressGpuDFor(dev, dfor).output, values);
+  EXPECT_EQ(DecompressDeltaForBitPackCascaded(dev, dfor).output, values);
+
+  auto rfor = GpuRForEncode(values.data(), n);
+  EXPECT_EQ(DecompressGpuRFor(dev, rfor).output, values);
+  EXPECT_EQ(DecompressRleForBitPackCascaded(dev, rfor).output, values);
+
+  EXPECT_EQ(DecompressNsf(dev, NsfEncode(values.data(), n)).output, values);
+  EXPECT_EQ(DecompressNsv(dev, NsvEncode(values.data(), n)).output, values);
+  EXPECT_EQ(DecompressRle(dev, RleEncode(values.data(), n)).output, values);
+  EXPECT_EQ(DecompressSimdBp128(dev, SimdBp128Encode(values.data(), n)).output,
+            values);
+
+  GpuForOptions bp_opt;
+  bp_opt.zero_reference = true;
+  bp_opt.miniblock_count = 1;
+  auto bp = GpuForEncode(values.data(), n, bp_opt);
+  EXPECT_EQ(DecompressGpuBp(dev, bp).output, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DecompressCorrectnessTest,
+                         ::testing::Values(1, 100, 128, 512, 513, 4096, 65536,
+                                           100001));
+
+TEST(DecompressOptLevelTest, EveryOptLevelBitExact) {
+  const size_t n = 50000;
+  auto values = GenUniformBits(n, 12, 5);
+  auto enc = GpuForEncode(values.data(), n);
+  sim::Device dev;
+  for (UnpackOpt opt : {UnpackOpt::kBase, UnpackOpt::kSharedMemory,
+                        UnpackOpt::kMultiBlock, UnpackOpt::kPrecomputeOffsets}) {
+    UnpackConfig cfg;
+    cfg.opt = opt;
+    EXPECT_EQ(DecompressGpuFor(dev, enc, cfg).output, values);
+  }
+}
+
+TEST(DecompressOptLevelTest, EveryDBitExact) {
+  const size_t n = 99999;
+  auto values = GenUniformBits(n, 20, 6);
+  auto enc = GpuForEncode(values.data(), n);
+  sim::Device dev;
+  for (int d : {1, 2, 4, 8, 16, 32}) {
+    UnpackConfig cfg;
+    cfg.d = d;
+    EXPECT_EQ(DecompressGpuFor(dev, enc, cfg).output, values) << "d=" << d;
+  }
+}
+
+// --- Modeled-performance shape tests (the paper's qualitative claims) ---
+
+constexpr size_t kPerfN = 16 << 20;  // large enough to escape fixed overheads
+
+TEST(DecompressPerfTest, KernelLaunchCountsMatchPaper) {
+  auto values = GenUniformBits(kPerfN, 16, 7);
+  sim::Device dev;
+  auto ffor = GpuForEncode(values.data(), kPerfN);
+  auto dfor = GpuDForEncode(values.data(), kPerfN);
+  auto rfor = GpuRForEncode(values.data(), kPerfN);
+  // Tile-based: a single kernel pass each (Section 3).
+  EXPECT_EQ(DecompressGpuFor(dev, ffor).kernel_launches, 1u);
+  EXPECT_EQ(DecompressGpuDFor(dev, dfor).kernel_launches, 1u);
+  EXPECT_EQ(DecompressGpuRFor(dev, rfor).kernel_launches, 1u);
+  // Cascaded: 2 / 3 / 8 passes (Section 9.2).
+  EXPECT_EQ(DecompressForBitPackCascaded(dev, ffor).kernel_launches, 2u);
+  EXPECT_EQ(DecompressDeltaForBitPackCascaded(dev, dfor).kernel_launches, 3u);
+  EXPECT_EQ(DecompressRleForBitPackCascaded(dev, rfor).kernel_launches, 8u);
+}
+
+TEST(DecompressPerfTest, TileBasedBeatsCascaded) {
+  auto values = GenUniformBits(kPerfN, 16, 8);
+  sim::Device dev;
+  auto ffor = GpuForEncode(values.data(), kPerfN);
+  auto dfor = GpuDForEncode(values.data(), kPerfN);
+  auto rfor = GpuRForEncode(values.data(), kPerfN);
+
+  const double t_for = DecompressGpuFor(dev, ffor).time_ms;
+  const double t_for_casc = DecompressForBitPackCascaded(dev, ffor).time_ms;
+  EXPECT_GT(t_for_casc, 1.5 * t_for);  // paper: 2.6x
+
+  const double t_dfor = DecompressGpuDFor(dev, dfor).time_ms;
+  const double t_dfor_casc =
+      DecompressDeltaForBitPackCascaded(dev, dfor).time_ms;
+  EXPECT_GT(t_dfor_casc, 2.0 * t_dfor);  // paper: 4x
+
+  const double t_rfor = DecompressGpuRFor(dev, rfor).time_ms;
+  const double t_rfor_casc =
+      DecompressRleForBitPackCascaded(dev, rfor).time_ms;
+  EXPECT_GT(t_rfor_casc, 3.0 * t_rfor);  // paper: 8x
+}
+
+TEST(DecompressPerfTest, OptimizationAblationOrdering) {
+  // Section 4.2: base > +smem > +multiblock > +precompute.
+  auto values = GenUniformBits(kPerfN, 16, 9);
+  auto enc = GpuForEncode(values.data(), kPerfN);
+  sim::Device dev;
+  auto time_at = [&](UnpackOpt opt, int d) {
+    UnpackConfig cfg;
+    cfg.opt = opt;
+    cfg.d = d;
+    // Section 4.2 measures decode-to-registers (no output write).
+    return DecompressGpuFor(dev, enc, cfg, /*write_output=*/false).time_ms;
+  };
+  const double base = time_at(UnpackOpt::kBase, 1);
+  const double smem = time_at(UnpackOpt::kSharedMemory, 1);
+  const double multi = time_at(UnpackOpt::kMultiBlock, 4);
+  const double pre = time_at(UnpackOpt::kPrecomputeOffsets, 4);
+  EXPECT_GT(base, 1.5 * smem);
+  EXPECT_GT(smem, 1.2 * multi);
+  EXPECT_GT(multi, pre);
+}
+
+TEST(DecompressPerfTest, DSweepHasSweetSpot) {
+  // Figure 5: D=4..16 fast, D=1 slow, D=32 deteriorates.
+  auto values = GenUniformBits(kPerfN, 16, 10);
+  auto enc = GpuForEncode(values.data(), kPerfN);
+  sim::Device dev;
+  auto time_at = [&](int d) {
+    UnpackConfig cfg;
+    cfg.d = d;
+    return DecompressGpuFor(dev, enc, cfg, /*write_output=*/false).time_ms;
+  };
+  const double d1 = time_at(1);
+  const double d4 = time_at(4);
+  const double d16 = time_at(16);
+  const double d32 = time_at(32);
+  EXPECT_GT(d1, 1.5 * d4);
+  EXPECT_LE(d16, d4 * 1.1);
+  EXPECT_GT(d32, 1.3 * d16);
+}
+
+TEST(DecompressPerfTest, VerticalLayoutSlowerThanHorizontal) {
+  // Section 4.3: GPU-SIMDBP128 is ~2.7x slower than GPU-FOR (decode to
+  // registers, D=16, as in the paper's microbenchmark).
+  const size_t n = 16 << 20;
+  auto values = GenUniformBits(n, 16, 11);
+  sim::Device dev;
+  UnpackConfig cfg;
+  cfg.d = 16;
+  const double t_for =
+      DecompressGpuFor(dev, GpuForEncode(values.data(), n), cfg,
+                       /*write_output=*/false)
+          .time_ms;
+  const double t_vert =
+      DecompressSimdBp128(dev, SimdBp128Encode(values.data(), n),
+                          /*write_output=*/false)
+          .time_ms;
+  EXPECT_GT(t_vert, 1.5 * t_for);
+  EXPECT_LT(t_vert, 6.0 * t_for);
+}
+
+TEST(DecompressPerfTest, GpuForCloseToUncompressedCopy) {
+  // Figure 7a: GPU-FOR decompresses within ~15% of streaming the
+  // uncompressed data at moderate bit widths.
+  auto values = GenUniformBits(kPerfN, 7, 12);
+  sim::Device dev;
+  const double t_none = CopyUncompressed(dev, values).time_ms;
+  const double t_for =
+      DecompressGpuFor(dev, GpuForEncode(values.data(), kPerfN)).time_ms;
+  EXPECT_LT(t_for, 1.4 * t_none);
+}
+
+TEST(DecompressPerfTest, RforFasterThanPlainRleOnRuns) {
+  // Figure 8b: GPU-RFOR ~2.5x faster than RLE.
+  auto values = GenRuns(kPerfN, 32, 16, 13);
+  sim::Device dev;
+  const double t_rfor =
+      DecompressGpuRFor(dev, GpuRForEncode(values.data(), kPerfN)).time_ms;
+  const double t_rle =
+      DecompressRle(dev, RleEncode(values.data(), kPerfN)).time_ms;
+  EXPECT_GT(t_rle, 1.7 * t_rfor);
+}
+
+}  // namespace
+}  // namespace tilecomp::kernels

@@ -1,0 +1,90 @@
+// Edge cases and contract-violation (death) tests for the public API.
+#include <gtest/gtest.h>
+
+#include "codec/typed_column.h"
+#include "common/random.h"
+#include "crystal/load_column.h"
+#include "format/gpufor.h"
+#include "ssb/dictionary.h"
+
+namespace tilecomp {
+namespace {
+
+using codec::CompressedColumn;
+using codec::Scheme;
+
+TEST(EdgeDeathTest, LoadColumnTileRejectsNonInlineSchemes) {
+  auto values = GenUniformBits(1024, 8, 1);
+  auto nsf = CompressedColumn::Encode(Scheme::kNsf, values);
+  sim::BlockContext ctx(128);
+  uint32_t tile[crystal::kTileSize];
+  EXPECT_DEATH(crystal::LoadColumnTile(ctx, nsf, 0, tile),
+               "cannot be decoded inline");
+}
+
+TEST(EdgeDeathTest, GpuForRejectsUnsupportedMiniblockCounts) {
+  std::vector<uint32_t> values(128, 1);
+  format::GpuForOptions opt;
+  opt.miniblock_count = 3;  // not 1/2/4
+  EXPECT_DEATH(format::GpuForEncode(values.data(), values.size(), opt),
+               "CHECK failed");
+  opt.miniblock_count = 4;
+  opt.block_size = 100;  // miniblocks would not be 32-value multiples
+  EXPECT_DEATH(format::GpuForEncode(values.data(), values.size(), opt),
+               "CHECK failed");
+}
+
+TEST(EdgeDeathTest, DictionaryRejectsUnknownConstant) {
+  ssb::Dictionary dict;
+  dict.GetOrAdd("known");
+  EXPECT_DEATH(dict.Code("unknown"), "unknown");
+  EXPECT_DEATH(dict.Value(5), "CHECK failed");
+}
+
+TEST(EdgeDeathTest, DecimalColumnRejectsOverflowAndNegative) {
+  codec::DecimalColumn col(2);
+  EXPECT_DEATH(col.Append(-1.0), "CHECK failed");
+  EXPECT_DEATH(col.Append(1e9), "CHECK failed");  // 1e11 cents > 2^32
+}
+
+TEST(EdgeTest, SingleValueColumnsWork) {
+  for (Scheme scheme : {Scheme::kGpuFor, Scheme::kGpuDFor, Scheme::kGpuRFor}) {
+    std::vector<uint32_t> one = {0xDEADBEEF};
+    auto col = CompressedColumn::Encode(scheme, one);
+    EXPECT_EQ(col.DecodeHost(), one);
+  }
+}
+
+TEST(EdgeTest, MaxUint32ValuesRoundTrip) {
+  std::vector<uint32_t> values(1000, 0xFFFFFFFFu);
+  values[500] = 0;  // force a full 32-bit width
+  for (Scheme scheme : {Scheme::kGpuFor, Scheme::kGpuDFor, Scheme::kGpuRFor,
+                        Scheme::kNsv, Scheme::kSimdBp128}) {
+    auto col = CompressedColumn::Encode(scheme, values);
+    EXPECT_EQ(col.DecodeHost(), values) << codec::SchemeName(scheme);
+  }
+}
+
+TEST(EdgeTest, AdversarialDeltaPattern) {
+  // Alternating extremes make deltas span the full signed range; the
+  // modular arithmetic in GPU-DFOR must still round trip.
+  std::vector<uint32_t> values(4096);
+  Rng rng(9);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i % 3 == 0) ? 0xFFFFFFF0u + static_cast<uint32_t>(rng.NextBounded(16))
+                             : static_cast<uint32_t>(rng.NextBounded(16));
+  }
+  auto col = CompressedColumn::Encode(Scheme::kGpuDFor, values);
+  EXPECT_EQ(col.DecodeHost(), values);
+}
+
+TEST(EdgeTest, TileLoaderBeyondEndReturnsZero) {
+  auto values = GenUniformBits(100, 8, 2);
+  auto col = CompressedColumn::Encode(Scheme::kNone, values);
+  sim::BlockContext ctx(128);
+  uint32_t tile[crystal::kTileSize];
+  EXPECT_EQ(crystal::LoadColumnTile(ctx, col, 99, tile), 0u);
+}
+
+}  // namespace
+}  // namespace tilecomp

@@ -1,0 +1,131 @@
+// Tests for the library extensions: nullable columns, zone maps, 64-bit
+// columns.
+#include <gtest/gtest.h>
+
+#include "codec/nullable.h"
+#include "codec/u64_column.h"
+#include "codec/zone_map.h"
+#include "common/random.h"
+
+namespace tilecomp::codec {
+namespace {
+
+TEST(NullableColumnTest, RoundTripWithScatteredNulls) {
+  const size_t n = 20000;
+  auto values = GenUniformBits(n, 12, 1);
+  std::vector<uint8_t> validity(n, 1);
+  Rng rng(2);
+  for (size_t i = 0; i < n; ++i) validity[i] = rng.NextDouble() > 0.1;
+
+  auto col = NullableColumn::Encode(values, validity);
+  auto decoded = col.DecodeHost();
+  ASSERT_EQ(decoded.size(), n);
+  uint32_t nulls = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (validity[i]) {
+      ASSERT_TRUE(decoded[i].has_value());
+      ASSERT_EQ(*decoded[i], values[i]);
+    } else {
+      ASSERT_FALSE(decoded[i].has_value());
+      ++nulls;
+    }
+  }
+  EXPECT_EQ(col.null_count(), nulls);
+}
+
+TEST(NullableColumnTest, AllNullAndNoNull) {
+  auto values = GenUniformBits(1000, 8, 3);
+  auto all = NullableColumn::Encode(values, std::vector<uint8_t>(1000, 1));
+  EXPECT_EQ(all.null_count(), 0u);
+  auto none = NullableColumn::Encode(values, std::vector<uint8_t>(1000, 0));
+  EXPECT_EQ(none.null_count(), 1000u);
+  for (const auto& v : none.DecodeHost()) EXPECT_FALSE(v.has_value());
+}
+
+TEST(NullableColumnTest, ClusteredNullsCompressValidityHard) {
+  // Nulls in long stretches: the validity column collapses under RLE.
+  const size_t n = 100000;
+  auto values = GenUniformBits(n, 10, 4);
+  std::vector<uint8_t> validity(n, 1);
+  for (size_t i = 30000; i < 60000; ++i) validity[i] = 0;
+  auto col = NullableColumn::Encode(values, validity);
+  // Validity footprint far below 1 bit per row.
+  EXPECT_LT(col.validity().compressed_bytes(), n / 16);
+}
+
+TEST(ZoneMapTest, TileMinMaxExact) {
+  std::vector<uint32_t> values(1024);
+  for (size_t i = 0; i < 512; ++i) values[i] = 100 + (i % 7);
+  for (size_t i = 512; i < 1024; ++i) values[i] = 5000 + (i % 3);
+  auto zm = ZoneMap::Build(values.data(), values.size());
+  ASSERT_EQ(zm.num_tiles(), 2u);
+  EXPECT_EQ(zm.tile_min(0), 100u);
+  EXPECT_EQ(zm.tile_max(0), 106u);
+  EXPECT_EQ(zm.tile_min(1), 5000u);
+  EXPECT_EQ(zm.tile_max(1), 5002u);
+}
+
+TEST(ZoneMapTest, RangePredicateSkipsNonMatchingTiles) {
+  // A sorted column: a narrow range predicate touches few tiles.
+  auto values = GenSortedGaps(100000, 10, 5);
+  auto zm = ZoneMap::Build(values.data(), values.size());
+  const uint32_t lo = values[50000];
+  const uint32_t hi = values[50100];
+  const size_t matching = zm.CountMatchingTiles(lo, hi);
+  EXPECT_LE(matching, 3u);  // ~100 values span at most 2 tiles (+boundary)
+  EXPECT_GE(matching, 1u);
+  // A full-range predicate must keep every tile.
+  EXPECT_EQ(zm.CountMatchingTiles(0, 0xFFFFFFFF), zm.num_tiles());
+  // A miss range keeps none.
+  EXPECT_EQ(zm.CountMatchingTiles(values.back() + 1, 0xFFFFFFFF), 0u);
+}
+
+TEST(ZoneMapTest, NeverFalseNegative) {
+  // Property: every tile containing a value in [lo, hi] must be kept.
+  auto values = GenUniformBits(50000, 16, 7);
+  auto zm = ZoneMap::Build(values.data(), values.size());
+  const uint32_t lo = 1000, hi = 1200;
+  for (size_t t = 0; t < zm.num_tiles(); ++t) {
+    bool has = false;
+    const size_t begin = t * ZoneMap::kTileSize;
+    const size_t end = std::min(begin + ZoneMap::kTileSize, values.size());
+    for (size_t i = begin; i < end; ++i) {
+      has |= values[i] >= lo && values[i] <= hi;
+    }
+    if (has) EXPECT_TRUE(zm.TileCanMatch(t, lo, hi)) << t;
+  }
+}
+
+TEST(U64ColumnTest, RoundTripFullRange) {
+  std::vector<uint64_t> values;
+  Rng rng(8);
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.Next());
+  auto col = U64Column::Encode(values);
+  EXPECT_EQ(col.DecodeHost(), values);
+}
+
+TEST(U64ColumnTest, TimestampsCompressLikeU32) {
+  // Microsecond timestamps in one day: high word constant -> near-free.
+  std::vector<uint64_t> values;
+  uint64_t t = 1'650'000'000'000'000ull;
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    t += rng.NextBounded(1000);
+    values.push_back(t);
+  }
+  auto col = U64Column::Encode(values);
+  EXPECT_EQ(col.DecodeHost(), values);
+  // High word nearly constant: its share of the footprint is tiny.
+  EXPECT_LT(col.high().compressed_bytes(),
+            col.low().compressed_bytes() / 8);
+  EXPECT_LT(col.bits_per_int(), 16.0);  // vs 64 raw
+}
+
+TEST(U64ColumnTest, EmptyColumn) {
+  auto col = U64Column::Encode({});
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_TRUE(col.DecodeHost().empty());
+}
+
+}  // namespace
+}  // namespace tilecomp::codec

@@ -1,0 +1,56 @@
+// Tests for the multi-threaded host encoders: the stitched streams must be
+// bit-identical to the single-threaded encoders for every format.
+#include "codec/parallel_encode.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "format/gpudfor.h"
+#include "format/gpufor.h"
+#include "format/gpurfor.h"
+
+namespace tilecomp::codec {
+namespace {
+
+class ParallelEncodeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelEncodeTest, GpuForBitIdentical) {
+  const size_t n = GetParam();
+  auto values = GenUniformBits(n, 14, n + 1);
+  auto serial = format::GpuForEncode(values.data(), n);
+  auto parallel = ParallelGpuForEncode(values.data(), n);
+  EXPECT_EQ(parallel.data, serial.data);
+  EXPECT_EQ(parallel.block_starts, serial.block_starts);
+  EXPECT_EQ(parallel.header.total_count, serial.header.total_count);
+  EXPECT_EQ(format::GpuForDecodeHost(parallel), values);
+}
+
+TEST_P(ParallelEncodeTest, GpuDForBitIdentical) {
+  const size_t n = GetParam();
+  auto values = GenSortedGaps(n, 20, n + 2);
+  auto serial = format::GpuDForEncode(values.data(), n);
+  auto parallel = ParallelGpuDForEncode(values.data(), n);
+  EXPECT_EQ(parallel.data, serial.data);
+  EXPECT_EQ(parallel.block_starts, serial.block_starts);
+  EXPECT_EQ(parallel.first_values, serial.first_values);
+  EXPECT_EQ(format::GpuDForDecodeHost(parallel), values);
+}
+
+TEST_P(ParallelEncodeTest, GpuRForBitIdentical) {
+  const size_t n = GetParam();
+  auto values = GenRuns(n, 8, 10, n + 3);
+  auto serial = format::GpuRForEncode(values.data(), n);
+  auto parallel = ParallelGpuRForEncode(values.data(), n);
+  EXPECT_EQ(parallel.value_data, serial.value_data);
+  EXPECT_EQ(parallel.length_data, serial.length_data);
+  EXPECT_EQ(parallel.value_block_starts, serial.value_block_starts);
+  EXPECT_EQ(parallel.length_block_starts, serial.length_block_starts);
+  EXPECT_EQ(format::GpuRForDecodeHost(parallel), values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelEncodeTest,
+                         ::testing::Values(0, 1, 511, 512, 513, 100000,
+                                           1048576, 3000001));
+
+}  // namespace
+}  // namespace tilecomp::codec

@@ -1,0 +1,90 @@
+// Tests for the Crystal block primitives.
+#include "crystal/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tilecomp::crystal {
+namespace {
+
+class PrimitivesTest : public ::testing::Test {
+ protected:
+  PrimitivesTest() : ctx_(128) {
+    items_ = GenUniformBits(512, 10, 7);
+    flags_.assign(512, 0);
+  }
+  sim::BlockContext ctx_;
+  std::vector<uint32_t> items_;
+  std::vector<uint8_t> flags_;
+};
+
+TEST_F(PrimitivesTest, PredEq) {
+  BlockPredEq(ctx_, items_.data(), 512, items_[100], flags_.data());
+  EXPECT_EQ(flags_[100], 1);
+  for (uint32_t i = 0; i < 512; ++i) {
+    ASSERT_EQ(flags_[i], items_[i] == items_[100] ? 1 : 0);
+  }
+}
+
+TEST_F(PrimitivesTest, PredBetweenAndChaining) {
+  BlockPredBetween(ctx_, items_.data(), 512, 100, 500, flags_.data());
+  BlockPredAndEq(ctx_, items_.data(), 512, items_[3], flags_.data());
+  for (uint32_t i = 0; i < 512; ++i) {
+    const bool expect = items_[i] >= 100 && items_[i] <= 500 &&
+                        items_[i] == items_[3];
+    ASSERT_EQ(flags_[i], expect ? 1 : 0) << i;
+  }
+}
+
+TEST_F(PrimitivesTest, PredLtThenAndBetween) {
+  BlockPredLt(ctx_, items_.data(), 512, 800, flags_.data());
+  BlockPredAndBetween(ctx_, items_.data(), 512, 200, 600, flags_.data());
+  for (uint32_t i = 0; i < 512; ++i) {
+    ASSERT_EQ(flags_[i],
+              (items_[i] < 800 && items_[i] >= 200 && items_[i] <= 600) ? 1
+                                                                        : 0);
+  }
+}
+
+TEST_F(PrimitivesTest, MaskedSumAndCount) {
+  BlockPredBetween(ctx_, items_.data(), 512, 0, 511, flags_.data());
+  uint64_t expected_sum = 0;
+  uint32_t expected_count = 0;
+  for (uint32_t i = 0; i < 512; ++i) {
+    if (flags_[i]) {
+      expected_sum += items_[i];
+      ++expected_count;
+    }
+  }
+  EXPECT_EQ(BlockSumMasked(ctx_, items_.data(), flags_.data(), 512),
+            expected_sum);
+  EXPECT_EQ(BlockCount(ctx_, flags_.data(), 512), expected_count);
+}
+
+TEST_F(PrimitivesTest, CompactKeepsOrderAndValues) {
+  BlockPredLt(ctx_, items_.data(), 512, 300, flags_.data());
+  uint32_t out[512];
+  const uint32_t kept = BlockCompact(ctx_, items_.data(), flags_.data(), 512,
+                                     out);
+  uint32_t pos = 0;
+  for (uint32_t i = 0; i < 512; ++i) {
+    if (flags_[i]) {
+      ASSERT_EQ(out[pos], items_[i]);
+      ++pos;
+    }
+  }
+  EXPECT_EQ(kept, pos);
+}
+
+TEST_F(PrimitivesTest, PrimitivesChargeOnChipWork) {
+  const uint64_t ops0 = ctx_.stats().compute_ops;
+  BlockPredEq(ctx_, items_.data(), 512, 1, flags_.data());
+  EXPECT_GE(ctx_.stats().compute_ops, ops0 + 512);
+  const uint64_t smem0 = ctx_.stats().shared_bytes;
+  BlockSumMasked(ctx_, items_.data(), flags_.data(), 512);
+  EXPECT_GT(ctx_.stats().shared_bytes, smem0);
+}
+
+}  // namespace
+}  // namespace tilecomp::crystal

@@ -1,0 +1,102 @@
+// Tests for column serialization: byte-exact round trips for every scheme,
+// corruption detection, file I/O.
+#include "codec/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace tilecomp::codec {
+namespace {
+
+class SerializeRoundTripTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SerializeRoundTripTest, BufferRoundTrip) {
+  const Scheme scheme = GetParam();
+  auto values = GenRuns(20000, 5, 15, 7);
+  auto col = CompressedColumn::Encode(scheme, values);
+
+  auto bytes = Serialize(col);
+  CompressedColumn restored;
+  ASSERT_TRUE(Deserialize(bytes.data(), bytes.size(), &restored));
+  EXPECT_EQ(restored.scheme(), scheme);
+  EXPECT_EQ(restored.size(), col.size());
+  EXPECT_EQ(restored.compressed_bytes(), col.compressed_bytes());
+  EXPECT_EQ(restored.DecodeHost(), values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SerializeRoundTripTest,
+    ::testing::Values(Scheme::kNone, Scheme::kGpuFor, Scheme::kGpuDFor,
+                      Scheme::kGpuRFor, Scheme::kNsf, Scheme::kNsv,
+                      Scheme::kRle, Scheme::kGpuBp, Scheme::kSimdBp128),
+    [](const ::testing::TestParamInfo<Scheme>& info) {
+      std::string out;
+      for (char c : std::string(SchemeName(info.param))) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      }
+      return out;
+    });
+
+TEST(SerializeTest, DetectsPayloadCorruption) {
+  auto values = GenUniformBits(5000, 12, 2);
+  auto col = CompressedColumn::Encode(Scheme::kGpuFor, values);
+  auto bytes = Serialize(col);
+  bytes[bytes.size() / 2] ^= 0xFF;  // flip a payload byte
+  CompressedColumn restored;
+  EXPECT_FALSE(Deserialize(bytes.data(), bytes.size(), &restored));
+}
+
+TEST(SerializeTest, DetectsTruncation) {
+  auto values = GenUniformBits(5000, 12, 3);
+  auto col = CompressedColumn::Encode(Scheme::kGpuRFor, values);
+  auto bytes = Serialize(col);
+  CompressedColumn restored;
+  EXPECT_FALSE(Deserialize(bytes.data(), bytes.size() / 2, &restored));
+  EXPECT_FALSE(Deserialize(bytes.data(), 3, &restored));
+}
+
+TEST(SerializeTest, RejectsWrongMagic) {
+  auto values = GenUniformBits(100, 8, 4);
+  auto col = CompressedColumn::Encode(Scheme::kNone, values);
+  auto bytes = Serialize(col);
+  bytes[0] ^= 0xFF;
+  CompressedColumn restored;
+  EXPECT_DEATH(Deserialize(bytes.data(), bytes.size(), &restored),
+               "not a tilecomp column file");
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  auto values = GenSortedGaps(50000, 40, 5);
+  auto col = CompressedColumn::Encode(Scheme::kGpuDFor, values);
+  const std::string path = ::testing::TempDir() + "/col.tcmp";
+  ASSERT_TRUE(WriteColumnFile(path, col));
+  CompressedColumn restored;
+  ASSERT_TRUE(ReadColumnFile(path, &restored));
+  EXPECT_EQ(restored.DecodeHost(), values);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ReadMissingFileFails) {
+  CompressedColumn restored;
+  EXPECT_FALSE(ReadColumnFile("/nonexistent/path/col.tcmp", &restored));
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE 802.3 check value).
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+TEST(SerializeTest, OverheadIsSmall) {
+  auto values = GenUniformBits(1 << 20, 16, 6);
+  auto col = CompressedColumn::Encode(Scheme::kGpuFor, values);
+  auto bytes = Serialize(col);
+  // Container overhead (header + vector lengths + crc) under 100 bytes.
+  EXPECT_LT(bytes.size(), col.compressed_bytes() + 100);
+}
+
+}  // namespace
+}  // namespace tilecomp::codec

@@ -1,0 +1,200 @@
+// Tests for the SIMT simulator: launch semantics, traffic accounting, the
+// occupancy/perf model, and its calibration against the paper's V100.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/perf_model.h"
+
+namespace tilecomp::sim {
+namespace {
+
+TEST(DeviceTest, LaunchRunsEveryBlockExactlyOnce) {
+  Device dev;
+  const int64_t grid = 1000;
+  std::vector<std::atomic<int>> hits(grid);
+  LaunchConfig lc;
+  lc.grid_dim = grid;
+  lc.block_threads = 128;
+  dev.Launch(lc, [&](BlockContext& ctx) { hits[ctx.block_id()]++; });
+  for (int64_t b = 0; b < grid; ++b) EXPECT_EQ(hits[b].load(), 1);
+}
+
+TEST(DeviceTest, StatsAccumulateAcrossLaunches) {
+  Device dev;
+  LaunchConfig lc;
+  lc.grid_dim = 10;
+  lc.block_threads = 128;
+  auto r1 = dev.Launch(lc, [](BlockContext& ctx) { ctx.CoalescedRead(128, true); });
+  EXPECT_EQ(r1.stats.global_bytes_read, 10u * 128);
+  dev.Launch(lc, [](BlockContext& ctx) { ctx.CoalescedWrite(128, true); });
+  EXPECT_EQ(dev.total_stats().global_bytes_read, 10u * 128);
+  EXPECT_EQ(dev.total_stats().global_bytes_written, 10u * 128);
+  EXPECT_EQ(dev.kernel_launches(), 2u);
+  dev.ResetTimeline();
+  EXPECT_EQ(dev.kernel_launches(), 0u);
+  EXPECT_EQ(dev.elapsed_ms(), 0.0);
+}
+
+TEST(BlockContextTest, CoalescedReadRoundsToSectors) {
+  BlockContext ctx(128);
+  ctx.CoalescedRead(100, /*aligned=*/true);  // 100B -> 4 sectors
+  EXPECT_EQ(ctx.stats().global_bytes_read, 4u * 32);
+  BlockContext ctx2(128);
+  ctx2.CoalescedRead(100, /*aligned=*/false);  // +1 misalignment sector
+  EXPECT_EQ(ctx2.stats().global_bytes_read, 5u * 32);
+}
+
+TEST(BlockContextTest, ScatteredReadChargesFullSectorPerAccess) {
+  BlockContext ctx(128);
+  ctx.ScatteredRead(128, 4);  // 128 x 4B random -> 128 sectors + DRAM penalty
+  EXPECT_EQ(ctx.stats().global_bytes_read,
+            128u * 32 * BlockContext::kDramRandomPenaltyNum /
+                BlockContext::kDramRandomPenaltyDen);
+  // Latency charge: sectors pipeline in groups of kScatterPipelining.
+  EXPECT_EQ(ctx.stats().warp_global_accesses,
+            128u / BlockContext::kScatterPipelining);
+}
+
+TEST(BlockContextTest, BroadcastReadChargesOneSectorPerWarp) {
+  BlockContext ctx(128);  // 4 warps
+  ctx.BroadcastRead(4);
+  EXPECT_EQ(ctx.stats().global_bytes_read, 4u * 32);
+  EXPECT_EQ(ctx.stats().warp_global_accesses, 4u);
+}
+
+TEST(BlockContextTest, SmemArenaResetsPerBlock) {
+  BlockContext ctx(128);
+  ctx.Reset(0);
+  uint32_t* a = ctx.SmemAlloc<uint32_t>(100);
+  a[0] = 7;
+  ctx.Reset(1);
+  uint32_t* b = ctx.SmemAlloc<uint32_t>(100);
+  EXPECT_EQ(a, b);  // arena reused, not grown
+}
+
+TEST(OccupancyTest, FullOccupancyWithinBudgets) {
+  DeviceSpec spec;
+  LaunchConfig lc;
+  lc.grid_dim = 100000;
+  lc.block_threads = 128;
+  lc.regs_per_thread = 32;
+  lc.smem_bytes_per_block = 128 * 16;
+  EXPECT_DOUBLE_EQ(Occupancy(spec, lc), 1.0);
+}
+
+TEST(OccupancyTest, SharedMemoryPressureReducesOccupancy) {
+  // Section 4.2: 128 B of shared memory per thread at D=32 reduces
+  // occupancy significantly (budget is 48 B/thread).
+  DeviceSpec spec;
+  LaunchConfig lc;
+  lc.grid_dim = 100000;
+  lc.block_threads = 128;
+  lc.regs_per_thread = 32;
+  lc.smem_bytes_per_block = 128 * 128;
+  EXPECT_NEAR(Occupancy(spec, lc), 48.0 / 128.0, 1e-9);
+}
+
+TEST(OccupancyTest, RegisterPressureReducesOccupancy) {
+  DeviceSpec spec;
+  LaunchConfig lc;
+  lc.grid_dim = 100000;
+  lc.block_threads = 128;
+  lc.regs_per_thread = 130;
+  lc.smem_bytes_per_block = 0;
+  EXPECT_LT(Occupancy(spec, lc), 0.55);
+}
+
+TEST(OccupancyTest, TinyGridCannotFillMachine) {
+  DeviceSpec spec;
+  LaunchConfig lc;
+  lc.grid_dim = 8;
+  lc.block_threads = 128;
+  lc.regs_per_thread = 32;
+  EXPECT_LT(Occupancy(spec, lc), 0.01);
+}
+
+TEST(PerfModelTest, BandwidthBoundKernelMatchesPeak) {
+  // Streaming 2 GB at full occupancy should take ~2.27 ms at 880 GB/s.
+  DeviceSpec spec;
+  LaunchConfig lc;
+  lc.grid_dim = 500000;
+  lc.block_threads = 256;
+  lc.regs_per_thread = 24;
+  KernelStats stats;
+  stats.global_bytes_read = 2'000'000'000ull;
+  const double ms = EstimateKernelTimeMs(spec, lc, stats);
+  EXPECT_NEAR(ms, 2.27, 0.3);
+}
+
+TEST(PerfModelTest, LatencyBoundKernelIsSlower) {
+  DeviceSpec spec;
+  LaunchConfig lc;
+  lc.grid_dim = 500000;
+  lc.block_threads = 128;
+  lc.regs_per_thread = 32;
+  KernelStats bw_only;
+  bw_only.global_bytes_read = 1'000'000'000ull;
+  KernelStats latency_heavy = bw_only;
+  latency_heavy.warp_global_accesses = 80'000'000ull;
+  EXPECT_GT(EstimateKernelTimeMs(spec, lc, latency_heavy),
+            2 * EstimateKernelTimeMs(spec, lc, bw_only));
+}
+
+TEST(PerfModelTest, RegisterSpillAddsTraffic) {
+  DeviceSpec spec;
+  LaunchConfig lc;
+  lc.grid_dim = 100000;
+  lc.block_threads = 128;
+  KernelStats stats;
+  stats.global_bytes_read = 100'000'000ull;
+  lc.regs_per_thread = 64;
+  const double no_spill = EstimateKernelTimeMs(spec, lc, stats);
+  lc.regs_per_thread = spec.regs_per_thread_limit + 64;
+  const double spill = EstimateKernelTimeMs(spec, lc, stats);
+  EXPECT_GT(spill, no_spill * 1.5);
+}
+
+TEST(PerfModelTest, TransferMatchesPcieBandwidth) {
+  DeviceSpec spec;
+  // 1.28 GB over 12.8 GB/s = 100 ms.
+  EXPECT_NEAR(EstimateTransferMs(spec, 1'280'000'000ull), 100.0, 1e-6);
+}
+
+TEST(PerfModelTest, KernelLaunchOverheadFloorsTinyKernels) {
+  DeviceSpec spec;
+  LaunchConfig lc;
+  lc.grid_dim = 1;
+  lc.block_threads = 32;
+  KernelStats stats;  // no work at all
+  EXPECT_GE(EstimateKernelTimeMs(spec, lc, stats),
+            spec.kernel_launch_us * 1e-3);
+}
+
+TEST(DeviceTest, ConcurrentLaunchIsDeterministic) {
+  // Blocks run on a thread pool; stats merging and modeled time must be
+  // identical across runs (integer counters, commutative merges).
+  auto run_once = [] {
+    Device dev;
+    LaunchConfig lc;
+    lc.grid_dim = 5000;
+    lc.block_threads = 128;
+    dev.Launch(lc, [](BlockContext& ctx) {
+      ctx.CoalescedRead(100 + ctx.block_id() % 37, false);
+      ctx.Shared(ctx.block_id() % 13);
+      ctx.Compute(3);
+      ctx.Barrier();
+    });
+    return std::make_pair(dev.total_stats().global_bytes_read,
+                          dev.elapsed_ms());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace tilecomp::sim

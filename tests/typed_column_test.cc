@@ -1,0 +1,72 @@
+// Tests for the decimal and dictionary-string column adapters.
+#include "codec/typed_column.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tilecomp::codec {
+namespace {
+
+TEST(DecimalColumnTest, FixedPointRoundTrip) {
+  DecimalColumn col(/*scale=*/2);
+  col.Append(19.99);
+  col.Append(0.01);
+  col.Append(42.0);
+  EXPECT_DOUBLE_EQ(col.Value(0), 19.99);
+  EXPECT_DOUBLE_EQ(col.Value(1), 0.01);
+  EXPECT_DOUBLE_EQ(col.Value(2), 42.0);
+  EXPECT_EQ(col.fixed_values()[0], 1999u);
+}
+
+TEST(DecimalColumnTest, CompressDecompressPreservesValues) {
+  DecimalColumn col(2);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    col.AppendFixed(static_cast<uint32_t>(rng.NextBounded(1000000)));
+  }
+  auto compressed = col.Compress();
+  EXPECT_LT(compressed.compressed_bytes(),
+            col.size() * 4);  // 20 bits vs 32
+  EXPECT_EQ(compressed.DecodeHost(), col.fixed_values());
+}
+
+TEST(StringColumnTest, DictionaryEncodesAndDecodes) {
+  StringColumn col;
+  const std::vector<std::string> cities = {"tokyo", "paris", "tokyo", "lima",
+                                           "paris", "tokyo"};
+  for (const auto& c : cities) col.Append(c);
+  ASSERT_EQ(col.size(), 6u);
+  for (size_t i = 0; i < cities.size(); ++i) {
+    EXPECT_EQ(col.Value(i), cities[i]);
+  }
+  EXPECT_EQ(col.dictionary().size(), 3u);
+}
+
+TEST(StringColumnTest, LowCardinalityCompressesHard) {
+  StringColumn col;
+  Rng rng(5);
+  const std::vector<std::string> nations = {"US", "DE", "JP", "BR", "IN"};
+  for (int i = 0; i < 100000; ++i) {
+    // Runs of the same nation (a sorted-by-nation table).
+    const auto& nation = nations[(i / 50) % nations.size()];
+    col.Append(nation);
+  }
+  auto compressed = col.Compress();
+  // Run-length structure: far below 1 byte per string.
+  EXPECT_LT(compressed.bits_per_int(), 2.0);
+  EXPECT_EQ(compressed.DecodeHost(), col.codes());
+}
+
+TEST(StringColumnTest, PredicatePushdown) {
+  StringColumn col;
+  col.Append("alpha");
+  col.Append("beta");
+  uint32_t code = 0;
+  EXPECT_TRUE(col.CodeFor("beta", &code));
+  EXPECT_EQ(code, col.codes()[1]);
+  EXPECT_FALSE(col.CodeFor("gamma", &code));
+}
+
+}  // namespace
+}  // namespace tilecomp::codec

@@ -1,0 +1,207 @@
+// tilecomp command-line tool: compress / decompress / inspect columns on
+// disk and benchmark them on the simulated device.
+//
+//   tilecomp gen out.bin --n 1000000 --dist sorted      # make test data
+//   tilecomp compress in.bin out.tcmp [--scheme auto]   # raw u32 LE input
+//   tilecomp decompress in.tcmp out.bin
+//   tilecomp inspect in.tcmp
+//   tilecomp bench in.tcmp                              # simulated decode
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tilecomp.h"
+
+namespace tilecomp {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tilecomp <command> [args]\n"
+               "  gen <out.bin> [--n N] [--dist uniform|sorted|runs|zipf]\n"
+               "                [--bits B] [--seed S]\n"
+               "  compress <in.bin> <out.tcmp> [--scheme auto|gpufor|gpudfor|"
+               "gpurfor|nsf|nsv|rle|gpubp]\n"
+               "  decompress <in.tcmp> <out.bin>\n"
+               "  inspect <in.tcmp>\n"
+               "  bench <in.tcmp>\n");
+  return 2;
+}
+
+bool ReadRawU32(const std::string& path, std::vector<uint32_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long bytes = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(bytes) / 4);
+  const bool ok = std::fread(out->data(), 4, out->size(), f) == out->size();
+  std::fclose(f);
+  return ok;
+}
+
+bool WriteRawU32(const std::string& path, const std::vector<uint32_t>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(data.data(), 4, data.size(), f) == data.size();
+  std::fclose(f);
+  return ok;
+}
+
+int Gen(const std::string& out_path, const Flags& flags) {
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 1'000'000));
+  const uint32_t bits = static_cast<uint32_t>(flags.GetInt("bits", 16));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string dist = flags.GetString("dist", "uniform");
+
+  std::vector<uint32_t> data;
+  if (dist == "uniform") {
+    data = GenUniformBits(n, bits, seed);
+  } else if (dist == "sorted") {
+    data = GenSortedGaps(n, 1u << (bits / 2), seed);
+  } else if (dist == "runs") {
+    data = GenRuns(n, 16, bits, seed);
+  } else if (dist == "zipf") {
+    data = GenZipf(n, 1ull << bits, 1.5, seed);
+  } else {
+    std::fprintf(stderr, "unknown --dist %s\n", dist.c_str());
+    return 2;
+  }
+  if (!WriteRawU32(out_path, data)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu values (%zu bytes) to %s\n", data.size(),
+              data.size() * 4, out_path.c_str());
+  return 0;
+}
+
+int Compress(const std::string& in_path, const std::string& out_path,
+             const Flags& flags) {
+  std::vector<uint32_t> data;
+  if (!ReadRawU32(in_path, &data)) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+
+  const std::string scheme_name = flags.GetString("scheme", "auto");
+  codec::CompressedColumn col;
+  if (scheme_name == "auto") {
+    col = codec::EncodeGpuStar(data.data(), data.size());
+  } else {
+    codec::Scheme scheme;
+    if (scheme_name == "gpufor") {
+      scheme = codec::Scheme::kGpuFor;
+    } else if (scheme_name == "gpudfor") {
+      scheme = codec::Scheme::kGpuDFor;
+    } else if (scheme_name == "gpurfor") {
+      scheme = codec::Scheme::kGpuRFor;
+    } else if (scheme_name == "nsf") {
+      scheme = codec::Scheme::kNsf;
+    } else if (scheme_name == "nsv") {
+      scheme = codec::Scheme::kNsv;
+    } else if (scheme_name == "rle") {
+      scheme = codec::Scheme::kRle;
+    } else if (scheme_name == "gpubp") {
+      scheme = codec::Scheme::kGpuBp;
+    } else {
+      std::fprintf(stderr, "unknown --scheme %s\n", scheme_name.c_str());
+      return 2;
+    }
+    col = codec::CompressedColumn::Encode(scheme, data);
+  }
+
+  if (!codec::WriteColumnFile(out_path, col)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu values, %s, %.2f bits/int (%.2fx), %llu bytes\n",
+              out_path.c_str(), data.size(), codec::SchemeName(col.scheme()),
+              col.bits_per_int(), col.compression_ratio(),
+              static_cast<unsigned long long>(col.compressed_bytes()));
+  return 0;
+}
+
+int Decompress(const std::string& in_path, const std::string& out_path) {
+  codec::CompressedColumn col;
+  if (!codec::ReadColumnFile(in_path, &col)) {
+    std::fprintf(stderr, "cannot read/parse %s\n", in_path.c_str());
+    return 1;
+  }
+  if (!WriteRawU32(out_path, col.DecodeHost())) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("decoded %u values to %s\n", col.size(), out_path.c_str());
+  return 0;
+}
+
+int Inspect(const std::string& in_path) {
+  codec::CompressedColumn col;
+  if (!codec::ReadColumnFile(in_path, &col)) {
+    std::fprintf(stderr, "cannot read/parse %s\n", in_path.c_str());
+    return 1;
+  }
+  std::printf("scheme:           %s\n", codec::SchemeName(col.scheme()));
+  std::printf("values:           %u\n", col.size());
+  std::printf("compressed bytes: %llu\n",
+              static_cast<unsigned long long>(col.compressed_bytes()));
+  std::printf("bits per int:     %.2f\n", col.bits_per_int());
+  std::printf("ratio vs int32:   %.2fx\n", col.compression_ratio());
+  auto decoded = col.DecodeHost();
+  auto stats = codec::ComputeStats(decoded.data(), decoded.size());
+  std::printf("min / max:        %u / %u\n", stats.min, stats.max);
+  std::printf("distinct (est):   %llu\n",
+              static_cast<unsigned long long>(stats.distinct));
+  std::printf("avg run length:   %.2f\n", stats.avg_run_length);
+  std::printf("sorted:           %s\n", stats.sorted ? "yes" : "no");
+  return 0;
+}
+
+int Bench(const std::string& in_path) {
+  codec::CompressedColumn col;
+  if (!codec::ReadColumnFile(in_path, &col)) {
+    std::fprintf(stderr, "cannot read/parse %s\n", in_path.c_str());
+    return 1;
+  }
+  codec::SystemColumn sys;
+  if (col.scheme() == codec::Scheme::kNone) {
+    sys.system = codec::System::kNone;
+  } else if (col.scheme() == codec::Scheme::kGpuBp) {
+    sys.system = codec::System::kGpuBp;
+  } else {
+    sys.system = codec::System::kGpuStar;
+  }
+  sys.column = col;
+  sim::Device dev;
+  auto run = codec::SystemDecompress(dev, sys);
+  std::printf("simulated decompression (V100 model):\n");
+  std::printf("  time:            %.4f ms\n", run.time_ms);
+  std::printf("  kernel launches: %llu\n",
+              static_cast<unsigned long long>(run.kernel_launches));
+  std::printf("  global read:     %.2f MB\n",
+              run.stats.global_bytes_read / 1e6);
+  std::printf("  global written:  %.2f MB\n",
+              run.stats.global_bytes_written / 1e6);
+  std::printf("  effective rate:  %.1f Gvalues/s\n",
+              col.size() / run.time_ms / 1e6);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Flags flags(argc - 1, argv + 1);
+  if (cmd == "gen" && argc >= 3) return Gen(argv[2], flags);
+  if (cmd == "compress" && argc >= 4) return Compress(argv[2], argv[3], flags);
+  if (cmd == "decompress" && argc >= 4) return Decompress(argv[2], argv[3]);
+  if (cmd == "inspect" && argc >= 3) return Inspect(argv[2]);
+  if (cmd == "bench" && argc >= 3) return Bench(argv[2]);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Main(argc, argv); }
