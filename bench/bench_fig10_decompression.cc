@@ -8,10 +8,14 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "kernels/dispatch.h"
 #include "ssb/generator.h"
 #include "ssb/queries.h"
+#include "telemetry/export.h"
+#include "telemetry/tracer.h"
 
 namespace tilecomp {
 namespace {
@@ -97,6 +101,50 @@ int Run(int argc, char** argv) {
   std::printf("vs GPU-*:  %8.1fx %9.1fx %9.1fx %9.1fx\n", g[0] / g[3],
               g[1] / g[3], g[2] / g[3], 1.0);
   bench::PrintNote("paper: Planner 5.5x, GPU-BP 2x, nvCOMP 2.2x slower");
+
+  // --trace=<file>: re-run one RLE-family column under a telemetry tracer
+  // so the launch-count asymmetry is visible span by span — the
+  // RLE+FOR+BitPack cascade records one kernel span per layer pass (8 in
+  // total; the nvCOMP-style variant 6) while GPU-RFOR records a single
+  // fused span.
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    int pick = 0;
+    for (int c = 0; c < ssb::kNumLoCols; ++c) {
+      const auto& values = data.lineorder.column(static_cast<ssb::LoCol>(c));
+      auto star = codec::SystemEncode(codec::System::kGpuStar, values);
+      if (star.column.scheme() == codec::Scheme::kGpuRFor) {
+        pick = c;
+        break;
+      }
+    }
+    const auto& values =
+        data.lineorder.column(static_cast<ssb::LoCol>(pick));
+    auto star_col = codec::SystemEncode(codec::System::kGpuStar, values);
+    auto nv_col = codec::SystemEncode(codec::System::kNvcomp, values);
+    sim::Device tdev;
+    telemetry::Tracer tracer;
+    tdev.AttachTracer(&tracer);
+    {
+      telemetry::ScopedSpan span(tdev, "nvcomp");
+      codec::SystemDecompress(tdev, nv_col);
+    }
+    {
+      telemetry::ScopedSpan span(tdev, "cascaded");
+      kernels::Decompress(tdev, star_col.column,
+                          kernels::Pipeline::kCascaded);
+    }
+    {
+      telemetry::ScopedSpan span(tdev, "gpu-star");
+      codec::SystemDecompress(tdev, star_col);
+    }
+    tdev.AttachTracer(nullptr);
+    if (!telemetry::WriteTextFile(trace_path, telemetry::ToJson(tracer))) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+  }
   return 0;
 }
 

@@ -15,8 +15,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "codec/column.h"
 #include "common/random.h"
-#include "kernels/decompress.h"
+#include "kernels/dispatch.h"
 
 namespace tilecomp {
 namespace {
@@ -34,34 +35,33 @@ int Run(int argc, char** argv) {
 
   std::vector<std::array<double, 6>> rates;
   std::vector<uint32_t> widths;
+  using codec::CompressedColumn;
+  using codec::Scheme;
   for (uint32_t b = 2; b <= 30; b += 2) {
     auto values = GenUniformBits(n, b, 1000 + b);
     sim::Device dev;
 
-    auto ffor = format::GpuForEncode(values.data(), n);
-    auto dfor = format::GpuDForEncode(values.data(), n);
-    auto rfor = format::GpuRForEncode(values.data(), n);
-    auto nsf = format::NsfEncode(values.data(), n);
+    const auto none = CompressedColumn::Encode(Scheme::kNone, values);
+    const auto nsf = CompressedColumn::Encode(Scheme::kNsf, values);
+    const auto ffor = CompressedColumn::Encode(Scheme::kGpuFor, values);
+    const auto dfor = CompressedColumn::Encode(Scheme::kGpuDFor, values);
+    const auto rfor = CompressedColumn::Encode(Scheme::kGpuRFor, values);
 
-    const double t_none =
-        bench::Project(kernels::CopyUncompressed(dev, values).time_ms, n,
-                       kPaperN);
-    const double t_nsf =
-        bench::Project(kernels::DecompressNsf(dev, nsf).time_ms, n, kPaperN);
-    const double t_for = bench::Project(
-        kernels::DecompressGpuFor(dev, ffor).time_ms, n, kPaperN);
-    const double t_dfor = bench::Project(
-        kernels::DecompressGpuDFor(dev, dfor).time_ms, n, kPaperN);
-    const double t_rfor = bench::Project(
-        kernels::DecompressGpuRFor(dev, rfor).time_ms, n, kPaperN);
-    const double t_for_c = bench::Project(
-        kernels::DecompressForBitPackCascaded(dev, ffor).time_ms, n, kPaperN);
-    const double t_dfor_c = bench::Project(
-        kernels::DecompressDeltaForBitPackCascaded(dev, dfor).time_ms, n,
-        kPaperN);
-    const double t_rfor_c = bench::Project(
-        kernels::DecompressRleForBitPackCascaded(dev, rfor).time_ms, n,
-        kPaperN);
+    // One generic dispatcher call per series: the scheme picks the kernel,
+    // the pipeline picks fused vs. layer-at-a-time.
+    auto t = [&](const CompressedColumn& col, kernels::Pipeline pipeline) {
+      return bench::Project(kernels::Decompress(dev, col, pipeline).time_ms,
+                            n, kPaperN);
+    };
+    using kernels::Pipeline;
+    const double t_none = t(none, Pipeline::kFused);
+    const double t_nsf = t(nsf, Pipeline::kFused);
+    const double t_for = t(ffor, Pipeline::kFused);
+    const double t_dfor = t(dfor, Pipeline::kFused);
+    const double t_rfor = t(rfor, Pipeline::kFused);
+    const double t_for_c = t(ffor, Pipeline::kCascaded);
+    const double t_dfor_c = t(dfor, Pipeline::kCascaded);
+    const double t_rfor_c = t(rfor, Pipeline::kCascaded);
 
     std::printf("%-4u %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n", b,
                 t_none, t_nsf, t_for, t_dfor, t_rfor, t_for_c, t_dfor_c,

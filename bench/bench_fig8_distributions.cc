@@ -15,8 +15,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "codec/column.h"
 #include "common/random.h"
-#include "kernels/decompress.h"
+#include "kernels/dispatch.h"
 
 namespace tilecomp {
 namespace {
@@ -28,43 +29,24 @@ struct SchemeResult {
   double proj_ms;
 };
 
+codec::Scheme SchemeFromName(const std::string& name) {
+  if (name == "None") return codec::Scheme::kNone;
+  if (name == "NSF") return codec::Scheme::kNsf;
+  if (name == "NSV") return codec::Scheme::kNsv;
+  if (name == "GPU-FOR") return codec::Scheme::kGpuFor;
+  if (name == "GPU-DFOR") return codec::Scheme::kGpuDFor;
+  if (name == "GPU-RFOR") return codec::Scheme::kGpuRFor;
+  return codec::Scheme::kRle;
+}
+
 SchemeResult RunScheme(const char* scheme, const std::vector<uint32_t>& v) {
   sim::Device dev;
   const size_t n = v.size();
-  std::string name = scheme;
-  if (name == "None") {
-    auto run = kernels::CopyUncompressed(dev, v);
-    return {32.0, bench::Project(run.time_ms, n, kPaperN)};
-  }
-  if (name == "NSF") {
-    auto enc = format::NsfEncode(v.data(), n);
-    auto run = kernels::DecompressNsf(dev, enc);
-    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
-  }
-  if (name == "NSV") {
-    auto enc = format::NsvEncode(v.data(), n);
-    auto run = kernels::DecompressNsv(dev, enc);
-    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
-  }
-  if (name == "GPU-FOR") {
-    auto enc = format::GpuForEncode(v.data(), n);
-    auto run = kernels::DecompressGpuFor(dev, enc);
-    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
-  }
-  if (name == "GPU-DFOR") {
-    auto enc = format::GpuDForEncode(v.data(), n);
-    auto run = kernels::DecompressGpuDFor(dev, enc);
-    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
-  }
-  if (name == "GPU-RFOR") {
-    auto enc = format::GpuRForEncode(v.data(), n);
-    auto run = kernels::DecompressGpuRFor(dev, enc);
-    return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
-  }
-  // RLE
-  auto enc = format::RleEncode(v.data(), n);
-  auto run = kernels::DecompressRle(dev, enc);
-  return {enc.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
+  // Encode with the named scheme and let the generic dispatcher pick the
+  // matching fused decompression kernel.
+  const auto col = codec::CompressedColumn::Encode(SchemeFromName(scheme), v);
+  auto run = kernels::Decompress(dev, col);
+  return {col.bits_per_int(), bench::Project(run.time_ms, n, kPaperN)};
 }
 
 void RunSweep(const char* title, const std::vector<const char*>& schemes,

@@ -8,10 +8,14 @@
 //   + precomputed offsets  2.1 ms
 //   reading uncompressed   2.4 ms
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "kernels/decompress.h"
+#include "sim/stats.h"
+#include "telemetry/export.h"
+#include "telemetry/tracer.h"
 
 namespace tilecomp {
 namespace {
@@ -25,12 +29,14 @@ int Run(int argc, char** argv) {
   bench::PrintTitle("Section 4.2 ablation: fast bit unpacking optimizations");
   bench::PrintNote("dataset: " + std::to_string(n) + " ints U(0,2^16); " +
                    "times projected to paper scale (500M)");
-  std::printf("%-28s %12s %12s %12s\n", "variant", "sim_ms", "proj_ms",
-              "paper_ms");
+  std::printf("%-28s %12s %12s %12s  %s\n", "variant", "sim_ms", "proj_ms",
+              "paper_ms", "limiter");
 
   auto values = GenUniformBits(n, 16, 42);
   auto enc = format::GpuForEncode(values.data(), n);
   sim::Device dev;
+  telemetry::Tracer tracer;
+  dev.AttachTracer(&tracer);
 
   struct Row {
     const char* name;
@@ -49,15 +55,51 @@ int Run(int argc, char** argv) {
     kernels::UnpackConfig cfg;
     cfg.opt = row.opt;
     cfg.d = row.d;
-    auto run = kernels::DecompressGpuFor(dev, enc, cfg,
-                                         /*write_output=*/false);
-    std::printf("%-28s %12.4f %12.2f %12.2f\n", row.name, run.time_ms,
-                bench::Project(run.time_ms, n, kPaperN), row.paper_ms);
+    kernels::DecompressRun run;
+    {
+      telemetry::ScopedSpan span(dev, row.name);
+      run = kernels::DecompressGpuFor(dev, enc, cfg,
+                                      /*write_output=*/false);
+    }
+    const char* limiter =
+        run.launches.empty()
+            ? "-"
+            : sim::LimiterName(run.launches.front().breakdown.limiter());
+    std::printf("%-28s %12.4f %12.2f %12.2f  %s\n", row.name, run.time_ms,
+                bench::Project(run.time_ms, n, kPaperN), row.paper_ms,
+                limiter);
   }
-  auto uncompressed = kernels::ReadUncompressed(dev, values);
-  std::printf("%-28s %12.4f %12.2f %12.2f\n", "reading uncompressed",
+  kernels::DecompressRun uncompressed;
+  {
+    telemetry::ScopedSpan span(dev, "reading uncompressed");
+    uncompressed = kernels::ReadUncompressed(dev, values);
+  }
+  std::printf("%-28s %12.4f %12.2f %12.2f  %s\n", "reading uncompressed",
               uncompressed.time_ms,
-              bench::Project(uncompressed.time_ms, n, kPaperN), 2.4);
+              bench::Project(uncompressed.time_ms, n, kPaperN), 2.4,
+              uncompressed.launches.empty()
+                  ? "-"
+                  : sim::LimiterName(
+                        uncompressed.launches.front().breakdown.limiter()));
+  dev.AttachTracer(nullptr);
+
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    if (!telemetry::WriteTextFile(trace_path, telemetry::ToJson(tracer))) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+  }
+  const std::string chrome_path = flags.GetString("chrome", "");
+  if (!chrome_path.empty()) {
+    if (!telemetry::WriteTextFile(chrome_path,
+                                  telemetry::ToChromeTrace(tracer))) {
+      std::fprintf(stderr, "cannot write %s\n", chrome_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote chrome trace to %s\n", chrome_path.c_str());
+  }
   return 0;
 }
 

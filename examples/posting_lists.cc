@@ -35,7 +35,7 @@ int main() {
               "bits/doc", "decode_ms");
   for (const List& list : lists) {
     auto ids = GenSortedGaps(list.length, 2 * list.avg_gap, list.avg_gap);
-    auto compressed = codec::EncodeGpuStar(ids.data(), ids.size());
+    auto compressed = codec::EncodeGpuStar(ids);
 
     sim::Device dev;
     kernels::DecompressRun run;

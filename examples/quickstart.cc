@@ -18,13 +18,13 @@ int main() {
 
   // 2. Let the library pick the best GPU-* scheme (Section 8 rule: this
   //    column is sorted with high cardinality, so GPU-DFOR should win).
-  codec::ColumnStats stats = codec::ComputeStats(column.data(), column.size());
+  codec::ColumnStats stats = codec::ComputeStats(column);
   std::printf("column: %zu values, sorted=%d, distinct~%llu, avg run %.2f\n",
               column.size(), stats.sorted,
               static_cast<unsigned long long>(stats.distinct),
               stats.avg_run_length);
   codec::CompressedColumn compressed =
-      codec::EncodeGpuStar(column.data(), column.size());
+      codec::EncodeGpuStar(column);
   std::printf("chosen scheme: %s\n", codec::SchemeName(compressed.scheme()));
   std::printf("compressed: %.2f bits/int (%.1fx smaller than raw int32)\n",
               compressed.bits_per_int(), compressed.compression_ratio());
@@ -37,7 +37,7 @@ int main() {
   system_column.column = compressed;
   auto run = codec::SystemDecompress(device, system_column);
   std::printf("decompressed in %.3f modeled ms, %llu kernel launch(es)\n",
-              run.time_ms, static_cast<unsigned long long>(run.kernel_launches));
+              run.time_ms, static_cast<unsigned long long>(run.kernel_launches()));
 
   // 4. Verify.
   if (run.output == column) {

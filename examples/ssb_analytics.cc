@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     std::printf("\nq2.1 on %s columns: %.3f modeled ms, %llu kernels, "
                 "%zu groups\n",
                 codec::SystemName(enc->system), result.time_ms,
-                static_cast<unsigned long long>(result.kernel_launches),
+                static_cast<unsigned long long>(result.kernel_launches()),
                 result.groups.size());
     // Print the first few (year, brand) revenue groups with decoded strings.
     int shown = 0;

@@ -46,9 +46,9 @@ const char* SystemName(System system) {
   return "?";
 }
 
-CompressedColumn CompressedColumn::Encode(Scheme scheme,
-                                          const uint32_t* values,
-                                          size_t count) {
+CompressedColumn CompressedColumn::Encode(Scheme scheme, U32Span span) {
+  const uint32_t* values = span.data();
+  const size_t count = span.size();
   TILECOMP_CHECK(count <= 0xFFFFFFFFull);
   CompressedColumn col;
   col.scheme_ = scheme;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "codec/scheme.h"
+#include "common/span.h"
 #include "format/gpudfor.h"
 #include "format/gpufor.h"
 #include "format/gpurfor.h"
@@ -24,13 +25,13 @@ class CompressedColumn {
  public:
   CompressedColumn() = default;
 
-  // Encode `count` values with the given scheme. For kNone the values are
-  // stored verbatim.
+  // Encode the viewed values with the given scheme. For kNone the values
+  // are stored verbatim. A std::vector converts implicitly.
+  static CompressedColumn Encode(Scheme scheme, U32Span values);
+  // Thin forwarding shim for legacy pointer/length call sites.
   static CompressedColumn Encode(Scheme scheme, const uint32_t* values,
-                                 size_t count);
-  static CompressedColumn Encode(Scheme scheme,
-                                 const std::vector<uint32_t>& values) {
-    return Encode(scheme, values.data(), values.size());
+                                 size_t count) {
+    return Encode(scheme, U32Span(values, count));
   }
 
   // Wrap already-encoded streams (deserialization, zero-copy adoption).

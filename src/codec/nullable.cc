@@ -24,7 +24,7 @@ NullableColumn NullableColumn::Encode(const std::vector<uint32_t>& values,
     valid_words[i] = validity[i] ? 1 : 0;
   }
 
-  col.values_ = EncodeGpuStar(filled.data(), filled.size());
+  col.values_ = EncodeGpuStar(filled);
   col.validity_ =
       CompressedColumn::Encode(Scheme::kGpuRFor, valid_words);
   return col;

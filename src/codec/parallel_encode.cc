@@ -28,8 +28,9 @@ std::vector<std::pair<size_t, size_t>> Segments(size_t count, size_t unit) {
 }  // namespace
 
 format::GpuForEncoded ParallelGpuForEncode(
-    const uint32_t* values, size_t count,
-    const format::GpuForOptions& options) {
+    U32Span span, const format::GpuForOptions& options) {
+  const uint32_t* values = span.data();
+  const size_t count = span.size();
   auto segments = Segments(count, options.block_size);
   if (segments.size() <= 1) return format::GpuForEncode(values, count, options);
 
@@ -58,8 +59,9 @@ format::GpuForEncoded ParallelGpuForEncode(
 }
 
 format::GpuDForEncoded ParallelGpuDForEncode(
-    const uint32_t* values, size_t count,
-    const format::GpuDForOptions& options) {
+    U32Span span, const format::GpuDForOptions& options) {
+  const uint32_t* values = span.data();
+  const size_t count = span.size();
   const size_t unit =
       static_cast<size_t>(options.block_size) * options.blocks_per_tile;
   auto segments = Segments(count, unit);
@@ -93,8 +95,9 @@ format::GpuDForEncoded ParallelGpuDForEncode(
 }
 
 format::GpuRForEncoded ParallelGpuRForEncode(
-    const uint32_t* values, size_t count,
-    const format::GpuRForOptions& options) {
+    U32Span span, const format::GpuRForOptions& options) {
+  const uint32_t* values = span.data();
+  const size_t count = span.size();
   auto segments = Segments(count, options.block_size);
   if (segments.size() <= 1) {
     return format::GpuRForEncode(values, count, options);

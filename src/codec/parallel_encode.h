@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/span.h"
 #include "format/gpudfor.h"
 #include "format/gpufor.h"
 #include "format/gpurfor.h"
@@ -20,16 +21,33 @@
 namespace tilecomp::codec {
 
 format::GpuForEncoded ParallelGpuForEncode(
-    const uint32_t* values, size_t count,
+    U32Span values,
     const format::GpuForOptions& options = format::GpuForOptions());
 
 format::GpuDForEncoded ParallelGpuDForEncode(
-    const uint32_t* values, size_t count,
+    U32Span values,
     const format::GpuDForOptions& options = format::GpuDForOptions());
 
 format::GpuRForEncoded ParallelGpuRForEncode(
-    const uint32_t* values, size_t count,
+    U32Span values,
     const format::GpuRForOptions& options = format::GpuRForOptions());
+
+// Thin forwarding shims for legacy pointer/length call sites.
+inline format::GpuForEncoded ParallelGpuForEncode(
+    const uint32_t* values, size_t count,
+    const format::GpuForOptions& options = format::GpuForOptions()) {
+  return ParallelGpuForEncode(U32Span(values, count), options);
+}
+inline format::GpuDForEncoded ParallelGpuDForEncode(
+    const uint32_t* values, size_t count,
+    const format::GpuDForOptions& options = format::GpuDForOptions()) {
+  return ParallelGpuDForEncode(U32Span(values, count), options);
+}
+inline format::GpuRForEncoded ParallelGpuRForEncode(
+    const uint32_t* values, size_t count,
+    const format::GpuRForOptions& options = format::GpuRForOptions()) {
+  return ParallelGpuRForEncode(U32Span(values, count), options);
+}
 
 }  // namespace tilecomp::codec
 

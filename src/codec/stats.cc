@@ -5,7 +5,9 @@
 
 namespace tilecomp::codec {
 
-ColumnStats ComputeStats(const uint32_t* values, size_t count) {
+ColumnStats ComputeStats(U32Span span) {
+  const uint32_t* values = span.data();
+  const size_t count = span.size();
   ColumnStats stats;
   stats.count = count;
   if (count == 0) return stats;
@@ -52,17 +54,15 @@ Scheme ChooseScheme(const ColumnStats& stats) {
   return Scheme::kGpuFor;
 }
 
-CompressedColumn EncodeGpuStar(const uint32_t* values, size_t count) {
+CompressedColumn EncodeGpuStar(U32Span values) {
   // Candidates in increasing decompression cost (FOR < DFOR < RFOR,
   // Section 9.2): a more expensive scheme must be at least 2% smaller to
   // displace a cheaper one. Without the margin, GPU-RFOR "wins" on
   // run-free data purely via its lower per-512-block metadata while being
   // strictly slower to decode.
-  CompressedColumn best =
-      CompressedColumn::Encode(Scheme::kGpuFor, values, count);
+  CompressedColumn best = CompressedColumn::Encode(Scheme::kGpuFor, values);
   for (Scheme scheme : {Scheme::kGpuDFor, Scheme::kGpuRFor}) {
-    CompressedColumn candidate =
-        CompressedColumn::Encode(scheme, values, count);
+    CompressedColumn candidate = CompressedColumn::Encode(scheme, values);
     if (static_cast<double>(candidate.compressed_bytes()) <
         0.98 * static_cast<double>(best.compressed_bytes())) {
       best = candidate;

@@ -7,6 +7,7 @@
 
 #include "codec/column.h"
 #include "codec/scheme.h"
+#include "common/span.h"
 
 namespace tilecomp::codec {
 
@@ -20,7 +21,11 @@ struct ColumnStats {
   size_t count = 0;
 };
 
-ColumnStats ComputeStats(const uint32_t* values, size_t count);
+ColumnStats ComputeStats(U32Span values);
+// Thin forwarding shim for legacy pointer/length call sites.
+inline ColumnStats ComputeStats(const uint32_t* values, size_t count) {
+  return ComputeStats(U32Span(values, count));
+}
 
 // The Section 8 rule of thumb:
 //   - sorted (or semi-sorted) with many distinct values -> GPU-DFOR
@@ -31,7 +36,11 @@ Scheme ChooseScheme(const ColumnStats& stats);
 // "The rule-of-thumb when choosing a compression scheme is to use the one
 // that has the lowest storage footprint": encode with all three GPU-*
 // schemes and keep the smallest. This is the GPU-* hybrid of Section 9.4.
-CompressedColumn EncodeGpuStar(const uint32_t* values, size_t count);
+CompressedColumn EncodeGpuStar(U32Span values);
+// Thin forwarding shim for legacy pointer/length call sites.
+inline CompressedColumn EncodeGpuStar(const uint32_t* values, size_t count) {
+  return EncodeGpuStar(U32Span(values, count));
+}
 
 }  // namespace tilecomp::codec
 

@@ -1,7 +1,10 @@
 #include "codec/systems.h"
 
+#include <utility>
+
 #include "codec/stats.h"
 #include "common/macros.h"
+#include "kernels/dispatch.h"
 
 namespace tilecomp::codec {
 
@@ -38,28 +41,27 @@ std::vector<uint32_t> SystemColumn::DecodeHost() const {
   }
 }
 
-SystemColumn SystemEncode(System system, const uint32_t* values,
-                          size_t count) {
+SystemColumn SystemEncode(System system, U32Span values) {
   SystemColumn out;
   out.system = system;
   switch (system) {
     case System::kNone:
     case System::kOmnisci:
-      out.column = CompressedColumn::Encode(Scheme::kNone, values, count);
+      out.column = CompressedColumn::Encode(Scheme::kNone, values);
       break;
     case System::kGpuStar:
-      out.column = EncodeGpuStar(values, count);
+      out.column = EncodeGpuStar(values);
       break;
     case System::kGpuBp:
-      out.column = CompressedColumn::Encode(Scheme::kGpuBp, values, count);
+      out.column = CompressedColumn::Encode(Scheme::kGpuBp, values);
       break;
     case System::kNvcomp:
-      out.nvcomp =
-          std::make_shared<NvcompEncoded>(NvcompEncode(values, count));
+      out.nvcomp = std::make_shared<NvcompEncoded>(
+          NvcompEncode(values.data(), values.size()));
       break;
     case System::kPlanner:
-      out.planner =
-          std::make_shared<PlannerEncoded>(PlannerEncode(values, count));
+      out.planner = std::make_shared<PlannerEncoded>(
+          PlannerEncode(values.data(), values.size()));
       break;
   }
   return out;
@@ -71,14 +73,15 @@ namespace {
 // loads (no multi-block shared-memory staging, no vectorization) — the
 // paper's observation that "their bit-packing scheme does not saturate
 // memory bandwidth". Reads `comp_bytes`, writes one word per element.
-void NvcompUnpackPass(sim::Device& dev, uint64_t elems, uint64_t comp_bytes) {
+void NvcompUnpackPass(sim::Device& dev, uint64_t elems, uint64_t comp_bytes,
+                      std::string label) {
   sim::LaunchConfig lc;
   lc.block_threads = 256;
   lc.grid_dim = std::max<int64_t>(
       1, static_cast<int64_t>((elems + 1023) / 1024));
   lc.regs_per_thread = 32;
   const int64_t grid = lc.grid_dim;
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch(std::move(label), lc, [&](sim::BlockContext& ctx) {
     ctx.CoalescedRead(comp_bytes / grid, false);
     // Per-thread (non-vectorized, partially diverging) word loads dominate
     // the issue rate. Calibrated against the paper's Figure 10a (nvCOMP
@@ -92,14 +95,15 @@ void NvcompUnpackPass(sim::Device& dev, uint64_t elems, uint64_t comp_bytes) {
 // Planner-era (Fang et al., 2010) null-suppression decode kernel: one
 // thread per element reading 1-4 byte entries — heavily uncoalesced, so the
 // issue-rate penalty is steeper than nvCOMP's word-aligned unpack.
-void PlannerNsPass(sim::Device& dev, uint64_t elems, uint64_t comp_bytes) {
+void PlannerNsPass(sim::Device& dev, uint64_t elems, uint64_t comp_bytes,
+                   std::string label) {
   sim::LaunchConfig lc;
   lc.block_threads = 256;
   lc.grid_dim = std::max<int64_t>(
       1, static_cast<int64_t>((elems + 1023) / 1024));
   lc.regs_per_thread = 28;
   const int64_t grid = lc.grid_dim;
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch(std::move(label), lc, [&](sim::BlockContext& ctx) {
     ctx.CoalescedRead(comp_bytes / grid, false);
     ctx.stats().warp_global_accesses += elems / grid / 8;
     ctx.Compute(8 * elems / grid);
@@ -112,8 +116,7 @@ void PlannerNsPass(sim::Device& dev, uint64_t elems, uint64_t comp_bytes) {
 kernels::DecompressRun NvcompDecompress(sim::Device& dev,
                                         const NvcompEncoded& enc) {
   kernels::DecompressRun run;
-  const double ms0 = dev.elapsed_ms();
-  const uint64_t launches0 = dev.kernel_launches();
+  kernels::RunScope scope(dev);
 
   const uint64_t n = enc.total_count;
   const uint64_t comp_bytes = enc.compressed_bytes();
@@ -124,27 +127,31 @@ kernels::DecompressRun NvcompDecompress(sim::Device& dev,
   }
 
   // Pass 1: bit-unpack the value stream (+ headers).
-  NvcompUnpackPass(dev, elems, comp_bytes);
+  NvcompUnpackPass(dev, elems, comp_bytes, "nvcomp.unpack_values");
   if (enc.config.use_rle) {
     // Pass 2: bit-unpack the run-length stream.
-    NvcompUnpackPass(dev, elems, comp_bytes / 2);
+    NvcompUnpackPass(dev, elems, comp_bytes / 2, "nvcomp.unpack_lengths");
   }
   // Frame-of-reference add: its own cascade layer in nvCOMP.
-  kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2);
+  kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2,
+                         "nvcomp.for_add");
   if (enc.config.use_delta) {
     // Delta pass: prefix sum over the value stream.
-    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 3);
+    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 3,
+                           "nvcomp.delta_scan");
   }
   if (enc.config.use_rle) {
     // RLE expansion: scan, scatter (incl. marker init), propagate, gather.
-    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2);
-    kernels::StreamingPass(dev, elems, elems * 8, n * 4, 1);
-    kernels::StreamingPass(dev, n, n * 4 + elems * 4, n * 4, 2);
+    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2,
+                           "nvcomp.rle_scan");
+    kernels::StreamingPass(dev, elems, elems * 8, n * 4, 1,
+                           "nvcomp.rle_scatter");
+    kernels::StreamingPass(dev, n, n * 4 + elems * 4, n * 4, 2,
+                           "nvcomp.rle_gather");
   }
 
   run.output = NvcompDecodeHost(enc);
-  run.time_ms = dev.elapsed_ms() - ms0;
-  run.kernel_launches = dev.kernel_launches() - launches0;
+  scope.Finish(&run);
   return run;
 }
 
@@ -152,8 +159,7 @@ kernels::DecompressRun NvcompDecompress(sim::Device& dev,
 kernels::DecompressRun PlannerDecompress(sim::Device& dev,
                                          const PlannerEncoded& enc) {
   kernels::DecompressRun run;
-  const double ms0 = dev.elapsed_ms();
-  const uint64_t launches0 = dev.kernel_launches();
+  kernels::RunScope scope(dev);
 
   const uint64_t n = enc.total_count;
   const uint64_t comp_bytes = enc.compressed_bytes();
@@ -172,29 +178,34 @@ kernels::DecompressRun PlannerDecompress(sim::Device& dev,
   }
 
   // NS decode pass(es): widen byte-aligned entries to 4-byte ints.
-  PlannerNsPass(dev, elems, comp_bytes);
+  PlannerNsPass(dev, elems, comp_bytes, "planner.ns_decode_values");
   if (plan.use_rle) {
-    PlannerNsPass(dev, elems, comp_bytes / 4);
+    PlannerNsPass(dev, elems, comp_bytes / 4, "planner.ns_decode_lengths");
   }
   if (plan.ns == PlannerNs::kNsv) {
     // NSV needs an offsets scan before it can gather.
-    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2);
+    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2,
+                           "planner.offset_scan");
   }
   if (plan.use_for) {
-    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2);
+    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2,
+                           "planner.for_add");
   }
   if (plan.use_delta) {
-    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 3);
+    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 3,
+                           "planner.delta_scan");
   }
   if (plan.use_rle) {
-    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2);
-    kernels::StreamingPass(dev, elems, elems * 8, n * 4, 1);
-    kernels::StreamingPass(dev, n, n * 4 + elems * 4, n * 4, 2);
+    kernels::StreamingPass(dev, elems, elems * 4, elems * 4, 2,
+                           "planner.rle_scan");
+    kernels::StreamingPass(dev, elems, elems * 8, n * 4, 1,
+                           "planner.rle_scatter");
+    kernels::StreamingPass(dev, n, n * 4 + elems * 4, n * 4, 2,
+                           "planner.rle_gather");
   }
 
   run.output = PlannerDecodeHost(enc);
-  run.time_ms = dev.elapsed_ms() - ms0;
-  run.kernel_launches = dev.kernel_launches() - launches0;
+  scope.Finish(&run);
   return run;
 }
 
@@ -205,21 +216,11 @@ kernels::DecompressRun SystemDecompress(sim::Device& dev,
   switch (column.system) {
     case System::kNone:
     case System::kOmnisci:
-      return kernels::CopyUncompressed(dev, *column.column.raw());
     case System::kGpuStar:
-      switch (column.column.scheme()) {
-        case Scheme::kGpuFor:
-          return kernels::DecompressGpuFor(dev, *column.column.gpu_for());
-        case Scheme::kGpuDFor:
-          return kernels::DecompressGpuDFor(dev, *column.column.gpu_dfor());
-        case Scheme::kGpuRFor:
-          return kernels::DecompressGpuRFor(dev, *column.column.gpu_rfor());
-        default:
-          TILECOMP_CHECK_MSG(false, "unexpected GPU-* scheme");
-      }
-      break;
     case System::kGpuBp:
-      return kernels::DecompressGpuBp(dev, *column.column.gpu_for());
+      // The generic dispatcher picks the right fused kernel from the
+      // column's scheme (kNone -> copy, kGpuBp -> unstaged bit-unpack).
+      return kernels::Decompress(dev, column.column);
     case System::kNvcomp:
       return NvcompDecompress(dev, *column.nvcomp);
     case System::kPlanner:

@@ -13,6 +13,7 @@
 #include "codec/nvcomp_like.h"
 #include "codec/planner.h"
 #include "codec/scheme.h"
+#include "common/span.h"
 #include "kernels/decompress.h"
 #include "sim/device.h"
 
@@ -44,7 +45,12 @@ struct SystemColumn {
 //   kNvcomp          -> best nvCOMP cascade;
 //   kPlanner         -> best byte-aligned plan;
 //   kGpuBp           -> per-block bit-packing without FOR.
-SystemColumn SystemEncode(System system, const uint32_t* values, size_t count);
+SystemColumn SystemEncode(System system, U32Span values);
+// Thin forwarding shim for legacy pointer/length call sites.
+inline SystemColumn SystemEncode(System system, const uint32_t* values,
+                                 size_t count) {
+  return SystemEncode(system, U32Span(values, count));
+}
 
 // Decompress a system column on the simulated device, using the system's
 // decompression pipeline (single fused kernel for GPU-*, one kernel per

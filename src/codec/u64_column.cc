@@ -13,8 +13,8 @@ U64Column U64Column::Encode(const std::vector<uint64_t>& values) {
     high[i] = static_cast<uint32_t>(values[i] >> 32);
   }
   U64Column col;
-  col.low_ = EncodeGpuStar(low.data(), low.size());
-  col.high_ = EncodeGpuStar(high.data(), high.size());
+  col.low_ = EncodeGpuStar(low);
+  col.high_ = EncodeGpuStar(high);
   return col;
 }
 

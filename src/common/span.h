@@ -1,0 +1,61 @@
+// A minimal non-owning contiguous view, in the spirit of std::span but kept
+// local so the public API has one stable vocabulary type for "some values"
+// (and so call sites never pass raw pointer/length pairs). Implicitly
+// constructible from std::vector, so `Encode(scheme, values)` works whether
+// `values` is a vector or an explicit (ptr, count) view.
+#ifndef TILECOMP_COMMON_SPAN_H_
+#define TILECOMP_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace tilecomp {
+
+template <typename T>
+class Span {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  // Implicit view over a vector (const view only; the library's spans are
+  // read-only inputs).
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  constexpr Span(const std::vector<value_type>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  // The view of `count` elements starting at `offset`; both clamped to the
+  // span's bounds (callers slice with "rest of it" semantics).
+  constexpr Span subspan(size_t offset, size_t count = SIZE_MAX) const {
+    if (offset > size_) offset = size_;
+    if (count > size_ - offset) count = size_ - offset;
+    return Span(data_ + offset, count);
+  }
+  constexpr Span first(size_t count) const { return subspan(0, count); }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+// The library's column-input vocabulary type.
+using U32Span = Span<const uint32_t>;
+
+}  // namespace tilecomp
+
+#endif  // TILECOMP_COMMON_SPAN_H_

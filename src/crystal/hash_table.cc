@@ -26,7 +26,7 @@ void HashTable::BuildOnDevice(sim::Device& dev,
   lc.block_threads = 128;
   lc.grid_dim = std::max<int64_t>(1, CeilDiv<int64_t>(n, 512));
   lc.regs_per_thread = 24;
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch("hash.build", lc, [&](sim::BlockContext& ctx) {
     const uint32_t begin =
         static_cast<uint32_t>(ctx.block_id()) * 512;
     const uint32_t end = std::min(begin + 512, n);

@@ -8,41 +8,24 @@
 
 namespace tilecomp::kernels {
 
-namespace {
+RunScope::RunScope(sim::Device& dev)
+    : dev_(dev),
+      start_ms_(dev.elapsed_ms()),
+      start_launches_(dev.launch_log().size()) {}
 
-// Captures the device timeline around a decompression run.
-class TimelineScope {
- public:
-  explicit TimelineScope(sim::Device& dev)
-      : dev_(dev),
-        start_ms_(dev.elapsed_ms()),
-        start_launches_(dev.kernel_launches()),
-        start_stats_(dev.total_stats()) {}
-
-  void Finish(DecompressRun* run) const {
-    run->time_ms = dev_.elapsed_ms() - start_ms_;
-    run->kernel_launches = dev_.kernel_launches() - start_launches_;
-    sim::KernelStats delta = dev_.total_stats();
-    delta.global_bytes_read -= start_stats_.global_bytes_read;
-    delta.global_bytes_written -= start_stats_.global_bytes_written;
-    delta.warp_global_accesses -= start_stats_.warp_global_accesses;
-    delta.shared_bytes -= start_stats_.shared_bytes;
-    delta.compute_ops -= start_stats_.compute_ops;
-    delta.barriers -= start_stats_.barriers;
-    run->stats = delta;
+void RunScope::Finish(DecompressRun* run) const {
+  run->time_ms = dev_.elapsed_ms() - start_ms_;
+  const std::vector<sim::KernelResult>& log = dev_.launch_log();
+  run->launches.assign(log.begin() + start_launches_, log.end());
+  run->stats = sim::KernelStats();
+  for (const sim::KernelResult& launch : run->launches) {
+    run->stats += launch.stats;
   }
-
- private:
-  sim::Device& dev_;
-  double start_ms_;
-  uint64_t start_launches_;
-  sim::KernelStats start_stats_;
-};
-
-}  // namespace
+}
 
 void StreamingPass(sim::Device& dev, uint64_t n_values, uint64_t read_bytes,
-                   uint64_t write_bytes, uint64_t ops_per_value) {
+                   uint64_t write_bytes, uint64_t ops_per_value,
+                   std::string label) {
   sim::LaunchConfig lc;
   lc.block_threads = 256;
   lc.grid_dim = std::max<int64_t>(
@@ -50,7 +33,7 @@ void StreamingPass(sim::Device& dev, uint64_t n_values, uint64_t read_bytes,
   lc.regs_per_thread = 24;
   lc.smem_bytes_per_block = 0;
   const int64_t grid = lc.grid_dim;
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch(std::move(label), lc, [&](sim::BlockContext& ctx) {
     ctx.CoalescedRead(read_bytes / grid, true);
     ctx.CoalescedWrite(write_bytes / grid, true);
     ctx.Compute(ops_per_value * n_values / grid);
@@ -60,14 +43,15 @@ void StreamingPass(sim::Device& dev, uint64_t n_values, uint64_t read_bytes,
 namespace {
 // Backwards-compatible alias used by the cascade implementations below.
 inline void StreamingKernel(sim::Device& dev, uint64_t n, uint64_t r,
-                            uint64_t w, uint64_t ops) {
-  StreamingPass(dev, n, r, w, ops);
+                            uint64_t w, uint64_t ops,
+                            std::string label = "stream") {
+  StreamingPass(dev, n, r, w, ops, std::move(label));
 }
 
 // A device-wide scan pass: streams `n` values through block-wide Blelloch
 // scans in shared memory (read + write global, plus the scan's shared
 // traffic and barriers per block).
-void ScanPass(sim::Device& dev, uint64_t n) {
+void ScanPass(sim::Device& dev, uint64_t n, std::string label = "scan") {
   sim::LaunchConfig lc;
   lc.block_threads = 128;
   lc.grid_dim = std::max<int64_t>(
@@ -75,7 +59,7 @@ void ScanPass(sim::Device& dev, uint64_t n) {
   lc.regs_per_thread = 28;
   lc.smem_bytes_per_block = 512 * 4;
   const int64_t grid = lc.grid_dim;
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch(std::move(label), lc, [&](sim::BlockContext& ctx) {
     ctx.CoalescedRead(n * 4 / grid, true);
     ctx.Shared(n * 24 / grid);
     ctx.Compute(n * 4 / grid);
@@ -86,14 +70,15 @@ void ScanPass(sim::Device& dev, uint64_t n) {
 
 // A scatter pass: `count` random single-word writes into an `out_n`-sized
 // array (run-start scatter of the RLE expansion) — inherently uncoalesced.
-void ScatterPass(sim::Device& dev, uint64_t count, uint64_t read_bytes) {
+void ScatterPass(sim::Device& dev, uint64_t count, uint64_t read_bytes,
+                 std::string label = "scatter") {
   sim::LaunchConfig lc;
   lc.block_threads = 256;
   lc.grid_dim = std::max<int64_t>(
       1, static_cast<int64_t>(CeilDiv<uint64_t>(count, 1024)));
   lc.regs_per_thread = 24;
   const int64_t grid = lc.grid_dim;
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch(std::move(label), lc, [&](sim::BlockContext& ctx) {
     ctx.CoalescedRead(read_bytes / grid, true);
     ctx.ScatteredWrite(count / grid, 4);
     ctx.Compute(2 * count / grid);
@@ -105,13 +90,13 @@ DecompressRun DecompressGpuFor(sim::Device& dev,
                                const format::GpuForEncoded& enc,
                                const UnpackConfig& cfg, bool write_output) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const format::GpuForHeader& h = enc.header;
   const uint32_t tile_values = h.block_size * cfg.effective_d();
   run.output.resize(static_cast<size_t>(h.num_blocks()) * h.block_size);
 
   sim::LaunchConfig lc = GpuForLaunchConfig(enc, cfg);
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch("gpufor.fused", lc, [&](sim::BlockContext& ctx) {
     uint32_t* out_tile =
         run.output.data() + static_cast<size_t>(ctx.block_id()) * tile_values;
     const uint32_t n = LoadBitPack(ctx, enc, ctx.block_id(), cfg, out_tile);
@@ -126,13 +111,13 @@ DecompressRun DecompressGpuFor(sim::Device& dev,
 DecompressRun DecompressGpuDFor(sim::Device& dev,
                                 const format::GpuDForEncoded& enc) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const format::GpuDForHeader& h = enc.header;
   const uint32_t vpt = h.values_per_tile();
   run.output.resize(static_cast<size_t>(h.num_tiles()) * vpt);
 
   sim::LaunchConfig lc = GpuDForLaunchConfig(enc);
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch("gpudfor.fused", lc, [&](sim::BlockContext& ctx) {
     uint32_t* out_tile =
         run.output.data() + static_cast<size_t>(ctx.block_id()) * vpt;
     const uint32_t n = LoadDBitPack(ctx, enc, ctx.block_id(), out_tile);
@@ -147,12 +132,12 @@ DecompressRun DecompressGpuDFor(sim::Device& dev,
 DecompressRun DecompressGpuRFor(sim::Device& dev,
                                 const format::GpuRForEncoded& enc) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const format::GpuRForHeader& h = enc.header;
   run.output.resize(static_cast<size_t>(h.num_blocks()) * h.block_size);
 
   sim::LaunchConfig lc = GpuRForLaunchConfig(enc);
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch("gpurfor.fused", lc, [&](sim::BlockContext& ctx) {
     uint32_t* out_tile = run.output.data() +
                          static_cast<size_t>(ctx.block_id()) * h.block_size;
     const uint32_t n = LoadRBitPack(ctx, enc, ctx.block_id(), out_tile);
@@ -169,7 +154,7 @@ DecompressRun DecompressGpuRFor(sim::Device& dev,
 DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
                                            const format::GpuForEncoded& enc) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const format::GpuForHeader& h = enc.header;
   const uint64_t n = h.total_count;
   const size_t padded = static_cast<size_t>(h.num_blocks()) * h.block_size;
@@ -179,7 +164,7 @@ DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
   UnpackConfig cfg;  // same staging quality as the fused kernel
   sim::LaunchConfig lc1 = GpuForLaunchConfig(enc, cfg);
   const uint32_t tile_values = h.block_size * cfg.effective_d();
-  dev.Launch(lc1, [&](sim::BlockContext& ctx) {
+  dev.Launch("cascade.unpack", lc1, [&](sim::BlockContext& ctx) {
     uint32_t* out_tile =
         offsets.data() + static_cast<size_t>(ctx.block_id()) * tile_values;
     const uint32_t got = LoadBitPack(ctx, enc, ctx.block_id(), cfg, out_tile);
@@ -196,7 +181,7 @@ DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
   // Kernel 2: add per-block reference -> final output.
   run.output.assign(padded, 0);
   StreamingKernel(dev, n, /*read=*/n * 4 + h.num_blocks() * 4,
-                  /*write=*/n * 4, /*ops=*/2);
+                  /*write=*/n * 4, /*ops=*/2, "cascade.add_ref");
   for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
     const size_t block = i / h.block_size;
     run.output[i] = offsets[i] + enc.data[enc.block_starts[block]];
@@ -210,7 +195,7 @@ DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
 DecompressRun DecompressDeltaForBitPackCascaded(
     sim::Device& dev, const format::GpuDForEncoded& enc) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const format::GpuDForHeader& h = enc.header;
   const uint64_t n = h.total_count;
   const uint32_t vpt = h.values_per_tile();
@@ -222,7 +207,7 @@ DecompressRun DecompressDeltaForBitPackCascaded(
   sim::LaunchConfig lc1 = GpuDForLaunchConfig(enc);
   // Pass 1: unpack (same traffic as the staging part of the fused kernel,
   // plus the global write of raw offsets).
-  dev.Launch(lc1, [&](sim::BlockContext& ctx) {
+  dev.Launch("cascade.unpack", lc1, [&](sim::BlockContext& ctx) {
     const uint32_t first_block =
         static_cast<uint32_t>(ctx.block_id()) * h.blocks_per_tile;
     const uint32_t last_block =
@@ -242,7 +227,8 @@ DecompressRun DecompressDeltaForBitPackCascaded(
     ctx.CoalescedWrite(values * 4, true);
   });
   // Pass 2: add per-block reference.
-  StreamingKernel(dev, n, n * 4 + h.num_blocks() * 4, n * 4, 2);
+  StreamingKernel(dev, n, n * 4 + h.num_blocks() * 4, n * 4, 2,
+                  "cascade.add_ref");
 
   // Functional: unpack deltas via the tile decoder's block logic, without
   // the prefix sum (recompute deltas from the reference decoder's output).
@@ -250,7 +236,7 @@ DecompressRun DecompressDeltaForBitPackCascaded(
 
   // Kernel 3: prefix sum per tile (read deltas, block-wide scan in shared
   // memory, write final values).
-  ScanPass(dev, n);
+  ScanPass(dev, n, "cascade.prefix_sum");
 
   run.output = std::move(decoded);
   scope.Finish(&run);
@@ -260,7 +246,7 @@ DecompressRun DecompressDeltaForBitPackCascaded(
 DecompressRun DecompressRleForBitPackCascaded(
     sim::Device& dev, const format::GpuRForEncoded& enc) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const format::GpuRForHeader& h = enc.header;
   const uint64_t n = h.total_count;
   // Total runs across all blocks.
@@ -273,15 +259,19 @@ DecompressRun DecompressRleForBitPackCascaded(
 
   // Kernels 1-4: FOR+BitPack decode of the values and run-length columns
   // (unpack + add-reference for each).
-  StreamingKernel(dev, total_runs, comp_v, total_runs * 4, 6);        // K1
-  StreamingKernel(dev, total_runs, total_runs * 4, total_runs * 4, 2);  // K2
-  StreamingKernel(dev, total_runs, comp_l, total_runs * 4, 6);        // K3
-  StreamingKernel(dev, total_runs, total_runs * 4, total_runs * 4, 2);  // K4
+  StreamingKernel(dev, total_runs, comp_v, total_runs * 4, 6,
+                  "cascade.unpack_values");                               // K1
+  StreamingKernel(dev, total_runs, total_runs * 4, total_runs * 4, 2,
+                  "cascade.add_ref_values");                              // K2
+  StreamingKernel(dev, total_runs, comp_l, total_runs * 4, 6,
+                  "cascade.unpack_lengths");                              // K3
+  StreamingKernel(dev, total_runs, total_runs * 4, total_runs * 4, 2,
+                  "cascade.add_ref_lengths");                             // K4
 
   // Kernels 5-8: the RLE expansion of Fang et al. [18] with global
   // intermediates: scan of run lengths, random scatter of run indices into
   // the marker array, inclusive max-scan, gather.
-  ScanPass(dev, total_runs);                                  // K5
+  ScanPass(dev, total_runs, "rle.scan_lengths");              // K5
   // K6: scatter into the zero-initialized marker array (grid covers the
   // full output; runs land scattered).
   {
@@ -291,14 +281,15 @@ DecompressRun DecompressRleForBitPackCascaded(
     lc.regs_per_thread = 24;
     const int64_t grid = lc.grid_dim;
     const uint64_t runs_local = total_runs;
-    dev.Launch(lc, [&, runs_local](sim::BlockContext& ctx) {
+    dev.Launch("rle.scatter", lc, [&, runs_local](sim::BlockContext& ctx) {
       ctx.CoalescedRead(runs_local * 8 / grid, true);
       ctx.CoalescedWrite(n * 4 / grid, true);  // marker init
       ctx.ScatteredWrite(runs_local / grid, 4);
     });
   }
-  ScanPass(dev, n);                                           // K7
-  StreamingKernel(dev, n, n * 4 + total_runs * 4, n * 4, 2);  // K8
+  ScanPass(dev, n, "rle.max_scan");                           // K7
+  StreamingKernel(dev, n, n * 4 + total_runs * 4, n * 4, 2,
+                  "rle.gather");                              // K8
 
   run.output = format::GpuRForDecodeHost(enc);
   scope.Finish(&run);
@@ -307,9 +298,9 @@ DecompressRun DecompressRleForBitPackCascaded(
 
 DecompressRun DecompressNsf(sim::Device& dev, const format::NsfEncoded& enc) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const uint64_t n = enc.total_count;
-  StreamingKernel(dev, n, n * enc.bytes_per_value, n * 4, 2);
+  StreamingKernel(dev, n, n * enc.bytes_per_value, n * 4, 2, "nsf.widen");
   run.output = format::NsfDecodeHost(enc);
   scope.Finish(&run);
   return run;
@@ -317,12 +308,12 @@ DecompressRun DecompressNsf(sim::Device& dev, const format::NsfEncoded& enc) {
 
 DecompressRun DecompressNsv(sim::Device& dev, const format::NsvEncoded& enc) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const uint64_t n = enc.total_count;
   // K1: expand 2-bit tags into per-value byte counts.
-  StreamingKernel(dev, n, n / 4, n * 4, 3);
+  StreamingKernel(dev, n, n / 4, n * 4, 3, "nsv.expand_tags");
   // K2: device-wide exclusive scan -> byte offsets.
-  StreamingKernel(dev, n, n * 4, n * 4, 2);
+  StreamingKernel(dev, n, n * 4, n * 4, 2, "nsv.offset_scan");
   // K3: variable-length gather. Each warp's 32 loads cover an unpredictable
   // window of ~2.5 bytes/value; accesses are effectively scattered.
   {
@@ -333,7 +324,7 @@ DecompressRun DecompressNsv(sim::Device& dev, const format::NsvEncoded& enc) {
     lc.regs_per_thread = 28;
     const int64_t grid = lc.grid_dim;
     const uint64_t data_bytes = enc.data.size();
-    dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    dev.Launch("nsv.gather", lc, [&](sim::BlockContext& ctx) {
       ctx.CoalescedRead(n * 4 / grid, true);  // offsets
       ctx.WindowedRead(n / grid, /*window=*/32 * (data_bytes / std::max<uint64_t>(n, 1) + 1),
                        1);
@@ -348,18 +339,20 @@ DecompressRun DecompressNsv(sim::Device& dev, const format::NsvEncoded& enc) {
 
 DecompressRun DecompressRle(sim::Device& dev, const format::RleEncoded& enc) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const uint64_t n = enc.total_count;
   const uint64_t runs = enc.num_runs();
   // The four expansion steps of Fang et al. [18]: scan the run lengths,
   // scatter run indices into the zero-initialized marker array (the memset
   // is folded into the scan pass's write), inclusive max-scan over the
   // markers, gather the run values.
-  ScanPass(dev, runs);                                   // K1
-  StreamingKernel(dev, n, runs * 4, n * 4, 1);           // K2 marker init
-  ScatterPass(dev, runs, runs * 8);                      // K2' scatter
-  ScanPass(dev, n);                                      // K3
-  StreamingKernel(dev, n, n * 4 + runs * 4, n * 4, 2);   // K4 gather
+  ScanPass(dev, runs, "rle.scan_lengths");               // K1
+  StreamingKernel(dev, n, runs * 4, n * 4, 1,
+                  "rle.marker_init");                    // K2 marker init
+  ScatterPass(dev, runs, runs * 8, "rle.scatter");       // K2' scatter
+  ScanPass(dev, n, "rle.max_scan");                      // K3
+  StreamingKernel(dev, n, n * 4 + runs * 4, n * 4, 2,
+                  "rle.gather");                         // K4 gather
   run.output = format::RleDecodeHost(enc);
   scope.Finish(&run);
   return run;
@@ -379,7 +372,7 @@ DecompressRun DecompressSimdBp128(sim::Device& dev,
                                   const format::SimdBp128Encoded& enc,
                                   bool write_output) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   constexpr uint32_t kBlock = format::SimdBp128Encoded::kBlockSize;
   const uint32_t num_blocks = enc.num_blocks();
 
@@ -397,7 +390,7 @@ DecompressRun DecompressSimdBp128(sim::Device& dev,
 
   std::vector<uint32_t> decoded = format::SimdBp128DecodeHost(enc);
   run.output.resize(static_cast<size_t>(num_blocks) * kBlock);
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch("simdbp128.fused", lc, [&](sim::BlockContext& ctx) {
     const uint32_t b = static_cast<uint32_t>(ctx.block_id());
     const uint64_t words =
         enc.block_starts[b + 1] - enc.block_starts[b];
@@ -427,9 +420,9 @@ DecompressRun DecompressSimdBp128(sim::Device& dev,
 DecompressRun CopyUncompressed(sim::Device& dev,
                                const std::vector<uint32_t>& values) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const uint64_t n = values.size();
-  StreamingKernel(dev, n, n * 4, n * 4, 1);
+  StreamingKernel(dev, n, n * 4, n * 4, 1, "copy");
   run.output = values;
   scope.Finish(&run);
   return run;
@@ -438,9 +431,9 @@ DecompressRun CopyUncompressed(sim::Device& dev,
 DecompressRun ReadUncompressed(sim::Device& dev,
                                const std::vector<uint32_t>& values) {
   DecompressRun run;
-  TimelineScope scope(dev);
+  RunScope scope(dev);
   const uint64_t n = values.size();
-  StreamingKernel(dev, n, n * 4, 0, 1);
+  StreamingKernel(dev, n, n * 4, 0, 1, "read");
   run.output = values;
   scope.Finish(&run);
   return run;

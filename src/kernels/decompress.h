@@ -10,7 +10,9 @@
 #ifndef TILECOMP_KERNELS_DECOMPRESS_H_
 #define TILECOMP_KERNELS_DECOMPRESS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "format/gpudfor.h"
@@ -27,8 +29,31 @@ namespace tilecomp::kernels {
 struct DecompressRun {
   std::vector<uint32_t> output;
   double time_ms = 0.0;
-  uint64_t kernel_launches = 0;
+  // Per-launch trace of the run: one KernelResult (label, config, stats,
+  // perf-model breakdown + limiter) per kernel, in timeline order. Fused
+  // tile-based schemes record exactly one entry; cascaded pipelines one per
+  // layer pass.
+  std::vector<sim::KernelResult> launches;
+  // Aggregate traffic across `launches`.
   sim::KernelStats stats;
+
+  uint64_t kernel_launches() const { return launches.size(); }
+};
+
+// Captures the device timeline around a multi-launch pipeline. Construct
+// before the first launch; Finish() slices the device's launch log into
+// `run->launches` and fills the aggregate time and traffic. Shared by the
+// decompression entry points below and the system pipelines in
+// codec/systems.cc.
+class RunScope {
+ public:
+  explicit RunScope(sim::Device& dev);
+  void Finish(DecompressRun* run) const;
+
+ private:
+  sim::Device& dev_;
+  double start_ms_;
+  size_t start_launches_;
 };
 
 // --- Tile-based (single-pass) decompression, Section 3 ---
@@ -78,8 +103,10 @@ DecompressRun DecompressSimdBp128(sim::Device& dev,
 // A generic streaming kernel pass (coalesced read of `read_bytes`, write of
 // `write_bytes`, `ops_per_value` ALU operations per logical value). Building
 // block for modeling cascaded decompression pipelines of other systems.
+// `label` names the launch in the device's launch log / attached tracer.
 void StreamingPass(sim::Device& dev, uint64_t n_values, uint64_t read_bytes,
-                   uint64_t write_bytes, uint64_t ops_per_value);
+                   uint64_t write_bytes, uint64_t ops_per_value,
+                   std::string label = "stream");
 
 // --- "None" ---
 

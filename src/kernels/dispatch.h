@@ -1,0 +1,58 @@
+// Generic scheme dispatcher: decompress any codec::CompressedColumn on the
+// simulated device without a hand-rolled per-scheme switch at every call
+// site. Header-only (inline) so that the kernels library does not gain a
+// link-time dependency on the codec library.
+#ifndef TILECOMP_KERNELS_DISPATCH_H_
+#define TILECOMP_KERNELS_DISPATCH_H_
+
+#include "codec/column.h"
+#include "common/macros.h"
+#include "kernels/decompress.h"
+#include "sim/device.h"
+
+namespace tilecomp::kernels {
+
+// Which decompression pipeline to run for schemes that have both:
+//   kFused    — the paper's single-kernel tile-based decompression;
+//   kCascaded — one kernel per compression layer with global-memory
+//               intermediates (the prior-work model of Figure 2 left).
+// Schemes with only one pipeline (NSF, NSV, RLE, GPU-BP, SIMD-BP128, None)
+// ignore the request.
+enum class Pipeline { kFused, kCascaded };
+
+inline DecompressRun Decompress(sim::Device& dev,
+                                const codec::CompressedColumn& column,
+                                Pipeline pipeline = Pipeline::kFused) {
+  using codec::Scheme;
+  const bool cascaded = pipeline == Pipeline::kCascaded;
+  switch (column.scheme()) {
+    case Scheme::kNone:
+      return CopyUncompressed(dev, *column.raw());
+    case Scheme::kGpuFor:
+      return cascaded ? DecompressForBitPackCascaded(dev, *column.gpu_for())
+                      : DecompressGpuFor(dev, *column.gpu_for());
+    case Scheme::kGpuDFor:
+      return cascaded
+                 ? DecompressDeltaForBitPackCascaded(dev, *column.gpu_dfor())
+                 : DecompressGpuDFor(dev, *column.gpu_dfor());
+    case Scheme::kGpuRFor:
+      return cascaded ? DecompressRleForBitPackCascaded(dev, *column.gpu_rfor())
+                      : DecompressGpuRFor(dev, *column.gpu_rfor());
+    case Scheme::kNsf:
+      return DecompressNsf(dev, *column.nsf());
+    case Scheme::kNsv:
+      return DecompressNsv(dev, *column.nsv());
+    case Scheme::kRle:
+      return DecompressRle(dev, *column.rle());
+    case Scheme::kGpuBp:
+      return DecompressGpuBp(dev, *column.gpu_for());
+    case Scheme::kSimdBp128:
+      return DecompressSimdBp128(dev, *column.simdbp());
+  }
+  TILECOMP_CHECK_MSG(false, "unknown scheme");
+  return {};
+}
+
+}  // namespace tilecomp::kernels
+
+#endif  // TILECOMP_KERNELS_DISPATCH_H_

@@ -58,9 +58,10 @@ class BlockContext {
                        (aligned ? 0 : 1);
     stats_.global_bytes_read += sectors * DeviceSpec::kSectorBytes;
     // Block-cooperative loads are vectorized (128-bit per thread, as in
-    // Crystal's BlockLoad): one warp instruction covers two transactions.
+    // Crystal's BlockLoad): one warp instruction moves 32 x 16 B = 512 B,
+    // i.e. four 128 B transactions kept in flight together.
     stats_.warp_global_accesses +=
-        CeilDiv<uint64_t>(bytes, 2 * DeviceSpec::kTransactionBytes);
+        CeilDiv<uint64_t>(bytes, 4 * DeviceSpec::kTransactionBytes);
   }
 
   void CoalescedWrite(uint64_t bytes, bool aligned = true) {
@@ -69,7 +70,7 @@ class BlockContext {
                        (aligned ? 0 : 1);
     stats_.global_bytes_written += sectors * DeviceSpec::kSectorBytes;
     stats_.warp_global_accesses +=
-        CeilDiv<uint64_t>(bytes, 2 * DeviceSpec::kTransactionBytes);
+        CeilDiv<uint64_t>(bytes, 4 * DeviceSpec::kTransactionBytes);
   }
 
   // Every warp of the block loads the same `bytes`-sized word (bytes <= 32).

@@ -1,12 +1,14 @@
 #include "sim/device.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace tilecomp::sim {
 
 Device::Device(DeviceSpec spec) : spec_(spec), pool_() {}
 
-KernelResult Device::Launch(const LaunchConfig& cfg, const KernelBody& body) {
+KernelResult Device::Launch(std::string label, const LaunchConfig& cfg,
+                            const KernelBody& body) {
   TILECOMP_CHECK(cfg.grid_dim >= 0);
   TILECOMP_CHECK(cfg.block_threads >= 1 && cfg.block_threads <= 1024);
 
@@ -30,18 +32,23 @@ KernelResult Device::Launch(const LaunchConfig& cfg, const KernelBody& body) {
   }
 
   KernelResult result;
+  result.label = std::move(label);
   result.config = cfg;
   result.stats = merged;
-  result.time_ms = EstimateKernelTimeMs(spec_, cfg, merged);
+  result.start_ms = elapsed_ms_;
+  result.breakdown = AnalyzeKernel(spec_, cfg, merged);
+  result.time_ms = result.breakdown.total_ms();
 
   total_stats_ += merged;
   elapsed_ms_ += result.time_ms;
-  ++kernel_launches_;
+  launch_log_.push_back(result);
+  if (tracer_ != nullptr) tracer_->OnKernel(result);
   return result;
 }
 
 double Device::Transfer(uint64_t bytes) {
   double ms = EstimateTransferMs(spec_, bytes);
+  if (tracer_ != nullptr) tracer_->OnTransfer(bytes, elapsed_ms_, ms);
   elapsed_ms_ += ms;
   return ms;
 }
@@ -49,7 +56,7 @@ double Device::Transfer(uint64_t bytes) {
 void Device::ResetTimeline() {
   total_stats_ = KernelStats();
   elapsed_ms_ = 0.0;
-  kernel_launches_ = 0;
+  launch_log_.clear();
 }
 
 }  // namespace tilecomp::sim

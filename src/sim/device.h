@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/macros.h"
@@ -25,6 +26,26 @@ namespace tilecomp::sim {
 // (as real CUDA blocks do).
 using KernelBody = std::function<void(BlockContext&)>;
 
+// Observer interface for the device timeline. telemetry::Tracer implements
+// it; the sim layer only knows this interface so that sim does not depend on
+// the telemetry library.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  // One kernel launch completed (result carries label, config, stats,
+  // timeline position and the perf-model breakdown).
+  virtual void OnKernel(const KernelResult& result) = 0;
+  // One PCIe transfer completed.
+  virtual void OnTransfer(uint64_t bytes, double start_ms,
+                          double duration_ms) = 0;
+  // Named region markers (used by Tracer for span nesting); default no-op.
+  virtual void OnScopeBegin(const std::string& name, double start_ms) {
+    (void)name;
+    (void)start_ms;
+  }
+  virtual void OnScopeEnd(double end_ms) { (void)end_ms; }
+};
+
 class Device {
  public:
   explicit Device(DeviceSpec spec = DeviceSpec());
@@ -34,8 +55,14 @@ class Device {
   const DeviceSpec& spec() const { return spec_; }
 
   // Execute `body` for every block of the launch, collect work counters,
-  // model the kernel time, and append it to the device timeline.
-  KernelResult Launch(const LaunchConfig& cfg, const KernelBody& body);
+  // model the kernel time, and append it to the device timeline. `label`
+  // names the launch in the launch log and in any attached tracer.
+  KernelResult Launch(std::string label, const LaunchConfig& cfg,
+                      const KernelBody& body);
+  // Unnamed launch (label "kernel").
+  KernelResult Launch(const LaunchConfig& cfg, const KernelBody& body) {
+    return Launch("kernel", cfg, body);
+  }
 
   // Model a host->device (or device->host) PCIe transfer of `bytes` and
   // append it to the timeline. Returns the transfer time in ms.
@@ -44,10 +71,19 @@ class Device {
   // Append externally-computed time (e.g., host-side work) to the timeline.
   void AddTimeMs(double ms) { elapsed_ms_ += ms; }
 
+  // Attach/detach an observer that sees every launch and transfer (not
+  // owned; pass nullptr to detach). The launch log below is recorded either
+  // way; the tracer additionally sees scope markers and transfers.
+  void AttachTracer(TraceSink* tracer) { tracer_ = tracer; }
+  TraceSink* tracer() const { return tracer_; }
+
   // --- Timeline / accumulation ---
   double elapsed_ms() const { return elapsed_ms_; }
-  uint64_t kernel_launches() const { return kernel_launches_; }
+  uint64_t kernel_launches() const { return launch_log_.size(); }
   const KernelStats& total_stats() const { return total_stats_; }
+  // Every launch since the last ResetTimeline, in timeline order. Pipelines
+  // (DecompressRun, SSB queries) slice this to report per-launch traces.
+  const std::vector<KernelResult>& launch_log() const { return launch_log_; }
   void ResetTimeline();
 
  private:
@@ -55,7 +91,8 @@ class Device {
   ThreadPool pool_;
   KernelStats total_stats_;
   double elapsed_ms_ = 0.0;
-  uint64_t kernel_launches_ = 0;
+  std::vector<KernelResult> launch_log_;
+  TraceSink* tracer_ = nullptr;
 };
 
 }  // namespace tilecomp::sim

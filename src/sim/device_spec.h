@@ -23,7 +23,7 @@ struct DeviceSpec {
   double mem_latency_ns = 430.0;
   // Per-thread-block scheduling/drain overhead, nanoseconds. Covers block
   // dispatch and barrier pipeline drain; dominates for tiny blocks (D=1).
-  double block_sched_ns = 110.0;
+  double block_sched_ns = 100.0;
 
   // --- Parallelism ---
   int sm_count = 80;

@@ -34,7 +34,7 @@ double Occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
   return std::min(occ, 1.0);
 }
 
-double EstimateKernelTimeMs(const DeviceSpec& spec, const LaunchConfig& cfg,
+TimeBreakdown AnalyzeKernel(const DeviceSpec& spec, const LaunchConfig& cfg,
                             const KernelStats& stats) {
   const double occ = Occupancy(spec, cfg);
 
@@ -85,9 +85,20 @@ double EstimateKernelTimeMs(const DeviceSpec& spec, const LaunchConfig& cfg,
   // core pipelines and therefore add on top of the memory-system critical
   // path (this additive split is what makes Section 4.2's Optimization 3 —
   // pure compute reduction — visible even in bandwidth-bound kernels).
-  const double t = spec.kernel_launch_us * 1e-6 +
-                   std::max({t_bw, t_lat, t_sched}) + t_smem + t_comp;
-  return t * 1e3;
+  TimeBreakdown breakdown;
+  breakdown.launch_ms = spec.kernel_launch_us * 1e-3;
+  breakdown.bandwidth_ms = t_bw * 1e3;
+  breakdown.latency_ms = t_lat * 1e3;
+  breakdown.scheduling_ms = t_sched * 1e3;
+  breakdown.shared_ms = t_smem * 1e3;
+  breakdown.compute_ms = t_comp * 1e3;
+  breakdown.occupancy = occ;
+  return breakdown;
+}
+
+double EstimateKernelTimeMs(const DeviceSpec& spec, const LaunchConfig& cfg,
+                            const KernelStats& stats) {
+  return AnalyzeKernel(spec, cfg, stats).total_ms();
 }
 
 double EstimateTransferMs(const DeviceSpec& spec, uint64_t bytes) {

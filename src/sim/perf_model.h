@@ -26,8 +26,17 @@ namespace tilecomp::sim {
 // register and shared-memory demands. In [0, 1].
 double Occupancy(const DeviceSpec& spec, const LaunchConfig& cfg);
 
+// The full per-term analysis of one kernel launch: every roofline term in
+// milliseconds plus the achieved occupancy. `result.total_ms()` is the
+// modeled kernel time and `result.limiter()` classifies the launch as
+// bandwidth-, latency-, scheduling-, shared- or compute-bound. This is what
+// the telemetry layer records per span.
+TimeBreakdown AnalyzeKernel(const DeviceSpec& spec, const LaunchConfig& cfg,
+                            const KernelStats& stats);
+
 // Modeled execution time of one kernel, in milliseconds (excluding data
-// transfer over PCIe; see EstimateTransferMs).
+// transfer over PCIe; see EstimateTransferMs). Shorthand for
+// AnalyzeKernel(...).total_ms().
 double EstimateKernelTimeMs(const DeviceSpec& spec, const LaunchConfig& cfg,
                             const KernelStats& stats);
 

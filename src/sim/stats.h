@@ -2,7 +2,9 @@
 #ifndef TILECOMP_SIM_STATS_H_
 #define TILECOMP_SIM_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 
 namespace tilecomp::sim {
 
@@ -52,12 +54,82 @@ struct LaunchConfig {
   int regs_per_thread = 32;
 };
 
-// Result of launching one kernel: measured work plus modeled time.
+// What a kernel is bound by: the largest term of the perf model's
+// max-of-bottlenecks roofline (see perf_model.h).
+enum class Limiter {
+  kBandwidth,   // global-memory bandwidth
+  kLatency,     // memory latency / issue rate (Little's law)
+  kScheduling,  // thread-block dispatch overhead
+  kShared,      // shared-memory bandwidth
+  kCompute,     // ALU throughput (incl. barrier drain)
+};
+
+const char* LimiterName(Limiter limiter);
+
+// The perf model's per-launch time terms, exposed so a tracer can tell
+// *why* a kernel is slow, not just how slow it is. Memory-system terms
+// (bandwidth, latency, scheduling) overlap; shared and compute add on top
+// (see EstimateKernelTimeMs).
+struct TimeBreakdown {
+  double launch_ms = 0.0;
+  double bandwidth_ms = 0.0;
+  double latency_ms = 0.0;
+  double scheduling_ms = 0.0;
+  double shared_ms = 0.0;
+  double compute_ms = 0.0;
+  // Occupancy the launch achieved, in [0, 1].
+  double occupancy = 0.0;
+
+  double total_ms() const {
+    return launch_ms + std::max({bandwidth_ms, latency_ms, scheduling_ms}) +
+           shared_ms + compute_ms;
+  }
+
+  // The dominant term: what the launch is bound by.
+  Limiter limiter() const {
+    Limiter which = Limiter::kBandwidth;
+    double best = bandwidth_ms;
+    if (latency_ms > best) { best = latency_ms; which = Limiter::kLatency; }
+    if (scheduling_ms > best) {
+      best = scheduling_ms;
+      which = Limiter::kScheduling;
+    }
+    if (shared_ms > best) { best = shared_ms; which = Limiter::kShared; }
+    if (compute_ms > best) { best = compute_ms; which = Limiter::kCompute; }
+    return which;
+  }
+};
+
+// Result of launching one kernel: measured work plus modeled time, the
+// launch's position on the device timeline, and the perf-model breakdown
+// that explains the modeled time.
 struct KernelResult {
+  // Name given at the launch site (e.g. "gpurfor.fused"); "kernel" when the
+  // launch site does not name itself.
+  std::string label = "kernel";
   LaunchConfig config;
   KernelStats stats;
   double time_ms = 0.0;
+  // Device timeline position at which the launch started, ms.
+  double start_ms = 0.0;
+  TimeBreakdown breakdown;
 };
+
+inline const char* LimiterName(Limiter limiter) {
+  switch (limiter) {
+    case Limiter::kBandwidth:
+      return "bandwidth";
+    case Limiter::kLatency:
+      return "latency";
+    case Limiter::kScheduling:
+      return "scheduling";
+    case Limiter::kShared:
+      return "shared";
+    case Limiter::kCompute:
+      return "compute";
+  }
+  return "?";
+}
 
 }  // namespace tilecomp::sim
 

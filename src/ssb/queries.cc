@@ -109,7 +109,7 @@ EncodedLineorder EncodeLineorder(const SsbData& data, codec::System system) {
   enc.system = system;
   for (int c = 0; c < kNumLoCols; ++c) {
     const auto& col = data.lineorder.column(static_cast<LoCol>(c));
-    enc.cols[c] = codec::SystemEncode(system, col.data(), col.size());
+    enc.cols[c] = codec::SystemEncode(system, col);
   }
   return enc;
 }
@@ -426,6 +426,27 @@ std::map<GroupKey, int64_t> ExtractGroups(const GroupAccumulator& acc,
   return out;
 }
 
+// Slices the device's launch log into a query result's per-launch trace,
+// mirroring kernels::RunScope for QueryResult.
+class QueryScope {
+ public:
+  explicit QueryScope(sim::Device& dev)
+      : dev_(dev),
+        start_ms_(dev.elapsed_ms()),
+        start_launches_(dev.launch_log().size()) {}
+
+  void Finish(QueryResult* result) const {
+    result->time_ms = dev_.elapsed_ms() - start_ms_;
+    const std::vector<sim::KernelResult>& log = dev_.launch_log();
+    result->launches.assign(log.begin() + start_launches_, log.end());
+  }
+
+ private:
+  sim::Device& dev_;
+  double start_ms_;
+  size_t start_launches_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -435,8 +456,7 @@ std::map<GroupKey, int64_t> ExtractGroups(const GroupAccumulator& acc,
 QueryResult QueryRunner::RunCrystal(sim::Device& dev,
                                     const EncodedLineorder& lineorder,
                                     QueryId query) const {
-  const double ms0 = dev.elapsed_ms();
-  const uint64_t launches0 = dev.kernel_launches();
+  QueryScope scope(dev);
 
   PreparedQuery pq = Prepare(dev, data_, query);
   const QueryPlan& plan = pq.plan;
@@ -459,7 +479,7 @@ QueryResult QueryRunner::RunCrystal(sim::Device& dev,
   lc.smem_bytes_per_block = smem;
   lc.regs_per_thread = 20 + 5 * static_cast<int>(cols.size());
 
-  dev.Launch(lc, [&](sim::BlockContext& ctx) {
+  dev.Launch("crystal.query", lc, [&](sim::BlockContext& ctx) {
     const int64_t tile = ctx.block_id();
     uint32_t pred_vals[4][kTileSize];
     uint32_t key_vals[kTileSize];
@@ -537,8 +557,7 @@ QueryResult QueryRunner::RunCrystal(sim::Device& dev,
 
   QueryResult result;
   result.groups = ExtractGroups(acc, plan.group_dims);
-  result.time_ms = dev.elapsed_ms() - ms0;
-  result.kernel_launches = dev.kernel_launches() - launches0;
+  scope.Finish(&result);
   return result;
 }
 
@@ -550,8 +569,7 @@ QueryResult QueryRunner::RunCrystal(sim::Device& dev,
 QueryResult QueryRunner::RunNonTiled(sim::Device& dev,
                                      const EncodedLineorder& lineorder,
                                      QueryId query) const {
-  const double ms0 = dev.elapsed_ms();
-  const uint64_t launches0 = dev.kernel_launches();
+  QueryScope scope(dev);
   (void)lineorder;
 
   // Build the same dimension tables (small cost).
@@ -561,7 +579,7 @@ QueryResult QueryRunner::RunNonTiled(sim::Device& dev,
 
   // Predicate passes: read column, write selection vector.
   for (size_t i = 0; i < plan.pred_cols.size(); ++i) {
-    kernels::StreamingPass(dev, n, n * 4, n * 4, 2);
+    kernels::StreamingPass(dev, n, n * 4, n * 4, 2, "omnisci.filter");
   }
   // Join passes: read key column + row-id list, probe the hash table with
   // per-row random accesses (dimension tables at scale exceed L2 for a
@@ -572,7 +590,7 @@ QueryResult QueryRunner::RunNonTiled(sim::Device& dev,
     lc.grid_dim = std::max<int64_t>(1, static_cast<int64_t>(n / 1024));
     lc.regs_per_thread = 32;
     const int64_t grid = lc.grid_dim;
-    dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    dev.Launch("omnisci.probe", lc, [&](sim::BlockContext& ctx) {
       ctx.CoalescedRead(n * 8 / grid, true);  // keys + row ids
       ctx.ScatteredRead(n / grid, 8);         // hash-table probes
       ctx.Compute(8 * n / grid);
@@ -594,20 +612,20 @@ QueryResult QueryRunner::RunNonTiled(sim::Device& dev,
     lc.grid_dim = std::max<int64_t>(1, static_cast<int64_t>(n / 1024));
     lc.regs_per_thread = 28;
     const int64_t grid = lc.grid_dim;
-    dev.Launch(lc, [&](sim::BlockContext& ctx) {
+    dev.Launch("omnisci.gather", lc, [&](sim::BlockContext& ctx) {
       ctx.CoalescedRead(n * 4 / grid, true);   // row ids
       ctx.ScatteredRead(n / grid, 4);          // gathered attribute
       ctx.CoalescedWrite(n * 4 / grid, true);  // materialized column
     });
   }
   // Final aggregation pass over the materialized columns.
-  kernels::StreamingPass(dev, n, n * 4 * (1 + carried), 1024, 4);
+  kernels::StreamingPass(dev, n, n * 4 * (1 + carried), 1024, 4,
+                         "omnisci.aggregate");
 
   // Functional result comes from the reference executor (the modeled engine
   // computes the same answer by construction).
   QueryResult result = RunHostReference(query);
-  result.time_ms = dev.elapsed_ms() - ms0;
-  result.kernel_launches = dev.kernel_launches() - launches0;
+  scope.Finish(&result);
   return result;
 }
 
@@ -627,10 +645,7 @@ QueryResult QueryRunner::Run(sim::Device& dev,
     case codec::System::kGpuBp:
     case codec::System::kNvcomp:
     case codec::System::kPlanner: {
-      // Decompress-then-query: these systems cannot inline decompression
-      // into the query kernel (Section 9.4).
-      const double ms0 = dev.elapsed_ms();
-      const uint64_t launches0 = dev.kernel_launches();
+      QueryScope scope(dev);
       // Decompress-then-query: these systems are decoding libraries and
       // cannot inline decompression into the query kernel (Section 9.4:
       // "all these schemes cannot decompress the columns inline with the
@@ -639,12 +654,11 @@ QueryResult QueryRunner::Run(sim::Device& dev,
       decompressed.system = codec::System::kNone;
       for (LoCol col : QueryColumns(query)) {
         auto run = codec::SystemDecompress(dev, lineorder.col(col));
-        decompressed.cols[static_cast<int>(col)] = codec::SystemEncode(
-            codec::System::kNone, run.output.data(), run.output.size());
+        decompressed.cols[static_cast<int>(col)] =
+            codec::SystemEncode(codec::System::kNone, run.output);
       }
       QueryResult result = RunCrystal(dev, decompressed, query);
-      result.time_ms = dev.elapsed_ms() - ms0;
-      result.kernel_launches = dev.kernel_launches() - launches0;
+      scope.Finish(&result);
       return result;
     }
   }

@@ -62,7 +62,12 @@ using GroupKey = std::array<uint32_t, 3>;
 struct QueryResult {
   std::map<GroupKey, int64_t> groups;
   double time_ms = 0.0;
-  uint64_t kernel_launches = 0;
+  // Per-launch trace (label, config, stats, perf-model breakdown) of every
+  // kernel the query ran, in timeline order — includes decompression
+  // launches for decompress-then-query systems.
+  std::vector<sim::KernelResult> launches;
+
+  uint64_t kernel_launches() const { return launches.size(); }
 
   int64_t scalar() const {
     int64_t total = 0;

@@ -1,0 +1,159 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "telemetry/json.h"
+
+namespace tilecomp::telemetry {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendDouble(std::string* out, const char* key, double v,
+                  bool trailing_comma = true) {
+  AppendF(out, "\"%s\":%.17g%s", key, v, trailing_comma ? "," : "");
+}
+
+void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
+  const sim::LaunchConfig& c = k.config;
+  AppendF(out,
+          "\"config\":{\"grid_dim\":%" PRId64
+          ",\"block_threads\":%d,\"smem_bytes_per_block\":%d,"
+          "\"regs_per_thread\":%d},",
+          c.grid_dim, c.block_threads, c.smem_bytes_per_block,
+          c.regs_per_thread);
+  const sim::KernelStats& s = k.stats;
+  AppendF(out,
+          "\"stats\":{\"global_bytes_read\":%" PRIu64
+          ",\"global_bytes_written\":%" PRIu64
+          ",\"warp_global_accesses\":%" PRIu64 ",\"shared_bytes\":%" PRIu64
+          ",\"compute_ops\":%" PRIu64 ",\"barriers\":%" PRIu64 "},",
+          s.global_bytes_read, s.global_bytes_written, s.warp_global_accesses,
+          s.shared_bytes, s.compute_ops, s.barriers);
+  const sim::TimeBreakdown& b = k.breakdown;
+  AppendDouble(out, "occupancy", b.occupancy);
+  out->append("\"breakdown_ms\":{");
+  AppendDouble(out, "launch", b.launch_ms);
+  AppendDouble(out, "bandwidth", b.bandwidth_ms);
+  AppendDouble(out, "latency", b.latency_ms);
+  AppendDouble(out, "scheduling", b.scheduling_ms);
+  AppendDouble(out, "shared", b.shared_ms);
+  AppendDouble(out, "compute", b.compute_ms, /*trailing_comma=*/false);
+  out->append("},");
+  AppendF(out, "\"limiter\":\"%s\",", sim::LimiterName(b.limiter()));
+}
+
+}  // namespace
+
+std::string ToJson(const Tracer& tracer) {
+  std::string out;
+  out.reserve(512 + tracer.spans().size() * 512);
+  AppendF(&out, "{\"schema\":\"%s\",\"spans\":[", kTraceSchema);
+  bool first = true;
+  for (const Span& span : tracer.spans()) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n{");
+    AppendF(&out, "\"kind\":\"%s\",", SpanKindName(span.kind));
+    AppendF(&out, "\"name\":\"%s\",", JsonEscape(span.name).c_str());
+    AppendF(&out, "\"path\":\"%s\",", JsonEscape(span.path).c_str());
+    AppendF(&out, "\"depth\":%d,", span.depth);
+    if (span.kind == SpanKind::kKernel) AppendKernelFields(&out, span.kernel);
+    if (span.kind == SpanKind::kTransfer) {
+      AppendF(&out, "\"bytes\":%" PRIu64 ",", span.transfer_bytes);
+    }
+    AppendDouble(&out, "start_ms", span.start_ms);
+    AppendDouble(&out, "duration_ms", span.duration_ms,
+                 /*trailing_comma=*/false);
+    out.append("}");
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+std::string ToChromeTrace(const Tracer& tracer) {
+  std::string out;
+  out.reserve(512 + tracer.spans().size() * 256);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  for (const Span& span : tracer.spans()) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\n{");
+    // Scopes on tid 0 bracket the kernels/transfers on tid 1, mirroring how
+    // nvprof shows streams under the launching API row.
+    const int tid = span.kind == SpanKind::kScope ? 0 : 1;
+    AppendF(&out, "\"name\":\"%s\",", JsonEscape(span.name).c_str());
+    AppendF(&out, "\"cat\":\"%s\",", SpanKindName(span.kind));
+    AppendF(&out, "\"ph\":\"X\",\"pid\":0,\"tid\":%d,", tid);
+    AppendF(&out, "\"ts\":%.12g,\"dur\":%.12g,", span.start_ms * 1e3,
+            span.duration_ms * 1e3);
+    out.append("\"args\":{");
+    if (span.kind == SpanKind::kKernel) {
+      const sim::KernelResult& k = span.kernel;
+      AppendF(&out, "\"grid_dim\":%" PRId64 ",", k.config.grid_dim);
+      AppendF(&out, "\"global_bytes\":%" PRIu64 ",",
+              k.stats.global_bytes_total());
+      AppendDouble(&out, "occupancy", k.breakdown.occupancy);
+      AppendF(&out, "\"limiter\":\"%s\"",
+              sim::LimiterName(k.breakdown.limiter()));
+    } else if (span.kind == SpanKind::kTransfer) {
+      AppendF(&out, "\"bytes\":%" PRIu64, span.transfer_bytes);
+    }
+    out.append("}}");
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void PrintSummary(const Tracer& tracer, std::FILE* out) {
+  std::fprintf(out, "%-34s %10s %10s %9s %9s %5s %-10s\n", "span", "time_ms",
+               "grid", "rd_MB", "wr_MB", "occ%", "limiter");
+  for (const Span& span : tracer.spans()) {
+    std::string indent(static_cast<size_t>(span.depth) * 2, ' ');
+    if (span.kind == SpanKind::kScope) {
+      std::fprintf(out, "%s[%s] %.4f ms\n", indent.c_str(), span.name.c_str(),
+                   span.duration_ms);
+      continue;
+    }
+    if (span.kind == SpanKind::kTransfer) {
+      std::fprintf(out, "%s%-*s %10.4f %10s %9.2f %9s %5s %-10s\n",
+                   indent.c_str(),
+                   static_cast<int>(34 - indent.size()), span.name.c_str(),
+                   span.duration_ms, "-", span.transfer_bytes / 1e6, "-", "-",
+                   "pcie");
+      continue;
+    }
+    const sim::KernelResult& k = span.kernel;
+    std::fprintf(out, "%s%-*s %10.4f %10" PRId64 " %9.2f %9.2f %5.0f %-10s\n",
+                 indent.c_str(), static_cast<int>(34 - indent.size()),
+                 span.name.c_str(), span.duration_ms, k.config.grid_dim,
+                 k.stats.global_bytes_read / 1e6,
+                 k.stats.global_bytes_written / 1e6,
+                 k.breakdown.occupancy * 100.0,
+                 sim::LimiterName(k.breakdown.limiter()));
+  }
+}
+
+}  // namespace tilecomp::telemetry

@@ -1,0 +1,60 @@
+// Trace exporters.
+//
+// JSON schema (stable; version bumps on breaking change):
+//
+//   {
+//     "schema": "tilecomp.trace.v1",
+//     "spans": [
+//       {
+//         "kind": "kernel" | "transfer" | "scope",
+//         "name": "<launch label / scope name>",
+//         "path": "<'/'-joined enclosing scope names, '' at top level>",
+//         "depth": <int>,
+//         "start_ms": <double>, "duration_ms": <double>,
+//         // kind == "kernel" only:
+//         "config": {"grid_dim", "block_threads", "smem_bytes_per_block",
+//                    "regs_per_thread"},
+//         "stats": {"global_bytes_read", "global_bytes_written",
+//                   "warp_global_accesses", "shared_bytes", "compute_ops",
+//                   "barriers"},
+//         "occupancy": <double 0..1>,
+//         "breakdown_ms": {"launch", "bandwidth", "latency", "scheduling",
+//                          "shared", "compute"},
+//         "limiter": "bandwidth"|"latency"|"scheduling"|"shared"|"compute",
+//         // kind == "transfer" only:
+//         "bytes": <uint64>
+//       }, ...
+//     ]
+//   }
+//
+// The chrome://tracing exporter emits the Trace Event JSON format ("X"
+// duration events, microsecond timestamps) loadable in chrome://tracing or
+// https://ui.perfetto.dev.
+#ifndef TILECOMP_TELEMETRY_EXPORT_H_
+#define TILECOMP_TELEMETRY_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/tracer.h"
+
+namespace tilecomp::telemetry {
+
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v1";
+
+// Machine-readable trace (schema above).
+std::string ToJson(const Tracer& tracer);
+
+// chrome://tracing / Perfetto Trace Event format.
+std::string ToChromeTrace(const Tracer& tracer);
+
+// Write `content` to `path`. Returns false on I/O error.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+// Human-readable per-launch table (label, grid, time, traffic, occupancy,
+// limiter) written to `out`; scope spans print as indented headers.
+void PrintSummary(const Tracer& tracer, std::FILE* out);
+
+}  // namespace tilecomp::telemetry
+
+#endif  // TILECOMP_TELEMETRY_EXPORT_H_

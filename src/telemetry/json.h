@@ -1,0 +1,65 @@
+// Minimal JSON support for the trace exporters and their tests: a value
+// tree, a writer-side string escaper, and a strict recursive-descent parser
+// (objects, arrays, strings, numbers, booleans, null). Self-contained on
+// purpose — the container has no third-party JSON dependency, and the trace
+// schema only needs this subset.
+#ifndef TILECOMP_TELEMETRY_JSON_H_
+#define TILECOMP_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tilecomp::telemetry {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  uint64_t AsUint64() const { return static_cast<uint64_t>(number_); }
+  int64_t AsInt64() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+
+  // Object access. Get returns null-kind for a missing key; Has tests
+  // membership.
+  bool Has(const std::string& key) const;
+  const JsonValue& Get(const std::string& key) const;
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+  static JsonValue Null();
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string v);
+  static JsonValue Array(std::vector<JsonValue> v);
+  static JsonValue Object(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parse `text` into `out`. Returns false (and fills *error with a position
+// plus message) on malformed input. The full input must be consumed apart
+// from trailing whitespace.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// Escape `s` for embedding inside a JSON string literal (adds no quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace tilecomp::telemetry
+
+#endif  // TILECOMP_TELEMETRY_JSON_H_

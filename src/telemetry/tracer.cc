@@ -1,0 +1,100 @@
+#include "telemetry/tracer.h"
+
+namespace tilecomp::telemetry {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kKernel:
+      return "kernel";
+    case SpanKind::kTransfer:
+      return "transfer";
+    case SpanKind::kScope:
+      return "scope";
+  }
+  return "?";
+}
+
+std::string Tracer::CurrentPath() const {
+  std::string path;
+  for (size_t idx : open_scopes_) {
+    if (!path.empty()) path += '/';
+    path += spans_[idx].name;
+  }
+  return path;
+}
+
+void Tracer::OnKernel(const sim::KernelResult& result) {
+  Span span;
+  span.kind = SpanKind::kKernel;
+  span.name = result.label;
+  span.path = CurrentPath();
+  span.depth = static_cast<int>(open_scopes_.size());
+  span.start_ms = result.start_ms;
+  span.duration_ms = result.time_ms;
+  span.kernel = result;
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::OnTransfer(uint64_t bytes, double start_ms, double duration_ms) {
+  Span span;
+  span.kind = SpanKind::kTransfer;
+  span.name = "pcie.transfer";
+  span.path = CurrentPath();
+  span.depth = static_cast<int>(open_scopes_.size());
+  span.start_ms = start_ms;
+  span.duration_ms = duration_ms;
+  span.transfer_bytes = bytes;
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::OnScopeBegin(const std::string& name, double start_ms) {
+  Span span;
+  span.kind = SpanKind::kScope;
+  span.name = name;
+  span.path = CurrentPath();
+  span.depth = static_cast<int>(open_scopes_.size());
+  span.start_ms = start_ms;
+  span.duration_ms = 0.0;
+  spans_.push_back(std::move(span));
+  open_scopes_.push_back(spans_.size() - 1);
+}
+
+void Tracer::OnScopeEnd(double end_ms) {
+  if (open_scopes_.empty()) return;  // unbalanced EndScope: ignore
+  Span& scope = spans_[open_scopes_.back()];
+  scope.duration_ms = end_ms - scope.start_ms;
+  open_scopes_.pop_back();
+}
+
+size_t Tracer::num_kernel_spans() const {
+  size_t n = 0;
+  for (const Span& span : spans_) {
+    if (span.kind == SpanKind::kKernel) ++n;
+  }
+  return n;
+}
+
+std::vector<sim::KernelResult> Tracer::KernelsSince(size_t mark) const {
+  std::vector<sim::KernelResult> out;
+  for (size_t i = mark; i < spans_.size(); ++i) {
+    if (spans_[i].kind == SpanKind::kKernel) out.push_back(spans_[i].kernel);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  open_scopes_.clear();
+}
+
+ScopedSpan::ScopedSpan(sim::Device& dev, const std::string& name) {
+  if (dev.tracer() == nullptr) return;
+  dev_ = &dev;
+  dev.tracer()->OnScopeBegin(name, dev.elapsed_ms());
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (dev_ != nullptr) dev_->tracer()->OnScopeEnd(dev_->elapsed_ms());
+}
+
+}  // namespace tilecomp::telemetry

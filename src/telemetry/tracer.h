@@ -1,0 +1,93 @@
+// Tracing layer for the simulated device: records every kernel launch and
+// PCIe transfer as a span (label, launch config, traffic counters, modeled
+// time, and the perf model's limiter breakdown), with optional named scope
+// nesting ("which launch of which pipeline"). Attach a Tracer to a
+// sim::Device, run any pipeline, then export the trace (see export.h) or
+// inspect the spans directly.
+//
+//   telemetry::Tracer tracer;
+//   dev.AttachTracer(&tracer);
+//   {
+//     telemetry::ScopedSpan span(dev, "decompress/gpu-rfor");
+//     kernels::Decompress(dev, column);
+//   }
+//   std::string json = telemetry::ToJson(tracer);
+#ifndef TILECOMP_TELEMETRY_TRACER_H_
+#define TILECOMP_TELEMETRY_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/stats.h"
+
+namespace tilecomp::telemetry {
+
+enum class SpanKind { kKernel, kTransfer, kScope };
+
+const char* SpanKindName(SpanKind kind);
+
+// One record of the trace. Kernel spans carry the full KernelResult
+// (config, stats, breakdown); transfer spans carry the byte count; scope
+// spans only bracket their children in time.
+struct Span {
+  SpanKind kind = SpanKind::kKernel;
+  std::string name;
+  // "/"-joined names of the enclosing scopes, outermost first; empty at top
+  // level. Kernel spans launched inside a scope inherit its path + name.
+  std::string path;
+  // Number of enclosing scopes when the span was recorded.
+  int depth = 0;
+  // Device-timeline position and extent, ms.
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  // kKernel only.
+  sim::KernelResult kernel;
+  // kTransfer only.
+  uint64_t transfer_bytes = 0;
+};
+
+class Tracer : public sim::TraceSink {
+ public:
+  // sim::TraceSink interface (called by the attached Device).
+  void OnKernel(const sim::KernelResult& result) override;
+  void OnTransfer(uint64_t bytes, double start_ms,
+                  double duration_ms) override;
+  void OnScopeBegin(const std::string& name, double start_ms) override;
+  void OnScopeEnd(double end_ms) override;
+
+  const std::vector<Span>& spans() const { return spans_; }
+  // Current number of recorded spans; use as a mark for KernelsSince.
+  size_t mark() const { return spans_.size(); }
+  size_t num_kernel_spans() const;
+  // The KernelResults of every kernel span recorded at or after `mark`, in
+  // timeline order. This is how pipelines collect their per-launch trace.
+  std::vector<sim::KernelResult> KernelsSince(size_t mark) const;
+  void Clear();
+
+ private:
+  std::string CurrentPath() const;
+
+  std::vector<Span> spans_;
+  // Indices into spans_ of the currently open scope spans, outermost first.
+  std::vector<size_t> open_scopes_;
+};
+
+// RAII scope marker bound to a device: no-op when the device has no tracer
+// attached, so instrumented code paths cost nothing un-traced.
+class ScopedSpan {
+ public:
+  ScopedSpan(sim::Device& dev, const std::string& name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  sim::Device* dev_ = nullptr;  // non-null only when a tracer is attached
+};
+
+}  // namespace tilecomp::telemetry
+
+#endif  // TILECOMP_TELEMETRY_TRACER_H_

@@ -13,6 +13,7 @@
 #include "codec/column.h"            // CompressedColumn, Scheme
 #include "common/flags.h"            // CLI flag parsing
 #include "common/random.h"           // Rng + synthetic distributions
+#include "common/span.h"             // Span<T> / U32Span views
 #include "codec/nvcomp_like.h"       // nvCOMP-style cascade baseline
 #include "codec/parallel_encode.h"   // multi-threaded host encoders
 #include "codec/planner.h"           // Fang et al. planner baseline
@@ -27,9 +28,12 @@
 #include "crystal/hash_table.h"      // HashTable
 #include "crystal/load_column.h"     // LoadColumnTile (query integration)
 #include "kernels/decompress.h"      // full-column decompression kernels
+#include "kernels/dispatch.h"        // generic Decompress(dev, column) dispatcher
 #include "kernels/load_tile.h"       // LoadBitPack / LoadDBitPack / LoadRBitPack
 #include "sim/device.h"              // Device, LaunchConfig, BlockContext
 #include "ssb/generator.h"           // Star Schema Benchmark data
 #include "ssb/queries.h"             // the 13 SSB queries
+#include "telemetry/export.h"        // ToJson / ToChromeTrace / PrintSummary
+#include "telemetry/tracer.h"        // Tracer, ScopedSpan (kernel telemetry)
 
 #endif  // TILECOMP_TILECOMP_H_

@@ -93,13 +93,13 @@ TEST(DecompressPerfTest, KernelLaunchCountsMatchPaper) {
   auto dfor = GpuDForEncode(values.data(), kPerfN);
   auto rfor = GpuRForEncode(values.data(), kPerfN);
   // Tile-based: a single kernel pass each (Section 3).
-  EXPECT_EQ(DecompressGpuFor(dev, ffor).kernel_launches, 1u);
-  EXPECT_EQ(DecompressGpuDFor(dev, dfor).kernel_launches, 1u);
-  EXPECT_EQ(DecompressGpuRFor(dev, rfor).kernel_launches, 1u);
+  EXPECT_EQ(DecompressGpuFor(dev, ffor).kernel_launches(), 1u);
+  EXPECT_EQ(DecompressGpuDFor(dev, dfor).kernel_launches(), 1u);
+  EXPECT_EQ(DecompressGpuRFor(dev, rfor).kernel_launches(), 1u);
   // Cascaded: 2 / 3 / 8 passes (Section 9.2).
-  EXPECT_EQ(DecompressForBitPackCascaded(dev, ffor).kernel_launches, 2u);
-  EXPECT_EQ(DecompressDeltaForBitPackCascaded(dev, dfor).kernel_launches, 3u);
-  EXPECT_EQ(DecompressRleForBitPackCascaded(dev, rfor).kernel_launches, 8u);
+  EXPECT_EQ(DecompressForBitPackCascaded(dev, ffor).kernel_launches(), 2u);
+  EXPECT_EQ(DecompressDeltaForBitPackCascaded(dev, dfor).kernel_launches(), 3u);
+  EXPECT_EQ(DecompressRleForBitPackCascaded(dev, rfor).kernel_launches(), 8u);
 }
 
 TEST(DecompressPerfTest, TileBasedBeatsCascaded) {

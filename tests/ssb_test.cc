@@ -92,7 +92,7 @@ TEST(SsbGeneratorTest, SchemeChoiceMatchesPaperCharacterization) {
   const SsbData& data = TestData();
   const auto& lo = data.lineorder;
   auto stats_of = [](const std::vector<uint32_t>& col) {
-    return codec::ComputeStats(col.data(), col.size());
+    return codec::ComputeStats(col);
   };
   EXPECT_TRUE(stats_of(lo.orderkey).sorted);
   EXPECT_GT(stats_of(lo.orderkey).avg_run_length, 2.0);
