@@ -1,0 +1,87 @@
+// Chunked, double-buffered co-processor decompression pipeline (the
+// paper's Section 4.5 deployment pattern, with the CUDA-stream overlap real
+// systems use): a column is encoded as N independent chunks; at query time
+// chunk i+1 is shipped over PCIe on one stream while chunk i decompresses on
+// another, so transfer and decompression overlap instead of serializing.
+//
+//   codec::ChunkedColumn col = codec::ChunkEncode(Scheme::kGpuFor, values, 8);
+//   sim::Device dev;
+//   codec::PipelineResult r = codec::DecompressPipelined(dev, col);
+//   // r.output == values; r.total_ms < r.serial_ms when chunks overlap.
+#ifndef TILECOMP_CODEC_PIPELINE_H_
+#define TILECOMP_CODEC_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/column.h"
+#include "kernels/dispatch.h"
+#include "sim/device.h"
+
+namespace tilecomp::codec {
+
+// One independently decodable slice of a chunked column.
+struct ColumnChunk {
+  CompressedColumn column;
+  // First row of this chunk in the original column.
+  uint32_t row_begin = 0;
+};
+
+// A column encoded as independently decodable chunks (every chunk carries
+// its own headers/metadata, so it can be transferred and decompressed alone).
+struct ChunkedColumn {
+  Scheme scheme = Scheme::kNone;
+  uint32_t total_rows = 0;
+  std::vector<ColumnChunk> chunks;
+
+  uint64_t compressed_bytes() const {
+    uint64_t total = 0;
+    for (const ColumnChunk& chunk : chunks) {
+      total += chunk.column.compressed_bytes();
+    }
+    return total;
+  }
+};
+
+// Encode `values` as `num_chunks` independent chunks (the last chunk absorbs
+// the remainder; fewer chunks result when values.size() < num_chunks).
+ChunkedColumn ChunkEncode(Scheme scheme, U32Span values, uint32_t num_chunks);
+
+struct PipelineOptions {
+  // Number of async streams to rotate chunks across. 1 reproduces the
+  // serial schedule (each chunk's transfer waits for the previous chunk's
+  // kernel); 2 is classic double buffering.
+  int num_streams = 2;
+  // Fused tile-based decompression or the layer-at-a-time cascade.
+  kernels::Pipeline pipeline = kernels::Pipeline::kFused;
+};
+
+struct PipelineResult {
+  // Concatenated decoded chunks == the original column.
+  std::vector<uint32_t> output;
+  // Modeled end-to-end makespan of the overlapped schedule, ms.
+  double total_ms = 0.0;
+  // Modeled end-to-end time of the serial schedule (sum of every transfer
+  // and kernel duration — what a single stream yields), ms.
+  double serial_ms = 0.0;
+  // Total PCIe busy time and total kernel busy time, ms.
+  double transfer_ms = 0.0;
+  double compute_ms = 0.0;
+  // Fraction of the hideable time actually hidden by overlap:
+  // (serial_ms - total_ms) / min(transfer_ms, compute_ms), in [0, 1].
+  // 0 when nothing overlapped (single stream / single chunk).
+  double overlap_fraction = 0.0;
+  uint64_t bytes_transferred = 0;
+  // Per-launch trace, in issue order; each entry carries its stream_id.
+  std::vector<sim::KernelResult> launches;
+};
+
+// Run the transfer+decompress pipeline for every chunk of `col` on `dev`,
+// rotating chunks across opts.num_streams async streams. Synchronizes the
+// device first, so total_ms is an exact makespan delta.
+PipelineResult DecompressPipelined(sim::Device& dev, const ChunkedColumn& col,
+                                   const PipelineOptions& opts = {});
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_PIPELINE_H_

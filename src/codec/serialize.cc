@@ -51,7 +51,9 @@ class ByteReader {
   bool U64(uint64_t* v) { return Bytes(v, 8); }
   bool VecU32(std::vector<uint32_t>* v) {
     uint64_t n = 0;
-    if (!U64(&n) || n * 4 > remaining()) return false;
+    // Divide instead of multiplying: `n * 4` wraps for a crafted length
+    // near UINT64_MAX and would let a huge `n` reach resize().
+    if (!U64(&n) || n > remaining() / 4) return false;
     v->resize(n);
     return Bytes(v->data(), n * 4);
   }
@@ -66,7 +68,9 @@ class ByteReader {
 
  private:
   bool Bytes(void* p, size_t n) {
-    if (pos_ + n > size_) return false;
+    // `pos_ + n` can wrap for adversarial n; compare against the space left
+    // (pos_ <= size_ is an invariant, so the subtraction is safe).
+    if (n > size_ - pos_) return false;
     std::memcpy(p, data_ + pos_, n);
     pos_ += n;
     return true;
@@ -182,9 +186,12 @@ bool Deserialize(const uint8_t* data, size_t size, CompressedColumn* column) {
       !r.U64(&payload_size)) {
     return false;
   }
-  TILECOMP_CHECK_MSG(magic == kMagic, "not a tilecomp column file");
-  TILECOMP_CHECK_MSG(version == kVersion, "unsupported format version");
-  if (payload_size + 4 > r.remaining()) return false;
+  // Bad magic/version means "not one of our files", not a programming
+  // error: reject it instead of aborting the process.
+  if (magic != kMagic || version != kVersion) return false;
+  // `payload_size + 4` wraps when payload_size is near UINT64_MAX, which
+  // would bypass this check and read out of bounds below.
+  if (r.remaining() < 4 || payload_size > r.remaining() - 4) return false;
 
   // Verify checksum before parsing.
   const uint8_t* payload = data + r.pos();
@@ -291,6 +298,10 @@ bool ReadColumnFile(const std::string& path, CompressedColumn* column) {
   if (f == nullptr) return false;
   std::fseek(f, 0, SEEK_END);
   const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return false;
+  }
   std::fseek(f, 0, SEEK_SET);
   std::vector<uint8_t> bytes(static_cast<size_t>(size));
   const bool read_ok =

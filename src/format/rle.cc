@@ -9,7 +9,8 @@ namespace tilecomp::format {
 RleEncoded RleEncode(const uint32_t* values, size_t count,
                      uint32_t block_size) {
   TILECOMP_CHECK(count <= 0xFFFFFFFFull);
-  TILECOMP_CHECK(block_size > 0);
+  // block_size == 0 would divide by zero computing num_blocks below.
+  TILECOMP_CHECK_MSG(block_size > 0, "RleEncode: block_size must be > 0");
   RleEncoded encoded;
   encoded.total_count = static_cast<uint32_t>(count);
   encoded.block_size = block_size;

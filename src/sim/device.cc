@@ -5,10 +5,17 @@
 
 namespace tilecomp::sim {
 
-Device::Device(DeviceSpec spec) : spec_(spec), pool_() {}
+Device::Device(DeviceSpec spec)
+    : spec_(spec), pool_(), stream_tail_(1, 0.0) {}
 
 KernelResult Device::Launch(std::string label, const LaunchConfig& cfg,
                             const KernelBody& body) {
+  return Launch(launch_stream_, std::move(label), cfg, body);
+}
+
+KernelResult Device::Launch(StreamId stream, std::string label,
+                            const LaunchConfig& cfg, const KernelBody& body) {
+  CheckStream(stream);
   TILECOMP_CHECK(cfg.grid_dim >= 0);
   TILECOMP_CHECK(cfg.block_threads >= 1 && cfg.block_threads <= 1024);
 
@@ -35,28 +42,103 @@ KernelResult Device::Launch(std::string label, const LaunchConfig& cfg,
   result.label = std::move(label);
   result.config = cfg;
   result.stats = merged;
-  result.start_ms = elapsed_ms_;
+  result.stream_id = stream;
   result.breakdown = AnalyzeKernel(spec_, cfg, merged);
   result.time_ms = result.breakdown.total_ms();
 
+  // Schedule: the default stream synchronizes with everything; an async
+  // stream waits for its own tail and the compute engine only.
+  const double start = stream == kDefaultStream
+                           ? elapsed_ms_
+                           : std::max(stream_tail_[stream], compute_free_ms_);
+  const double end = start + result.time_ms;
+  result.start_ms = start;
+  if (stream == kDefaultStream) {
+    SyncAllTo(end);
+  } else {
+    stream_tail_[stream] = end;
+    compute_free_ms_ = end;
+    elapsed_ms_ = std::max(elapsed_ms_, end);
+  }
+
   total_stats_ += merged;
-  elapsed_ms_ += result.time_ms;
   launch_log_.push_back(result);
   if (tracer_ != nullptr) tracer_->OnKernel(result);
   return result;
 }
 
 double Device::Transfer(uint64_t bytes) {
-  double ms = EstimateTransferMs(spec_, bytes);
-  if (tracer_ != nullptr) tracer_->OnTransfer(bytes, elapsed_ms_, ms);
-  elapsed_ms_ += ms;
+  return TransferAsync(launch_stream_, bytes);
+}
+
+double Device::TransferAsync(StreamId stream, uint64_t bytes) {
+  CheckStream(stream);
+  const double ms = EstimateTransferMs(spec_, bytes);
+  const double start = stream == kDefaultStream
+                           ? elapsed_ms_
+                           : std::max(stream_tail_[stream], copy_free_ms_);
+  const double end = start + ms;
+  if (stream == kDefaultStream) {
+    SyncAllTo(end);
+  } else {
+    stream_tail_[stream] = end;
+    copy_free_ms_ = end;
+    elapsed_ms_ = std::max(elapsed_ms_, end);
+  }
+  if (tracer_ != nullptr) tracer_->OnTransfer(bytes, start, ms, stream);
   return ms;
+}
+
+StreamId Device::CreateStream() {
+  stream_tail_.push_back(0.0);
+  return static_cast<StreamId>(stream_tail_.size() - 1);
+}
+
+double Device::stream_tail_ms(StreamId stream) const {
+  CheckStream(stream);
+  return stream_tail_[stream];
+}
+
+Event Device::RecordEvent(StreamId stream) {
+  CheckStream(stream);
+  return Event{stream_tail_[stream]};
+}
+
+void Device::StreamWaitEvent(StreamId stream, const Event& event) {
+  CheckStream(stream);
+  stream_tail_[stream] = std::max(stream_tail_[stream], event.timestamp_ms);
+}
+
+double Device::DeviceSynchronize() {
+  SyncAllTo(elapsed_ms_);
+  return elapsed_ms_;
+}
+
+void Device::SetLaunchStream(StreamId stream) {
+  CheckStream(stream);
+  launch_stream_ = stream;
 }
 
 void Device::ResetTimeline() {
   total_stats_ = KernelStats();
   elapsed_ms_ = 0.0;
+  std::fill(stream_tail_.begin(), stream_tail_.end(), 0.0);
+  copy_free_ms_ = 0.0;
+  compute_free_ms_ = 0.0;
   launch_log_.clear();
+}
+
+void Device::CheckStream(StreamId stream) const {
+  TILECOMP_CHECK_MSG(stream >= 0 &&
+                         stream < static_cast<StreamId>(stream_tail_.size()),
+                     "invalid stream handle");
+}
+
+void Device::SyncAllTo(double t) {
+  std::fill(stream_tail_.begin(), stream_tail_.end(), t);
+  copy_free_ms_ = t;
+  compute_free_ms_ = t;
+  elapsed_ms_ = std::max(elapsed_ms_, t);
 }
 
 }  // namespace tilecomp::sim

@@ -1,6 +1,17 @@
 // The simulated GPU device: launches kernels (executing thread blocks on a
 // host thread pool), accumulates per-kernel work counters, and keeps a
 // timeline of modeled execution and transfer time.
+//
+// The timeline follows the CUDA stream model. The device owns a copy engine
+// (PCIe) and a compute engine (SMs) as separate resources: operations within
+// one stream execute in issue order, two streams' transfers serialize on the
+// copy engine, two streams' kernels serialize on the compute engine, but a
+// transfer and a kernel on different streams overlap — which is exactly what
+// a double-buffered decompression pipeline exploits (codec/pipeline.h).
+// Stream 0 is the legacy default stream: operations on it synchronize with
+// the whole device (start at the current makespan, and every stream/engine
+// resumes after them), so code that never creates a stream sees the original
+// strictly serial timeline.
 #ifndef TILECOMP_SIM_DEVICE_H_
 #define TILECOMP_SIM_DEVICE_H_
 
@@ -26,6 +37,18 @@ namespace tilecomp::sim {
 // (as real CUDA blocks do).
 using KernelBody = std::function<void(BlockContext&)>;
 
+// Handle to a device stream. Stream 0 (kDefaultStream) always exists and is
+// synchronizing; CreateStream() returns additional async streams.
+using StreamId = int;
+inline constexpr StreamId kDefaultStream = 0;
+
+// A recorded point on a stream's timeline (cudaEventRecord analog): captures
+// when everything issued to the stream so far will have completed. Another
+// stream can wait on it (StreamWaitEvent) to build dependency edges.
+struct Event {
+  double timestamp_ms = 0.0;
+};
+
 // Observer interface for the device timeline. telemetry::Tracer implements
 // it; the sim layer only knows this interface so that sim does not depend on
 // the telemetry library.
@@ -33,11 +56,11 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   // One kernel launch completed (result carries label, config, stats,
-  // timeline position and the perf-model breakdown).
+  // timeline position, stream id and the perf-model breakdown).
   virtual void OnKernel(const KernelResult& result) = 0;
-  // One PCIe transfer completed.
-  virtual void OnTransfer(uint64_t bytes, double start_ms,
-                          double duration_ms) = 0;
+  // One PCIe transfer completed on `stream_id`.
+  virtual void OnTransfer(uint64_t bytes, double start_ms, double duration_ms,
+                          int stream_id) = 0;
   // Named region markers (used by Tracer for span nesting); default no-op.
   virtual void OnScopeBegin(const std::string& name, double start_ms) {
     (void)name;
@@ -56,20 +79,55 @@ class Device {
 
   // Execute `body` for every block of the launch, collect work counters,
   // model the kernel time, and append it to the device timeline. `label`
-  // names the launch in the launch log and in any attached tracer.
+  // names the launch in the launch log and in any attached tracer. Without
+  // an explicit stream the launch goes to the current launch stream (the
+  // default stream unless a StreamGuard is active).
   KernelResult Launch(std::string label, const LaunchConfig& cfg,
                       const KernelBody& body);
   // Unnamed launch (label "kernel").
   KernelResult Launch(const LaunchConfig& cfg, const KernelBody& body) {
     return Launch("kernel", cfg, body);
   }
+  // Async launch on an explicit stream: starts once the stream's previous
+  // operation and the compute engine are both free.
+  KernelResult Launch(StreamId stream, std::string label,
+                      const LaunchConfig& cfg, const KernelBody& body);
 
   // Model a host->device (or device->host) PCIe transfer of `bytes` and
-  // append it to the timeline. Returns the transfer time in ms.
+  // append it to the timeline of the current launch stream. Returns the
+  // transfer time in ms.
   double Transfer(uint64_t bytes);
+  // Async transfer on an explicit stream (cudaMemcpyAsync analog): starts
+  // once the stream's previous operation and the copy engine are both free.
+  double TransferAsync(StreamId stream, uint64_t bytes);
+
+  // --- Streams & events ---
+
+  // Create a new async stream. Handles stay valid until the device dies;
+  // ResetTimeline keeps them (and rewinds their timelines to zero).
+  StreamId CreateStream();
+  int num_streams() const { return static_cast<int>(stream_tail_.size()); }
+  // Completion time of everything issued to `stream` so far, ms.
+  double stream_tail_ms(StreamId stream) const;
+
+  // Capture `stream`'s current completion time as an event.
+  Event RecordEvent(StreamId stream);
+  // Make `stream`'s next operation start no earlier than `event`.
+  void StreamWaitEvent(StreamId stream, const Event& event);
+  // Block the whole device until every stream and engine is idle; returns
+  // the makespan. Subsequent operations on any stream start here.
+  double DeviceSynchronize();
+
+  // The stream that Launch(label, cfg, body) / Transfer(bytes) issue to.
+  // Lets multi-launch pipelines (kernels::Decompress and friends) run on an
+  // async stream without threading a StreamId through every signature — see
+  // StreamGuard below.
+  StreamId launch_stream() const { return launch_stream_; }
+  void SetLaunchStream(StreamId stream);
 
   // Append externally-computed time (e.g., host-side work) to the timeline.
-  void AddTimeMs(double ms) { elapsed_ms_ += ms; }
+  // Host work is serial: every stream resumes after it.
+  void AddTimeMs(double ms) { SyncAllTo(elapsed_ms_ + ms); }
 
   // Attach/detach an observer that sees every launch and transfer (not
   // owned; pass nullptr to detach). The launch log below is recorded either
@@ -78,21 +136,55 @@ class Device {
   TraceSink* tracer() const { return tracer_; }
 
   // --- Timeline / accumulation ---
+  // Device makespan: the time at which the last scheduled operation (on any
+  // stream) completes, ms.
   double elapsed_ms() const { return elapsed_ms_; }
   uint64_t kernel_launches() const { return launch_log_.size(); }
   const KernelStats& total_stats() const { return total_stats_; }
-  // Every launch since the last ResetTimeline, in timeline order. Pipelines
+  // Every launch since the last ResetTimeline, in issue order. Pipelines
   // (DecompressRun, SSB queries) slice this to report per-launch traces.
   const std::vector<KernelResult>& launch_log() const { return launch_log_; }
   void ResetTimeline();
 
  private:
+  void CheckStream(StreamId stream) const;
+  // A full synchronization point at time `t`: every stream and both engines
+  // resume at `t`.
+  void SyncAllTo(double t);
+
   DeviceSpec spec_;
   ThreadPool pool_;
   KernelStats total_stats_;
+  // Makespan over all streams/engines; invariant: >= every entry of
+  // stream_tail_ and both engine frees.
   double elapsed_ms_ = 0.0;
+  // Per-stream completion time of the last issued operation; index 0 is the
+  // default stream.
+  std::vector<double> stream_tail_;
+  // Engine availability: transfers serialize on the copy engine, kernels on
+  // the compute engine.
+  double copy_free_ms_ = 0.0;
+  double compute_free_ms_ = 0.0;
+  StreamId launch_stream_ = kDefaultStream;
   std::vector<KernelResult> launch_log_;
   TraceSink* tracer_ = nullptr;
+};
+
+// RAII: route every Launch/Transfer issued through the implicit-stream API
+// to `stream` for the guard's lifetime, then restore the previous stream.
+class StreamGuard {
+ public:
+  StreamGuard(Device& dev, StreamId stream)
+      : dev_(dev), prev_(dev.launch_stream()) {
+    dev_.SetLaunchStream(stream);
+  }
+  ~StreamGuard() { dev_.SetLaunchStream(prev_); }
+
+  TILECOMP_DISALLOW_COPY_AND_ASSIGN(StreamGuard);
+
+ private:
+  Device& dev_;
+  StreamId prev_;
 };
 
 }  // namespace tilecomp::sim

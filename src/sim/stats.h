@@ -112,6 +112,8 @@ struct KernelResult {
   double time_ms = 0.0;
   // Device timeline position at which the launch started, ms.
   double start_ms = 0.0;
+  // Stream the launch was issued on (0 = the synchronizing default stream).
+  int stream_id = 0;
   TimeBreakdown breakdown;
 };
 

@@ -1,5 +1,6 @@
 #include "telemetry/export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -58,6 +59,10 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
 
 }  // namespace
 
+bool IsKnownTraceSchema(const std::string& schema) {
+  return schema == kTraceSchema || schema == kTraceSchemaV1;
+}
+
 std::string ToJson(const Tracer& tracer) {
   std::string out;
   out.reserve(512 + tracer.spans().size() * 512);
@@ -71,6 +76,9 @@ std::string ToJson(const Tracer& tracer) {
     AppendF(&out, "\"name\":\"%s\",", JsonEscape(span.name).c_str());
     AppendF(&out, "\"path\":\"%s\",", JsonEscape(span.path).c_str());
     AppendF(&out, "\"depth\":%d,", span.depth);
+    if (span.kind != SpanKind::kScope) {
+      AppendF(&out, "\"stream\":%d,", span.stream_id);
+    }
     if (span.kind == SpanKind::kKernel) AppendKernelFields(&out, span.kernel);
     if (span.kind == SpanKind::kTransfer) {
       AppendF(&out, "\"bytes\":%" PRIu64 ",", span.transfer_bytes);
@@ -84,18 +92,110 @@ std::string ToJson(const Tracer& tracer) {
   return out;
 }
 
+bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
+                   std::string* error) {
+  spans->clear();
+  JsonValue root;
+  if (!ParseJson(json, &root, error)) return false;
+  const std::string schema =
+      root.Has("schema") ? root.Get("schema").AsString() : "";
+  if (!IsKnownTraceSchema(schema)) {
+    if (error != nullptr) *error = "unknown trace schema: " + schema;
+    return false;
+  }
+  if (!root.Get("spans").is_array()) {
+    if (error != nullptr) *error = "missing spans array";
+    return false;
+  }
+  for (const JsonValue& record : root.Get("spans").AsArray()) {
+    Span span;
+    const std::string kind = record.Get("kind").AsString();
+    if (kind == "kernel") {
+      span.kind = SpanKind::kKernel;
+    } else if (kind == "transfer") {
+      span.kind = SpanKind::kTransfer;
+    } else if (kind == "scope") {
+      span.kind = SpanKind::kScope;
+    } else {
+      if (error != nullptr) *error = "unknown span kind: " + kind;
+      return false;
+    }
+    span.name = record.Get("name").AsString();
+    span.path = record.Get("path").AsString();
+    span.depth = static_cast<int>(record.Get("depth").AsInt64());
+    span.start_ms = record.Get("start_ms").AsDouble();
+    span.duration_ms = record.Get("duration_ms").AsDouble();
+    // v1 traces predate streams; everything ran on the default stream.
+    span.stream_id =
+        record.Has("stream") ? static_cast<int>(record.Get("stream").AsInt64())
+                             : 0;
+    if (span.kind == SpanKind::kKernel) {
+      sim::KernelResult& k = span.kernel;
+      k.label = span.name;
+      k.start_ms = span.start_ms;
+      k.time_ms = span.duration_ms;
+      k.stream_id = span.stream_id;
+      const JsonValue& config = record.Get("config");
+      k.config.grid_dim = config.Get("grid_dim").AsInt64();
+      k.config.block_threads =
+          static_cast<int>(config.Get("block_threads").AsInt64());
+      k.config.smem_bytes_per_block =
+          static_cast<int>(config.Get("smem_bytes_per_block").AsInt64());
+      k.config.regs_per_thread =
+          static_cast<int>(config.Get("regs_per_thread").AsInt64());
+      const JsonValue& stats = record.Get("stats");
+      k.stats.global_bytes_read = stats.Get("global_bytes_read").AsUint64();
+      k.stats.global_bytes_written =
+          stats.Get("global_bytes_written").AsUint64();
+      k.stats.warp_global_accesses =
+          stats.Get("warp_global_accesses").AsUint64();
+      k.stats.shared_bytes = stats.Get("shared_bytes").AsUint64();
+      k.stats.compute_ops = stats.Get("compute_ops").AsUint64();
+      k.stats.barriers = stats.Get("barriers").AsUint64();
+      const JsonValue& breakdown = record.Get("breakdown_ms");
+      k.breakdown.launch_ms = breakdown.Get("launch").AsDouble();
+      k.breakdown.bandwidth_ms = breakdown.Get("bandwidth").AsDouble();
+      k.breakdown.latency_ms = breakdown.Get("latency").AsDouble();
+      k.breakdown.scheduling_ms = breakdown.Get("scheduling").AsDouble();
+      k.breakdown.shared_ms = breakdown.Get("shared").AsDouble();
+      k.breakdown.compute_ms = breakdown.Get("compute").AsDouble();
+      k.breakdown.occupancy = record.Get("occupancy").AsDouble();
+    }
+    if (span.kind == SpanKind::kTransfer) {
+      span.transfer_bytes = record.Get("bytes").AsUint64();
+    }
+    spans->push_back(std::move(span));
+  }
+  return true;
+}
+
 std::string ToChromeTrace(const Tracer& tracer) {
   std::string out;
-  out.reserve(512 + tracer.spans().size() * 256);
+  out.reserve(1024 + tracer.spans().size() * 256);
   out.append("{\"traceEvents\":[");
-  bool first = true;
+  // Lane layout: scopes on tid 0 bracket the per-stream work lanes on
+  // tid 1 + stream, mirroring how nvprof shows streams under the launching
+  // API row. Metadata events name each lane.
+  int max_stream = 0;
   for (const Span& span : tracer.spans()) {
-    if (!first) out.append(",");
-    first = false;
+    max_stream = std::max(max_stream, span.stream_id);
+  }
+  out.append(
+      "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+      "\"args\":{\"name\":\"tilecomp sim\"}}");
+  out.append(
+      ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"scopes\"}}");
+  for (int s = 0; s <= max_stream; ++s) {
+    AppendF(&out,
+            ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+            "\"args\":{\"name\":\"stream %d%s\"}}",
+            1 + s, s, s == 0 ? " (default)" : "");
+  }
+  for (const Span& span : tracer.spans()) {
+    out.append(",");
     out.append("\n{");
-    // Scopes on tid 0 bracket the kernels/transfers on tid 1, mirroring how
-    // nvprof shows streams under the launching API row.
-    const int tid = span.kind == SpanKind::kScope ? 0 : 1;
+    const int tid = span.kind == SpanKind::kScope ? 0 : 1 + span.stream_id;
     AppendF(&out, "\"name\":\"%s\",", JsonEscape(span.name).c_str());
     AppendF(&out, "\"cat\":\"%s\",", SpanKindName(span.kind));
     AppendF(&out, "\"ph\":\"X\",\"pid\":0,\"tid\":%d,", tid);
@@ -104,6 +204,7 @@ std::string ToChromeTrace(const Tracer& tracer) {
     out.append("\"args\":{");
     if (span.kind == SpanKind::kKernel) {
       const sim::KernelResult& k = span.kernel;
+      AppendF(&out, "\"stream\":%d,", span.stream_id);
       AppendF(&out, "\"grid_dim\":%" PRId64 ",", k.config.grid_dim);
       AppendF(&out, "\"global_bytes\":%" PRIu64 ",",
               k.stats.global_bytes_total());
@@ -111,6 +212,7 @@ std::string ToChromeTrace(const Tracer& tracer) {
       AppendF(&out, "\"limiter\":\"%s\"",
               sim::LimiterName(k.breakdown.limiter()));
     } else if (span.kind == SpanKind::kTransfer) {
+      AppendF(&out, "\"stream\":%d,", span.stream_id);
       AppendF(&out, "\"bytes\":%" PRIu64, span.transfer_bytes);
     }
     out.append("}}");

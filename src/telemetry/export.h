@@ -1,9 +1,9 @@
-// Trace exporters.
+// Trace exporters and loader.
 //
 // JSON schema (stable; version bumps on breaking change):
 //
 //   {
-//     "schema": "tilecomp.trace.v1",
+//     "schema": "tilecomp.trace.v2",
 //     "spans": [
 //       {
 //         "kind": "kernel" | "transfer" | "scope",
@@ -11,6 +11,8 @@
 //         "path": "<'/'-joined enclosing scope names, '' at top level>",
 //         "depth": <int>,
 //         "start_ms": <double>, "duration_ms": <double>,
+//         // kind == "kernel" | "transfer" only:
+//         "stream": <int, 0 = default stream>,
 //         // kind == "kernel" only:
 //         "config": {"grid_dim", "block_threads", "smem_bytes_per_block",
 //                    "regs_per_thread"},
@@ -27,23 +29,39 @@
 //     ]
 //   }
 //
+// v2 adds the per-span "stream" field (async stream timelines). v1 traces
+// (no "stream" field) still load through TraceFromJson: the field defaults
+// to the synchronizing stream 0.
+//
 // The chrome://tracing exporter emits the Trace Event JSON format ("X"
 // duration events, microsecond timestamps) loadable in chrome://tracing or
-// https://ui.perfetto.dev.
+// https://ui.perfetto.dev, with one named lane (tid) per device stream.
 #ifndef TILECOMP_TELEMETRY_EXPORT_H_
 #define TILECOMP_TELEMETRY_EXPORT_H_
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "telemetry/tracer.h"
 
 namespace tilecomp::telemetry {
 
-inline constexpr const char* kTraceSchema = "tilecomp.trace.v1";
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v2";
+inline constexpr const char* kTraceSchemaV1 = "tilecomp.trace.v1";
+
+// True for every schema version TraceFromJson accepts (v1 and v2).
+bool IsKnownTraceSchema(const std::string& schema);
 
 // Machine-readable trace (schema above).
 std::string ToJson(const Tracer& tracer);
+
+// Parse a tilecomp.trace.v1 / .v2 document back into spans. Limiter and
+// derived fields are recomputed from the stored breakdown; spans from a v1
+// trace carry stream 0. Returns false (and fills *error) on malformed input
+// or an unknown schema.
+bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
+                   std::string* error);
 
 // chrome://tracing / Perfetto Trace Event format.
 std::string ToChromeTrace(const Tracer& tracer);

@@ -31,11 +31,13 @@ void Tracer::OnKernel(const sim::KernelResult& result) {
   span.depth = static_cast<int>(open_scopes_.size());
   span.start_ms = result.start_ms;
   span.duration_ms = result.time_ms;
+  span.stream_id = result.stream_id;
   span.kernel = result;
   spans_.push_back(std::move(span));
 }
 
-void Tracer::OnTransfer(uint64_t bytes, double start_ms, double duration_ms) {
+void Tracer::OnTransfer(uint64_t bytes, double start_ms, double duration_ms,
+                        int stream_id) {
   Span span;
   span.kind = SpanKind::kTransfer;
   span.name = "pcie.transfer";
@@ -43,6 +45,7 @@ void Tracer::OnTransfer(uint64_t bytes, double start_ms, double duration_ms) {
   span.depth = static_cast<int>(open_scopes_.size());
   span.start_ms = start_ms;
   span.duration_ms = duration_ms;
+  span.stream_id = stream_id;
   span.transfer_bytes = bytes;
   spans_.push_back(std::move(span));
 }

@@ -42,6 +42,9 @@ struct Span {
   // Device-timeline position and extent, ms.
   double start_ms = 0.0;
   double duration_ms = 0.0;
+  // Stream the operation ran on (kKernel/kTransfer; 0 = default stream).
+  // Scope spans are host-side and always report stream 0.
+  int stream_id = 0;
   // kKernel only.
   sim::KernelResult kernel;
   // kTransfer only.
@@ -52,8 +55,8 @@ class Tracer : public sim::TraceSink {
  public:
   // sim::TraceSink interface (called by the attached Device).
   void OnKernel(const sim::KernelResult& result) override;
-  void OnTransfer(uint64_t bytes, double start_ms,
-                  double duration_ms) override;
+  void OnTransfer(uint64_t bytes, double start_ms, double duration_ms,
+                  int stream_id) override;
   void OnScopeBegin(const std::string& name, double start_ms) override;
   void OnScopeEnd(double end_ms) override;
 

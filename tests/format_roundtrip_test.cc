@@ -304,6 +304,14 @@ TEST(SimdBp128FormatTest, OneSkewedValueInflatesWholeBlock) {
   EXPECT_GT(vertical.compressed_bytes(), 2 * horizontal.compressed_bytes());
 }
 
+TEST(RleFormatTest, ZeroBlockSizeIsAProgrammingError) {
+  // block_size == 0 would divide by zero computing the block count; the
+  // encoder must fail loudly instead of corrupting memory.
+  const uint32_t values[] = {1, 1, 2};
+  EXPECT_DEATH(RleEncode(values, 3, /*block_size=*/0),
+               "block_size must be > 0");
+}
+
 TEST(EmptyInputTest, AllFormatsHandleEmpty) {
   std::vector<uint32_t> empty;
   EXPECT_TRUE(GpuForDecodeHost(GpuForEncode(empty.data(), 0)).empty());

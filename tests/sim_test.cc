@@ -2,6 +2,7 @@
 // occupancy/perf model, and its calibration against the paper's V100.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <vector>
 
@@ -194,6 +195,127 @@ TEST(DeviceTest, ConcurrentLaunchIsDeterministic) {
   const auto b = run_once();
   EXPECT_EQ(a.first, b.first);
   EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+// --- Stream / event timeline ---
+
+namespace {
+
+// A fixed small kernel whose modeled time we measure once and then use to
+// predict multi-stream makespans exactly.
+LaunchConfig StreamKernelConfig() {
+  LaunchConfig lc;
+  lc.grid_dim = 8;
+  lc.block_threads = 128;
+  return lc;
+}
+
+void StreamKernelBody(BlockContext& ctx) { ctx.CoalescedRead(1 << 16, true); }
+
+double MeasureStreamKernelMs() {
+  Device dev;
+  return dev.Launch(StreamKernelConfig(), StreamKernelBody).time_ms;
+}
+
+// 12.8 MB over a 12.8 GB/s PCIe link = exactly 1 ms.
+constexpr uint64_t kOneMsBytes = 12'800'000;
+
+}  // namespace
+
+TEST(StreamTest, TwoStreamsOverlapTransferAndCompute) {
+  const double k = MeasureStreamKernelMs();
+  ASSERT_GT(k, 0.0);
+
+  Device dev;
+  const StreamId s1 = dev.CreateStream();
+  const StreamId s2 = dev.CreateStream();
+
+  // Double-buffered pattern: each stream transfers its chunk then
+  // decompresses it. The copy engine serializes T1/T2, the compute engine
+  // serializes K1/K2, but T2 runs during K1.
+  dev.TransferAsync(s1, kOneMsBytes);                       // T1: [0, 1]
+  dev.Launch(s1, "k1", StreamKernelConfig(), StreamKernelBody);
+  dev.TransferAsync(s2, kOneMsBytes);                       // T2: [1, 2]
+  dev.Launch(s2, "k2", StreamKernelConfig(), StreamKernelBody);
+
+  const auto& log = dev.launch_log();
+  ASSERT_EQ(log.size(), 2u);
+  // K1 starts when T1 completes (stream order), at 1 ms.
+  EXPECT_DOUBLE_EQ(log[0].start_ms, 1.0);
+  EXPECT_EQ(log[0].stream_id, s1);
+  // K2 waits for both T2 (its stream, done at 2) and K1 (compute engine,
+  // done at 1 + k).
+  EXPECT_DOUBLE_EQ(log[1].start_ms, std::max(2.0, 1.0 + k));
+  EXPECT_EQ(log[1].stream_id, s2);
+  EXPECT_DOUBLE_EQ(dev.elapsed_ms(), std::max(2.0, 1.0 + k) + k);
+  EXPECT_DOUBLE_EQ(dev.DeviceSynchronize(), dev.elapsed_ms());
+}
+
+TEST(StreamTest, SingleStreamMatchesSerialSum) {
+  const double k = MeasureStreamKernelMs();
+  Device dev;
+  const StreamId s = dev.CreateStream();
+  for (int i = 0; i < 3; ++i) {
+    dev.TransferAsync(s, kOneMsBytes);
+    dev.Launch(s, "k", StreamKernelConfig(), StreamKernelBody);
+  }
+  // One stream serializes everything: no overlap is possible.
+  EXPECT_DOUBLE_EQ(dev.elapsed_ms(), 3.0 * (1.0 + k));
+}
+
+TEST(StreamTest, DefaultStreamSynchronizesWithAsyncStreams) {
+  const double k = MeasureStreamKernelMs();
+  Device dev;
+  const StreamId s = dev.CreateStream();
+  dev.TransferAsync(s, kOneMsBytes);
+  // A default-stream launch starts only after all in-flight async work.
+  auto r = dev.Launch("sync", StreamKernelConfig(), StreamKernelBody);
+  EXPECT_DOUBLE_EQ(r.start_ms, 1.0);
+  EXPECT_EQ(r.stream_id, kDefaultStream);
+  // ...and everything issued later resumes after it.
+  EXPECT_DOUBLE_EQ(dev.stream_tail_ms(s), 1.0 + k);
+  EXPECT_DOUBLE_EQ(dev.TransferAsync(s, kOneMsBytes), 1.0);
+  EXPECT_DOUBLE_EQ(dev.stream_tail_ms(s), 2.0 + k);
+}
+
+TEST(StreamTest, EventEdgeOrdersAcrossStreams) {
+  Device dev;
+  const StreamId s1 = dev.CreateStream();
+  const StreamId s2 = dev.CreateStream();
+  dev.TransferAsync(s1, kOneMsBytes);
+  const Event done = dev.RecordEvent(s1);
+  EXPECT_DOUBLE_EQ(done.timestamp_ms, 1.0);
+  // s2 has issued nothing, but after the wait its next kernel starts at the
+  // event timestamp (the compute engine is otherwise free).
+  dev.StreamWaitEvent(s2, done);
+  auto r = dev.Launch(s2, "after", StreamKernelConfig(), StreamKernelBody);
+  EXPECT_DOUBLE_EQ(r.start_ms, 1.0);
+}
+
+TEST(StreamTest, StreamGuardRoutesImplicitLaunches) {
+  Device dev;
+  const StreamId s = dev.CreateStream();
+  {
+    StreamGuard guard(dev, s);
+    auto r = dev.Launch(StreamKernelConfig(), StreamKernelBody);
+    EXPECT_EQ(r.stream_id, s);
+    dev.Transfer(kOneMsBytes);  // routed to s: starts after the kernel
+    EXPECT_DOUBLE_EQ(dev.stream_tail_ms(s), dev.elapsed_ms());
+  }
+  auto r = dev.Launch(StreamKernelConfig(), StreamKernelBody);
+  EXPECT_EQ(r.stream_id, kDefaultStream);
+}
+
+TEST(StreamTest, ResetTimelineKeepsStreamHandles) {
+  Device dev;
+  const StreamId s = dev.CreateStream();
+  dev.TransferAsync(s, kOneMsBytes);
+  dev.ResetTimeline();
+  EXPECT_EQ(dev.num_streams(), 2);
+  EXPECT_DOUBLE_EQ(dev.stream_tail_ms(s), 0.0);
+  EXPECT_DOUBLE_EQ(dev.elapsed_ms(), 0.0);
+  dev.TransferAsync(s, kOneMsBytes);  // handle still valid
+  EXPECT_DOUBLE_EQ(dev.stream_tail_ms(s), 1.0);
 }
 
 }  // namespace

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "codec/column.h"
+#include "codec/pipeline.h"
 #include "common/random.h"
 #include "kernels/dispatch.h"
 #include "sim/device.h"
@@ -310,12 +312,105 @@ TEST(ExportTest, ChromeTraceIsValidJson) {
   ASSERT_TRUE(ParseJson(telemetry::ToChromeTrace(tracer), &root, &error))
       << error;
   const auto& events = root.Get("traceEvents").AsArray();
-  ASSERT_EQ(events.size(), 2u);
+  size_t duration_events = 0, metadata_events = 0;
   for (const JsonValue& event : events) {
-    EXPECT_EQ(event.Get("ph").AsString(), "X");
+    const std::string ph = event.Get("ph").AsString();
+    if (ph == "M") {
+      ++metadata_events;
+      continue;
+    }
+    ++duration_events;
+    EXPECT_EQ(ph, "X");
     EXPECT_TRUE(event.Has("ts"));
     EXPECT_TRUE(event.Has("dur"));
   }
+  EXPECT_EQ(duration_events, 2u);
+  // Process name plus lane names for the scope row and the default stream.
+  EXPECT_GE(metadata_events, 3u);
+}
+
+TEST(ExportTest, StreamFieldRoundTrip) {
+  sim::Device dev;
+  Tracer tracer;
+  dev.AttachTracer(&tracer);
+  const sim::StreamId s1 = dev.CreateStream();
+  const sim::StreamId s2 = dev.CreateStream();
+  dev.TransferAsync(s1, 1 << 20);
+  dev.Launch(s2, "k", SmallLaunch(4),
+             [](sim::BlockContext& ctx) { ctx.CoalescedRead(4096, true); });
+
+  const std::string json = telemetry::ToJson(tracer);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
+  EXPECT_EQ(root.Get("schema").AsString(), telemetry::kTraceSchema);
+
+  std::vector<Span> loaded;
+  ASSERT_TRUE(telemetry::TraceFromJson(json, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), tracer.spans().size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    const Span& expected = tracer.spans()[i];
+    EXPECT_EQ(loaded[i].kind, expected.kind);
+    EXPECT_EQ(loaded[i].name, expected.name);
+    EXPECT_EQ(loaded[i].stream_id, expected.stream_id);
+    EXPECT_DOUBLE_EQ(loaded[i].start_ms, expected.start_ms);
+    EXPECT_DOUBLE_EQ(loaded[i].duration_ms, expected.duration_ms);
+  }
+  EXPECT_EQ(loaded[0].stream_id, s1);
+  EXPECT_EQ(loaded[1].stream_id, s2);
+  EXPECT_EQ(loaded[1].kernel.stream_id, s2);
+}
+
+TEST(ExportTest, LoadsV1TraceWithDefaultStream) {
+  // A v1 document (no "stream" fields): loads fine, stream defaults to 0.
+  const std::string v1 =
+      "{\"schema\":\"tilecomp.trace.v1\",\"spans\":["
+      "{\"kind\":\"transfer\",\"name\":\"transfer\",\"path\":\"\","
+      "\"depth\":0,\"bytes\":4096,\"start_ms\":0,\"duration_ms\":0.5}]}";
+  std::vector<Span> spans;
+  std::string error;
+  ASSERT_TRUE(telemetry::TraceFromJson(v1, &spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kTransfer);
+  EXPECT_EQ(spans[0].stream_id, 0);
+  EXPECT_EQ(spans[0].transfer_bytes, 4096u);
+}
+
+TEST(ExportTest, RejectsUnknownTraceSchema) {
+  std::vector<Span> spans;
+  std::string error;
+  EXPECT_FALSE(telemetry::TraceFromJson(
+      "{\"schema\":\"tilecomp.trace.v99\",\"spans\":[]}", &spans, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+  EXPECT_FALSE(telemetry::IsKnownTraceSchema("tilecomp.trace.v99"));
+  EXPECT_TRUE(telemetry::IsKnownTraceSchema(telemetry::kTraceSchema));
+  EXPECT_TRUE(telemetry::IsKnownTraceSchema(telemetry::kTraceSchemaV1));
+}
+
+TEST(ExportTest, ChromeTraceHasPerStreamLanes) {
+  sim::Device dev;
+  Tracer tracer;
+  dev.AttachTracer(&tracer);
+  auto values = TestColumn(16384);
+  auto col = codec::ChunkEncode(Scheme::kGpuFor, values, 4);
+  codec::DecompressPipelined(dev, col);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(telemetry::ToChromeTrace(tracer), &root, &error))
+      << error;
+  std::set<int64_t> work_tids;
+  size_t lane_names = 0;
+  for (const JsonValue& event : root.Get("traceEvents").AsArray()) {
+    if (event.Get("ph").AsString() == "M") {
+      if (event.Get("name").AsString() == "thread_name") ++lane_names;
+      continue;
+    }
+    work_tids.insert(event.Get("tid").AsInt64());
+  }
+  // Two async streams -> at least two distinct work lanes, each named.
+  EXPECT_GE(work_tids.size(), 2u);
+  EXPECT_GE(lane_names, 3u);  // scopes + stream 0 + the async streams
 }
 
 TEST(JsonTest, ParserRejectsMalformed) {
