@@ -1,0 +1,175 @@
+// Static vs persistent (work-stealing) tile scheduling across workloads
+// with different per-tile cost variance:
+//   uniform-bitpack — GPU-FOR over uniform 16-bit data: every tile costs the
+//       same, so static scheduling is already balanced and persistent
+//       scheduling can only add atomic-counter overhead.
+//   skewed-rle      — GPU-RFOR over block-skewed runs (every 8th 512-value
+//       block is incompressible, the rest are one run): static waves stall
+//       on the expensive tiles while persistent blocks steal past them.
+//   cascaded-rle    — the same data through the 8-pass RLE+FOR+BitPack
+//       cascade, showing the knob threads through multi-kernel pipelines.
+//
+// Prints per-workload modeled time (projected to the paper's 500M values),
+// the wave-imbalance tail, the imbalance factor and the atomic-op count;
+// --json <path> additionally emits machine-readable BENCH_scheduler.json
+// for cross-PR tracking.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "kernels/dispatch.h"
+#include "telemetry/export.h"
+
+namespace tilecomp {
+namespace {
+
+constexpr size_t kPaperN = 500'000'000;
+
+struct Row {
+  std::string workload;
+  std::string scheme;
+  std::string pipeline;
+  sim::Scheduling scheduling = sim::Scheduling::kStatic;
+  double time_ms = 0.0;       // projected to kPaperN
+  double tail_ms = 0.0;       // projected, summed over launches
+  double atomic_ms = 0.0;     // projected, summed over launches
+  double imbalance = 1.0;     // worst launch of the run
+  uint64_t atomic_ops = 0;
+  int64_t slots = 0;          // of the worst-imbalance launch
+  int64_t waves = 0;
+};
+
+Row Measure(const std::string& workload, const std::string& scheme,
+            kernels::Pipeline pipeline, const codec::CompressedColumn& col,
+            sim::Scheduling scheduling, size_t n,
+            const std::vector<uint32_t>& expect) {
+  sim::Device dev;
+  kernels::DecompressRun run =
+      kernels::Decompress(dev, col, pipeline, scheduling);
+  TILECOMP_CHECK_MSG(run.output == expect,
+                     "decoded output mismatch — scheduler bug");
+  Row row;
+  row.workload = workload;
+  row.scheme = scheme;
+  row.pipeline =
+      pipeline == kernels::Pipeline::kFused ? "fused" : "cascaded";
+  row.scheduling = scheduling;
+  row.time_ms = bench::Project(run.time_ms, n, kPaperN);
+  for (const sim::KernelResult& launch : run.launches) {
+    row.tail_ms += bench::Project(launch.breakdown.wave.tail_ms, n, kPaperN);
+    row.atomic_ms += bench::Project(launch.breakdown.atomic_ms, n, kPaperN);
+    if (launch.breakdown.wave.imbalance >= row.imbalance) {
+      row.imbalance = launch.breakdown.wave.imbalance;
+      row.slots = launch.breakdown.wave.slots;
+      row.waves = launch.breakdown.wave.waves;
+    }
+  }
+  row.atomic_ops = run.stats.atomic_ops;
+  return row;
+}
+
+void AppendJsonRow(std::string* out, const Row& r, bool first) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s\n  {\"workload\":\"%s\",\"scheme\":\"%s\",\"pipeline\":\"%s\","
+      "\"scheduling\":\"%s\",\"time_ms\":%.6f,\"tail_ms\":%.6f,"
+      "\"atomic_ms\":%.6f,\"imbalance\":%.4f,\"atomic_ops\":%" PRIu64
+      ",\"slots\":%" PRId64 ",\"waves\":%" PRId64 "}",
+      first ? "" : ",", r.workload.c_str(), r.scheme.c_str(),
+      r.pipeline.c_str(), sim::SchedulingName(r.scheduling), r.time_ms,
+      r.tail_ms, r.atomic_ms, r.imbalance, r.atomic_ops, r.slots, r.waves);
+  out->append(buf);
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 8 << 20));
+  const uint32_t period = static_cast<uint32_t>(flags.GetInt("period", 8));
+
+  const std::vector<uint32_t> uniform = GenUniformBits(n, 16, /*seed=*/1);
+  const std::vector<uint32_t> skewed =
+      GenSkewedRuns(n, /*block_size=*/512, period, /*value_bits=*/16,
+                    /*seed=*/2);
+  const auto col_uniform =
+      codec::CompressedColumn::Encode(codec::Scheme::kGpuFor, uniform);
+  const auto col_skewed =
+      codec::CompressedColumn::Encode(codec::Scheme::kGpuRFor, skewed);
+
+  struct Case {
+    const char* workload;
+    const char* scheme;
+    kernels::Pipeline pipeline;
+    const codec::CompressedColumn* col;
+    const std::vector<uint32_t>* expect;
+  };
+  const Case cases[] = {
+      {"uniform-bitpack", "GPU-FOR", kernels::Pipeline::kFused, &col_uniform,
+       &uniform},
+      {"skewed-rle", "GPU-RFOR", kernels::Pipeline::kFused, &col_skewed,
+       &skewed},
+      {"cascaded-rle", "RLE+FOR+BP", kernels::Pipeline::kCascaded,
+       &col_skewed, &skewed},
+  };
+
+  bench::PrintTitle(
+      "Scheduler: static vs persistent tile scheduling (proj. ms at 500M)");
+  bench::PrintNote(
+      "static = one block per tile; persistent = machine-filling grid "
+      "popping tiles off a device atomic counter");
+  std::printf("%-16s %-11s %-10s %9s %9s %9s %6s %10s\n", "workload",
+              "scheme", "scheduling", "time_ms", "tail_ms", "atomic_ms",
+              "imbal", "atomic_ops");
+
+  std::vector<Row> rows;
+  for (const Case& c : cases) {
+    for (sim::Scheduling scheduling :
+         {sim::Scheduling::kStatic, sim::Scheduling::kPersistent}) {
+      Row row = Measure(c.workload, c.scheme, c.pipeline, *c.col, scheduling,
+                        n, *c.expect);
+      std::printf("%-16s %-11s %-10s %9.3f %9.3f %9.3f %6.2f %10" PRIu64
+                  "\n",
+                  row.workload.c_str(), row.scheme.c_str(),
+                  sim::SchedulingName(row.scheduling), row.time_ms,
+                  row.tail_ms, row.atomic_ms, row.imbalance, row.atomic_ops);
+      rows.push_back(row);
+    }
+    const Row& st = rows[rows.size() - 2];
+    const Row& pe = rows[rows.size() - 1];
+    std::printf("%-16s -> persistent/static = %.3fx\n", "", // crossover
+                st.time_ms / pe.time_ms);
+  }
+  bench::PrintNote(
+      "crossover: persistent wins on skewed tiles (steals past stragglers), "
+      "ties on uniform tiles minus the atomic-counter overhead");
+
+  if (flags.Has("json")) {
+    std::string out;
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "{\"schema\":\"tilecomp.bench_scheduler.v1\",\"n\":%zu,"
+                  "\"n_paper\":%zu,\"results\":[",
+                  n, kPaperN);
+    out.append(head);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      AppendJsonRow(&out, rows[i], i == 0);
+    }
+    out.append("\n]}\n");
+    const std::string path =
+        flags.GetString("json", "BENCH_scheduler.json");
+    if (!telemetry::WriteTextFile(path, out)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

@@ -54,7 +54,7 @@ PipelineResult DecompressPipelined(sim::Device& dev, const ChunkedColumn& col,
 
     sim::StreamGuard guard(dev, stream);
     kernels::DecompressRun run =
-        kernels::Decompress(dev, chunk.column, opts.pipeline);
+        kernels::Decompress(dev, chunk.column, opts.pipeline, opts.scheduling);
     TILECOMP_CHECK(chunk.row_begin + run.output.size() <=
                    result.output.size());
     std::copy(run.output.begin(), run.output.end(),

@@ -54,6 +54,9 @@ struct PipelineOptions {
   int num_streams = 2;
   // Fused tile-based decompression or the layer-at-a-time cascade.
   kernels::Pipeline pipeline = kernels::Pipeline::kFused;
+  // Tile-to-block mapping for each chunk's kernels: static (one block per
+  // tile) or persistent (work-stealing grid; see kernels/decompress.h).
+  sim::Scheduling scheduling = sim::Scheduling::kStatic;
 };
 
 struct PipelineResult {

@@ -120,6 +120,39 @@ std::vector<uint32_t> GenRuns(size_t n, uint32_t avg_run_length,
   return out;
 }
 
+std::vector<uint32_t> GenSkewedRuns(size_t n, uint32_t block_size,
+                                    uint32_t period, uint32_t value_bits,
+                                    uint64_t seed) {
+  TILECOMP_CHECK(block_size >= 1);
+  TILECOMP_CHECK(period >= 1);
+  TILECOMP_CHECK(value_bits >= 1 && value_bits <= 32);
+  Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  const uint64_t vbound = value_bits >= 32 ? (1ull << 32) : (1ull << value_bits);
+  for (size_t begin = 0; begin < n; begin += block_size) {
+    const size_t end = std::min(begin + block_size, n);
+    const size_t block = begin / block_size;
+    if (block % period == 0) {
+      // Incompressible block: adjacent values always differ, so RLE sees
+      // one run per value.
+      uint32_t prev = static_cast<uint32_t>(rng.NextBounded(vbound));
+      out[begin] = prev;
+      for (size_t i = begin + 1; i < end; ++i) {
+        uint32_t v = static_cast<uint32_t>(rng.NextBounded(vbound));
+        if (v == prev) {
+          ++v;
+          if (static_cast<uint64_t>(v) >= vbound) v = 0;
+        }
+        out[i] = prev = v;
+      }
+    } else {
+      const uint32_t v = static_cast<uint32_t>(rng.NextBounded(vbound));
+      for (size_t i = begin; i < end; ++i) out[i] = v;
+    }
+  }
+  return out;
+}
+
 std::vector<uint32_t> GenSortedGaps(size_t n, uint32_t max_gap, uint64_t seed) {
   TILECOMP_CHECK(max_gap >= 1);
   Rng rng(seed);

@@ -66,6 +66,16 @@ std::vector<uint32_t> GenZipf(size_t n, uint64_t universe, double alpha,
 std::vector<uint32_t> GenRuns(size_t n, uint32_t avg_run_length,
                               uint32_t value_bits, uint64_t seed);
 
+// Block-skewed run structure: the array is a sequence of `block_size`-value
+// blocks; every `period`-th block is incompressible (all-distinct values,
+// block_size runs of length 1 under RLE) while the rest are a single
+// constant run. Per-tile decode cost therefore varies ~10-100x across
+// blocks — the workload where static tile-per-block scheduling stalls each
+// wave on its slowest tile and a persistent (work-stealing) grid wins.
+std::vector<uint32_t> GenSkewedRuns(size_t n, uint32_t block_size,
+                                    uint32_t period, uint32_t value_bits,
+                                    uint64_t seed);
+
 // Strictly increasing array (sorted, all values unique): 0..n-1 with random
 // positive gaps bounded by `max_gap`.
 std::vector<uint32_t> GenSortedGaps(size_t n, uint32_t max_gap, uint64_t seed);

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace tilecomp {
 
@@ -35,6 +36,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t count,
@@ -69,10 +75,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
-    {
+    // RAII decrement: in_flight_ must reach zero even when the task throws,
+    // or Wait() deadlocks on a count that can never drain.
+    struct InFlightGuard {
+      ThreadPool* pool;
+      ~InFlightGuard() {
+        std::lock_guard<std::mutex> lock(pool->mu_);
+        if (--pool->in_flight_ == 0) pool->done_cv_.notify_all();
+      }
+    } guard{this};
+    try {
+      task();
+    } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) done_cv_.notify_all();
+      if (!first_error_) first_error_ = std::current_exception();
     }
   }
 }

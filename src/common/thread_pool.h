@@ -7,6 +7,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,14 +28,18 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  // Enqueue a task; tasks must not throw.
+  // Enqueue a task. If the task throws, the first exception is captured and
+  // rethrown from the next Wait(); the remaining tasks still run.
   void Submit(std::function<void()> task);
 
-  // Block until all submitted tasks have completed.
+  // Block until all submitted tasks have completed. Rethrows the first
+  // exception any task threw since the previous Wait(), leaving the pool
+  // usable.
   void Wait();
 
   // Run body(i) for i in [0, count) across the pool, chunked; blocks until
-  // done. body must be safe to call concurrently for distinct i.
+  // done. body must be safe to call concurrently for distinct i. Rethrows
+  // the first exception thrown by any invocation (after all chunks finish).
   void ParallelFor(size_t count, const std::function<void(size_t)>& body);
 
   // Chunked variant: body(begin, end) on contiguous ranges.
@@ -54,6 +59,8 @@ class ThreadPool {
   std::condition_variable done_cv_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  // First exception thrown by a task since the last Wait(); guarded by mu_.
+  std::exception_ptr first_error_;
 };
 
 }  // namespace tilecomp

@@ -2,11 +2,53 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/bit_util.h"
 #include "kernels/block_scan.h"
+#include "sim/global_counter.h"
+#include "sim/perf_model.h"
 
 namespace tilecomp::kernels {
+
+namespace {
+
+// Launches `tile_body(ctx, tile)` over `tiles` work items.
+//   kStatic     — one block per tile (grid == tiles), the paper's mapping.
+//   kPersistent — grid sized to fill the machine once
+//                 (sim::PersistentGridDim); each block loops
+//                 `tile = counter.fetch_add(1)` until the counter runs past
+//                 the tile count, sampling per-tile cost for the wave model.
+// The persistent launch gets a ".persistent" label suffix so traces
+// distinguish the two. Functional output is identical: every tile is
+// processed exactly once whichever block pops it.
+template <typename TileBody>
+void LaunchTiled(sim::Device& dev, std::string label, sim::LaunchConfig lc,
+                 int64_t tiles, sim::Scheduling scheduling,
+                 const TileBody& tile_body) {
+  if (scheduling == sim::Scheduling::kStatic) {
+    lc.grid_dim = tiles;
+    dev.Launch(std::move(label), lc, [&](sim::BlockContext& ctx) {
+      tile_body(ctx, ctx.block_id());
+    });
+    return;
+  }
+  lc.scheduling = sim::Scheduling::kPersistent;
+  lc.grid_dim = sim::PersistentGridDim(dev.spec(), lc, tiles);
+  sim::GlobalCounter next_tile;
+  dev.Launch(std::move(label) + ".persistent", lc,
+             [&](sim::BlockContext& ctx) {
+               ctx.DeclareWorkItemSampling();
+               for (;;) {
+                 const uint64_t tile = ctx.AtomicAdd(next_tile);
+                 if (tile >= static_cast<uint64_t>(tiles)) break;
+                 tile_body(ctx, static_cast<int64_t>(tile));
+                 ctx.EndWorkItem();
+               }
+             });
+}
+
+}  // namespace
 
 RunScope::RunScope(sim::Device& dev)
     : dev_(dev),
@@ -25,70 +67,74 @@ void RunScope::Finish(DecompressRun* run) const {
 
 void StreamingPass(sim::Device& dev, uint64_t n_values, uint64_t read_bytes,
                    uint64_t write_bytes, uint64_t ops_per_value,
-                   std::string label) {
+                   std::string label, sim::Scheduling scheduling) {
   sim::LaunchConfig lc;
   lc.block_threads = 256;
-  lc.grid_dim = std::max<int64_t>(
-      1, static_cast<int64_t>(CeilDiv<uint64_t>(n_values, 256 * 4)));
   lc.regs_per_thread = 24;
   lc.smem_bytes_per_block = 0;
-  const int64_t grid = lc.grid_dim;
-  dev.Launch(std::move(label), lc, [&](sim::BlockContext& ctx) {
-    ctx.CoalescedRead(read_bytes / grid, true);
-    ctx.CoalescedWrite(write_bytes / grid, true);
-    ctx.Compute(ops_per_value * n_values / grid);
-  });
+  const uint64_t items = std::max<uint64_t>(1, CeilDiv<uint64_t>(n_values, 256 * 4));
+  LaunchTiled(dev, std::move(label), lc, static_cast<int64_t>(items),
+              scheduling, [&](sim::BlockContext& ctx, int64_t) {
+                ctx.CoalescedRead(read_bytes / items, true);
+                ctx.CoalescedWrite(write_bytes / items, true);
+                ctx.Compute(ops_per_value * n_values / items);
+              });
 }
 
 namespace {
 // Backwards-compatible alias used by the cascade implementations below.
 inline void StreamingKernel(sim::Device& dev, uint64_t n, uint64_t r,
                             uint64_t w, uint64_t ops,
-                            std::string label = "stream") {
-  StreamingPass(dev, n, r, w, ops, std::move(label));
+                            std::string label = "stream",
+                            sim::Scheduling scheduling =
+                                sim::Scheduling::kStatic) {
+  StreamingPass(dev, n, r, w, ops, std::move(label), scheduling);
 }
 
 // A device-wide scan pass: streams `n` values through block-wide Blelloch
 // scans in shared memory (read + write global, plus the scan's shared
 // traffic and barriers per block).
-void ScanPass(sim::Device& dev, uint64_t n, std::string label = "scan") {
+void ScanPass(sim::Device& dev, uint64_t n, std::string label = "scan",
+              sim::Scheduling scheduling = sim::Scheduling::kStatic) {
   sim::LaunchConfig lc;
   lc.block_threads = 128;
-  lc.grid_dim = std::max<int64_t>(
-      1, static_cast<int64_t>(CeilDiv<uint64_t>(n, 512)));
   lc.regs_per_thread = 28;
   lc.smem_bytes_per_block = 512 * 4;
-  const int64_t grid = lc.grid_dim;
-  dev.Launch(std::move(label), lc, [&](sim::BlockContext& ctx) {
-    ctx.CoalescedRead(n * 4 / grid, true);
-    ctx.Shared(n * 24 / grid);
-    ctx.Compute(n * 4 / grid);
-    for (int i = 0; i < 20; ++i) ctx.Barrier();  // 2*log2(512) + carry-in
-    ctx.CoalescedWrite(n * 4 / grid, true);
-  });
+  const uint64_t items = std::max<uint64_t>(1, CeilDiv<uint64_t>(n, 512));
+  LaunchTiled(dev, std::move(label), lc, static_cast<int64_t>(items),
+              scheduling, [&](sim::BlockContext& ctx, int64_t) {
+                ctx.CoalescedRead(n * 4 / items, true);
+                ctx.Shared(n * 24 / items);
+                ctx.Compute(n * 4 / items);
+                for (int i = 0; i < 20; ++i) {
+                  ctx.Barrier();  // 2*log2(512) + carry-in
+                }
+                ctx.CoalescedWrite(n * 4 / items, true);
+              });
 }
 
 // A scatter pass: `count` random single-word writes into an `out_n`-sized
 // array (run-start scatter of the RLE expansion) — inherently uncoalesced.
 void ScatterPass(sim::Device& dev, uint64_t count, uint64_t read_bytes,
-                 std::string label = "scatter") {
+                 std::string label = "scatter",
+                 sim::Scheduling scheduling = sim::Scheduling::kStatic) {
   sim::LaunchConfig lc;
   lc.block_threads = 256;
-  lc.grid_dim = std::max<int64_t>(
-      1, static_cast<int64_t>(CeilDiv<uint64_t>(count, 1024)));
   lc.regs_per_thread = 24;
-  const int64_t grid = lc.grid_dim;
-  dev.Launch(std::move(label), lc, [&](sim::BlockContext& ctx) {
-    ctx.CoalescedRead(read_bytes / grid, true);
-    ctx.ScatteredWrite(count / grid, 4);
-    ctx.Compute(2 * count / grid);
-  });
+  const uint64_t items = std::max<uint64_t>(1, CeilDiv<uint64_t>(count, 1024));
+  LaunchTiled(dev, std::move(label), lc, static_cast<int64_t>(items),
+              scheduling, [&](sim::BlockContext& ctx, int64_t) {
+                ctx.CoalescedRead(read_bytes / items, true);
+                ctx.ScatteredWrite(count / items, 4);
+                ctx.Compute(2 * count / items);
+              });
 }
 }  // namespace
 
 DecompressRun DecompressGpuFor(sim::Device& dev,
                                const format::GpuForEncoded& enc,
-                               const UnpackConfig& cfg, bool write_output) {
+                               const UnpackConfig& cfg, bool write_output,
+                               sim::Scheduling scheduling) {
   DecompressRun run;
   RunScope scope(dev);
   const format::GpuForHeader& h = enc.header;
@@ -96,12 +142,17 @@ DecompressRun DecompressGpuFor(sim::Device& dev,
   run.output.resize(static_cast<size_t>(h.num_blocks()) * h.block_size);
 
   sim::LaunchConfig lc = GpuForLaunchConfig(enc, cfg);
-  dev.Launch("gpufor.fused", lc, [&](sim::BlockContext& ctx) {
-    uint32_t* out_tile =
-        run.output.data() + static_cast<size_t>(ctx.block_id()) * tile_values;
-    const uint32_t n = LoadBitPack(ctx, enc, ctx.block_id(), cfg, out_tile);
-    if (write_output) ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, true);
-  });
+  LaunchTiled(dev, "gpufor.fused", lc, lc.grid_dim, scheduling,
+              [&](sim::BlockContext& ctx, int64_t tile) {
+                uint32_t* out_tile =
+                    run.output.data() +
+                    static_cast<size_t>(tile) * tile_values;
+                const uint32_t n =
+                    LoadBitPack(ctx, enc, tile, cfg, out_tile);
+                if (write_output) {
+                  ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, true);
+                }
+              });
 
   run.output.resize(h.total_count);
   scope.Finish(&run);
@@ -109,7 +160,8 @@ DecompressRun DecompressGpuFor(sim::Device& dev,
 }
 
 DecompressRun DecompressGpuDFor(sim::Device& dev,
-                                const format::GpuDForEncoded& enc) {
+                                const format::GpuDForEncoded& enc,
+                                sim::Scheduling scheduling) {
   DecompressRun run;
   RunScope scope(dev);
   const format::GpuDForHeader& h = enc.header;
@@ -117,12 +169,13 @@ DecompressRun DecompressGpuDFor(sim::Device& dev,
   run.output.resize(static_cast<size_t>(h.num_tiles()) * vpt);
 
   sim::LaunchConfig lc = GpuDForLaunchConfig(enc);
-  dev.Launch("gpudfor.fused", lc, [&](sim::BlockContext& ctx) {
-    uint32_t* out_tile =
-        run.output.data() + static_cast<size_t>(ctx.block_id()) * vpt;
-    const uint32_t n = LoadDBitPack(ctx, enc, ctx.block_id(), out_tile);
-    ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, true);
-  });
+  LaunchTiled(dev, "gpudfor.fused", lc, lc.grid_dim, scheduling,
+              [&](sim::BlockContext& ctx, int64_t tile) {
+                uint32_t* out_tile =
+                    run.output.data() + static_cast<size_t>(tile) * vpt;
+                const uint32_t n = LoadDBitPack(ctx, enc, tile, out_tile);
+                ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, true);
+              });
 
   run.output.resize(h.total_count);
   scope.Finish(&run);
@@ -130,19 +183,22 @@ DecompressRun DecompressGpuDFor(sim::Device& dev,
 }
 
 DecompressRun DecompressGpuRFor(sim::Device& dev,
-                                const format::GpuRForEncoded& enc) {
+                                const format::GpuRForEncoded& enc,
+                                sim::Scheduling scheduling) {
   DecompressRun run;
   RunScope scope(dev);
   const format::GpuRForHeader& h = enc.header;
   run.output.resize(static_cast<size_t>(h.num_blocks()) * h.block_size);
 
   sim::LaunchConfig lc = GpuRForLaunchConfig(enc);
-  dev.Launch("gpurfor.fused", lc, [&](sim::BlockContext& ctx) {
-    uint32_t* out_tile = run.output.data() +
-                         static_cast<size_t>(ctx.block_id()) * h.block_size;
-    const uint32_t n = LoadRBitPack(ctx, enc, ctx.block_id(), out_tile);
-    ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, true);
-  });
+  LaunchTiled(dev, "gpurfor.fused", lc, lc.grid_dim, scheduling,
+              [&](sim::BlockContext& ctx, int64_t tile) {
+                uint32_t* out_tile =
+                    run.output.data() +
+                    static_cast<size_t>(tile) * h.block_size;
+                const uint32_t n = LoadRBitPack(ctx, enc, tile, out_tile);
+                ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, true);
+              });
 
   // Compact: every block except possibly the last is full, so the layout is
   // already dense; just trim the padding of the final block.
@@ -152,7 +208,8 @@ DecompressRun DecompressGpuRFor(sim::Device& dev,
 }
 
 DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
-                                           const format::GpuForEncoded& enc) {
+                                           const format::GpuForEncoded& enc,
+                                           sim::Scheduling scheduling) {
   DecompressRun run;
   RunScope scope(dev);
   const format::GpuForHeader& h = enc.header;
@@ -164,24 +221,27 @@ DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
   UnpackConfig cfg;  // same staging quality as the fused kernel
   sim::LaunchConfig lc1 = GpuForLaunchConfig(enc, cfg);
   const uint32_t tile_values = h.block_size * cfg.effective_d();
-  dev.Launch("cascade.unpack", lc1, [&](sim::BlockContext& ctx) {
-    uint32_t* out_tile =
-        offsets.data() + static_cast<size_t>(ctx.block_id()) * tile_values;
-    const uint32_t got = LoadBitPack(ctx, enc, ctx.block_id(), cfg, out_tile);
-    // Strip the reference again: the cascade's first layer outputs raw
-    // offsets to global memory.
-    const int64_t first_block = ctx.block_id() * cfg.effective_d();
-    for (uint32_t i = 0; i < got; ++i) {
-      const size_t block = static_cast<size_t>(first_block) + i / h.block_size;
-      out_tile[i] -= enc.data[enc.block_starts[block]];
-    }
-    ctx.CoalescedWrite(static_cast<uint64_t>(got) * 4, true);
-  });
+  LaunchTiled(
+      dev, "cascade.unpack", lc1, lc1.grid_dim, scheduling,
+      [&](sim::BlockContext& ctx, int64_t tile) {
+        uint32_t* out_tile =
+            offsets.data() + static_cast<size_t>(tile) * tile_values;
+        const uint32_t got = LoadBitPack(ctx, enc, tile, cfg, out_tile);
+        // Strip the reference again: the cascade's first layer outputs raw
+        // offsets to global memory.
+        const int64_t first_block = tile * cfg.effective_d();
+        for (uint32_t i = 0; i < got; ++i) {
+          const size_t block =
+              static_cast<size_t>(first_block) + i / h.block_size;
+          out_tile[i] -= enc.data[enc.block_starts[block]];
+        }
+        ctx.CoalescedWrite(static_cast<uint64_t>(got) * 4, true);
+      });
 
   // Kernel 2: add per-block reference -> final output.
   run.output.assign(padded, 0);
   StreamingKernel(dev, n, /*read=*/n * 4 + h.num_blocks() * 4,
-                  /*write=*/n * 4, /*ops=*/2, "cascade.add_ref");
+                  /*write=*/n * 4, /*ops=*/2, "cascade.add_ref", scheduling);
   for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
     const size_t block = i / h.block_size;
     run.output[i] = offsets[i] + enc.data[enc.block_starts[block]];
@@ -193,7 +253,8 @@ DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
 }
 
 DecompressRun DecompressDeltaForBitPackCascaded(
-    sim::Device& dev, const format::GpuDForEncoded& enc) {
+    sim::Device& dev, const format::GpuDForEncoded& enc,
+    sim::Scheduling scheduling) {
   DecompressRun run;
   RunScope scope(dev);
   const format::GpuDForHeader& h = enc.header;
@@ -207,28 +268,30 @@ DecompressRun DecompressDeltaForBitPackCascaded(
   sim::LaunchConfig lc1 = GpuDForLaunchConfig(enc);
   // Pass 1: unpack (same traffic as the staging part of the fused kernel,
   // plus the global write of raw offsets).
-  dev.Launch("cascade.unpack", lc1, [&](sim::BlockContext& ctx) {
-    const uint32_t first_block =
-        static_cast<uint32_t>(ctx.block_id()) * h.blocks_per_tile;
-    const uint32_t last_block =
-        std::min(first_block + h.blocks_per_tile, h.num_blocks());
-    if (last_block <= first_block) return;
-    const uint64_t data_bytes =
-        static_cast<uint64_t>(enc.block_starts[last_block] -
-                              enc.block_starts[first_block]) *
-        4;
-    ctx.CoalescedRead((last_block - first_block + 1) * 4, false);
-    ctx.CoalescedRead(data_bytes, false);
-    ctx.Shared(data_bytes);
-    const uint64_t values =
-        static_cast<uint64_t>(last_block - first_block) * h.block_size;
-    ctx.Shared(values * 12);
-    ctx.Compute(values * 6);
-    ctx.CoalescedWrite(values * 4, true);
-  });
+  LaunchTiled(
+      dev, "cascade.unpack", lc1, lc1.grid_dim, scheduling,
+      [&](sim::BlockContext& ctx, int64_t tile) {
+        const uint32_t first_block =
+            static_cast<uint32_t>(tile) * h.blocks_per_tile;
+        const uint32_t last_block =
+            std::min(first_block + h.blocks_per_tile, h.num_blocks());
+        if (last_block <= first_block) return;
+        const uint64_t data_bytes =
+            static_cast<uint64_t>(enc.block_starts[last_block] -
+                                  enc.block_starts[first_block]) *
+            4;
+        ctx.CoalescedRead((last_block - first_block + 1) * 4, false);
+        ctx.CoalescedRead(data_bytes, false);
+        ctx.Shared(data_bytes);
+        const uint64_t values =
+            static_cast<uint64_t>(last_block - first_block) * h.block_size;
+        ctx.Shared(values * 12);
+        ctx.Compute(values * 6);
+        ctx.CoalescedWrite(values * 4, true);
+      });
   // Pass 2: add per-block reference.
   StreamingKernel(dev, n, n * 4 + h.num_blocks() * 4, n * 4, 2,
-                  "cascade.add_ref");
+                  "cascade.add_ref", scheduling);
 
   // Functional: unpack deltas via the tile decoder's block logic, without
   // the prefix sum (recompute deltas from the reference decoder's output).
@@ -236,7 +299,7 @@ DecompressRun DecompressDeltaForBitPackCascaded(
 
   // Kernel 3: prefix sum per tile (read deltas, block-wide scan in shared
   // memory, write final values).
-  ScanPass(dev, n, "cascade.prefix_sum");
+  ScanPass(dev, n, "cascade.prefix_sum", scheduling);
 
   run.output = std::move(decoded);
   scope.Finish(&run);
@@ -244,7 +307,8 @@ DecompressRun DecompressDeltaForBitPackCascaded(
 }
 
 DecompressRun DecompressRleForBitPackCascaded(
-    sim::Device& dev, const format::GpuRForEncoded& enc) {
+    sim::Device& dev, const format::GpuRForEncoded& enc,
+    sim::Scheduling scheduling) {
   DecompressRun run;
   RunScope scope(dev);
   const format::GpuRForHeader& h = enc.header;
@@ -260,36 +324,37 @@ DecompressRun DecompressRleForBitPackCascaded(
   // Kernels 1-4: FOR+BitPack decode of the values and run-length columns
   // (unpack + add-reference for each).
   StreamingKernel(dev, total_runs, comp_v, total_runs * 4, 6,
-                  "cascade.unpack_values");                               // K1
+                  "cascade.unpack_values", scheduling);                   // K1
   StreamingKernel(dev, total_runs, total_runs * 4, total_runs * 4, 2,
-                  "cascade.add_ref_values");                              // K2
+                  "cascade.add_ref_values", scheduling);                  // K2
   StreamingKernel(dev, total_runs, comp_l, total_runs * 4, 6,
-                  "cascade.unpack_lengths");                              // K3
+                  "cascade.unpack_lengths", scheduling);                  // K3
   StreamingKernel(dev, total_runs, total_runs * 4, total_runs * 4, 2,
-                  "cascade.add_ref_lengths");                             // K4
+                  "cascade.add_ref_lengths", scheduling);                 // K4
 
   // Kernels 5-8: the RLE expansion of Fang et al. [18] with global
   // intermediates: scan of run lengths, random scatter of run indices into
   // the marker array, inclusive max-scan, gather.
-  ScanPass(dev, total_runs, "rle.scan_lengths");              // K5
+  ScanPass(dev, total_runs, "rle.scan_lengths", scheduling);  // K5
   // K6: scatter into the zero-initialized marker array (grid covers the
   // full output; runs land scattered).
   {
     sim::LaunchConfig lc;
     lc.block_threads = 256;
-    lc.grid_dim = std::max<int64_t>(1, static_cast<int64_t>(n / 1024));
     lc.regs_per_thread = 24;
-    const int64_t grid = lc.grid_dim;
+    const uint64_t items = std::max<uint64_t>(1, n / 1024);
     const uint64_t runs_local = total_runs;
-    dev.Launch("rle.scatter", lc, [&, runs_local](sim::BlockContext& ctx) {
-      ctx.CoalescedRead(runs_local * 8 / grid, true);
-      ctx.CoalescedWrite(n * 4 / grid, true);  // marker init
-      ctx.ScatteredWrite(runs_local / grid, 4);
-    });
+    LaunchTiled(dev, "rle.scatter", lc, static_cast<int64_t>(items),
+                scheduling,
+                [&, runs_local](sim::BlockContext& ctx, int64_t) {
+                  ctx.CoalescedRead(runs_local * 8 / items, true);
+                  ctx.CoalescedWrite(n * 4 / items, true);  // marker init
+                  ctx.ScatteredWrite(runs_local / items, 4);
+                });
   }
-  ScanPass(dev, n, "rle.max_scan");                           // K7
+  ScanPass(dev, n, "rle.max_scan", scheduling);               // K7
   StreamingKernel(dev, n, n * 4 + total_runs * 4, n * 4, 2,
-                  "rle.gather");                              // K8
+                  "rle.gather", scheduling);                  // K8
 
   run.output = format::GpuRForDecodeHost(enc);
   scope.Finish(&run);

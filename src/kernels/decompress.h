@@ -58,30 +58,43 @@ class RunScope {
 
 // --- Tile-based (single-pass) decompression, Section 3 ---
 
+// All tile-based entry points (and the cascaded ones below) take a
+// `scheduling` knob: kStatic launches one block per tile, the paper's
+// mapping; kPersistent launches a machine-filling grid whose blocks pop
+// tiles from a device-global counter (work stealing) — same functional
+// output, but the perf model charges the per-pop atomic cost instead of the
+// per-wave tail of the slowest tile. Persistent launches append
+// ".persistent" to the kernel label.
+//
 // `write_output` = false models decode-to-registers (the Section 4.2 / 4.3
 // microbenchmark setting); true additionally streams the decoded values back
 // to global memory (the Figure 7a setting).
-DecompressRun DecompressGpuFor(sim::Device& dev,
-                               const format::GpuForEncoded& enc,
-                               const UnpackConfig& cfg = UnpackConfig(),
-                               bool write_output = true);
-DecompressRun DecompressGpuDFor(sim::Device& dev,
-                                const format::GpuDForEncoded& enc);
-DecompressRun DecompressGpuRFor(sim::Device& dev,
-                                const format::GpuRForEncoded& enc);
+DecompressRun DecompressGpuFor(
+    sim::Device& dev, const format::GpuForEncoded& enc,
+    const UnpackConfig& cfg = UnpackConfig(), bool write_output = true,
+    sim::Scheduling scheduling = sim::Scheduling::kStatic);
+DecompressRun DecompressGpuDFor(
+    sim::Device& dev, const format::GpuDForEncoded& enc,
+    sim::Scheduling scheduling = sim::Scheduling::kStatic);
+DecompressRun DecompressGpuRFor(
+    sim::Device& dev, const format::GpuRForEncoded& enc,
+    sim::Scheduling scheduling = sim::Scheduling::kStatic);
 
 // --- Cascaded (layer-at-a-time) decompression baselines, Figure 2 left ---
 
 // FOR+BitPack: 2 kernel passes (unpack, add-reference).
-DecompressRun DecompressForBitPackCascaded(sim::Device& dev,
-                                           const format::GpuForEncoded& enc);
+DecompressRun DecompressForBitPackCascaded(
+    sim::Device& dev, const format::GpuForEncoded& enc,
+    sim::Scheduling scheduling = sim::Scheduling::kStatic);
 // Delta+FOR+BitPack: 3 kernel passes (unpack, add-reference, prefix sum).
 DecompressRun DecompressDeltaForBitPackCascaded(
-    sim::Device& dev, const format::GpuDForEncoded& enc);
+    sim::Device& dev, const format::GpuDForEncoded& enc,
+    sim::Scheduling scheduling = sim::Scheduling::kStatic);
 // RLE+FOR+BitPack: 8 kernel passes (4 to decode FOR+BitPack for the values
 // and run-length columns, 4 for the RLE expansion of Fang et al. [18]).
 DecompressRun DecompressRleForBitPackCascaded(
-    sim::Device& dev, const format::GpuRForEncoded& enc);
+    sim::Device& dev, const format::GpuRForEncoded& enc,
+    sim::Scheduling scheduling = sim::Scheduling::kStatic);
 
 // --- Byte-aligned / other baselines ---
 
@@ -106,7 +119,8 @@ DecompressRun DecompressSimdBp128(sim::Device& dev,
 // `label` names the launch in the device's launch log / attached tracer.
 void StreamingPass(sim::Device& dev, uint64_t n_values, uint64_t read_bytes,
                    uint64_t write_bytes, uint64_t ops_per_value,
-                   std::string label = "stream");
+                   std::string label = "stream",
+                   sim::Scheduling scheduling = sim::Scheduling::kStatic);
 
 // --- "None" ---
 

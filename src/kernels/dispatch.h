@@ -20,24 +20,34 @@ namespace tilecomp::kernels {
 // ignore the request.
 enum class Pipeline { kFused, kCascaded };
 
-inline DecompressRun Decompress(sim::Device& dev,
-                                const codec::CompressedColumn& column,
-                                Pipeline pipeline = Pipeline::kFused) {
+// `scheduling` selects the tile-to-block mapping for the schemes whose
+// kernels support work stealing (the tile-based GPU-FOR/DFOR/RFOR fused
+// kernels and their cascaded counterparts); the byte-aligned and vertical
+// baselines ignore it, matching their published implementations.
+inline DecompressRun Decompress(
+    sim::Device& dev, const codec::CompressedColumn& column,
+    Pipeline pipeline = Pipeline::kFused,
+    sim::Scheduling scheduling = sim::Scheduling::kStatic) {
   using codec::Scheme;
   const bool cascaded = pipeline == Pipeline::kCascaded;
   switch (column.scheme()) {
     case Scheme::kNone:
       return CopyUncompressed(dev, *column.raw());
     case Scheme::kGpuFor:
-      return cascaded ? DecompressForBitPackCascaded(dev, *column.gpu_for())
-                      : DecompressGpuFor(dev, *column.gpu_for());
+      return cascaded ? DecompressForBitPackCascaded(dev, *column.gpu_for(),
+                                                     scheduling)
+                      : DecompressGpuFor(dev, *column.gpu_for(),
+                                         UnpackConfig(), /*write_output=*/true,
+                                         scheduling);
     case Scheme::kGpuDFor:
       return cascaded
-                 ? DecompressDeltaForBitPackCascaded(dev, *column.gpu_dfor())
-                 : DecompressGpuDFor(dev, *column.gpu_dfor());
+                 ? DecompressDeltaForBitPackCascaded(dev, *column.gpu_dfor(),
+                                                     scheduling)
+                 : DecompressGpuDFor(dev, *column.gpu_dfor(), scheduling);
     case Scheme::kGpuRFor:
-      return cascaded ? DecompressRleForBitPackCascaded(dev, *column.gpu_rfor())
-                      : DecompressGpuRFor(dev, *column.gpu_rfor());
+      return cascaded ? DecompressRleForBitPackCascaded(dev, *column.gpu_rfor(),
+                                                        scheduling)
+                      : DecompressGpuRFor(dev, *column.gpu_rfor(), scheduling);
     case Scheme::kNsf:
       return DecompressNsf(dev, *column.nsf());
     case Scheme::kNsv:

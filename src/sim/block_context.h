@@ -25,6 +25,7 @@
 #include "common/bit_util.h"
 #include "common/macros.h"
 #include "sim/device_spec.h"
+#include "sim/global_counter.h"
 #include "sim/stats.h"
 
 namespace tilecomp::sim {
@@ -39,6 +40,8 @@ class BlockContext {
   void Reset(int64_t block_id) {
     block_id_ = block_id;
     smem_used_ = 0;
+    item_cost_mark_ = BlockCostProxy(stats_);
+    sampled_work_items_ = false;
   }
 
   int64_t block_id() const { return block_id_; }
@@ -133,6 +136,42 @@ class BlockContext {
   void Compute(uint64_t ops) { stats_.compute_ops += ops; }
   void Barrier() { ++stats_.barriers; }
 
+  // --- Device-global atomics ---
+
+  // Accounted fetch-and-add on a device-global counter (CUDA atomicAdd
+  // semantics: returns the pre-add value). This is how a persistent kernel
+  // pops its next tile; the per-op serialization cost lands in
+  // stats().atomic_ops and is charged by the perf model.
+  uint64_t AtomicAdd(GlobalCounter& counter, uint64_t delta = 1) {
+    ++stats_.atomic_ops;
+    return counter.FetchAdd(delta);
+  }
+
+  // --- Work-item cost sampling ---
+
+  // Records the cost accumulated since the previous sample (or since
+  // Reset()) as one work-item sample in stats().block_cost. A persistent
+  // kernel calls this after each tile so the wave model sees the per-tile
+  // cost distribution rather than per-block totals, which on the host pool
+  // would reflect host scheduling, not device scheduling. Kernels that do
+  // not call it get one automatic per-block sample from Device::Launch.
+  void EndWorkItem() {
+    const uint64_t cost = BlockCostProxy(stats_);
+    stats_.block_cost.Add(cost - item_cost_mark_);
+    item_cost_mark_ = cost;
+    sampled_work_items_ = true;
+  }
+
+  // Declares that this block samples its own work items, suppressing the
+  // automatic per-block sample even if the block ends up popping zero work
+  // items (a persistent block that loses every counter race must not record
+  // a spurious zero-cost sample).
+  void DeclareWorkItemSampling() { sampled_work_items_ = true; }
+
+  // Whether the kernel body recorded (or declared) its own work-item
+  // samples since the last Reset().
+  bool sampled_work_items() const { return sampled_work_items_; }
+
   // --- Shared-memory scratch arena ---
   // Returns block-local scratch; contents are undefined after Reset(). The
   // arena grows on demand; the *declared* shared-memory footprint used for
@@ -158,6 +197,9 @@ class BlockContext {
   KernelStats stats_;
   std::vector<uint8_t> smem_arena_;
   size_t smem_used_ = 0;
+  // Cost-proxy value at the last work-item boundary (EndWorkItem/Reset).
+  uint64_t item_cost_mark_ = 0;
+  bool sampled_work_items_ = false;
 };
 
 }  // namespace tilecomp::sim

@@ -18,6 +18,10 @@ KernelResult Device::Launch(StreamId stream, std::string label,
   CheckStream(stream);
   TILECOMP_CHECK(cfg.grid_dim >= 0);
   TILECOMP_CHECK(cfg.block_threads >= 1 && cfg.block_threads <= 1024);
+  // The warp-access accounting in BlockContext assumes whole warps; a
+  // partial last warp would silently be charged as a full one.
+  TILECOMP_CHECK_MSG(cfg.block_threads % spec_.warp_size == 0,
+                     "block_threads must be a multiple of warp_size");
 
   KernelStats merged;
   std::mutex merge_mu;
@@ -32,6 +36,10 @@ KernelResult Device::Launch(StreamId stream, std::string label,
           for (size_t b = begin; b < end; ++b) {
             ctx.Reset(static_cast<int64_t>(b));
             body(ctx);
+            // One cost sample per block feeds the wave-aware scheduling
+            // model — unless the body sampled finer-grained work items
+            // itself (persistent kernels sample per tile).
+            if (!ctx.sampled_work_items()) ctx.EndWorkItem();
           }
           std::lock_guard<std::mutex> lock(merge_mu);
           merged += ctx.stats();

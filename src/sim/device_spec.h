@@ -24,11 +24,18 @@ struct DeviceSpec {
   // Per-thread-block scheduling/drain overhead, nanoseconds. Covers block
   // dispatch and barrier pipeline drain; dominates for tiny blocks (D=1).
   double block_sched_ns = 100.0;
+  // Throughput cost of one device-global atomic on a contended address,
+  // nanoseconds. Same-address atomics serialize in the owning L2 slice at
+  // roughly one op per L2 clock plus arbitration (~1 ns on V100); this is
+  // the per-pop cost of a persistent-kernel work counter.
+  double atomic_op_ns = 1.0;
 
   // --- Parallelism ---
   int sm_count = 80;
   int warp_size = 32;
   int max_warps_per_sm = 64;
+  // Hardware cap on resident blocks per SM, independent of resources.
+  int max_blocks_per_sm = 32;
 
   // --- Occupancy limits (paper Section 4.2: "each thread can only use 65
   // registers and 48 bytes of shared memory per thread at full occupancy")---

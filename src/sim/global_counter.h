@@ -1,0 +1,38 @@
+// Device-global atomic counter: the work-distribution primitive of
+// persistent kernels. A kernel body pops work items with
+// `BlockContext::AtomicAdd(counter)` — the context charges the modeled
+// atomic cost to KernelStats while the counter provides the functional
+// fetch-and-add, which must be a real host atomic because simulated blocks
+// execute concurrently on the host thread pool.
+#ifndef TILECOMP_SIM_GLOBAL_COUNTER_H_
+#define TILECOMP_SIM_GLOBAL_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace tilecomp::sim {
+
+class GlobalCounter {
+ public:
+  explicit GlobalCounter(uint64_t initial = 0) : value_(initial) {}
+
+  // Atomically adds `delta` and returns the pre-add value (CUDA atomicAdd
+  // semantics). Call through BlockContext::AtomicAdd from kernel bodies so
+  // the op is accounted; call directly only from host code.
+  uint64_t FetchAdd(uint64_t delta = 1) {
+    return value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset(uint64_t value = 0) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
+}  // namespace tilecomp::sim
+
+#endif  // TILECOMP_SIM_GLOBAL_COUNTER_H_

@@ -1,12 +1,14 @@
 #include "sim/perf_model.h"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "common/bit_util.h"
 #include "common/macros.h"
 
 namespace tilecomp::sim {
 
-double Occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
+double ResourceOccupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
   TILECOMP_CHECK(cfg.block_threads > 0);
   double occ = 1.0;
   // Register pressure: full occupancy is sustainable up to the budget the
@@ -25,6 +27,11 @@ double Occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
     occ = std::min(occ, spec.smem_bytes_per_thread_full_occupancy /
                             smem_per_thread);
   }
+  return occ;
+}
+
+double Occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
+  double occ = ResourceOccupancy(spec, cfg);
   // A launch smaller than the machine cannot fill it.
   const double total_warps_needed =
       static_cast<double>(cfg.grid_dim) * cfg.block_threads / spec.warp_size;
@@ -33,6 +40,78 @@ double Occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
   occ = std::min(occ, std::max(total_warps_needed / machine_warps, 1e-6));
   return std::min(occ, 1.0);
 }
+
+int64_t WaveSlots(const DeviceSpec& spec, const LaunchConfig& cfg) {
+  const int warps_per_block = CeilDiv(cfg.block_threads, spec.warp_size);
+  const double resident_warps =
+      spec.max_warps_per_sm * ResourceOccupancy(spec, cfg);
+  int blocks_per_sm = static_cast<int>(resident_warps / warps_per_block);
+  blocks_per_sm =
+      std::clamp(blocks_per_sm, 1, spec.max_blocks_per_sm);
+  return static_cast<int64_t>(spec.sm_count) * blocks_per_sm;
+}
+
+int64_t PersistentGridDim(const DeviceSpec& spec, const LaunchConfig& cfg,
+                          int64_t work_items) {
+  return std::max<int64_t>(1, std::min(WaveSlots(spec, cfg), work_items));
+}
+
+namespace {
+
+// Wave/imbalance analysis from the per-work-item cost distribution. Only
+// fills the wave fields; the caller converts the imbalance factor into
+// tail_ms against its roofline body.
+WaveStats AnalyzeWaves(const DeviceSpec& spec, const LaunchConfig& cfg,
+                       const KernelStats& stats) {
+  WaveStats wave;
+  wave.scheduling = cfg.scheduling;
+  wave.slots = WaveSlots(spec, cfg);
+  const BlockCostSummary& bc = stats.block_cost;
+  if (bc.count == 0 || bc.total_cost == 0) return wave;
+
+  const uint64_t n = bc.count;
+  const double slots = static_cast<double>(wave.slots);
+  wave.waves = static_cast<int64_t>(
+      CeilDiv<uint64_t>(n, static_cast<uint64_t>(wave.slots)));
+  wave.mean_cost = bc.mean();
+  wave.max_cost = static_cast<double>(bc.max_cost);
+  wave.p99_cost = bc.Percentile(0.99);
+
+  const double total = static_cast<double>(bc.total_cost);
+  // Perfectly balanced reference: the work spread evenly over the slots
+  // that can actually be active (fewer items than slots -> fewer slots).
+  const double active = std::min(static_cast<double>(n), slots);
+  const double ideal = total / active;
+
+  double makespan;
+  if (cfg.scheduling == Scheduling::kStatic) {
+    // Every wave runs until its slowest block finishes; the partial final
+    // wave waits on the max of its remainder.
+    const uint64_t full_waves = n / static_cast<uint64_t>(wave.slots);
+    const uint64_t remainder = n % static_cast<uint64_t>(wave.slots);
+    makespan = static_cast<double>(full_waves) *
+                   bc.ExpectedMax(static_cast<uint64_t>(wave.slots)) +
+               (remainder > 0 ? bc.ExpectedMax(remainder) : 0.0);
+  } else if (n <= static_cast<uint64_t>(wave.slots)) {
+    // Work stealing with at most one item per slot degenerates to the
+    // slowest item.
+    makespan = wave.max_cost;
+  } else {
+    // Work stealing: near-perfect balance, plus the expected overhang of
+    // the one straggler item that starts last (max^2 * slots / 2 total),
+    // plus drain of the sub-full final wave.
+    makespan = total / slots +
+               wave.max_cost * wave.max_cost * slots / (2.0 * total) +
+               wave.mean_cost *
+                   (static_cast<double>(wave.waves) -
+                    static_cast<double>(n) / slots);
+  }
+  makespan = std::max(makespan, wave.max_cost);
+  wave.imbalance = std::max(1.0, makespan / ideal);
+  return wave;
+}
+
+}  // namespace
 
 TimeBreakdown AnalyzeKernel(const DeviceSpec& spec, const LaunchConfig& cfg,
                             const KernelStats& stats) {
@@ -93,6 +172,21 @@ TimeBreakdown AnalyzeKernel(const DeviceSpec& spec, const LaunchConfig& cfg,
   breakdown.shared_ms = t_smem * 1e3;
   breakdown.compute_ms = t_comp * 1e3;
   breakdown.occupancy = occ;
+
+  // Serialized device-global atomics (persistent-scheduler counter pops).
+  breakdown.atomic_ms =
+      static_cast<double>(stats.atomic_ops) * spec.atomic_op_ns * 1e-6;
+
+  // Wave-aware tail: the flat roofline above assumes perfectly balanced
+  // blocks; the imbalance factor from the per-work-item cost distribution
+  // stretches the roofline body (not the fixed launch overhead) by the time
+  // the slowest block of each wave stalls its SMs.
+  breakdown.wave = AnalyzeWaves(spec, cfg, stats);
+  const double body_ms =
+      std::max({breakdown.bandwidth_ms, breakdown.latency_ms,
+                breakdown.scheduling_ms}) +
+      breakdown.shared_ms + breakdown.compute_ms;
+  breakdown.wave.tail_ms = (breakdown.wave.imbalance - 1.0) * body_ms;
   return breakdown;
 }
 

@@ -14,8 +14,31 @@
 // beyond the hard limit converted into extra global traffic. Constants are
 // calibrated against the paper's own ablation numbers (Section 4.2: 18 ms ->
 // 7 ms -> 2.4 ms -> 2.1 ms for 500M ints at bitwidth 16).
+//
+// On top of the flat roofline sits a wave-aware scheduling model. When a
+// launch carries per-work-item cost samples (KernelStats::block_cost), its
+// blocks are modeled as executing in waves of `slots = sm_count *
+// blocks_per_sm(resource occupancy)` concurrent blocks:
+//
+//   static     makespan = (waves-1) * E[max of slots samples]
+//                         + E[max of remainder samples]
+//   persistent makespan = total/slots            (perfect stealing)
+//                         + max^2 * slots / (2 * total)   (one straggler)
+//                         + mean * (waves - items/slots)  (final-wave drain)
+//
+// both clamped to >= max sample. The ratio of the makespan to the perfectly
+// balanced makespan (total / slots) is the imbalance factor; (factor - 1) x
+// the flat roofline body is charged as TimeBreakdown.wave.tail_ms.
+// Fixed-cost kernels have a single-bucket cost histogram, so the factor
+// collapses to the ceil(items/slots) quantization tail (~1.6% for the
+// Section 4.2 shapes) and the calibration pins do not move. Launches with
+// no cost samples (hand-built KernelStats) keep factor 1 exactly.
+// Device-global atomics add `atomic_ops * atomic_op_ns` as
+// TimeBreakdown.atomic_ms. Neither surcharge competes for the limiter.
 #ifndef TILECOMP_SIM_PERF_MODEL_H_
 #define TILECOMP_SIM_PERF_MODEL_H_
+
+#include <cstdint>
 
 #include "sim/device_spec.h"
 #include "sim/stats.h"
@@ -25,6 +48,25 @@ namespace tilecomp::sim {
 // Fraction of the SM's warp slots occupied given the launch's per-thread
 // register and shared-memory demands. In [0, 1].
 double Occupancy(const DeviceSpec& spec, const LaunchConfig& cfg);
+
+// Occupancy from per-block resources only (registers + shared memory),
+// ignoring whether the grid is large enough to fill the machine. This is
+// the occupancy a persistent kernel sizes its grid against — using
+// Occupancy() there would be circular, since the grid size is what is being
+// chosen.
+double ResourceOccupancy(const DeviceSpec& spec, const LaunchConfig& cfg);
+
+// Number of blocks of this shape the machine holds concurrently — one
+// scheduling wave: sm_count * blocks_per_sm at resource occupancy, capped
+// by the hardware residency limit. Always >= sm_count (one block per SM
+// can always be resident).
+int64_t WaveSlots(const DeviceSpec& spec, const LaunchConfig& cfg);
+
+// Grid size for a persistent kernel over `work_items` tiles: fill the
+// machine exactly once, or less when there are fewer tiles than slots.
+// Always >= 1 so a launch happens even for an empty input.
+int64_t PersistentGridDim(const DeviceSpec& spec, const LaunchConfig& cfg,
+                          int64_t work_items);
 
 // The full per-term analysis of one kernel launch: every roofline term in
 // milliseconds plus the achieved occupancy. `result.total_ms()` is the

@@ -3,10 +3,115 @@
 #define TILECOMP_SIM_STATS_H_
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
 namespace tilecomp::sim {
+
+// How a kernel's thread blocks map onto its work items (tiles).
+//   kStatic     — one block per tile, grid_dim == number of tiles; the
+//                 hardware scheduler assigns blocks to SMs in waves.
+//   kPersistent — the grid is sized to fill the machine once and each block
+//                 loops `tile = counter.fetch_add(1)` over a device-global
+//                 counter (work stealing), paying per-pop atomic cost but
+//                 never stalling a wave on its slowest tile.
+enum class Scheduling {
+  kStatic,
+  kPersistent,
+};
+
+const char* SchedulingName(Scheduling scheduling);
+
+// Distribution of per-work-item cost samples, reduced to O(1) space: exact
+// count/min/max/total plus a log2-bucketed histogram (bucket b holds samples
+// whose bit width is b, and each bucket tracks its own sum so uniform
+// distributions — all samples in one bucket — stay exact). This is what the
+// wave-aware scheduling model in perf_model.cc consumes: it needs the shape
+// of the block-cost distribution, not every block, to estimate the expected
+// slowest block per scheduling wave.
+struct BlockCostSummary {
+  // One bucket per possible bit width of a uint64_t cost (0..64).
+  static constexpr int kBuckets = 65;
+
+  uint64_t count = 0;
+  uint64_t min_cost = 0;  // meaningful only when count > 0
+  uint64_t max_cost = 0;
+  uint64_t total_cost = 0;
+  uint64_t bucket_count[kBuckets] = {};
+  uint64_t bucket_total[kBuckets] = {};
+
+  static int BucketIndex(uint64_t cost) {
+    return static_cast<int>(std::bit_width(cost));
+  }
+
+  void Add(uint64_t cost) {
+    if (count == 0 || cost < min_cost) min_cost = cost;
+    max_cost = std::max(max_cost, cost);
+    ++count;
+    total_cost += cost;
+    const int b = BucketIndex(cost);
+    ++bucket_count[b];
+    bucket_total[b] += cost;
+  }
+
+  void Merge(const BlockCostSummary& o) {
+    if (o.count == 0) return;
+    min_cost = count == 0 ? o.min_cost : std::min(min_cost, o.min_cost);
+    max_cost = std::max(max_cost, o.max_cost);
+    count += o.count;
+    total_cost += o.total_cost;
+    for (int b = 0; b < kBuckets; ++b) {
+      bucket_count[b] += o.bucket_count[b];
+      bucket_total[b] += o.bucket_total[b];
+    }
+  }
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_cost) /
+                            static_cast<double>(count);
+  }
+
+  // Approximate p-quantile (p in [0, 1]): the mean of the bucket containing
+  // the p-th sample. Exact when the distribution is bucket-uniform.
+  double Percentile(double p) const {
+    if (count == 0) return 0.0;
+    const double target = p * static_cast<double>(count);
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (bucket_count[b] == 0) continue;
+      cum += bucket_count[b];
+      if (static_cast<double>(cum) >= target) {
+        return static_cast<double>(bucket_total[b]) /
+               static_cast<double>(bucket_count[b]);
+      }
+    }
+    return static_cast<double>(max_cost);
+  }
+
+  // Expected maximum of k independent draws from this distribution,
+  // E[max] = sum_b mean_b * (F_b^k - F_{b-1}^k) over the bucket CDF F.
+  // This is the expected cost of the slowest block in a wave of k blocks.
+  double ExpectedMax(uint64_t k) const {
+    if (count == 0 || k == 0) return 0.0;
+    double expected = 0.0;
+    double prev_pow = 0.0;
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (bucket_count[b] == 0) continue;
+      cum += bucket_count[b];
+      const double cdf =
+          static_cast<double>(cum) / static_cast<double>(count);
+      const double cdf_pow = std::pow(cdf, static_cast<double>(k));
+      expected += static_cast<double>(bucket_total[b]) /
+                  static_cast<double>(bucket_count[b]) * (cdf_pow - prev_pow);
+      prev_pow = cdf_pow;
+    }
+    return expected;
+  }
+};
 
 // Counters for one kernel execution (or an accumulation over several).
 // All global-memory byte counts are sector-accurate: every access is rounded
@@ -26,6 +131,14 @@ struct KernelStats {
   // Number of block-wide barriers (__syncthreads) executed, summed over
   // blocks.
   uint64_t barriers = 0;
+  // Device-global atomic operations issued (GlobalCounter pops of a
+  // persistent scheduler, mostly). Same-address atomics serialize in the L2,
+  // so they carry a per-op time charge in the perf model.
+  uint64_t atomic_ops = 0;
+  // Per-work-item cost distribution feeding the wave-aware scheduling model.
+  // Device::Launch records one sample per block unless the kernel body
+  // sampled its own work items via BlockContext::EndWorkItem().
+  BlockCostSummary block_cost;
 
   uint64_t global_bytes_total() const {
     return global_bytes_read + global_bytes_written;
@@ -38,9 +151,23 @@ struct KernelStats {
     shared_bytes += o.shared_bytes;
     compute_ops += o.compute_ops;
     barriers += o.barriers;
+    atomic_ops += o.atomic_ops;
+    block_cost.Merge(o.block_cost);
     return *this;
   }
 };
+
+// Scalar cost proxy for the work accumulated in `stats`, in byte-equivalents
+// of global traffic: raw global bytes, plus one 32 B sector charge per warp
+// access (latency weight), plus shared/compute scaled by their throughput
+// ratios to global bandwidth (~10x each on the default spec). Per-work-item
+// cost samples are deltas of this proxy; only the relative spread across
+// work items matters to the wave model, not the absolute scale.
+inline uint64_t BlockCostProxy(const KernelStats& s) {
+  return s.global_bytes_read + s.global_bytes_written +
+         32 * s.warp_global_accesses + s.shared_bytes / 10 +
+         s.compute_ops / 10;
+}
 
 // Static launch configuration of a kernel; consumed by the occupancy model.
 struct LaunchConfig {
@@ -52,6 +179,9 @@ struct LaunchConfig {
   int smem_bytes_per_block = 0;
   // Estimated live registers per thread.
   int regs_per_thread = 32;
+  // How blocks map onto work items; selects the static or the work-stealing
+  // makespan estimate of the wave model (see perf_model.h).
+  Scheduling scheduling = Scheduling::kStatic;
 };
 
 // What a kernel is bound by: the largest term of the perf model's
@@ -66,6 +196,31 @@ enum class Limiter {
 
 const char* LimiterName(Limiter limiter);
 
+// Wave-level view of one launch: how the per-block cost distribution maps
+// onto scheduling waves of `slots` concurrent blocks, and what the
+// imbalance costs on top of the flat roofline. Produced by AnalyzeKernel
+// when per-block cost samples are available (wave fields stay at their
+// defaults otherwise, leaving the flat model untouched).
+struct WaveStats {
+  Scheduling scheduling = Scheduling::kStatic;
+  // Blocks the machine holds concurrently: sm_count * blocks_per_sm at the
+  // launch's resource occupancy.
+  int64_t slots = 0;
+  // ceil(work items / slots); 0 when no cost samples were recorded.
+  int64_t waves = 0;
+  // Per-work-item cost-proxy statistics (byte-equivalents; see
+  // BlockCostProxy).
+  double mean_cost = 0.0;
+  double max_cost = 0.0;
+  double p99_cost = 0.0;
+  // Modeled makespan over the perfectly balanced makespan, >= 1. Static
+  // scheduling pays the expected slowest block of every wave; work stealing
+  // pays one straggler plus final-wave drain.
+  double imbalance = 1.0;
+  // The extra time the imbalance adds on top of the flat roofline, ms.
+  double tail_ms = 0.0;
+};
+
 // The perf model's per-launch time terms, exposed so a tracer can tell
 // *why* a kernel is slow, not just how slow it is. Memory-system terms
 // (bandwidth, latency, scheduling) overlap; shared and compute add on top
@@ -77,12 +232,18 @@ struct TimeBreakdown {
   double scheduling_ms = 0.0;
   double shared_ms = 0.0;
   double compute_ms = 0.0;
+  // Serialized device-global atomic time (atomic_ops * atomic_op_ns), ms.
+  double atomic_ms = 0.0;
   // Occupancy the launch achieved, in [0, 1].
   double occupancy = 0.0;
+  // Wave/imbalance analysis; wave.tail_ms is the only wave field that feeds
+  // total_ms(). Neither tail nor atomic time competes for the limiter —
+  // they are surcharges on the winning roofline term, not alternatives.
+  WaveStats wave;
 
   double total_ms() const {
     return launch_ms + std::max({bandwidth_ms, latency_ms, scheduling_ms}) +
-           shared_ms + compute_ms;
+           shared_ms + compute_ms + wave.tail_ms + atomic_ms;
   }
 
   // The dominant term: what the launch is bound by.
@@ -116,6 +277,16 @@ struct KernelResult {
   int stream_id = 0;
   TimeBreakdown breakdown;
 };
+
+inline const char* SchedulingName(Scheduling scheduling) {
+  switch (scheduling) {
+    case Scheduling::kStatic:
+      return "static";
+    case Scheduling::kPersistent:
+      return "persistent";
+  }
+  return "?";
+}
 
 inline const char* LimiterName(Limiter limiter) {
   switch (limiter) {

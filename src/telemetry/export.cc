@@ -33,17 +33,18 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
   AppendF(out,
           "\"config\":{\"grid_dim\":%" PRId64
           ",\"block_threads\":%d,\"smem_bytes_per_block\":%d,"
-          "\"regs_per_thread\":%d},",
+          "\"regs_per_thread\":%d,\"scheduling\":\"%s\"},",
           c.grid_dim, c.block_threads, c.smem_bytes_per_block,
-          c.regs_per_thread);
+          c.regs_per_thread, sim::SchedulingName(c.scheduling));
   const sim::KernelStats& s = k.stats;
   AppendF(out,
           "\"stats\":{\"global_bytes_read\":%" PRIu64
           ",\"global_bytes_written\":%" PRIu64
           ",\"warp_global_accesses\":%" PRIu64 ",\"shared_bytes\":%" PRIu64
-          ",\"compute_ops\":%" PRIu64 ",\"barriers\":%" PRIu64 "},",
+          ",\"compute_ops\":%" PRIu64 ",\"barriers\":%" PRIu64
+          ",\"atomic_ops\":%" PRIu64 "},",
           s.global_bytes_read, s.global_bytes_written, s.warp_global_accesses,
-          s.shared_bytes, s.compute_ops, s.barriers);
+          s.shared_bytes, s.compute_ops, s.barriers, s.atomic_ops);
   const sim::TimeBreakdown& b = k.breakdown;
   AppendDouble(out, "occupancy", b.occupancy);
   out->append("\"breakdown_ms\":{");
@@ -52,7 +53,19 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
   AppendDouble(out, "latency", b.latency_ms);
   AppendDouble(out, "scheduling", b.scheduling_ms);
   AppendDouble(out, "shared", b.shared_ms);
-  AppendDouble(out, "compute", b.compute_ms, /*trailing_comma=*/false);
+  AppendDouble(out, "compute", b.compute_ms);
+  AppendDouble(out, "tail", b.wave.tail_ms);
+  AppendDouble(out, "atomic", b.atomic_ms, /*trailing_comma=*/false);
+  out->append("},");
+  const sim::WaveStats& w = b.wave;
+  AppendF(out,
+          "\"wave\":{\"scheduling\":\"%s\",\"slots\":%" PRId64
+          ",\"waves\":%" PRId64 ",",
+          sim::SchedulingName(w.scheduling), w.slots, w.waves);
+  AppendDouble(out, "mean_cost", w.mean_cost);
+  AppendDouble(out, "max_cost", w.max_cost);
+  AppendDouble(out, "p99_cost", w.p99_cost);
+  AppendDouble(out, "imbalance", w.imbalance, /*trailing_comma=*/false);
   out->append("},");
   AppendF(out, "\"limiter\":\"%s\",", sim::LimiterName(b.limiter()));
 }
@@ -60,7 +73,8 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
 }  // namespace
 
 bool IsKnownTraceSchema(const std::string& schema) {
-  return schema == kTraceSchema || schema == kTraceSchemaV1;
+  return schema == kTraceSchema || schema == kTraceSchemaV1 ||
+         schema == kTraceSchemaV2;
 }
 
 std::string ToJson(const Tracer& tracer) {
@@ -143,6 +157,13 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
           static_cast<int>(config.Get("smem_bytes_per_block").AsInt64());
       k.config.regs_per_thread =
           static_cast<int>(config.Get("regs_per_thread").AsInt64());
+      // Pre-v3 traces predate the scheduling knob: everything was static.
+      if (config.Has("scheduling")) {
+        k.config.scheduling = config.Get("scheduling").AsString() ==
+                                      "persistent"
+                                  ? sim::Scheduling::kPersistent
+                                  : sim::Scheduling::kStatic;
+      }
       const JsonValue& stats = record.Get("stats");
       k.stats.global_bytes_read = stats.Get("global_bytes_read").AsUint64();
       k.stats.global_bytes_written =
@@ -152,6 +173,9 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
       k.stats.shared_bytes = stats.Get("shared_bytes").AsUint64();
       k.stats.compute_ops = stats.Get("compute_ops").AsUint64();
       k.stats.barriers = stats.Get("barriers").AsUint64();
+      if (stats.Has("atomic_ops")) {
+        k.stats.atomic_ops = stats.Get("atomic_ops").AsUint64();
+      }
       const JsonValue& breakdown = record.Get("breakdown_ms");
       k.breakdown.launch_ms = breakdown.Get("launch").AsDouble();
       k.breakdown.bandwidth_ms = breakdown.Get("bandwidth").AsDouble();
@@ -159,7 +183,27 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
       k.breakdown.scheduling_ms = breakdown.Get("scheduling").AsDouble();
       k.breakdown.shared_ms = breakdown.Get("shared").AsDouble();
       k.breakdown.compute_ms = breakdown.Get("compute").AsDouble();
+      if (breakdown.Has("atomic")) {
+        k.breakdown.atomic_ms = breakdown.Get("atomic").AsDouble();
+      }
       k.breakdown.occupancy = record.Get("occupancy").AsDouble();
+      if (record.Has("wave")) {
+        const JsonValue& wave = record.Get("wave");
+        sim::WaveStats& w = k.breakdown.wave;
+        w.scheduling = wave.Get("scheduling").AsString() == "persistent"
+                           ? sim::Scheduling::kPersistent
+                           : sim::Scheduling::kStatic;
+        w.slots = wave.Get("slots").AsInt64();
+        w.waves = wave.Get("waves").AsInt64();
+        w.mean_cost = wave.Get("mean_cost").AsDouble();
+        w.max_cost = wave.Get("max_cost").AsDouble();
+        w.p99_cost = wave.Get("p99_cost").AsDouble();
+        w.imbalance = wave.Get("imbalance").AsDouble();
+        // tail_ms is stored under breakdown_ms, keeping total_ms consistent.
+        if (breakdown.Has("tail")) {
+          w.tail_ms = breakdown.Get("tail").AsDouble();
+        }
+      }
     }
     if (span.kind == SpanKind::kTransfer) {
       span.transfer_bytes = record.Get("bytes").AsUint64();

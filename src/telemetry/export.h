@@ -3,7 +3,7 @@
 // JSON schema (stable; version bumps on breaking change):
 //
 //   {
-//     "schema": "tilecomp.trace.v2",
+//     "schema": "tilecomp.trace.v3",
 //     "spans": [
 //       {
 //         "kind": "kernel" | "transfer" | "scope",
@@ -15,13 +15,15 @@
 //         "stream": <int, 0 = default stream>,
 //         // kind == "kernel" only:
 //         "config": {"grid_dim", "block_threads", "smem_bytes_per_block",
-//                    "regs_per_thread"},
+//                    "regs_per_thread", "scheduling": "static"|"persistent"},
 //         "stats": {"global_bytes_read", "global_bytes_written",
 //                   "warp_global_accesses", "shared_bytes", "compute_ops",
-//                   "barriers"},
+//                   "barriers", "atomic_ops"},
 //         "occupancy": <double 0..1>,
 //         "breakdown_ms": {"launch", "bandwidth", "latency", "scheduling",
-//                          "shared", "compute"},
+//                          "shared", "compute", "tail", "atomic"},
+//         "wave": {"scheduling": "static"|"persistent", "slots", "waves",
+//                  "mean_cost", "max_cost", "p99_cost", "imbalance"},
 //         "limiter": "bandwidth"|"latency"|"scheduling"|"shared"|"compute",
 //         // kind == "transfer" only:
 //         "bytes": <uint64>
@@ -29,9 +31,11 @@
 //     ]
 //   }
 //
-// v2 adds the per-span "stream" field (async stream timelines). v1 traces
-// (no "stream" field) still load through TraceFromJson: the field defaults
-// to the synchronizing stream 0.
+// v2 added the per-span "stream" field (async stream timelines); v3 adds the
+// scheduling knob, the atomic-op counter, the wave/imbalance object and the
+// tail/atomic breakdown terms. Older traces still load through
+// TraceFromJson: a missing "stream" defaults to the synchronizing stream 0,
+// and missing v3 fields default to a static launch with no wave data.
 //
 // The chrome://tracing exporter emits the Trace Event JSON format ("X"
 // duration events, microsecond timestamps) loadable in chrome://tracing or
@@ -47,19 +51,21 @@
 
 namespace tilecomp::telemetry {
 
-inline constexpr const char* kTraceSchema = "tilecomp.trace.v2";
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v3";
 inline constexpr const char* kTraceSchemaV1 = "tilecomp.trace.v1";
+inline constexpr const char* kTraceSchemaV2 = "tilecomp.trace.v2";
 
-// True for every schema version TraceFromJson accepts (v1 and v2).
+// True for every schema version TraceFromJson accepts (v1, v2 and v3).
 bool IsKnownTraceSchema(const std::string& schema);
 
 // Machine-readable trace (schema above).
 std::string ToJson(const Tracer& tracer);
 
-// Parse a tilecomp.trace.v1 / .v2 document back into spans. Limiter and
-// derived fields are recomputed from the stored breakdown; spans from a v1
-// trace carry stream 0. Returns false (and fills *error) on malformed input
-// or an unknown schema.
+// Parse a tilecomp.trace.v1 / .v2 / .v3 document back into spans. Limiter
+// and derived fields are recomputed from the stored breakdown; spans from a
+// v1 trace carry stream 0, and pre-v3 spans carry static scheduling with no
+// wave data. Returns false (and fills *error) on malformed input or an
+// unknown schema.
 bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
                    std::string* error);
 

@@ -7,6 +7,9 @@
 #include <set>
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "common/bit_util.h"
 #include "common/flags.h"
@@ -120,6 +123,49 @@ TEST(ThreadPoolTest, RangesPartitionExactly) {
     total += end - begin;
   });
   EXPECT_EQ(total.load(), 12345u);
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesFromWait) {
+  ThreadPool pool(4);
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is consumed: a subsequent Wait with no failed tasks is clean.
+  pool.Submit([] {});
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsAndRemainingTasksStillRun) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&ran, i] {
+      ran++;
+      if (i % 8 == 0) throw std::runtime_error("boom " + std::to_string(i));
+    });
+  }
+  // No deadlock: Wait drains every task (throwing or not), then rethrows
+  // exactly one of the thrown exceptions.
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u) << e.what();
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionLeavesPoolUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](size_t i) {
+                         if (i == 37) throw std::logic_error("index 37");
+                       }),
+      std::logic_error);
+  // Pool survives: the full index space is still covered afterwards.
+  std::vector<std::atomic<int>> hits(500);
+  pool.ParallelFor(500, [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(FlagsTest, ParsesAllForms) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <vector>
 
 #include "sim/device.h"
@@ -304,6 +305,121 @@ TEST(StreamTest, StreamGuardRoutesImplicitLaunches) {
   }
   auto r = dev.Launch(StreamKernelConfig(), StreamKernelBody);
   EXPECT_EQ(r.stream_id, kDefaultStream);
+}
+
+TEST(LaunchValidationTest, RejectsBlockThreadsNotMultipleOfWarp) {
+  Device dev;
+  LaunchConfig lc;
+  lc.grid_dim = 1;
+  lc.block_threads = 100;  // not a multiple of the 32-thread warp
+  EXPECT_DEATH(dev.Launch(lc, [](BlockContext&) {}),
+               "multiple of warp_size");
+}
+
+// --- Perf-model edge cases -------------------------------------------------
+
+TEST(PerfModelEdgeTest, GridSmallerThanSmCount) {
+  Device dev;
+  LaunchConfig lc;
+  lc.grid_dim = 10;  // 10 blocks on an 80-SM machine
+  lc.block_threads = 128;
+  auto r = dev.Launch(lc, [](BlockContext& ctx) {
+    ctx.CoalescedRead(1 << 20, true);
+  });
+  EXPECT_TRUE(std::isfinite(r.breakdown.total_ms()));
+  EXPECT_GT(r.time_ms, 0.0);
+  EXPECT_GT(r.breakdown.occupancy, 0.0);
+  // One wave, identical blocks: no imbalance surcharge.
+  EXPECT_GE(r.breakdown.wave.slots, dev.spec().sm_count);
+  EXPECT_EQ(r.breakdown.wave.waves, 1);
+  EXPECT_DOUBLE_EQ(r.breakdown.wave.imbalance, 1.0);
+}
+
+TEST(PerfModelEdgeTest, ZeroWorkKernelCostsOnlyTheLaunch) {
+  Device dev;
+  LaunchConfig lc;
+  lc.grid_dim = 4;
+  lc.block_threads = 32;
+  auto r = dev.Launch(lc, [](BlockContext&) {});
+  EXPECT_TRUE(std::isfinite(r.time_ms));
+  // No traffic, no compute: only the fixed launch overhead plus the
+  // 4-block dispatch cost remain.
+  EXPECT_DOUBLE_EQ(r.time_ms, dev.spec().kernel_launch_us * 1e-3 +
+                                  r.breakdown.scheduling_ms);
+  EXPECT_DOUBLE_EQ(r.breakdown.bandwidth_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.compute_ms, 0.0);
+  // All-zero cost samples must not fabricate an imbalance tail.
+  EXPECT_DOUBLE_EQ(r.breakdown.wave.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.wave.tail_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.atomic_ms, 0.0);
+}
+
+TEST(PerfModelEdgeTest, SmemFarOverBudgetStillRuns) {
+  Device dev;
+  LaunchConfig lc;
+  lc.grid_dim = 100;
+  lc.block_threads = 128;
+  lc.smem_bytes_per_block = 1 << 20;  // 1 MiB/block: way past any budget
+  const double occ = Occupancy(dev.spec(), lc);
+  EXPECT_GT(occ, 0.0);  // clamps to >= one resident block per SM
+  EXPECT_LE(occ, 1.0);
+  EXPECT_GE(WaveSlots(dev.spec(), lc), dev.spec().sm_count);
+  auto r = dev.Launch(lc, [](BlockContext& ctx) { ctx.Compute(1000); });
+  EXPECT_TRUE(std::isfinite(r.time_ms));
+}
+
+TEST(PerfModelEdgeTest, MaxWidthBlocksAreSchedulable) {
+  Device dev;
+  LaunchConfig lc;
+  lc.grid_dim = 160;
+  lc.block_threads = 1024;  // 32 warps: at most 2 blocks per 64-warp SM
+  auto r = dev.Launch(lc, [](BlockContext& ctx) {
+    ctx.CoalescedRead(1 << 16, true);
+  });
+  EXPECT_TRUE(std::isfinite(r.time_ms));
+  EXPECT_GT(r.breakdown.occupancy, 0.0);
+  const int64_t slots = WaveSlots(dev.spec(), lc);
+  EXPECT_GE(slots, dev.spec().sm_count);
+  EXPECT_LE(slots, static_cast<int64_t>(dev.spec().sm_count) *
+                       (dev.spec().max_warps_per_sm / 32));
+}
+
+TEST(PerfModelEdgeTest, OccupancyMonotoneInResources) {
+  DeviceSpec spec;
+  LaunchConfig lc;
+  lc.grid_dim = 1 << 20;  // large enough that the grid never clamps
+  lc.block_threads = 128;
+  double prev = 1.0;
+  for (int regs = 16; regs <= 256; regs += 16) {
+    lc.regs_per_thread = regs;
+    const double occ = Occupancy(spec, lc);
+    EXPECT_LE(occ, prev + 1e-12) << "regs=" << regs;
+    EXPECT_GT(occ, 0.0);
+    prev = occ;
+  }
+  lc.regs_per_thread = 32;
+  prev = 1.0;
+  for (int smem = 0; smem <= (96 << 10); smem += (8 << 10)) {
+    lc.smem_bytes_per_block = smem;
+    const double occ = Occupancy(spec, lc);
+    EXPECT_LE(occ, prev + 1e-12) << "smem=" << smem;
+    EXPECT_GT(occ, 0.0);
+    prev = occ;
+  }
+  // A bigger grid can only help fill the machine.
+  lc.smem_bytes_per_block = 0;
+  prev = 0.0;
+  for (int64_t grid = 1; grid <= (1 << 20); grid *= 8) {
+    lc.grid_dim = grid;
+    const double occ = Occupancy(spec, lc);
+    EXPECT_GE(occ, prev - 1e-12) << "grid=" << grid;
+    prev = occ;
+  }
+  // ResourceOccupancy ignores the grid entirely.
+  lc.grid_dim = 1;
+  const double occ_small_grid = ResourceOccupancy(spec, lc);
+  lc.grid_dim = 1 << 20;
+  EXPECT_DOUBLE_EQ(occ_small_grid, ResourceOccupancy(spec, lc));
 }
 
 TEST(StreamTest, ResetTimelineKeepsStreamHandles) {
