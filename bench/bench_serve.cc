@@ -1,0 +1,235 @@
+// Serving benchmark: a Zipfian query mix over the 13 SSB queries, served
+// through the decompressed-tile cache at budgets swept from 0 to the full
+// working set.
+//
+// The serving workload is where a tile cache earns its keep: the paper's
+// decompress-then-query baselines (nvCOMP / Planner / GPU-BP) re-run the
+// whole decompression pipeline for every query that touches a column, so a
+// hot column's tiles are decoded over and over. Caching the decoded tiles
+// skips those launches entirely once the column is resident — for cascaded
+// formats that also skips re-reading every intermediate layer, which is why
+// the traffic saving can exceed the encoded footprint itself.
+//
+// For each budget the same batch is replayed against a fresh server and
+// compared with the cache-off baseline: hit rate, global-memory reads and
+// the traffic saving, decompress launches skipped, p50/p95 latency and
+// makespan. Every query result is validated bit-exactly against the host
+// reference executor. --json <path> emits machine-readable
+// BENCH_serve.json (schema tilecomp.bench_serve.v1) for cross-PR tracking.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "serve/server.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "telemetry/export.h"
+
+namespace tilecomp {
+namespace {
+
+codec::System ParseSystem(const std::string& name) {
+  if (name == "nvcomp") return codec::System::kNvcomp;
+  if (name == "planner") return codec::System::kPlanner;
+  if (name == "gpubp") return codec::System::kGpuBp;
+  if (name == "gpustar") return codec::System::kGpuStar;
+  if (name == "none") return codec::System::kNone;
+  std::fprintf(stderr,
+               "unknown --system '%s' (want nvcomp|planner|gpubp|gpustar|"
+               "none)\n",
+               name.c_str());
+  std::exit(1);
+}
+
+// Decoded bytes of every lineorder column touched by any of the 13 queries:
+// the cache budget that makes the whole workload resident.
+uint64_t FullWorkingSetBytes(const ssb::EncodedLineorder& lineorder) {
+  bool used[ssb::kNumLoCols] = {};
+  for (ssb::QueryId q : ssb::AllQueries()) {
+    for (ssb::LoCol c : ssb::QueryColumns(q)) used[static_cast<int>(c)] = true;
+  }
+  uint64_t bytes = 0;
+  for (int c = 0; c < ssb::kNumLoCols; ++c) {
+    if (used[c]) {
+      bytes += uint64_t{lineorder.cols[static_cast<size_t>(c)].size()} *
+               sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+struct Row {
+  uint64_t budget_bytes = 0;
+  double budget_frac = 0.0;  // of the full working set
+  double hit_rate = 0.0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t decompress_skips = 0;
+  uint64_t bytes_read = 0;
+  double read_saving = 0.0;  // vs the cache-off baseline
+  uint64_t saved_bytes = 0;  // encoded bytes hits avoided re-reading
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double makespan_ms = 0.0;
+};
+
+bool SameResults(const serve::ServeReport& report,
+                 const std::vector<ssb::QueryResult>& expected) {
+  for (size_t i = 0; i < report.queries.size(); ++i) {
+    if (report.queries[i].result.groups != expected[i].groups) return false;
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint32_t rows = static_cast<uint32_t>(flags.GetInt("rows", 60000));
+  const size_t batch_size =
+      static_cast<size_t>(flags.GetInt("queries", 48));
+  const double alpha = flags.GetDouble("alpha", 1.2);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const int streams = static_cast<int>(flags.GetInt("streams", 4));
+  const std::string system_name = flags.GetString("system", "nvcomp");
+  const codec::System system = ParseSystem(system_name);
+
+  const ssb::SsbData data = ssb::GenerateSsbSmall(rows);
+  const ssb::EncodedLineorder lineorder = ssb::EncodeLineorder(data, system);
+  const uint64_t working_set = FullWorkingSetBytes(lineorder);
+
+  // Zipfian query mix: rank 0 (the hottest query) dominates at high alpha.
+  const std::vector<ssb::QueryId> all = ssb::AllQueries();
+  const std::vector<uint32_t> ranks =
+      GenZipf(batch_size, all.size(), alpha, seed);
+  std::vector<ssb::QueryId> batch(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) batch[i] = all[ranks[i]];
+
+  bench::PrintTitle("Serving: Zipfian SSB mix through the tile cache (" +
+                    std::string(codec::SystemName(system)) + ")");
+  bench::PrintNote("rows=" + std::to_string(data.lineorder.size()) +
+                   " batch=" + std::to_string(batch_size) + " alpha=" +
+                   std::to_string(alpha) + " working_set=" +
+                   std::to_string(working_set) + "B");
+
+  // Cache-off baseline: what the system reads re-decompressing every query.
+  std::vector<ssb::QueryResult> expected;
+  {
+    ssb::QueryRunner reference(data);
+    for (ssb::QueryId q : batch) {
+      expected.push_back(reference.RunHostReference(q));
+    }
+  }
+  serve::ServeOptions off;
+  off.num_streams = streams;
+  off.use_cache = false;
+  sim::Device dev_off;
+  serve::Server server_off(dev_off, data, lineorder, off);
+  const serve::ServeReport base = server_off.Serve(batch);
+  if (!SameResults(base, expected)) {
+    std::fprintf(stderr, "cache-off results diverge from host reference\n");
+    return 1;
+  }
+
+  std::printf("%-10s %8s %8s %8s %6s %12s %8s %9s %9s %10s\n", "budget",
+              "hit_rate", "hits", "misses", "skips", "bytes_read", "saving",
+              "p50_ms", "p95_ms", "makespan");
+  std::printf("%-10s %8s %8s %8s %6s %12" PRIu64 " %8s %9.4f %9.4f %10.4f\n",
+              "off", "-", "-", "-", "-", base.global_bytes_read, "-",
+              base.p50_latency_ms, base.p95_latency_ms, base.makespan_ms);
+
+  std::vector<Row> rows_out;
+  const double fractions[] = {0.0, 0.125, 0.25, 0.5, 0.75, 1.0};
+  for (double frac : fractions) {
+    serve::ServeOptions on;
+    on.num_streams = streams;
+    on.use_cache = true;
+    on.cache_budget_bytes = static_cast<uint64_t>(
+        frac * static_cast<double>(working_set));
+    sim::Device dev;
+    serve::Server server(dev, data, lineorder, on);
+    const serve::ServeReport report = server.Serve(batch);
+    if (!SameResults(report, expected)) {
+      std::fprintf(stderr,
+                   "cached results diverge from host reference at budget "
+                   "%.3f\n",
+                   frac);
+      return 1;
+    }
+
+    Row row;
+    row.budget_bytes = on.cache_budget_bytes;
+    row.budget_frac = frac;
+    row.hit_rate = report.cache.hit_rate();
+    row.hits = report.cache.hits;
+    row.misses = report.cache.misses;
+    row.evictions = report.cache.evictions;
+    row.decompress_skips = report.decompress_skips;
+    row.bytes_read = report.global_bytes_read;
+    row.read_saving =
+        base.global_bytes_read == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(report.global_bytes_read) /
+                        static_cast<double>(base.global_bytes_read);
+    row.saved_bytes = report.cache.saved_bytes;
+    row.p50_ms = report.p50_latency_ms;
+    row.p95_ms = report.p95_latency_ms;
+    row.makespan_ms = report.makespan_ms;
+    rows_out.push_back(row);
+
+    std::printf("%-10.3f %8.3f %8" PRIu64 " %8" PRIu64 " %6" PRIu64
+                " %12" PRIu64 " %7.1f%% %9.4f %9.4f %10.4f\n",
+                frac, row.hit_rate, row.hits, row.misses,
+                row.decompress_skips, row.bytes_read, 100.0 * row.read_saving,
+                row.p50_ms, row.p95_ms, row.makespan_ms);
+  }
+  bench::PrintNote(
+      "saving = global reads avoided vs cache-off; at full budget the "
+      "decompress pipeline (cascade intermediates included) runs once per "
+      "column instead of once per query");
+
+  if (flags.Has("json")) {
+    std::string out;
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "{\"schema\":\"tilecomp.bench_serve.v1\","
+                  "\"system\":\"%s\",\"rows\":%u,\"batch\":%zu,"
+                  "\"alpha\":%.3f,\"working_set_bytes\":%" PRIu64
+                  ",\"baseline_bytes_read\":%" PRIu64 ",\"results\":[",
+                  codec::SystemName(system), data.lineorder.size(), batch_size,
+                  alpha, working_set, base.global_bytes_read);
+    out.append(head);
+    for (size_t i = 0; i < rows_out.size(); ++i) {
+      const Row& r = rows_out[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\n  {\"budget_frac\":%.4f,\"budget_bytes\":%" PRIu64
+          ",\"hit_rate\":%.4f,\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
+          ",\"evictions\":%" PRIu64 ",\"decompress_skips\":%" PRIu64
+          ",\"bytes_read\":%" PRIu64 ",\"read_saving\":%.4f,"
+          "\"saved_bytes\":%" PRIu64 ",\"p50_ms\":%.6f,\"p95_ms\":%.6f,"
+          "\"makespan_ms\":%.6f}",
+          i == 0 ? "" : ",", r.budget_frac, r.budget_bytes, r.hit_rate,
+          r.hits, r.misses, r.evictions, r.decompress_skips, r.bytes_read,
+          r.read_saving, r.saved_bytes, r.p50_ms, r.p95_ms, r.makespan_ms);
+      out.append(buf);
+    }
+    out.append("\n]}\n");
+    const std::string path = flags.GetString("json", "BENCH_serve.json");
+    if (!telemetry::WriteTextFile(path, out)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

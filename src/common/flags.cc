@@ -1,8 +1,24 @@
 #include "common/flags.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace tilecomp {
+
+namespace {
+
+// Abort with a message naming the flag and the value that failed to parse.
+// Benchmark binaries have no error-recovery path for a mistyped flag; dying
+// loudly beats silently running with a zero parameter.
+[[noreturn]] void DieBadFlag(const std::string& name, const std::string& value,
+                             const char* expected) {
+  std::fprintf(stderr, "invalid value for --%s: '%s' is not %s\n",
+               name.c_str(), value.c_str(), expected);
+  std::abort();
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -26,14 +42,28 @@ bool Flags::Has(const std::string& name) const {
 
 int64_t Flags::GetInt(const std::string& name, int64_t default_value) const {
   auto it = values_.find(name);
-  return it == values_.end() ? default_value
-                             : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return default_value;
+  const std::string& value = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+    DieBadFlag(name, value, "an integer");
+  }
+  return parsed;
 }
 
 double Flags::GetDouble(const std::string& name, double default_value) const {
   auto it = values_.find(name);
-  return it == values_.end() ? default_value
-                             : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return default_value;
+  const std::string& value = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+    DieBadFlag(name, value, "a number");
+  }
+  return parsed;
 }
 
 std::string Flags::GetString(const std::string& name,

@@ -1,5 +1,8 @@
 // Minimal command-line flag parsing for benchmark/example binaries.
-// Supports "--name value" and "--name=value".
+// Supports "--name value" and "--name=value"; a bare "--name" stores "true".
+// GetInt/GetDouble abort with a clear message when the stored value is not a
+// fully parseable number ("--n=abc", "--n=12abc", a bare numeric flag) —
+// silently running with 0 was a footgun.
 #ifndef TILECOMP_COMMON_FLAGS_H_
 #define TILECOMP_COMMON_FLAGS_H_
 

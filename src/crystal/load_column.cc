@@ -58,6 +58,14 @@ uint32_t LoadColumnTile(sim::BlockContext& ctx,
   return 0;
 }
 
+uint32_t DirectTileLoader::Load(sim::BlockContext& ctx,
+                                const codec::CompressedColumn& column,
+                                uint32_t column_id, int64_t tile_id,
+                                uint32_t* out_tile) {
+  (void)column_id;
+  return LoadColumnTile(ctx, column, tile_id, out_tile);
+}
+
 int ColumnSmemBytes(const codec::CompressedColumn& column) {
   switch (column.scheme()) {
     case codec::Scheme::kNone:

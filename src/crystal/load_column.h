@@ -31,6 +31,30 @@ uint32_t LoadColumnTile(sim::BlockContext& ctx,
                         const codec::CompressedColumn& column,
                         int64_t tile_id, uint32_t* out_tile);
 
+// Pluggable tile-load strategy for query kernels. The default strategy is
+// LoadColumnTile above (decode inline, every time); the serving layer
+// (src/serve/) supplies a caching strategy that serves hot tiles from a
+// decompressed-tile cache instead of re-decoding them on every query.
+// `column_id` identifies the column across queries (the serving layer keys
+// its cache on it; LoCol ordinals for the SSB fact table). Implementations
+// must be safe to call concurrently from many blocks (host threads).
+class TileLoader {
+ public:
+  virtual ~TileLoader() = default;
+  virtual uint32_t Load(sim::BlockContext& ctx,
+                        const codec::CompressedColumn& column,
+                        uint32_t column_id, int64_t tile_id,
+                        uint32_t* out_tile) = 0;
+};
+
+// The default strategy: ignores column_id and decodes inline.
+class DirectTileLoader : public TileLoader {
+ public:
+  uint32_t Load(sim::BlockContext& ctx, const codec::CompressedColumn& column,
+                uint32_t column_id, int64_t tile_id,
+                uint32_t* out_tile) override;
+};
+
 // Estimated shared-memory footprint one tile-load of `column` contributes
 // to a query kernel's launch config.
 int ColumnSmemBytes(const codec::CompressedColumn& column);

@@ -1,0 +1,191 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "codec/systems.h"
+#include "common/macros.h"
+
+namespace tilecomp::serve {
+
+uint64_t TileEncodedBytes(const codec::CompressedColumn& column) {
+  if (column.size() == 0) return 0;
+  const int64_t tiles = crystal::NumTiles(column.size());
+  return column.compressed_bytes() / static_cast<uint64_t>(tiles);
+}
+
+uint32_t CachedTileLoader::Load(sim::BlockContext& ctx,
+                                const codec::CompressedColumn& column,
+                                uint32_t column_id, int64_t tile_id,
+                                uint32_t* out_tile) {
+  // A cached tile saves re-reading the encoded form; a kNone column's tiles
+  // are already raw, so a hit on them saves nothing (same bytes either way).
+  const uint64_t saved =
+      column.scheme() == codec::Scheme::kNone ? 0 : TileEncodedBytes(column);
+  TileCache::PinnedTile pin = cache_->Lookup(column_id, tile_id, saved);
+  if (pin.valid()) {
+    const uint32_t n = pin.count();
+    std::memcpy(out_tile, pin.data(), n * sizeof(uint32_t));
+    // A hit reads the decoded tile back from global memory — more bytes than
+    // the encoded form, but no decode compute, shared staging or barriers.
+    ctx.CoalescedRead(n * sizeof(uint32_t), true);
+    ctx.CacheHit(saved);
+    return n;
+  }
+  const uint32_t n = crystal::LoadColumnTile(ctx, column, tile_id, out_tile);
+  ctx.CacheMiss();
+  uint64_t evicted = 0;
+  TileCache::PinnedTile inserted =
+      cache_->Insert(column_id, tile_id, out_tile, n, &evicted);
+  ctx.CacheEvictions(evicted);
+  if (inserted.valid()) {
+    // Spill the decoded tile into the cache's device buffer.
+    ctx.CoalescedWrite(n * sizeof(uint32_t), true);
+  }
+  return n;
+}
+
+Server::Server(sim::Device& dev, const ssb::SsbData& data,
+               const ssb::EncodedLineorder& lineorder, ServeOptions options)
+    : dev_(dev),
+      lineorder_(lineorder),
+      options_(options),
+      runner_(data),
+      cache_(options.cache_budget_bytes, options.policy),
+      loader_(&cache_) {
+  const int n = std::max(1, options_.num_streams);
+  for (int i = 0; i < n; ++i) streams_.push_back(dev_.CreateStream());
+}
+
+ssb::EncodedLineorder Server::MaterializeColumns(
+    ssb::QueryId query, std::vector<TileCache::PinnedTile>* pins,
+    uint64_t* decompress_skips) {
+  ssb::EncodedLineorder out;
+  out.system = codec::System::kNone;
+  for (ssb::LoCol col : ssb::QueryColumns(query)) {
+    const codec::SystemColumn& sc = lineorder_.col(col);
+    const uint32_t count = sc.size();
+    const int64_t tiles = crystal::NumTiles(count);
+    const uint32_t col_id = static_cast<uint32_t>(col);
+
+    // Pin whatever is resident; the column is served from the cache only if
+    // that is all of it.
+    std::vector<TileCache::PinnedTile> col_pins;
+    col_pins.reserve(static_cast<size_t>(tiles));
+    bool all_resident = tiles > 0;
+    for (int64_t t = 0; t < tiles && all_resident; ++t) {
+      col_pins.push_back(cache_.Peek(col_id, t));
+      all_resident = col_pins.back().valid();
+    }
+
+    std::vector<uint32_t> values;
+    if (all_resident) {
+      // Every tile is cached: skip the decompress launch entirely. The
+      // query kernel reads the tiles straight from the cache (its loader
+      // hits count there); the host-side copy below only serves as the
+      // loader's decode backstop and carries no modeled cost. What the skip
+      // avoids reading is the column's encoded stream.
+      values.resize(count);
+      for (int64_t t = 0; t < tiles; ++t) {
+        std::memcpy(values.data() + static_cast<size_t>(t) * crystal::kTileSize,
+                    col_pins[static_cast<size_t>(t)].data(),
+                    col_pins[static_cast<size_t>(t)].count() *
+                        sizeof(uint32_t));
+      }
+      cache_.CreditSaved(sc.compressed_bytes());
+      ++*decompress_skips;
+      for (TileCache::PinnedTile& pin : col_pins) {
+        pins->push_back(std::move(pin));
+      }
+    } else {
+      // Decompress on this query's stream and insert every tile, pinned for
+      // the duration of the query. The column-granularity fetch missed, so
+      // account one miss per tile.
+      kernels::DecompressRun run = codec::SystemDecompress(dev_, sc);
+      values = std::move(run.output);
+      cache_.CountMisses(static_cast<uint64_t>(tiles));
+      for (int64_t t = 0; t < tiles; ++t) {
+        const uint32_t n = std::min<uint32_t>(
+            crystal::kTileSize,
+            count - static_cast<uint32_t>(t) * crystal::kTileSize);
+        TileCache::PinnedTile pin = cache_.Insert(
+            col_id, t,
+            values.data() + static_cast<size_t>(t) * crystal::kTileSize, n);
+        if (pin.valid()) pins->push_back(std::move(pin));
+      }
+    }
+    out.cols[static_cast<int>(col)] =
+        codec::SystemEncode(codec::System::kNone, values);
+  }
+  return out;
+}
+
+ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
+  ServeReport report;
+  const double t0 = dev_.elapsed_ms();
+  const size_t log_start = dev_.launch_log().size();
+  const size_t max_concurrent = static_cast<size_t>(
+      options_.max_concurrent > 0 ? options_.max_concurrent
+                                  : options_.num_streams);
+  const bool decompress_system =
+      lineorder_.system == codec::System::kGpuBp ||
+      lineorder_.system == codec::System::kNvcomp ||
+      lineorder_.system == codec::System::kPlanner;
+
+  std::vector<sim::Event> done(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const sim::StreamId stream = streams_[i % streams_.size()];
+    // Admission control: at most `max_concurrent` queries in flight. Query i
+    // may not start before query i - max_concurrent has finished.
+    if (i >= max_concurrent) {
+      dev_.StreamWaitEvent(stream, done[i - max_concurrent]);
+    }
+    sim::StreamGuard guard(dev_, stream);
+
+    ServedQuery sq;
+    sq.query = batch[i];
+    sq.stream = stream;
+    sq.admit_ms = dev_.stream_tail_ms(stream);
+    if (decompress_system && options_.use_cache) {
+      std::vector<TileCache::PinnedTile> pins;
+      ssb::EncodedLineorder materialized =
+          MaterializeColumns(batch[i], &pins, &report.decompress_skips);
+      // The query kernel reads resident tiles straight from the cache; the
+      // materialized copy is only the loader's miss backstop.
+      sq.result = runner_.Run(dev_, materialized, batch[i], &loader_);
+      // `pins` release here, after the query's launches are issued.
+    } else {
+      crystal::TileLoader* loader =
+          options_.use_cache && !decompress_system ? &loader_ : nullptr;
+      sq.result = runner_.Run(dev_, lineorder_, batch[i], loader);
+    }
+    sq.finish_ms = dev_.stream_tail_ms(stream);
+    sq.latency_ms = sq.finish_ms - sq.admit_ms;
+    done[i] = dev_.RecordEvent(stream);
+    report.queries.push_back(std::move(sq));
+  }
+
+  report.makespan_ms = dev_.DeviceSynchronize() - t0;
+
+  std::vector<double> latencies;
+  latencies.reserve(report.queries.size());
+  for (const ServedQuery& sq : report.queries) {
+    latencies.push_back(sq.latency_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    const size_t n = latencies.size();
+    report.p50_latency_ms = latencies[(n - 1) / 2];
+    report.p95_latency_ms = latencies[(n - 1) * 95 / 100];
+  }
+
+  const std::vector<sim::KernelResult>& log = dev_.launch_log();
+  for (size_t i = log_start; i < log.size(); ++i) {
+    report.global_bytes_read += log[i].stats.global_bytes_read;
+  }
+  report.cache = cache_.stats();
+  return report;
+}
+
+}  // namespace tilecomp::serve

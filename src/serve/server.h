@@ -1,0 +1,122 @@
+// Query-serving layer: admits a batch of SSB queries across async device
+// streams, routing every fact-column tile load through the decompressed-tile
+// cache (tile_cache.h).
+//
+// Two cache integration points, matching the two query pipelines:
+//
+//   * Inline systems (None / GPU-*): the query kernel's per-tile loads go
+//     through CachedTileLoader — a hit reads the cached decoded tile from
+//     (modeled) global memory instead of re-running the inline decode; a
+//     miss decodes and inserts. Hits trade decode compute / shared-memory
+//     staging for a plain coalesced read.
+//
+//   * Decompress-then-query systems (GPU-BP / nvCOMP / Planner): the server
+//     checks residency per column before launching the system's decompress
+//     pipeline. If every tile of the column is cached the decompress launch
+//     is skipped entirely and the query kernel reads the cached tiles
+//     through CachedTileLoader — this is where the cache pays off most,
+//     since these systems otherwise re-decompress whole columns (including
+//     every cascade intermediate) on every query.
+//
+// Scheduling: queries are assigned round-robin to N async streams, with at
+// most `max_concurrent` queries admitted at once (modeled with stream-wait
+// events, like a real admission-control semaphore).
+#ifndef TILECOMP_SERVE_SERVER_H_
+#define TILECOMP_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crystal/load_column.h"
+#include "serve/tile_cache.h"
+#include "sim/device.h"
+#include "ssb/queries.h"
+
+namespace tilecomp::serve {
+
+// Tile-load strategy backed by a TileCache. Safe for concurrent use from
+// kernel-body host threads; cache hit/miss/eviction counts are recorded on
+// the calling block's stats, so they surface on the kernel's telemetry span.
+class CachedTileLoader : public crystal::TileLoader {
+ public:
+  explicit CachedTileLoader(TileCache* cache) : cache_(cache) {}
+
+  uint32_t Load(sim::BlockContext& ctx, const codec::CompressedColumn& column,
+                uint32_t column_id, int64_t tile_id,
+                uint32_t* out_tile) override;
+
+ private:
+  TileCache* cache_;
+};
+
+// Estimated encoded footprint of one tile of `column` — what a cache hit
+// saves reading (the whole-column footprint spread evenly over its tiles).
+uint64_t TileEncodedBytes(const codec::CompressedColumn& column);
+
+struct ServeOptions {
+  int num_streams = 4;
+  // Admission limit: queries in flight at once (<= 0 means num_streams).
+  int max_concurrent = 0;
+  uint64_t cache_budget_bytes = 64ull << 20;
+  EvictionPolicy policy = EvictionPolicy::kLru;
+  // false: bypass the cache entirely (baseline for the bench comparisons).
+  bool use_cache = true;
+};
+
+struct ServedQuery {
+  ssb::QueryId query = ssb::QueryId::kQ11;
+  int stream = 0;
+  double admit_ms = 0.0;   // stream-timeline position at admission
+  double finish_ms = 0.0;  // stream-timeline position at completion
+  double latency_ms = 0.0;
+  ssb::QueryResult result;
+};
+
+struct ServeReport {
+  std::vector<ServedQuery> queries;
+  double makespan_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  // Cache counters over the whole batch (all-zero with use_cache = false).
+  TileCache::Stats cache;
+  // Column decompress launches skipped because every tile was resident
+  // (decompress-then-query systems only).
+  uint64_t decompress_skips = 0;
+  // Total modeled global-memory bytes read by the batch's kernels.
+  uint64_t global_bytes_read = 0;
+};
+
+class Server {
+ public:
+  // `data` and `lineorder` must outlive the server.
+  Server(sim::Device& dev, const ssb::SsbData& data,
+         const ssb::EncodedLineorder& lineorder, ServeOptions options);
+
+  // Serve `batch` in order. Per-query latency is measured on the query's
+  // stream; the makespan is the device synchronize at the end.
+  ServeReport Serve(const std::vector<ssb::QueryId>& batch);
+
+  const TileCache& cache() const { return cache_; }
+  const ssb::QueryRunner& runner() const { return runner_; }
+
+ private:
+  // Decompress-then-query path: return `lineorder_`'s query columns as a
+  // kNone-encoded table, serving fully resident columns from the cache
+  // (skipping their decompress launches) and decompressing + inserting the
+  // rest. `pins` holds every touched tile pinned until the query finishes.
+  ssb::EncodedLineorder MaterializeColumns(
+      ssb::QueryId query, std::vector<TileCache::PinnedTile>* pins,
+      uint64_t* decompress_skips);
+
+  sim::Device& dev_;
+  const ssb::EncodedLineorder& lineorder_;
+  ServeOptions options_;
+  ssb::QueryRunner runner_;
+  TileCache cache_;
+  CachedTileLoader loader_;
+  std::vector<sim::StreamId> streams_;
+};
+
+}  // namespace tilecomp::serve
+
+#endif  // TILECOMP_SERVE_SERVER_H_

@@ -1,0 +1,242 @@
+#include "serve/tile_cache.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tilecomp::serve {
+
+namespace {
+
+// Tile ids index 512-value tiles of a uint32-count column, so they fit in
+// 32 bits with room to spare; pack (column, tile) into one map key.
+uint64_t MakeKey(uint32_t column_id, int64_t tile_id) {
+  TILECOMP_DCHECK(tile_id >= 0 && tile_id < (int64_t{1} << 32));
+  return (static_cast<uint64_t>(column_id) << 32) |
+         static_cast<uint64_t>(tile_id);
+}
+
+}  // namespace
+
+struct TileCacheEntry {
+  uint64_t key = 0;
+  std::vector<uint32_t> values;
+  uint32_t pins = 0;
+  bool referenced = false;  // clock second-chance bit
+  std::list<TileCacheEntry*>::iterator pos;
+
+  uint64_t bytes() const { return values.size() * sizeof(uint32_t); }
+};
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kClock:
+      return "clock";
+  }
+  return "?";
+}
+
+// --- PinnedTile ---
+
+TileCache::PinnedTile& TileCache::PinnedTile::operator=(
+    PinnedTile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    entry_ = other.entry_;
+    other.cache_ = nullptr;
+    other.entry_ = nullptr;
+  }
+  return *this;
+}
+
+const uint32_t* TileCache::PinnedTile::data() const {
+  TILECOMP_DCHECK(entry_ != nullptr);
+  return entry_->values.data();
+}
+
+uint32_t TileCache::PinnedTile::count() const {
+  TILECOMP_DCHECK(entry_ != nullptr);
+  return static_cast<uint32_t>(entry_->values.size());
+}
+
+void TileCache::PinnedTile::Release() {
+  if (entry_ != nullptr) {
+    std::lock_guard<std::mutex> lock(cache_->mu_);
+    cache_->UnpinLocked(entry_);
+    cache_ = nullptr;
+    entry_ = nullptr;
+  }
+}
+
+// --- TileCache ---
+
+TileCache::TileCache(uint64_t budget_bytes, EvictionPolicy policy)
+    : budget_bytes_(budget_bytes), policy_(policy), hand_(order_.end()) {}
+
+TileCache::~TileCache() {
+  // Every pin must be released before the cache dies.
+  for (const auto& [key, entry] : entries_) {
+    TILECOMP_CHECK_MSG(entry->pins == 0,
+                       "TileCache destroyed with live PinnedTile handles");
+  }
+}
+
+TileCache::Entry* TileCache::FindLocked(uint32_t column_id, int64_t tile_id) {
+  auto it = entries_.find(MakeKey(column_id, tile_id));
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+void TileCache::TouchLocked(Entry* entry) {
+  if (policy_ == EvictionPolicy::kLru) {
+    // Move to the hot (back) end.
+    order_.splice(order_.end(), order_, entry->pos);
+  } else {
+    entry->referenced = true;
+  }
+}
+
+void TileCache::EvictLocked(Entry* entry) {
+  TILECOMP_DCHECK(entry->pins == 0);
+  if (policy_ == EvictionPolicy::kClock && hand_ == entry->pos) {
+    ++hand_;
+  }
+  order_.erase(entry->pos);
+  stats_.bytes_in_use -= entry->bytes();
+  ++stats_.evictions;
+  entries_.erase(entry->key);  // frees the entry
+}
+
+bool TileCache::MakeRoomLocked(uint64_t needed, uint64_t* evictions) {
+  const uint64_t before = stats_.evictions;
+  if (needed > budget_bytes_) {
+    if (evictions != nullptr) *evictions = 0;
+    return false;
+  }
+  if (policy_ == EvictionPolicy::kLru) {
+    // Scan cold -> hot, skipping pinned entries.
+    auto it = order_.begin();
+    while (stats_.bytes_in_use + needed > budget_bytes_ &&
+           it != order_.end()) {
+      Entry* victim = *it;
+      ++it;
+      if (victim->pins == 0) EvictLocked(victim);
+    }
+  } else {
+    // Clock: each pass over the ring clears reference bits; an entry whose
+    // bit is already clear (and that is unpinned) is evicted. Bounded by
+    // two full sweeps — after one sweep every surviving candidate bit is
+    // clear, so a second sweep either evicts or proves all pinned.
+    size_t steps = 2 * order_.size();
+    while (stats_.bytes_in_use + needed > budget_bytes_ && steps-- > 0 &&
+           !order_.empty()) {
+      if (hand_ == order_.end()) hand_ = order_.begin();
+      Entry* candidate = *hand_;
+      if (candidate->pins > 0) {
+        ++hand_;
+      } else if (candidate->referenced) {
+        candidate->referenced = false;
+        ++hand_;
+      } else {
+        ++hand_;  // EvictLocked would double-advance if we left it on us
+        EvictLocked(candidate);
+      }
+    }
+  }
+  if (evictions != nullptr) *evictions = stats_.evictions - before;
+  return stats_.bytes_in_use + needed <= budget_bytes_;
+}
+
+void TileCache::UnpinLocked(Entry* entry) {
+  TILECOMP_DCHECK(entry->pins > 0);
+  --entry->pins;
+}
+
+TileCache::PinnedTile TileCache::Lookup(uint32_t column_id, int64_t tile_id,
+                                        uint64_t saved_encoded_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindLocked(column_id, tile_id);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    return PinnedTile();
+  }
+  ++stats_.hits;
+  stats_.saved_bytes += saved_encoded_bytes;
+  TouchLocked(entry);
+  ++entry->pins;
+  return PinnedTile(this, entry);
+}
+
+bool TileCache::Contains(uint32_t column_id, int64_t tile_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(MakeKey(column_id, tile_id)) != 0;
+}
+
+TileCache::PinnedTile TileCache::Peek(uint32_t column_id, int64_t tile_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindLocked(column_id, tile_id);
+  if (entry == nullptr) return PinnedTile();
+  ++entry->pins;
+  return PinnedTile(this, entry);
+}
+
+void TileCache::CreditSaved(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.saved_bytes += bytes;
+}
+
+TileCache::PinnedTile TileCache::Insert(uint32_t column_id, int64_t tile_id,
+                                        const uint32_t* values, uint32_t count,
+                                        uint64_t* evictions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (evictions != nullptr) *evictions = 0;
+  if (Entry* existing = FindLocked(column_id, tile_id)) {
+    // Another block inserted this tile first; pin the resident copy.
+    ++existing->pins;
+    return PinnedTile(this, existing);
+  }
+  const uint64_t bytes = static_cast<uint64_t>(count) * sizeof(uint32_t);
+  if (!MakeRoomLocked(bytes, evictions)) {
+    ++stats_.insert_failures;
+    return PinnedTile();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->key = MakeKey(column_id, tile_id);
+  entry->values.assign(values, values + count);
+  entry->pins = 1;
+  entry->referenced = true;
+  Entry* raw = entry.get();
+  order_.push_back(raw);
+  raw->pos = std::prev(order_.end());
+  entries_[raw->key] = std::move(entry);
+  stats_.bytes_in_use += bytes;
+  ++stats_.inserts;
+  return PinnedTile(this, raw);
+}
+
+void TileCache::CountMisses(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.misses += n;
+}
+
+void TileCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = order_.begin();
+  while (it != order_.end()) {
+    Entry* entry = *it;
+    ++it;
+    if (entry->pins == 0) EvictLocked(entry);
+  }
+}
+
+TileCache::Stats TileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.entries = entries_.size();
+  return snapshot;
+}
+
+}  // namespace tilecomp::serve

@@ -1,0 +1,171 @@
+// Decompressed-tile cache for the query-serving layer.
+//
+// The paper's schemes make decompression cheap enough to run inline with a
+// query, but a serving workload re-reads the same hot tiles query after
+// query. TileCache keeps recently decompressed 512-value tiles resident in
+// (modeled) device memory under a byte budget, keyed by (column, tile).
+// A hit serves the decoded values without re-running the decode; a miss
+// decodes as usual and inserts the result, evicting cold unpinned tiles to
+// stay under budget.
+//
+// Thread safety: every public method is safe to call concurrently — the
+// serving layer calls Lookup/Insert from kernel bodies, which the simulator
+// runs on many host threads at once. PinnedTile handles keep an entry's
+// storage alive and block its eviction until released.
+#ifndef TILECOMP_SERVE_TILE_CACHE_H_
+#define TILECOMP_SERVE_TILE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace tilecomp::serve {
+
+// Replacement policy for unpinned entries.
+//   kLru   — evict the least-recently-used entry.
+//   kClock — second-chance ring: a hit sets a reference bit; the clock hand
+//            clears bits until it finds a cleared, unpinned entry.
+enum class EvictionPolicy { kLru, kClock };
+
+const char* EvictionPolicyName(EvictionPolicy policy);
+
+// Private cache-entry record (defined in tile_cache.cc).
+struct TileCacheEntry;
+
+class TileCache {
+ public:
+  // Monotonic counters plus a point-in-time usage snapshot.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+    // Insert calls refused because eviction could not make room (entry
+    // larger than the budget, or every resident entry was pinned).
+    uint64_t insert_failures = 0;
+    // Encoded bytes that hits avoided re-reading (callers pass the per-tile
+    // compressed footprint to Lookup).
+    uint64_t saved_bytes = 0;
+    uint64_t bytes_in_use = 0;
+    uint64_t entries = 0;
+
+    uint64_t accesses() const { return hits + misses; }
+    double hit_rate() const {
+      return accesses() == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(accesses());
+    }
+  };
+
+  explicit TileCache(uint64_t budget_bytes,
+                     EvictionPolicy policy = EvictionPolicy::kLru);
+  ~TileCache();
+
+  TILECOMP_DISALLOW_COPY_AND_ASSIGN(TileCache);
+
+  // Pin handle returned by Lookup/Insert. While any handle to an entry is
+  // alive the entry cannot be evicted and its data pointer stays valid.
+  // Movable, not copyable; the default-constructed handle is empty.
+  class PinnedTile {
+   public:
+    PinnedTile() = default;
+    PinnedTile(PinnedTile&& other) noexcept { *this = std::move(other); }
+    PinnedTile& operator=(PinnedTile&& other) noexcept;
+    ~PinnedTile() { Release(); }
+
+    PinnedTile(const PinnedTile&) = delete;
+    PinnedTile& operator=(const PinnedTile&) = delete;
+
+    bool valid() const { return entry_ != nullptr; }
+    const uint32_t* data() const;
+    // Number of valid values in the tile (<= 512 for a tail tile).
+    uint32_t count() const;
+
+    // Drop the pin early (destructor also does this).
+    void Release();
+
+   private:
+    friend class TileCache;
+    PinnedTile(TileCache* cache, TileCacheEntry* entry)
+        : cache_(cache), entry_(entry) {}
+
+    TileCache* cache_ = nullptr;
+    TileCacheEntry* entry_ = nullptr;
+  };
+
+  // Probe for (column_id, tile_id). On hit: counts a hit, credits
+  // `saved_encoded_bytes` to the saved-bytes counter, touches the entry for
+  // the replacement policy, and returns a pinned handle. On miss: counts a
+  // miss and returns an empty handle.
+  PinnedTile Lookup(uint32_t column_id, int64_t tile_id,
+                    uint64_t saved_encoded_bytes = 0);
+
+  // Presence probe with no counter or replacement-order side effects.
+  bool Contains(uint32_t column_id, int64_t tile_id) const;
+
+  // Pin (column_id, tile_id) if resident, with no counter or
+  // replacement-order side effects — used by the column-granularity load
+  // path to hold a column's tiles across a query without double-counting
+  // the per-tile accesses its query kernel will record.
+  PinnedTile Peek(uint32_t column_id, int64_t tile_id);
+
+  // Credit `bytes` of avoided reads without a Lookup — used when a whole
+  // column's decompress launch is skipped.
+  void CreditSaved(uint64_t bytes);
+
+  // Insert a decompressed tile. Evicts unpinned entries in policy order
+  // until the entry fits; never exceeds the budget. If room cannot be made
+  // (tile larger than the budget, or every candidate is pinned) the insert
+  // is refused: counts an insert failure and returns an empty handle. If
+  // the key is already resident (another thread inserted it first) the
+  // existing entry is pinned and returned. `evictions` (optional) receives
+  // the number of entries this call evicted.
+  PinnedTile Insert(uint32_t column_id, int64_t tile_id,
+                    const uint32_t* values, uint32_t count,
+                    uint64_t* evictions = nullptr);
+
+  // Count `n` misses without probing — used by the column-granularity load
+  // path, which decides hit/miss per column but accounts per tile.
+  void CountMisses(uint64_t n);
+
+  // Evict everything unpinned. Pinned entries stay resident.
+  void Clear();
+
+  Stats stats() const;
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  EvictionPolicy policy() const { return policy_; }
+
+ private:
+  using Entry = TileCacheEntry;
+
+  // All private helpers require `mu_` to be held.
+  Entry* FindLocked(uint32_t column_id, int64_t tile_id);
+  void TouchLocked(Entry* entry);
+  // Evict unpinned entries in policy order until `needed` bytes fit in the
+  // budget. Returns false (evicting what it could) if it cannot.
+  bool MakeRoomLocked(uint64_t needed, uint64_t* evictions);
+  void EvictLocked(Entry* entry);
+  void UnpinLocked(Entry* entry);
+
+  const uint64_t budget_bytes_;
+  const EvictionPolicy policy_;
+
+  mutable std::mutex mu_;
+  // Keyed by (column_id << 32 is not enough for tile ids) — see MakeKey in
+  // the .cc. unique_ptr gives Entry pointer stability across rehashes.
+  std::unordered_map<uint64_t, std::unique_ptr<Entry>> entries_;
+  // Replacement order. LRU: front = coldest, back = hottest. Clock: a ring
+  // in insertion order with `hand_` as the clock hand.
+  std::list<Entry*> order_;
+  std::list<Entry*>::iterator hand_;
+  Stats stats_;
+};
+
+}  // namespace tilecomp::serve
+
+#endif  // TILECOMP_SERVE_TILE_CACHE_H_

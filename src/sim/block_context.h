@@ -147,6 +147,20 @@ class BlockContext {
     return counter.FetchAdd(delta);
   }
 
+  // --- Decompressed-tile-cache accounting ---
+
+  // Record one tile-cache hit: the block read the cached decompressed tile
+  // instead of decoding `saved_encoded_bytes` of compressed data (the
+  // traffic the decode would have issued).
+  void CacheHit(uint64_t saved_encoded_bytes = 0) {
+    ++stats_.cache.hits;
+    stats_.cache.saved_bytes += saved_encoded_bytes;
+  }
+  // Record one tile-cache miss (the block decoded the tile itself).
+  void CacheMiss() { ++stats_.cache.misses; }
+  // Record `count` evictions this block's cache insert forced.
+  void CacheEvictions(uint64_t count) { stats_.cache.evictions += count; }
+
   // --- Work-item cost sampling ---
 
   // Records the cost accumulated since the previous sample (or since

@@ -113,6 +113,34 @@ struct BlockCostSummary {
   }
 };
 
+// Decompressed-tile-cache events observed during one kernel execution (the
+// serving layer's tile cache, src/serve/tile_cache.h). A hit replaces an
+// inline tile decode with a raw read of the cached decompressed tile;
+// `saved_bytes` accumulates the encoded bytes each hit did not have to read.
+// Kernels that never touch a cache leave all counters at zero and the
+// telemetry layer still exports them (trace schema v4).
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t saved_bytes = 0;
+
+  uint64_t accesses() const { return hits + misses; }
+  double hit_rate() const {
+    return accesses() == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(accesses());
+  }
+
+  CacheCounters& operator+=(const CacheCounters& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    saved_bytes += o.saved_bytes;
+    return *this;
+  }
+};
+
 // Counters for one kernel execution (or an accumulation over several).
 // All global-memory byte counts are sector-accurate: every access is rounded
 // to the 32-byte sectors it touches, so uncoalesced access patterns cost
@@ -135,6 +163,9 @@ struct KernelStats {
   // persistent scheduler, mostly). Same-address atomics serialize in the L2,
   // so they carry a per-op time charge in the perf model.
   uint64_t atomic_ops = 0;
+  // Decompressed-tile-cache events (serving layer); all-zero for kernels
+  // that do not go through a cache-aware load path.
+  CacheCounters cache;
   // Per-work-item cost distribution feeding the wave-aware scheduling model.
   // Device::Launch records one sample per block unless the kernel body
   // sampled its own work items via BlockContext::EndWorkItem().
@@ -152,6 +183,7 @@ struct KernelStats {
     compute_ops += o.compute_ops;
     barriers += o.barriers;
     atomic_ops += o.atomic_ops;
+    cache += o.cache;
     block_cost.Merge(o.block_cost);
     return *this;
   }

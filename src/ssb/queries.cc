@@ -455,8 +455,12 @@ class QueryScope {
 
 QueryResult QueryRunner::RunCrystal(sim::Device& dev,
                                     const EncodedLineorder& lineorder,
-                                    QueryId query) const {
+                                    QueryId query,
+                                    crystal::TileLoader* loader) const {
   QueryScope scope(dev);
+
+  crystal::DirectTileLoader direct;
+  if (loader == nullptr) loader = &direct;
 
   PreparedQuery pq = Prepare(dev, data_, query);
   const QueryPlan& plan = pq.plan;
@@ -490,8 +494,9 @@ QueryResult QueryRunner::RunCrystal(sim::Device& dev,
     // 1. Predicates.
     uint32_t n = kTileSize;
     for (size_t pc = 0; pc < plan.pred_cols.size(); ++pc) {
-      n = crystal::LoadColumnTile(
-          ctx, lineorder.col(plan.pred_cols[pc]).column, tile, pred_vals[pc]);
+      const LoCol c = plan.pred_cols[pc];
+      n = loader->Load(ctx, lineorder.col(c).column,
+                       static_cast<uint32_t>(c), tile, pred_vals[pc]);
     }
     if (plan.pred_cols.empty()) {
       n = std::min<uint32_t>(
@@ -515,8 +520,8 @@ QueryResult QueryRunner::RunCrystal(sim::Device& dev,
 
     // 2. Joins.
     for (const JoinStep& join : pq.plan.joins) {
-      crystal::LoadColumnTile(ctx, lineorder.col(join.key_col).column, tile,
-                              key_vals);
+      loader->Load(ctx, lineorder.col(join.key_col).column,
+                   static_cast<uint32_t>(join.key_col), tile, key_vals);
       HashTable::ProbeCost(ctx, live);
       uint32_t still = 0;
       for (uint32_t i = 0; i < n; ++i) {
@@ -535,8 +540,9 @@ QueryResult QueryRunner::RunCrystal(sim::Device& dev,
 
     // 3. Aggregate.
     for (size_t ac = 0; ac < plan.agg_cols.size(); ++ac) {
-      crystal::LoadColumnTile(ctx, lineorder.col(plan.agg_cols[ac]).column,
-                              tile, agg_vals[ac]);
+      const LoCol c = plan.agg_cols[ac];
+      loader->Load(ctx, lineorder.col(c).column, static_cast<uint32_t>(c),
+                   tile, agg_vals[ac]);
     }
     GroupAccumulator::AggCost(ctx, live);
     uint32_t v[2];
@@ -635,11 +641,12 @@ QueryResult QueryRunner::RunNonTiled(sim::Device& dev,
 
 QueryResult QueryRunner::Run(sim::Device& dev,
                              const EncodedLineorder& lineorder,
-                             QueryId query) const {
+                             QueryId query,
+                             crystal::TileLoader* loader) const {
   switch (lineorder.system) {
     case codec::System::kNone:
     case codec::System::kGpuStar:
-      return RunCrystal(dev, lineorder, query);
+      return RunCrystal(dev, lineorder, query, loader);
     case codec::System::kOmnisci:
       return RunNonTiled(dev, lineorder, query);
     case codec::System::kGpuBp:
@@ -657,7 +664,7 @@ QueryResult QueryRunner::Run(sim::Device& dev,
         decompressed.cols[static_cast<int>(col)] =
             codec::SystemEncode(codec::System::kNone, run.output);
       }
-      QueryResult result = RunCrystal(dev, decompressed, query);
+      QueryResult result = RunCrystal(dev, decompressed, query, loader);
       scope.Finish(&result);
       return result;
     }

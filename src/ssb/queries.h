@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "codec/systems.h"
+#include "crystal/load_column.h"
 #include "sim/device.h"
 #include "ssb/schema.h"
 
@@ -80,9 +81,13 @@ class QueryRunner {
  public:
   explicit QueryRunner(const SsbData& data);
 
-  // Execute on the simulated device using the system's pipeline.
+  // Execute on the simulated device using the system's pipeline. `loader`
+  // overrides how the Crystal kernel materializes fact-column tiles
+  // (default: decode inline via crystal::LoadColumnTile); the serving layer
+  // passes its caching loader here. Fact columns are identified to the
+  // loader by their LoCol ordinal.
   QueryResult Run(sim::Device& dev, const EncodedLineorder& lineorder,
-                  QueryId query) const;
+                  QueryId query, crystal::TileLoader* loader = nullptr) const;
 
   // Independent row-at-a-time reference executor (host).
   QueryResult RunHostReference(QueryId query) const;
@@ -91,7 +96,7 @@ class QueryRunner {
 
  private:
   QueryResult RunCrystal(sim::Device& dev, const EncodedLineorder& lineorder,
-                         QueryId query) const;
+                         QueryId query, crystal::TileLoader* loader) const;
   QueryResult RunNonTiled(sim::Device& dev, const EncodedLineorder& lineorder,
                           QueryId query) const;
 

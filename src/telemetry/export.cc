@@ -67,6 +67,11 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
   AppendDouble(out, "p99_cost", w.p99_cost);
   AppendDouble(out, "imbalance", w.imbalance, /*trailing_comma=*/false);
   out->append("},");
+  const sim::CacheCounters& cc = s.cache;
+  AppendF(out,
+          "\"cache\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
+          ",\"evictions\":%" PRIu64 ",\"saved_bytes\":%" PRIu64 "},",
+          cc.hits, cc.misses, cc.evictions, cc.saved_bytes);
   AppendF(out, "\"limiter\":\"%s\",", sim::LimiterName(b.limiter()));
 }
 
@@ -74,7 +79,7 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
 
 bool IsKnownTraceSchema(const std::string& schema) {
   return schema == kTraceSchema || schema == kTraceSchemaV1 ||
-         schema == kTraceSchemaV2;
+         schema == kTraceSchemaV2 || schema == kTraceSchemaV3;
 }
 
 std::string ToJson(const Tracer& tracer) {
@@ -175,6 +180,14 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
       k.stats.barriers = stats.Get("barriers").AsUint64();
       if (stats.Has("atomic_ops")) {
         k.stats.atomic_ops = stats.Get("atomic_ops").AsUint64();
+      }
+      // Pre-v4 traces predate the tile cache: counters stay zero.
+      if (record.Has("cache")) {
+        const JsonValue& cache = record.Get("cache");
+        k.stats.cache.hits = cache.Get("hits").AsUint64();
+        k.stats.cache.misses = cache.Get("misses").AsUint64();
+        k.stats.cache.evictions = cache.Get("evictions").AsUint64();
+        k.stats.cache.saved_bytes = cache.Get("saved_bytes").AsUint64();
       }
       const JsonValue& breakdown = record.Get("breakdown_ms");
       k.breakdown.launch_ms = breakdown.Get("launch").AsDouble();

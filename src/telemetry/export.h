@@ -3,7 +3,7 @@
 // JSON schema (stable; version bumps on breaking change):
 //
 //   {
-//     "schema": "tilecomp.trace.v3",
+//     "schema": "tilecomp.trace.v4",
 //     "spans": [
 //       {
 //         "kind": "kernel" | "transfer" | "scope",
@@ -24,6 +24,7 @@
 //                          "shared", "compute", "tail", "atomic"},
 //         "wave": {"scheduling": "static"|"persistent", "slots", "waves",
 //                  "mean_cost", "max_cost", "p99_cost", "imbalance"},
+//         "cache": {"hits", "misses", "evictions", "saved_bytes"},
 //         "limiter": "bandwidth"|"latency"|"scheduling"|"shared"|"compute",
 //         // kind == "transfer" only:
 //         "bytes": <uint64>
@@ -33,9 +34,12 @@
 //
 // v2 added the per-span "stream" field (async stream timelines); v3 adds the
 // scheduling knob, the atomic-op counter, the wave/imbalance object and the
-// tail/atomic breakdown terms. Older traces still load through
+// tail/atomic breakdown terms; v4 adds the per-kernel "cache" object (the
+// serving layer's decompressed-tile cache: hit/miss/eviction counts and the
+// encoded bytes hits avoided reading). Older traces still load through
 // TraceFromJson: a missing "stream" defaults to the synchronizing stream 0,
-// and missing v3 fields default to a static launch with no wave data.
+// missing v3 fields default to a static launch with no wave data, and a
+// missing v4 "cache" object defaults to all-zero counters.
 //
 // The chrome://tracing exporter emits the Trace Event JSON format ("X"
 // duration events, microsecond timestamps) loadable in chrome://tracing or
@@ -51,21 +55,22 @@
 
 namespace tilecomp::telemetry {
 
-inline constexpr const char* kTraceSchema = "tilecomp.trace.v3";
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v4";
 inline constexpr const char* kTraceSchemaV1 = "tilecomp.trace.v1";
 inline constexpr const char* kTraceSchemaV2 = "tilecomp.trace.v2";
+inline constexpr const char* kTraceSchemaV3 = "tilecomp.trace.v3";
 
-// True for every schema version TraceFromJson accepts (v1, v2 and v3).
+// True for every schema version TraceFromJson accepts (v1 through v4).
 bool IsKnownTraceSchema(const std::string& schema);
 
 // Machine-readable trace (schema above).
 std::string ToJson(const Tracer& tracer);
 
-// Parse a tilecomp.trace.v1 / .v2 / .v3 document back into spans. Limiter
-// and derived fields are recomputed from the stored breakdown; spans from a
-// v1 trace carry stream 0, and pre-v3 spans carry static scheduling with no
-// wave data. Returns false (and fills *error) on malformed input or an
-// unknown schema.
+// Parse a tilecomp.trace.v1 / .v2 / .v3 / .v4 document back into spans.
+// Limiter and derived fields are recomputed from the stored breakdown; spans
+// from a v1 trace carry stream 0, pre-v3 spans carry static scheduling with
+// no wave data, and pre-v4 spans carry all-zero cache counters. Returns
+// false (and fills *error) on malformed input or an unknown schema.
 bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
                    std::string* error);
 

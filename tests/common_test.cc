@@ -180,5 +180,46 @@ TEST(FlagsTest, ParsesAllForms) {
   EXPECT_FALSE(flags.Has("missing"));
 }
 
+TEST(FlagsTest, ParsesNegativeAndScientific) {
+  const char* argv[] = {"prog", "--n=-42", "--ratio=1e-3"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("n", 0), -42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0), 1e-3);
+}
+
+TEST(FlagsDeathTest, RejectsNonNumericInt) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.GetInt("n", 0), "invalid value for --n: 'abc'");
+}
+
+TEST(FlagsDeathTest, RejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--n=12abc", "--ratio=3.5x"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.GetInt("n", 0), "invalid value for --n: '12abc'");
+  EXPECT_DEATH(flags.GetDouble("ratio", 0),
+               "invalid value for --ratio: '3.5x'");
+}
+
+TEST(FlagsDeathTest, RejectsBareFlagReadAsInt) {
+  // A valueless "--n" stores "true"; reading it numerically must die loudly
+  // rather than silently become 0.
+  const char* argv[] = {"prog", "--n"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.GetInt("n", 0), "invalid value for --n: 'true'");
+}
+
+TEST(FlagsDeathTest, RejectsEmptyValue) {
+  const char* argv[] = {"prog", "--n="};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.GetInt("n", 0), "not an integer");
+}
+
+TEST(FlagsDeathTest, RejectsOutOfRange) {
+  const char* argv[] = {"prog", "--n=99999999999999999999"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.GetInt("n", 0), "not an integer");
+}
+
 }  // namespace
 }  // namespace tilecomp

@@ -1,7 +1,10 @@
 // Edge cases and contract-violation (death) tests for the public API.
 #include <gtest/gtest.h>
 
+#include "codec/nullable.h"
+#include "codec/planner.h"
 #include "codec/typed_column.h"
+#include "codec/zone_map.h"
 #include "common/random.h"
 #include "crystal/load_column.h"
 #include "format/gpufor.h"
@@ -84,6 +87,88 @@ TEST(EdgeTest, TileLoaderBeyondEndReturnsZero) {
   sim::BlockContext ctx(128);
   uint32_t tile[crystal::kTileSize];
   EXPECT_EQ(crystal::LoadColumnTile(ctx, col, 99, tile), 0u);
+}
+
+TEST(EdgeTest, ZoneMapEmptyColumn) {
+  codec::ZoneMap zm = codec::ZoneMap::Build(nullptr, 0);
+  EXPECT_EQ(zm.num_tiles(), 0u);
+  EXPECT_EQ(zm.bytes(), 0u);
+  EXPECT_EQ(zm.CountMatchingTiles(0, 0xFFFFFFFFu), 0u);
+}
+
+TEST(EdgeTest, ZoneMapSingleTileColumn) {
+  // One partial tile: min/max cover only the values present.
+  std::vector<uint32_t> values = {40, 10, 30};
+  codec::ZoneMap zm = codec::ZoneMap::Build(values.data(), values.size());
+  ASSERT_EQ(zm.num_tiles(), 1u);
+  EXPECT_EQ(zm.tile_min(0), 10u);
+  EXPECT_EQ(zm.tile_max(0), 40u);
+  EXPECT_TRUE(zm.TileCanMatch(0, 10, 10));
+  EXPECT_TRUE(zm.TileCanMatch(0, 35, 100));
+  EXPECT_FALSE(zm.TileCanMatch(0, 0, 9));
+  EXPECT_FALSE(zm.TileCanMatch(0, 41, 0xFFFFFFFFu));
+}
+
+TEST(EdgeTest, ZoneMapConstantColumn) {
+  // Three full tiles of the same value: every zone degenerates to a point,
+  // and a predicate matches either every tile or none.
+  std::vector<uint32_t> values(3 * codec::ZoneMap::kTileSize, 77);
+  codec::ZoneMap zm = codec::ZoneMap::Build(values.data(), values.size());
+  ASSERT_EQ(zm.num_tiles(), 3u);
+  for (size_t t = 0; t < zm.num_tiles(); ++t) {
+    EXPECT_EQ(zm.tile_min(t), 77u);
+    EXPECT_EQ(zm.tile_max(t), 77u);
+  }
+  EXPECT_EQ(zm.CountMatchingTiles(77, 77), 3u);
+  EXPECT_EQ(zm.CountMatchingTiles(0, 76), 0u);
+  EXPECT_EQ(zm.CountMatchingTiles(78, 0xFFFFFFFFu), 0u);
+}
+
+TEST(EdgeTest, PlannerEmptyColumn) {
+  codec::PlannerEncoded enc = codec::PlannerEncode(nullptr, 0);
+  EXPECT_EQ(enc.total_count, 0u);
+  EXPECT_GE(enc.plan.decompression_passes(), 1);
+  EXPECT_TRUE(codec::PlannerDecodeHost(enc).empty());
+}
+
+TEST(EdgeTest, PlannerSingleTileColumn) {
+  auto values = GenUniformBits(codec::ZoneMap::kTileSize, 12, 3);
+  codec::PlannerEncoded enc =
+      codec::PlannerEncode(values.data(), values.size());
+  EXPECT_EQ(enc.total_count, values.size());
+  EXPECT_GE(enc.plan.decompression_passes(), 1);
+  EXPECT_EQ(codec::PlannerDecodeHost(enc), values);
+}
+
+TEST(EdgeTest, PlannerConstantColumn) {
+  // A constant column is the best case for RLE cascades; whatever plan wins
+  // must still decode bit-exactly and beat the uncompressed footprint.
+  std::vector<uint32_t> values(4096, 123456);
+  codec::PlannerEncoded enc =
+      codec::PlannerEncode(values.data(), values.size());
+  EXPECT_EQ(codec::PlannerDecodeHost(enc), values);
+  EXPECT_LT(enc.compressed_bytes(), values.size() * sizeof(uint32_t));
+}
+
+TEST(EdgeTest, NullableAllNullColumn) {
+  // Every slot null: validity collapses under RLE, values decode to
+  // nullopt everywhere, and null_count covers the whole column.
+  const size_t n = 2 * codec::ZoneMap::kTileSize;
+  std::vector<uint32_t> values(n, 0xABCDEF);
+  std::vector<uint8_t> validity(n, 0);
+  codec::NullableColumn col = codec::NullableColumn::Encode(values, validity);
+  EXPECT_EQ(col.size(), n);
+  EXPECT_EQ(col.null_count(), n);
+  const std::vector<std::optional<uint32_t>> decoded = col.DecodeHost();
+  ASSERT_EQ(decoded.size(), n);
+  for (const auto& v : decoded) EXPECT_FALSE(v.has_value());
+}
+
+TEST(EdgeTest, NullableEmptyColumn) {
+  codec::NullableColumn col = codec::NullableColumn::Encode({}, {});
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_EQ(col.null_count(), 0u);
+  EXPECT_TRUE(col.DecodeHost().empty());
 }
 
 }  // namespace

@@ -1,0 +1,205 @@
+// Property-based differential testing of the codec stack: a seeded generator
+// sweeps random (scheme x distribution x n x bit-width x tile-count)
+// configurations and checks that every one decodes bit-exactly through
+//
+//   * the host reference decoder (CompressedColumn::DecodeHost),
+//   * the fused device pipeline (kernels::Decompress, Pipeline::kFused),
+//   * the cascaded device pipeline (Pipeline::kCascaded),
+//
+// under both static and persistent (work-stealing) scheduling. Any failure
+// prints the reproducing seed and configuration via SCOPED_TRACE.
+//
+// Environment knobs:
+//   TILECOMP_PROPERTY_CONFIGS — number of configurations (default 240)
+//   TILECOMP_PROPERTY_SEED    — base seed (default 0xC0FFEE); rerun with the
+//                               seed a failure printed to reproduce it alone.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "codec/column.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "kernels/dispatch.h"
+#include "sim/device.h"
+
+namespace tilecomp {
+namespace {
+
+using codec::CompressedColumn;
+using codec::Scheme;
+
+constexpr Scheme kSchemes[] = {
+    Scheme::kNone, Scheme::kGpuFor, Scheme::kGpuDFor,
+    Scheme::kGpuRFor, Scheme::kNsf, Scheme::kNsv,
+    Scheme::kRle, Scheme::kGpuBp, Scheme::kSimdBp128,
+};
+
+enum class Dist {
+  kUniformBits,
+  kUniformRange,
+  kSortedUnique,
+  kNormal,
+  kZipf,
+  kRuns,
+  kSortedGaps,
+  kConstant,
+  kNumDists,
+};
+
+const char* DistName(Dist dist) {
+  switch (dist) {
+    case Dist::kUniformBits: return "uniform-bits";
+    case Dist::kUniformRange: return "uniform-range";
+    case Dist::kSortedUnique: return "sorted-unique";
+    case Dist::kNormal: return "normal";
+    case Dist::kZipf: return "zipf";
+    case Dist::kRuns: return "runs";
+    case Dist::kSortedGaps: return "sorted-gaps";
+    case Dist::kConstant: return "constant";
+    default: return "?";
+  }
+}
+
+struct Config {
+  Scheme scheme = Scheme::kNone;
+  Dist dist = Dist::kUniformBits;
+  size_t n = 0;
+  uint32_t bits = 0;
+  uint64_t seed = 0;
+
+  std::string Describe() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "scheme=%s dist=%s n=%zu bits=%u seed=0x%llX",
+                  codec::SchemeName(scheme), DistName(dist), n, bits,
+                  static_cast<unsigned long long>(seed));
+    return buf;
+  }
+};
+
+Config DrawConfig(Rng& rng, uint64_t seed) {
+  Config cfg;
+  cfg.seed = seed;
+  cfg.scheme = kSchemes[rng.NextBounded(std::size(kSchemes))];
+  cfg.dist = static_cast<Dist>(
+      rng.NextBounded(static_cast<uint64_t>(Dist::kNumDists)));
+  cfg.bits = 1 + static_cast<uint32_t>(rng.NextBounded(32));
+  // Sizes cluster around tile boundaries (512-value tiles) so tail-tile
+  // handling is exercised as often as bulk decoding: 1, k*512 - 1, k*512,
+  // k*512 + 1, plus fully random sizes up to 16 tiles.
+  const uint64_t tiles = 1 + rng.NextBounded(16);
+  switch (rng.NextBounded(5)) {
+    case 0: cfg.n = 1; break;
+    case 1: cfg.n = tiles * 512 - 1; break;
+    case 2: cfg.n = tiles * 512; break;
+    case 3: cfg.n = tiles * 512 + 1; break;
+    default: cfg.n = 1 + rng.NextBounded(16 * 512); break;
+  }
+  return cfg;
+}
+
+std::vector<uint32_t> Generate(const Config& cfg) {
+  const uint64_t seed = cfg.seed;
+  const uint32_t max_value =
+      cfg.bits >= 32 ? 0xFFFFFFFFu : ((1u << cfg.bits) - 1);
+  switch (cfg.dist) {
+    case Dist::kUniformBits:
+      return GenUniformBits(cfg.n, cfg.bits, seed);
+    case Dist::kUniformRange: {
+      const uint32_t lo = max_value / 4;
+      return GenUniformRange(cfg.n, lo, std::max(lo + 1, max_value), seed);
+    }
+    case Dist::kSortedUnique:
+      return GenSortedUnique(cfg.n, std::max<uint64_t>(1, max_value / 2),
+                             seed);
+    case Dist::kNormal:
+      return GenNormal(cfg.n, max_value / 2.0,
+                       std::max(1.0, max_value / 16.0), seed);
+    case Dist::kZipf:
+      return GenZipf(cfg.n, std::max<uint64_t>(2, max_value), 1.5, seed);
+    case Dist::kRuns:
+      return GenRuns(cfg.n, 1 + static_cast<uint32_t>(seed % 64),
+                     std::min(cfg.bits, 20u), seed);
+    case Dist::kSortedGaps:
+      return GenSortedGaps(cfg.n, 1 + (max_value >> 8), seed);
+    case Dist::kConstant:
+      return std::vector<uint32_t>(cfg.n,
+                                   static_cast<uint32_t>(seed) & max_value);
+    default:
+      return {};
+  }
+}
+
+uint64_t EnvU64(const char* name, uint64_t default_value) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? default_value
+                          : std::strtoull(value, nullptr, 0);
+}
+
+void CheckConfig(const Config& cfg) {
+  SCOPED_TRACE(cfg.Describe());
+  const std::vector<uint32_t> values = Generate(cfg);
+  ASSERT_EQ(values.size(), cfg.n);
+
+  const CompressedColumn column = CompressedColumn::Encode(cfg.scheme, values);
+  ASSERT_EQ(column.size(), cfg.n);
+
+  // Host reference decoder.
+  EXPECT_EQ(column.DecodeHost(), values) << "host reference mismatch";
+
+  // Device pipelines, both schedulings. Schemes with a single pipeline (or
+  // no scheduling knob) run the same kernels twice — still asserted.
+  sim::Device dev;
+  for (kernels::Pipeline pipeline :
+       {kernels::Pipeline::kFused, kernels::Pipeline::kCascaded}) {
+    for (sim::Scheduling scheduling :
+         {sim::Scheduling::kStatic, sim::Scheduling::kPersistent}) {
+      SCOPED_TRACE(std::string(pipeline == kernels::Pipeline::kFused
+                                   ? "fused"
+                                   : "cascaded") +
+                   "/" + sim::SchedulingName(scheduling));
+      kernels::DecompressRun run =
+          kernels::Decompress(dev, column, pipeline, scheduling);
+      EXPECT_EQ(run.output, values) << "device decode mismatch";
+    }
+  }
+}
+
+TEST(PropertyTest, RandomConfigSweepIsBitExact) {
+  const uint64_t base_seed = EnvU64("TILECOMP_PROPERTY_SEED", 0xC0FFEE);
+  const uint64_t configs = EnvU64("TILECOMP_PROPERTY_CONFIGS", 240);
+  for (uint64_t i = 0; i < configs; ++i) {
+    // Each config derives its own seed so a failure reproduces alone with
+    // TILECOMP_PROPERTY_SEED=<printed seed> TILECOMP_PROPERTY_CONFIGS=1.
+    Rng seeder(base_seed + i);
+    const uint64_t config_seed = i == 0 ? base_seed : seeder.Next();
+    Rng rng(config_seed);
+    CheckConfig(DrawConfig(rng, config_seed));
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      ADD_FAILURE() << "reproduce with TILECOMP_PROPERTY_SEED=0x" << std::hex
+                    << config_seed << " TILECOMP_PROPERTY_CONFIGS=1";
+      break;
+    }
+  }
+}
+
+// Directed regression configs: every scheme at the awkward sizes the random
+// sweep clusters around, with a constant and a single-value input.
+TEST(PropertyTest, DirectedEdgeConfigs) {
+  for (Scheme scheme : kSchemes) {
+    for (size_t n : {size_t{1}, size_t{511}, size_t{512}, size_t{513}}) {
+      Config cfg;
+      cfg.scheme = scheme;
+      cfg.dist = Dist::kConstant;
+      cfg.n = n;
+      cfg.bits = 7;
+      cfg.seed = 0xDEADBEEF;
+      CheckConfig(cfg);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tilecomp

@@ -415,7 +415,9 @@ TEST(SchedulerTelemetryTest, PersistentSpanRoundTripsThroughJson) {
   dev.AttachTracer(&tracer);
   kernels::Decompress(dev, col, Pipeline::kFused, Scheduling::kPersistent);
   const std::string json = telemetry::ToJson(tracer);
-  EXPECT_NE(json.find("\"schema\":\"tilecomp.trace.v3\""), std::string::npos)
+  EXPECT_NE(json.find(std::string("\"schema\":\"") +
+                      telemetry::kTraceSchema + "\""),
+            std::string::npos)
       << json.substr(0, 200);
 
   std::vector<telemetry::Span> spans;

@@ -1,0 +1,312 @@
+// Tests for the query-serving layer: TileCache replacement/pinning/budget
+// semantics (scripted, single-threaded, so every counter is exact) and the
+// Server's multi-stream serving loop (stress-tested for bit-exactness
+// against the host reference executor, cache on and off).
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "codec/systems.h"
+#include "gtest/gtest.h"
+#include "serve/server.h"
+#include "serve/tile_cache.h"
+#include "sim/device.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+namespace tilecomp::serve {
+namespace {
+
+constexpr uint32_t kTile = 512;
+constexpr uint64_t kTileBytes = kTile * sizeof(uint32_t);
+
+std::vector<uint32_t> TileValues(uint32_t fill) {
+  return std::vector<uint32_t>(kTile, fill);
+}
+
+// --- TileCache: scripted single-threaded semantics ---
+
+TEST(TileCacheTest, HitMissCountersAreExact) {
+  TileCache cache(4 * kTileBytes);
+  const std::vector<uint32_t> v = TileValues(7);
+
+  EXPECT_FALSE(cache.Lookup(0, 0).valid());  // miss
+  cache.Insert(0, 0, v.data(), kTile);
+  EXPECT_TRUE(cache.Lookup(0, 0, /*saved_encoded_bytes=*/100).valid());
+  EXPECT_TRUE(cache.Lookup(0, 0, /*saved_encoded_bytes=*/100).valid());
+  EXPECT_FALSE(cache.Lookup(0, 1).valid());
+  EXPECT_FALSE(cache.Lookup(1, 0).valid());  // same tile id, other column
+
+  const TileCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.saved_bytes, 200u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes_in_use, kTileBytes);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.4);
+}
+
+TEST(TileCacheTest, LruEvictsLeastRecentlyUsed) {
+  TileCache cache(3 * kTileBytes, EvictionPolicy::kLru);
+  const std::vector<uint32_t> v = TileValues(1);
+  for (uint32_t t = 0; t < 3; ++t) cache.Insert(0, t, v.data(), kTile);
+
+  // Touch tile 0: tile 1 becomes the LRU victim.
+  EXPECT_TRUE(cache.Lookup(0, 0).valid());
+  cache.Insert(0, 3, v.data(), kTile);
+
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_FALSE(cache.Contains(0, 1));
+  EXPECT_TRUE(cache.Contains(0, 2));
+  EXPECT_TRUE(cache.Contains(0, 3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(TileCacheTest, ClockGivesSecondChance) {
+  TileCache cache(3 * kTileBytes, EvictionPolicy::kClock);
+  const std::vector<uint32_t> v = TileValues(2);
+  for (uint32_t t = 0; t < 3; ++t) cache.Insert(0, t, v.data(), kTile);
+
+  // All reference bits are set; the first eviction sweep clears them and
+  // evicts the oldest entry (tile 0).
+  cache.Insert(0, 3, v.data(), kTile);
+  EXPECT_FALSE(cache.Contains(0, 0));
+
+  // Re-reference tile 1: the next eviction skips it (second chance) and
+  // takes tile 2, whose bit stayed clear.
+  EXPECT_TRUE(cache.Lookup(0, 1).valid());
+  cache.Insert(0, 4, v.data(), kTile);
+  EXPECT_TRUE(cache.Contains(0, 1));
+  EXPECT_FALSE(cache.Contains(0, 2));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(TileCacheTest, PinBlocksEviction) {
+  TileCache cache(2 * kTileBytes, EvictionPolicy::kLru);
+  const std::vector<uint32_t> v = TileValues(3);
+
+  TileCache::PinnedTile pinned = cache.Insert(0, 0, v.data(), kTile);
+  ASSERT_TRUE(pinned.valid());
+  cache.Insert(0, 1, v.data(), kTile);
+
+  // Tile 0 is the LRU victim but is pinned: tile 1 is evicted instead.
+  cache.Insert(0, 2, v.data(), kTile);
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_FALSE(cache.Contains(0, 1));
+
+  // Pin the remaining entry too: now nothing can be evicted and the insert
+  // is refused, never exceeding the budget.
+  TileCache::PinnedTile pinned2 = cache.Lookup(0, 2);
+  ASSERT_TRUE(pinned2.valid());
+  TileCache::PinnedTile refused = cache.Insert(0, 3, v.data(), kTile);
+  EXPECT_FALSE(refused.valid());
+  EXPECT_EQ(cache.stats().insert_failures, 1u);
+  EXPECT_LE(cache.stats().bytes_in_use, cache.budget_bytes());
+
+  // Releasing the pins makes room again.
+  pinned.Release();
+  pinned2.Release();
+  EXPECT_TRUE(cache.Insert(0, 3, v.data(), kTile).valid());
+}
+
+TEST(TileCacheTest, OversizedEntryIsRefused) {
+  TileCache cache(kTileBytes / 2);
+  const std::vector<uint32_t> v = TileValues(4);
+  EXPECT_FALSE(cache.Insert(0, 0, v.data(), kTile).valid());
+  EXPECT_EQ(cache.stats().insert_failures, 1u);
+  EXPECT_EQ(cache.stats().bytes_in_use, 0u);
+}
+
+TEST(TileCacheTest, BudgetNeverExceededUnderChurn) {
+  const uint64_t budget = 5 * kTileBytes + 100;  // deliberately unaligned
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kLru, EvictionPolicy::kClock}) {
+    TileCache cache(budget, policy);
+    uint64_t state = 12345;
+    for (int i = 0; i < 2000; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const uint32_t col = static_cast<uint32_t>(state >> 32) % 3;
+      const int64_t tile = static_cast<int64_t>((state >> 16) % 40);
+      // Variable tile sizes exercise partial tail tiles.
+      const uint32_t count = 1 + static_cast<uint32_t>(state % kTile);
+      if (state % 3 == 0) {
+        std::vector<uint32_t> v(count, col);
+        cache.Insert(col, tile, v.data(), count);
+      } else {
+        TileCache::PinnedTile pin = cache.Lookup(col, tile);
+        if (pin.valid()) {
+          EXPECT_EQ(pin.data()[0], col);
+        }
+      }
+      ASSERT_LE(cache.stats().bytes_in_use, budget);
+    }
+    const TileCache::Stats s = cache.stats();
+    EXPECT_GT(s.hits, 0u);
+    EXPECT_GT(s.evictions, 0u);
+  }
+}
+
+TEST(TileCacheTest, DuplicateInsertPinsExistingEntry) {
+  TileCache cache(4 * kTileBytes);
+  const std::vector<uint32_t> a = TileValues(10);
+  const std::vector<uint32_t> b = TileValues(20);
+  cache.Insert(0, 0, a.data(), kTile);
+  TileCache::PinnedTile pin = cache.Insert(0, 0, b.data(), kTile);
+  ASSERT_TRUE(pin.valid());
+  EXPECT_EQ(pin.data()[0], 10u);  // first insert wins
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(TileCacheTest, ClearKeepsPinnedEntries) {
+  TileCache cache(4 * kTileBytes);
+  const std::vector<uint32_t> v = TileValues(5);
+  TileCache::PinnedTile pin = cache.Insert(0, 0, v.data(), kTile);
+  cache.Insert(0, 1, v.data(), kTile);
+  cache.Clear();
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_FALSE(cache.Contains(0, 1));
+  pin.Release();
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes_in_use, 0u);
+}
+
+// --- Server: multi-stream serving loop ---
+
+const ssb::SsbData& TestData() {
+  static const ssb::SsbData* data =
+      new ssb::SsbData(ssb::GenerateSsbSmall(60000));
+  return *data;
+}
+
+std::vector<ssb::QueryId> StressBatch() {
+  // Every query twice, interleaved, so the second round hits tiles the
+  // first round inserted.
+  std::vector<ssb::QueryId> batch = ssb::AllQueries();
+  const std::vector<ssb::QueryId> again = ssb::AllQueries();
+  batch.insert(batch.end(), again.begin(), again.end());
+  return batch;
+}
+
+void ExpectBitExact(const ServeReport& report,
+                    const ssb::QueryRunner& runner) {
+  for (const ServedQuery& sq : report.queries) {
+    const ssb::QueryResult ref = runner.RunHostReference(sq.query);
+    EXPECT_EQ(sq.result.groups, ref.groups)
+        << "query " << ssb::QueryName(sq.query);
+  }
+}
+
+TEST(ServerTest, InlineSystemBitExactCacheOnAndOff) {
+  const ssb::SsbData& data = TestData();
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(data, codec::System::kGpuStar);
+  const std::vector<ssb::QueryId> batch = StressBatch();
+
+  for (bool use_cache : {false, true}) {
+    sim::Device dev;
+    ServeOptions options;
+    options.num_streams = 3;
+    options.max_concurrent = 2;
+    options.use_cache = use_cache;
+    options.cache_budget_bytes = 256ull << 20;  // holds the working set
+    Server server(dev, data, enc, options);
+    const ServeReport report = server.Serve(batch);
+
+    ASSERT_EQ(report.queries.size(), batch.size());
+    ExpectBitExact(report, server.runner());
+    EXPECT_GT(report.makespan_ms, 0.0);
+    EXPECT_GE(report.p95_latency_ms, report.p50_latency_ms);
+    if (use_cache) {
+      EXPECT_GT(report.cache.hits, 0u);
+      EXPECT_GT(report.cache.saved_bytes, 0u);
+      EXPECT_LE(report.cache.bytes_in_use, options.cache_budget_bytes);
+    } else {
+      EXPECT_EQ(report.cache.accesses(), 0u);
+    }
+  }
+}
+
+TEST(ServerTest, InlineSystemBitExactUnderEvictionPressure) {
+  // A budget far below the working set forces constant eviction while
+  // kernel-body threads are hitting the cache concurrently.
+  const ssb::SsbData& data = TestData();
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(data, codec::System::kGpuStar);
+  for (EvictionPolicy policy :
+       {EvictionPolicy::kLru, EvictionPolicy::kClock}) {
+    sim::Device dev;
+    ServeOptions options;
+    options.num_streams = 4;
+    options.use_cache = true;
+    options.policy = policy;
+    options.cache_budget_bytes = 64 * kTileBytes;
+    Server server(dev, data, enc, options);
+    const ServeReport report = server.Serve(StressBatch());
+    ExpectBitExact(report, server.runner());
+    EXPECT_GT(report.cache.evictions, 0u);
+    EXPECT_LE(report.cache.bytes_in_use, options.cache_budget_bytes);
+  }
+}
+
+TEST(ServerTest, DecompressSystemSkipsLaunchesWhenResident) {
+  const ssb::SsbData& data = TestData();
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(data, codec::System::kGpuBp);
+  // q2.1 twice: the second run finds every column tile resident.
+  const std::vector<ssb::QueryId> batch = {ssb::QueryId::kQ21,
+                                           ssb::QueryId::kQ21};
+
+  sim::Device dev_off;
+  ServeOptions off;
+  off.num_streams = 1;
+  off.use_cache = false;
+  Server server_off(dev_off, data, enc, off);
+  const ServeReport report_off = server_off.Serve(batch);
+
+  sim::Device dev_on;
+  ServeOptions on;
+  on.num_streams = 1;
+  on.use_cache = true;
+  on.cache_budget_bytes = 256ull << 20;
+  Server server_on(dev_on, data, enc, on);
+  const ServeReport report_on = server_on.Serve(batch);
+
+  ExpectBitExact(report_off, server_off.runner());
+  ExpectBitExact(report_on, server_on.runner());
+
+  // Second query's columns were all resident: its decompress launches were
+  // skipped entirely, and the batch read less global memory.
+  EXPECT_EQ(report_on.decompress_skips, 4u);  // q2.1 touches 4 columns
+  EXPECT_GT(report_on.cache.hits, 0u);
+  EXPECT_LT(report_on.global_bytes_read, report_off.global_bytes_read);
+}
+
+TEST(ServerTest, RoundRobinAssignsAllStreams) {
+  const ssb::SsbData& data = TestData();
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(data, codec::System::kNone);
+  sim::Device dev;
+  ServeOptions options;
+  options.num_streams = 3;
+  Server server(dev, data, enc, options);
+  const ServeReport report = server.Serve(
+      {ssb::QueryId::kQ11, ssb::QueryId::kQ12, ssb::QueryId::kQ13,
+       ssb::QueryId::kQ11});
+  std::vector<int> streams;
+  for (const ServedQuery& sq : report.queries) streams.push_back(sq.stream);
+  EXPECT_EQ(streams[0], streams[3]);  // wrapped around
+  EXPECT_NE(streams[0], streams[1]);
+  EXPECT_NE(streams[1], streams[2]);
+  for (const ServedQuery& sq : report.queries) {
+    EXPECT_GE(sq.latency_ms, 0.0);
+    EXPECT_LE(sq.finish_ms - sq.admit_ms, report.makespan_ms + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tilecomp::serve

@@ -376,6 +376,108 @@ TEST(ExportTest, LoadsV1TraceWithDefaultStream) {
   EXPECT_EQ(spans[0].transfer_bytes, 4096u);
 }
 
+TEST(ExportTest, CacheCountersRoundTripV4) {
+  // A kernel that records tile-cache activity exports a "cache" object under
+  // the v4 schema, and TraceFromJson restores every counter.
+  sim::Device dev;
+  Tracer tracer;
+  dev.AttachTracer(&tracer);
+  dev.Launch("serve.query", SmallLaunch(4), [](sim::BlockContext& ctx) {
+    ctx.CoalescedRead(2048, true);
+    if (ctx.block_id() == 0) {
+      ctx.CacheHit(1536);
+      ctx.CacheHit(1536);
+      ctx.CacheMiss();
+      ctx.CacheEvictions(3);
+    }
+  });
+
+  const std::string json = telemetry::ToJson(tracer);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
+  EXPECT_EQ(root.Get("schema").AsString(), "tilecomp.trace.v4");
+  const JsonValue& span = root.Get("spans").AsArray()[0];
+  ASSERT_TRUE(span.Has("cache"));
+  const JsonValue& cache = span.Get("cache");
+  EXPECT_EQ(cache.Get("hits").AsUint64(), 2u);
+  EXPECT_EQ(cache.Get("misses").AsUint64(), 1u);
+  EXPECT_EQ(cache.Get("evictions").AsUint64(), 3u);
+  EXPECT_EQ(cache.Get("saved_bytes").AsUint64(), 3072u);
+
+  std::vector<Span> loaded;
+  ASSERT_TRUE(telemetry::TraceFromJson(json, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  const sim::CacheCounters& counters = loaded[0].kernel.stats.cache;
+  EXPECT_EQ(counters.hits, 2u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.evictions, 3u);
+  EXPECT_EQ(counters.saved_bytes, 3072u);
+}
+
+TEST(ExportTest, LoadsV3TraceWithZeroCacheCounters) {
+  // A v3 document (scheduling/wave fields, no "cache" object): loads fine,
+  // cache counters default to zero.
+  const std::string v3 =
+      "{\"schema\":\"tilecomp.trace.v3\",\"spans\":["
+      "{\"kind\":\"kernel\",\"name\":\"k\",\"path\":\"\",\"depth\":0,"
+      "\"stream\":2,\"start_ms\":0,\"duration_ms\":1.5,"
+      "\"config\":{\"grid_dim\":8,\"block_threads\":128,"
+      "\"smem_bytes_per_block\":0,\"regs_per_thread\":32,"
+      "\"scheduling\":\"persistent\"},"
+      "\"stats\":{\"global_bytes_read\":4096,\"global_bytes_written\":0,"
+      "\"warp_global_accesses\":32,\"shared_bytes\":0,\"compute_ops\":100,"
+      "\"barriers\":0,\"atomic_ops\":7},"
+      "\"breakdown_ms\":{\"launch\":0.1,\"bandwidth\":0.2,\"latency\":0.3,"
+      "\"scheduling\":0.1,\"shared\":0,\"compute\":0.4,\"atomic\":0.05,"
+      "\"tail\":0.35},"
+      "\"occupancy\":0.5,"
+      "\"wave\":{\"scheduling\":\"persistent\",\"slots\":256,\"waves\":1,"
+      "\"mean_cost\":1.0,\"max_cost\":2.0,\"p99_cost\":1.9,"
+      "\"imbalance\":2.0}}]}";
+  std::vector<Span> spans;
+  std::string error;
+  ASSERT_TRUE(telemetry::TraceFromJson(v3, &spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 1u);
+  const sim::KernelResult& k = spans[0].kernel;
+  EXPECT_EQ(k.config.scheduling, sim::Scheduling::kPersistent);
+  EXPECT_EQ(k.stats.atomic_ops, 7u);
+  EXPECT_EQ(k.breakdown.wave.slots, 256);
+  EXPECT_EQ(spans[0].stream_id, 2);
+  EXPECT_EQ(k.stats.cache.hits, 0u);
+  EXPECT_EQ(k.stats.cache.misses, 0u);
+  EXPECT_EQ(k.stats.cache.evictions, 0u);
+  EXPECT_EQ(k.stats.cache.saved_bytes, 0u);
+}
+
+TEST(ExportTest, LoadsV2TraceKernelSpan) {
+  // A v2 document (streams, but pre-scheduling and pre-cache): loads fine,
+  // scheduling defaults to static and cache counters to zero.
+  const std::string v2 =
+      "{\"schema\":\"tilecomp.trace.v2\",\"spans\":["
+      "{\"kind\":\"kernel\",\"name\":\"k\",\"path\":\"\",\"depth\":0,"
+      "\"stream\":1,\"start_ms\":0,\"duration_ms\":1.0,"
+      "\"config\":{\"grid_dim\":4,\"block_threads\":128,"
+      "\"smem_bytes_per_block\":0,\"regs_per_thread\":32},"
+      "\"stats\":{\"global_bytes_read\":1024,\"global_bytes_written\":0,"
+      "\"warp_global_accesses\":8,\"shared_bytes\":0,\"compute_ops\":10,"
+      "\"barriers\":0},"
+      "\"breakdown_ms\":{\"launch\":0.1,\"bandwidth\":0.2,\"latency\":0.3,"
+      "\"scheduling\":0.1,\"shared\":0,\"compute\":0.3},"
+      "\"occupancy\":0.25}]}";
+  std::vector<Span> spans;
+  std::string error;
+  ASSERT_TRUE(telemetry::TraceFromJson(v2, &spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 1u);
+  const sim::KernelResult& k = spans[0].kernel;
+  EXPECT_EQ(spans[0].stream_id, 1);
+  EXPECT_EQ(k.config.scheduling, sim::Scheduling::kStatic);
+  EXPECT_EQ(k.stats.global_bytes_read, 1024u);
+  EXPECT_EQ(k.stats.atomic_ops, 0u);
+  EXPECT_EQ(k.stats.cache.hits, 0u);
+  EXPECT_EQ(k.stats.cache.saved_bytes, 0u);
+}
+
 TEST(ExportTest, RejectsUnknownTraceSchema) {
   std::vector<Span> spans;
   std::string error;
