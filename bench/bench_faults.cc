@@ -1,0 +1,201 @@
+// Fault-injection sweep: a Zipfian SSB query mix served under seeded faults
+// at every site (device alloc, transfer, kernel launch, tile decode, cache
+// insert), with the per-site rate swept from 0 to 10%.
+//
+// The acceptance bar is correctness, not speed: at EVERY rate, every query
+// either returns results bit-exact against the host reference executor or
+// carries a clean per-query error status (transfer_failed / launch_failed /
+// decode_failed). A query that reports kOk with wrong groups fails the run
+// with exit 1 — the harness exists to prove injected faults degrade to
+// retries and clean errors, never to silent corruption.
+//
+// Per rate the table reports what the plan injected per site, how much
+// recovery cost (retries, terminal failures), how many queries failed
+// cleanly, and the makespan inflation from backoff + re-issues. --json
+// <path> emits machine-readable BENCH_faults.json (schema
+// tilecomp.bench_faults.v1) for cross-PR tracking.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "fault/fault.h"
+#include "serve/server.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "telemetry/export.h"
+
+namespace tilecomp {
+namespace {
+
+codec::System ParseSystem(const std::string& name) {
+  if (name == "nvcomp") return codec::System::kNvcomp;
+  if (name == "planner") return codec::System::kPlanner;
+  if (name == "gpubp") return codec::System::kGpuBp;
+  if (name == "gpustar") return codec::System::kGpuStar;
+  if (name == "none") return codec::System::kNone;
+  std::fprintf(stderr,
+               "unknown --system '%s' (want nvcomp|planner|gpubp|gpustar|"
+               "none)\n",
+               name.c_str());
+  std::exit(1);
+}
+
+struct Row {
+  double rate = 0.0;
+  fault::FaultStats faults;
+  uint64_t ok_queries = 0;
+  uint64_t failed_queries = 0;
+  uint64_t invalidations = 0;
+  double p95_ms = 0.0;
+  double makespan_ms = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint32_t rows = static_cast<uint32_t>(flags.GetInt("rows", 60000));
+  const size_t batch_size = static_cast<size_t>(flags.GetInt("queries", 48));
+  const double alpha = flags.GetDouble("alpha", 1.2);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const int streams = static_cast<int>(flags.GetInt("streams", 4));
+  const std::string system_name = flags.GetString("system", "gpubp");
+  const codec::System system = ParseSystem(system_name);
+
+  const ssb::SsbData data = ssb::GenerateSsbSmall(rows);
+  const ssb::EncodedLineorder lineorder = ssb::EncodeLineorder(data, system);
+
+  // Zipfian query mix, same construction as bench_serve.
+  const std::vector<ssb::QueryId> all = ssb::AllQueries();
+  const std::vector<uint32_t> ranks =
+      GenZipf(batch_size, all.size(), alpha, seed);
+  std::vector<ssb::QueryId> batch(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) batch[i] = all[ranks[i]];
+
+  bench::PrintTitle("Fault injection: Zipfian SSB mix under seeded faults (" +
+                    std::string(codec::SystemName(system)) + ")");
+  bench::PrintNote("rows=" + std::to_string(data.lineorder.size()) +
+                   " batch=" + std::to_string(batch_size) +
+                   " alpha=" + std::to_string(alpha) +
+                   " seed=" + std::to_string(seed) +
+                   "; every kOk query is checked bit-exact vs host reference");
+
+  std::vector<ssb::QueryResult> expected;
+  {
+    ssb::QueryRunner reference(data);
+    for (ssb::QueryId q : batch) {
+      expected.push_back(reference.RunHostReference(q));
+    }
+  }
+
+  std::printf("%-7s %9s %9s %9s %9s %6s %6s %9s %10s\n", "rate", "injected",
+              "retries", "terminal", "invalid", "ok", "failed", "p95_ms",
+              "makespan");
+
+  std::vector<Row> rows_out;
+  const double rates[] = {0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.10};
+  for (double rate : rates) {
+    fault::FaultPlan plan(fault::FaultPlanOptions::Uniform(rate, seed));
+    serve::ServeOptions options;
+    options.num_streams = streams;
+    options.fault_plan = &plan;
+    options.model_transfers = true;
+    sim::Device dev;
+    serve::Server server(dev, data, lineorder, options);
+    const serve::ServeReport report = server.Serve(batch);
+
+    Row row;
+    row.rate = rate;
+    row.faults = report.faults;
+    row.invalidations = report.cache.invalidations;
+    row.p95_ms = report.p95_latency_ms;
+    row.makespan_ms = report.makespan_ms;
+    for (size_t i = 0; i < report.queries.size(); ++i) {
+      const serve::ServedQuery& sq = report.queries[i];
+      if (sq.status != serve::QueryStatus::kOk) {
+        ++row.failed_queries;
+        continue;
+      }
+      ++row.ok_queries;
+      if (sq.result.groups != expected[i].groups) {
+        std::fprintf(stderr,
+                     "WRONG ANSWER: %s reported ok but diverges from the "
+                     "host reference at rate %.3f (seed %" PRIu64 ")\n",
+                     ssb::QueryName(sq.query), rate, seed);
+        return 1;
+      }
+    }
+    if (row.failed_queries != report.failed_queries) {
+      std::fprintf(stderr, "failed_queries miscount at rate %.3f\n", rate);
+      return 1;
+    }
+    if (rate == 0.0 &&
+        (row.failed_queries != 0 || row.faults.total_injected() != 0)) {
+      std::fprintf(stderr, "rate 0 must inject nothing and fail nothing\n");
+      return 1;
+    }
+    rows_out.push_back(row);
+
+    std::printf("%-7.3f %9" PRIu64 " %9" PRIu64 " %9" PRIu64 " %9" PRIu64
+                " %6" PRIu64 " %6" PRIu64 " %9.4f %10.4f\n",
+                rate, row.faults.total_injected(), row.faults.retries,
+                row.faults.terminal_failures, row.invalidations,
+                row.ok_queries, row.failed_queries, row.p95_ms,
+                row.makespan_ms);
+  }
+  bench::PrintNote(
+      "every ok query above was verified bit-exact; failed queries carry a "
+      "clean status (transfer/launch/decode) — no wrong answers at any rate");
+
+  if (flags.Has("json")) {
+    std::string out;
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "{\"schema\":\"tilecomp.bench_faults.v1\","
+                  "\"system\":\"%s\",\"rows\":%u,\"batch\":%zu,"
+                  "\"alpha\":%.3f,\"seed\":%" PRIu64 ",\"results\":[",
+                  codec::SystemName(system), data.lineorder.size(), batch_size,
+                  alpha, seed);
+    out.append(head);
+    for (size_t i = 0; i < rows_out.size(); ++i) {
+      const Row& r = rows_out[i];
+      char site_buf[256];
+      std::string sites = "{";
+      for (int s = 0; s < fault::kNumFaultSites; ++s) {
+        std::snprintf(site_buf, sizeof(site_buf), "%s\"%s\":%" PRIu64,
+                      s == 0 ? "" : ",",
+                      fault::FaultSiteName(static_cast<fault::FaultSite>(s)),
+                      r.faults.injected[static_cast<size_t>(s)]);
+        sites.append(site_buf);
+      }
+      sites.append("}");
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\n  {\"rate\":%.4f,\"injected\":%" PRIu64
+          ",\"injected_by_site\":%s,\"retries\":%" PRIu64
+          ",\"terminal_failures\":%" PRIu64 ",\"invalidations\":%" PRIu64
+          ",\"ok_queries\":%" PRIu64 ",\"failed_queries\":%" PRIu64
+          ",\"p95_ms\":%.6f,\"makespan_ms\":%.6f}",
+          i == 0 ? "" : ",", r.rate, r.faults.total_injected(), sites.c_str(),
+          r.faults.retries, r.faults.terminal_failures, r.invalidations,
+          r.ok_queries, r.failed_queries, r.p95_ms, r.makespan_ms);
+      out.append(buf);
+    }
+    out.append("\n]}\n");
+    const std::string path = flags.GetString("json", "BENCH_faults.json");
+    if (!telemetry::WriteTextFile(path, out)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

@@ -17,13 +17,18 @@ inline uint32_t BitsNeeded64(uint64_t v) {
   return v == 0 ? 0u : 64u - static_cast<uint32_t>(std::countl_zero(v));
 }
 
-// ceil(a / b) for positive integers.
+// ceil(a / b) for non-negative a, positive b. Written as div + remainder
+// test rather than the classic (a + b - 1) / b, which wraps when a is
+// within b of the type's max — reachable here from 64-bit payload sizing
+// in the serializer (e.g., CeilDiv(byte_count, 4096) near UINT64_MAX).
 template <typename T>
 constexpr T CeilDiv(T a, T b) {
-  return (a + b - 1) / b;
+  return a / b + (a % b != 0 ? 1 : 0);
 }
 
-// Round `a` up to the nearest multiple of `b`.
+// Round `a` up to the nearest multiple of `b`. Note the multiply can still
+// overflow when the rounded value itself exceeds the type's range; callers
+// pass values at least one multiple of `b` below the max.
 template <typename T>
 constexpr T RoundUp(T a, T b) {
   return CeilDiv(a, b) * b;

@@ -1,0 +1,116 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tilecomp::fault {
+
+namespace {
+
+// SplitMix64: the full-period mixer everything below derives draws from.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Top 53 bits -> uniform double in [0, 1).
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+// Distinct salt per site so the same sequence number / key draws
+// independently at different sites.
+uint64_t SiteSalt(FaultSite site) {
+  return 0xa076'1d64'78bd'642full * (static_cast<uint64_t>(site) + 1);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDeviceAlloc:
+      return "device_alloc";
+    case FaultSite::kTransfer:
+      return "transfer";
+    case FaultSite::kKernelLaunch:
+      return "kernel_launch";
+    case FaultSite::kTileDecode:
+      return "tile_decode";
+    case FaultSite::kCacheInsert:
+      return "cache_insert";
+  }
+  return "?";
+}
+
+FaultPlanOptions FaultPlanOptions::Uniform(double rate, uint64_t seed) {
+  FaultPlanOptions options;
+  options.seed = seed;
+  options.rate.fill(rate);
+  return options;
+}
+
+FaultPlan::FaultPlan(FaultPlanOptions options) : options_(options) {
+  for (double r : options_.rate) {
+    TILECOMP_CHECK_MSG(r >= 0.0 && r <= 1.0, "fault rate must be in [0, 1]");
+  }
+}
+
+bool FaultPlan::DecideLocked(FaultSite site, uint64_t mixin) {
+  const int s = static_cast<int>(site);
+  ++stats_.consults[static_cast<size_t>(s)];
+  const double rate = options_.rate[static_cast<size_t>(s)];
+  if (rate <= 0.0) return false;
+  const double draw =
+      ToUnit(Mix64(options_.seed ^ SiteSalt(site) ^ Mix64(mixin)));
+  const bool fault = rate >= 1.0 || draw < rate;
+  if (fault) ++stats_.injected[static_cast<size_t>(s)];
+  return fault;
+}
+
+bool FaultPlan::ShouldFault(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t n = seq_[static_cast<size_t>(site)]++;
+  return DecideLocked(site, n);
+}
+
+bool FaultPlan::ShouldFault(FaultSite site, uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DecideLocked(site, key);
+}
+
+void FaultPlan::CountRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.retries;
+}
+
+void FaultPlan::CountTerminalFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.terminal_failures;
+}
+
+double FaultPlan::BackoffMs(int attempt) const {
+  const double raw =
+      options_.backoff_base_ms * std::ldexp(1.0, std::min(attempt, 62));
+  return std::min(options_.backoff_cap_ms, raw);
+}
+
+uint64_t FaultPlan::TileKey(uint32_t column_id, int64_t tile_id, int attempt) {
+  return Mix64((static_cast<uint64_t>(column_id) << 40) ^
+               static_cast<uint64_t>(tile_id)) ^
+         static_cast<uint64_t>(attempt);
+}
+
+FaultStats FaultPlan::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultPlan::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  seq_.fill(0);
+  stats_ = FaultStats();
+}
+
+}  // namespace tilecomp::fault

@@ -1,0 +1,125 @@
+// Deterministic fault injection for the encode -> serve path.
+//
+// A FaultPlan is a seeded oracle that the simulator and the serving layer
+// consult at well-defined injection points: device allocation, PCIe
+// transfer, kernel launch, tile decode and cache insert. Each consult is a
+// pseudo-random draw derived purely from the plan's seed plus either a
+// per-site sequence number (serial sites: transfers and launches issue from
+// the host in order) or a caller-supplied key (concurrent sites: decode and
+// insert fire from kernel-body host threads, where arrival order is not
+// deterministic but (column, tile, attempt) is).
+//
+// The plan never performs the degradation itself — each consumer owns its
+// recovery path (device: capped exponential backoff with bounded attempts;
+// cache: refuse the insert and let the loader fall back to inline decode;
+// loader: invalidate poisoned entries and re-decode). The plan just decides
+// *when* a site fails and counts what happened, so a bench or test can
+// assert that a whole serving batch stayed bit-exact (or failed cleanly)
+// under any seeded fault mix.
+//
+//   fault::FaultPlan plan(fault::FaultPlanOptions::Uniform(0.05, /*seed=*/9));
+//   serve::ServeOptions opts;
+//   opts.fault_plan = &plan;
+//   ...serve a batch; every query is bit-exact or carries an error status...
+//   fault::FaultStats stats = plan.stats();  // injected/retry counts
+#ifndef TILECOMP_FAULT_FAULT_H_
+#define TILECOMP_FAULT_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "common/macros.h"
+
+namespace tilecomp::fault {
+
+// The injection points a plan can fire at.
+enum class FaultSite {
+  kDeviceAlloc = 0,  // device-memory allocation (cache entry buffers)
+  kTransfer,         // PCIe transfer (Device::TryTransferAsync)
+  kKernelLaunch,     // kernel launch at issue (Device::Launch)
+  kTileDecode,       // decoding one tile under a query (CachedTileLoader)
+  kCacheInsert,      // tile-cache admission (TileCache::Insert)
+};
+inline constexpr int kNumFaultSites = 5;
+
+const char* FaultSiteName(FaultSite site);
+
+struct FaultPlanOptions {
+  uint64_t seed = 1;
+  // Per-consult fault probability for each site, in [0, 1].
+  std::array<double, kNumFaultSites> rate = {};
+  // Bounded attempts per operation (1 = no retries). Transfers and launches
+  // retry with capped exponential backoff; tile decodes re-run the decode.
+  int max_transfer_attempts = 4;
+  int max_launch_attempts = 4;
+  int max_decode_attempts = 3;
+  // Backoff penalty for retry r (0-based): min(cap, base * 2^r), ms.
+  double backoff_base_ms = 0.02;
+  double backoff_cap_ms = 0.5;
+
+  // Every site at the same rate — the bench_faults sweep configuration.
+  static FaultPlanOptions Uniform(double rate, uint64_t seed = 1);
+};
+
+// Monotonic counters of what the plan injected and what it cost.
+struct FaultStats {
+  std::array<uint64_t, kNumFaultSites> consults = {};
+  std::array<uint64_t, kNumFaultSites> injected = {};
+  // Recovery attempts consumers made after an injected fault.
+  uint64_t retries = 0;
+  // Operations that exhausted their attempt budget (the caller surfaces
+  // these as a per-query error status, never as a wrong answer).
+  uint64_t terminal_failures = 0;
+
+  uint64_t total_injected() const {
+    uint64_t total = 0;
+    for (uint64_t n : injected) total += n;
+    return total;
+  }
+};
+
+// Thread-safe: consulted concurrently from kernel-body host threads (tile
+// decode / cache insert) and the host issue thread (transfers, launches).
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanOptions options);
+
+  TILECOMP_DISALLOW_COPY_AND_ASSIGN(FaultPlan);
+
+  // Sequence-deterministic draw: the n-th consult of `site` always decides
+  // the same way for a given seed. Use from serial issue sites.
+  bool ShouldFault(FaultSite site);
+
+  // Key-deterministic draw: depends only on (seed, site, key), independent
+  // of consult order. Use from concurrent sites with a stable identity,
+  // e.g. key = Mix(column_id, tile_id, attempt).
+  bool ShouldFault(FaultSite site, uint64_t key);
+
+  // Recovery bookkeeping, called by the consumer that owns the retry loop.
+  void CountRetry();
+  void CountTerminalFailure();
+
+  // Backoff penalty for 0-based retry `attempt`: min(cap, base * 2^attempt).
+  double BackoffMs(int attempt) const;
+
+  // Stable key for per-tile consults.
+  static uint64_t TileKey(uint32_t column_id, int64_t tile_id, int attempt);
+
+  const FaultPlanOptions& options() const { return options_; }
+  FaultStats stats() const;
+  // Clear stats and sequence counters: replays decide identically again.
+  void Reset();
+
+ private:
+  bool DecideLocked(FaultSite site, uint64_t mixin);
+
+  const FaultPlanOptions options_;
+  mutable std::mutex mu_;
+  std::array<uint64_t, kNumFaultSites> seq_ = {};
+  FaultStats stats_;
+};
+
+}  // namespace tilecomp::fault
+
+#endif  // TILECOMP_FAULT_FAULT_H_

@@ -60,8 +60,10 @@ void RunScope::Finish(DecompressRun* run) const {
   const std::vector<sim::KernelResult>& log = dev_.launch_log();
   run->launches.assign(log.begin() + start_launches_, log.end());
   run->stats = sim::KernelStats();
+  run->ok = true;
   for (const sim::KernelResult& launch : run->launches) {
     run->stats += launch.stats;
+    if (launch.failed) run->ok = false;
   }
 }
 

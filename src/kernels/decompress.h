@@ -36,6 +36,11 @@ struct DecompressRun {
   std::vector<sim::KernelResult> launches;
   // Aggregate traffic across `launches`.
   sim::KernelStats stats;
+  // False when any launch of the run exhausted its fault-injection attempt
+  // budget (KernelResult::failed): that kernel's body never ran, so `output`
+  // is incomplete and must not be consumed or cached. Always true without an
+  // attached fault plan.
+  bool ok = true;
 
   uint64_t kernel_launches() const { return launches.size(); }
 };

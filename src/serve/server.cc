@@ -9,6 +9,20 @@
 
 namespace tilecomp::serve {
 
+const char* QueryStatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kTransferFailed:
+      return "transfer_failed";
+    case QueryStatus::kLaunchFailed:
+      return "launch_failed";
+    case QueryStatus::kDecodeFailed:
+      return "decode_failed";
+  }
+  return "?";
+}
+
 uint64_t TileEncodedBytes(const codec::CompressedColumn& column) {
   if (column.size() == 0) return 0;
   const int64_t tiles = crystal::NumTiles(column.size());
@@ -25,16 +39,47 @@ uint32_t CachedTileLoader::Load(sim::BlockContext& ctx,
       column.scheme() == codec::Scheme::kNone ? 0 : TileEncodedBytes(column);
   TileCache::PinnedTile pin = cache_->Lookup(column_id, tile_id, saved);
   if (pin.valid()) {
-    const uint32_t n = pin.count();
-    std::memcpy(out_tile, pin.data(), n * sizeof(uint32_t));
-    // A hit reads the decoded tile back from global memory — more bytes than
-    // the encoded form, but no decode compute, shared staging or barriers.
-    ctx.CoalescedRead(n * sizeof(uint32_t), true);
-    ctx.CacheHit(saved);
-    return n;
+    // Poisoned-tile injection: the cached copy is deemed corrupt. Drop the
+    // pin, invalidate the entry so no other query can read the poison, and
+    // fall through to the miss path for a fresh decode.
+    if (fault_plan_ != nullptr &&
+        fault_plan_->ShouldFault(fault::FaultSite::kTileDecode)) {
+      pin.Release();
+      cache_->Invalidate(column_id, tile_id);
+    } else {
+      const uint32_t n = pin.count();
+      std::memcpy(out_tile, pin.data(), n * sizeof(uint32_t));
+      // A hit reads the decoded tile back from global memory — more bytes
+      // than the encoded form, but no decode compute, shared staging or
+      // barriers.
+      ctx.CoalescedRead(n * sizeof(uint32_t), true);
+      ctx.CacheHit(saved);
+      return n;
+    }
   }
-  const uint32_t n = crystal::LoadColumnTile(ctx, column, tile_id, out_tile);
+  uint32_t n = crystal::LoadColumnTile(ctx, column, tile_id, out_tile);
   ctx.CacheMiss();
+  if (fault_plan_ != nullptr) {
+    // Decode faults: re-run the decode up to the attempt budget (keyed by
+    // (column, tile, attempt) so concurrent blocks decide deterministically).
+    // Terminal failure zeroes the tile and raises the sticky flag — the
+    // server fails the query cleanly; the zeros are never served as data.
+    const int max_attempts =
+        std::max(1, fault_plan_->options().max_decode_attempts);
+    int attempt = 0;
+    while (fault_plan_->ShouldFault(
+        fault::FaultSite::kTileDecode,
+        fault::FaultPlan::TileKey(column_id, tile_id, attempt))) {
+      if (++attempt >= max_attempts) {
+        fault_plan_->CountTerminalFailure();
+        std::memset(out_tile, 0, n * sizeof(uint32_t));
+        decode_failed_.store(true, std::memory_order_relaxed);
+        return n;
+      }
+      fault_plan_->CountRetry();
+      n = crystal::LoadColumnTile(ctx, column, tile_id, out_tile);
+    }
+  }
   uint64_t evicted = 0;
   TileCache::PinnedTile inserted =
       cache_->Insert(column_id, tile_id, out_tile, n, &evicted);
@@ -53,14 +98,20 @@ Server::Server(sim::Device& dev, const ssb::SsbData& data,
       options_(options),
       runner_(data),
       cache_(options.cache_budget_bytes, options.policy),
-      loader_(&cache_) {
+      loader_(&cache_, options.fault_plan) {
   const int n = std::max(1, options_.num_streams);
   for (int i = 0; i < n; ++i) streams_.push_back(dev_.CreateStream());
+  if (options_.fault_plan != nullptr) {
+    // Wire every injection point: the device (transfers + launches), the
+    // cache (alloc/insert) and the loader (decode/poison, set above).
+    dev_.AttachFaultPlan(options_.fault_plan);
+    cache_.set_fault_plan(options_.fault_plan);
+  }
 }
 
 ssb::EncodedLineorder Server::MaterializeColumns(
     ssb::QueryId query, std::vector<TileCache::PinnedTile>* pins,
-    uint64_t* decompress_skips) {
+    uint64_t* decompress_skips, QueryStatus* status) {
   ssb::EncodedLineorder out;
   out.system = codec::System::kNone;
   for (ssb::LoCol col : ssb::QueryColumns(query)) {
@@ -69,14 +120,24 @@ ssb::EncodedLineorder Server::MaterializeColumns(
     const int64_t tiles = crystal::NumTiles(count);
     const uint32_t col_id = static_cast<uint32_t>(col);
 
+    // An empty column has no tiles to pin, upload or decompress — it would
+    // otherwise fall into the miss path below (zero tiles can never be "all
+    // resident") and run a pointless decompress of nothing.
+    if (count == 0) {
+      out.cols[static_cast<int>(col)] =
+          codec::SystemEncode(codec::System::kNone, {});
+      continue;
+    }
+
     // Pin whatever is resident; the column is served from the cache only if
     // that is all of it.
     std::vector<TileCache::PinnedTile> col_pins;
     col_pins.reserve(static_cast<size_t>(tiles));
-    bool all_resident = tiles > 0;
+    bool all_resident = true;
     for (int64_t t = 0; t < tiles && all_resident; ++t) {
-      col_pins.push_back(cache_.Peek(col_id, t));
-      all_resident = col_pins.back().valid();
+      TileCache::PinnedTile pin = cache_.Peek(col_id, t);
+      all_resident = pin.valid();
+      if (all_resident) col_pins.push_back(std::move(pin));
     }
 
     std::vector<uint32_t> values;
@@ -102,7 +163,26 @@ ssb::EncodedLineorder Server::MaterializeColumns(
       // Decompress on this query's stream and insert every tile, pinned for
       // the duration of the query. The column-granularity fetch missed, so
       // account one miss per tile.
+      col_pins.clear();
+      if (options_.model_transfers) {
+        // Upload the encoded stream first. A terminal transfer fault fails
+        // the whole query cleanly — nothing decoded so far is wrong, it
+        // just never arrived.
+        const sim::Device::TransferResult xfer =
+            dev_.TryTransfer(sc.compressed_bytes());
+        if (!xfer.ok) {
+          *status = QueryStatus::kTransferFailed;
+          return out;
+        }
+      }
       kernels::DecompressRun run = codec::SystemDecompress(dev_, sc);
+      // A failed launch inside the pipeline never ran its body: run.output
+      // is incomplete. Fail the query before any tile of it can reach the
+      // cache — this is the cache-poisoning guard.
+      if (!run.ok) {
+        *status = QueryStatus::kLaunchFailed;
+        return out;
+      }
       values = std::move(run.output);
       cache_.CountMisses(static_cast<uint64_t>(tiles));
       for (int64_t t = 0; t < tiles; ++t) {
@@ -147,19 +227,39 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
     sq.query = batch[i];
     sq.stream = stream;
     sq.admit_ms = dev_.stream_tail_ms(stream);
+    // This query's slice of the launch log, for the launch-failure scan.
+    const size_t q_log_start = dev_.launch_log().size();
     if (decompress_system && options_.use_cache) {
       std::vector<TileCache::PinnedTile> pins;
-      ssb::EncodedLineorder materialized =
-          MaterializeColumns(batch[i], &pins, &report.decompress_skips);
+      ssb::EncodedLineorder materialized = MaterializeColumns(
+          batch[i], &pins, &report.decompress_skips, &sq.status);
       // The query kernel reads resident tiles straight from the cache; the
-      // materialized copy is only the loader's miss backstop.
-      sq.result = runner_.Run(dev_, materialized, batch[i], &loader_);
+      // materialized copy is only the loader's miss backstop. A query whose
+      // materialization already failed is not run at all.
+      if (sq.status == QueryStatus::kOk) {
+        sq.result = runner_.Run(dev_, materialized, batch[i], &loader_);
+      }
       // `pins` release here, after the query's launches are issued.
     } else {
       crystal::TileLoader* loader =
           options_.use_cache && !decompress_system ? &loader_ : nullptr;
       sq.result = runner_.Run(dev_, lineorder_, batch[i], loader);
     }
+    // Any launch of this query that exhausted its attempt budget never ran
+    // its body — the query's aggregates are unusable.
+    const std::vector<sim::KernelResult>& qlog = dev_.launch_log();
+    for (size_t j = q_log_start; j < qlog.size(); ++j) {
+      if (qlog[j].failed && sq.status == QueryStatus::kOk) {
+        sq.status = QueryStatus::kLaunchFailed;
+      }
+    }
+    // Always consume the loader's sticky flag so a decode failure in this
+    // query can never leak into the next one's status.
+    const bool decode_failed = loader_.TakeDecodeFailure();
+    if (decode_failed && sq.status == QueryStatus::kOk) {
+      sq.status = QueryStatus::kDecodeFailed;
+    }
+    if (sq.status != QueryStatus::kOk) ++report.failed_queries;
     sq.finish_ms = dev_.stream_tail_ms(stream);
     sq.latency_ms = sq.finish_ms - sq.admit_ms;
     done[i] = dev_.RecordEvent(stream);
@@ -185,6 +285,9 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
     report.global_bytes_read += log[i].stats.global_bytes_read;
   }
   report.cache = cache_.stats();
+  if (options_.fault_plan != nullptr) {
+    report.faults = options_.fault_plan->stats();
+  }
   return report;
 }
 

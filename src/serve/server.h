@@ -24,29 +24,64 @@
 #ifndef TILECOMP_SERVE_SERVER_H_
 #define TILECOMP_SERVE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "crystal/load_column.h"
+#include "fault/fault.h"
 #include "serve/tile_cache.h"
 #include "sim/device.h"
 #include "ssb/queries.h"
 
 namespace tilecomp::serve {
 
+// Per-query outcome under fault injection. Everything except kOk means the
+// query's result must be discarded — the server degrades to a clean error
+// status, never to a wrong answer.
+enum class QueryStatus {
+  kOk = 0,
+  kTransferFailed,  // a column upload exhausted its transfer attempts
+  kLaunchFailed,    // a kernel launch exhausted its issue attempts
+  kDecodeFailed,    // a tile decode exhausted its attempts (output zeroed)
+};
+
+const char* QueryStatusName(QueryStatus status);
+
 // Tile-load strategy backed by a TileCache. Safe for concurrent use from
 // kernel-body host threads; cache hit/miss/eviction counts are recorded on
 // the calling block's stats, so they surface on the kernel's telemetry span.
+//
+// With a fault plan attached, two injection points fire here:
+//   * poisoned tile (kTileDecode on a hit): the cached copy is treated as
+//     corrupt — the entry is invalidated so it can never be served again,
+//     and the loader falls through to a fresh decode + re-insert;
+//   * decode fault (kTileDecode on a miss): the decode re-runs up to the
+//     plan's attempt budget; on terminal failure the output tile is zeroed
+//     and a sticky per-batch flag is raised (TakeDecodeFailure) so the
+//     server can fail the query cleanly instead of serving garbage.
 class CachedTileLoader : public crystal::TileLoader {
  public:
-  explicit CachedTileLoader(TileCache* cache) : cache_(cache) {}
+  explicit CachedTileLoader(TileCache* cache,
+                            fault::FaultPlan* fault_plan = nullptr)
+      : cache_(cache), fault_plan_(fault_plan) {}
 
   uint32_t Load(sim::BlockContext& ctx, const codec::CompressedColumn& column,
                 uint32_t column_id, int64_t tile_id,
                 uint32_t* out_tile) override;
 
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+
+  // True if any tile decode failed terminally since the last call; clears
+  // the flag. The server calls this once per query.
+  bool TakeDecodeFailure() {
+    return decode_failed_.exchange(false, std::memory_order_relaxed);
+  }
+
  private:
   TileCache* cache_;
+  fault::FaultPlan* fault_plan_ = nullptr;
+  std::atomic<bool> decode_failed_{false};
 };
 
 // Estimated encoded footprint of one tile of `column` — what a cache hit
@@ -61,6 +96,17 @@ struct ServeOptions {
   EvictionPolicy policy = EvictionPolicy::kLru;
   // false: bypass the cache entirely (baseline for the bench comparisons).
   bool use_cache = true;
+  // Optional fault plan (not owned). The server attaches it to the device,
+  // the cache and its tile loader, and degrades gracefully at every site:
+  // failed queries carry a non-kOk status instead of aborting or returning
+  // wrong data. nullptr = no faults, behavior identical to before.
+  fault::FaultPlan* fault_plan = nullptr;
+  // Model the PCIe upload of each column's encoded stream on the query's
+  // stream before its decompress launch (decompress-then-query systems
+  // only). Off by default to keep the serving numbers comparable with the
+  // pre-fault benchmarks; bench_faults turns it on to exercise the transfer
+  // fault site.
+  bool model_transfers = false;
 };
 
 struct ServedQuery {
@@ -69,6 +115,9 @@ struct ServedQuery {
   double admit_ms = 0.0;   // stream-timeline position at admission
   double finish_ms = 0.0;  // stream-timeline position at completion
   double latency_ms = 0.0;
+  // kOk: `result` is valid and bit-exact. Anything else: an injected fault
+  // exhausted its recovery budget and `result` must be ignored.
+  QueryStatus status = QueryStatus::kOk;
   ssb::QueryResult result;
 };
 
@@ -84,6 +133,11 @@ struct ServeReport {
   uint64_t decompress_skips = 0;
   // Total modeled global-memory bytes read by the batch's kernels.
   uint64_t global_bytes_read = 0;
+  // Queries whose status is not kOk (always 0 without a fault plan).
+  uint64_t failed_queries = 0;
+  // Snapshot of the fault plan's counters after the batch (all-zero
+  // without a plan).
+  fault::FaultStats faults;
 };
 
 class Server {
@@ -104,9 +158,11 @@ class Server {
   // kNone-encoded table, serving fully resident columns from the cache
   // (skipping their decompress launches) and decompressing + inserting the
   // rest. `pins` holds every touched tile pinned until the query finishes.
+  // Sets *status (and returns early) when an injected transfer or launch
+  // fault exhausts its attempt budget.
   ssb::EncodedLineorder MaterializeColumns(
       ssb::QueryId query, std::vector<TileCache::PinnedTile>* pins,
-      uint64_t* decompress_skips);
+      uint64_t* decompress_skips, QueryStatus* status);
 
   sim::Device& dev_;
   const ssb::EncodedLineorder& lineorder_;

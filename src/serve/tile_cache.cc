@@ -10,9 +10,13 @@ namespace tilecomp::serve {
 namespace {
 
 // Tile ids index 512-value tiles of a uint32-count column, so they fit in
-// 32 bits with room to spare; pack (column, tile) into one map key.
+// 32 bits with room to spare; pack (column, tile) into one map key. An
+// out-of-range id would silently alias another column's key and serve its
+// data, so this stays a release-mode check — the callers are query-supplied
+// paths, not hot inner loops.
 uint64_t MakeKey(uint32_t column_id, int64_t tile_id) {
-  TILECOMP_DCHECK(tile_id >= 0 && tile_id < (int64_t{1} << 32));
+  TILECOMP_CHECK_MSG(tile_id >= 0 && tile_id < (int64_t{1} << 32),
+                     "tile_id out of the 32-bit key range");
   return (static_cast<uint64_t>(column_id) << 32) |
          static_cast<uint64_t>(tile_id);
 }
@@ -24,6 +28,7 @@ struct TileCacheEntry {
   std::vector<uint32_t> values;
   uint32_t pins = 0;
   bool referenced = false;  // clock second-chance bit
+  bool zombie = false;      // invalidated while pinned; freed at last unpin
   std::list<TileCacheEntry*>::iterator pos;
 
   uint64_t bytes() const { return values.size() * sizeof(uint32_t); }
@@ -78,11 +83,14 @@ TileCache::TileCache(uint64_t budget_bytes, EvictionPolicy policy)
     : budget_bytes_(budget_bytes), policy_(policy), hand_(order_.end()) {}
 
 TileCache::~TileCache() {
-  // Every pin must be released before the cache dies.
+  // Every pin must be released before the cache dies. A non-empty zombie
+  // list means an invalidated entry still has live handles.
   for (const auto& [key, entry] : entries_) {
     TILECOMP_CHECK_MSG(entry->pins == 0,
                        "TileCache destroyed with live PinnedTile handles");
   }
+  TILECOMP_CHECK_MSG(zombies_.empty(),
+                     "TileCache destroyed with live PinnedTile handles");
 }
 
 TileCache::Entry* TileCache::FindLocked(uint32_t column_id, int64_t tile_id) {
@@ -99,14 +107,14 @@ void TileCache::TouchLocked(Entry* entry) {
   }
 }
 
-void TileCache::EvictLocked(Entry* entry) {
+void TileCache::RemoveLocked(Entry* entry, bool count_eviction) {
   TILECOMP_DCHECK(entry->pins == 0);
   if (policy_ == EvictionPolicy::kClock && hand_ == entry->pos) {
     ++hand_;
   }
   order_.erase(entry->pos);
   stats_.bytes_in_use -= entry->bytes();
-  ++stats_.evictions;
+  if (count_eviction) ++stats_.evictions;
   entries_.erase(entry->key);  // frees the entry
 }
 
@@ -153,6 +161,16 @@ bool TileCache::MakeRoomLocked(uint64_t needed, uint64_t* evictions) {
 void TileCache::UnpinLocked(Entry* entry) {
   TILECOMP_DCHECK(entry->pins > 0);
   --entry->pins;
+  if (entry->pins == 0 && entry->zombie) {
+    // Last handle to an invalidated entry: its storage can finally go.
+    stats_.bytes_in_use -= entry->bytes();
+    for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
+      if (it->get() == entry) {
+        zombies_.erase(it);
+        break;
+      }
+    }
+  }
 }
 
 TileCache::PinnedTile TileCache::Lookup(uint32_t column_id, int64_t tile_id,
@@ -199,6 +217,19 @@ TileCache::PinnedTile TileCache::Insert(uint32_t column_id, int64_t tile_id,
     return PinnedTile(this, existing);
   }
   const uint64_t bytes = static_cast<uint64_t>(count) * sizeof(uint32_t);
+  // Injected faults: a device-memory allocation failure or a corrupted
+  // insert. Both degrade to a refused insert — callers already handle that
+  // (the tile is simply not cached; the caller keeps its own decoded copy).
+  // Keyed draws so concurrent blocks inserting different tiles decide
+  // deterministically regardless of interleaving.
+  if (fault_plan_ != nullptr) {
+    const uint64_t key = MakeKey(column_id, tile_id);
+    if (fault_plan_->ShouldFault(fault::FaultSite::kDeviceAlloc, key) ||
+        fault_plan_->ShouldFault(fault::FaultSite::kCacheInsert, key)) {
+      ++stats_.insert_failures;
+      return PinnedTile();
+    }
+  }
   if (!MakeRoomLocked(bytes, evictions)) {
     ++stats_.insert_failures;
     return PinnedTile();
@@ -220,6 +251,28 @@ TileCache::PinnedTile TileCache::Insert(uint32_t column_id, int64_t tile_id,
 void TileCache::CountMisses(uint64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.misses += n;
+}
+
+bool TileCache::Invalidate(uint32_t column_id, int64_t tile_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindLocked(column_id, tile_id);
+  if (entry == nullptr) return false;
+  ++stats_.invalidations;
+  if (entry->pins == 0) {
+    RemoveLocked(entry, /*count_eviction=*/false);
+    return true;
+  }
+  // Pinned: unlink from the index and replacement order so no future probe
+  // sees the poisoned data (and the key is free for a fresh insert), but
+  // keep the storage alive for the handles already holding it.
+  if (policy_ == EvictionPolicy::kClock && hand_ == entry->pos) ++hand_;
+  order_.erase(entry->pos);
+  entry->zombie = true;
+  auto it = entries_.find(entry->key);
+  TILECOMP_DCHECK(it != entries_.end());
+  zombies_.push_back(std::move(it->second));
+  entries_.erase(it);
+  return true;
 }
 
 void TileCache::Clear() {

@@ -21,8 +21,10 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
+#include "fault/fault.h"
 
 namespace tilecomp::serve {
 
@@ -45,6 +47,9 @@ class TileCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t inserts = 0;
+    // Entries dropped through Invalidate (poisoned data, never served
+    // again); counted separately from capacity evictions.
+    uint64_t invalidations = 0;
     // Insert calls refused because eviction could not make room (entry
     // larger than the budget, or every resident entry was pinned).
     uint64_t insert_failures = 0;
@@ -133,6 +138,22 @@ class TileCache {
   // path, which decides hit/miss per column but accounts per tile.
   void CountMisses(uint64_t n);
 
+  // Drop (column_id, tile_id) so it can never be served again — the
+  // poisoned-tile recovery path. Returns false if the key is not resident.
+  // An unpinned entry is freed immediately; a pinned entry is unlinked from
+  // the index (Lookup/Contains/Peek no longer see it, and the key can be
+  // re-inserted with fresh data) but its storage stays alive until the last
+  // PinnedTile releases, so existing handles never dangle. Counted under
+  // `invalidations`, not `evictions`.
+  bool Invalidate(uint32_t column_id, int64_t tile_id);
+
+  // Attach a fault plan (not owned; nullptr to detach). When set, Insert
+  // consults the kDeviceAlloc and kCacheInsert sites (keyed by the tile, so
+  // concurrent blocks draw deterministically) and refuses the insert on an
+  // injected fault, counting an insert failure — exercising callers'
+  // cache-miss fallback path.
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+
   // Evict everything unpinned. Pinned entries stay resident.
   void Clear();
 
@@ -149,11 +170,15 @@ class TileCache {
   // Evict unpinned entries in policy order until `needed` bytes fit in the
   // budget. Returns false (evicting what it could) if it cannot.
   bool MakeRoomLocked(uint64_t needed, uint64_t* evictions);
-  void EvictLocked(Entry* entry);
+  // Unlink an unpinned entry from the index and replacement order and free
+  // it. Capacity evictions count under `evictions`; invalidations do not.
+  void RemoveLocked(Entry* entry, bool count_eviction);
+  void EvictLocked(Entry* entry) { RemoveLocked(entry, true); }
   void UnpinLocked(Entry* entry);
 
   const uint64_t budget_bytes_;
   const EvictionPolicy policy_;
+  fault::FaultPlan* fault_plan_ = nullptr;
 
   mutable std::mutex mu_;
   // Keyed by (column_id << 32 is not enough for tile ids) — see MakeKey in
@@ -163,6 +188,10 @@ class TileCache {
   // in insertion order with `hand_` as the clock hand.
   std::list<Entry*> order_;
   std::list<Entry*>::iterator hand_;
+  // Invalidated-while-pinned entries: out of the index and replacement
+  // order, kept alive (and counted in bytes_in_use) until their last pin
+  // releases.
+  std::vector<std::unique_ptr<Entry>> zombies_;
   Stats stats_;
 };
 

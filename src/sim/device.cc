@@ -23,11 +23,38 @@ KernelResult Device::Launch(StreamId stream, std::string label,
   TILECOMP_CHECK_MSG(cfg.block_threads % spec_.warp_size == 0,
                      "block_threads must be a multiple of warp_size");
 
+  // Fault injection at issue: a failed launch attempt costs the launch
+  // overhead plus backoff and is re-issued, up to the plan's attempt
+  // budget. A launch that exhausts the budget is marked failed and its
+  // body never runs — no block executes, so it has no side effects and the
+  // caller must discard whatever output it expected.
+  int fault_retries = 0;
+  bool launch_failed = false;
+  double retry_ms = 0.0;
+  if (fault_plan_ != nullptr) {
+    const int max_attempts =
+        std::max(1, fault_plan_->options().max_launch_attempts);
+    launch_failed = true;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (!fault_plan_->ShouldFault(fault::FaultSite::kKernelLaunch)) {
+        launch_failed = false;
+        break;
+      }
+      retry_ms += spec_.kernel_launch_us * 1e-3 +
+                  fault_plan_->BackoffMs(attempt);
+      if (attempt + 1 < max_attempts) {
+        ++fault_retries;
+        fault_plan_->CountRetry();
+      }
+    }
+    if (launch_failed) fault_plan_->CountTerminalFailure();
+  }
+
   KernelStats merged;
   std::mutex merge_mu;
 
   const int64_t grid = cfg.grid_dim;
-  if (grid > 0) {
+  if (grid > 0 && !launch_failed) {
     // Each pool chunk owns one reusable BlockContext; stats merge at the
     // end of the chunk. Blocks are independent, matching the CUDA model.
     pool_.ParallelForRange(
@@ -51,8 +78,13 @@ KernelResult Device::Launch(StreamId stream, std::string label,
   result.config = cfg;
   result.stats = merged;
   result.stream_id = stream;
+  result.fault_retries = fault_retries;
+  result.failed = launch_failed;
   result.breakdown = AnalyzeKernel(spec_, cfg, merged);
-  result.time_ms = result.breakdown.total_ms();
+  // retry_ms already charges the overhead of every failed issue attempt; a
+  // successful re-issue additionally pays the normal modeled kernel time.
+  result.time_ms =
+      launch_failed ? retry_ms : retry_ms + result.breakdown.total_ms();
 
   // Schedule: the default stream synchronizes with everything; an async
   // stream waits for its own tail and the compute engine only.
@@ -80,12 +112,43 @@ double Device::Transfer(uint64_t bytes) {
 }
 
 double Device::TransferAsync(StreamId stream, uint64_t bytes) {
+  return TryTransferAsync(stream, bytes).ms;
+}
+
+Device::TransferResult Device::TryTransferAsync(StreamId stream,
+                                                uint64_t bytes) {
   CheckStream(stream);
-  const double ms = EstimateTransferMs(spec_, bytes);
+  const double attempt_ms = EstimateTransferMs(spec_, bytes);
+
+  TransferResult result;
+  result.ms = attempt_ms;
+  if (fault_plan_ != nullptr) {
+    // Every attempt occupies the copy engine for the full transfer time (a
+    // fault is detected at completion, e.g. a CRC mismatch), then waits out
+    // a capped exponential backoff before the re-send.
+    const int max_attempts =
+        std::max(1, fault_plan_->options().max_transfer_attempts);
+    result.ok = false;
+    result.ms = 0.0;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      result.ms += attempt_ms;
+      if (!fault_plan_->ShouldFault(fault::FaultSite::kTransfer)) {
+        result.ok = true;
+        break;
+      }
+      result.ms += fault_plan_->BackoffMs(attempt);
+      if (attempt + 1 < max_attempts) {
+        ++result.retries;
+        fault_plan_->CountRetry();
+      }
+    }
+    if (!result.ok) fault_plan_->CountTerminalFailure();
+  }
+
   const double start = stream == kDefaultStream
                            ? elapsed_ms_
                            : std::max(stream_tail_[stream], copy_free_ms_);
-  const double end = start + ms;
+  const double end = start + result.ms;
   if (stream == kDefaultStream) {
     SyncAllTo(end);
   } else {
@@ -93,8 +156,11 @@ double Device::TransferAsync(StreamId stream, uint64_t bytes) {
     copy_free_ms_ = end;
     elapsed_ms_ = std::max(elapsed_ms_, end);
   }
-  if (tracer_ != nullptr) tracer_->OnTransfer(bytes, start, ms, stream);
-  return ms;
+  if (tracer_ != nullptr) {
+    tracer_->OnTransfer(bytes, start, result.ms, stream, result.retries,
+                        !result.ok);
+  }
+  return result;
 }
 
 StreamId Device::CreateStream() {

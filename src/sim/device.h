@@ -24,6 +24,7 @@
 
 #include "common/macros.h"
 #include "common/thread_pool.h"
+#include "fault/fault.h"
 #include "sim/block_context.h"
 #include "sim/device_spec.h"
 #include "sim/perf_model.h"
@@ -58,9 +59,12 @@ class TraceSink {
   // One kernel launch completed (result carries label, config, stats,
   // timeline position, stream id and the perf-model breakdown).
   virtual void OnKernel(const KernelResult& result) = 0;
-  // One PCIe transfer completed on `stream_id`.
+  // One PCIe transfer completed on `stream_id`. `retries` counts re-sends
+  // after injected transfer faults; `failed` means the attempt budget was
+  // exhausted and the bytes never arrived (duration still covers the failed
+  // attempts and their backoff). Both stay 0/false without a fault plan.
   virtual void OnTransfer(uint64_t bytes, double start_ms, double duration_ms,
-                          int stream_id) = 0;
+                          int stream_id, int retries, bool failed) = 0;
   // Named region markers (used by Tracer for span nesting); default no-op.
   virtual void OnScopeBegin(const std::string& name, double start_ms) {
     (void)name;
@@ -101,6 +105,26 @@ class Device {
   // once the stream's previous operation and the copy engine are both free.
   double TransferAsync(StreamId stream, uint64_t bytes);
 
+  // Outcome of a fault-aware transfer. Without an attached fault plan the
+  // transfer always succeeds in one attempt.
+  struct TransferResult {
+    bool ok = true;
+    // Total modeled time on the stream: every attempt plus backoff, ms.
+    double ms = 0.0;
+    // Re-sends after injected faults (attempts - 1).
+    int retries = 0;
+  };
+  // Like TransferAsync, but consults the attached fault plan at the
+  // kTransfer site: an injected fault re-sends with capped exponential
+  // backoff up to the plan's attempt budget, after which the transfer
+  // reports ok = false instead of aborting. Callers on the fault-aware path
+  // (the serving layer) must check `ok` and surface a clean error.
+  TransferResult TryTransferAsync(StreamId stream, uint64_t bytes);
+  // TryTransferAsync on the current launch stream.
+  TransferResult TryTransfer(uint64_t bytes) {
+    return TryTransferAsync(launch_stream_, bytes);
+  }
+
   // --- Streams & events ---
 
   // Create a new async stream. Handles stay valid until the device dies;
@@ -135,6 +159,15 @@ class Device {
   void AttachTracer(TraceSink* tracer) { tracer_ = tracer; }
   TraceSink* tracer() const { return tracer_; }
 
+  // Attach/detach a fault plan (not owned; nullptr to detach). When set,
+  // Launch consults it at the kKernelLaunch site (an injected fault
+  // re-issues with backoff up to the plan's attempt budget, then the launch
+  // is marked `failed` and its body never runs) and TryTransferAsync
+  // consults it at the kTransfer site. Without a plan the device behaves
+  // exactly as before.
+  void AttachFaultPlan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+  fault::FaultPlan* fault_plan() const { return fault_plan_; }
+
   // --- Timeline / accumulation ---
   // Device makespan: the time at which the last scheduled operation (on any
   // stream) completes, ms.
@@ -168,6 +201,7 @@ class Device {
   StreamId launch_stream_ = kDefaultStream;
   std::vector<KernelResult> launch_log_;
   TraceSink* tracer_ = nullptr;
+  fault::FaultPlan* fault_plan_ = nullptr;
 };
 
 // RAII: route every Launch/Transfer issued through the implicit-stream API

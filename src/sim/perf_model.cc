@@ -67,7 +67,7 @@ WaveStats AnalyzeWaves(const DeviceSpec& spec, const LaunchConfig& cfg,
   wave.scheduling = cfg.scheduling;
   wave.slots = WaveSlots(spec, cfg);
   const BlockCostSummary& bc = stats.block_cost;
-  if (bc.count == 0 || bc.total_cost == 0) return wave;
+  if (bc.count == 0) return wave;
 
   const uint64_t n = bc.count;
   const double slots = static_cast<double>(wave.slots);
@@ -78,6 +78,12 @@ WaveStats AnalyzeWaves(const DeviceSpec& spec, const LaunchConfig& cfg,
   wave.p99_cost = bc.Percentile(0.99);
 
   const double total = static_cast<double>(bc.total_cost);
+  // All-zero-cost work items (e.g., a kernel launched only to probe the
+  // scheduler, or tiles that all short-circuit): the launch costs only its
+  // fixed overhead, and by definition there is no imbalance. Bail before the
+  // makespan math — both `ideal` and the persistent-steal straggler term
+  // divide by the total cost and would produce NaN here.
+  if (total == 0.0) return wave;
   // Perfectly balanced reference: the work spread evenly over the slots
   // that can actually be active (fewer items than slots -> fewer slots).
   const double active = std::min(static_cast<double>(n), slots);

@@ -307,6 +307,13 @@ struct KernelResult {
   double start_ms = 0.0;
   // Stream the launch was issued on (0 = the synchronizing default stream).
   int stream_id = 0;
+  // Fault-injection outcome (trace schema v5): number of re-issues after an
+  // injected launch fault, and whether the launch exhausted its attempt
+  // budget. A failed launch never ran its body — its stats are all zero and
+  // its time covers only the failed issue attempts — and every consumer
+  // must treat the output it would have produced as invalid.
+  int fault_retries = 0;
+  bool failed = false;
   TimeBreakdown breakdown;
 };
 

@@ -73,13 +73,16 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
           ",\"evictions\":%" PRIu64 ",\"saved_bytes\":%" PRIu64 "},",
           cc.hits, cc.misses, cc.evictions, cc.saved_bytes);
   AppendF(out, "\"limiter\":\"%s\",", sim::LimiterName(b.limiter()));
+  AppendF(out, "\"faults\":{\"retries\":%d,\"failed\":%s},", k.fault_retries,
+          k.failed ? "true" : "false");
 }
 
 }  // namespace
 
 bool IsKnownTraceSchema(const std::string& schema) {
   return schema == kTraceSchema || schema == kTraceSchemaV1 ||
-         schema == kTraceSchemaV2 || schema == kTraceSchemaV3;
+         schema == kTraceSchemaV2 || schema == kTraceSchemaV3 ||
+         schema == kTraceSchemaV4;
 }
 
 std::string ToJson(const Tracer& tracer) {
@@ -101,6 +104,8 @@ std::string ToJson(const Tracer& tracer) {
     if (span.kind == SpanKind::kKernel) AppendKernelFields(&out, span.kernel);
     if (span.kind == SpanKind::kTransfer) {
       AppendF(&out, "\"bytes\":%" PRIu64 ",", span.transfer_bytes);
+      AppendF(&out, "\"faults\":{\"retries\":%d,\"failed\":%s},",
+              span.fault_retries, span.fault_failed ? "true" : "false");
     }
     AppendDouble(&out, "start_ms", span.start_ms);
     AppendDouble(&out, "duration_ms", span.duration_ms,
@@ -148,12 +153,20 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
     span.stream_id =
         record.Has("stream") ? static_cast<int>(record.Get("stream").AsInt64())
                              : 0;
+    // Pre-v5 traces predate fault injection: zero retries, not failed.
+    if (record.Has("faults")) {
+      const JsonValue& faults = record.Get("faults");
+      span.fault_retries = static_cast<int>(faults.Get("retries").AsInt64());
+      span.fault_failed = faults.Get("failed").AsBool();
+    }
     if (span.kind == SpanKind::kKernel) {
       sim::KernelResult& k = span.kernel;
       k.label = span.name;
       k.start_ms = span.start_ms;
       k.time_ms = span.duration_ms;
       k.stream_id = span.stream_id;
+      k.fault_retries = span.fault_retries;
+      k.failed = span.fault_failed;
       const JsonValue& config = record.Get("config");
       k.config.grid_dim = config.Get("grid_dim").AsInt64();
       k.config.block_threads =

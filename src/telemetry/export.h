@@ -3,7 +3,7 @@
 // JSON schema (stable; version bumps on breaking change):
 //
 //   {
-//     "schema": "tilecomp.trace.v4",
+//     "schema": "tilecomp.trace.v5",
 //     "spans": [
 //       {
 //         "kind": "kernel" | "transfer" | "scope",
@@ -26,6 +26,8 @@
 //                  "mean_cost", "max_cost", "p99_cost", "imbalance"},
 //         "cache": {"hits", "misses", "evictions", "saved_bytes"},
 //         "limiter": "bandwidth"|"latency"|"scheduling"|"shared"|"compute",
+//         // kind == "kernel" | "transfer" only:
+//         "faults": {"retries": <int>, "failed": <bool>},
 //         // kind == "transfer" only:
 //         "bytes": <uint64>
 //       }, ...
@@ -36,10 +38,13 @@
 // scheduling knob, the atomic-op counter, the wave/imbalance object and the
 // tail/atomic breakdown terms; v4 adds the per-kernel "cache" object (the
 // serving layer's decompressed-tile cache: hit/miss/eviction counts and the
-// encoded bytes hits avoided reading). Older traces still load through
-// TraceFromJson: a missing "stream" defaults to the synchronizing stream 0,
-// missing v3 fields default to a static launch with no wave data, and a
-// missing v4 "cache" object defaults to all-zero counters.
+// encoded bytes hits avoided reading); v5 adds the per-span "faults" object
+// (injected-fault retries and terminal failure from the fault plan, see
+// fault/fault.h). Older traces still load through TraceFromJson: a missing
+// "stream" defaults to the synchronizing stream 0, missing v3 fields default
+// to a static launch with no wave data, a missing v4 "cache" object defaults
+// to all-zero counters, and a missing v5 "faults" object defaults to zero
+// retries / not failed.
 //
 // The chrome://tracing exporter emits the Trace Event JSON format ("X"
 // duration events, microsecond timestamps) loadable in chrome://tracing or
@@ -55,22 +60,24 @@
 
 namespace tilecomp::telemetry {
 
-inline constexpr const char* kTraceSchema = "tilecomp.trace.v4";
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v5";
 inline constexpr const char* kTraceSchemaV1 = "tilecomp.trace.v1";
 inline constexpr const char* kTraceSchemaV2 = "tilecomp.trace.v2";
 inline constexpr const char* kTraceSchemaV3 = "tilecomp.trace.v3";
+inline constexpr const char* kTraceSchemaV4 = "tilecomp.trace.v4";
 
-// True for every schema version TraceFromJson accepts (v1 through v4).
+// True for every schema version TraceFromJson accepts (v1 through v5).
 bool IsKnownTraceSchema(const std::string& schema);
 
 // Machine-readable trace (schema above).
 std::string ToJson(const Tracer& tracer);
 
-// Parse a tilecomp.trace.v1 / .v2 / .v3 / .v4 document back into spans.
-// Limiter and derived fields are recomputed from the stored breakdown; spans
-// from a v1 trace carry stream 0, pre-v3 spans carry static scheduling with
-// no wave data, and pre-v4 spans carry all-zero cache counters. Returns
-// false (and fills *error) on malformed input or an unknown schema.
+// Parse a tilecomp.trace.v1 through .v5 document back into spans. Limiter
+// and derived fields are recomputed from the stored breakdown; spans from a
+// v1 trace carry stream 0, pre-v3 spans carry static scheduling with no wave
+// data, pre-v4 spans carry all-zero cache counters, and pre-v5 spans carry
+// zero fault retries / not failed. Returns false (and fills *error) on
+// malformed input or an unknown schema.
 bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
                    std::string* error);
 

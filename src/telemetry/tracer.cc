@@ -37,7 +37,7 @@ void Tracer::OnKernel(const sim::KernelResult& result) {
 }
 
 void Tracer::OnTransfer(uint64_t bytes, double start_ms, double duration_ms,
-                        int stream_id) {
+                        int stream_id, int retries, bool failed) {
   Span span;
   span.kind = SpanKind::kTransfer;
   span.name = "pcie.transfer";
@@ -47,6 +47,8 @@ void Tracer::OnTransfer(uint64_t bytes, double start_ms, double duration_ms,
   span.duration_ms = duration_ms;
   span.stream_id = stream_id;
   span.transfer_bytes = bytes;
+  span.fault_retries = retries;
+  span.fault_failed = failed;
   spans_.push_back(std::move(span));
 }
 

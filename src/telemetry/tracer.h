@@ -49,6 +49,10 @@ struct Span {
   sim::KernelResult kernel;
   // kTransfer only.
   uint64_t transfer_bytes = 0;
+  // kTransfer only: injected-fault outcome (schema v5). Kernel spans carry
+  // the same information inside `kernel` (fault_retries / failed).
+  int fault_retries = 0;
+  bool fault_failed = false;
 };
 
 class Tracer : public sim::TraceSink {
@@ -56,7 +60,7 @@ class Tracer : public sim::TraceSink {
   // sim::TraceSink interface (called by the attached Device).
   void OnKernel(const sim::KernelResult& result) override;
   void OnTransfer(uint64_t bytes, double start_ms, double duration_ms,
-                  int stream_id) override;
+                  int stream_id, int retries, bool failed) override;
   void OnScopeBegin(const std::string& name, double start_ms) override;
   void OnScopeEnd(double end_ms) override;
 

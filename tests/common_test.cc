@@ -32,8 +32,26 @@ TEST(BitUtilTest, BitsNeeded) {
 TEST(BitUtilTest, CeilDivRoundUp) {
   EXPECT_EQ(CeilDiv(10, 3), 4);
   EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(0, 7), 0);
   EXPECT_EQ(RoundUp(10, 4), 12);
   EXPECT_EQ(RoundUp(12, 4), 12);
+  EXPECT_EQ(RoundUp(0, 4), 0);
+}
+
+TEST(BitUtilTest, CeilDivNearTypeMaxDoesNotWrap) {
+  // Regression: the classic (a + b - 1) / b wraps when a is within b of the
+  // type's max — a 64-bit payload size near UINT64_MAX used to round to 0.
+  EXPECT_EQ(CeilDiv<uint64_t>(UINT64_MAX, 4096),
+            (UINT64_MAX / 4096) + 1);
+  EXPECT_EQ(CeilDiv<uint64_t>(UINT64_MAX, 1), UINT64_MAX);
+  EXPECT_EQ(CeilDiv<uint64_t>(UINT64_MAX - 1, UINT64_MAX), 1u);
+  EXPECT_EQ(CeilDiv<uint32_t>(0xFFFFFFFFu, 2), 0x80000000u);
+  EXPECT_EQ(CeilDiv<uint32_t>(0xFFFFFFFFu, 0xFFFFFFFFu), 1u);
+  // Exact multiples at the top of the range stay exact.
+  EXPECT_EQ(CeilDiv<uint32_t>(0xFFFFFFFEu, 2), 0x7FFFFFFFu);
+  EXPECT_EQ(RoundUp<uint64_t>(UINT64_MAX - 4095, 4096),
+            UINT64_MAX - 4095);  // already aligned (2^64 - 4096)
+  EXPECT_EQ(RoundUp<uint32_t>(0xFFFFFF00u, 256), 0xFFFFFF00u);
 }
 
 TEST(BitUtilTest, LowMask) {

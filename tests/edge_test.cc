@@ -6,9 +6,13 @@
 #include "codec/typed_column.h"
 #include "codec/zone_map.h"
 #include "common/random.h"
+#include "codec/systems.h"
 #include "crystal/load_column.h"
 #include "format/gpufor.h"
+#include "serve/server.h"
 #include "ssb/dictionary.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
 
 namespace tilecomp {
 namespace {
@@ -169,6 +173,37 @@ TEST(EdgeTest, NullableEmptyColumn) {
   EXPECT_EQ(col.size(), 0u);
   EXPECT_EQ(col.null_count(), 0u);
   EXPECT_TRUE(col.DecodeHost().empty());
+}
+
+TEST(EdgeTest, EmptyLineorderBatchThroughFullServerPath) {
+  // Regression: a zero-row fact table used to fall into the serving layer's
+  // column-miss path (zero tiles can never be "all resident") and run a
+  // pointless decompress of nothing. The whole batch must flow through the
+  // full Server::Serve pipeline — materialization, cache, query kernels,
+  // latency accounting — and agree with the host reference (empty groups).
+  ssb::SsbData data = ssb::GenerateSsbSmall(400);
+  data.lineorder = ssb::LineorderTable();  // dimensions stay populated
+  const std::vector<ssb::QueryId> batch = ssb::AllQueries();
+  for (codec::System system :
+       {codec::System::kNone, codec::System::kGpuStar,
+        codec::System::kGpuBp}) {
+    const ssb::EncodedLineorder enc = ssb::EncodeLineorder(data, system);
+    sim::Device dev;
+    serve::ServeOptions options;
+    options.num_streams = 2;
+    serve::Server server(dev, data, enc, options);
+    const serve::ServeReport report = server.Serve(batch);
+    ASSERT_EQ(report.queries.size(), batch.size());
+    for (const serve::ServedQuery& sq : report.queries) {
+      EXPECT_EQ(sq.status, serve::QueryStatus::kOk);
+      const ssb::QueryResult ref = server.runner().RunHostReference(sq.query);
+      EXPECT_EQ(sq.result.groups, ref.groups)
+          << ssb::QueryName(sq.query) << " system "
+          << codec::SystemName(system);
+      EXPECT_GE(sq.latency_ms, 0.0);
+    }
+    EXPECT_EQ(report.failed_queries, 0u);
+  }
 }
 
 }  // namespace

@@ -161,6 +161,19 @@ TEST(TileCacheTest, DuplicateInsertPinsExistingEntry) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
+TEST(TileCacheDeathTest, OversizedTileIdAbortsInRelease) {
+  // An out-of-range tile id would silently alias another column's key and
+  // serve its data. The guard is a release-mode CHECK (not a DCHECK), so it
+  // must fire in every build configuration.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TileCache cache(4 * kTileBytes);
+  const std::vector<uint32_t> v = TileValues(9);
+  EXPECT_DEATH(cache.Insert(0, int64_t{1} << 32, v.data(), kTile),
+               "tile_id out of the 32-bit key range");
+  EXPECT_DEATH(cache.Lookup(0, int64_t{-1}),
+               "tile_id out of the 32-bit key range");
+}
+
 TEST(TileCacheTest, ClearKeepsPinnedEntries) {
   TileCache cache(4 * kTileBytes);
   const std::vector<uint32_t> v = TileValues(5);

@@ -354,6 +354,31 @@ TEST(PerfModelEdgeTest, ZeroWorkKernelCostsOnlyTheLaunch) {
   EXPECT_DOUBLE_EQ(r.breakdown.atomic_ms, 0.0);
 }
 
+TEST(PerfModelEdgeTest, ZeroCostPersistentWorkItemsProduceNoNaN) {
+  // Regression: a persistent launch whose sampled work items all cost zero
+  // (every tile short-circuits) used to reach the work-stealing makespan
+  // math with total_cost == 0 — the straggler term and the ideal-reference
+  // divide by total cost, yielding NaN imbalance that poisoned time_ms.
+  // More work items than wave slots forces exactly that branch.
+  Device dev;
+  LaunchConfig lc;
+  lc.grid_dim = 8;
+  lc.block_threads = 128;
+  lc.scheduling = Scheduling::kPersistent;
+  const int64_t items_per_block = 2 * WaveSlots(dev.spec(), lc);
+  auto r = dev.Launch(lc, [items_per_block](BlockContext& ctx) {
+    for (int64_t i = 0; i < items_per_block; ++i) ctx.EndWorkItem();
+  });
+  EXPECT_TRUE(std::isfinite(r.time_ms));
+  EXPECT_TRUE(std::isfinite(r.breakdown.total_ms()));
+  EXPECT_DOUBLE_EQ(r.breakdown.wave.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.wave.tail_ms, 0.0);
+  // The zero-cost samples still describe the launch shape.
+  EXPECT_GT(r.breakdown.wave.waves, 1);
+  EXPECT_DOUBLE_EQ(r.breakdown.wave.mean_cost, 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.wave.max_cost, 0.0);
+}
+
 TEST(PerfModelEdgeTest, SmemFarOverBudgetStillRuns) {
   Device dev;
   LaunchConfig lc;

@@ -10,6 +10,7 @@
 #include "codec/column.h"
 #include "codec/pipeline.h"
 #include "common/random.h"
+#include "fault/fault.h"
 #include "kernels/dispatch.h"
 #include "sim/device.h"
 #include "sim/perf_model.h"
@@ -376,9 +377,9 @@ TEST(ExportTest, LoadsV1TraceWithDefaultStream) {
   EXPECT_EQ(spans[0].transfer_bytes, 4096u);
 }
 
-TEST(ExportTest, CacheCountersRoundTripV4) {
-  // A kernel that records tile-cache activity exports a "cache" object under
-  // the v4 schema, and TraceFromJson restores every counter.
+TEST(ExportTest, CacheCountersRoundTrip) {
+  // A kernel that records tile-cache activity exports a "cache" object, and
+  // TraceFromJson restores every counter.
   sim::Device dev;
   Tracer tracer;
   dev.AttachTracer(&tracer);
@@ -396,7 +397,7 @@ TEST(ExportTest, CacheCountersRoundTripV4) {
   JsonValue root;
   std::string error;
   ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
-  EXPECT_EQ(root.Get("schema").AsString(), "tilecomp.trace.v4");
+  EXPECT_EQ(root.Get("schema").AsString(), "tilecomp.trace.v5");
   const JsonValue& span = root.Get("spans").AsArray()[0];
   ASSERT_TRUE(span.Has("cache"));
   const JsonValue& cache = span.Get("cache");
@@ -413,6 +414,68 @@ TEST(ExportTest, CacheCountersRoundTripV4) {
   EXPECT_EQ(counters.misses, 1u);
   EXPECT_EQ(counters.evictions, 3u);
   EXPECT_EQ(counters.saved_bytes, 3072u);
+}
+
+TEST(ExportTest, FaultFieldsRoundTripV5) {
+  // With a fault plan forcing transfer retries and a failed launch, the v5
+  // export carries a "faults" object on both span kinds, and TraceFromJson
+  // restores it.
+  fault::FaultPlanOptions fopts;
+  fopts.rate[static_cast<int>(fault::FaultSite::kTransfer)] = 1.0;
+  fopts.rate[static_cast<int>(fault::FaultSite::kKernelLaunch)] = 1.0;
+  fault::FaultPlan plan(fopts);
+  sim::Device dev;
+  dev.AttachFaultPlan(&plan);
+  Tracer tracer;
+  dev.AttachTracer(&tracer);
+  dev.TransferAsync(sim::kDefaultStream, 1 << 20);
+  dev.Launch("doomed", SmallLaunch(4),
+             [](sim::BlockContext& ctx) { ctx.CoalescedRead(2048, true); });
+
+  const std::string json = telemetry::ToJson(tracer);
+  std::vector<Span> loaded;
+  std::string error;
+  ASSERT_TRUE(telemetry::TraceFromJson(json, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].kind, SpanKind::kTransfer);
+  EXPECT_EQ(loaded[0].fault_retries, fopts.max_transfer_attempts - 1);
+  EXPECT_TRUE(loaded[0].fault_failed);
+  EXPECT_EQ(loaded[1].kind, SpanKind::kKernel);
+  EXPECT_EQ(loaded[1].kernel.fault_retries, fopts.max_launch_attempts - 1);
+  EXPECT_TRUE(loaded[1].kernel.failed);
+}
+
+TEST(ExportTest, LoadsV4TraceWithZeroFaultFields) {
+  // A v4 document (cache counters, no "faults" object): loads fine, fault
+  // fields default to zero retries / not failed.
+  const std::string v4 =
+      "{\"schema\":\"tilecomp.trace.v4\",\"spans\":["
+      "{\"kind\":\"kernel\",\"name\":\"k\",\"path\":\"\",\"depth\":0,"
+      "\"stream\":1,\"start_ms\":0,\"duration_ms\":1.5,"
+      "\"config\":{\"grid_dim\":8,\"block_threads\":128,"
+      "\"smem_bytes_per_block\":0,\"regs_per_thread\":32,"
+      "\"scheduling\":\"static\"},"
+      "\"stats\":{\"global_bytes_read\":4096,\"global_bytes_written\":0,"
+      "\"warp_global_accesses\":32,\"shared_bytes\":0,\"compute_ops\":100,"
+      "\"barriers\":0,\"atomic_ops\":0},"
+      "\"cache\":{\"hits\":5,\"misses\":2,\"evictions\":1,"
+      "\"saved_bytes\":800},"
+      "\"breakdown_ms\":{\"launch\":0.1,\"bandwidth\":0.2,\"latency\":0.3,"
+      "\"scheduling\":0.1,\"shared\":0,\"compute\":0.4,\"atomic\":0,"
+      "\"tail\":0},"
+      "\"occupancy\":0.5},"
+      "{\"kind\":\"transfer\",\"name\":\"pcie.transfer\",\"path\":\"\","
+      "\"depth\":0,\"stream\":1,\"bytes\":4096,\"start_ms\":0,"
+      "\"duration_ms\":0.5}]}";
+  std::vector<Span> spans;
+  std::string error;
+  ASSERT_TRUE(telemetry::TraceFromJson(v4, &spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].kernel.stats.cache.hits, 5u);
+  EXPECT_EQ(spans[0].kernel.fault_retries, 0);
+  EXPECT_FALSE(spans[0].kernel.failed);
+  EXPECT_EQ(spans[1].fault_retries, 0);
+  EXPECT_FALSE(spans[1].fault_failed);
 }
 
 TEST(ExportTest, LoadsV3TraceWithZeroCacheCounters) {
