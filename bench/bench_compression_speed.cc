@@ -39,17 +39,17 @@ int Run(int argc, char** argv) {
               "paper_s");
 
   const double t_for = TimeSeconds(
-      [&] { codec::ParallelGpuForEncode(values.data(), n); });
+      [&] { codec::ParallelGpuForEncode(values); });
   std::printf("%-10s %12.3f %14.2f %12.1f\n", "GPU-FOR", t_for,
               bench::Project(t_for, n, kPaperN), 1.2);
 
   const double t_dfor = TimeSeconds(
-      [&] { codec::ParallelGpuDForEncode(values.data(), n); });
+      [&] { codec::ParallelGpuDForEncode(values); });
   std::printf("%-10s %12.3f %14.2f %12.1f\n", "GPU-DFOR", t_dfor,
               bench::Project(t_dfor, n, kPaperN), 1.3);
 
   const double t_rfor = TimeSeconds(
-      [&] { codec::ParallelGpuRForEncode(values.data(), n); });
+      [&] { codec::ParallelGpuRForEncode(values); });
   std::printf("%-10s %12.3f %14.2f %12.1f\n", "GPU-RFOR", t_rfor,
               bench::Project(t_rfor, n, kPaperN), 2.2);
   return 0;

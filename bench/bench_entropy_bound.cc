@@ -46,7 +46,7 @@ int Run(int argc, char** argv) {
     const auto col = static_cast<ssb::LoCol>(c);
     const auto& values = data.lineorder.column(col);
     const double entropy = Order0EntropyBits(values);
-    auto star = codec::EncodeGpuStar(values.data(), values.size());
+    auto star = codec::EncodeGpuStar(values);
     sum_entropy += entropy;
     sum_star += star.bits_per_int();
     std::printf("%-15s %10s %12.2f %12.2f %9.2fx\n", ssb::LoColName(col),

@@ -59,7 +59,9 @@ int Run(int argc, char** argv) {
   const uint32_t rows = static_cast<uint32_t>(flags.GetInt("rows", 60000));
   const size_t batch_size = static_cast<size_t>(flags.GetInt("queries", 48));
   const double alpha = flags.GetDouble("alpha", 1.2);
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const bench::CommonOptions common =
+      bench::ParseCommonOptions(flags, "BENCH_faults.json");
+  const uint64_t seed = common.seed;
   const int streams = static_cast<int>(flags.GetInt("streams", 4));
   const std::string system_name = flags.GetString("system", "gpubp");
   const codec::System system = ParseSystem(system_name);
@@ -149,7 +151,7 @@ int Run(int argc, char** argv) {
       "every ok query above was verified bit-exact; failed queries carry a "
       "clean status (transfer/launch/decode) — no wrong answers at any rate");
 
-  if (flags.Has("json")) {
+  if (common.emit_json) {
     std::string out;
     char head[256];
     std::snprintf(head, sizeof(head),
@@ -185,12 +187,7 @@ int Run(int argc, char** argv) {
       out.append(buf);
     }
     out.append("\n]}\n");
-    const std::string path = flags.GetString("json", "BENCH_faults.json");
-    if (!telemetry::WriteTextFile(path, out)) {
-      std::fprintf(stderr, "failed to write %s\n", path.c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", path.c_str());
+    if (!bench::ExportJson(common, out)) return 1;
   }
   return 0;
 }

@@ -54,10 +54,8 @@ int Run(int argc, char** argv) {
     const auto& values =
         data.lineorder.column(static_cast<ssb::LoCol>(c));
     // Family comparison (a): encode with both systems, decompress.
-    auto star_col = codec::SystemEncode(codec::System::kGpuStar,
-                                        values.data(), values.size());
-    auto nv_col = codec::SystemEncode(codec::System::kNvcomp, values.data(),
-                                      values.size());
+    auto star_col = codec::SystemEncode(codec::System::kGpuStar, values);
+    auto nv_col = codec::SystemEncode(codec::System::kNvcomp, values);
     sim::Device dev;
     const double star_ms = bench::Project(
         codec::SystemDecompress(dev, star_col).time_ms, n, kPaperRows);
@@ -70,7 +68,7 @@ int Run(int argc, char** argv) {
 
     // Geomean comparison (b).
     for (int s = 0; s < 4; ++s) {
-      auto col = codec::SystemEncode(systems[s], values.data(), values.size());
+      auto col = codec::SystemEncode(systems[s], values);
       sim::Device dev2;
       geo[s] += std::log(bench::Project(
           codec::SystemDecompress(dev2, col).time_ms, n, kPaperRows));
@@ -107,8 +105,8 @@ int Run(int argc, char** argv) {
   // RLE+FOR+BitPack cascade records one kernel span per layer pass (8 in
   // total; the nvCOMP-style variant 6) while GPU-RFOR records a single
   // fused span.
-  const std::string trace_path = flags.GetString("trace", "");
-  if (!trace_path.empty()) {
+  const bench::CommonOptions common = bench::ParseCommonOptions(flags, "");
+  if (!common.trace_path.empty() || !common.chrome_path.empty()) {
     int pick = 0;
     for (int c = 0; c < ssb::kNumLoCols; ++c) {
       const auto& values = data.lineorder.column(static_cast<ssb::LoCol>(c));
@@ -139,11 +137,7 @@ int Run(int argc, char** argv) {
       codec::SystemDecompress(tdev, star_col);
     }
     tdev.AttachTracer(nullptr);
-    if (!telemetry::WriteTextFile(trace_path, telemetry::ToJson(tracer))) {
-      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+    if (!bench::ExportTraces(common, tracer)) return 1;
   }
   return 0;
 }

@@ -120,9 +120,8 @@ int Run(int argc, char** argv) {
       "approaches the pure transfer time of the *compressed* bytes");
 
   // Trace export: the overlapped GPU-FOR pipeline, one lane per stream.
-  const std::string trace_path = flags.GetString("trace", "");
-  const std::string chrome_path = flags.GetString("chrome", "");
-  if (!trace_path.empty() || !chrome_path.empty()) {
+  const bench::CommonOptions common = bench::ParseCommonOptions(flags, "");
+  if (!common.trace_path.empty() || !common.chrome_path.empty()) {
     sim::Device dev;
     telemetry::Tracer tracer;
     dev.AttachTracer(&tracer);
@@ -132,21 +131,7 @@ int Run(int argc, char** argv) {
       codec::DecompressPipelined(dev, col, opts);
     }
     dev.AttachTracer(nullptr);
-    if (!trace_path.empty()) {
-      if (!telemetry::WriteTextFile(trace_path, telemetry::ToJson(tracer))) {
-        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
-        return 1;
-      }
-      std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
-    }
-    if (!chrome_path.empty()) {
-      if (!telemetry::WriteTextFile(chrome_path,
-                                    telemetry::ToChromeTrace(tracer))) {
-        std::fprintf(stderr, "cannot write %s\n", chrome_path.c_str());
-        return 1;
-      }
-      std::fprintf(stderr, "wrote chrome trace to %s\n", chrome_path.c_str());
-    }
+    if (!bench::ExportTraces(common, tracer)) return 1;
   }
   return 0;
 }

@@ -43,7 +43,7 @@ int Run(int argc, char** argv) {
     const auto& values = data.lineorder.column(col);
     std::printf("%-15s", ssb::LoColName(col));
     for (int s = 0; s < 5; ++s) {
-      auto enc = codec::SystemEncode(systems[s], values.data(), values.size());
+      auto enc = codec::SystemEncode(systems[s], values);
       const double mb = static_cast<double>(enc.compressed_bytes()) /
                         actual_rows * kPaperRows / 1e6;
       total[s] += mb;

@@ -83,22 +83,8 @@ int Run(int argc, char** argv) {
                         uncompressed.launches.front().breakdown.limiter()));
   dev.AttachTracer(nullptr);
 
-  const std::string trace_path = flags.GetString("trace", "");
-  if (!trace_path.empty()) {
-    if (!telemetry::WriteTextFile(trace_path, telemetry::ToJson(tracer))) {
-      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
-  }
-  const std::string chrome_path = flags.GetString("chrome", "");
-  if (!chrome_path.empty()) {
-    if (!telemetry::WriteTextFile(chrome_path,
-                                  telemetry::ToChromeTrace(tracer))) {
-      std::fprintf(stderr, "cannot write %s\n", chrome_path.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "wrote chrome trace to %s\n", chrome_path.c_str());
+  if (!bench::ExportTraces(bench::ParseCommonOptions(flags, ""), tracer)) {
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,304 @@
+// Compressed-domain predicate pushdown vs decode-everything.
+//
+// Part A (correctness at system scale): every SSB query runs twice through
+// the Crystal tile pipeline — pushdown on (predicates answered per tile from
+// zone maps and the encoding's structure, surviving tiles late-materialized)
+// and pushdown off (every predicate column decoded, rows tested one at a
+// time) — and both results are checked bit-exact against the host reference
+// executor. SSB's fact predicates are uniform, so Part A proves exactness
+// and reports what the counters say, not a pruning win.
+//
+// Part B (the pruning win): a clustered column (sorted values, the shape
+// zone maps exist for) swept over predicate selectivity 0 -> 100%. At each
+// point the pushdown scan is compared with the decode-everything baseline on
+// decoded tiles and modeled global-memory bytes, with the selected-row count
+// and sum checked bit-exact against a host evaluation. The run fails (exit
+// 1) if 1% selectivity does not cut decoded tiles by at least 30% and read
+// fewer bytes — the PR's acceptance bar.
+//
+// --json [path] emits machine-readable BENCH_pushdown.json (schema
+// tilecomp.bench_pushdown.v1) for cross-PR tracking.
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "codec/column.h"
+#include "codec/column_id.h"
+#include "common/random.h"
+#include "crystal/load_column.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+namespace tilecomp {
+namespace {
+
+struct SsbRow {
+  const char* query = "";
+  uint64_t on_bytes = 0;
+  uint64_t off_bytes = 0;
+  sim::PushdownCounters pushdown;
+};
+
+struct SweepRow {
+  const char* scheme = "";
+  double selectivity = 0.0;
+  uint64_t rows_selected = 0;
+  uint64_t tiles_decoded = 0;
+  uint64_t base_tiles_decoded = 0;
+  uint64_t bytes_read = 0;
+  uint64_t base_bytes_read = 0;
+  sim::PushdownCounters pushdown;
+};
+
+// One pass over `col` selecting rows in [lo, hi]. With pushdown the mask
+// comes from EvaluateOnTile and only surviving tiles are materialized; the
+// baseline decodes every tile and tests row-at-a-time. Returns selected-row
+// count and sum through out-params (checked against the host below).
+void Scan(sim::Device& dev, const codec::CompressedColumn& col, uint32_t lo,
+          uint32_t hi, bool pushdown, uint64_t* out_count, uint64_t* out_sum) {
+  crystal::DirectTileLoader loader;
+  const codec::ColumnId col_id(0);
+  const crystal::TilePredicate pred = crystal::TilePredicate::Range(lo, hi);
+  const int64_t num_tiles = crystal::NumTiles(col.size());
+
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> sum{0};
+  sim::LaunchConfig lc;
+  lc.grid_dim = num_tiles;
+  lc.block_threads = 128;
+  lc.smem_bytes_per_block = crystal::ColumnSmemBytes(col);
+  dev.Launch(pushdown ? "pushdown.scan" : "baseline.scan", lc,
+             [&](sim::BlockContext& ctx) {
+               const int64_t tile = ctx.block_id();
+               uint32_t vals[crystal::kTileSize];
+               uint32_t n = 0;
+               crystal::TileMask mask;
+               if (pushdown) {
+                 mask = crystal::TileMask::AllSet();
+                 n = loader.EvaluateOnTile(ctx, col, col_id, tile, pred, &mask);
+                 if (!mask.Any()) return;  // late materialization
+                 loader.LoadTile(ctx, col, col_id, tile, vals);
+               } else {
+                 n = loader.LoadTile(ctx, col, col_id, tile, vals);
+                 mask = crystal::TileMask::AllSet(n);
+                 ctx.Compute(static_cast<uint64_t>(n) * 2);
+                 for (uint32_t i = 0; i < n; ++i) {
+                   if (!pred.Matches(vals[i])) mask.Clear(i);
+                 }
+               }
+               uint64_t local_sum = 0;
+               uint32_t local_count = 0;
+               for (uint32_t i = 0; i < n; ++i) {
+                 if (!mask.Test(i)) continue;
+                 local_sum += vals[i];
+                 ++local_count;
+               }
+               count.fetch_add(local_count, std::memory_order_relaxed);
+               sum.fetch_add(local_sum, std::memory_order_relaxed);
+             });
+  *out_count = count.load();
+  *out_sum = sum.load();
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bench::CommonOptions common =
+      bench::ParseCommonOptions(flags, "BENCH_pushdown.json");
+  const uint32_t rows = static_cast<uint32_t>(flags.GetInt("rows", 60000));
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 1 << 20));
+
+  // -------------------------------------------------------------------
+  // Part A: the 13 SSB queries, pushdown on vs off, bit-exact.
+  // -------------------------------------------------------------------
+  const ssb::SsbData data = ssb::GenerateSsbSmall(rows);
+  const ssb::EncodedLineorder lineorder =
+      ssb::EncodeLineorder(data, codec::System::kGpuStar);
+  const ssb::QueryRunner runner(data);
+
+  bench::PrintTitle("Pushdown part A: SSB queries, on vs off, bit-exact");
+  std::printf("%-8s %12s %12s %8s %8s %8s %8s\n", "query", "bytes_on",
+              "bytes_off", "pruned", "decoded", "blk_sc", "run_sc");
+
+  std::vector<SsbRow> ssb_rows;
+  for (ssb::QueryId q : ssb::AllQueries()) {
+    const ssb::QueryResult expected = runner.RunHostReference(q);
+    sim::Device dev_on;
+    const ssb::QueryResult on =
+        runner.Run(dev_on, lineorder, q, nullptr, /*pushdown=*/true);
+    sim::Device dev_off;
+    const ssb::QueryResult off =
+        runner.Run(dev_off, lineorder, q, nullptr, /*pushdown=*/false);
+    if (on.groups != expected.groups || off.groups != expected.groups) {
+      std::fprintf(stderr, "%s diverges from the host reference (%s)\n",
+                   ssb::QueryName(q),
+                   on.groups != expected.groups ? "pushdown" : "baseline");
+      return 1;
+    }
+    SsbRow row;
+    row.query = ssb::QueryName(q);
+    row.on_bytes = dev_on.total_stats().global_bytes_read;
+    row.off_bytes = dev_off.total_stats().global_bytes_read;
+    row.pushdown = dev_on.total_stats().pushdown;
+    ssb_rows.push_back(row);
+    std::printf("%-8s %12" PRIu64 " %12" PRIu64 " %8" PRIu64 " %8" PRIu64
+                " %8" PRIu64 " %8" PRIu64 "\n",
+                row.query, row.on_bytes, row.off_bytes,
+                row.pushdown.tiles_pruned, row.pushdown.tiles_decoded,
+                row.pushdown.blocks_short_circuited,
+                row.pushdown.runs_short_circuited);
+  }
+  bench::PrintNote(
+      "all 13 queries bit-exact with pushdown on AND off; SSB predicates are "
+      "uniform, so tile pruning needs clustered data (part B)");
+
+  // -------------------------------------------------------------------
+  // Part B: clustered column, selectivity sweep.
+  // -------------------------------------------------------------------
+  const std::vector<uint32_t> values = GenSortedGaps(n, 20, common.seed);
+
+  bench::PrintTitle("Pushdown part B: clustered column selectivity sweep");
+  std::printf("%-9s %6s %10s %10s %10s %12s %12s %8s\n", "scheme", "sel",
+              "rows_sel", "tiles_dec", "base_dec", "bytes_read", "base_bytes",
+              "pruned");
+
+  const codec::Scheme schemes[] = {codec::Scheme::kNone, codec::Scheme::kGpuFor,
+                                   codec::Scheme::kGpuDFor,
+                                   codec::Scheme::kGpuRFor,
+                                   codec::Scheme::kGpuBp};
+  const double selectivities[] = {0.0, 0.01, 0.1, 0.5, 1.0};
+  std::vector<SweepRow> sweep;
+  bool bar_met = true;
+  for (codec::Scheme scheme : schemes) {
+    const codec::CompressedColumn col =
+        codec::CompressedColumn::Encode(scheme, values);
+    for (double sel : selectivities) {
+      // A contiguous percentile window: [30%, 30% + sel) of the sorted
+      // domain. sel = 0 asks for a value past the maximum — nothing
+      // matches, every tile zone-prunes.
+      uint32_t lo, hi;
+      if (sel == 0.0) {
+        lo = hi = values.back() + 1;
+      } else {
+        const size_t first = static_cast<size_t>(0.3 * (n - 1));
+        const size_t last = std::min(
+            n - 1, first + static_cast<size_t>(sel * (n - 1)));
+        lo = values[first];
+        hi = values[last];
+      }
+
+      // Host reference.
+      uint64_t want_count = 0, want_sum = 0;
+      for (uint32_t v : values) {
+        if (v >= lo && v <= hi) {
+          ++want_count;
+          want_sum += v;
+        }
+      }
+
+      uint64_t on_count = 0, on_sum = 0, off_count = 0, off_sum = 0;
+      sim::Device dev_on;
+      Scan(dev_on, col, lo, hi, /*pushdown=*/true, &on_count, &on_sum);
+      sim::Device dev_off;
+      Scan(dev_off, col, lo, hi, /*pushdown=*/false, &off_count, &off_sum);
+      if (on_count != want_count || on_sum != want_sum ||
+          off_count != want_count || off_sum != want_sum) {
+        std::fprintf(stderr,
+                     "%s sel=%.2f diverges from host (want %" PRIu64
+                     " rows, pushdown %" PRIu64 ", baseline %" PRIu64 ")\n",
+                     codec::SchemeName(scheme), sel, want_count, on_count,
+                     off_count);
+        return 1;
+      }
+
+      SweepRow row;
+      row.scheme = codec::SchemeName(scheme);
+      row.selectivity = sel;
+      row.rows_selected = want_count;
+      row.pushdown = dev_on.total_stats().pushdown;
+      row.tiles_decoded = row.pushdown.tiles_decoded;
+      row.base_tiles_decoded = dev_off.total_stats().pushdown.tiles_decoded;
+      row.bytes_read = dev_on.total_stats().global_bytes_read;
+      row.base_bytes_read = dev_off.total_stats().global_bytes_read;
+      sweep.push_back(row);
+      std::printf("%-9s %6.2f %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                  " %12" PRIu64 " %12" PRIu64 " %8" PRIu64 "\n",
+                  row.scheme, sel, row.rows_selected, row.tiles_decoded,
+                  row.base_tiles_decoded, row.bytes_read, row.base_bytes_read,
+                  row.pushdown.tiles_pruned);
+
+      // Acceptance bar: at 1% selectivity pushdown must decode >= 30% fewer
+      // tiles and read fewer global bytes than decode-everything.
+      if (sel == 0.01) {
+        const bool tiles_ok =
+            row.tiles_decoded * 10 <= row.base_tiles_decoded * 7;
+        const bool bytes_ok = row.bytes_read < row.base_bytes_read;
+        if (!tiles_ok || !bytes_ok) {
+          std::fprintf(stderr,
+                       "%s at 1%% selectivity misses the bar: %" PRIu64
+                       "/%" PRIu64 " tiles, %" PRIu64 "/%" PRIu64 " bytes\n",
+                       row.scheme, row.tiles_decoded, row.base_tiles_decoded,
+                       row.bytes_read, row.base_bytes_read);
+          bar_met = false;
+        }
+      }
+    }
+  }
+  if (!bar_met) return 1;
+  bench::PrintNote(
+      "at 1% selectivity every scheme decodes >= 30% fewer tiles and reads "
+      "fewer global bytes than decode-everything, bit-exact");
+
+  if (common.emit_json) {
+    std::string out;
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "{\"schema\":\"tilecomp.bench_pushdown.v1\","
+                  "\"rows\":%u,\"n\":%zu,\"seed\":%" PRIu64 ",\"ssb\":[",
+                  data.lineorder.size(), n, common.seed);
+    out.append(head);
+    for (size_t i = 0; i < ssb_rows.size(); ++i) {
+      const SsbRow& r = ssb_rows[i];
+      char buf[320];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\n  {\"query\":\"%s\",\"bytes_on\":%" PRIu64
+          ",\"bytes_off\":%" PRIu64 ",\"tiles_pruned\":%" PRIu64
+          ",\"tiles_decoded\":%" PRIu64 ",\"blocks_short_circuited\":%" PRIu64
+          ",\"runs_short_circuited\":%" PRIu64 "}",
+          i == 0 ? "" : ",", r.query, r.on_bytes, r.off_bytes,
+          r.pushdown.tiles_pruned, r.pushdown.tiles_decoded,
+          r.pushdown.blocks_short_circuited, r.pushdown.runs_short_circuited);
+      out.append(buf);
+    }
+    out.append("\n],\"sweep\":[");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepRow& r = sweep[i];
+      char buf[400];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s\n  {\"scheme\":\"%s\",\"selectivity\":%.4f,"
+          "\"rows_selected\":%" PRIu64 ",\"tiles_decoded\":%" PRIu64
+          ",\"baseline_tiles_decoded\":%" PRIu64 ",\"bytes_read\":%" PRIu64
+          ",\"baseline_bytes_read\":%" PRIu64 ",\"tiles_pruned\":%" PRIu64
+          ",\"blocks_short_circuited\":%" PRIu64
+          ",\"runs_short_circuited\":%" PRIu64 "}",
+          i == 0 ? "" : ",", r.scheme, r.selectivity, r.rows_selected,
+          r.tiles_decoded, r.base_tiles_decoded, r.bytes_read,
+          r.base_bytes_read, r.pushdown.tiles_pruned,
+          r.pushdown.blocks_short_circuited, r.pushdown.runs_short_circuited);
+      out.append(buf);
+    }
+    out.append("\n]}\n");
+    if (!bench::ExportJson(common, out)) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

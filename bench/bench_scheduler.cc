@@ -146,7 +146,9 @@ int Run(int argc, char** argv) {
       "crossover: persistent wins on skewed tiles (steals past stragglers), "
       "ties on uniform tiles minus the atomic-counter overhead");
 
-  if (flags.Has("json")) {
+  const bench::CommonOptions common =
+      bench::ParseCommonOptions(flags, "BENCH_scheduler.json");
+  if (common.emit_json) {
     std::string out;
     char head[160];
     std::snprintf(head, sizeof(head),
@@ -158,13 +160,7 @@ int Run(int argc, char** argv) {
       AppendJsonRow(&out, rows[i], i == 0);
     }
     out.append("\n]}\n");
-    const std::string path =
-        flags.GetString("json", "BENCH_scheduler.json");
-    if (!telemetry::WriteTextFile(path, out)) {
-      std::fprintf(stderr, "failed to write %s\n", path.c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", path.c_str());
+    if (!bench::ExportJson(common, out)) return 1;
   }
   return 0;
 }

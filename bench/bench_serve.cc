@@ -16,9 +16,11 @@
 // makespan. Every query result is validated bit-exactly against the host
 // reference executor. --json <path> emits machine-readable
 // BENCH_serve.json (schema tilecomp.bench_serve.v1) for cross-PR tracking.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -43,6 +45,38 @@ codec::System ParseSystem(const std::string& name) {
                "none)\n",
                name.c_str());
   std::exit(1);
+}
+
+// Physically cluster lineorder by orderdate (stable, so orderkey runs
+// survive within a date) — the standard date-partitioned fact-table layout.
+// Group-by results are order-independent, so the host reference stays the
+// oracle; what changes is that date predicates now align with tile
+// boundaries and the zone maps get something to prune.
+void ClusterByOrderdate(ssb::LineorderTable* lo) {
+  std::vector<uint32_t> idx(lo->size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    return lo->orderdate[a] < lo->orderdate[b];
+  });
+  auto apply = [&](std::vector<uint32_t>& v) {
+    std::vector<uint32_t> out(v.size());
+    for (size_t i = 0; i < idx.size(); ++i) out[i] = v[idx[i]];
+    v = std::move(out);
+  };
+  apply(lo->orderkey);
+  apply(lo->orderdate);
+  apply(lo->ordtotalprice);
+  apply(lo->custkey);
+  apply(lo->partkey);
+  apply(lo->suppkey);
+  apply(lo->linenumber);
+  apply(lo->quantity);
+  apply(lo->tax);
+  apply(lo->discount);
+  apply(lo->commitdate);
+  apply(lo->extendedprice);
+  apply(lo->revenue);
+  apply(lo->supplycost);
 }
 
 // Decoded bytes of every lineorder column touched by any of the 13 queries:
@@ -73,6 +107,7 @@ struct Row {
   uint64_t bytes_read = 0;
   double read_saving = 0.0;  // vs the cache-off baseline
   uint64_t saved_bytes = 0;  // encoded bytes hits avoided re-reading
+  uint64_t tiles_pruned = 0;  // tiles the pushdown masks kept out of decode
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double makespan_ms = 0.0;
@@ -92,12 +127,23 @@ int Run(int argc, char** argv) {
   const size_t batch_size =
       static_cast<size_t>(flags.GetInt("queries", 48));
   const double alpha = flags.GetDouble("alpha", 1.2);
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const bench::CommonOptions common =
+      bench::ParseCommonOptions(flags, "BENCH_serve.json");
+  const uint64_t seed = common.seed;
   const int streams = static_cast<int>(flags.GetInt("streams", 4));
+  // --pushdown 0 disables compressed-domain predicate evaluation on both the
+  // kernel and the server side (ServeOptions::pushdown), for A/B comparisons.
+  const bool pushdown = flags.GetInt("pushdown", 1) != 0;
+  // --clustered 1 sorts lineorder by orderdate before encoding. dbgen's
+  // insertion order gives every tile the full orderdate range, so zone maps
+  // prune nothing (pushdown still wins inside bench_pushdown's clustered
+  // sweep); the date-clustered layout is where serve-side pruning shows up.
+  const bool clustered = flags.GetInt("clustered", 0) != 0;
   const std::string system_name = flags.GetString("system", "nvcomp");
   const codec::System system = ParseSystem(system_name);
 
-  const ssb::SsbData data = ssb::GenerateSsbSmall(rows);
+  ssb::SsbData data = ssb::GenerateSsbSmall(rows);
+  if (clustered) ClusterByOrderdate(&data.lineorder);
   const ssb::EncodedLineorder lineorder = ssb::EncodeLineorder(data, system);
   const uint64_t working_set = FullWorkingSetBytes(lineorder);
 
@@ -126,6 +172,7 @@ int Run(int argc, char** argv) {
   serve::ServeOptions off;
   off.num_streams = streams;
   off.use_cache = false;
+  off.pushdown = pushdown;
   sim::Device dev_off;
   serve::Server server_off(dev_off, data, lineorder, off);
   const serve::ServeReport base = server_off.Serve(batch);
@@ -147,6 +194,7 @@ int Run(int argc, char** argv) {
     serve::ServeOptions on;
     on.num_streams = streams;
     on.use_cache = true;
+    on.pushdown = pushdown;
     on.cache_budget_bytes = static_cast<uint64_t>(
         frac * static_cast<double>(working_set));
     sim::Device dev;
@@ -175,6 +223,7 @@ int Run(int argc, char** argv) {
             : 1.0 - static_cast<double>(report.global_bytes_read) /
                         static_cast<double>(base.global_bytes_read);
     row.saved_bytes = report.cache.saved_bytes;
+    row.tiles_pruned = report.pushdown.tiles_pruned;
     row.p50_ms = report.p50_latency_ms;
     row.p95_ms = report.p95_latency_ms;
     row.makespan_ms = report.makespan_ms;
@@ -191,16 +240,63 @@ int Run(int argc, char** argv) {
       "decompress pipeline (cascade intermediates included) runs once per "
       "column instead of once per query");
 
-  if (flags.Has("json")) {
+  // Fixed-budget pushdown A/B: a pruned tile needs no residency for a
+  // decompress skip and never enters the cache, so at the same budget the
+  // pushdown server skips more decompressions — provided the layout lets
+  // the zone maps prune (clustered). On the uniform default layout nothing
+  // prunes and the two columns must match exactly.
+  const double ab_frac = 0.5;
+  auto serve_at = [&](bool pd) {
+    serve::ServeOptions o;
+    o.num_streams = streams;
+    o.use_cache = true;
+    o.pushdown = pd;
+    o.cache_budget_bytes =
+        static_cast<uint64_t>(ab_frac * static_cast<double>(working_set));
+    sim::Device d;
+    serve::Server s(d, data, lineorder, o);
+    return s.Serve(batch);
+  };
+  const serve::ServeReport ab_on = serve_at(true);
+  const serve::ServeReport ab_off = serve_at(false);
+  if (!SameResults(ab_on, expected) || !SameResults(ab_off, expected)) {
+    std::fprintf(stderr, "pushdown A/B results diverge from host reference\n");
+    return 1;
+  }
+  std::printf("\npushdown A/B at budget %.2f (%s layout):\n", ab_frac,
+              clustered ? "date-clustered" : "uniform");
+  std::printf("  %-12s %6s %12s %12s %9s\n", "", "skips", "bytes_read",
+              "tiles_pruned", "p95_ms");
+  std::printf("  %-12s %6" PRIu64 " %12" PRIu64 " %12" PRIu64 " %9.4f\n",
+              "pushdown", ab_on.decompress_skips, ab_on.global_bytes_read,
+              ab_on.pushdown.tiles_pruned, ab_on.p95_latency_ms);
+  std::printf("  %-12s %6" PRIu64 " %12" PRIu64 " %12" PRIu64 " %9.4f\n",
+              "decode-all", ab_off.decompress_skips, ab_off.global_bytes_read,
+              ab_off.pushdown.tiles_pruned, ab_off.p95_latency_ms);
+  if (clustered) {
+    if (ab_on.pushdown.tiles_pruned == 0 ||
+        ab_on.decompress_skips <= ab_off.decompress_skips ||
+        ab_on.global_bytes_read >= ab_off.global_bytes_read) {
+      std::fprintf(stderr,
+                   "clustered layout: pushdown must prune tiles, skip more "
+                   "decompressions, and read fewer bytes than decode-all\n");
+      return 1;
+    }
+  }
+
+  if (common.emit_json) {
     std::string out;
     char head[256];
     std::snprintf(head, sizeof(head),
                   "{\"schema\":\"tilecomp.bench_serve.v1\","
                   "\"system\":\"%s\",\"rows\":%u,\"batch\":%zu,"
-                  "\"alpha\":%.3f,\"working_set_bytes\":%" PRIu64
+                  "\"alpha\":%.3f,\"pushdown\":%s,\"clustered\":%s,"
+                  "\"working_set_bytes\":%" PRIu64
                   ",\"baseline_bytes_read\":%" PRIu64 ",\"results\":[",
                   codec::SystemName(system), data.lineorder.size(), batch_size,
-                  alpha, working_set, base.global_bytes_read);
+                  alpha, pushdown ? "true" : "false",
+                  clustered ? "true" : "false", working_set,
+                  base.global_bytes_read);
     out.append(head);
     for (size_t i = 0; i < rows_out.size(); ++i) {
       const Row& r = rows_out[i];
@@ -211,20 +307,29 @@ int Run(int argc, char** argv) {
           ",\"hit_rate\":%.4f,\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
           ",\"evictions\":%" PRIu64 ",\"decompress_skips\":%" PRIu64
           ",\"bytes_read\":%" PRIu64 ",\"read_saving\":%.4f,"
-          "\"saved_bytes\":%" PRIu64 ",\"p50_ms\":%.6f,\"p95_ms\":%.6f,"
+          "\"saved_bytes\":%" PRIu64 ",\"tiles_pruned\":%" PRIu64
+          ",\"p50_ms\":%.6f,\"p95_ms\":%.6f,"
           "\"makespan_ms\":%.6f}",
           i == 0 ? "" : ",", r.budget_frac, r.budget_bytes, r.hit_rate,
           r.hits, r.misses, r.evictions, r.decompress_skips, r.bytes_read,
-          r.read_saving, r.saved_bytes, r.p50_ms, r.p95_ms, r.makespan_ms);
+          r.read_saving, r.saved_bytes, r.tiles_pruned, r.p50_ms, r.p95_ms,
+          r.makespan_ms);
       out.append(buf);
     }
-    out.append("\n]}\n");
-    const std::string path = flags.GetString("json", "BENCH_serve.json");
-    if (!telemetry::WriteTextFile(path, out)) {
-      std::fprintf(stderr, "failed to write %s\n", path.c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", path.c_str());
+    out.append("\n],");
+    char ab[384];
+    std::snprintf(ab, sizeof(ab),
+                  "\"ab\":{\"budget_frac\":%.2f,\"skips_pushdown\":%" PRIu64
+                  ",\"skips_baseline\":%" PRIu64
+                  ",\"bytes_pushdown\":%" PRIu64 ",\"bytes_baseline\":%" PRIu64
+                  ",\"tiles_pruned\":%" PRIu64
+                  ",\"p95_pushdown\":%.6f,\"p95_baseline\":%.6f}}\n",
+                  ab_frac, ab_on.decompress_skips, ab_off.decompress_skips,
+                  ab_on.global_bytes_read, ab_off.global_bytes_read,
+                  ab_on.pushdown.tiles_pruned, ab_on.p95_latency_ms,
+                  ab_off.p95_latency_ms);
+    out.append(ab);
+    if (!bench::ExportJson(common, out)) return 1;
   }
   return 0;
 }

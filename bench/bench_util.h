@@ -9,12 +9,84 @@
 #ifndef TILECOMP_BENCH_BENCH_UTIL_H_
 #define TILECOMP_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "common/flags.h"
+#include "telemetry/export.h"
+#include "telemetry/tracer.h"
 
 namespace tilecomp::bench {
+
+// Flags every bench binary understands, parsed once by ParseCommonOptions:
+//
+//   --json [path]    emit a machine-readable result file (bare --json picks
+//                    the bench's default path, e.g. BENCH_serve.json)
+//   --trace <path>   write the telemetry trace (tilecomp.trace.v6 JSON)
+//   --chrome <path>  write the chrome://tracing / Perfetto export
+//   --seed <n>       PRNG seed for workload generation (default 7)
+//
+// Benches that predate this struct parsed these by hand with the same
+// spellings; CI invocations (--trace/--chrome/--json <path>) keep working.
+struct CommonOptions {
+  bool emit_json = false;
+  std::string json_path;
+  std::string trace_path;
+  std::string chrome_path;
+  uint64_t seed = 7;
+};
+
+inline CommonOptions ParseCommonOptions(const Flags& flags,
+                                        const std::string& default_json_path) {
+  CommonOptions opts;
+  opts.emit_json = flags.Has("json");
+  opts.json_path = flags.GetString("json", default_json_path);
+  // A bare "--json" parses as the literal value "true": use the default.
+  if (opts.json_path == "true" || opts.json_path.empty()) {
+    opts.json_path = default_json_path;
+  }
+  opts.trace_path = flags.GetString("trace", "");
+  opts.chrome_path = flags.GetString("chrome", "");
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  return opts;
+}
+
+// Write the exports requested by --trace / --chrome from `tracer`. Returns
+// false (after printing the failing path to stderr) on I/O error, true when
+// nothing was requested or every write succeeded.
+inline bool ExportTraces(const CommonOptions& opts,
+                         const telemetry::Tracer& tracer) {
+  if (!opts.trace_path.empty()) {
+    if (!telemetry::WriteTextFile(opts.trace_path, telemetry::ToJson(tracer))) {
+      std::fprintf(stderr, "cannot write %s\n", opts.trace_path.c_str());
+      return false;
+    }
+    std::printf("wrote trace to %s\n", opts.trace_path.c_str());
+  }
+  if (!opts.chrome_path.empty()) {
+    if (!telemetry::WriteTextFile(opts.chrome_path,
+                                  telemetry::ToChromeTrace(tracer))) {
+      std::fprintf(stderr, "cannot write %s\n", opts.chrome_path.c_str());
+      return false;
+    }
+    std::printf("wrote chrome trace to %s\n", opts.chrome_path.c_str());
+  }
+  return true;
+}
+
+// Write the --json result file. Returns false (after printing the failing
+// path to stderr) on I/O error, true when --json was absent or the write
+// succeeded.
+inline bool ExportJson(const CommonOptions& opts, const std::string& content) {
+  if (!opts.emit_json) return true;
+  if (!telemetry::WriteTextFile(opts.json_path, content)) {
+    std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", opts.json_path.c_str());
+  return true;
+}
 
 // Scale a time measured on an n_sim-sized input to the paper's n_paper.
 inline double Project(double time_ms, size_t n_sim, size_t n_paper) {

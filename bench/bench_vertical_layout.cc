@@ -78,7 +78,7 @@ int Run(int argc, char** argv) {
     auto enc = format::SimdBp128Encode(column.data(), column.size());
     auto run = kernels::DecompressSimdBp128(dev_v, enc);
     raw.cols[static_cast<int>(col)] = codec::SystemEncode(
-        codec::System::kNone, run.output.data(), run.output.size());
+        codec::System::kNone, run.output);
   }
   const double q_vert =
       dev_v.elapsed_ms() -

@@ -53,6 +53,8 @@ CompressedColumn CompressedColumn::Encode(Scheme scheme, U32Span span) {
   CompressedColumn col;
   col.scheme_ = scheme;
   col.count_ = static_cast<uint32_t>(count);
+  col.zone_map_ =
+      std::make_shared<const ZoneMap>(ZoneMap::Build(values, count));
   switch (scheme) {
     case Scheme::kNone:
       col.raw_ = std::make_shared<std::vector<uint32_t>>(values,
@@ -102,6 +104,8 @@ CompressedColumn CompressedColumn::FromRaw(std::vector<uint32_t> values) {
   CompressedColumn col;
   col.scheme_ = Scheme::kNone;
   col.count_ = static_cast<uint32_t>(values.size());
+  col.zone_map_ = std::make_shared<const ZoneMap>(
+      ZoneMap::Build(values.data(), values.size()));
   col.raw_ = std::make_shared<std::vector<uint32_t>>(std::move(values));
   return col;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "codec/scheme.h"
+#include "codec/zone_map.h"
 #include "common/span.h"
 #include "format/gpudfor.h"
 #include "format/gpufor.h"
@@ -26,13 +27,9 @@ class CompressedColumn {
   CompressedColumn() = default;
 
   // Encode the viewed values with the given scheme. For kNone the values
-  // are stored verbatim. A std::vector converts implicitly.
+  // are stored verbatim. A std::vector converts implicitly. Also builds the
+  // column's per-tile/per-block zone map for predicate pushdown.
   static CompressedColumn Encode(Scheme scheme, U32Span values);
-  // Thin forwarding shim for legacy pointer/length call sites.
-  static CompressedColumn Encode(Scheme scheme, const uint32_t* values,
-                                 size_t count) {
-    return Encode(scheme, U32Span(values, count));
-  }
 
   // Wrap already-encoded streams (deserialization, zero-copy adoption).
   // `scheme` for FromGpuFor may be kGpuFor or kGpuBp (same container).
@@ -77,6 +74,19 @@ class CompressedColumn {
   const format::RleEncoded* rle() const { return rle_.get(); }
   const format::SimdBp128Encoded* simdbp() const { return simdbp_.get(); }
 
+  // Per-tile/per-block min-max index for predicate pushdown. Built by
+  // Encode() and FromRaw(); null for columns adopted from already-encoded
+  // streams (the other From* constructors) — those stay correct but cannot
+  // prune. Not serialized.
+  const ZoneMap* zone_map() const { return zone_map_.get(); }
+  std::shared_ptr<const ZoneMap> shared_zone_map() const { return zone_map_; }
+  // Attach an externally built zone map. The serving layer uses this to
+  // propagate the stored column's map onto its materialized (kNone) copy so
+  // kernel-side pruning decisions match the server's exactly.
+  void set_zone_map(std::shared_ptr<const ZoneMap> zm) {
+    zone_map_ = std::move(zm);
+  }
+
  private:
   Scheme scheme_ = Scheme::kNone;
   uint32_t count_ = 0;
@@ -90,6 +100,7 @@ class CompressedColumn {
   std::shared_ptr<format::NsvEncoded> nsv_;
   std::shared_ptr<format::RleEncoded> rle_;
   std::shared_ptr<format::SimdBp128Encoded> simdbp_;
+  std::shared_ptr<const ZoneMap> zone_map_;
 };
 
 }  // namespace tilecomp::codec

@@ -1,0 +1,49 @@
+// Strongly typed column identifier.
+//
+// Bare uint32_t column ids flowed through three unrelated layers — the
+// crystal tile loaders, the serving layer's cache keys and the fault plan's
+// per-tile draw keys — and were freely interchangeable with tile ids and
+// other integers at every call site (the PR 5 tile-id-truncation bug lived
+// exactly in that gap). ColumnId closes the class at the type level: it
+// converts only explicitly, so a (column, tile) pair can never be swapped
+// or narrowed silently.
+#ifndef TILECOMP_CODEC_COLUMN_ID_H_
+#define TILECOMP_CODEC_COLUMN_ID_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace tilecomp::codec {
+
+class ColumnId {
+ public:
+  constexpr ColumnId() = default;
+  constexpr explicit ColumnId(uint32_t value) : value_(value) {}
+
+  constexpr uint32_t value() const { return value_; }
+
+  friend constexpr bool operator==(ColumnId a, ColumnId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(ColumnId a, ColumnId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(ColumnId a, ColumnId b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  uint32_t value_ = 0;
+};
+
+}  // namespace tilecomp::codec
+
+template <>
+struct std::hash<tilecomp::codec::ColumnId> {
+  size_t operator()(tilecomp::codec::ColumnId id) const noexcept {
+    return std::hash<uint32_t>()(id.value());
+  }
+};
+
+#endif  // TILECOMP_CODEC_COLUMN_ID_H_

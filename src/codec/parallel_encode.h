@@ -32,23 +32,6 @@ format::GpuRForEncoded ParallelGpuRForEncode(
     U32Span values,
     const format::GpuRForOptions& options = format::GpuRForOptions());
 
-// Thin forwarding shims for legacy pointer/length call sites.
-inline format::GpuForEncoded ParallelGpuForEncode(
-    const uint32_t* values, size_t count,
-    const format::GpuForOptions& options = format::GpuForOptions()) {
-  return ParallelGpuForEncode(U32Span(values, count), options);
-}
-inline format::GpuDForEncoded ParallelGpuDForEncode(
-    const uint32_t* values, size_t count,
-    const format::GpuDForOptions& options = format::GpuDForOptions()) {
-  return ParallelGpuDForEncode(U32Span(values, count), options);
-}
-inline format::GpuRForEncoded ParallelGpuRForEncode(
-    const uint32_t* values, size_t count,
-    const format::GpuRForOptions& options = format::GpuRForOptions()) {
-  return ParallelGpuRForEncode(U32Span(values, count), options);
-}
-
 }  // namespace tilecomp::codec
 
 #endif  // TILECOMP_CODEC_PARALLEL_ENCODE_H_

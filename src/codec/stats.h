@@ -22,10 +22,6 @@ struct ColumnStats {
 };
 
 ColumnStats ComputeStats(U32Span values);
-// Thin forwarding shim for legacy pointer/length call sites.
-inline ColumnStats ComputeStats(const uint32_t* values, size_t count) {
-  return ComputeStats(U32Span(values, count));
-}
 
 // The Section 8 rule of thumb:
 //   - sorted (or semi-sorted) with many distinct values -> GPU-DFOR
@@ -37,10 +33,6 @@ Scheme ChooseScheme(const ColumnStats& stats);
 // that has the lowest storage footprint": encode with all three GPU-*
 // schemes and keep the smallest. This is the GPU-* hybrid of Section 9.4.
 CompressedColumn EncodeGpuStar(U32Span values);
-// Thin forwarding shim for legacy pointer/length call sites.
-inline CompressedColumn EncodeGpuStar(const uint32_t* values, size_t count) {
-  return EncodeGpuStar(U32Span(values, count));
-}
 
 }  // namespace tilecomp::codec
 

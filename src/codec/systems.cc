@@ -64,6 +64,17 @@ SystemColumn SystemEncode(System system, U32Span values) {
           PlannerEncode(values.data(), values.size()));
       break;
   }
+  // Every system keeps a zone map for pushdown pruning; column-backed
+  // systems reuse the one Encode() already built.
+  switch (system) {
+    case System::kNvcomp:
+    case System::kPlanner:
+      out.zone_map = std::make_shared<const ZoneMap>(ZoneMap::Build(values));
+      break;
+    default:
+      out.zone_map = out.column.shared_zone_map();
+      break;
+  }
   return out;
 }
 

@@ -27,6 +27,10 @@ struct SystemColumn {
   // For kNvcomp / kPlanner.
   std::shared_ptr<NvcompEncoded> nvcomp;
   std::shared_ptr<PlannerEncoded> planner;
+  // Per-tile/per-block min-max index built by SystemEncode, backing the
+  // serving layer's pushdown pruning for systems (kNvcomp / kPlanner) that
+  // do not carry a CompressedColumn.
+  std::shared_ptr<const ZoneMap> zone_map;
 
   uint32_t size() const;
   uint64_t compressed_bytes() const;
@@ -46,11 +50,6 @@ struct SystemColumn {
 //   kPlanner         -> best byte-aligned plan;
 //   kGpuBp           -> per-block bit-packing without FOR.
 SystemColumn SystemEncode(System system, U32Span values);
-// Thin forwarding shim for legacy pointer/length call sites.
-inline SystemColumn SystemEncode(System system, const uint32_t* values,
-                                 size_t count) {
-  return SystemEncode(system, U32Span(values, count));
-}
 
 // Decompress a system column on the simulated device, using the system's
 // decompression pipeline (single fused kernel for GPU-*, one kernel per

@@ -45,7 +45,7 @@ class DecimalColumn {
   // Compress with the GPU-* chooser; decompression returns fixed-point
   // integers convertible via Value().
   CompressedColumn Compress() const {
-    return EncodeGpuStar(raw_.data(), raw_.size());
+    return EncodeGpuStar(raw_);
   }
 
  private:
@@ -69,7 +69,7 @@ class StringColumn {
   const std::vector<uint32_t>& codes() const { return codes_; }
 
   CompressedColumn Compress() const {
-    return EncodeGpuStar(codes_.data(), codes_.size());
+    return EncodeGpuStar(codes_);
   }
 
   // Equality predicate pushdown: returns the code to compare against, or

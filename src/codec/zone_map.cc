@@ -4,19 +4,31 @@
 
 namespace tilecomp::codec {
 
-ZoneMap ZoneMap::Build(const uint32_t* values, size_t count) {
-  ZoneMap zm;
-  for (size_t begin = 0; begin < count; begin += kTileSize) {
-    const size_t end = std::min(begin + kTileSize, count);
+namespace {
+
+void BuildGranularity(const uint32_t* values, size_t count, uint32_t grain,
+                      std::vector<uint32_t>* mins,
+                      std::vector<uint32_t>* maxs) {
+  for (size_t begin = 0; begin < count; begin += grain) {
+    const size_t end = std::min(begin + grain, count);
     uint32_t lo = values[begin];
     uint32_t hi = values[begin];
     for (size_t i = begin + 1; i < end; ++i) {
       lo = std::min(lo, values[i]);
       hi = std::max(hi, values[i]);
     }
-    zm.mins_.push_back(lo);
-    zm.maxs_.push_back(hi);
+    mins->push_back(lo);
+    maxs->push_back(hi);
   }
+}
+
+}  // namespace
+
+ZoneMap ZoneMap::Build(const uint32_t* values, size_t count) {
+  ZoneMap zm;
+  BuildGranularity(values, count, kTileSize, &zm.mins_, &zm.maxs_);
+  BuildGranularity(values, count, kBlockSize, &zm.block_mins_,
+                   &zm.block_maxs_);
   return zm;
 }
 

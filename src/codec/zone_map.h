@@ -3,6 +3,14 @@
 // Section 8 random-access observation — a compressed tile must be decoded
 // entirely or not at all, so the natural skipping granularity *is* the
 // tile, and a zone map decides without touching the data.
+//
+// The map also keeps a finer min/max per 128-value block (the GPU-FOR data
+// block / one quarter tile). The compressed-domain evaluators use the block
+// entries to short-circuit blocks whose range is disjoint from (all bits
+// cleared) or fully inside (all bits kept) a predicate range, decoding only
+// genuinely mixed blocks. Total overhead: 16 bytes per 512 values at tile
+// granularity plus 16 bytes per 128 values at block granularity, i.e. about
+// 1.25 bits per int.
 #ifndef TILECOMP_CODEC_ZONE_MAP_H_
 #define TILECOMP_CODEC_ZONE_MAP_H_
 
@@ -10,23 +18,54 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/span.h"
+
 namespace tilecomp::codec {
 
 class ZoneMap {
  public:
   static constexpr uint32_t kTileSize = 512;
+  // Block granularity of the fine-grained entries; matches the GPU-FOR data
+  // block and divides kTileSize.
+  static constexpr uint32_t kBlockSize = 128;
 
-  // Build from raw values (one zone per 512 values).
+  // Build from raw values (one zone per 512 values, one block entry per
+  // 128 values).
   static ZoneMap Build(const uint32_t* values, size_t count);
+  static ZoneMap Build(U32Span values) {
+    return Build(values.data(), values.size());
+  }
 
   size_t num_tiles() const { return mins_.size(); }
   uint32_t tile_min(size_t tile) const { return mins_[tile]; }
   uint32_t tile_max(size_t tile) const { return maxs_[tile]; }
-  uint64_t bytes() const { return (mins_.size() + maxs_.size()) * 4; }
+
+  size_t num_blocks() const { return block_mins_.size(); }
+  uint32_t block_min(size_t block) const { return block_mins_[block]; }
+  uint32_t block_max(size_t block) const { return block_maxs_[block]; }
+
+  uint64_t bytes() const {
+    return (mins_.size() + maxs_.size() + block_mins_.size() +
+            block_maxs_.size()) *
+           4;
+  }
 
   // Can any value in `tile` fall inside [lo, hi]?
   bool TileCanMatch(size_t tile, uint32_t lo, uint32_t hi) const {
     return maxs_[tile] >= lo && mins_[tile] <= hi;
+  }
+
+  // Does every value in `tile` fall inside [lo, hi]?
+  bool TileFullyInside(size_t tile, uint32_t lo, uint32_t hi) const {
+    return mins_[tile] >= lo && maxs_[tile] <= hi;
+  }
+
+  bool BlockCanMatch(size_t block, uint32_t lo, uint32_t hi) const {
+    return block_maxs_[block] >= lo && block_mins_[block] <= hi;
+  }
+
+  bool BlockFullyInside(size_t block, uint32_t lo, uint32_t hi) const {
+    return block_mins_[block] >= lo && block_maxs_[block] <= hi;
   }
 
   // Number of tiles a [lo, hi] range predicate must actually decode.
@@ -39,6 +78,8 @@ class ZoneMap {
  private:
   std::vector<uint32_t> mins_;
   std::vector<uint32_t> maxs_;
+  std::vector<uint32_t> block_mins_;
+  std::vector<uint32_t> block_maxs_;
 };
 
 }  // namespace tilecomp::codec

@@ -1,5 +1,9 @@
 #include "crystal/load_column.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "codec/zone_map.h"
 #include "common/bit_util.h"
 #include "common/macros.h"
 
@@ -12,6 +16,7 @@ int64_t NumTiles(uint32_t count) {
 uint32_t LoadColumnTile(sim::BlockContext& ctx,
                         const codec::CompressedColumn& column,
                         int64_t tile_id, uint32_t* out_tile) {
+  if (tile_id >= 0 && tile_id < NumTiles(column.size())) ctx.TileDecoded();
   switch (column.scheme()) {
     case codec::Scheme::kNone: {
       const auto& raw = *column.raw();
@@ -58,10 +63,174 @@ uint32_t LoadColumnTile(sim::BlockContext& ctx,
   return 0;
 }
 
-uint32_t DirectTileLoader::Load(sim::BlockContext& ctx,
-                                const codec::CompressedColumn& column,
-                                uint32_t column_id, int64_t tile_id,
-                                uint32_t* out_tile) {
+bool ColumnTileStats(const codec::CompressedColumn& column, int64_t tile_id,
+                     uint32_t* min, uint32_t* max) {
+  const codec::ZoneMap* zm = column.zone_map();
+  if (zm == nullptr || tile_id < 0 ||
+      static_cast<size_t>(tile_id) >= zm->num_tiles()) {
+    return false;
+  }
+  *min = zm->tile_min(static_cast<size_t>(tile_id));
+  *max = zm->tile_max(static_cast<size_t>(tile_id));
+  return true;
+}
+
+namespace {
+
+// Blocks per tile at the zone map's fine granularity.
+constexpr uint32_t kBlocksPerTile =
+    kTileSize / codec::ZoneMap::kBlockSize;
+
+// Test decoded values of blocks listed in `mixed` against the predicate,
+// clearing mask bits for non-matching rows. `tile` holds the decoded tile
+// (valid values in [0, n)).
+void TestMixedBlocks(sim::BlockContext& ctx, const uint32_t* tile, uint32_t n,
+                     const uint32_t (&mixed)[kBlocksPerTile],
+                     uint32_t mixed_count, const TilePredicate& pred,
+                     TileMask* mask) {
+  for (uint32_t i = 0; i < mixed_count; ++i) {
+    const uint32_t begin = mixed[i] * codec::ZoneMap::kBlockSize;
+    const uint32_t end =
+        std::min(begin + codec::ZoneMap::kBlockSize, n);
+    if (begin >= end) continue;
+    ctx.Compute(static_cast<uint64_t>(end - begin) * 2);
+    for (uint32_t v = begin; v < end; ++v) {
+      if (!pred.Matches(tile[v])) mask->Clear(v);
+    }
+  }
+}
+
+}  // namespace
+
+uint32_t EvaluateColumnTile(sim::BlockContext& ctx,
+                            const codec::CompressedColumn& column,
+                            int64_t tile_id, const TilePredicate& pred,
+                            TileMask* mask) {
+  const uint64_t tile_begin = static_cast<uint64_t>(tile_id) * kTileSize;
+  if (tile_id < 0 || tile_begin >= column.size()) {
+    mask->ClearAll();
+    return 0;
+  }
+  const uint32_t n = static_cast<uint32_t>(
+      std::min<uint64_t>(kTileSize, column.size() - tile_begin));
+
+  // Tile-granularity zone-map check: 8 bytes of metadata decide the whole
+  // tile in the common skewed cases.
+  const codec::ZoneMap* zm = column.zone_map();
+  if (zm != nullptr && static_cast<size_t>(tile_id) < zm->num_tiles()) {
+    ctx.BroadcastRead(8);
+    ctx.Compute(2);
+    const size_t t = static_cast<size_t>(tile_id);
+    if (pred.DisjointFrom(zm->tile_min(t), zm->tile_max(t))) {
+      mask->ClearRange(0, TileMask::kBits);
+      ctx.PushdownTilePruned();
+      return n;
+    }
+    if (pred.Contains(zm->tile_min(t), zm->tile_max(t))) {
+      mask->ClearRange(n, TileMask::kBits);
+      return n;
+    }
+  }
+
+  switch (column.scheme()) {
+    case codec::Scheme::kGpuFor: {
+      kernels::UnpackConfig cfg;  // D = 4 -> 512-value tile
+      kernels::EvaluateBitPack(ctx, *column.gpu_for(), tile_id, cfg, pred,
+                               mask);
+      break;
+    }
+    case codec::Scheme::kGpuBp: {
+      kernels::UnpackConfig cfg;
+      cfg.d = 1;
+      cfg.opt = kernels::UnpackOpt::kSharedMemory;
+      for (int64_t b = 0; b < 4; ++b) {
+        kernels::EvaluateBitPack(ctx, *column.gpu_for(), tile_id * 4 + b, cfg,
+                                 pred, mask,
+                                 static_cast<uint32_t>(b) * 128);
+      }
+      break;
+    }
+    case codec::Scheme::kGpuRFor: {
+      kernels::EvaluateRBitPack(ctx, *column.gpu_rfor(), tile_id, pred, mask);
+      break;
+    }
+    case codec::Scheme::kNone:
+    case codec::Scheme::kGpuDFor: {
+      // Delta references do not bound the decoded values (GPU-DFOR), and an
+      // uncompressed tile has no frame-of-reference structure — use the
+      // zone map's 128-value block entries to short-circuit, then decode
+      // only what remains undecided.
+      uint32_t mixed[kBlocksPerTile];
+      uint32_t mixed_count = 0;
+      uint64_t short_circuited = 0;
+      if (zm != nullptr) {
+        for (uint32_t k = 0; k < kBlocksPerTile; ++k) {
+          const size_t gb =
+              static_cast<size_t>(tile_id) * kBlocksPerTile + k;
+          if (gb >= zm->num_blocks()) break;
+          ctx.BroadcastRead(8);
+          ctx.Compute(2);
+          if (pred.DisjointFrom(zm->block_min(gb), zm->block_max(gb))) {
+            const uint32_t begin = k * codec::ZoneMap::kBlockSize;
+            mask->ClearRange(begin, begin + codec::ZoneMap::kBlockSize);
+            ++short_circuited;
+          } else if (pred.Contains(zm->block_min(gb), zm->block_max(gb))) {
+            ++short_circuited;
+          } else {
+            mixed[mixed_count++] = k;
+          }
+        }
+        ctx.PushdownBlocksShortCircuited(short_circuited);
+      } else {
+        for (uint32_t k = 0;
+             k < kBlocksPerTile &&
+             k * codec::ZoneMap::kBlockSize < n;
+             ++k) {
+          mixed[mixed_count++] = k;
+        }
+      }
+      if (mixed_count == 0) break;
+      if (column.scheme() == codec::Scheme::kNone) {
+        // Read only the residual blocks of the raw column.
+        const uint32_t* raw = column.raw()->data() + tile_begin;
+        ctx.CoalescedRead(static_cast<uint64_t>(mixed_count) *
+                              codec::ZoneMap::kBlockSize * 4,
+                          /*aligned=*/true);
+        TestMixedBlocks(ctx, raw, n, mixed, mixed_count, pred, mask);
+      } else {
+        // A GPU-DFOR tile decodes as a unit (the fused prefix sum needs the
+        // whole tile), so one residual block costs the full tile decode.
+        std::vector<uint32_t> tile(kTileSize, 0);
+        LoadColumnTile(ctx, column, tile_id, tile.data());
+        TestMixedBlocks(ctx, tile.data(), n, mixed, mixed_count, pred, mask);
+      }
+      break;
+    }
+    default: {
+      // No inline device decoder (kNsf / kNsv / kRle / kSimdBp128): test the
+      // host-decoded values, charged as a coalesced read of a materialized
+      // copy of the tile. Keeps EvaluateColumnTile total over every scheme;
+      // the serving layer's decompression pipeline is the fast path for
+      // these encodings.
+      const std::vector<uint32_t> all = column.DecodeHost();
+      ctx.TileDecoded();
+      ctx.CoalescedRead(static_cast<uint64_t>(n) * 4, /*aligned=*/true);
+      ctx.Compute(static_cast<uint64_t>(n) * 2);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!pred.Matches(all[tile_begin + i])) mask->Clear(i);
+      }
+      break;
+    }
+  }
+
+  mask->ClearRange(n, TileMask::kBits);
+  return n;
+}
+
+uint32_t DirectTileLoader::LoadTile(sim::BlockContext& ctx,
+                                    const codec::CompressedColumn& column,
+                                    codec::ColumnId column_id, int64_t tile_id,
+                                    uint32_t* out_tile) {
   (void)column_id;
   return LoadColumnTile(ctx, column, tile_id, out_tile);
 }

@@ -1,4 +1,4 @@
-// Crystal integration (Section 7): tile loading for query kernels.
+// Crystal integration (Section 7): column access for query kernels.
 //
 // A query kernel processes one 512-value tile of the fact table per thread
 // block. LoadColumnTile is the single entry point a kernel uses to
@@ -7,16 +7,30 @@
 // LoadBitPack / LoadDBitPack / LoadRBitPack device functions. Swapping a
 // query from uncompressed to compressed data is exactly this one call —
 // the paper's single-line-of-code integration.
+//
+// The compressed-domain execution path adds a second entry point:
+// EvaluateColumnTile answers a range predicate over a tile without
+// materializing it, producing a 512-bit selection mask from the column's
+// zone map and the encoding's frame-of-reference structure. Query kernels
+// evaluate predicates first and call the loader only for tiles with
+// surviving rows (late materialization).
 #ifndef TILECOMP_CRYSTAL_LOAD_COLUMN_H_
 #define TILECOMP_CRYSTAL_LOAD_COLUMN_H_
 
 #include <cstdint>
 
 #include "codec/column.h"
+#include "codec/column_id.h"
 #include "kernels/load_tile.h"
+#include "kernels/tile_mask.h"
 #include "sim/block_context.h"
 
 namespace tilecomp::crystal {
+
+// The mask/predicate currency of the compressed-domain path, re-exported
+// from the kernels layer so query code does not reach below crystal.
+using kernels::TileMask;
+using kernels::TilePredicate;
 
 // Values per tile: 4 GPU-FOR blocks = 1 GPU-DFOR tile = 1 GPU-RFOR block.
 inline constexpr uint32_t kTileSize = 512;
@@ -31,28 +45,68 @@ uint32_t LoadColumnTile(sim::BlockContext& ctx,
                         const codec::CompressedColumn& column,
                         int64_t tile_id, uint32_t* out_tile);
 
-// Pluggable tile-load strategy for query kernels. The default strategy is
-// LoadColumnTile above (decode inline, every time); the serving layer
+// Evaluate `pred` over tile `tile_id` of `column` in the compressed domain,
+// ANDing the result into `mask` (callers start from TileMask::AllSet()).
+// Resolution order: the column's zone map classifies the whole tile, then
+// each 128-value block; only blocks the zone map cannot decide are touched
+// at value granularity (FOR miniblock bounds, RFOR per-run compares, or a
+// decode of the residual blocks). Mask bits past the tile's valid count are
+// cleared. Returns the number of valid values in the tile. Works for every
+// scheme: encodings without an inline device decoder fall back to testing
+// the host-decoded values, charged as a coalesced read of the materialized
+// tile.
+uint32_t EvaluateColumnTile(sim::BlockContext& ctx,
+                            const codec::CompressedColumn& column,
+                            int64_t tile_id, const TilePredicate& pred,
+                            TileMask* mask);
+
+// Zone-map min/max of one tile. Returns false (outputs untouched) when the
+// column carries no zone map or the tile is out of range.
+bool ColumnTileStats(const codec::CompressedColumn& column, int64_t tile_id,
+                     uint32_t* min, uint32_t* max);
+
+// Pluggable column-access strategy for query kernels: how a kernel
+// materializes a tile (LoadTile), inspects its value bounds (TileStats) and
+// evaluates a predicate over it without materializing (EvaluateOnTile).
+// The default strategy decodes inline every time; the serving layer
 // (src/serve/) supplies a caching strategy that serves hot tiles from a
-// decompressed-tile cache instead of re-decoding them on every query.
-// `column_id` identifies the column across queries (the serving layer keys
-// its cache on it; LoCol ordinals for the SSB fact table). Implementations
-// must be safe to call concurrently from many blocks (host threads).
-class TileLoader {
+// decompressed-tile cache and answers predicates from cached tiles when
+// resident. `column_id` identifies the column across queries (the serving
+// layer keys its cache on it; LoCol ordinals for the SSB fact table).
+// Implementations must be safe to call concurrently from many blocks (host
+// threads).
+class ColumnAccessor {
  public:
-  virtual ~TileLoader() = default;
-  virtual uint32_t Load(sim::BlockContext& ctx,
-                        const codec::CompressedColumn& column,
-                        uint32_t column_id, int64_t tile_id,
-                        uint32_t* out_tile) = 0;
+  virtual ~ColumnAccessor() = default;
+
+  virtual uint32_t LoadTile(sim::BlockContext& ctx,
+                            const codec::CompressedColumn& column,
+                            codec::ColumnId column_id, int64_t tile_id,
+                            uint32_t* out_tile) = 0;
+
+  virtual bool TileStats(const codec::CompressedColumn& column,
+                         codec::ColumnId column_id, int64_t tile_id,
+                         uint32_t* min, uint32_t* max) {
+    (void)column_id;
+    return ColumnTileStats(column, tile_id, min, max);
+  }
+
+  virtual uint32_t EvaluateOnTile(sim::BlockContext& ctx,
+                                  const codec::CompressedColumn& column,
+                                  codec::ColumnId column_id, int64_t tile_id,
+                                  const TilePredicate& pred, TileMask* mask) {
+    (void)column_id;
+    return EvaluateColumnTile(ctx, column, tile_id, pred, mask);
+  }
 };
 
 // The default strategy: ignores column_id and decodes inline.
-class DirectTileLoader : public TileLoader {
+class DirectTileLoader : public ColumnAccessor {
  public:
-  uint32_t Load(sim::BlockContext& ctx, const codec::CompressedColumn& column,
-                uint32_t column_id, int64_t tile_id,
-                uint32_t* out_tile) override;
+  uint32_t LoadTile(sim::BlockContext& ctx,
+                    const codec::CompressedColumn& column,
+                    codec::ColumnId column_id, int64_t tile_id,
+                    uint32_t* out_tile) override;
 };
 
 // Estimated shared-memory footprint one tile-load of `column` contributes

@@ -96,8 +96,9 @@ double FaultPlan::BackoffMs(int attempt) const {
   return std::min(options_.backoff_cap_ms, raw);
 }
 
-uint64_t FaultPlan::TileKey(uint32_t column_id, int64_t tile_id, int attempt) {
-  return Mix64((static_cast<uint64_t>(column_id) << 40) ^
+uint64_t FaultPlan::TileKey(codec::ColumnId column_id, int64_t tile_id,
+                            int attempt) {
+  return Mix64((static_cast<uint64_t>(column_id.value()) << 40) ^
                static_cast<uint64_t>(tile_id)) ^
          static_cast<uint64_t>(attempt);
 }

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "codec/column_id.h"
 #include "common/macros.h"
 
 namespace tilecomp::fault {
@@ -104,7 +105,8 @@ class FaultPlan {
   double BackoffMs(int attempt) const;
 
   // Stable key for per-tile consults.
-  static uint64_t TileKey(uint32_t column_id, int64_t tile_id, int attempt);
+  static uint64_t TileKey(codec::ColumnId column_id, int64_t tile_id,
+                          int attempt);
 
   const FaultPlanOptions& options() const { return options_; }
   FaultStats stats() const;

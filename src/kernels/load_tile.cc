@@ -285,6 +285,135 @@ uint32_t LoadRBitPack(sim::BlockContext& ctx,
   return total;
 }
 
+uint32_t EvaluateBitPack(sim::BlockContext& ctx,
+                         const format::GpuForEncoded& enc, int64_t tile_id,
+                         const UnpackConfig& cfg, const TilePredicate& pred,
+                         TileMask* mask, uint32_t mask_offset) {
+  const format::GpuForHeader& h = enc.header;
+  const int d = cfg.effective_d();
+  const uint32_t num_blocks = h.num_blocks();
+  const int64_t first_block = tile_id * d;
+  const uint32_t block_size = h.block_size;
+  const uint32_t mb_count = h.miniblock_count;
+  const uint32_t mb_values = block_size / mb_count;
+
+  const int blocks_here =
+      static_cast<int>(std::min<int64_t>(d, num_blocks - first_block));
+  if (blocks_here <= 0) return 0;
+
+  std::vector<uint32_t> decoded(block_size);
+  uint64_t short_circuited = 0;
+  for (int b = 0; b < blocks_here; ++b) {
+    const uint32_t block = static_cast<uint32_t>(first_block) + b;
+    const uint32_t* block_data = enc.data.data() + enc.block_starts[block];
+    // Three adjacent words classify the whole block — start offset,
+    // reference, per-miniblock bitwidths — one sector, one broadcast.
+    ctx.BroadcastRead(12);
+    const uint64_t ref = block_data[0];
+    const uint32_t bw = block_data[1];
+
+    // Classify each miniblock against the predicate from its
+    // frame-of-reference bound interval [ref, ref + 2^w - 1].
+    bool block_decoded = false;
+    for (uint32_t m = 0; m < mb_count; ++m) {
+      const uint32_t bits = (bw >> (8 * m)) & 0xFF;
+      const uint64_t mb_hi =
+          ref + (bits >= 32 ? 0xFFFFFFFFull : ((uint64_t{1} << bits) - 1));
+      const uint32_t begin = mask_offset +
+                             static_cast<uint32_t>(b) * block_size +
+                             m * mb_values;
+      ctx.Compute(4);  // bound interval + two range comparisons
+      if (pred.DisjointFrom(ref, mb_hi)) {
+        mask->ClearRange(begin, begin + mb_values);
+        ++short_circuited;
+        continue;
+      }
+      if (pred.Contains(ref, mb_hi)) {
+        ++short_circuited;
+        continue;
+      }
+      // Mixed miniblock: the block must be unpacked (the packed miniblocks
+      // are not independently addressable without the offset prefix sum).
+      // Stage and decode it once, then test only this miniblock's values.
+      if (!block_decoded) {
+        const uint64_t data_bytes =
+            static_cast<uint64_t>(enc.block_starts[block + 1] -
+                                  enc.block_starts[block]) *
+            4;
+        ctx.CoalescedRead(data_bytes, /*aligned=*/false);
+        ctx.Shared(data_bytes);
+        ctx.Barrier();
+        // Precomputed-offset unpack of one block (see LoadBitPack).
+        ctx.Shared(static_cast<uint64_t>(mb_count) * 16);
+        ctx.Compute(static_cast<uint64_t>(mb_count) * 8);
+        ctx.Barrier();
+        format::GpuForDecodeBlock(h, block_data, decoded.data());
+        block_decoded = true;
+      }
+      ctx.Shared(static_cast<uint64_t>(mb_values) * (8 + 4));
+      ctx.Compute(static_cast<uint64_t>(mb_values) * (6 + 2));
+      for (uint32_t i = 0; i < mb_values; ++i) {
+        if (!pred.Matches(decoded[m * mb_values + i])) {
+          mask->Clear(begin + i);
+        }
+      }
+    }
+  }
+  ctx.PushdownBlocksShortCircuited(short_circuited);
+
+  const uint64_t tile_begin = static_cast<uint64_t>(first_block) * block_size;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(static_cast<uint64_t>(blocks_here) * block_size,
+                         h.total_count - tile_begin));
+}
+
+uint32_t EvaluateRBitPack(sim::BlockContext& ctx,
+                          const format::GpuRForEncoded& enc, int64_t block_id,
+                          const TilePredicate& pred, TileMask* mask) {
+  const format::GpuRForHeader& h = enc.header;
+  const uint32_t block = static_cast<uint32_t>(block_id);
+  if (block >= h.num_blocks()) return 0;
+
+  const uint64_t vbytes =
+      static_cast<uint64_t>(enc.value_block_starts[block + 1] -
+                            enc.value_block_starts[block]) *
+      4;
+  const uint64_t lbytes =
+      static_cast<uint64_t>(enc.length_block_starts[block + 1] -
+                            enc.length_block_starts[block]) *
+      4;
+
+  // Stage both compressed streams, exactly as LoadRBitPack does.
+  ctx.CoalescedRead(8, false);
+  ctx.CoalescedRead(8, false);
+  ctx.CoalescedRead(vbytes, false);
+  ctx.CoalescedRead(lbytes, false);
+  ctx.Shared(vbytes + lbytes);
+  ctx.Barrier();
+
+  // Unpack the runs — and stop there. One comparison per run replaces one
+  // comparison per row, and the scan/scatter/gather expansion of
+  // LoadRBitPack never executes.
+  std::vector<uint32_t> values(h.block_size);
+  std::vector<uint32_t> lengths(h.block_size);
+  const uint32_t runs =
+      format::GpuRForUnpackRuns(enc, block, values.data(), lengths.data());
+  ctx.Shared(static_cast<uint64_t>(runs) * (8 + 4) * 2);
+  ctx.Compute(static_cast<uint64_t>(runs) * 12);
+  ctx.Barrier();
+  ctx.Compute(static_cast<uint64_t>(runs) * 2);
+
+  uint32_t pos = 0;
+  for (uint32_t r = 0; r < runs; ++r) {
+    if (!pred.Matches(values[r])) {
+      mask->ClearRange(pos, pos + lengths[r]);
+    }
+    pos += lengths[r];
+  }
+  ctx.PushdownRunsShortCircuited(runs);
+  return pos;
+}
+
 uint32_t BlockLoadRaw(sim::BlockContext& ctx, const uint32_t* column,
                       uint32_t column_count, int64_t tile_id,
                       uint32_t tile_size, uint32_t* out_tile) {

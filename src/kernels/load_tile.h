@@ -16,6 +16,7 @@
 #include "format/gpudfor.h"
 #include "format/gpufor.h"
 #include "format/gpurfor.h"
+#include "kernels/tile_mask.h"
 #include "sim/block_context.h"
 #include "sim/stats.h"
 
@@ -87,6 +88,36 @@ uint32_t LoadRBitPack(sim::BlockContext& ctx,
 uint32_t BlockLoadRaw(sim::BlockContext& ctx, const uint32_t* column,
                       uint32_t column_count, int64_t tile_id,
                       uint32_t tile_size, uint32_t* out_tile);
+
+// --- Compressed-domain predicate evaluation ---
+//
+// The Evaluate* functions are the decode-free counterparts of the Load*
+// functions above: instead of depositing 512 values they AND a selection
+// mask. They exploit the frame-of-reference structure of the encodings —
+// a GPU-FOR miniblock of width w can only hold values in
+// [reference, reference + 2^w - 1], so a miniblock whose bound interval is
+// disjoint from (or contained in) the predicate range is classified from
+// two header words; only genuinely mixed miniblocks are unpacked. Mask bits
+// at positions >= the returned valid count are untouched; callers clear the
+// padding range once.
+
+// Evaluate `pred` over tile `tile_id` (cfg.effective_d() blocks) of a
+// GPU-FOR / GPU-BP stream, clearing mask bits for rows that cannot match.
+// `mask_offset` shifts the cleared bit positions (used when the caller
+// assembles one 512-bit mask from several independent sub-tile calls, as
+// GPU-BP does). Returns the number of valid (non-padding) values covered.
+uint32_t EvaluateBitPack(sim::BlockContext& ctx,
+                         const format::GpuForEncoded& enc, int64_t tile_id,
+                         const UnpackConfig& cfg, const TilePredicate& pred,
+                         TileMask* mask, uint32_t mask_offset = 0);
+
+// Evaluate `pred` over one GPU-RFOR block: unpack the run headers and
+// compare once per run instead of once per row — the expansion
+// scan/scatter/gather of LoadRBitPack never happens. Returns the number of
+// valid values (the sum of run lengths).
+uint32_t EvaluateRBitPack(sim::BlockContext& ctx,
+                          const format::GpuRForEncoded& enc, int64_t block_id,
+                          const TilePredicate& pred, TileMask* mask);
 
 }  // namespace tilecomp::kernels
 

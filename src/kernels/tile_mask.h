@@ -1,0 +1,118 @@
+// TileMask / TilePredicate: the currency of compressed-domain predicate
+// evaluation. An evaluator consumes one 512-value tile in its encoded form
+// and a [lo, hi] range predicate, and produces (ANDs into) a 512-bit
+// selection mask instead of 512 decoded values. Downstream kernel stages
+// read the mask, and the loader materializes only tiles with surviving bits
+// (late materialization).
+#ifndef TILECOMP_KERNELS_TILE_MASK_H_
+#define TILECOMP_KERNELS_TILE_MASK_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace tilecomp::kernels {
+
+// One bit per row of a 512-value tile, stored as 8 words of 64. The host
+// structure stands in for the warp-ballot bitmap a real kernel would keep in
+// registers/shared memory; traffic for reading or writing it is accounted by
+// the call sites (it is 64 bytes, one or two sectors).
+class TileMask {
+ public:
+  static constexpr uint32_t kBits = 512;
+  static constexpr uint32_t kWords = kBits / 64;
+
+  // Starts all-clear; use AllSet() to start from "every row survives".
+  constexpr TileMask() : words_{} {}
+
+  static TileMask AllSet(uint32_t n = kBits) {
+    TileMask m;
+    m.SetRange(0, n);
+    return m;
+  }
+
+  bool Test(uint32_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(uint32_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(uint32_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  // Set / clear bits in [begin, end).
+  void SetRange(uint32_t begin, uint32_t end) { ApplyRange(begin, end, true); }
+  void ClearRange(uint32_t begin, uint32_t end) {
+    ApplyRange(begin, end, false);
+  }
+  void ClearAll() { words_ = {}; }
+
+  void And(const TileMask& o) {
+    for (uint32_t w = 0; w < kWords; ++w) words_[w] &= o.words_[w];
+  }
+
+  uint32_t Count() const {
+    uint32_t n = 0;
+    for (uint64_t w : words_) n += static_cast<uint32_t>(std::popcount(w));
+    return n;
+  }
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  const uint64_t* words() const { return words_.data(); }
+
+  friend bool operator==(const TileMask& a, const TileMask& b) {
+    return a.words_ == b.words_;
+  }
+
+ private:
+  void ApplyRange(uint32_t begin, uint32_t end, bool value) {
+    TILECOMP_CHECK(begin <= end && end <= kBits);
+    for (uint32_t w = begin >> 6; w < kWords && (w << 6) < end; ++w) {
+      const uint32_t lo = w << 6;
+      const uint32_t from = begin > lo ? begin - lo : 0;
+      const uint32_t to = end - lo < 64 ? end - lo : 64;
+      if (from >= to) continue;
+      const uint64_t span =
+          (to - from == 64 ? ~uint64_t{0}
+                           : ((uint64_t{1} << (to - from)) - 1))
+          << from;
+      if (value) {
+        words_[w] |= span;
+      } else {
+        words_[w] &= ~span;
+      }
+    }
+  }
+
+  std::array<uint64_t, kWords> words_;
+};
+
+// Closed range predicate [lo, hi] on unsigned column values. All 13 SSB
+// fact-table predicates are conjunctions of these; a point predicate is
+// lo == hi.
+struct TilePredicate {
+  uint32_t lo = 0;
+  uint32_t hi = 0xFFFFFFFFu;
+
+  static constexpr TilePredicate Point(uint32_t v) { return {v, v}; }
+  static constexpr TilePredicate Range(uint32_t lo, uint32_t hi) {
+    return {lo, hi};
+  }
+
+  bool Matches(uint32_t v) const { return v >= lo && v <= hi; }
+  // Relation of a value interval [min, max] to the predicate range.
+  bool DisjointFrom(uint64_t min, uint64_t max) const {
+    return max < lo || min > hi;
+  }
+  bool Contains(uint64_t min, uint64_t max) const {
+    return min >= lo && max <= hi;
+  }
+};
+
+}  // namespace tilecomp::kernels
+
+#endif  // TILECOMP_KERNELS_TILE_MASK_H_

@@ -29,10 +29,10 @@ uint64_t TileEncodedBytes(const codec::CompressedColumn& column) {
   return column.compressed_bytes() / static_cast<uint64_t>(tiles);
 }
 
-uint32_t CachedTileLoader::Load(sim::BlockContext& ctx,
-                                const codec::CompressedColumn& column,
-                                uint32_t column_id, int64_t tile_id,
-                                uint32_t* out_tile) {
+uint32_t CachedTileLoader::LoadTile(sim::BlockContext& ctx,
+                                    const codec::CompressedColumn& column,
+                                    codec::ColumnId column_id, int64_t tile_id,
+                                    uint32_t* out_tile) {
   // A cached tile saves re-reading the encoded form; a kNone column's tiles
   // are already raw, so a hit on them saves nothing (same bytes either way).
   const uint64_t saved =
@@ -91,6 +91,29 @@ uint32_t CachedTileLoader::Load(sim::BlockContext& ctx,
   return n;
 }
 
+uint32_t CachedTileLoader::EvaluateOnTile(sim::BlockContext& ctx,
+                                          const codec::CompressedColumn& column,
+                                          codec::ColumnId column_id,
+                                          int64_t tile_id,
+                                          const crystal::TilePredicate& pred,
+                                          crystal::TileMask* mask) {
+  // Peek, not Lookup: predicate evaluation must leave the cache's counters,
+  // replacement order and fault draws untouched (see the header comment).
+  TileCache::PinnedTile pin = cache_->Peek(column_id, tile_id);
+  if (pin.valid()) {
+    const uint32_t n = pin.count();
+    ctx.CoalescedRead(n * sizeof(uint32_t), true);
+    ctx.Compute(static_cast<uint64_t>(n) * 2);
+    const uint32_t* vals = pin.data();
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!pred.Matches(vals[i])) mask->Clear(i);
+    }
+    mask->ClearRange(n, crystal::TileMask::kBits);
+    return n;
+  }
+  return crystal::EvaluateColumnTile(ctx, column, tile_id, pred, mask);
+}
+
 Server::Server(sim::Device& dev, const ssb::SsbData& data,
                const ssb::EncodedLineorder& lineorder, ServeOptions options)
     : dev_(dev),
@@ -114,11 +137,34 @@ ssb::EncodedLineorder Server::MaterializeColumns(
     uint64_t* decompress_skips, QueryStatus* status) {
   ssb::EncodedLineorder out;
   out.system = codec::System::kNone;
+
+  // Tile-granularity pushdown: a tile some fact predicate rules out at
+  // zone-map granularity is provably skipped by the query kernel too (its
+  // selection mask comes up empty from the same zone maps), so it needs no
+  // residency for a decompress skip, no per-tile miss accounting, and never
+  // enters the cache. Pruning uses the *stored* predicate columns' zone
+  // maps — the AND over every predicate of the query.
+  const std::vector<ssb::PredicateRange> preds =
+      options_.pushdown ? ssb::QueryPredicates(query)
+                        : std::vector<ssb::PredicateRange>();
+  auto tile_survives = [&](int64_t t) {
+    for (const ssb::PredicateRange& pr : preds) {
+      const codec::ZoneMap* zm = lineorder_.col(pr.col).zone_map.get();
+      if (zm == nullptr || static_cast<size_t>(t) >= zm->num_tiles()) {
+        continue;  // no index -> cannot prune, stay conservative
+      }
+      if (!zm->TileCanMatch(static_cast<size_t>(t), pr.lo, pr.hi)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
   for (ssb::LoCol col : ssb::QueryColumns(query)) {
     const codec::SystemColumn& sc = lineorder_.col(col);
     const uint32_t count = sc.size();
     const int64_t tiles = crystal::NumTiles(count);
-    const uint32_t col_id = static_cast<uint32_t>(col);
+    const codec::ColumnId col_id(static_cast<uint32_t>(col));
 
     // An empty column has no tiles to pin, upload or decompress — it would
     // otherwise fall into the miss path below (zero tiles can never be "all
@@ -129,30 +175,37 @@ ssb::EncodedLineorder Server::MaterializeColumns(
       continue;
     }
 
-    // Pin whatever is resident; the column is served from the cache only if
-    // that is all of it.
+    // Pin whatever is resident among the tiles the query can actually
+    // touch; the column is served from the cache only if that is all of
+    // them. Pruned tiles need no residency — the kernel never loads them.
     std::vector<TileCache::PinnedTile> col_pins;
+    std::vector<int64_t> col_tiles;  // survivor tile ids, parallel to pins
     col_pins.reserve(static_cast<size_t>(tiles));
     bool all_resident = true;
     for (int64_t t = 0; t < tiles && all_resident; ++t) {
+      if (!tile_survives(t)) continue;
       TileCache::PinnedTile pin = cache_.Peek(col_id, t);
       all_resident = pin.valid();
-      if (all_resident) col_pins.push_back(std::move(pin));
+      if (all_resident) {
+        col_tiles.push_back(t);
+        col_pins.push_back(std::move(pin));
+      }
     }
 
     std::vector<uint32_t> values;
     if (all_resident) {
-      // Every tile is cached: skip the decompress launch entirely. The
-      // query kernel reads the tiles straight from the cache (its loader
-      // hits count there); the host-side copy below only serves as the
-      // loader's decode backstop and carries no modeled cost. What the skip
-      // avoids reading is the column's encoded stream.
-      values.resize(count);
-      for (int64_t t = 0; t < tiles; ++t) {
-        std::memcpy(values.data() + static_cast<size_t>(t) * crystal::kTileSize,
-                    col_pins[static_cast<size_t>(t)].data(),
-                    col_pins[static_cast<size_t>(t)].count() *
-                        sizeof(uint32_t));
+      // Every reachable tile is cached: skip the decompress launch
+      // entirely. The query kernel reads the tiles straight from the cache
+      // (its loader hits count there); the host-side copy below only serves
+      // as the loader's decode backstop and carries no modeled cost. What
+      // the skip avoids reading is the column's encoded stream. Pruned
+      // tiles stay zero-filled — the propagated zone map below guarantees
+      // the kernel never reads them.
+      values.assign(count, 0);
+      for (size_t k = 0; k < col_pins.size(); ++k) {
+        std::memcpy(values.data() +
+                        static_cast<size_t>(col_tiles[k]) * crystal::kTileSize,
+                    col_pins[k].data(), col_pins[k].count() * sizeof(uint32_t));
       }
       cache_.CreditSaved(sc.compressed_bytes());
       ++*decompress_skips;
@@ -184,8 +237,13 @@ ssb::EncodedLineorder Server::MaterializeColumns(
         return out;
       }
       values = std::move(run.output);
-      cache_.CountMisses(static_cast<uint64_t>(tiles));
+      // Late materialization on the insert side too: only tiles the query
+      // can reach are cached (and counted as misses) — pruned tiles never
+      // displace hot data.
+      uint64_t misses = 0;
       for (int64_t t = 0; t < tiles; ++t) {
+        if (!tile_survives(t)) continue;
+        ++misses;
         const uint32_t n = std::min<uint32_t>(
             crystal::kTileSize,
             count - static_cast<uint32_t>(t) * crystal::kTileSize);
@@ -194,9 +252,22 @@ ssb::EncodedLineorder Server::MaterializeColumns(
             values.data() + static_cast<size_t>(t) * crystal::kTileSize, n);
         if (pin.valid()) pins->push_back(std::move(pin));
       }
+      cache_.CountMisses(misses);
     }
-    out.cols[static_cast<int>(col)] =
+    codec::SystemColumn materialized =
         codec::SystemEncode(codec::System::kNone, values);
+    // Hand the stored column's zone map to the materialized copy. The
+    // all-resident path leaves pruned tiles zero-filled, and a zone map
+    // built from those zeros could claim a pruned tile matches a predicate
+    // — the kernel would then aggregate fabricated values. With the
+    // original map, kernel-side pruning is exactly as strong as the
+    // server-side decision that skipped those tiles, so they are never
+    // read.
+    if (sc.zone_map != nullptr) {
+      materialized.zone_map = sc.zone_map;
+      materialized.column.set_zone_map(sc.zone_map);
+    }
+    out.cols[static_cast<int>(col)] = std::move(materialized);
   }
   return out;
 }
@@ -237,13 +308,15 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
       // materialized copy is only the loader's miss backstop. A query whose
       // materialization already failed is not run at all.
       if (sq.status == QueryStatus::kOk) {
-        sq.result = runner_.Run(dev_, materialized, batch[i], &loader_);
+        sq.result = runner_.Run(dev_, materialized, batch[i], &loader_,
+                                options_.pushdown);
       }
       // `pins` release here, after the query's launches are issued.
     } else {
-      crystal::TileLoader* loader =
+      crystal::ColumnAccessor* accessor =
           options_.use_cache && !decompress_system ? &loader_ : nullptr;
-      sq.result = runner_.Run(dev_, lineorder_, batch[i], loader);
+      sq.result =
+          runner_.Run(dev_, lineorder_, batch[i], accessor, options_.pushdown);
     }
     // Any launch of this query that exhausted its attempt budget never ran
     // its body — the query's aggregates are unusable.
@@ -283,6 +356,7 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
   const std::vector<sim::KernelResult>& log = dev_.launch_log();
   for (size_t i = log_start; i < log.size(); ++i) {
     report.global_bytes_read += log[i].stats.global_bytes_read;
+    report.pushdown += log[i].stats.pushdown;
   }
   report.cache = cache_.stats();
   if (options_.fault_plan != nullptr) {

@@ -18,6 +18,13 @@
 //     since these systems otherwise re-decompress whole columns (including
 //     every cascade intermediate) on every query.
 //
+// Predicate pushdown threads through both points. The query kernel asks its
+// accessor to evaluate fact predicates per tile (EvaluateOnTile answers from
+// a resident decoded tile when it can, from zone maps and encoded structure
+// otherwise), and MaterializeColumns consults the stored columns' zone maps
+// to skip tiles no predicate can reach — those tiles need no residency, no
+// decompress accounting, and never enter the cache.
+//
 // Scheduling: queries are assigned round-robin to N async streams, with at
 // most `max_concurrent` queries admitted at once (modeled with stream-wait
 // events, like a real admission-control semaphore).
@@ -32,6 +39,7 @@
 #include "fault/fault.h"
 #include "serve/tile_cache.h"
 #include "sim/device.h"
+#include "sim/stats.h"
 #include "ssb/queries.h"
 
 namespace tilecomp::serve {
@@ -60,15 +68,29 @@ const char* QueryStatusName(QueryStatus status);
 //     plan's attempt budget; on terminal failure the output tile is zeroed
 //     and a sticky per-batch flag is raised (TakeDecodeFailure) so the
 //     server can fail the query cleanly instead of serving garbage.
-class CachedTileLoader : public crystal::TileLoader {
+class CachedTileLoader : public crystal::ColumnAccessor {
  public:
   explicit CachedTileLoader(TileCache* cache,
                             fault::FaultPlan* fault_plan = nullptr)
       : cache_(cache), fault_plan_(fault_plan) {}
 
-  uint32_t Load(sim::BlockContext& ctx, const codec::CompressedColumn& column,
-                uint32_t column_id, int64_t tile_id,
-                uint32_t* out_tile) override;
+  uint32_t LoadTile(sim::BlockContext& ctx,
+                    const codec::CompressedColumn& column,
+                    codec::ColumnId column_id, int64_t tile_id,
+                    uint32_t* out_tile) override;
+
+  // Answer a predicate from the cached decoded tile when resident (a plain
+  // coalesced read, no zone-map reasoning needed), falling back to the
+  // compressed-domain evaluator otherwise. Deliberately side-effect free on
+  // the cache: no hit/miss counters, no replacement-order touch, no fault
+  // consults (a poison draw here would yield a silently wrong mask instead
+  // of a recoverable decode error), and never an insert — tiles the mask
+  // kills are never materialized.
+  uint32_t EvaluateOnTile(sim::BlockContext& ctx,
+                          const codec::CompressedColumn& column,
+                          codec::ColumnId column_id, int64_t tile_id,
+                          const crystal::TilePredicate& pred,
+                          crystal::TileMask* mask) override;
 
   void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
 
@@ -96,6 +118,12 @@ struct ServeOptions {
   EvictionPolicy policy = EvictionPolicy::kLru;
   // false: bypass the cache entirely (baseline for the bench comparisons).
   bool use_cache = true;
+  // Compressed-domain predicate pushdown: the query kernel evaluates fact
+  // predicates per tile before loading anything, and MaterializeColumns
+  // prunes tiles the stored columns' zone maps rule out. One flag gates
+  // both sides so the server's pruning decision always agrees with the
+  // kernel's — a tile skipped here is provably skipped there too.
+  bool pushdown = true;
   // Optional fault plan (not owned). The server attaches it to the device,
   // the cache and its tile loader, and degrades gracefully at every site:
   // failed queries carry a non-kOk status instead of aborting or returning
@@ -133,6 +161,9 @@ struct ServeReport {
   uint64_t decompress_skips = 0;
   // Total modeled global-memory bytes read by the batch's kernels.
   uint64_t global_bytes_read = 0;
+  // Pushdown counters summed over the batch's kernels (all-zero with
+  // pushdown disabled).
+  sim::PushdownCounters pushdown;
   // Queries whose status is not kOk (always 0 without a fault plan).
   uint64_t failed_queries = 0;
   // Snapshot of the fault plan's counters after the batch (all-zero

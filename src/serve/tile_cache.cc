@@ -7,21 +7,17 @@
 
 namespace tilecomp::serve {
 
-namespace {
-
 // Tile ids index 512-value tiles of a uint32-count column, so they fit in
 // 32 bits with room to spare; pack (column, tile) into one map key. An
 // out-of-range id would silently alias another column's key and serve its
 // data, so this stays a release-mode check — the callers are query-supplied
 // paths, not hot inner loops.
-uint64_t MakeKey(uint32_t column_id, int64_t tile_id) {
+uint64_t TileCache::MakeKey(codec::ColumnId column_id, int64_t tile_id) {
   TILECOMP_CHECK_MSG(tile_id >= 0 && tile_id < (int64_t{1} << 32),
                      "tile_id out of the 32-bit key range");
-  return (static_cast<uint64_t>(column_id) << 32) |
+  return (static_cast<uint64_t>(column_id.value()) << 32) |
          static_cast<uint64_t>(tile_id);
 }
-
-}  // namespace
 
 struct TileCacheEntry {
   uint64_t key = 0;
@@ -93,7 +89,7 @@ TileCache::~TileCache() {
                      "TileCache destroyed with live PinnedTile handles");
 }
 
-TileCache::Entry* TileCache::FindLocked(uint32_t column_id, int64_t tile_id) {
+TileCache::Entry* TileCache::FindLocked(codec::ColumnId column_id, int64_t tile_id) {
   auto it = entries_.find(MakeKey(column_id, tile_id));
   return it == entries_.end() ? nullptr : it->second.get();
 }
@@ -173,7 +169,7 @@ void TileCache::UnpinLocked(Entry* entry) {
   }
 }
 
-TileCache::PinnedTile TileCache::Lookup(uint32_t column_id, int64_t tile_id,
+TileCache::PinnedTile TileCache::Lookup(codec::ColumnId column_id, int64_t tile_id,
                                         uint64_t saved_encoded_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry* entry = FindLocked(column_id, tile_id);
@@ -188,12 +184,12 @@ TileCache::PinnedTile TileCache::Lookup(uint32_t column_id, int64_t tile_id,
   return PinnedTile(this, entry);
 }
 
-bool TileCache::Contains(uint32_t column_id, int64_t tile_id) const {
+bool TileCache::Contains(codec::ColumnId column_id, int64_t tile_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.count(MakeKey(column_id, tile_id)) != 0;
 }
 
-TileCache::PinnedTile TileCache::Peek(uint32_t column_id, int64_t tile_id) {
+TileCache::PinnedTile TileCache::Peek(codec::ColumnId column_id, int64_t tile_id) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry* entry = FindLocked(column_id, tile_id);
   if (entry == nullptr) return PinnedTile();
@@ -206,7 +202,7 @@ void TileCache::CreditSaved(uint64_t bytes) {
   stats_.saved_bytes += bytes;
 }
 
-TileCache::PinnedTile TileCache::Insert(uint32_t column_id, int64_t tile_id,
+TileCache::PinnedTile TileCache::Insert(codec::ColumnId column_id, int64_t tile_id,
                                         const uint32_t* values, uint32_t count,
                                         uint64_t* evictions) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -253,7 +249,7 @@ void TileCache::CountMisses(uint64_t n) {
   stats_.misses += n;
 }
 
-bool TileCache::Invalidate(uint32_t column_id, int64_t tile_id) {
+bool TileCache::Invalidate(codec::ColumnId column_id, int64_t tile_id) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry* entry = FindLocked(column_id, tile_id);
   if (entry == nullptr) return false;

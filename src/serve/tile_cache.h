@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "codec/column_id.h"
 #include "common/macros.h"
 #include "fault/fault.h"
 
@@ -71,6 +72,11 @@ class TileCache {
                      EvictionPolicy policy = EvictionPolicy::kLru);
   ~TileCache();
 
+  // The cache's (column, tile) -> map-key packing, exposed so tests and the
+  // fault plan key tiles identically. CHECK-fails on a tile id outside the
+  // 32-bit range (an out-of-range id would alias another column's key).
+  static uint64_t MakeKey(codec::ColumnId column_id, int64_t tile_id);
+
   TILECOMP_DISALLOW_COPY_AND_ASSIGN(TileCache);
 
   // Pin handle returned by Lookup/Insert. While any handle to an entry is
@@ -107,17 +113,17 @@ class TileCache {
   // `saved_encoded_bytes` to the saved-bytes counter, touches the entry for
   // the replacement policy, and returns a pinned handle. On miss: counts a
   // miss and returns an empty handle.
-  PinnedTile Lookup(uint32_t column_id, int64_t tile_id,
+  PinnedTile Lookup(codec::ColumnId column_id, int64_t tile_id,
                     uint64_t saved_encoded_bytes = 0);
 
   // Presence probe with no counter or replacement-order side effects.
-  bool Contains(uint32_t column_id, int64_t tile_id) const;
+  bool Contains(codec::ColumnId column_id, int64_t tile_id) const;
 
   // Pin (column_id, tile_id) if resident, with no counter or
   // replacement-order side effects — used by the column-granularity load
   // path to hold a column's tiles across a query without double-counting
   // the per-tile accesses its query kernel will record.
-  PinnedTile Peek(uint32_t column_id, int64_t tile_id);
+  PinnedTile Peek(codec::ColumnId column_id, int64_t tile_id);
 
   // Credit `bytes` of avoided reads without a Lookup — used when a whole
   // column's decompress launch is skipped.
@@ -130,7 +136,7 @@ class TileCache {
   // the key is already resident (another thread inserted it first) the
   // existing entry is pinned and returned. `evictions` (optional) receives
   // the number of entries this call evicted.
-  PinnedTile Insert(uint32_t column_id, int64_t tile_id,
+  PinnedTile Insert(codec::ColumnId column_id, int64_t tile_id,
                     const uint32_t* values, uint32_t count,
                     uint64_t* evictions = nullptr);
 
@@ -145,7 +151,7 @@ class TileCache {
   // re-inserted with fresh data) but its storage stays alive until the last
   // PinnedTile releases, so existing handles never dangle. Counted under
   // `invalidations`, not `evictions`.
-  bool Invalidate(uint32_t column_id, int64_t tile_id);
+  bool Invalidate(codec::ColumnId column_id, int64_t tile_id);
 
   // Attach a fault plan (not owned; nullptr to detach). When set, Insert
   // consults the kDeviceAlloc and kCacheInsert sites (keyed by the tile, so
@@ -165,7 +171,7 @@ class TileCache {
   using Entry = TileCacheEntry;
 
   // All private helpers require `mu_` to be held.
-  Entry* FindLocked(uint32_t column_id, int64_t tile_id);
+  Entry* FindLocked(codec::ColumnId column_id, int64_t tile_id);
   void TouchLocked(Entry* entry);
   // Evict unpinned entries in policy order until `needed` bytes fit in the
   // budget. Returns false (evicting what it could) if it cannot.

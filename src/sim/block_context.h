@@ -161,6 +161,23 @@ class BlockContext {
   // Record `count` evictions this block's cache insert forced.
   void CacheEvictions(uint64_t count) { stats_.cache.evictions += count; }
 
+  // --- Predicate-pushdown accounting ---
+
+  // A whole tile was discarded from its zone-map entry without touching the
+  // payload.
+  void PushdownTilePruned() { ++stats_.pushdown.tiles_pruned; }
+  // A tile went through an inline decode (the non-pruned path).
+  void TileDecoded() { ++stats_.pushdown.tiles_decoded; }
+  // `count` 128-value blocks were classified disjoint / fully-inside from
+  // their frame-of-reference bounds without unpacking.
+  void PushdownBlocksShortCircuited(uint64_t count) {
+    stats_.pushdown.blocks_short_circuited += count;
+  }
+  // `count` RLE runs were compared once per run instead of once per row.
+  void PushdownRunsShortCircuited(uint64_t count) {
+    stats_.pushdown.runs_short_circuited += count;
+  }
+
   // --- Work-item cost sampling ---
 
   // Records the cost accumulated since the previous sample (or since

@@ -141,6 +141,35 @@ struct CacheCounters {
   }
 };
 
+// Compressed-domain predicate-pushdown events observed during one kernel
+// execution. A pruned tile never touched its payload (the zone map answered
+// from 16 bytes of metadata); a short-circuited block or run was classified
+// disjoint/fully-inside from its frame-of-reference bounds without decoding
+// its packed values. `tiles_decoded` counts tiles that did go through an
+// inline decode, so pruned / (pruned + decoded) is the skip rate. Exported
+// as the per-kernel "pushdown" object of trace schema v6.
+struct PushdownCounters {
+  uint64_t tiles_pruned = 0;
+  uint64_t tiles_decoded = 0;
+  uint64_t blocks_short_circuited = 0;
+  uint64_t runs_short_circuited = 0;
+
+  double prune_rate() const {
+    const uint64_t seen = tiles_pruned + tiles_decoded;
+    return seen == 0
+               ? 0.0
+               : static_cast<double>(tiles_pruned) / static_cast<double>(seen);
+  }
+
+  PushdownCounters& operator+=(const PushdownCounters& o) {
+    tiles_pruned += o.tiles_pruned;
+    tiles_decoded += o.tiles_decoded;
+    blocks_short_circuited += o.blocks_short_circuited;
+    runs_short_circuited += o.runs_short_circuited;
+    return *this;
+  }
+};
+
 // Counters for one kernel execution (or an accumulation over several).
 // All global-memory byte counts are sector-accurate: every access is rounded
 // to the 32-byte sectors it touches, so uncoalesced access patterns cost
@@ -166,6 +195,8 @@ struct KernelStats {
   // Decompressed-tile-cache events (serving layer); all-zero for kernels
   // that do not go through a cache-aware load path.
   CacheCounters cache;
+  // Predicate-pushdown events; all-zero for kernels that decode everything.
+  PushdownCounters pushdown;
   // Per-work-item cost distribution feeding the wave-aware scheduling model.
   // Device::Launch records one sample per block unless the kernel body
   // sampled its own work items via BlockContext::EndWorkItem().
@@ -184,6 +215,7 @@ struct KernelStats {
     barriers += o.barriers;
     atomic_ops += o.atomic_ops;
     cache += o.cache;
+    pushdown += o.pushdown;
     block_cost.Merge(o.block_cost);
     return *this;
   }

@@ -33,10 +33,8 @@ struct JoinStep {
 
 // Internal per-query plan driving the shared Crystal kernel.
 struct QueryPlan {
-  // Fact predicate columns, evaluated before any join.
-  std::vector<LoCol> pred_cols;
-  // pred(vals) with vals[i] = value of pred_cols[i] for the row.
-  std::function<bool(const uint32_t*)> pred;
+  // Conjunctive fact predicates, evaluated before any join.
+  std::vector<PredicateRange> preds;
   std::vector<JoinStep> joins;
   // Aggregate: sum over expression of agg_cols values.
   std::vector<LoCol> agg_cols;
@@ -45,7 +43,8 @@ struct QueryPlan {
   std::array<uint32_t, 3> group_dims = {1, 1, 1};
 
   std::vector<LoCol> UniqueCols() const {
-    std::vector<LoCol> cols = pred_cols;
+    std::vector<LoCol> cols;
+    for (const auto& p : preds) cols.push_back(p.col);
     for (const auto& j : joins) cols.push_back(j.key_col);
     cols.insert(cols.end(), agg_cols.begin(), agg_cols.end());
     std::sort(cols.begin(), cols.end());
@@ -53,6 +52,11 @@ struct QueryPlan {
     return cols;
   }
 };
+
+// Columns as the accessor identifies them: LoCol ordinals.
+codec::ColumnId ColId(LoCol col) {
+  return codec::ColumnId(static_cast<uint32_t>(col));
+}
 
 // Everything needed to run one query: hash tables + plan. Hash-table builds
 // launch kernels on `dev`, so construction is part of the measured query.
@@ -104,6 +108,31 @@ std::vector<LoCol> QueryColumns(QueryId query) {
   return {};
 }
 
+std::vector<PredicateRange> QueryPredicates(QueryId query) {
+  switch (query) {
+    // Flight 1's date-dimension filters imply an orderdate range, because
+    // datekeys are yyyymmdd: the range over-approximates the join filter
+    // (the probe still applies exactly), but it is the predicate zone maps
+    // can prune against — on a date-clustered layout it discards most
+    // tiles before any column is touched.
+    case QueryId::kQ11:  // d_year = 1993
+      return {{LoCol::kOrderdate, 19930101, 19931231},
+              {LoCol::kDiscount, 1, 3},
+              {LoCol::kQuantity, 0, 24}};
+    case QueryId::kQ12:  // d_yearmonthnum = 199401
+      return {{LoCol::kOrderdate, 19940101, 19940131},
+              {LoCol::kDiscount, 4, 6},
+              {LoCol::kQuantity, 26, 35}};
+    case QueryId::kQ13:  // week 6 of 1994: days 36-42 = Feb 5-11
+      return {{LoCol::kOrderdate, 19940205, 19940211},
+              {LoCol::kDiscount, 5, 7},
+              {LoCol::kQuantity, 26, 35}};
+    default:
+      // Flights 2-4 filter only through dimension joins.
+      return {};
+  }
+}
+
 EncodedLineorder EncodeLineorder(const SsbData& data, codec::System system) {
   EncodedLineorder enc;
   enc.system = system;
@@ -153,10 +182,7 @@ PreparedQuery Prepare(sim::Device& dev, const SsbData& data, QueryId query) {
     case QueryId::kQ11: {
       pq.tables.push_back(
           date_ht([&](uint32_t i) { return d.year[i] == 1993; }, false));
-      pq.plan.pred_cols = {LoCol::kDiscount, LoCol::kQuantity};
-      pq.plan.pred = [](const uint32_t* v) {
-        return v[0] >= 1 && v[0] <= 3 && v[1] < 25;
-      };
+      pq.plan.preds = QueryPredicates(query);
       pq.plan.joins = {{LoCol::kOrderdate, pq.tables[0].get(), -1}};
       pq.plan.agg_cols = {LoCol::kExtendedprice, LoCol::kDiscount};
       pq.plan.agg = [](const uint32_t* v) {
@@ -167,10 +193,7 @@ PreparedQuery Prepare(sim::Device& dev, const SsbData& data, QueryId query) {
     case QueryId::kQ12: {
       pq.tables.push_back(date_ht(
           [&](uint32_t i) { return d.yearmonthnum[i] == 199401; }, false));
-      pq.plan.pred_cols = {LoCol::kDiscount, LoCol::kQuantity};
-      pq.plan.pred = [](const uint32_t* v) {
-        return v[0] >= 4 && v[0] <= 6 && v[1] >= 26 && v[1] <= 35;
-      };
+      pq.plan.preds = QueryPredicates(query);
       pq.plan.joins = {{LoCol::kOrderdate, pq.tables[0].get(), -1}};
       pq.plan.agg_cols = {LoCol::kExtendedprice, LoCol::kDiscount};
       pq.plan.agg = [](const uint32_t* v) {
@@ -184,10 +207,7 @@ PreparedQuery Prepare(sim::Device& dev, const SsbData& data, QueryId query) {
             return d.weeknuminyear[i] == 6 && d.year[i] == 1994;
           },
           false));
-      pq.plan.pred_cols = {LoCol::kDiscount, LoCol::kQuantity};
-      pq.plan.pred = [](const uint32_t* v) {
-        return v[0] >= 5 && v[0] <= 7 && v[1] >= 26 && v[1] <= 35;
-      };
+      pq.plan.preds = QueryPredicates(query);
       pq.plan.joins = {{LoCol::kOrderdate, pq.tables[0].get(), -1}};
       pq.plan.agg_cols = {LoCol::kExtendedprice, LoCol::kDiscount};
       pq.plan.agg = [](const uint32_t* v) {
@@ -456,11 +476,12 @@ class QueryScope {
 QueryResult QueryRunner::RunCrystal(sim::Device& dev,
                                     const EncodedLineorder& lineorder,
                                     QueryId query,
-                                    crystal::TileLoader* loader) const {
+                                    crystal::ColumnAccessor* accessor,
+                                    bool pushdown) const {
   QueryScope scope(dev);
 
   crystal::DirectTileLoader direct;
-  if (loader == nullptr) loader = &direct;
+  if (accessor == nullptr) accessor = &direct;
 
   PreparedQuery pq = Prepare(dev, data_, query);
   const QueryPlan& plan = pq.plan;
@@ -488,50 +509,66 @@ QueryResult QueryRunner::RunCrystal(sim::Device& dev,
     uint32_t pred_vals[4][kTileSize];
     uint32_t key_vals[kTileSize];
     uint32_t agg_vals[2][kTileSize];
-    uint8_t flags[kTileSize];
     uint32_t slots[3][kTileSize];
 
-    // 1. Predicates.
-    uint32_t n = kTileSize;
-    for (size_t pc = 0; pc < plan.pred_cols.size(); ++pc) {
-      const LoCol c = plan.pred_cols[pc];
-      n = loader->Load(ctx, lineorder.col(c).column,
-                       static_cast<uint32_t>(c), tile, pred_vals[pc]);
-    }
-    if (plan.pred_cols.empty()) {
-      n = std::min<uint32_t>(
-          kTileSize, rows - static_cast<uint32_t>(tile) * kTileSize);
-      std::fill(flags, flags + n, 1);
+    // 1. Predicates -> 512-bit selection mask.
+    uint32_t n = std::min<uint32_t>(
+        kTileSize, rows - static_cast<uint32_t>(tile) * kTileSize);
+    crystal::TileMask mask = crystal::TileMask::AllSet(n);
+    if (plan.preds.empty()) {
+      // No fact predicates: every row of the tile is live.
+    } else if (pushdown) {
+      // Compressed-domain evaluation: each predicate ANDs its verdict into
+      // the mask from zone maps and the encoding's structure; the predicate
+      // columns are never materialized. The mask must finish all predicates
+      // before any row is trusted — an intermediate mask may keep rows a
+      // later predicate rules out.
+      for (const PredicateRange& pr : plan.preds) {
+        n = accessor->EvaluateOnTile(
+            ctx, lineorder.col(pr.col).column, ColId(pr.col), tile,
+            crystal::TilePredicate::Range(pr.lo, pr.hi), &mask);
+        // Late materialization: a tile no row of which survives loads
+        // nothing at all — not even the remaining predicate columns.
+        if (!mask.Any()) return;
+      }
     } else {
-      ctx.Compute(static_cast<uint64_t>(n) * 2 * plan.pred_cols.size());
-      uint32_t v[4];
+      // Baseline: materialize every predicate column and test row-at-a-time
+      // (Crystal's decode-everything pipeline).
+      for (size_t pc = 0; pc < plan.preds.size(); ++pc) {
+        const LoCol c = plan.preds[pc].col;
+        n = accessor->LoadTile(ctx, lineorder.col(c).column, ColId(c), tile,
+                               pred_vals[pc]);
+      }
+      ctx.Compute(static_cast<uint64_t>(n) * 2 * plan.preds.size());
       for (uint32_t i = 0; i < n; ++i) {
-        for (size_t pc = 0; pc < plan.pred_cols.size(); ++pc) {
-          v[pc] = pred_vals[pc][i];
+        for (size_t pc = 0; pc < plan.preds.size(); ++pc) {
+          const PredicateRange& pr = plan.preds[pc];
+          if (pred_vals[pc][i] < pr.lo || pred_vals[pc][i] > pr.hi) {
+            mask.Clear(i);
+            break;
+          }
         }
-        flags[i] = plan.pred(v) ? 1 : 0;
       }
     }
-    uint32_t live = 0;
-    for (uint32_t i = 0; i < n; ++i) live += flags[i];
+    uint32_t live = mask.Count();
     // Tile-level short circuit: a fully filtered tile skips all further
     // column loads (Section 8, random-access discussion).
     if (live == 0) return;
 
     // 2. Joins.
     for (const JoinStep& join : pq.plan.joins) {
-      loader->Load(ctx, lineorder.col(join.key_col).column,
-                   static_cast<uint32_t>(join.key_col), tile, key_vals);
+      accessor->LoadTile(ctx, lineorder.col(join.key_col).column,
+                         ColId(join.key_col), tile, key_vals);
       HashTable::ProbeCost(ctx, live);
       uint32_t still = 0;
       for (uint32_t i = 0; i < n; ++i) {
-        if (!flags[i]) continue;
+        if (!mask.Test(i)) continue;
         uint32_t payload = 0;
         if (join.ht->Probe(key_vals[i], &payload)) {
           if (join.group_slot >= 0) slots[join.group_slot][i] = payload;
           ++still;
         } else {
-          flags[i] = 0;
+          mask.Clear(i);
         }
       }
       live = still;
@@ -541,13 +578,13 @@ QueryResult QueryRunner::RunCrystal(sim::Device& dev,
     // 3. Aggregate.
     for (size_t ac = 0; ac < plan.agg_cols.size(); ++ac) {
       const LoCol c = plan.agg_cols[ac];
-      loader->Load(ctx, lineorder.col(c).column, static_cast<uint32_t>(c),
-                   tile, agg_vals[ac]);
+      accessor->LoadTile(ctx, lineorder.col(c).column, ColId(c), tile,
+                         agg_vals[ac]);
     }
     GroupAccumulator::AggCost(ctx, live);
     uint32_t v[2];
     for (uint32_t i = 0; i < n; ++i) {
-      if (!flags[i]) continue;
+      if (!mask.Test(i)) continue;
       for (size_t ac = 0; ac < plan.agg_cols.size(); ++ac) {
         v[ac] = agg_vals[ac][i];
       }
@@ -584,7 +621,7 @@ QueryResult QueryRunner::RunNonTiled(sim::Device& dev,
   const uint64_t n = data_.lineorder.size();
 
   // Predicate passes: read column, write selection vector.
-  for (size_t i = 0; i < plan.pred_cols.size(); ++i) {
+  for (size_t i = 0; i < plan.preds.size(); ++i) {
     kernels::StreamingPass(dev, n, n * 4, n * 4, 2, "omnisci.filter");
   }
   // Join passes: read key column + row-id list, probe the hash table with
@@ -641,12 +678,12 @@ QueryResult QueryRunner::RunNonTiled(sim::Device& dev,
 
 QueryResult QueryRunner::Run(sim::Device& dev,
                              const EncodedLineorder& lineorder,
-                             QueryId query,
-                             crystal::TileLoader* loader) const {
+                             QueryId query, crystal::ColumnAccessor* accessor,
+                             bool pushdown) const {
   switch (lineorder.system) {
     case codec::System::kNone:
     case codec::System::kGpuStar:
-      return RunCrystal(dev, lineorder, query, loader);
+      return RunCrystal(dev, lineorder, query, accessor, pushdown);
     case codec::System::kOmnisci:
       return RunNonTiled(dev, lineorder, query);
     case codec::System::kGpuBp:
@@ -656,7 +693,10 @@ QueryResult QueryRunner::Run(sim::Device& dev,
       // Decompress-then-query: these systems are decoding libraries and
       // cannot inline decompression into the query kernel (Section 9.4:
       // "all these schemes cannot decompress the columns inline with the
-      // query execution").
+      // query execution"). The re-encode of the decompressed values builds
+      // a fresh (correct) zone map, so the query kernel's pushdown still
+      // skips tiles — just without saving the decompress itself (the
+      // serving layer's MaterializeColumns is the path that does).
       EncodedLineorder decompressed;
       decompressed.system = codec::System::kNone;
       for (LoCol col : QueryColumns(query)) {
@@ -664,7 +704,8 @@ QueryResult QueryRunner::Run(sim::Device& dev,
         decompressed.cols[static_cast<int>(col)] =
             codec::SystemEncode(codec::System::kNone, run.output);
       }
-      QueryResult result = RunCrystal(dev, decompressed, query, loader);
+      QueryResult result =
+          RunCrystal(dev, decompressed, query, accessor, pushdown);
       scope.Finish(&result);
       return result;
     }

@@ -38,6 +38,22 @@ std::vector<QueryId> AllQueries();
 // systems and the co-processor transfer model).
 std::vector<LoCol> QueryColumns(QueryId query);
 
+// A conjunctive range predicate on one fact column: lo <= value <= hi.
+// Every SSB fact-table predicate is of this form; exposing the predicates
+// as data rather than an opaque lambda is what lets the compressed-domain
+// path evaluate them against zone maps and encoded runs without decoding.
+struct PredicateRange {
+  LoCol col = LoCol::kOrderdate;
+  uint32_t lo = 0;
+  uint32_t hi = 0xFFFFFFFFu;
+};
+
+// The fact-table predicates of `query`. Flight 1 filters on discount and
+// quantity; flights 2-4 filter only through dimension joins, so their list
+// is empty. The serving layer uses these to decide which tiles a query can
+// possibly touch before materializing columns.
+std::vector<PredicateRange> QueryPredicates(QueryId query);
+
 // The lineorder fact table as stored by one system (dimension tables are
 // small and stay uncompressed, as in the paper).
 struct EncodedLineorder {
@@ -81,13 +97,19 @@ class QueryRunner {
  public:
   explicit QueryRunner(const SsbData& data);
 
-  // Execute on the simulated device using the system's pipeline. `loader`
-  // overrides how the Crystal kernel materializes fact-column tiles
-  // (default: decode inline via crystal::LoadColumnTile); the serving layer
-  // passes its caching loader here. Fact columns are identified to the
-  // loader by their LoCol ordinal.
+  // Execute on the simulated device using the system's pipeline. `accessor`
+  // overrides how the Crystal kernel accesses fact-column tiles (default:
+  // decode inline via crystal::LoadColumnTile); the serving layer passes
+  // its caching accessor here. Fact columns are identified to the accessor
+  // by codec::ColumnId built from their LoCol ordinal. With `pushdown` the
+  // kernel evaluates fact predicates in the compressed domain first
+  // (accessor->EvaluateOnTile) and materializes a tile's columns only when
+  // the resulting selection mask has survivors; without it, predicate
+  // columns are decoded and tested row-at-a-time (the paper's baseline).
+  // Both paths are bit-exact against RunHostReference.
   QueryResult Run(sim::Device& dev, const EncodedLineorder& lineorder,
-                  QueryId query, crystal::TileLoader* loader = nullptr) const;
+                  QueryId query, crystal::ColumnAccessor* accessor = nullptr,
+                  bool pushdown = true) const;
 
   // Independent row-at-a-time reference executor (host).
   QueryResult RunHostReference(QueryId query) const;
@@ -96,7 +118,8 @@ class QueryRunner {
 
  private:
   QueryResult RunCrystal(sim::Device& dev, const EncodedLineorder& lineorder,
-                         QueryId query, crystal::TileLoader* loader) const;
+                         QueryId query, crystal::ColumnAccessor* accessor,
+                         bool pushdown) const;
   QueryResult RunNonTiled(sim::Device& dev, const EncodedLineorder& lineorder,
                           QueryId query) const;
 

@@ -72,6 +72,13 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
           "\"cache\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
           ",\"evictions\":%" PRIu64 ",\"saved_bytes\":%" PRIu64 "},",
           cc.hits, cc.misses, cc.evictions, cc.saved_bytes);
+  const sim::PushdownCounters& pd = s.pushdown;
+  AppendF(out,
+          "\"pushdown\":{\"tiles_pruned\":%" PRIu64 ",\"tiles_decoded\":%" PRIu64
+          ",\"blocks_short_circuited\":%" PRIu64
+          ",\"runs_short_circuited\":%" PRIu64 "},",
+          pd.tiles_pruned, pd.tiles_decoded, pd.blocks_short_circuited,
+          pd.runs_short_circuited);
   AppendF(out, "\"limiter\":\"%s\",", sim::LimiterName(b.limiter()));
   AppendF(out, "\"faults\":{\"retries\":%d,\"failed\":%s},", k.fault_retries,
           k.failed ? "true" : "false");
@@ -82,7 +89,7 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
 bool IsKnownTraceSchema(const std::string& schema) {
   return schema == kTraceSchema || schema == kTraceSchemaV1 ||
          schema == kTraceSchemaV2 || schema == kTraceSchemaV3 ||
-         schema == kTraceSchemaV4;
+         schema == kTraceSchemaV4 || schema == kTraceSchemaV5;
 }
 
 std::string ToJson(const Tracer& tracer) {
@@ -201,6 +208,16 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
         k.stats.cache.misses = cache.Get("misses").AsUint64();
         k.stats.cache.evictions = cache.Get("evictions").AsUint64();
         k.stats.cache.saved_bytes = cache.Get("saved_bytes").AsUint64();
+      }
+      // Pre-v6 traces predate predicate pushdown: counters stay zero.
+      if (record.Has("pushdown")) {
+        const JsonValue& pd = record.Get("pushdown");
+        k.stats.pushdown.tiles_pruned = pd.Get("tiles_pruned").AsUint64();
+        k.stats.pushdown.tiles_decoded = pd.Get("tiles_decoded").AsUint64();
+        k.stats.pushdown.blocks_short_circuited =
+            pd.Get("blocks_short_circuited").AsUint64();
+        k.stats.pushdown.runs_short_circuited =
+            pd.Get("runs_short_circuited").AsUint64();
       }
       const JsonValue& breakdown = record.Get("breakdown_ms");
       k.breakdown.launch_ms = breakdown.Get("launch").AsDouble();

@@ -3,7 +3,7 @@
 // JSON schema (stable; version bumps on breaking change):
 //
 //   {
-//     "schema": "tilecomp.trace.v5",
+//     "schema": "tilecomp.trace.v6",
 //     "spans": [
 //       {
 //         "kind": "kernel" | "transfer" | "scope",
@@ -25,6 +25,8 @@
 //         "wave": {"scheduling": "static"|"persistent", "slots", "waves",
 //                  "mean_cost", "max_cost", "p99_cost", "imbalance"},
 //         "cache": {"hits", "misses", "evictions", "saved_bytes"},
+//         "pushdown": {"tiles_pruned", "tiles_decoded",
+//                      "blocks_short_circuited", "runs_short_circuited"},
 //         "limiter": "bandwidth"|"latency"|"scheduling"|"shared"|"compute",
 //         // kind == "kernel" | "transfer" only:
 //         "faults": {"retries": <int>, "failed": <bool>},
@@ -40,11 +42,15 @@
 // serving layer's decompressed-tile cache: hit/miss/eviction counts and the
 // encoded bytes hits avoided reading); v5 adds the per-span "faults" object
 // (injected-fault retries and terminal failure from the fault plan, see
-// fault/fault.h). Older traces still load through TraceFromJson: a missing
-// "stream" defaults to the synchronizing stream 0, missing v3 fields default
-// to a static launch with no wave data, a missing v4 "cache" object defaults
-// to all-zero counters, and a missing v5 "faults" object defaults to zero
-// retries / not failed.
+// fault/fault.h); v6 adds the per-kernel "pushdown" object (compressed-domain
+// predicate evaluation: tiles pruned before decode vs tiles decoded, and the
+// 128-value blocks / RFOR runs a zone-map or frame-of-reference bound decided
+// without touching values). Older traces still load through TraceFromJson: a
+// missing "stream" defaults to the synchronizing stream 0, missing v3 fields
+// default to a static launch with no wave data, a missing v4 "cache" object
+// defaults to all-zero counters, a missing v5 "faults" object defaults to
+// zero retries / not failed, and a missing v6 "pushdown" object defaults to
+// all-zero counters.
 //
 // The chrome://tracing exporter emits the Trace Event JSON format ("X"
 // duration events, microsecond timestamps) loadable in chrome://tracing or
@@ -60,24 +66,26 @@
 
 namespace tilecomp::telemetry {
 
-inline constexpr const char* kTraceSchema = "tilecomp.trace.v5";
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v6";
 inline constexpr const char* kTraceSchemaV1 = "tilecomp.trace.v1";
 inline constexpr const char* kTraceSchemaV2 = "tilecomp.trace.v2";
 inline constexpr const char* kTraceSchemaV3 = "tilecomp.trace.v3";
 inline constexpr const char* kTraceSchemaV4 = "tilecomp.trace.v4";
+inline constexpr const char* kTraceSchemaV5 = "tilecomp.trace.v5";
 
-// True for every schema version TraceFromJson accepts (v1 through v5).
+// True for every schema version TraceFromJson accepts (v1 through v6).
 bool IsKnownTraceSchema(const std::string& schema);
 
 // Machine-readable trace (schema above).
 std::string ToJson(const Tracer& tracer);
 
-// Parse a tilecomp.trace.v1 through .v5 document back into spans. Limiter
+// Parse a tilecomp.trace.v1 through .v6 document back into spans. Limiter
 // and derived fields are recomputed from the stored breakdown; spans from a
 // v1 trace carry stream 0, pre-v3 spans carry static scheduling with no wave
-// data, pre-v4 spans carry all-zero cache counters, and pre-v5 spans carry
-// zero fault retries / not failed. Returns false (and fills *error) on
-// malformed input or an unknown schema.
+// data, pre-v4 spans carry all-zero cache counters, pre-v5 spans carry zero
+// fault retries / not failed, and pre-v6 spans carry all-zero pushdown
+// counters. Returns false (and fills *error) on malformed input or an
+// unknown schema.
 bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
                    std::string* error);
 

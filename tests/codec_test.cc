@@ -35,15 +35,15 @@ TEST(CompressedColumnTest, CompressionRatioSane) {
 
 TEST(ColumnStatsTest, DetectsSortedness) {
   auto sorted = GenSortedGaps(10000, 5, 3);
-  auto stats = ComputeStats(sorted.data(), sorted.size());
+  auto stats = ComputeStats(sorted);
   EXPECT_TRUE(stats.sorted);
   auto shuffled = GenUniformBits(10000, 20, 4);
-  EXPECT_FALSE(ComputeStats(shuffled.data(), shuffled.size()).sorted);
+  EXPECT_FALSE(ComputeStats(shuffled).sorted);
 }
 
 TEST(ColumnStatsTest, RunLengthAndDistinct) {
   auto runs = GenRuns(10000, 10, 8, 5);
-  auto stats = ComputeStats(runs.data(), runs.size());
+  auto stats = ComputeStats(runs);
   EXPECT_GT(stats.avg_run_length, 5.0);
   EXPECT_LE(stats.distinct, 256u);
   EXPECT_EQ(stats.count, 10000u);
@@ -52,15 +52,15 @@ TEST(ColumnStatsTest, RunLengthAndDistinct) {
 TEST(ChooseSchemeTest, Section8Rules) {
   // High run length -> GPU-RFOR.
   auto runs = GenRuns(50000, 16, 12, 6);
-  EXPECT_EQ(ChooseScheme(ComputeStats(runs.data(), runs.size())),
+  EXPECT_EQ(ChooseScheme(ComputeStats(runs)),
             Scheme::kGpuRFor);
   // Sorted, high cardinality -> GPU-DFOR.
   auto sorted = GenSortedGaps(500000, 10, 7);
-  EXPECT_EQ(ChooseScheme(ComputeStats(sorted.data(), sorted.size())),
+  EXPECT_EQ(ChooseScheme(ComputeStats(sorted)),
             Scheme::kGpuDFor);
   // Unsorted uniform -> GPU-FOR.
   auto uniform = GenUniformBits(50000, 20, 8);
-  EXPECT_EQ(ChooseScheme(ComputeStats(uniform.data(), uniform.size())),
+  EXPECT_EQ(ChooseScheme(ComputeStats(uniform)),
             Scheme::kGpuFor);
 }
 
@@ -76,15 +76,15 @@ TEST(ChooseSchemeTest, RuleAgreesWithExhaustiveSearchOnTypicalData) {
       GenUniformBits(100000, 18, 13),  // uniform -> FOR
   };
   for (const auto& ds : datasets) {
-    Scheme rule = ChooseScheme(ComputeStats(ds.data(), ds.size()));
-    CompressedColumn best = EncodeGpuStar(ds.data(), ds.size());
+    Scheme rule = ChooseScheme(ComputeStats(ds));
+    CompressedColumn best = EncodeGpuStar(ds);
     EXPECT_EQ(rule, best.scheme());
   }
 }
 
 TEST(EncodeGpuStarTest, PicksSmallest) {
   auto values = GenRuns(100000, 64, 10, 14);
-  auto star = EncodeGpuStar(values.data(), values.size());
+  auto star = EncodeGpuStar(values);
   for (Scheme scheme : {Scheme::kGpuFor, Scheme::kGpuDFor, Scheme::kGpuRFor}) {
     auto other = CompressedColumn::Encode(scheme, values);
     EXPECT_LE(star.compressed_bytes(), other.compressed_bytes());
@@ -121,7 +121,7 @@ TEST(NvcompTest, CompressionCloseToGpuStarButNotBetterOnSkew) {
   // Inject per-block skew: one large value per 128.
   auto values = GenUniformBits(1 << 20, 8, 25);
   for (size_t i = 0; i < values.size(); i += 128) values[i] = 1 << 20;
-  auto star = EncodeGpuStar(values.data(), values.size());
+  auto star = EncodeGpuStar(values);
   auto nv = NvcompEncode(values.data(), values.size());
   EXPECT_LT(star.compressed_bytes(), nv.compressed_bytes());
 }
@@ -138,7 +138,7 @@ TEST(PlannerTest, ChoosesByteAlignedPlans) {
   // observation).
   auto big = GenUniformRange(100000, 1 << 24, 1 << 26, 27);
   auto plan_big = PlannerEncode(big.data(), big.size());
-  auto star_big = EncodeGpuStar(big.data(), big.size());
+  auto star_big = EncodeGpuStar(big);
   EXPECT_GT(static_cast<double>(plan_big.compressed_bytes()),
             1.1 * star_big.compressed_bytes());
 }
@@ -155,7 +155,7 @@ TEST(SystemEncodeTest, DecompressMatchesForAllSystems) {
   sim::Device dev;
   for (System system : {System::kNone, System::kGpuStar, System::kNvcomp,
                         System::kPlanner, System::kGpuBp}) {
-    auto col = SystemEncode(system, values.data(), values.size());
+    auto col = SystemEncode(system, values);
     auto run = SystemDecompress(dev, col);
     EXPECT_EQ(run.output, values) << SystemName(system);
     EXPECT_GT(run.time_ms, 0.0);
@@ -166,9 +166,9 @@ TEST(SystemEncodeTest, CascadedSystemsLaunchMoreKernels) {
   auto values = GenRuns(500000, 32, 12, 30);
   sim::Device dev;
   auto star = SystemDecompress(
-      dev, SystemEncode(System::kGpuStar, values.data(), values.size()));
+      dev, SystemEncode(System::kGpuStar, values));
   auto nv = SystemDecompress(
-      dev, SystemEncode(System::kNvcomp, values.data(), values.size()));
+      dev, SystemEncode(System::kNvcomp, values));
   EXPECT_EQ(star.kernel_launches(), 1u);
   EXPECT_GT(nv.kernel_launches(), 2u);
   EXPECT_GT(nv.time_ms, star.time_ms);

@@ -85,7 +85,7 @@ TEST(EdgeTest, AdversarialDeltaPattern) {
   EXPECT_EQ(col.DecodeHost(), values);
 }
 
-TEST(EdgeTest, TileLoaderBeyondEndReturnsZero) {
+TEST(EdgeTest, ColumnAccessorBeyondEndReturnsZero) {
   auto values = GenUniformBits(100, 8, 2);
   auto col = CompressedColumn::Encode(Scheme::kNone, values);
   sim::BlockContext ctx(128);

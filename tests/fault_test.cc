@@ -191,23 +191,23 @@ TEST(CacheFaultTest, InsertFaultRefusesWithoutCorruption) {
   FaultPlan plan(RateAt(FaultSite::kCacheInsert, 1.0));
   cache.set_fault_plan(&plan);
   const std::vector<uint32_t> v(kTile, 5);
-  EXPECT_FALSE(cache.Insert(0, 0, v.data(), kTile).valid());
+  EXPECT_FALSE(cache.Insert(codec::ColumnId(0), 0, v.data(), kTile).valid());
   EXPECT_EQ(cache.stats().insert_failures, 1u);
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().bytes_in_use, 0u);
   // Detach: inserts work again.
   cache.set_fault_plan(nullptr);
-  EXPECT_TRUE(cache.Insert(0, 0, v.data(), kTile).valid());
+  EXPECT_TRUE(cache.Insert(codec::ColumnId(0), 0, v.data(), kTile).valid());
 }
 
 TEST(CacheFaultTest, InvalidateUnpinnedFreesImmediately) {
   serve::TileCache cache(16 * kTileBytes);
   const std::vector<uint32_t> v(kTile, 7);
-  cache.Insert(0, 0, v.data(), kTile);
-  EXPECT_TRUE(cache.Contains(0, 0));
-  EXPECT_TRUE(cache.Invalidate(0, 0));
-  EXPECT_FALSE(cache.Contains(0, 0));
-  EXPECT_FALSE(cache.Invalidate(0, 0));  // already gone
+  cache.Insert(codec::ColumnId(0), 0, v.data(), kTile);
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 0));
+  EXPECT_TRUE(cache.Invalidate(codec::ColumnId(0), 0));
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(0), 0));
+  EXPECT_FALSE(cache.Invalidate(codec::ColumnId(0), 0));  // already gone
   const serve::TileCache::Stats s = cache.stats();
   EXPECT_EQ(s.invalidations, 1u);
   EXPECT_EQ(s.evictions, 0u);  // invalidations are not evictions
@@ -220,17 +220,17 @@ TEST(CacheFaultTest, InvalidateWhilePinnedKeepsHandleAliveAsZombie) {
   const std::vector<uint32_t> old_data(kTile, 1);
   const std::vector<uint32_t> new_data(kTile, 2);
   serve::TileCache::PinnedTile pin =
-      cache.Insert(3, 9, old_data.data(), kTile);
+      cache.Insert(codec::ColumnId(3), 9, old_data.data(), kTile);
   ASSERT_TRUE(pin.valid());
 
-  EXPECT_TRUE(cache.Invalidate(3, 9));
+  EXPECT_TRUE(cache.Invalidate(codec::ColumnId(3), 9));
   // Unlinked: probes miss, but the live handle still reads the old storage.
-  EXPECT_FALSE(cache.Contains(3, 9));
-  EXPECT_FALSE(cache.Lookup(3, 9).valid());
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(3), 9));
+  EXPECT_FALSE(cache.Lookup(codec::ColumnId(3), 9).valid());
   EXPECT_EQ(pin.data()[0], 1u);
   // The key is immediately free for fresh data.
   serve::TileCache::PinnedTile fresh =
-      cache.Insert(3, 9, new_data.data(), kTile);
+      cache.Insert(codec::ColumnId(3), 9, new_data.data(), kTile);
   ASSERT_TRUE(fresh.valid());
   EXPECT_EQ(fresh.data()[0], 2u);
   EXPECT_EQ(pin.data()[0], 1u);  // zombie storage untouched
@@ -246,13 +246,13 @@ TEST(CacheFaultTest, InvalidateWhilePinnedKeepsHandleAliveAsZombie) {
 TEST(CacheFaultTest, ClockHandSurvivesInvalidateAtHand) {
   serve::TileCache cache(3 * kTileBytes, serve::EvictionPolicy::kClock);
   const std::vector<uint32_t> v(kTile, 4);
-  for (uint32_t t = 0; t < 3; ++t) cache.Insert(0, t, v.data(), kTile);
+  for (uint32_t t = 0; t < 3; ++t) cache.Insert(codec::ColumnId(0), t, v.data(), kTile);
   // Force the hand to move by evicting once, then invalidate entries under
   // and around the hand; subsequent inserts must still terminate.
-  cache.Insert(0, 3, v.data(), kTile);
-  EXPECT_TRUE(cache.Invalidate(0, 1) || cache.Invalidate(0, 2) ||
-              cache.Invalidate(0, 3));
-  for (uint32_t t = 4; t < 10; ++t) cache.Insert(0, t, v.data(), kTile);
+  cache.Insert(codec::ColumnId(0), 3, v.data(), kTile);
+  EXPECT_TRUE(cache.Invalidate(codec::ColumnId(0), 1) || cache.Invalidate(codec::ColumnId(0), 2) ||
+              cache.Invalidate(codec::ColumnId(0), 3));
+  for (uint32_t t = 4; t < 10; ++t) cache.Insert(codec::ColumnId(0), t, v.data(), kTile);
   EXPECT_LE(cache.stats().bytes_in_use, cache.budget_bytes());
 }
 

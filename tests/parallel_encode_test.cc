@@ -18,7 +18,7 @@ TEST_P(ParallelEncodeTest, GpuForBitIdentical) {
   const size_t n = GetParam();
   auto values = GenUniformBits(n, 14, n + 1);
   auto serial = format::GpuForEncode(values.data(), n);
-  auto parallel = ParallelGpuForEncode(values.data(), n);
+  auto parallel = ParallelGpuForEncode(values);
   EXPECT_EQ(parallel.data, serial.data);
   EXPECT_EQ(parallel.block_starts, serial.block_starts);
   EXPECT_EQ(parallel.header.total_count, serial.header.total_count);
@@ -29,7 +29,7 @@ TEST_P(ParallelEncodeTest, GpuDForBitIdentical) {
   const size_t n = GetParam();
   auto values = GenSortedGaps(n, 20, n + 2);
   auto serial = format::GpuDForEncode(values.data(), n);
-  auto parallel = ParallelGpuDForEncode(values.data(), n);
+  auto parallel = ParallelGpuDForEncode(values);
   EXPECT_EQ(parallel.data, serial.data);
   EXPECT_EQ(parallel.block_starts, serial.block_starts);
   EXPECT_EQ(parallel.first_values, serial.first_values);
@@ -40,7 +40,7 @@ TEST_P(ParallelEncodeTest, GpuRForBitIdentical) {
   const size_t n = GetParam();
   auto values = GenRuns(n, 8, 10, n + 3);
   auto serial = format::GpuRForEncode(values.data(), n);
-  auto parallel = ParallelGpuRForEncode(values.data(), n);
+  auto parallel = ParallelGpuRForEncode(values);
   EXPECT_EQ(parallel.value_data, serial.value_data);
   EXPECT_EQ(parallel.length_data, serial.length_data);
   EXPECT_EQ(parallel.value_block_starts, serial.value_block_starts);

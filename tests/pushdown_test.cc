@@ -1,0 +1,366 @@
+// Compressed-domain predicate pushdown: TileMask/TilePredicate semantics,
+// EvaluateColumnTile vs a host-evaluated reference mask across every scheme,
+// pushdown counter accounting, the cache-backed accessor's side-effect-free
+// evaluation path, and accessor thrash from concurrent kernel-body threads
+// (the TSan job runs this binary).
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "codec/column.h"
+#include "codec/column_id.h"
+#include "codec/zone_map.h"
+#include "common/random.h"
+#include "crystal/load_column.h"
+#include "gtest/gtest.h"
+#include "serve/server.h"
+#include "serve/tile_cache.h"
+#include "sim/device.h"
+
+namespace tilecomp {
+namespace {
+
+using codec::CompressedColumn;
+using codec::Scheme;
+using crystal::kTileSize;
+using crystal::TileMask;
+using crystal::TilePredicate;
+
+constexpr Scheme kAllSchemes[] = {
+    Scheme::kNone, Scheme::kGpuFor, Scheme::kGpuDFor,
+    Scheme::kGpuRFor, Scheme::kNsf, Scheme::kNsv,
+    Scheme::kRle, Scheme::kGpuBp, Scheme::kSimdBp128,
+};
+
+// --- TileMask / TilePredicate units ---
+
+TEST(TileMaskTest, StartsClearAndAllSetCoversRequestedPrefix) {
+  TileMask empty;
+  EXPECT_FALSE(empty.Any());
+  EXPECT_EQ(empty.Count(), 0u);
+
+  TileMask full = TileMask::AllSet();
+  EXPECT_EQ(full.Count(), TileMask::kBits);
+
+  TileMask prefix = TileMask::AllSet(70);
+  EXPECT_EQ(prefix.Count(), 70u);
+  EXPECT_TRUE(prefix.Test(69));
+  EXPECT_FALSE(prefix.Test(70));
+}
+
+TEST(TileMaskTest, RangeOpsHandleWordBoundaries) {
+  TileMask m;
+  m.SetRange(60, 70);  // straddles the word-0 / word-1 boundary
+  EXPECT_EQ(m.Count(), 10u);
+  EXPECT_TRUE(m.Test(63));
+  EXPECT_TRUE(m.Test(64));
+  EXPECT_FALSE(m.Test(59));
+  EXPECT_FALSE(m.Test(70));
+
+  m.ClearRange(64, 66);
+  EXPECT_EQ(m.Count(), 8u);
+  EXPECT_FALSE(m.Test(64));
+  EXPECT_TRUE(m.Test(66));
+
+  m.SetRange(0, TileMask::kBits);
+  EXPECT_EQ(m.Count(), TileMask::kBits);
+  m.ClearAll();
+  EXPECT_FALSE(m.Any());
+}
+
+TEST(TileMaskTest, AndIntersectsAndEqualityComparesAllWords) {
+  TileMask a = TileMask::AllSet(100);
+  TileMask b;
+  b.SetRange(50, 200);
+  a.And(b);
+  EXPECT_EQ(a.Count(), 50u);
+  EXPECT_TRUE(a.Test(50));
+  EXPECT_FALSE(a.Test(100));
+
+  TileMask c;
+  c.SetRange(50, 100);
+  EXPECT_TRUE(a == c);
+  c.Set(511);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TilePredicateTest, IntervalRelations) {
+  const TilePredicate pred = TilePredicate::Range(10, 20);
+  EXPECT_TRUE(pred.Matches(10));
+  EXPECT_TRUE(pred.Matches(20));
+  EXPECT_FALSE(pred.Matches(9));
+  EXPECT_FALSE(pred.Matches(21));
+
+  EXPECT_TRUE(pred.DisjointFrom(0, 9));
+  EXPECT_TRUE(pred.DisjointFrom(21, 100));
+  EXPECT_FALSE(pred.DisjointFrom(5, 10));
+  EXPECT_TRUE(pred.Contains(10, 20));
+  EXPECT_TRUE(pred.Contains(12, 15));
+  EXPECT_FALSE(pred.Contains(10, 21));
+
+  const TilePredicate point = TilePredicate::Point(7);
+  EXPECT_TRUE(point.Matches(7));
+  EXPECT_FALSE(point.Matches(8));
+  EXPECT_TRUE(point.Contains(7, 7));
+
+  // A predicate reaching the domain edges never wrongly classifies the
+  // 64-bit bound intervals FOR miniblocks produce at width 32.
+  const TilePredicate all = TilePredicate::Range(0, 0xFFFFFFFFu);
+  EXPECT_TRUE(all.Contains(0, 0xFFFFFFFFull));
+  EXPECT_FALSE(all.DisjointFrom(0xFFFFFFFFull, 0x1FFFFFFFEull));
+}
+
+// --- EvaluateColumnTile vs host reference, every scheme ---
+
+// Evaluate `pred` per tile through one kernel launch and return the masks.
+std::vector<TileMask> EvaluateAllTiles(sim::Device& dev,
+                                       const CompressedColumn& column,
+                                       const TilePredicate& pred) {
+  const int64_t num_tiles = crystal::NumTiles(column.size());
+  std::vector<TileMask> masks(static_cast<size_t>(num_tiles));
+  sim::LaunchConfig lc;
+  lc.grid_dim = num_tiles;
+  lc.block_threads = 128;
+  dev.Launch("test.evaluate", lc, [&](sim::BlockContext& ctx) {
+    const int64_t tile = ctx.block_id();
+    TileMask mask = TileMask::AllSet();
+    crystal::EvaluateColumnTile(ctx, column, tile, pred, &mask);
+    masks[static_cast<size_t>(tile)] = mask;
+  });
+  return masks;
+}
+
+// The reference: decode on the host, test row at a time.
+std::vector<TileMask> HostReferenceMasks(const std::vector<uint32_t>& values,
+                                         const TilePredicate& pred) {
+  const int64_t num_tiles = crystal::NumTiles(
+      static_cast<uint32_t>(values.size()));
+  std::vector<TileMask> masks(static_cast<size_t>(num_tiles));
+  for (int64_t t = 0; t < num_tiles; ++t) {
+    const size_t begin = static_cast<size_t>(t) * kTileSize;
+    const size_t end = std::min(values.size(), begin + kTileSize);
+    TileMask m = TileMask::AllSet(static_cast<uint32_t>(end - begin));
+    for (size_t i = begin; i < end; ++i) {
+      if (!pred.Matches(values[i])) m.Clear(static_cast<uint32_t>(i - begin));
+    }
+    masks[static_cast<size_t>(t)] = m;
+  }
+  return masks;
+}
+
+void ExpectMasksEqual(const std::vector<TileMask>& got,
+                      const std::vector<TileMask>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t t = 0; t < got.size(); ++t) {
+    SCOPED_TRACE("tile " + std::to_string(t));
+    EXPECT_TRUE(got[t] == want[t]);
+  }
+}
+
+TEST(EvaluateColumnTileTest, EverySchemeMatchesHostReference) {
+  // Clustered values (tiles have narrow ranges) with a ragged tail tile.
+  const std::vector<uint32_t> values = GenSortedGaps(4 * kTileSize + 37, 20, 7);
+  const uint32_t q25 = values[values.size() / 4];
+  const uint32_t q75 = values[3 * values.size() / 4];
+  const TilePredicate preds[] = {
+      TilePredicate::Range(q25, q75),             // mixed
+      TilePredicate::Range(0, 0xFFFFFFFFu),       // contains everything
+      TilePredicate::Range(values.back() + 1,
+                           values.back() + 1),    // disjoint from everything
+      TilePredicate::Point(values[values.size() / 2]),
+  };
+  for (Scheme scheme : kAllSchemes) {
+    SCOPED_TRACE(codec::SchemeName(scheme));
+    const CompressedColumn column = CompressedColumn::Encode(scheme, values);
+    for (const TilePredicate& pred : preds) {
+      SCOPED_TRACE("pred [" + std::to_string(pred.lo) + ", " +
+                   std::to_string(pred.hi) + "]");
+      sim::Device dev;
+      ExpectMasksEqual(EvaluateAllTiles(dev, column, pred),
+                       HostReferenceMasks(values, pred));
+    }
+  }
+}
+
+TEST(EvaluateColumnTileTest, UnclusteredDataStillBitExact) {
+  // Uniform data: zone maps can neither prune nor contain, so every scheme
+  // exercises its residual (decode-and-test) path.
+  const std::vector<uint32_t> values = GenUniformBits(3 * kTileSize - 5, 12, 3);
+  const TilePredicate pred = TilePredicate::Range(100, 2000);
+  for (Scheme scheme : kAllSchemes) {
+    SCOPED_TRACE(codec::SchemeName(scheme));
+    const CompressedColumn column = CompressedColumn::Encode(scheme, values);
+    sim::Device dev;
+    ExpectMasksEqual(EvaluateAllTiles(dev, column, pred),
+                     HostReferenceMasks(values, pred));
+  }
+}
+
+TEST(EvaluateColumnTileTest, OutOfRangeTileClearsMaskAndReturnsZero) {
+  const std::vector<uint32_t> values(kTileSize, 5);
+  const CompressedColumn column =
+      CompressedColumn::Encode(Scheme::kGpuFor, values);
+  sim::Device dev;
+  sim::LaunchConfig lc;
+  lc.grid_dim = 1;
+  dev.Launch("test.oob", lc, [&](sim::BlockContext& ctx) {
+    TileMask mask = TileMask::AllSet();
+    EXPECT_EQ(crystal::EvaluateColumnTile(ctx, column, 99,
+                                          TilePredicate::Point(5), &mask),
+              0u);
+    EXPECT_FALSE(mask.Any());
+    mask = TileMask::AllSet();
+    EXPECT_EQ(crystal::EvaluateColumnTile(ctx, column, -1,
+                                          TilePredicate::Point(5), &mask),
+              0u);
+    EXPECT_FALSE(mask.Any());
+  });
+}
+
+// --- Counter accounting ---
+
+TEST(PushdownCountersTest, DisjointPredicatePrunesEveryTileWithoutDecoding) {
+  const std::vector<uint32_t> values = GenSortedGaps(4 * kTileSize, 20, 11);
+  const TilePredicate disjoint =
+      TilePredicate::Point(values.back() + 1);
+  for (Scheme scheme : {Scheme::kNone, Scheme::kGpuFor, Scheme::kGpuDFor,
+                        Scheme::kGpuRFor, Scheme::kGpuBp}) {
+    SCOPED_TRACE(codec::SchemeName(scheme));
+    const CompressedColumn column = CompressedColumn::Encode(scheme, values);
+    ASSERT_NE(column.zone_map(), nullptr);
+    sim::Device dev;
+    EvaluateAllTiles(dev, column, disjoint);
+    const sim::PushdownCounters& pd = dev.total_stats().pushdown;
+    EXPECT_EQ(pd.tiles_pruned, 4u);
+    EXPECT_EQ(pd.tiles_decoded, 0u);
+    EXPECT_DOUBLE_EQ(pd.prune_rate(), 1.0);
+  }
+}
+
+TEST(PushdownCountersTest, LoadCountsDecodedTiles) {
+  const std::vector<uint32_t> values = GenUniformBits(3 * kTileSize, 10, 5);
+  const CompressedColumn column =
+      CompressedColumn::Encode(Scheme::kGpuFor, values);
+  sim::Device dev;
+  sim::LaunchConfig lc;
+  lc.grid_dim = 3;
+  dev.Launch("test.load", lc, [&](sim::BlockContext& ctx) {
+    uint32_t out[kTileSize];
+    crystal::LoadColumnTile(ctx, column, ctx.block_id(), out);
+  });
+  EXPECT_EQ(dev.total_stats().pushdown.tiles_decoded, 3u);
+  EXPECT_EQ(dev.total_stats().pushdown.tiles_pruned, 0u);
+  EXPECT_DOUBLE_EQ(dev.total_stats().pushdown.prune_rate(), 0.0);
+}
+
+// --- CachedTileLoader::EvaluateOnTile: side-effect free on the cache ---
+
+TEST(CachedTileLoaderTest, EvaluateAnswersFromResidentTileWithoutCounters) {
+  const std::vector<uint32_t> values = GenUniformBits(kTileSize, 8, 13);
+  const CompressedColumn column =
+      CompressedColumn::Encode(Scheme::kGpuFor, values);
+  serve::TileCache cache(1 << 20);
+  serve::CachedTileLoader loader(&cache);
+  const codec::ColumnId col_id(3);
+
+  cache.Insert(col_id, 0, values.data(), kTileSize);
+  const serve::TileCache::Stats before = cache.stats();
+
+  const TilePredicate pred = TilePredicate::Range(10, 100);
+  sim::Device dev;
+  sim::LaunchConfig lc;
+  lc.grid_dim = 1;
+  dev.Launch("test.cached_eval", lc, [&](sim::BlockContext& ctx) {
+    TileMask mask = TileMask::AllSet();
+    EXPECT_EQ(loader.EvaluateOnTile(ctx, column, col_id, 0, pred, &mask),
+              kTileSize);
+    ExpectMasksEqual({mask}, HostReferenceMasks(values, pred));
+  });
+
+  // Peek-based: no hit/miss counters, no replacement touch, no insert.
+  const serve::TileCache::Stats after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.inserts, before.inserts);
+  // The resident answer is a plain read, never a compressed-domain decode.
+  EXPECT_EQ(dev.total_stats().pushdown.tiles_decoded, 0u);
+}
+
+TEST(CachedTileLoaderTest, EvaluateFallsBackWithoutInserting) {
+  const std::vector<uint32_t> values = GenSortedGaps(2 * kTileSize, 20, 17);
+  const CompressedColumn column =
+      CompressedColumn::Encode(Scheme::kGpuFor, values);
+  serve::TileCache cache(1 << 20);
+  serve::CachedTileLoader loader(&cache);
+  const codec::ColumnId col_id(4);
+
+  // Nothing resident: falls through to the compressed-domain evaluator and
+  // must NOT materialize tiles into the cache (late materialization would
+  // be defeated if pruned tiles were inserted).
+  const TilePredicate pred = TilePredicate::Point(values.back() + 1);
+  sim::Device dev;
+  sim::LaunchConfig lc;
+  lc.grid_dim = 2;
+  dev.Launch("test.cached_fallback", lc, [&](sim::BlockContext& ctx) {
+    TileMask mask = TileMask::AllSet();
+    loader.EvaluateOnTile(ctx, column, col_id, ctx.block_id(), pred, &mask);
+    EXPECT_FALSE(mask.Any());
+  });
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(dev.total_stats().pushdown.tiles_pruned, 2u);
+}
+
+// --- Accessor concurrency (exercised under TSan in CI) ---
+
+TEST(AccessorConcurrencyTest, SharedLoaderUnderEvictionPressureStaysExact) {
+  // Many kernel-body threads share one CachedTileLoader over a cache far
+  // smaller than the working set: Evaluate peeks race with LoadTile
+  // insert/evict cycles. The selected sum must stay bit-exact.
+  const size_t n = 64 * kTileSize;
+  const std::vector<uint32_t> values = GenSortedGaps(n, 20, 23);
+  const CompressedColumn column =
+      CompressedColumn::Encode(Scheme::kGpuFor, values);
+  const uint32_t lo = values[n / 4];
+  const uint32_t hi = values[n / 2];
+  const TilePredicate pred = TilePredicate::Range(lo, hi);
+
+  uint64_t want_sum = 0;
+  for (uint32_t v : values) {
+    if (pred.Matches(v)) want_sum += v;
+  }
+
+  // Room for ~8 of the 64 tiles.
+  serve::TileCache cache(8 * kTileSize * sizeof(uint32_t));
+  serve::CachedTileLoader loader(&cache);
+  const codec::ColumnId col_id(1);
+
+  for (int round = 0; round < 2; ++round) {
+    std::atomic<uint64_t> sum{0};
+    sim::Device dev;
+    sim::LaunchConfig lc;
+    lc.grid_dim = static_cast<int64_t>(crystal::NumTiles(column.size()));
+    lc.block_threads = 128;
+    dev.Launch("test.concurrent", lc, [&](sim::BlockContext& ctx) {
+      const int64_t tile = ctx.block_id();
+      TileMask mask = TileMask::AllSet();
+      const uint32_t m =
+          loader.EvaluateOnTile(ctx, column, col_id, tile, pred, &mask);
+      if (!mask.Any()) return;
+      uint32_t vals[kTileSize];
+      const uint32_t loaded = loader.LoadTile(ctx, column, col_id, tile, vals);
+      ASSERT_EQ(loaded, m);
+      uint64_t local = 0;
+      for (uint32_t i = 0; i < loaded; ++i) {
+        if (mask.Test(i)) local += vals[i];
+      }
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), want_sum) << "round " << round;
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace tilecomp

@@ -31,12 +31,12 @@ TEST(TileCacheTest, HitMissCountersAreExact) {
   TileCache cache(4 * kTileBytes);
   const std::vector<uint32_t> v = TileValues(7);
 
-  EXPECT_FALSE(cache.Lookup(0, 0).valid());  // miss
-  cache.Insert(0, 0, v.data(), kTile);
-  EXPECT_TRUE(cache.Lookup(0, 0, /*saved_encoded_bytes=*/100).valid());
-  EXPECT_TRUE(cache.Lookup(0, 0, /*saved_encoded_bytes=*/100).valid());
-  EXPECT_FALSE(cache.Lookup(0, 1).valid());
-  EXPECT_FALSE(cache.Lookup(1, 0).valid());  // same tile id, other column
+  EXPECT_FALSE(cache.Lookup(codec::ColumnId(0), 0).valid());  // miss
+  cache.Insert(codec::ColumnId(0), 0, v.data(), kTile);
+  EXPECT_TRUE(cache.Lookup(codec::ColumnId(0), 0, /*saved_encoded_bytes=*/100).valid());
+  EXPECT_TRUE(cache.Lookup(codec::ColumnId(0), 0, /*saved_encoded_bytes=*/100).valid());
+  EXPECT_FALSE(cache.Lookup(codec::ColumnId(0), 1).valid());
+  EXPECT_FALSE(cache.Lookup(codec::ColumnId(1), 0).valid());  // same tile id, other column
 
   const TileCache::Stats s = cache.stats();
   EXPECT_EQ(s.hits, 2u);
@@ -52,35 +52,35 @@ TEST(TileCacheTest, HitMissCountersAreExact) {
 TEST(TileCacheTest, LruEvictsLeastRecentlyUsed) {
   TileCache cache(3 * kTileBytes, EvictionPolicy::kLru);
   const std::vector<uint32_t> v = TileValues(1);
-  for (uint32_t t = 0; t < 3; ++t) cache.Insert(0, t, v.data(), kTile);
+  for (uint32_t t = 0; t < 3; ++t) cache.Insert(codec::ColumnId(0), t, v.data(), kTile);
 
   // Touch tile 0: tile 1 becomes the LRU victim.
-  EXPECT_TRUE(cache.Lookup(0, 0).valid());
-  cache.Insert(0, 3, v.data(), kTile);
+  EXPECT_TRUE(cache.Lookup(codec::ColumnId(0), 0).valid());
+  cache.Insert(codec::ColumnId(0), 3, v.data(), kTile);
 
-  EXPECT_TRUE(cache.Contains(0, 0));
-  EXPECT_FALSE(cache.Contains(0, 1));
-  EXPECT_TRUE(cache.Contains(0, 2));
-  EXPECT_TRUE(cache.Contains(0, 3));
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 0));
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(0), 1));
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 2));
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 3));
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
 TEST(TileCacheTest, ClockGivesSecondChance) {
   TileCache cache(3 * kTileBytes, EvictionPolicy::kClock);
   const std::vector<uint32_t> v = TileValues(2);
-  for (uint32_t t = 0; t < 3; ++t) cache.Insert(0, t, v.data(), kTile);
+  for (uint32_t t = 0; t < 3; ++t) cache.Insert(codec::ColumnId(0), t, v.data(), kTile);
 
   // All reference bits are set; the first eviction sweep clears them and
   // evicts the oldest entry (tile 0).
-  cache.Insert(0, 3, v.data(), kTile);
-  EXPECT_FALSE(cache.Contains(0, 0));
+  cache.Insert(codec::ColumnId(0), 3, v.data(), kTile);
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(0), 0));
 
   // Re-reference tile 1: the next eviction skips it (second chance) and
   // takes tile 2, whose bit stayed clear.
-  EXPECT_TRUE(cache.Lookup(0, 1).valid());
-  cache.Insert(0, 4, v.data(), kTile);
-  EXPECT_TRUE(cache.Contains(0, 1));
-  EXPECT_FALSE(cache.Contains(0, 2));
+  EXPECT_TRUE(cache.Lookup(codec::ColumnId(0), 1).valid());
+  cache.Insert(codec::ColumnId(0), 4, v.data(), kTile);
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 1));
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(0), 2));
   EXPECT_EQ(cache.stats().evictions, 2u);
 }
 
@@ -88,20 +88,20 @@ TEST(TileCacheTest, PinBlocksEviction) {
   TileCache cache(2 * kTileBytes, EvictionPolicy::kLru);
   const std::vector<uint32_t> v = TileValues(3);
 
-  TileCache::PinnedTile pinned = cache.Insert(0, 0, v.data(), kTile);
+  TileCache::PinnedTile pinned = cache.Insert(codec::ColumnId(0), 0, v.data(), kTile);
   ASSERT_TRUE(pinned.valid());
-  cache.Insert(0, 1, v.data(), kTile);
+  cache.Insert(codec::ColumnId(0), 1, v.data(), kTile);
 
   // Tile 0 is the LRU victim but is pinned: tile 1 is evicted instead.
-  cache.Insert(0, 2, v.data(), kTile);
-  EXPECT_TRUE(cache.Contains(0, 0));
-  EXPECT_FALSE(cache.Contains(0, 1));
+  cache.Insert(codec::ColumnId(0), 2, v.data(), kTile);
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 0));
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(0), 1));
 
   // Pin the remaining entry too: now nothing can be evicted and the insert
   // is refused, never exceeding the budget.
-  TileCache::PinnedTile pinned2 = cache.Lookup(0, 2);
+  TileCache::PinnedTile pinned2 = cache.Lookup(codec::ColumnId(0), 2);
   ASSERT_TRUE(pinned2.valid());
-  TileCache::PinnedTile refused = cache.Insert(0, 3, v.data(), kTile);
+  TileCache::PinnedTile refused = cache.Insert(codec::ColumnId(0), 3, v.data(), kTile);
   EXPECT_FALSE(refused.valid());
   EXPECT_EQ(cache.stats().insert_failures, 1u);
   EXPECT_LE(cache.stats().bytes_in_use, cache.budget_bytes());
@@ -109,13 +109,13 @@ TEST(TileCacheTest, PinBlocksEviction) {
   // Releasing the pins makes room again.
   pinned.Release();
   pinned2.Release();
-  EXPECT_TRUE(cache.Insert(0, 3, v.data(), kTile).valid());
+  EXPECT_TRUE(cache.Insert(codec::ColumnId(0), 3, v.data(), kTile).valid());
 }
 
 TEST(TileCacheTest, OversizedEntryIsRefused) {
   TileCache cache(kTileBytes / 2);
   const std::vector<uint32_t> v = TileValues(4);
-  EXPECT_FALSE(cache.Insert(0, 0, v.data(), kTile).valid());
+  EXPECT_FALSE(cache.Insert(codec::ColumnId(0), 0, v.data(), kTile).valid());
   EXPECT_EQ(cache.stats().insert_failures, 1u);
   EXPECT_EQ(cache.stats().bytes_in_use, 0u);
 }
@@ -134,9 +134,9 @@ TEST(TileCacheTest, BudgetNeverExceededUnderChurn) {
       const uint32_t count = 1 + static_cast<uint32_t>(state % kTile);
       if (state % 3 == 0) {
         std::vector<uint32_t> v(count, col);
-        cache.Insert(col, tile, v.data(), count);
+        cache.Insert(codec::ColumnId(col), tile, v.data(), count);
       } else {
-        TileCache::PinnedTile pin = cache.Lookup(col, tile);
+        TileCache::PinnedTile pin = cache.Lookup(codec::ColumnId(col), tile);
         if (pin.valid()) {
           EXPECT_EQ(pin.data()[0], col);
         }
@@ -153,8 +153,8 @@ TEST(TileCacheTest, DuplicateInsertPinsExistingEntry) {
   TileCache cache(4 * kTileBytes);
   const std::vector<uint32_t> a = TileValues(10);
   const std::vector<uint32_t> b = TileValues(20);
-  cache.Insert(0, 0, a.data(), kTile);
-  TileCache::PinnedTile pin = cache.Insert(0, 0, b.data(), kTile);
+  cache.Insert(codec::ColumnId(0), 0, a.data(), kTile);
+  TileCache::PinnedTile pin = cache.Insert(codec::ColumnId(0), 0, b.data(), kTile);
   ASSERT_TRUE(pin.valid());
   EXPECT_EQ(pin.data()[0], 10u);  // first insert wins
   EXPECT_EQ(cache.stats().inserts, 1u);
@@ -168,20 +168,20 @@ TEST(TileCacheDeathTest, OversizedTileIdAbortsInRelease) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   TileCache cache(4 * kTileBytes);
   const std::vector<uint32_t> v = TileValues(9);
-  EXPECT_DEATH(cache.Insert(0, int64_t{1} << 32, v.data(), kTile),
+  EXPECT_DEATH(cache.Insert(codec::ColumnId(0), int64_t{1} << 32, v.data(), kTile),
                "tile_id out of the 32-bit key range");
-  EXPECT_DEATH(cache.Lookup(0, int64_t{-1}),
+  EXPECT_DEATH(cache.Lookup(codec::ColumnId(0), int64_t{-1}),
                "tile_id out of the 32-bit key range");
 }
 
 TEST(TileCacheTest, ClearKeepsPinnedEntries) {
   TileCache cache(4 * kTileBytes);
   const std::vector<uint32_t> v = TileValues(5);
-  TileCache::PinnedTile pin = cache.Insert(0, 0, v.data(), kTile);
-  cache.Insert(0, 1, v.data(), kTile);
+  TileCache::PinnedTile pin = cache.Insert(codec::ColumnId(0), 0, v.data(), kTile);
+  cache.Insert(codec::ColumnId(0), 1, v.data(), kTile);
   cache.Clear();
-  EXPECT_TRUE(cache.Contains(0, 0));
-  EXPECT_FALSE(cache.Contains(0, 1));
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 0));
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(0), 1));
   pin.Release();
   cache.Clear();
   EXPECT_EQ(cache.stats().entries, 0u);

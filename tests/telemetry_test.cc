@@ -397,7 +397,7 @@ TEST(ExportTest, CacheCountersRoundTrip) {
   JsonValue root;
   std::string error;
   ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
-  EXPECT_EQ(root.Get("schema").AsString(), "tilecomp.trace.v5");
+  EXPECT_EQ(root.Get("schema").AsString(), "tilecomp.trace.v6");
   const JsonValue& span = root.Get("spans").AsArray()[0];
   ASSERT_TRUE(span.Has("cache"));
   const JsonValue& cache = span.Get("cache");
@@ -414,6 +414,79 @@ TEST(ExportTest, CacheCountersRoundTrip) {
   EXPECT_EQ(counters.misses, 1u);
   EXPECT_EQ(counters.evictions, 3u);
   EXPECT_EQ(counters.saved_bytes, 3072u);
+}
+
+TEST(ExportTest, PushdownCountersRoundTripV6) {
+  // A kernel that records compressed-domain predicate evaluation exports a
+  // "pushdown" object, and TraceFromJson restores every counter.
+  sim::Device dev;
+  Tracer tracer;
+  dev.AttachTracer(&tracer);
+  dev.Launch("crystal.query", SmallLaunch(4), [](sim::BlockContext& ctx) {
+    ctx.CoalescedRead(2048, true);
+    if (ctx.block_id() == 0) {
+      ctx.PushdownTilePruned();
+      ctx.PushdownTilePruned();
+      ctx.TileDecoded();
+      ctx.PushdownBlocksShortCircuited(5);
+      ctx.PushdownRunsShortCircuited(9);
+    }
+  });
+
+  const std::string json = telemetry::ToJson(tracer);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
+  const JsonValue& span = root.Get("spans").AsArray()[0];
+  ASSERT_TRUE(span.Has("pushdown"));
+  const JsonValue& pd = span.Get("pushdown");
+  EXPECT_EQ(pd.Get("tiles_pruned").AsUint64(), 2u);
+  EXPECT_EQ(pd.Get("tiles_decoded").AsUint64(), 1u);
+  EXPECT_EQ(pd.Get("blocks_short_circuited").AsUint64(), 5u);
+  EXPECT_EQ(pd.Get("runs_short_circuited").AsUint64(), 9u);
+
+  std::vector<Span> loaded;
+  ASSERT_TRUE(telemetry::TraceFromJson(json, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  const sim::PushdownCounters& counters = loaded[0].kernel.stats.pushdown;
+  EXPECT_EQ(counters.tiles_pruned, 2u);
+  EXPECT_EQ(counters.tiles_decoded, 1u);
+  EXPECT_EQ(counters.blocks_short_circuited, 5u);
+  EXPECT_EQ(counters.runs_short_circuited, 9u);
+  EXPECT_DOUBLE_EQ(counters.prune_rate(), 2.0 / 3.0);
+}
+
+TEST(ExportTest, LoadsV5TraceWithZeroPushdownCounters) {
+  // A v5 document (fault fields, no "pushdown" object): loads fine,
+  // pushdown counters default to zero.
+  const std::string v5 =
+      "{\"schema\":\"tilecomp.trace.v5\",\"spans\":["
+      "{\"kind\":\"kernel\",\"name\":\"k\",\"path\":\"\",\"depth\":0,"
+      "\"stream\":1,\"start_ms\":0,\"duration_ms\":1.5,"
+      "\"config\":{\"grid_dim\":8,\"block_threads\":128,"
+      "\"smem_bytes_per_block\":0,\"regs_per_thread\":32,"
+      "\"scheduling\":\"static\"},"
+      "\"stats\":{\"global_bytes_read\":4096,\"global_bytes_written\":0,"
+      "\"warp_global_accesses\":32,\"shared_bytes\":0,\"compute_ops\":100,"
+      "\"barriers\":0,\"atomic_ops\":0},"
+      "\"cache\":{\"hits\":5,\"misses\":2,\"evictions\":1,"
+      "\"saved_bytes\":800},"
+      "\"faults\":{\"retries\":1,\"failed\":false},"
+      "\"breakdown_ms\":{\"launch\":0.1,\"bandwidth\":0.2,\"latency\":0.3,"
+      "\"scheduling\":0.1,\"shared\":0,\"compute\":0.4,\"atomic\":0,"
+      "\"tail\":0},"
+      "\"occupancy\":0.5}]}";
+  std::vector<Span> spans;
+  std::string error;
+  ASSERT_TRUE(telemetry::TraceFromJson(v5, &spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 1u);
+  const sim::PushdownCounters& pd = spans[0].kernel.stats.pushdown;
+  EXPECT_EQ(pd.tiles_pruned, 0u);
+  EXPECT_EQ(pd.tiles_decoded, 0u);
+  EXPECT_EQ(pd.blocks_short_circuited, 0u);
+  EXPECT_EQ(pd.runs_short_circuited, 0u);
+  EXPECT_EQ(spans[0].kernel.fault_retries, 1);
+  EXPECT_EQ(spans[0].kernel.stats.cache.hits, 5u);
 }
 
 TEST(ExportTest, FaultFieldsRoundTripV5) {
