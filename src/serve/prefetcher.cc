@@ -1,0 +1,319 @@
+#include "serve/prefetcher.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "crystal/load_column.h"
+#include "sim/stats.h"
+
+namespace tilecomp::serve {
+
+namespace {
+
+// Streak-doubling beyond this many rounds would overflow any sane
+// initial_depth long after max_depth caps it anyway.
+constexpr int kMaxStreakShift = 6;
+
+// One predicted tile of the current round's combined speculative launch.
+struct RoundTarget {
+  const codec::CompressedColumn* column;
+  codec::ColumnId col_id;
+  int64_t tile;
+  uint64_t tile_bytes;
+};
+
+// One column's predicted tiles for this round, with the cost (tiles still
+// missing) of completing it — the round budget is spent cheapest-first.
+struct ColumnPlan {
+  int64_t missing = 0;
+  int smem = 0;
+  std::vector<RoundTarget> targets;
+};
+
+// Schemes the tile-granular decoder (crystal::LoadColumnTile) can decode
+// speculatively. kNone is excluded: its tiles are raw, so a speculative
+// "decode" would stage bytes a demand read gets at the same cost.
+bool SchemePrefetchable(codec::Scheme scheme) {
+  switch (scheme) {
+    case codec::Scheme::kGpuFor:
+    case codec::Scheme::kGpuDFor:
+    case codec::Scheme::kGpuRFor:
+    case codec::Scheme::kGpuBp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* Prefetcher::PatternName(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kIdle:
+      return "idle";
+    case Pattern::kSequential:
+      return "sequential";
+    case Pattern::kStrided:
+      return "strided";
+    case Pattern::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+Prefetcher::Prefetcher(sim::Device& dev, TileCache* cache,
+                       PrefetchOptions options, fault::FaultPlan* fault_plan)
+    : dev_(dev), cache_(cache), options_(options), fault_plan_(fault_plan) {
+  TILECOMP_CHECK(cache != nullptr);
+  const int n = std::max(1, options_.num_streams);
+  for (int i = 0; i < n; ++i) streams_.push_back(dev_.CreateStream());
+}
+
+void Prefetcher::RegisterColumn(codec::ColumnId column_id,
+                                const codec::CompressedColumn* column) {
+  if (column == nullptr || column->size() == 0 ||
+      !SchemePrefetchable(column->scheme())) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ColumnState& st = columns_[column_id.value()];
+  st.column = column;
+  st.num_tiles = crystal::NumTiles(column->size());
+  st.tile_encoded_bytes =
+      column->compressed_bytes() / static_cast<uint64_t>(st.num_tiles);
+  st.accessed.assign(static_cast<size_t>(st.num_tiles), false);
+}
+
+void Prefetcher::RecordAccess(codec::ColumnId column_id, int64_t tile_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = columns_.find(column_id.value());
+  if (it == columns_.end()) return;
+  ColumnState& st = it->second;
+  if (tile_id < 0 || tile_id >= st.num_tiles) return;
+  st.accessed[static_cast<size_t>(tile_id)] = true;
+  st.any_access = true;
+}
+
+uint64_t Prefetcher::IssueRound() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ColumnPlan> plans;
+  for (auto& [id_value, st] : columns_) {
+    const codec::ColumnId col_id(id_value);
+
+    // Drain this round's bitmap into a sorted tile list.
+    std::vector<int64_t> tiles;
+    if (st.any_access) {
+      for (int64_t t = 0; t < st.num_tiles; ++t) {
+        if (st.accessed[static_cast<size_t>(t)]) {
+          tiles.push_back(t);
+          st.accessed[static_cast<size_t>(t)] = false;
+        }
+      }
+      st.any_access = false;
+    }
+
+    // Classify. An irregular round breaks the streak; an idle round lets an
+    // established regular pattern persist (still topped up) for up to
+    // `idle_ttl` rounds — the hot-column case where an interleaved query
+    // evicts a column's tiles without touching the column itself, so the
+    // round right before its next scan sees it idle.
+    if (tiles.empty()) {
+      const bool regular = st.pattern == Pattern::kSequential ||
+                           st.pattern == Pattern::kStrided;
+      if (!regular || ++st.idle_rounds > options_.idle_ttl) {
+        st.pattern = Pattern::kIdle;
+        st.streak = 0;
+        st.last_depth = 0;
+        st.idle_rounds = 0;
+        continue;
+      }
+      // Keep streak, stride, last_tile and depth from the last active round.
+    } else {
+      st.idle_rounds = 0;
+      st.last_tile = tiles.back();
+      if (tiles.size() < 2) {
+        // A single access carries no direction.
+        st.pattern = Pattern::kRandom;
+        st.streak = 0;
+        st.last_depth = 0;
+        continue;
+      }
+      // Sequential tolerates gaps (predicate pushdown prunes tiles out of
+      // an otherwise linear scan): at least 3/4 of the sorted deltas must
+      // be 1. Strided is strict: every delta equals the same stride > 1.
+      const int64_t first_delta = tiles[1] - tiles[0];
+      size_t unit_deltas = 0;
+      bool constant = true;
+      for (size_t k = 1; k < tiles.size(); ++k) {
+        const int64_t d = tiles[k] - tiles[k - 1];
+        if (d == 1) ++unit_deltas;
+        constant = constant && d == first_delta;
+      }
+      const size_t deltas = tiles.size() - 1;
+      Pattern pattern;
+      int64_t stride;
+      if (unit_deltas * 4 >= deltas * 3) {
+        pattern = Pattern::kSequential;
+        stride = 1;
+      } else if (constant && first_delta > 1) {
+        pattern = Pattern::kStrided;
+        stride = first_delta;
+      } else {
+        st.pattern = Pattern::kRandom;
+        st.streak = 0;
+        st.last_depth = 0;
+        continue;
+      }
+      if (pattern == st.pattern && stride == st.stride) {
+        ++st.streak;
+      } else {
+        st.streak = 1;
+      }
+      st.pattern = pattern;
+      st.stride = stride;
+    }
+
+    // FetchNextSmart-style depth: double per streak round, capped. A
+    // persisted-idle round keeps the streak, so the depth is unchanged.
+    const int shift = std::min(st.streak - 1, kMaxStreakShift);
+    const int depth = std::min(options_.max_depth,
+                               std::max(1, options_.initial_depth) << shift);
+    st.last_depth = depth;
+
+    // All-or-nothing speculation for all-or-nothing payoff: when the
+    // consumer skips work only on a fully resident column, staging a
+    // partial top-up costs compute and evicts other columns' residency for
+    // zero benefit — so stage only what can be finished.
+    int64_t missing = 0;
+    if (options_.require_completion) {
+      for (int64_t t = 0; t < st.num_tiles && missing <= depth; ++t) {
+        if (!cache_->Contains(col_id, t)) ++missing;
+      }
+      if (missing == 0 || missing > depth) continue;
+    }
+
+    // Predict the next `depth` tiles along the stride (wrapping — a serving
+    // workload rescans the column on the next query), skipping tiles that
+    // are already resident.
+    ColumnPlan plan;
+    int64_t t = st.last_tile;
+    for (int64_t step = 0; step < st.num_tiles &&
+                           plan.targets.size() < static_cast<size_t>(depth);
+         ++step) {
+      t += st.stride;
+      if (t >= st.num_tiles) t %= st.num_tiles;
+      if (cache_->Contains(col_id, t)) continue;
+      plan.targets.push_back({st.column, col_id, t, st.tile_encoded_bytes});
+    }
+    if (plan.targets.empty()) continue;
+    plan.missing = options_.require_completion
+                       ? missing
+                       : static_cast<int64_t>(plan.targets.size());
+    plan.smem = crystal::ColumnSmemBytes(*st.column);
+    plans.push_back(std::move(plan));
+  }
+  if (plans.empty()) return 0;
+
+  // Assemble the combined launch cheapest-completion-first: a column
+  // missing 6 tiles converts into a pipeline skip for a sixth of the
+  // staging (and eviction pressure) of a column missing 36, so when the
+  // cache refuses inserts mid-round the cheap completions have already
+  // landed.
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const ColumnPlan& a, const ColumnPlan& b) {
+                     return a.missing < b.missing;
+                   });
+  std::vector<RoundTarget> round;
+  int max_smem = 0;
+  for (ColumnPlan& plan : plans) {
+    round.insert(round.end(), plan.targets.begin(), plan.targets.end());
+    max_smem = std::max(max_smem, plan.smem);
+  }
+
+  // One combined launch for the whole round — per-launch scheduling
+  // overhead dwarfs a tile decode, so per-column launches would make the
+  // speculation cost scale with the number of predicted columns instead of
+  // the number of staged tiles. One block per predicted tile, on a
+  // dedicated stream so the speculative work never serializes onto a
+  // query's stream (it still shares the compute engine — speculation is
+  // modeled work, not free).
+  const uint64_t count = round.size();
+  auto targets = std::make_shared<const std::vector<RoundTarget>>(
+      std::move(round));
+  TileCache* cache = cache_;
+  fault::FaultPlan* plan = fault_plan_;
+  sim::LaunchConfig cfg;
+  cfg.grid_dim = static_cast<int64_t>(count);
+  cfg.block_threads = 128;
+  cfg.smem_bytes_per_block = max_smem;
+  const sim::StreamId stream = streams_[next_stream_++ % streams_.size()];
+  sim::StreamGuard guard(dev_, stream);
+  const sim::KernelResult result =
+      dev_.Launch("prefetch.decode", cfg, [=](sim::BlockContext& ctx) {
+        const RoundTarget& target =
+            (*targets)[static_cast<size_t>(ctx.block_id())];
+        ctx.PrefetchIssued();
+        uint32_t buf[crystal::kTileSize];
+        const uint64_t cost_mark = sim::BlockCostProxy(ctx.stats());
+        const uint32_t n =
+            crystal::LoadColumnTile(ctx, *target.column, target.tile, buf);
+        const uint64_t decode_cost = std::max<uint64_t>(
+            1, sim::BlockCostProxy(ctx.stats()) - cost_mark);
+        // Same fault key as the demand path's first decode attempt, so a
+        // tile that would fault on demand faults here too. No retry: the
+        // speculative copy is dropped silently and the demand path later
+        // runs its own recoverable decode.
+        if (plan != nullptr &&
+            plan->ShouldFault(
+                fault::FaultSite::kTileDecode,
+                fault::FaultPlan::TileKey(target.col_id, target.tile, 0))) {
+          ctx.PrefetchWasted();
+          cache->CountPrefetchWasted(1);
+          return;
+        }
+        TileCost cost;
+        cost.decode_cost = decode_cost;
+        cost.encoded_bytes = target.tile_bytes;
+        switch (cache->InsertSpeculative(target.col_id, target.tile, buf, n,
+                                         cost)) {
+          case SpeculativeInsert::kInserted:
+            // Spill the staged tile into the cache's device buffer.
+            ctx.CoalescedWrite(n * sizeof(uint32_t), true);
+            break;
+          case SpeculativeInsert::kAlreadyResident:
+            ctx.PrefetchLate();
+            break;
+          case SpeculativeInsert::kRefused:
+            ctx.PrefetchWasted();
+            break;
+        }
+      });
+  cache_->CountPrefetchIssued(count);
+  if (result.failed) {
+    // An injected launch fault exhausted the attempt budget: the bodies
+    // never ran, so none of the speculation can pay off.
+    cache_->CountPrefetchWasted(count);
+  }
+  return count;
+}
+
+Prefetcher::Pattern Prefetcher::pattern(codec::ColumnId column_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = columns_.find(column_id.value());
+  return it == columns_.end() ? Pattern::kIdle : it->second.pattern;
+}
+
+int Prefetcher::depth(codec::ColumnId column_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = columns_.find(column_id.value());
+  return it == columns_.end() ? 0 : it->second.last_depth;
+}
+
+int64_t Prefetcher::stride(codec::ColumnId column_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = columns_.find(column_id.value());
+  return it == columns_.end() ? 0 : it->second.stride;
+}
+
+}  // namespace tilecomp::serve

@@ -1,0 +1,159 @@
+// Speculative tile prefetcher for the query-serving layer.
+//
+// The serve path decodes a tile only when a query touches it, so a batch's
+// tail latency is paid on cold tiles. The Prefetcher watches the per-column
+// tile-access sequence the demand path reports (RecordAccess), classifies
+// each column's most recent round of accesses as sequential / strided /
+// random, and — for the regular patterns — issues speculative tile decodes
+// on its own dedicated async streams ahead of the next query's kernels,
+// staging the results in the TileCache as low-priority speculative entries.
+//
+// Depth control follows rapidgzip's FetchNextSmart: the prefetch distance
+// starts small and doubles for every consecutive round that repeats the
+// same regular pattern (a streak), capped at `max_depth`; a random round
+// resets the streak. A column that keeps scanning sequentially therefore
+// earns a deep prefetch window, while a column probed randomly gets nothing
+// speculated at all.
+//
+// An *idle* round does not reset an established regular pattern — for up to
+// `idle_ttl` rounds the column keeps its streak and keeps getting topped up.
+// This is the serving-mix case that matters most: a hot column's tiles are
+// evicted by an interleaved query that never touches it, so the round right
+// before the hot column's next scan sees it idle. Without persistence the
+// prefetcher would only ever speculate on whatever the *previous* query
+// touched — exactly the columns that need no help.
+//
+// `require_completion` adapts the speculation to decompress-then-query
+// systems, where a column skips its decompress pipeline only when *every*
+// reachable tile is resident: a partial top-up buys nothing there and the
+// staging evicts other columns' residency, so the prefetcher stages a
+// column only when its entire missing-tile set fits the current depth
+// (all-or-nothing speculation to match the all-or-nothing payoff).
+//
+// Fault discipline: the speculative decode consults the fault plan's
+// kTileDecode site with the same (column, tile, attempt=0) key the demand
+// path uses. A faulted speculative decode is dropped silently — never
+// retried, never cached — and counted as wasted prefetch work; the demand
+// path later performs its own (recoverable) decode. The cache's insert-site
+// faults apply to speculative inserts too (see TileCache::InsertSpeculative).
+//
+// Causality note: the simulator executes kernel bodies synchronously at
+// issue time, so a speculative decode issued before a query's kernels is
+// guaranteed (in modeled time as well — the compute engine serializes in
+// issue order) to have completed before those kernels run. Prefetch hits
+// observed by the demand path are therefore causally sound, never an
+// artifact of host-side execution order.
+#ifndef TILECOMP_SERVE_PREFETCHER_H_
+#define TILECOMP_SERVE_PREFETCHER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "codec/column.h"
+#include "codec/column_id.h"
+#include "common/macros.h"
+#include "fault/fault.h"
+#include "serve/tile_cache.h"
+#include "sim/device.h"
+
+namespace tilecomp::serve {
+
+struct PrefetchOptions {
+  // Master switch; everything below is inert when false.
+  bool enabled = false;
+  // Prefetch distance for the first round of a streak (streak = 1).
+  int initial_depth = 4;
+  // Cap on the streak-doubled distance.
+  int max_depth = 64;
+  // Dedicated async streams the speculative decode launches rotate over.
+  int num_streams = 2;
+  // How many consecutive idle rounds an established regular pattern
+  // survives (still being topped up) before it expires. Bounds the waste of
+  // re-staging a column that is never queried again.
+  int idle_ttl = 4;
+  // Stage a column only when its whole missing-tile set fits the current
+  // depth. Set by the server for decompress-then-query systems, whose
+  // all-or-nothing pipeline skip makes partial top-ups worthless.
+  bool require_completion = false;
+};
+
+class Prefetcher {
+ public:
+  // What a column's latest access round looked like.
+  //   kIdle       — no accesses recorded since the last round.
+  //   kSequential — at least 3/4 of the sorted accessed tiles' deltas are 1
+  //                 (gap-tolerant: predicate pushdown prunes tiles out of an
+  //                 otherwise linear scan).
+  //   kStrided    — every delta equals the same stride > 1.
+  //   kRandom     — anything else (including a single access: one point
+  //                 carries no direction, so nothing is speculated).
+  enum class Pattern { kIdle, kSequential, kStrided, kRandom };
+
+  static const char* PatternName(Pattern pattern);
+
+  // `cache` must outlive the prefetcher; `fault_plan` may be nullptr and is
+  // not owned. Creates `options.num_streams` dedicated streams on `dev`.
+  Prefetcher(sim::Device& dev, TileCache* cache, PrefetchOptions options,
+             fault::FaultPlan* fault_plan = nullptr);
+
+  TILECOMP_DISALLOW_COPY_AND_ASSIGN(Prefetcher);
+
+  // Register a column as a prefetch target. Only schemes the tile-granular
+  // decoder supports are accepted (others are ignored — their accesses are
+  // simply never speculated on); `column` must outlive the prefetcher.
+  void RegisterColumn(codec::ColumnId column_id,
+                      const codec::CompressedColumn* column);
+
+  // Report one demand tile access. Thread-safe (called from kernel-body
+  // host threads); accesses within a round are aggregated as a bitmap, so
+  // the classification is independent of the order concurrent blocks
+  // happen to record them in. Unregistered columns are ignored.
+  void RecordAccess(codec::ColumnId column_id, int64_t tile_id);
+
+  // Close the current access round: classify every column's recorded
+  // accesses, update streaks and depths, and launch one speculative decode
+  // per regular-pattern column covering its next predicted (non-resident)
+  // tiles. A column idle this round keeps its established pattern for up to
+  // `idle_ttl` rounds and is still topped up. Called by the server between
+  // queries, never concurrently with query kernels. Returns the number of
+  // tiles speculatively decoded.
+  uint64_t IssueRound();
+
+  // Latest classification state, for tests and telemetry.
+  Pattern pattern(codec::ColumnId column_id) const;
+  int depth(codec::ColumnId column_id) const;  // last round's depth (0 = none)
+  int64_t stride(codec::ColumnId column_id) const;
+
+ private:
+  struct ColumnState {
+    const codec::CompressedColumn* column = nullptr;
+    int64_t num_tiles = 0;
+    uint64_t tile_encoded_bytes = 0;
+    // Current round's accessed-tile bitmap (order-independent aggregate).
+    std::vector<bool> accessed;
+    bool any_access = false;
+    Pattern pattern = Pattern::kIdle;
+    int64_t stride = 1;
+    int streak = 0;        // consecutive rounds with the same regular pattern
+    int64_t last_tile = -1;  // highest tile of the last non-empty round
+    int last_depth = 0;
+    int idle_rounds = 0;  // consecutive idle rounds since the last access
+  };
+
+  sim::Device& dev_;
+  TileCache* cache_;
+  const PrefetchOptions options_;
+  fault::FaultPlan* fault_plan_;
+  std::vector<sim::StreamId> streams_;
+  size_t next_stream_ = 0;
+
+  mutable std::mutex mu_;
+  // Ordered by column id so IssueRound's launch order is deterministic.
+  std::map<uint32_t, ColumnState> columns_;
+};
+
+}  // namespace tilecomp::serve
+
+#endif  // TILECOMP_SERVE_PREFETCHER_H_

@@ -29,6 +29,16 @@ uint64_t TileEncodedBytes(const codec::CompressedColumn& column) {
   return column.compressed_bytes() / static_cast<uint64_t>(tiles);
 }
 
+double NearestRankPercentile(std::vector<double> samples, int q_pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  // ceil(q_pct * n / 100) in integers, clamped to [1, n].
+  size_t rank = (static_cast<size_t>(q_pct) * n + 99) / 100;
+  rank = std::min(std::max<size_t>(rank, 1), n);
+  return samples[rank - 1];
+}
+
 uint32_t CachedTileLoader::LoadTile(sim::BlockContext& ctx,
                                     const codec::CompressedColumn& column,
                                     codec::ColumnId column_id, int64_t tile_id,
@@ -37,7 +47,12 @@ uint32_t CachedTileLoader::LoadTile(sim::BlockContext& ctx,
   // are already raw, so a hit on them saves nothing (same bytes either way).
   const uint64_t saved =
       column.scheme() == codec::Scheme::kNone ? 0 : TileEncodedBytes(column);
-  TileCache::PinnedTile pin = cache_->Lookup(column_id, tile_id, saved);
+  if (prefetcher_ != nullptr) prefetcher_->RecordAccess(column_id, tile_id);
+  // saved_encoded_bytes = 0 at Lookup time: a hit may still be discarded by
+  // the poison draw below, and a discarded hit saves nothing (the tile is
+  // re-decoded). The credit lands via CreditSaved once the hit is served.
+  TileCache::LookupInfo info;
+  TileCache::PinnedTile pin = cache_->Lookup(column_id, tile_id, 0, &info);
   if (pin.valid()) {
     // Poisoned-tile injection: the cached copy is deemed corrupt. Drop the
     // pin, invalidate the entry so no other query can read the poison, and
@@ -53,10 +68,17 @@ uint32_t CachedTileLoader::LoadTile(sim::BlockContext& ctx,
       // than the encoded form, but no decode compute, shared staging or
       // barriers.
       ctx.CoalescedRead(n * sizeof(uint32_t), true);
-      ctx.CacheHit(saved);
+      cache_->CreditSaved(saved);
+      if (info.prefetch_hit) {
+        ctx.CachePrefetchHit(saved);
+      } else {
+        ctx.CacheHit(saved);
+      }
+      if (info.promoted) ctx.PrefetchUseful();
       return n;
     }
   }
+  const uint64_t cost_mark = sim::BlockCostProxy(ctx.stats());
   uint32_t n = crystal::LoadColumnTile(ctx, column, tile_id, out_tile);
   ctx.CacheMiss();
   if (fault_plan_ != nullptr) {
@@ -81,8 +103,14 @@ uint32_t CachedTileLoader::LoadTile(sim::BlockContext& ctx,
     }
   }
   uint64_t evicted = 0;
+  // The measured decode cost (and the tile's encoded share) rank this entry
+  // in the kCostAware eviction order: cheap-to-rebuild tiles go first.
+  TileCost cost;
+  cost.decode_cost =
+      std::max<uint64_t>(1, sim::BlockCostProxy(ctx.stats()) - cost_mark);
+  cost.encoded_bytes = saved;
   TileCache::PinnedTile inserted =
-      cache_->Insert(column_id, tile_id, out_tile, n, &evicted);
+      cache_->Insert(column_id, tile_id, out_tile, n, &evicted, cost);
   ctx.CacheEvictions(evicted);
   if (inserted.valid()) {
     // Spill the decoded tile into the cache's device buffer.
@@ -124,6 +152,28 @@ Server::Server(sim::Device& dev, const ssb::SsbData& data,
       loader_(&cache_, options.fault_plan) {
   const int n = std::max(1, options_.num_streams);
   for (int i = 0; i < n; ++i) streams_.push_back(dev_.CreateStream());
+  if (options_.prefetch.enabled && options_.use_cache) {
+    // Decompress-then-query systems skip a column's pipeline only when
+    // every reachable tile is resident, so a partial top-up is pure cost
+    // there: restrict speculation to columns it can complete. Inline
+    // tile-granular systems cash in per resident tile and keep the
+    // caller's setting.
+    PrefetchOptions popts = options_.prefetch;
+    popts.require_completion =
+        popts.require_completion ||
+        lineorder_.system == codec::System::kGpuBp ||
+        lineorder_.system == codec::System::kNvcomp ||
+        lineorder_.system == codec::System::kPlanner;
+    prefetcher_ = std::make_unique<Prefetcher>(dev_, &cache_, popts,
+                                               options_.fault_plan);
+    // Every fact column is a candidate; the prefetcher ignores schemes its
+    // tile-granular decoder cannot handle.
+    for (int c = 0; c < ssb::kNumLoCols; ++c) {
+      prefetcher_->RegisterColumn(codec::ColumnId(static_cast<uint32_t>(c)),
+                                  &lineorder_.cols[c].column);
+    }
+    loader_.set_prefetcher(prefetcher_.get());
+  }
   if (options_.fault_plan != nullptr) {
     // Wire every injection point: the device (transfers + launches), the
     // cache (alloc/insert) and the loader (decode/poison, set above).
@@ -240,6 +290,16 @@ ssb::EncodedLineorder Server::MaterializeColumns(
       // Late materialization on the insert side too: only tiles the query
       // can reach are cached (and counted as misses) — pruned tiles never
       // displace hot data.
+      //
+      // Rebuild-cost hint for kCostAware: each tile carries its even share
+      // of the whole pipeline's measured cost and of the column's encoded
+      // footprint — rebuilding any one tile of a decompress-then-query
+      // column means re-running the column's pipeline.
+      TileCost cost;
+      cost.decode_cost = std::max<uint64_t>(
+          1, sim::BlockCostProxy(run.stats) / static_cast<uint64_t>(tiles));
+      cost.encoded_bytes =
+          sc.compressed_bytes() / static_cast<uint64_t>(tiles);
       uint64_t misses = 0;
       for (int64_t t = 0; t < tiles; ++t) {
         if (!tile_survives(t)) continue;
@@ -249,7 +309,8 @@ ssb::EncodedLineorder Server::MaterializeColumns(
             count - static_cast<uint32_t>(t) * crystal::kTileSize);
         TileCache::PinnedTile pin = cache_.Insert(
             col_id, t,
-            values.data() + static_cast<size_t>(t) * crystal::kTileSize, n);
+            values.data() + static_cast<size_t>(t) * crystal::kTileSize, n,
+            nullptr, cost);
         if (pin.valid()) pins->push_back(std::move(pin));
       }
       cache_.CountMisses(misses);
@@ -300,6 +361,11 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
     sq.admit_ms = dev_.stream_tail_ms(stream);
     // This query's slice of the launch log, for the launch-failure scan.
     const size_t q_log_start = dev_.launch_log().size();
+    // Close the previous access round and speculate ahead of this query.
+    // The prefetch launches go to the prefetcher's own streams (inside the
+    // slice, so this query's report carries their counters) but their
+    // fate never affects the query's status — see the label check below.
+    if (prefetcher_ != nullptr) prefetcher_->IssueRound();
     if (decompress_system && options_.use_cache) {
       std::vector<TileCache::PinnedTile> pins;
       ssb::EncodedLineorder materialized = MaterializeColumns(
@@ -319,10 +385,14 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
           runner_.Run(dev_, lineorder_, batch[i], accessor, options_.pushdown);
     }
     // Any launch of this query that exhausted its attempt budget never ran
-    // its body — the query's aggregates are unusable.
+    // its body — the query's aggregates are unusable. Speculative prefetch
+    // launches are exempt: a failed speculation costs only the speculation
+    // (counted wasted by the prefetcher), never the query's correctness.
     const std::vector<sim::KernelResult>& qlog = dev_.launch_log();
     for (size_t j = q_log_start; j < qlog.size(); ++j) {
-      if (qlog[j].failed && sq.status == QueryStatus::kOk) {
+      sq.prefetch += qlog[j].stats.prefetch;
+      const bool is_prefetch = qlog[j].label.rfind("prefetch.", 0) == 0;
+      if (qlog[j].failed && !is_prefetch && sq.status == QueryStatus::kOk) {
         sq.status = QueryStatus::kLaunchFailed;
       }
     }
@@ -346,17 +416,15 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
   for (const ServedQuery& sq : report.queries) {
     latencies.push_back(sq.latency_ms);
   }
-  std::sort(latencies.begin(), latencies.end());
-  if (!latencies.empty()) {
-    const size_t n = latencies.size();
-    report.p50_latency_ms = latencies[(n - 1) / 2];
-    report.p95_latency_ms = latencies[(n - 1) * 95 / 100];
-  }
+  report.p50_latency_ms = NearestRankPercentile(latencies, 50);
+  report.p95_latency_ms = NearestRankPercentile(latencies, 95);
+  report.p99_latency_ms = NearestRankPercentile(latencies, 99);
 
   const std::vector<sim::KernelResult>& log = dev_.launch_log();
   for (size_t i = log_start; i < log.size(); ++i) {
     report.global_bytes_read += log[i].stats.global_bytes_read;
     report.pushdown += log[i].stats.pushdown;
+    report.prefetch += log[i].stats.prefetch;
   }
   report.cache = cache_.stats();
   if (options_.fault_plan != nullptr) {

@@ -33,10 +33,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "crystal/load_column.h"
 #include "fault/fault.h"
+#include "serve/prefetcher.h"
 #include "serve/tile_cache.h"
 #include "sim/device.h"
 #include "sim/stats.h"
@@ -94,6 +96,11 @@ class CachedTileLoader : public crystal::ColumnAccessor {
 
   void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
 
+  // Optional prefetcher to feed with the demand tile-access sequence (not
+  // owned; nullptr to detach). Every LoadTile reports its (column, tile) so
+  // the prefetcher can classify the access pattern.
+  void set_prefetcher(Prefetcher* prefetcher) { prefetcher_ = prefetcher; }
+
   // True if any tile decode failed terminally since the last call; clears
   // the flag. The server calls this once per query.
   bool TakeDecodeFailure() {
@@ -103,12 +110,20 @@ class CachedTileLoader : public crystal::ColumnAccessor {
  private:
   TileCache* cache_;
   fault::FaultPlan* fault_plan_ = nullptr;
+  Prefetcher* prefetcher_ = nullptr;
   std::atomic<bool> decode_failed_{false};
 };
 
 // Estimated encoded footprint of one tile of `column` — what a cache hit
 // saves reading (the whole-column footprint spread evenly over its tiles).
 uint64_t TileEncodedBytes(const codec::CompressedColumn& column);
+
+// Nearest-rank percentile of `samples` (need not be sorted): the smallest
+// sample such that at least q_pct percent of all samples are <= it, i.e.
+// sorted index ceil(q_pct/100 * n) - 1. Returns 0 for an empty set.
+// Computed with integer arithmetic so the rank is exact — a floored rank
+// (the old (n-1)*95/100) reads the ~85th percentile for n = 10.
+double NearestRankPercentile(std::vector<double> samples, int q_pct);
 
 struct ServeOptions {
   int num_streams = 4;
@@ -135,6 +150,11 @@ struct ServeOptions {
   // pre-fault benchmarks; bench_faults turns it on to exercise the transfer
   // fault site.
   bool model_transfers = false;
+  // Speculative tile prefetching (prefetcher.h). Off by default; when
+  // enabled the server runs one prefetch round between query admissions and
+  // the loader feeds the prefetcher its demand access sequence. Requires
+  // use_cache — prefetching stages tiles in the cache.
+  PrefetchOptions prefetch;
 };
 
 struct ServedQuery {
@@ -147,13 +167,19 @@ struct ServedQuery {
   // exhausted its recovery budget and `result` must be ignored.
   QueryStatus status = QueryStatus::kOk;
   ssb::QueryResult result;
+  // Speculative-prefetch counters summed over this query's launch-log slice
+  // (the prefetch round issued ahead of it plus its own kernels).
+  sim::PrefetchCounters prefetch;
 };
 
 struct ServeReport {
   std::vector<ServedQuery> queries;
   double makespan_ms = 0.0;
+  // Nearest-rank percentiles over per-query latency: index ceil(q*n) - 1 of
+  // the sorted latencies (so p95 of 10 queries reads the 10th, not the 9th).
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
   // Cache counters over the whole batch (all-zero with use_cache = false).
   TileCache::Stats cache;
   // Column decompress launches skipped because every tile was resident
@@ -164,6 +190,9 @@ struct ServeReport {
   // Pushdown counters summed over the batch's kernels (all-zero with
   // pushdown disabled).
   sim::PushdownCounters pushdown;
+  // Speculative-prefetch counters summed over the batch's kernels
+  // (all-zero with prefetch disabled).
+  sim::PrefetchCounters prefetch;
   // Queries whose status is not kOk (always 0 without a fault plan).
   uint64_t failed_queries = 0;
   // Snapshot of the fault plan's counters after the batch (all-zero
@@ -183,6 +212,8 @@ class Server {
 
   const TileCache& cache() const { return cache_; }
   const ssb::QueryRunner& runner() const { return runner_; }
+  // nullptr unless options.prefetch.enabled (and the cache is in use).
+  const Prefetcher* prefetcher() const { return prefetcher_.get(); }
 
  private:
   // Decompress-then-query path: return `lineorder_`'s query columns as a
@@ -201,6 +232,7 @@ class Server {
   ssb::QueryRunner runner_;
   TileCache cache_;
   CachedTileLoader loader_;
+  std::unique_ptr<Prefetcher> prefetcher_;
   std::vector<sim::StreamId> streams_;
 };
 

@@ -1,11 +1,23 @@
 #include "serve/tile_cache.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "common/macros.h"
 
 namespace tilecomp::serve {
+
+namespace {
+
+// kCostAware tuning. The victim window bounds the ranking scan to the
+// coldest unpinned entries (recency pre-filters; cost ranks within). The
+// ghost step is the ARC adaptation increment per ghost hit: 16 consecutive
+// one-sided ghost hits swing the weight across its full range.
+constexpr size_t kVictimWindow = 8;
+constexpr double kGhostStep = 1.0 / 16.0;
+
+}  // namespace
 
 // Tile ids index 512-value tiles of a uint32-count column, so they fit in
 // 32 bits with room to spare; pack (column, tile) into one map key. An
@@ -23,8 +35,13 @@ struct TileCacheEntry {
   uint64_t key = 0;
   std::vector<uint32_t> values;
   uint32_t pins = 0;
-  bool referenced = false;  // clock second-chance bit
-  bool zombie = false;      // invalidated while pinned; freed at last unpin
+  bool referenced = false;   // clock second-chance bit
+  bool zombie = false;       // invalidated while pinned; freed at last unpin
+  bool speculative = false;  // staged by the prefetcher, no demand hit yet
+  bool prefetched = false;   // sticky origin flag for hit attribution
+  uint64_t hit_count = 0;    // demand hits (kCostAware frequency signal)
+  uint64_t decode_cost = 1;
+  uint64_t encoded_bytes = 0;
   std::list<TileCacheEntry*>::iterator pos;
 
   uint64_t bytes() const { return values.size() * sizeof(uint32_t); }
@@ -36,6 +53,8 @@ const char* EvictionPolicyName(EvictionPolicy policy) {
       return "lru";
     case EvictionPolicy::kClock:
       return "clock";
+    case EvictionPolicy::kCostAware:
+      return "cost";
   }
   return "?";
 }
@@ -76,7 +95,11 @@ void TileCache::PinnedTile::Release() {
 // --- TileCache ---
 
 TileCache::TileCache(uint64_t budget_bytes, EvictionPolicy policy)
-    : budget_bytes_(budget_bytes), policy_(policy), hand_(order_.end()) {}
+    : budget_bytes_(budget_bytes),
+      policy_(policy),
+      hand_(order_.end()),
+      ghost_capacity_(std::max<uint64_t>(
+          64, budget_bytes / (512 * sizeof(uint32_t)))) {}
 
 TileCache::~TileCache() {
   // Every pin must be released before the cache dies. A non-empty zombie
@@ -95,23 +118,95 @@ TileCache::Entry* TileCache::FindLocked(codec::ColumnId column_id, int64_t tile_
 }
 
 void TileCache::TouchLocked(Entry* entry) {
-  if (policy_ == EvictionPolicy::kLru) {
-    // Move to the hot (back) end.
-    order_.splice(order_.end(), order_, entry->pos);
-  } else {
+  if (policy_ == EvictionPolicy::kClock) {
     entry->referenced = true;
+  } else {
+    // LRU and cost-aware both keep the list in recency order: move to the
+    // hot (back) end.
+    order_.splice(order_.end(), order_, entry->pos);
   }
+}
+
+void TileCache::AdvanceHandOffLocked(Entry* entry) {
+  // The hand must never be left on an element about to be unlinked. Erasing
+  // the last element nudges the hand to order_.end(), which the sweep loop
+  // in MakeRoomLocked wraps back to begin() — both states are valid.
+  if (policy_ != EvictionPolicy::kClock) return;
+  if (hand_ != order_.end() && hand_ == entry->pos) ++hand_;
 }
 
 void TileCache::RemoveLocked(Entry* entry, bool count_eviction) {
   TILECOMP_DCHECK(entry->pins == 0);
-  if (policy_ == EvictionPolicy::kClock && hand_ == entry->pos) {
-    ++hand_;
-  }
+  AdvanceHandOffLocked(entry);
   order_.erase(entry->pos);
   stats_.bytes_in_use -= entry->bytes();
   if (count_eviction) ++stats_.evictions;
+  // A speculative entry leaving residency before any demand hit means the
+  // prefetch that staged it never paid off.
+  if (entry->speculative) ++stats_.prefetch_wasted;
   entries_.erase(entry->key);  // frees the entry
+}
+
+TileCache::Entry* TileCache::PickCostAwareVictimLocked() {
+  Entry* best = nullptr;
+  double best_score = 0.0;
+  size_t considered = 0;
+  for (auto it = order_.begin();
+       it != order_.end() && considered < kVictimWindow; ++it) {
+    Entry* e = *it;
+    if (e->pins > 0) continue;
+    // Tier 0: speculation that never saw a demand hit goes first, coldest
+    // first — unused prefetch must never displace proven entries.
+    if (e->speculative) return e;
+    ++considered;
+    // Rebuild cost per resident byte: what evicting this entry will cost
+    // the next query that wants it, normalized by the room it frees.
+    const double rebuild = static_cast<double>(e->decode_cost) *
+                           static_cast<double>(e->encoded_bytes) /
+                           static_cast<double>(e->bytes());
+    // Hotness mixes the window recency rank (cold -> small) with the
+    // saturating demand-hit count, weighted by the ghost-adapted p.
+    const double recency =
+        static_cast<double>(considered) / static_cast<double>(kVictimWindow);
+    const double frequency =
+        static_cast<double>(std::min<uint64_t>(e->hit_count, 15) + 1) / 16.0;
+    const double score =
+        rebuild * ((1.0 - frequency_weight_) * recency +
+                   frequency_weight_ * frequency);
+    if (best == nullptr || score < best_score) {
+      best = e;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void TileCache::GhostInsertLocked(GhostList* list, uint64_t key) {
+  if (!list->keys.insert(key).second) return;
+  list->fifo.push_back(key);
+  while (list->keys.size() > ghost_capacity_ && !list->fifo.empty()) {
+    list->keys.erase(list->fifo.front());
+    list->fifo.pop_front();
+  }
+}
+
+void TileCache::GhostRecordLocked(Entry* entry) {
+  if (policy_ != EvictionPolicy::kCostAware) return;
+  // Never-hit victims go to the recency ghost (B1): a miss on one of them
+  // says we evicted fresh data too eagerly. Reused victims go to the
+  // frequency ghost (B2): a miss there says hit counts deserved more
+  // protection.
+  GhostInsertLocked(entry->hit_count == 0 ? &ghost_recency_ : &ghost_frequency_,
+                    entry->key);
+}
+
+void TileCache::GhostMissLocked(uint64_t key) {
+  if (policy_ != EvictionPolicy::kCostAware) return;
+  if (ghost_recency_.keys.erase(key) > 0) {
+    frequency_weight_ = std::max(0.0, frequency_weight_ - kGhostStep);
+  } else if (ghost_frequency_.keys.erase(key) > 0) {
+    frequency_weight_ = std::min(1.0, frequency_weight_ + kGhostStep);
+  }
 }
 
 bool TileCache::MakeRoomLocked(uint64_t needed, uint64_t* evictions) {
@@ -129,7 +224,7 @@ bool TileCache::MakeRoomLocked(uint64_t needed, uint64_t* evictions) {
       ++it;
       if (victim->pins == 0) EvictLocked(victim);
     }
-  } else {
+  } else if (policy_ == EvictionPolicy::kClock) {
     // Clock: each pass over the ring clears reference bits; an entry whose
     // bit is already clear (and that is unpinned) is evicted. Bounded by
     // two full sweeps — after one sweep every surviving candidate bit is
@@ -145,9 +240,20 @@ bool TileCache::MakeRoomLocked(uint64_t needed, uint64_t* evictions) {
         candidate->referenced = false;
         ++hand_;
       } else {
-        ++hand_;  // EvictLocked would double-advance if we left it on us
+        // EvictLocked's AdvanceHandOffLocked moves the hand off the victim.
         EvictLocked(candidate);
       }
+    }
+  } else {
+    // Cost-aware: rank a window of the coldest unpinned entries and evict
+    // the cheapest-to-rebuild (speculative never-hit first), recording
+    // capacity victims in the ghost lists for the recency/frequency
+    // adaptation.
+    while (stats_.bytes_in_use + needed > budget_bytes_) {
+      Entry* victim = PickCostAwareVictimLocked();
+      if (victim == nullptr) break;  // everything resident is pinned
+      GhostRecordLocked(victim);
+      EvictLocked(victim);
     }
   }
   if (evictions != nullptr) *evictions = stats_.evictions - before;
@@ -170,14 +276,29 @@ void TileCache::UnpinLocked(Entry* entry) {
 }
 
 TileCache::PinnedTile TileCache::Lookup(codec::ColumnId column_id, int64_t tile_id,
-                                        uint64_t saved_encoded_bytes) {
+                                        uint64_t saved_encoded_bytes,
+                                        LookupInfo* info) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry* entry = FindLocked(column_id, tile_id);
   if (entry == nullptr) {
     ++stats_.misses;
+    GhostMissLocked(MakeKey(column_id, tile_id));
     return PinnedTile();
   }
-  ++stats_.hits;
+  if (entry->prefetched) {
+    ++stats_.prefetch_hits;
+    if (info != nullptr) info->prefetch_hit = true;
+  } else {
+    ++stats_.hits;
+  }
+  if (entry->speculative) {
+    // First demand hit on a staged tile: the speculation paid off. Promote
+    // it to a regular resident so it is no longer first in line to evict.
+    entry->speculative = false;
+    ++stats_.prefetch_useful;
+    if (info != nullptr) info->promoted = true;
+  }
+  ++entry->hit_count;
   stats_.saved_bytes += saved_encoded_bytes;
   TouchLocked(entry);
   ++entry->pins;
@@ -204,11 +325,17 @@ void TileCache::CreditSaved(uint64_t bytes) {
 
 TileCache::PinnedTile TileCache::Insert(codec::ColumnId column_id, int64_t tile_id,
                                         const uint32_t* values, uint32_t count,
-                                        uint64_t* evictions) {
+                                        uint64_t* evictions, TileCost cost) {
   std::lock_guard<std::mutex> lock(mu_);
   if (evictions != nullptr) *evictions = 0;
   if (Entry* existing = FindLocked(column_id, tile_id)) {
-    // Another block inserted this tile first; pin the resident copy.
+    // Another block inserted this tile first; pin the resident copy. If a
+    // prefetch staged it but demand re-decoded anyway (possible when the
+    // demand miss pre-dated the speculative insert), the speculation did
+    // not pay off — demote the entry to a plain demand resident without
+    // counting it useful.
+    existing->speculative = false;
+    existing->prefetched = false;
     ++existing->pins;
     return PinnedTile(this, existing);
   }
@@ -235,6 +362,8 @@ TileCache::PinnedTile TileCache::Insert(codec::ColumnId column_id, int64_t tile_
   entry->values.assign(values, values + count);
   entry->pins = 1;
   entry->referenced = true;
+  entry->decode_cost = cost.decode_cost;
+  entry->encoded_bytes = cost.encoded_bytes;
   Entry* raw = entry.get();
   order_.push_back(raw);
   raw->pos = std::prev(order_.end());
@@ -244,9 +373,73 @@ TileCache::PinnedTile TileCache::Insert(codec::ColumnId column_id, int64_t tile_
   return PinnedTile(this, raw);
 }
 
+SpeculativeInsert TileCache::InsertSpeculative(codec::ColumnId column_id,
+                                               int64_t tile_id,
+                                               const uint32_t* values,
+                                               uint32_t count, TileCost cost) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (FindLocked(column_id, tile_id) != nullptr) {
+    // The demand path (or an earlier prefetch round) got here first.
+    ++stats_.prefetch_late;
+    return SpeculativeInsert::kAlreadyResident;
+  }
+  // Same injection sites as the demand path, keyed identically; a faulted
+  // speculative insert is dropped silently — nothing poisoned, nothing
+  // cached — and the decode that fed it is wasted work.
+  if (fault_plan_ != nullptr) {
+    const uint64_t key = MakeKey(column_id, tile_id);
+    if (fault_plan_->ShouldFault(fault::FaultSite::kDeviceAlloc, key) ||
+        fault_plan_->ShouldFault(fault::FaultSite::kCacheInsert, key)) {
+      ++stats_.insert_failures;
+      ++stats_.prefetch_wasted;
+      return SpeculativeInsert::kRefused;
+    }
+  }
+  const uint64_t bytes = static_cast<uint64_t>(count) * sizeof(uint32_t);
+  if (!MakeRoomLocked(bytes, nullptr)) {
+    ++stats_.insert_failures;
+    ++stats_.prefetch_wasted;
+    return SpeculativeInsert::kRefused;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->key = MakeKey(column_id, tile_id);
+  entry->values.assign(values, values + count);
+  entry->pins = 0;
+  entry->referenced = false;  // clock: no second chance until a demand hit
+  entry->speculative = true;
+  entry->prefetched = true;
+  entry->decode_cost = cost.decode_cost;
+  entry->encoded_bytes = cost.encoded_bytes;
+  Entry* raw = entry.get();
+  // Stage at the warm end: a predicted tile exists to be read by the NEXT
+  // query, so it gets one replacement cycle of residency to prove itself —
+  // staging cold would let each speculative insert's room-making evict the
+  // previously staged tile the moment the cache is full (speculation
+  // churning on itself, never surviving to a hit). Low priority is enforced
+  // elsewhere: the cleared clock reference bit (no second chance until a
+  // demand hit), the kCostAware victim scan taking never-hit speculative
+  // entries first, and the wasted accounting when an unused entry ages out.
+  order_.push_back(raw);
+  raw->pos = std::prev(order_.end());
+  entries_[raw->key] = std::move(entry);
+  stats_.bytes_in_use += bytes;
+  ++stats_.inserts;
+  return SpeculativeInsert::kInserted;
+}
+
 void TileCache::CountMisses(uint64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.misses += n;
+}
+
+void TileCache::CountPrefetchIssued(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.prefetch_issued += n;
+}
+
+void TileCache::CountPrefetchWasted(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.prefetch_wasted += n;
 }
 
 bool TileCache::Invalidate(codec::ColumnId column_id, int64_t tile_id) {
@@ -261,8 +454,13 @@ bool TileCache::Invalidate(codec::ColumnId column_id, int64_t tile_id) {
   // Pinned: unlink from the index and replacement order so no future probe
   // sees the poisoned data (and the key is free for a fresh insert), but
   // keep the storage alive for the handles already holding it.
-  if (policy_ == EvictionPolicy::kClock && hand_ == entry->pos) ++hand_;
+  AdvanceHandOffLocked(entry);
   order_.erase(entry->pos);
+  // A zombie can never be hit, so a still-speculative one is wasted now.
+  if (entry->speculative) {
+    entry->speculative = false;
+    ++stats_.prefetch_wasted;
+  }
   entry->zombie = true;
   auto it = entries_.find(entry->key);
   TILECOMP_DCHECK(it != entries_.end());
@@ -285,7 +483,19 @@ TileCache::Stats TileCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats snapshot = stats_;
   snapshot.entries = entries_.size();
+  uint64_t speculative = 0;
+  for (const Entry* entry : order_) {
+    if (entry->speculative) ++speculative;
+  }
+  snapshot.speculative_entries = speculative;
+  snapshot.ghost_recency_entries = ghost_recency_.keys.size();
+  snapshot.ghost_frequency_entries = ghost_frequency_.keys.size();
   return snapshot;
+}
+
+double TileCache::frequency_weight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frequency_weight_;
 }
 
 }  // namespace tilecomp::serve

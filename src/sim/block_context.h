@@ -156,10 +156,29 @@ class BlockContext {
     ++stats_.cache.hits;
     stats_.cache.saved_bytes += saved_encoded_bytes;
   }
+  // Record one tile-cache hit served by a speculatively prefetched tile —
+  // counted apart from CacheHit so a kernel's traffic savings can be
+  // attributed to the prefetcher vs its own demand history.
+  void CachePrefetchHit(uint64_t saved_encoded_bytes = 0) {
+    ++stats_.cache.prefetch_hits;
+    stats_.cache.saved_bytes += saved_encoded_bytes;
+  }
   // Record one tile-cache miss (the block decoded the tile itself).
   void CacheMiss() { ++stats_.cache.misses; }
   // Record `count` evictions this block's cache insert forced.
   void CacheEvictions(uint64_t count) { stats_.cache.evictions += count; }
+
+  // --- Speculative-prefetch accounting ---
+
+  // The block decoded `count` tiles speculatively ahead of any query.
+  void PrefetchIssued(uint64_t count = 1) { stats_.prefetch.issued += count; }
+  // First demand hit on a still-speculative entry (the prefetch paid off).
+  void PrefetchUseful(uint64_t count = 1) { stats_.prefetch.useful += count; }
+  // A speculative decode that can never pay off: it faulted, or its insert
+  // was refused.
+  void PrefetchWasted(uint64_t count = 1) { stats_.prefetch.wasted += count; }
+  // The tile was already resident when the speculative insert landed.
+  void PrefetchLate(uint64_t count = 1) { stats_.prefetch.late += count; }
 
   // --- Predicate-pushdown accounting ---
 

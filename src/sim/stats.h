@@ -124,12 +124,17 @@ struct CacheCounters {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t saved_bytes = 0;
+  // Demand hits served by a tile the prefetcher staged speculatively —
+  // counted separately from `hits` (demand-inserted tiles) so the trace can
+  // attribute a kernel's cache luck to speculation vs its own history
+  // (trace schema v7).
+  uint64_t prefetch_hits = 0;
 
-  uint64_t accesses() const { return hits + misses; }
+  uint64_t accesses() const { return hits + prefetch_hits + misses; }
   double hit_rate() const {
-    return accesses() == 0
-               ? 0.0
-               : static_cast<double>(hits) / static_cast<double>(accesses());
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(hits + prefetch_hits) /
+                                 static_cast<double>(accesses());
   }
 
   CacheCounters& operator+=(const CacheCounters& o) {
@@ -137,6 +142,38 @@ struct CacheCounters {
     misses += o.misses;
     evictions += o.evictions;
     saved_bytes += o.saved_bytes;
+    prefetch_hits += o.prefetch_hits;
+    return *this;
+  }
+};
+
+// Speculative-prefetch events observed during one kernel execution (the
+// serving layer's tile prefetcher, src/serve/prefetcher.h). The prefetch
+// decode kernels count `issued` (speculative tile decodes launched), `late`
+// (the tile was already resident when the speculative insert landed — the
+// demand path beat the prediction) and `wasted` (the decode faulted or the
+// insert was refused, so the work can never pay off); the query kernels
+// count `useful` (first demand hit on a still-speculative entry, which
+// promotes it). Speculative entries evicted before any hit are a second
+// source of waste accounted at the cache level, where the eviction happens.
+// Exported as the per-kernel "prefetch" object of trace schema v7.
+struct PrefetchCounters {
+  uint64_t issued = 0;
+  uint64_t useful = 0;
+  uint64_t wasted = 0;
+  uint64_t late = 0;
+
+  double wasted_rate() const {
+    return issued == 0
+               ? 0.0
+               : static_cast<double>(wasted) / static_cast<double>(issued);
+  }
+
+  PrefetchCounters& operator+=(const PrefetchCounters& o) {
+    issued += o.issued;
+    useful += o.useful;
+    wasted += o.wasted;
+    late += o.late;
     return *this;
   }
 };
@@ -197,6 +234,9 @@ struct KernelStats {
   CacheCounters cache;
   // Predicate-pushdown events; all-zero for kernels that decode everything.
   PushdownCounters pushdown;
+  // Speculative-prefetch events; all-zero for kernels that neither issue
+  // speculative decodes nor hit speculatively staged tiles.
+  PrefetchCounters prefetch;
   // Per-work-item cost distribution feeding the wave-aware scheduling model.
   // Device::Launch records one sample per block unless the kernel body
   // sampled its own work items via BlockContext::EndWorkItem().
@@ -216,6 +256,7 @@ struct KernelStats {
     atomic_ops += o.atomic_ops;
     cache += o.cache;
     pushdown += o.pushdown;
+    prefetch += o.prefetch;
     block_cost.Merge(o.block_cost);
     return *this;
   }

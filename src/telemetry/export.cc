@@ -70,8 +70,9 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
   const sim::CacheCounters& cc = s.cache;
   AppendF(out,
           "\"cache\":{\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
-          ",\"evictions\":%" PRIu64 ",\"saved_bytes\":%" PRIu64 "},",
-          cc.hits, cc.misses, cc.evictions, cc.saved_bytes);
+          ",\"evictions\":%" PRIu64 ",\"saved_bytes\":%" PRIu64
+          ",\"prefetch_hits\":%" PRIu64 "},",
+          cc.hits, cc.misses, cc.evictions, cc.saved_bytes, cc.prefetch_hits);
   const sim::PushdownCounters& pd = s.pushdown;
   AppendF(out,
           "\"pushdown\":{\"tiles_pruned\":%" PRIu64 ",\"tiles_decoded\":%" PRIu64
@@ -79,6 +80,11 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
           ",\"runs_short_circuited\":%" PRIu64 "},",
           pd.tiles_pruned, pd.tiles_decoded, pd.blocks_short_circuited,
           pd.runs_short_circuited);
+  const sim::PrefetchCounters& pf = s.prefetch;
+  AppendF(out,
+          "\"prefetch\":{\"issued\":%" PRIu64 ",\"useful\":%" PRIu64
+          ",\"wasted\":%" PRIu64 ",\"late\":%" PRIu64 "},",
+          pf.issued, pf.useful, pf.wasted, pf.late);
   AppendF(out, "\"limiter\":\"%s\",", sim::LimiterName(b.limiter()));
   AppendF(out, "\"faults\":{\"retries\":%d,\"failed\":%s},", k.fault_retries,
           k.failed ? "true" : "false");
@@ -89,7 +95,8 @@ void AppendKernelFields(std::string* out, const sim::KernelResult& k) {
 bool IsKnownTraceSchema(const std::string& schema) {
   return schema == kTraceSchema || schema == kTraceSchemaV1 ||
          schema == kTraceSchemaV2 || schema == kTraceSchemaV3 ||
-         schema == kTraceSchemaV4 || schema == kTraceSchemaV5;
+         schema == kTraceSchemaV4 || schema == kTraceSchemaV5 ||
+         schema == kTraceSchemaV6;
 }
 
 std::string ToJson(const Tracer& tracer) {
@@ -208,6 +215,10 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
         k.stats.cache.misses = cache.Get("misses").AsUint64();
         k.stats.cache.evictions = cache.Get("evictions").AsUint64();
         k.stats.cache.saved_bytes = cache.Get("saved_bytes").AsUint64();
+        // Pre-v7 traces predate prefetching: the split stays zero.
+        if (cache.Has("prefetch_hits")) {
+          k.stats.cache.prefetch_hits = cache.Get("prefetch_hits").AsUint64();
+        }
       }
       // Pre-v6 traces predate predicate pushdown: counters stay zero.
       if (record.Has("pushdown")) {
@@ -218,6 +229,14 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
             pd.Get("blocks_short_circuited").AsUint64();
         k.stats.pushdown.runs_short_circuited =
             pd.Get("runs_short_circuited").AsUint64();
+      }
+      // Pre-v7 traces predate speculative prefetching: counters stay zero.
+      if (record.Has("prefetch")) {
+        const JsonValue& pf = record.Get("prefetch");
+        k.stats.prefetch.issued = pf.Get("issued").AsUint64();
+        k.stats.prefetch.useful = pf.Get("useful").AsUint64();
+        k.stats.prefetch.wasted = pf.Get("wasted").AsUint64();
+        k.stats.prefetch.late = pf.Get("late").AsUint64();
       }
       const JsonValue& breakdown = record.Get("breakdown_ms");
       k.breakdown.launch_ms = breakdown.Get("launch").AsDouble();

@@ -3,7 +3,7 @@
 // JSON schema (stable; version bumps on breaking change):
 //
 //   {
-//     "schema": "tilecomp.trace.v6",
+//     "schema": "tilecomp.trace.v7",
 //     "spans": [
 //       {
 //         "kind": "kernel" | "transfer" | "scope",
@@ -24,9 +24,11 @@
 //                          "shared", "compute", "tail", "atomic"},
 //         "wave": {"scheduling": "static"|"persistent", "slots", "waves",
 //                  "mean_cost", "max_cost", "p99_cost", "imbalance"},
-//         "cache": {"hits", "misses", "evictions", "saved_bytes"},
+//         "cache": {"hits", "misses", "evictions", "saved_bytes",
+//                   "prefetch_hits"},
 //         "pushdown": {"tiles_pruned", "tiles_decoded",
 //                      "blocks_short_circuited", "runs_short_circuited"},
+//         "prefetch": {"issued", "useful", "wasted", "late"},
 //         "limiter": "bandwidth"|"latency"|"scheduling"|"shared"|"compute",
 //         // kind == "kernel" | "transfer" only:
 //         "faults": {"retries": <int>, "failed": <bool>},
@@ -45,12 +47,16 @@
 // fault/fault.h); v6 adds the per-kernel "pushdown" object (compressed-domain
 // predicate evaluation: tiles pruned before decode vs tiles decoded, and the
 // 128-value blocks / RFOR runs a zone-map or frame-of-reference bound decided
-// without touching values). Older traces still load through TraceFromJson: a
-// missing "stream" defaults to the synchronizing stream 0, missing v3 fields
-// default to a static launch with no wave data, a missing v4 "cache" object
-// defaults to all-zero counters, a missing v5 "faults" object defaults to
-// zero retries / not failed, and a missing v6 "pushdown" object defaults to
-// all-zero counters.
+// without touching values); v7 adds the per-kernel "prefetch" object (the
+// serving layer's speculative tile prefetching: decodes issued / useful /
+// wasted / late, see serve/prefetcher.h) and the "prefetch_hits" cache field
+// (demand hits served by speculatively staged tiles, counted apart from
+// "hits"). Older traces still load through TraceFromJson: a missing "stream"
+// defaults to the synchronizing stream 0, missing v3 fields default to a
+// static launch with no wave data, a missing v4 "cache" object defaults to
+// all-zero counters, a missing v5 "faults" object defaults to zero retries /
+// not failed, a missing v6 "pushdown" object defaults to all-zero counters,
+// and missing v7 prefetch fields default to all-zero counters.
 //
 // The chrome://tracing exporter emits the Trace Event JSON format ("X"
 // duration events, microsecond timestamps) loadable in chrome://tracing or
@@ -66,26 +72,27 @@
 
 namespace tilecomp::telemetry {
 
-inline constexpr const char* kTraceSchema = "tilecomp.trace.v6";
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v7";
 inline constexpr const char* kTraceSchemaV1 = "tilecomp.trace.v1";
 inline constexpr const char* kTraceSchemaV2 = "tilecomp.trace.v2";
 inline constexpr const char* kTraceSchemaV3 = "tilecomp.trace.v3";
 inline constexpr const char* kTraceSchemaV4 = "tilecomp.trace.v4";
 inline constexpr const char* kTraceSchemaV5 = "tilecomp.trace.v5";
+inline constexpr const char* kTraceSchemaV6 = "tilecomp.trace.v6";
 
-// True for every schema version TraceFromJson accepts (v1 through v6).
+// True for every schema version TraceFromJson accepts (v1 through v7).
 bool IsKnownTraceSchema(const std::string& schema);
 
 // Machine-readable trace (schema above).
 std::string ToJson(const Tracer& tracer);
 
-// Parse a tilecomp.trace.v1 through .v6 document back into spans. Limiter
+// Parse a tilecomp.trace.v1 through .v7 document back into spans. Limiter
 // and derived fields are recomputed from the stored breakdown; spans from a
 // v1 trace carry stream 0, pre-v3 spans carry static scheduling with no wave
 // data, pre-v4 spans carry all-zero cache counters, pre-v5 spans carry zero
-// fault retries / not failed, and pre-v6 spans carry all-zero pushdown
-// counters. Returns false (and fills *error) on malformed input or an
-// unknown schema.
+// fault retries / not failed, pre-v6 spans carry all-zero pushdown counters,
+// and pre-v7 spans carry all-zero prefetch counters. Returns false (and
+// fills *error) on malformed input or an unknown schema.
 bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
                    std::string* error);
 

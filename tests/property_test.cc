@@ -19,11 +19,15 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "codec/column.h"
 #include "common/random.h"
 #include "crystal/load_column.h"
 #include "gtest/gtest.h"
 #include "kernels/dispatch.h"
+#include "serve/prefetcher.h"
+#include "serve/server.h"
 #include "sim/device.h"
 
 namespace tilecomp {
@@ -271,6 +275,116 @@ TEST(PropertyTest, PushdownMasksMatchHostEvaluation) {
       for (double selectivity : {0.0, 0.01, 0.5, 1.0}) {
         for (bool point : {true, false}) {
           CheckPushdownConfig(cfg, selectivity, point);
+          if (HasFatalFailure() || HasNonfatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+// Speculative-prefetch dimension: a synthetic serving trace (sequential
+// scan rounds interleaved with Zipf-skewed probe rounds) drives the cached
+// tile loader against a pressured cache, with the prefetcher on and off,
+// across every eviction policy. Properties checked:
+//   * every served tile is bit-exact against the generated values — a
+//     speculatively staged tile must be indistinguishable from a demand
+//     decode;
+//   * the cache budget is never exceeded, including by speculative inserts;
+//   * with prefetching on, the scan rounds actually cause speculation.
+void CheckPrefetchConfig(const Config& cfg, serve::EvictionPolicy policy,
+                         double alpha, bool prefetch_on) {
+  SCOPED_TRACE(cfg.Describe() + " policy=" +
+               serve::EvictionPolicyName(policy) +
+               " alpha=" + std::to_string(alpha) +
+               (prefetch_on ? " prefetch=on" : " prefetch=off"));
+  const std::vector<uint32_t> values = Generate(cfg);
+  const CompressedColumn column = CompressedColumn::Encode(cfg.scheme, values);
+  const int64_t num_tiles = crystal::NumTiles(column.size());
+  const codec::ColumnId col_id(0);
+
+  // Budget well below the working set, deliberately unaligned: eviction
+  // (and refusal of speculative inserts) is constantly exercised.
+  const uint64_t budget =
+      (static_cast<uint64_t>(num_tiles) / 2) * crystal::kTileSize *
+          sizeof(uint32_t) +
+      33;
+  sim::Device dev;
+  serve::TileCache cache(budget, policy);
+  serve::PrefetchOptions popts;
+  popts.enabled = prefetch_on;
+  popts.initial_depth = 2;
+  popts.max_depth = 8;
+  serve::Prefetcher prefetcher(dev, &cache, popts);
+  serve::CachedTileLoader loader(&cache);
+  if (prefetch_on) {
+    prefetcher.RegisterColumn(col_id, &column);
+    loader.set_prefetcher(&prefetcher);
+  }
+
+  // Zipf-skewed probe targets (alpha controls how hot the hot tiles are).
+  const std::vector<uint32_t> probes =
+      GenZipf(256, static_cast<uint64_t>(num_tiles), alpha, cfg.seed ^ 0x51F);
+
+  std::atomic<uint64_t> mismatches{0};
+  size_t probe_cursor = 0;
+  for (int round = 0; round < 12; ++round) {
+    std::vector<int64_t> access;
+    if (round % 3 != 2) {
+      // Scan round: every tile in order (classified sequential).
+      for (int64_t t = 0; t < num_tiles; ++t) access.push_back(t);
+    } else {
+      // Probe round: 16 Zipf draws (usually classified random).
+      for (int k = 0; k < 16; ++k) {
+        access.push_back(static_cast<int64_t>(
+            probes[probe_cursor++ % probes.size()] %
+            static_cast<uint32_t>(num_tiles)));
+      }
+    }
+    sim::LaunchConfig lc;
+    lc.grid_dim = static_cast<int64_t>(access.size());
+    lc.block_threads = 128;
+    dev.Launch("property.prefetch_serve", lc, [&](sim::BlockContext& ctx) {
+      const int64_t tile = access[static_cast<size_t>(ctx.block_id())];
+      uint32_t buf[crystal::kTileSize];
+      const uint32_t n = loader.LoadTile(ctx, column, col_id, tile, buf);
+      const size_t begin = static_cast<size_t>(tile) * crystal::kTileSize;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (buf[i] != values[begin + i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    ASSERT_LE(cache.stats().bytes_in_use, budget) << "round " << round;
+    if (prefetch_on) prefetcher.IssueRound();
+    ASSERT_LE(cache.stats().bytes_in_use, budget)
+        << "round " << round << " after speculation";
+  }
+  EXPECT_EQ(mismatches.load(), 0u) << "served tile diverged from the input";
+  const serve::TileCache::Stats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  if (prefetch_on) {
+    EXPECT_GT(s.prefetch_issued, 0u);
+  } else {
+    EXPECT_EQ(s.prefetch_issued, 0u);
+    EXPECT_EQ(s.prefetch_hits, 0u);
+  }
+}
+
+TEST(PropertyTest, PrefetchServingIsBitExactUnderPressure) {
+  const uint64_t base_seed = EnvU64("TILECOMP_PROPERTY_SEED", 0xC0FFEE);
+  for (Scheme scheme : {Scheme::kGpuFor, Scheme::kGpuBp}) {
+    for (serve::EvictionPolicy policy :
+         {serve::EvictionPolicy::kLru, serve::EvictionPolicy::kClock,
+          serve::EvictionPolicy::kCostAware}) {
+      for (double alpha : {0.8, 1.2}) {
+        for (bool prefetch_on : {false, true}) {
+          Config cfg;
+          cfg.scheme = scheme;
+          cfg.dist = Dist::kUniformBits;
+          cfg.n = 24 * 512 + 17;  // 25 tiles, ragged tail
+          cfg.bits = 13;
+          cfg.seed = base_seed;
+          CheckPrefetchConfig(cfg, policy, alpha, prefetch_on);
           if (HasFatalFailure() || HasNonfatalFailure()) return;
         }
       }

@@ -123,7 +123,8 @@ TEST(TileCacheTest, OversizedEntryIsRefused) {
 TEST(TileCacheTest, BudgetNeverExceededUnderChurn) {
   const uint64_t budget = 5 * kTileBytes + 100;  // deliberately unaligned
   for (EvictionPolicy policy :
-       {EvictionPolicy::kLru, EvictionPolicy::kClock}) {
+       {EvictionPolicy::kLru, EvictionPolicy::kClock,
+        EvictionPolicy::kCostAware}) {
     TileCache cache(budget, policy);
     uint64_t state = 12345;
     for (int i = 0; i < 2000; ++i) {
@@ -174,6 +175,117 @@ TEST(TileCacheDeathTest, OversizedTileIdAbortsInRelease) {
                "tile_id out of the 32-bit key range");
 }
 
+// --- TileCache: clock-hand hardening ---
+//
+// Every erase site routes through a single hand-advance helper, so the hand
+// is always either order_.end() or a live element's iterator. These tests
+// script churn with the hand parked on each interesting position; the
+// sanitizer CI job runs them under ASan, where a stale iterator would trip.
+
+TEST(TileCacheTest, ClockHandSurvivesInvalidateAtHand) {
+  TileCache cache(3 * kTileBytes, EvictionPolicy::kClock);
+  const std::vector<uint32_t> v = TileValues(6);
+  for (uint32_t t = 0; t < 3; ++t) {
+    cache.Insert(codec::ColumnId(0), t, v.data(), kTile);
+  }
+  // First eviction sweep: clears every reference bit, evicts tile 0 and
+  // parks the hand on tile 1.
+  cache.Insert(codec::ColumnId(0), 3, v.data(), kTile);
+  ASSERT_FALSE(cache.Contains(codec::ColumnId(0), 0));
+
+  // Invalidate the entry the hand is parked on: the hand must step off it
+  // before the erase.
+  EXPECT_TRUE(cache.Invalidate(codec::ColumnId(0), 1));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+
+  // Room for tile 4 without eviction; tile 5 then sweeps from the hand's
+  // new position (tile 2, bit already clear) and takes tile 2.
+  cache.Insert(codec::ColumnId(0), 4, v.data(), kTile);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.Insert(codec::ColumnId(0), 5, v.data(), kTile);
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(0), 2));
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 3));
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 4));
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 5));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_LE(cache.stats().bytes_in_use, cache.budget_bytes());
+}
+
+TEST(TileCacheTest, ClockHandSurvivesPinnedInvalidateAtHand) {
+  TileCache cache(3 * kTileBytes, EvictionPolicy::kClock);
+  const std::vector<uint32_t> v = TileValues(8);
+  for (uint32_t t = 0; t < 3; ++t) {
+    cache.Insert(codec::ColumnId(0), t, v.data(), kTile);
+  }
+  cache.Insert(codec::ColumnId(0), 3, v.data(), kTile);  // hand -> tile 1
+  ASSERT_FALSE(cache.Contains(codec::ColumnId(0), 0));
+
+  // Pin tile 1, then invalidate it while the hand sits on it: the entry
+  // becomes a zombie (storage alive until the pin drops) and the hand must
+  // have stepped off before the unlink.
+  TileCache::PinnedTile pin = cache.Lookup(codec::ColumnId(0), 1);
+  ASSERT_TRUE(pin.valid());
+  EXPECT_TRUE(cache.Invalidate(codec::ColumnId(0), 1));
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(0), 1));
+  EXPECT_EQ(pin.data()[0], 8u);  // the handle still reads valid data
+
+  // The zombie still occupies budget: inserting tile 4 must evict tile 2
+  // (hand position, bit clear) instead of overflowing.
+  cache.Insert(codec::ColumnId(0), 4, v.data(), kTile);
+  EXPECT_FALSE(cache.Contains(codec::ColumnId(0), 2));
+  EXPECT_LE(cache.stats().bytes_in_use, cache.budget_bytes());
+
+  pin.Release();  // frees the zombie's storage
+  cache.Insert(codec::ColumnId(0), 5, v.data(), kTile);
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 3));
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 4));
+  EXPECT_TRUE(cache.Contains(codec::ColumnId(0), 5));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().bytes_in_use, 3 * kTileBytes);
+}
+
+TEST(TileCacheTest, ClockHandChurnWithInvalidations) {
+  // Deterministic Insert/Lookup/Invalidate churn with pins held across
+  // eviction sweeps, so the hand repeatedly lands on entries that are then
+  // erased out from under it in every combination.
+  const uint64_t budget = 4 * kTileBytes + 7;
+  TileCache cache(budget, EvictionPolicy::kClock);
+  std::vector<TileCache::PinnedTile> held;
+  uint64_t state = 777;
+  for (int i = 0; i < 3000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const uint32_t col = static_cast<uint32_t>(state >> 32) % 2;
+    const int64_t tile = static_cast<int64_t>((state >> 16) % 12);
+    const uint32_t count = 1 + static_cast<uint32_t>(state % kTile);
+    switch (state % 5) {
+      case 0:
+      case 1: {
+        std::vector<uint32_t> v(count, col);
+        cache.Insert(codec::ColumnId(col), tile, v.data(), count);
+        break;
+      }
+      case 2: {
+        TileCache::PinnedTile pin = cache.Lookup(codec::ColumnId(col), tile);
+        if (pin.valid()) held.push_back(std::move(pin));
+        if (held.size() > 2) held.erase(held.begin());
+        break;
+      }
+      case 3:
+        cache.Invalidate(codec::ColumnId(col), tile);
+        break;
+      default:
+        cache.Lookup(codec::ColumnId(col), tile);
+        break;
+    }
+    ASSERT_LE(cache.stats().bytes_in_use, budget);
+  }
+  held.clear();
+  const TileCache::Stats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_GT(s.invalidations, 0u);
+  EXPECT_GT(s.hits, 0u);
+}
+
 TEST(TileCacheTest, ClearKeepsPinnedEntries) {
   TileCache cache(4 * kTileBytes);
   const std::vector<uint32_t> v = TileValues(5);
@@ -186,6 +298,90 @@ TEST(TileCacheTest, ClearKeepsPinnedEntries) {
   cache.Clear();
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().bytes_in_use, 0u);
+}
+
+// --- Latency percentiles ---
+
+TEST(PercentileTest, NearestRankPinsKnownVectors) {
+  // n = 10, values 1..10 (shuffled — the function sorts): nearest-rank
+  // p50 = ceil(0.50 * 10) = 5th value, p95 = ceil(9.5) = 10th, p99 = 10th.
+  // The old floored rank (n-1)*95/100 = index 8 read the 9th value for p95
+  // — the ~85th percentile of a 10-sample set.
+  const std::vector<double> ten = {7, 1, 10, 3, 5, 2, 9, 4, 8, 6};
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(ten, 50), 5.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(ten, 95), 10.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(ten, 99), 10.0);
+
+  // n = 20, values 1..20: p50 = 10th, p95 = ceil(19.0) = 19th, p99 = 20th.
+  std::vector<double> twenty;
+  for (int i = 1; i <= 20; ++i) twenty.push_back(i);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(twenty, 50), 10.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(twenty, 95), 19.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(twenty, 99), 20.0);
+
+  // n = 100: p99 is the 99th value, distinct from the max.
+  std::vector<double> hundred;
+  for (int i = 1; i <= 100; ++i) hundred.push_back(i);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(hundred, 95), 95.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(hundred, 99), 99.0);
+
+  // Degenerate inputs: a single sample is every percentile; empty is 0.
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({42.0}, 50), 42.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({42.0}, 99), 42.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({}, 95), 0.0);
+}
+
+// --- CachedTileLoader: saved-bytes crediting ---
+
+TEST(CachedTileLoaderTest, PoisonedHitIsNeverCreditedSaved) {
+  // Regression: saved_bytes used to be credited at Lookup time, before the
+  // loader's poison draw — a hit that was then discarded and re-decoded
+  // still counted as "bytes saved". The credit must land only once the hit
+  // is actually served.
+  sim::Device dev;
+  TileCache cache(4 * kTileBytes);
+  std::vector<uint32_t> values(kTile);
+  std::iota(values.begin(), values.end(), 100u);
+  const codec::CompressedColumn column =
+      codec::CompressedColumn::Encode(codec::Scheme::kGpuFor, values);
+  const uint64_t tile_bytes = TileEncodedBytes(column);
+  ASSERT_GT(tile_bytes, 0u);
+
+  sim::LaunchConfig cfg;
+  cfg.grid_dim = 1;
+
+  // Clean loader: miss + insert, then a served hit credits exactly one
+  // tile's encoded footprint.
+  CachedTileLoader clean(&cache);
+  dev.Launch("test.load", cfg, [&](sim::BlockContext& ctx) {
+    uint32_t buf[crystal::kTileSize];
+    clean.LoadTile(ctx, column, codec::ColumnId(0), 0, buf);
+    const uint32_t n = clean.LoadTile(ctx, column, codec::ColumnId(0), 0, buf);
+    EXPECT_EQ(n, kTile);
+    EXPECT_EQ(buf[0], 100u);
+  });
+  TileCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.saved_bytes, tile_bytes);
+
+  // Poisoned loader (kTileDecode always fires): the hit is counted and the
+  // entry invalidated, but no saved bytes are credited — and the fallback
+  // decode fails terminally, raising the sticky flag.
+  fault::FaultPlanOptions fopts;
+  fopts.rate[static_cast<int>(fault::FaultSite::kTileDecode)] = 1.0;
+  fault::FaultPlan plan(fopts);
+  CachedTileLoader poisoned(&cache, &plan);
+  dev.Launch("test.poisoned", cfg, [&](sim::BlockContext& ctx) {
+    uint32_t buf[crystal::kTileSize];
+    poisoned.LoadTile(ctx, column, codec::ColumnId(0), 0, buf);
+  });
+  s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.saved_bytes, tile_bytes);  // unchanged by the poisoned hit
+  EXPECT_TRUE(poisoned.TakeDecodeFailure());
+  EXPECT_FALSE(poisoned.TakeDecodeFailure());  // flag is consumed
 }
 
 // --- Server: multi-stream serving loop ---
@@ -234,6 +430,14 @@ TEST(ServerTest, InlineSystemBitExactCacheOnAndOff) {
     ExpectBitExact(report, server.runner());
     EXPECT_GT(report.makespan_ms, 0.0);
     EXPECT_GE(report.p95_latency_ms, report.p50_latency_ms);
+    EXPECT_GE(report.p99_latency_ms, report.p95_latency_ms);
+    // Nearest-rank over the per-query latencies, recomputed here: the
+    // report's percentiles must match the pinned definition exactly.
+    std::vector<double> lats;
+    for (const ServedQuery& sq : report.queries) lats.push_back(sq.latency_ms);
+    EXPECT_DOUBLE_EQ(report.p50_latency_ms, NearestRankPercentile(lats, 50));
+    EXPECT_DOUBLE_EQ(report.p95_latency_ms, NearestRankPercentile(lats, 95));
+    EXPECT_DOUBLE_EQ(report.p99_latency_ms, NearestRankPercentile(lats, 99));
     if (use_cache) {
       EXPECT_GT(report.cache.hits, 0u);
       EXPECT_GT(report.cache.saved_bytes, 0u);
@@ -251,7 +455,8 @@ TEST(ServerTest, InlineSystemBitExactUnderEvictionPressure) {
   const ssb::EncodedLineorder enc =
       ssb::EncodeLineorder(data, codec::System::kGpuStar);
   for (EvictionPolicy policy :
-       {EvictionPolicy::kLru, EvictionPolicy::kClock}) {
+       {EvictionPolicy::kLru, EvictionPolicy::kClock,
+        EvictionPolicy::kCostAware}) {
     sim::Device dev;
     ServeOptions options;
     options.num_streams = 4;
@@ -297,6 +502,30 @@ TEST(ServerTest, DecompressSystemSkipsLaunchesWhenResident) {
   EXPECT_EQ(report_on.decompress_skips, 4u);  // q2.1 touches 4 columns
   EXPECT_GT(report_on.cache.hits, 0u);
   EXPECT_LT(report_on.global_bytes_read, report_off.global_bytes_read);
+}
+
+TEST(ServerTest, KernelAndCacheSavedBytesAgree) {
+  // The kernels' per-block saved-bytes accounting and the cache's own
+  // counter are two independent tallies of the same credits; for an inline
+  // system (no decompress-skip credits outside kernels) they must agree
+  // exactly — a mismatch means a credit was double-counted or dropped.
+  const ssb::SsbData& data = TestData();
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(data, codec::System::kGpuStar);
+  sim::Device dev;
+  ServeOptions options;
+  options.num_streams = 2;
+  options.cache_budget_bytes = 256ull << 20;
+  Server server(dev, data, enc, options);
+  const ServeReport report = server.Serve(StressBatch());
+  ExpectBitExact(report, server.runner());
+
+  uint64_t kernel_saved = 0;
+  for (const sim::KernelResult& kr : dev.launch_log()) {
+    kernel_saved += kr.stats.cache.saved_bytes;
+  }
+  EXPECT_GT(report.cache.saved_bytes, 0u);
+  EXPECT_EQ(kernel_saved, report.cache.saved_bytes);
 }
 
 TEST(ServerTest, RoundRobinAssignsAllStreams) {

@@ -397,7 +397,7 @@ TEST(ExportTest, CacheCountersRoundTrip) {
   JsonValue root;
   std::string error;
   ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
-  EXPECT_EQ(root.Get("schema").AsString(), "tilecomp.trace.v6");
+  EXPECT_EQ(root.Get("schema").AsString(), "tilecomp.trace.v7");
   const JsonValue& span = root.Get("spans").AsArray()[0];
   ASSERT_TRUE(span.Has("cache"));
   const JsonValue& cache = span.Get("cache");
@@ -454,6 +454,89 @@ TEST(ExportTest, PushdownCountersRoundTripV6) {
   EXPECT_EQ(counters.blocks_short_circuited, 5u);
   EXPECT_EQ(counters.runs_short_circuited, 9u);
   EXPECT_DOUBLE_EQ(counters.prune_rate(), 2.0 / 3.0);
+}
+
+TEST(ExportTest, PrefetchCountersRoundTripV7) {
+  // A kernel that records speculative-prefetch activity exports a
+  // "prefetch" object and the cache "prefetch_hits" field, and
+  // TraceFromJson restores every counter.
+  sim::Device dev;
+  Tracer tracer;
+  dev.AttachTracer(&tracer);
+  dev.Launch("prefetch.decode", SmallLaunch(4), [](sim::BlockContext& ctx) {
+    ctx.CoalescedRead(2048, true);
+    if (ctx.block_id() == 0) {
+      ctx.PrefetchIssued(6);
+      ctx.PrefetchUseful(3);
+      ctx.PrefetchWasted(2);
+      ctx.PrefetchLate(1);
+      ctx.CachePrefetchHit(512);
+      ctx.CacheHit(256);
+    }
+  });
+
+  const std::string json = telemetry::ToJson(tracer);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
+  const JsonValue& span = root.Get("spans").AsArray()[0];
+  ASSERT_TRUE(span.Has("prefetch"));
+  const JsonValue& pf = span.Get("prefetch");
+  EXPECT_EQ(pf.Get("issued").AsUint64(), 6u);
+  EXPECT_EQ(pf.Get("useful").AsUint64(), 3u);
+  EXPECT_EQ(pf.Get("wasted").AsUint64(), 2u);
+  EXPECT_EQ(pf.Get("late").AsUint64(), 1u);
+  EXPECT_EQ(span.Get("cache").Get("prefetch_hits").AsUint64(), 1u);
+
+  std::vector<Span> loaded;
+  ASSERT_TRUE(telemetry::TraceFromJson(json, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  const sim::PrefetchCounters& counters = loaded[0].kernel.stats.prefetch;
+  EXPECT_EQ(counters.issued, 6u);
+  EXPECT_EQ(counters.useful, 3u);
+  EXPECT_EQ(counters.wasted, 2u);
+  EXPECT_EQ(counters.late, 1u);
+  EXPECT_DOUBLE_EQ(counters.wasted_rate(), 2.0 / 6.0);
+  const sim::CacheCounters& cache = loaded[0].kernel.stats.cache;
+  EXPECT_EQ(cache.prefetch_hits, 1u);
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.saved_bytes, 768u);
+}
+
+TEST(ExportTest, LoadsV6TraceWithZeroPrefetchCounters) {
+  // A v6 document (pushdown counters, no "prefetch" object and no
+  // cache "prefetch_hits"): loads fine, prefetch counters default to zero.
+  const std::string v6 =
+      "{\"schema\":\"tilecomp.trace.v6\",\"spans\":["
+      "{\"kind\":\"kernel\",\"name\":\"k\",\"path\":\"\",\"depth\":0,"
+      "\"stream\":1,\"start_ms\":0,\"duration_ms\":1.5,"
+      "\"config\":{\"grid_dim\":8,\"block_threads\":128,"
+      "\"smem_bytes_per_block\":0,\"regs_per_thread\":32,"
+      "\"scheduling\":\"static\"},"
+      "\"stats\":{\"global_bytes_read\":4096,\"global_bytes_written\":0,"
+      "\"warp_global_accesses\":32,\"shared_bytes\":0,\"compute_ops\":100,"
+      "\"barriers\":0,\"atomic_ops\":0},"
+      "\"cache\":{\"hits\":5,\"misses\":2,\"evictions\":1,"
+      "\"saved_bytes\":800},"
+      "\"pushdown\":{\"tiles_pruned\":2,\"tiles_decoded\":1,"
+      "\"blocks_short_circuited\":5,\"runs_short_circuited\":9},"
+      "\"faults\":{\"retries\":0,\"failed\":false},"
+      "\"breakdown_ms\":{\"launch\":0.1,\"bandwidth\":0.2,\"latency\":0.3,"
+      "\"scheduling\":0.1,\"shared\":0,\"compute\":0.4,\"atomic\":0,"
+      "\"tail\":0},"
+      "\"occupancy\":0.5}]}";
+  std::vector<Span> spans;
+  std::string error;
+  ASSERT_TRUE(telemetry::TraceFromJson(v6, &spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 1u);
+  const sim::PrefetchCounters& pf = spans[0].kernel.stats.prefetch;
+  EXPECT_EQ(pf.issued, 0u);
+  EXPECT_EQ(pf.useful, 0u);
+  EXPECT_EQ(pf.wasted, 0u);
+  EXPECT_EQ(pf.late, 0u);
+  EXPECT_EQ(spans[0].kernel.stats.cache.prefetch_hits, 0u);
+  EXPECT_EQ(spans[0].kernel.stats.cache.hits, 5u);
+  EXPECT_EQ(spans[0].kernel.stats.pushdown.tiles_pruned, 2u);
 }
 
 TEST(ExportTest, LoadsV5TraceWithZeroPushdownCounters) {
