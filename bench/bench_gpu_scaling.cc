@@ -2,10 +2,14 @@
 // will have more shared memory and registers per thread, thereby allowing
 // us to use higher values of D during query processing."
 //
-// We model an A100-class device (~2 TB/s HBM2e, double the per-thread
-// shared-memory and register budgets) and re-run the Figure 5 D sweep on
-// both specs: the optimum shifts right exactly as the paper predicts.
+// We model an A100-class device (DeviceSpec::A100(): ~2 TB/s HBM2e, double
+// the per-thread shared-memory and register budgets) and re-run the
+// Figure 5 D sweep on both specs: the optimum shifts right exactly as the
+// paper predicts. --json <path> emits machine-readable
+// BENCH_gpu_scaling.json (schema tilecomp.bench_gpu_scaling.v1).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
@@ -14,55 +18,73 @@
 namespace tilecomp {
 namespace {
 
-sim::DeviceSpec A100Spec() {
-  sim::DeviceSpec spec;  // start from the V100 defaults
-  spec.global_bw_gbps = 2000.0;
-  spec.shared_bw_gbps = 19000.0;
-  spec.sm_count = 108;
-  spec.smem_bytes_per_thread_full_occupancy = 96;  // 164 KB/SM vs 96 KB
-  spec.regs_per_thread_full_occupancy = 96;
-  spec.regs_per_thread_limit = 192;
-  spec.int_ops_per_sec = 19.0e12;
-  spec.pcie_gbps = 25.0;  // PCIe 4
-  return spec;
-}
+struct Row {
+  int d = 0;
+  double v100_ms = 0.0;
+  double a100_ms = 0.0;
+};
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t n = static_cast<size_t>(flags.GetInt("n", 16 << 20));
-  auto values = GenUniformBits(n, 16, 42);
+  const bench::CommonOptions common =
+      bench::ParseCommonOptions(flags, "BENCH_gpu_scaling.json");
+  auto values = GenUniformBits(n, 16, common.seed);
   auto enc = format::GpuForEncode(values.data(), n);
 
   bench::PrintTitle(
       "Section 8: D sweep on V100 vs A100-class device (sim ms)");
   std::printf("%-6s %12s %12s\n", "D", "V100", "A100");
 
+  std::vector<Row> rows;
   int best_v100 = 0, best_a100 = 0;
   double best_v100_ms = 1e30, best_a100_ms = 1e30;
   for (int d : {1, 2, 4, 8, 16, 32, 64}) {
     kernels::UnpackConfig cfg;
     cfg.d = d;
-    sim::Device v100;
-    sim::Device a100(A100Spec());
-    const double tv =
-        kernels::DecompressGpuFor(v100, enc, cfg, false).time_ms;
-    const double ta =
-        kernels::DecompressGpuFor(a100, enc, cfg, false).time_ms;
-    if (tv < best_v100_ms) {
-      best_v100_ms = tv;
+    sim::Device v100(sim::DeviceSpec::V100());
+    sim::Device a100(sim::DeviceSpec::A100());
+    Row row;
+    row.d = d;
+    row.v100_ms = kernels::DecompressGpuFor(v100, enc, cfg, false).time_ms;
+    row.a100_ms = kernels::DecompressGpuFor(a100, enc, cfg, false).time_ms;
+    if (row.v100_ms < best_v100_ms) {
+      best_v100_ms = row.v100_ms;
       best_v100 = d;
     }
-    if (ta < best_a100_ms) {
-      best_a100_ms = ta;
+    if (row.a100_ms < best_a100_ms) {
+      best_a100_ms = row.a100_ms;
       best_a100 = d;
     }
-    std::printf("%-6d %12.4f %12.4f\n", d, tv, ta);
+    std::printf("%-6d %12.4f %12.4f\n", d, row.v100_ms, row.a100_ms);
+    rows.push_back(row);
   }
   std::printf("best D: V100 = %d, A100 = %d\n", best_v100, best_a100);
   bench::PrintNote(
       "bigger on-chip budgets push the occupancy cliff to higher D, so the "
       "newer device prefers a larger (or equal) D — the paper's prediction");
-  return 0;
+
+  if (common.emit_json) {
+    std::string json;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"schema\":\"tilecomp.bench_gpu_scaling.v1\","
+                  "\"n\":%zu,\"seed\":%llu,"
+                  "\"best_d_v100\":%d,\"best_d_a100\":%d,\"rows\":[",
+                  n, static_cast<unsigned long long>(common.seed), best_v100,
+                  best_a100);
+    json += buf;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n{\"d\":%d,\"v100_ms\":%.6f,\"a100_ms\":%.6f}",
+                    i == 0 ? "" : ",", rows[i].d, rows[i].v100_ms,
+                    rows[i].a100_ms);
+      json += buf;
+    }
+    json += "\n]}\n";
+    if (!bench::ExportJson(common, json)) return 1;
+  }
+  return best_a100 >= best_v100 ? 0 : 1;
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include "common/random.h"
 #include "serve/server.h"
 #include "ssb/generator.h"
+#include "ssb/layout.h"
 #include "ssb/queries.h"
 #include "telemetry/export.h"
 
@@ -45,38 +46,6 @@ codec::System ParseSystem(const std::string& name) {
                "none)\n",
                name.c_str());
   std::exit(1);
-}
-
-// Physically cluster lineorder by orderdate (stable, so orderkey runs
-// survive within a date) — the standard date-partitioned fact-table layout.
-// Group-by results are order-independent, so the host reference stays the
-// oracle; what changes is that date predicates now align with tile
-// boundaries and the zone maps get something to prune.
-void ClusterByOrderdate(ssb::LineorderTable* lo) {
-  std::vector<uint32_t> idx(lo->size());
-  std::iota(idx.begin(), idx.end(), 0u);
-  std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
-    return lo->orderdate[a] < lo->orderdate[b];
-  });
-  auto apply = [&](std::vector<uint32_t>& v) {
-    std::vector<uint32_t> out(v.size());
-    for (size_t i = 0; i < idx.size(); ++i) out[i] = v[idx[i]];
-    v = std::move(out);
-  };
-  apply(lo->orderkey);
-  apply(lo->orderdate);
-  apply(lo->ordtotalprice);
-  apply(lo->custkey);
-  apply(lo->partkey);
-  apply(lo->suppkey);
-  apply(lo->linenumber);
-  apply(lo->quantity);
-  apply(lo->tax);
-  apply(lo->discount);
-  apply(lo->commitdate);
-  apply(lo->extendedprice);
-  apply(lo->revenue);
-  apply(lo->supplycost);
 }
 
 // Decoded bytes of every lineorder column touched by any of the 13 queries:
@@ -143,7 +112,7 @@ int Run(int argc, char** argv) {
   const codec::System system = ParseSystem(system_name);
 
   ssb::SsbData data = ssb::GenerateSsbSmall(rows);
-  if (clustered) ClusterByOrderdate(&data.lineorder);
+  if (clustered) ssb::ClusterByOrderdate(&data.lineorder);
   const ssb::EncodedLineorder lineorder = ssb::EncodeLineorder(data, system);
   const uint64_t working_set = FullWorkingSetBytes(lineorder);
 

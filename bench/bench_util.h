@@ -23,7 +23,7 @@ namespace tilecomp::bench {
 //
 //   --json [path]    emit a machine-readable result file (bare --json picks
 //                    the bench's default path, e.g. BENCH_serve.json)
-//   --trace <path>   write the telemetry trace (tilecomp.trace.v6 JSON)
+//   --trace <path>   write the telemetry trace (telemetry::kTraceSchema JSON)
 //   --chrome <path>  write the chrome://tracing / Perfetto export
 //   --seed <n>       PRNG seed for workload generation (default 7)
 //
@@ -67,6 +67,28 @@ inline bool ExportTraces(const CommonOptions& opts,
   if (!opts.chrome_path.empty()) {
     if (!telemetry::WriteTextFile(opts.chrome_path,
                                   telemetry::ToChromeTrace(tracer))) {
+      std::fprintf(stderr, "cannot write %s\n", opts.chrome_path.c_str());
+      return false;
+    }
+    std::printf("wrote chrome trace to %s\n", opts.chrome_path.c_str());
+  }
+  return true;
+}
+
+// Span-vector variant for multi-device benches: export a merged cluster
+// timeline (per-device tracers + link spans, see telemetry::MergeSpans).
+inline bool ExportTraces(const CommonOptions& opts,
+                         const std::vector<telemetry::Span>& spans) {
+  if (!opts.trace_path.empty()) {
+    if (!telemetry::WriteTextFile(opts.trace_path, telemetry::ToJson(spans))) {
+      std::fprintf(stderr, "cannot write %s\n", opts.trace_path.c_str());
+      return false;
+    }
+    std::printf("wrote trace to %s\n", opts.trace_path.c_str());
+  }
+  if (!opts.chrome_path.empty()) {
+    if (!telemetry::WriteTextFile(opts.chrome_path,
+                                  telemetry::ToChromeTrace(spans))) {
       std::fprintf(stderr, "cannot write %s\n", opts.chrome_path.c_str());
       return false;
     }

@@ -1,0 +1,229 @@
+#include "serve/cluster_scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "common/macros.h"
+#include "ssb/layout.h"
+
+namespace tilecomp::serve {
+
+namespace {
+
+// Merge-reduction time on the root's merge engine: one kernel that streams
+// the shipped accumulators once and read-modify-writes the root's own —
+// launch overhead plus an HBM pass over 2x the shipped bytes.
+double MergeMs(const sim::DeviceSpec& spec, uint64_t shipped_bytes) {
+  return spec.kernel_launch_us * 1e-3 +
+         2.0 * static_cast<double>(shipped_bytes) /
+             (spec.global_bw_gbps * 1e9) * 1e3;
+}
+
+}  // namespace
+
+ClusterScheduler::ClusterScheduler(sim::Cluster& cluster,
+                                   const ssb::SsbData& data,
+                                   codec::System system,
+                                   ClusterOptions options)
+    : cluster_(cluster),
+      data_(data),
+      options_(options),
+      placement_(placement::Plan(options.policy, data.lineorder.size(),
+                                 cluster.num_devices(),
+                                 options.placement_seed)) {
+  devices_.resize(static_cast<size_t>(cluster.num_devices()));
+  for (int d = 0; d < cluster.num_devices(); ++d) {
+    DeviceState& state = devices_[static_cast<size_t>(d)];
+    const std::vector<int> shards = placement_.ShardsOnDevice(d);
+    if (shards.empty()) continue;
+    // Every policy assigns each device at most one shard.
+    TILECOMP_CHECK(shards.size() == 1);
+    const placement::Shard& shard =
+        placement_.shards[static_cast<size_t>(shards[0])];
+    if (shard.rows() == 0) continue;  // empty shard: the device serves no-ops
+    state.shard = shards[0];
+    std::vector<std::pair<size_t, size_t>> ranges;
+    for (const placement::RowRange& r : shard.ranges) {
+      if (r.rows() > 0) ranges.emplace_back(r.begin, r.end);
+    }
+    state.data = ssb::ShardData(data, ranges);
+    state.lineorder = ssb::EncodeLineorder(state.data, system);
+    state.server = std::make_unique<Server>(cluster.device(d), state.data,
+                                            state.lineorder, options.serve);
+    // Placement-time prewarm: replicating the dimension tables to a device
+    // includes building their query-side hash tables once, so serving never
+    // pays the (unshardable, per-device) builds. A no-op unless the serve
+    // options opt into hash-table reuse.
+    state.server->Prewarm(ssb::AllQueries());
+  }
+}
+
+int ClusterScheduler::shard_of_device(int d) const {
+  return devices_[static_cast<size_t>(d)].shard;
+}
+
+ClusterServeReport ClusterScheduler::Serve(
+    const std::vector<ssb::QueryId>& batch) {
+  const int n = cluster_.num_devices();
+  ClusterServeReport out;
+  out.device_reports.resize(static_cast<size_t>(n));
+
+  // --- Route: which devices produce a partial for each query. One device
+  // per shard; replicated shards rotate their replicas by query index so
+  // every device shares the load across a batch.
+  std::vector<std::vector<int>> participants(batch.size());
+  std::vector<std::vector<ssb::QueryId>> sub_batch(static_cast<size_t>(n));
+  std::vector<std::vector<size_t>> sub_index(static_cast<size_t>(n));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (const placement::Shard& shard : placement_.shards) {
+      const int d = shard.devices[i % shard.devices.size()];
+      participants[i].push_back(d);
+      if (devices_[static_cast<size_t>(d)].server != nullptr) {
+        sub_batch[static_cast<size_t>(d)].push_back(batch[i]);
+        sub_index[static_cast<size_t>(d)].push_back(i);
+      }
+    }
+  }
+
+  // --- Serve epoch. Placement-time work (hash-table prewarm in the
+  // constructor, plus any previous batch) already advanced each device's
+  // timeline; this batch's clock starts at each device's current position.
+  // All reported times — latencies, transfer ready times, the makespan —
+  // are relative to the epoch, so placement cost never pollutes the
+  // steady-state serving numbers.
+  const size_t num_devices = static_cast<size_t>(n);
+  std::vector<double> epoch(num_devices, 0.0);
+  std::vector<size_t> skip_launches(num_devices, 0);
+  for (int d = 0; d < n; ++d) {
+    epoch[static_cast<size_t>(d)] = cluster_.device(d).elapsed_ms();
+    skip_launches[static_cast<size_t>(d)] =
+        cluster_.device(d).launch_log().size();
+  }
+
+  // --- Per-shard partial aggregation, one host thread per device. Each
+  // thread touches only its own device (timeline, cache, shard data), so
+  // the modeled times are deterministic regardless of host scheduling.
+  {
+    std::vector<std::thread> threads;
+    for (int d = 0; d < n; ++d) {
+      if (sub_batch[static_cast<size_t>(d)].empty()) continue;
+      threads.emplace_back([this, d, &sub_batch, &out]() {
+        out.device_reports[static_cast<size_t>(d)] =
+            devices_[static_cast<size_t>(d)].server->Serve(
+                sub_batch[static_cast<size_t>(d)]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Map query index -> the device's ServedQuery (nullptr for devices whose
+  // shard is empty: they contribute an empty partial, ready at t = 0).
+  std::vector<std::vector<const ServedQuery*>> partial_of(
+      static_cast<size_t>(n), std::vector<const ServedQuery*>(batch.size()));
+  for (int d = 0; d < n; ++d) {
+    const auto& report = out.device_reports[static_cast<size_t>(d)];
+    for (size_t k = 0; k < report.queries.size(); ++k) {
+      partial_of[static_cast<size_t>(d)]
+                [sub_index[static_cast<size_t>(d)][k]] = &report.queries[k];
+    }
+  }
+
+  // --- Merge the partials over the interconnect, in batch order. The root
+  // rotates deterministically among the participants; each non-root ships
+  // its dense accumulator as soon as its partial finishes.
+  std::vector<double> latencies;
+  latencies.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<int>& parts = participants[i];
+    ClusterServedQuery cq;
+    cq.query = batch[i];
+    cq.num_partials = static_cast<int>(parts.size());
+    cq.root_device = parts[(options_.placement_seed + i) % parts.size()];
+    DeviceState& root = devices_[static_cast<size_t>(cq.root_device)];
+
+    const uint64_t accumulator_bytes =
+        ssb::QueryGroupSlots(batch[i], data_) * sizeof(int64_t);
+    double inputs_ready = 0.0;
+    double admit = -1.0;
+    for (int d : parts) {
+      const ServedQuery* partial = partial_of[static_cast<size_t>(d)][i];
+      const double ready =
+          partial != nullptr
+              ? partial->finish_ms - epoch[static_cast<size_t>(d)]
+              : 0.0;
+      if (partial != nullptr) {
+        const double partial_admit =
+            partial->admit_ms - epoch[static_cast<size_t>(d)];
+        if (admit < 0.0 || partial_admit < admit) {
+          admit = partial_admit;
+        }
+        if (partial->status != QueryStatus::kOk &&
+            cq.status == QueryStatus::kOk) {
+          cq.status = partial->status;
+        }
+        for (const auto& [key, value] : partial->result.groups) {
+          cq.result.groups[key] += value;
+        }
+      }
+      if (d == cq.root_device) {
+        inputs_ready = std::max(inputs_ready, ready);
+        continue;
+      }
+      const double arrival = cluster_.TransferBetween(
+          d, cq.root_device, accumulator_bytes, ready,
+          std::string("merge/") + ssb::QueryName(batch[i]));
+      inputs_ready = std::max(inputs_ready, arrival);
+      cq.link_bytes += accumulator_bytes;
+    }
+    if (admit < 0.0) admit = 0.0;
+    cq.admit_ms = admit;
+    if (parts.size() > 1) {
+      cq.merge_ms = MergeMs(cluster_.device(cq.root_device).spec(),
+                            cq.link_bytes);
+      const double start = std::max(inputs_ready, root.merge_free_ms);
+      cq.finish_ms = start + cq.merge_ms;
+      root.merge_free_ms = cq.finish_ms;
+    } else {
+      cq.finish_ms = inputs_ready;
+    }
+    cq.latency_ms = cq.finish_ms - cq.admit_ms;
+    // Dense accumulators extract only non-zero groups; partials that cancel
+    // to zero are dropped the same way, keeping the merged map bit-exact
+    // against the host reference.
+    for (auto it = cq.result.groups.begin(); it != cq.result.groups.end();) {
+      it = it->second == 0 ? cq.result.groups.erase(it) : std::next(it);
+    }
+    cq.result.time_ms = cq.latency_ms;
+    if (cq.status != QueryStatus::kOk) ++out.failed_queries;
+    out.link_bytes_total += cq.link_bytes;
+    out.merge_ms_total += cq.merge_ms;
+    latencies.push_back(cq.latency_ms);
+    out.queries.push_back(std::move(cq));
+  }
+
+  // Makespan: the last device to drain its kernels (epoch-relative) or the
+  // last merge/transfer to finish — transfer arrivals are covered because
+  // every arrival feeds some query's finish time.
+  out.makespan_ms = 0.0;
+  for (int d = 0; d < n; ++d) {
+    cluster_.device(d).DeviceSynchronize();
+    out.makespan_ms =
+        std::max(out.makespan_ms, cluster_.device(d).elapsed_ms() -
+                                      epoch[static_cast<size_t>(d)]);
+  }
+  for (const ClusterServedQuery& cq : out.queries) {
+    out.makespan_ms = std::max(out.makespan_ms, cq.finish_ms);
+  }
+  for (const DeviceState& state : devices_) {
+    out.makespan_ms = std::max(out.makespan_ms, state.merge_free_ms);
+  }
+  out.link_transfers = cluster_.link_log().size();
+  out.p50_latency_ms = NearestRankPercentile(latencies, 50);
+  out.p95_latency_ms = NearestRankPercentile(latencies, 95);
+  out.p99_latency_ms = NearestRankPercentile(latencies, 99);
+  out.breakdown = cluster_.Breakdown(out.merge_ms_total, skip_launches);
+  return out;
+}
+
+}  // namespace tilecomp::serve

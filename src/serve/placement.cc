@@ -1,0 +1,134 @@
+#include "serve/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "crystal/load_column.h"
+
+namespace tilecomp::serve::placement {
+
+namespace {
+
+// Deal [0, num_rows) into `parts` striped shards: kStripeTiles-tile chunks
+// assigned round-robin, adjacent chunks of the same shard coalesced (so
+// parts == 1 yields a single [0, num_rows) range). Every shard is
+// non-empty when there are at least `parts` chunks; with fewer chunks the
+// trailing shards come back empty (the scheduler serves an empty shard as
+// a no-op, which the tests exercise explicitly).
+std::vector<Shard> StripeRanges(size_t num_rows, int parts) {
+  const size_t chunk_rows = crystal::kTileSize * kStripeTiles;
+  std::vector<Shard> shards(static_cast<size_t>(parts));
+  size_t begin = 0;
+  for (size_t c = 0; begin < num_rows; ++c) {
+    const size_t end = std::min(begin + chunk_rows, num_rows);
+    Shard& shard = shards[c % static_cast<size_t>(parts)];
+    if (!shard.ranges.empty() && shard.ranges.back().end == begin) {
+      shard.ranges.back().end = end;
+    } else {
+      shard.ranges.push_back({begin, end});
+    }
+    begin = end;
+  }
+  return shards;
+}
+
+// Seeded deterministic permutation of [0, n): Fisher-Yates with SplitMix64.
+std::vector<int> DevicePermutation(int n, uint64_t seed) {
+  std::vector<int> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(seed);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+const char* PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kReplicate:
+      return "replicate";
+    case PolicyKind::kRangeShard:
+      return "range-shard";
+    case PolicyKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+bool ParsePolicy(const std::string& name, PolicyKind* kind) {
+  if (name == "replicate") {
+    *kind = PolicyKind::kReplicate;
+  } else if (name == "range-shard") {
+    *kind = PolicyKind::kRangeShard;
+  } else if (name == "hybrid") {
+    *kind = PolicyKind::kHybrid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<int> Placement::ShardsOnDevice(int d) const {
+  std::vector<int> out;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const std::vector<int>& devices = shards[s].devices;
+    if (std::find(devices.begin(), devices.end(), d) != devices.end()) {
+      out.push_back(static_cast<int>(s));
+    }
+  }
+  return out;
+}
+
+Placement Plan(PolicyKind kind, size_t num_rows, int num_devices,
+               uint64_t seed) {
+  TILECOMP_CHECK(num_devices >= 1);
+  Placement out;
+  out.policy = kind;
+  out.num_rows = num_rows;
+  out.num_devices = num_devices;
+  const std::vector<int> perm = DevicePermutation(num_devices, seed);
+  switch (kind) {
+    case PolicyKind::kReplicate: {
+      Shard shard;
+      shard.ranges.push_back({0, num_rows});
+      shard.devices = perm;
+      out.shards.push_back(std::move(shard));
+      break;
+    }
+    case PolicyKind::kRangeShard: {
+      out.shards = StripeRanges(num_rows, num_devices);
+      for (int p = 0; p < num_devices; ++p) {
+        out.shards[static_cast<size_t>(p)].devices = {
+            perm[static_cast<size_t>(p)]};
+      }
+      break;
+    }
+    case PolicyKind::kHybrid: {
+      // ~N/2 striped shards x 2 replicas; a 1- or 2-device cluster
+      // degenerates to one fully replicated range.
+      const int ranges = std::max(1, num_devices / 2);
+      out.shards = StripeRanges(num_rows, ranges);
+      for (int p = 0; p < ranges; ++p) {
+        Shard& shard = out.shards[static_cast<size_t>(p)];
+        shard.devices.push_back(perm[static_cast<size_t>(2 * p)]);
+        if (2 * p + 1 < num_devices) {
+          shard.devices.push_back(perm[static_cast<size_t>(2 * p + 1)]);
+        }
+      }
+      // An odd cluster's leftover device doubles up on the first range so
+      // no device sits idle.
+      if (num_devices > 2 && num_devices % 2 == 1) {
+        out.shards[0].devices.push_back(
+            perm[static_cast<size_t>(num_devices - 1)]);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tilecomp::serve::placement

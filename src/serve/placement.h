@@ -1,0 +1,97 @@
+// Data placement for cluster serving: how the lineorder fact table is laid
+// out across N devices. Dimension tables are always replicated (they are
+// tiny next to the fact table — the paper's queries build their hash tables
+// per device); the policy decides what happens to the fact columns:
+//
+//   kReplicate   every device holds the whole fact table. A query runs on
+//                one device (routed round-robin), so per-query latency is
+//                the single-device latency and throughput scales with
+//                devices only through batch parallelism.
+//   kRangeShard  the fact table is cut into kStripeTiles-tile chunks dealt
+//                round-robin, one shard per device (striped range
+//                sharding). Every device scans its shard for every query
+//                and the partial aggregates merge over the interconnect —
+//                per-query work drops ~N-fold.
+//   kHybrid      ~N/2 striped shards, each replicated on 2 devices:
+//                sharding's scan reduction with one spare replica per
+//                shard to take over on faults.
+//
+// Why stripes instead of one contiguous range per shard: chunk boundaries
+// are multiples of the Crystal tile size, so on a date-clustered layout
+// every chunk is a contiguous date range and per-shard zone maps keep
+// pruning (PR 6) — but because the chunks of any date window are dealt
+// across all shards, a date-selective query's surviving tiles split ~N
+// ways instead of landing on a single owning device. A contiguous cut
+// would serialize exactly the hottest (flight 1) queries of a skewed mix
+// on one shard. Device assignment is a seeded deterministic permutation:
+// same seed, same placement.
+#ifndef TILECOMP_SERVE_PLACEMENT_H_
+#define TILECOMP_SERVE_PLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tilecomp::serve::placement {
+
+enum class PolicyKind {
+  kReplicate,
+  kRangeShard,
+  kHybrid,
+};
+
+const char* PolicyName(PolicyKind kind);
+// Inverse of PolicyName; returns false on an unknown name.
+bool ParsePolicy(const std::string& name, PolicyKind* kind);
+
+// Stripe granularity: shards take turns owning chunks of this many Crystal
+// tiles. Coarse enough that a chunk of a date-clustered table is a long
+// contiguous date run (zone maps prune inside it), fine enough that any
+// query's date window spreads over every shard.
+inline constexpr size_t kStripeTiles = 64;
+
+// One contiguous, tile-aligned row range [begin, end).
+struct RowRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t rows() const { return end - begin; }
+  bool operator==(const RowRange&) const = default;
+};
+
+// The tile-aligned row ranges a shard owns (disjoint, ascending — a single
+// range when the policy does not stripe) and the devices holding a replica
+// of it. With kRangeShard there is exactly one device per shard; with
+// kReplicate one shard lists every device; with kHybrid each shard lists
+// two (or every device when the cluster has fewer than three).
+struct Shard {
+  std::vector<RowRange> ranges;
+  std::vector<int> devices;
+
+  size_t rows() const {
+    size_t n = 0;
+    for (const RowRange& r : ranges) n += r.rows();
+    return n;
+  }
+};
+
+struct Placement {
+  PolicyKind policy = PolicyKind::kRangeShard;
+  size_t num_rows = 0;
+  int num_devices = 1;
+  std::vector<Shard> shards;
+
+  // The shards device `d` holds a replica of, in shard order.
+  std::vector<int> ShardsOnDevice(int d) const;
+};
+
+// Lay `num_rows` fact rows out over `num_devices` devices. Deterministic in
+// (kind, num_rows, num_devices, seed); the seed only permutes which device
+// gets which range, never the ranges themselves.
+Placement Plan(PolicyKind kind, size_t num_rows, int num_devices,
+               uint64_t seed);
+
+}  // namespace tilecomp::serve::placement
+
+#endif  // TILECOMP_SERVE_PLACEMENT_H_

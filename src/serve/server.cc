@@ -152,6 +152,7 @@ Server::Server(sim::Device& dev, const ssb::SsbData& data,
       loader_(&cache_, options.fault_plan) {
   const int n = std::max(1, options_.num_streams);
   for (int i = 0; i < n; ++i) streams_.push_back(dev_.CreateStream());
+  runner_.set_reuse_prepared(options_.reuse_hash_tables);
   if (options_.prefetch.enabled && options_.use_cache) {
     // Decompress-then-query systems skip a column's pipeline only when
     // every reachable tile is resident, so a partial top-up is pure cost
@@ -331,6 +332,11 @@ ssb::EncodedLineorder Server::MaterializeColumns(
     out.cols[static_cast<int>(col)] = std::move(materialized);
   }
   return out;
+}
+
+void Server::Prewarm(const std::vector<ssb::QueryId>& queries) {
+  for (ssb::QueryId q : queries) runner_.Prewarm(dev_, q);
+  dev_.DeviceSynchronize();
 }
 
 ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {

@@ -155,6 +155,13 @@ struct ServeOptions {
   // the loader feeds the prefetcher its demand access sequence. Requires
   // use_cache — prefetching stages tiles in the cache.
   PrefetchOptions prefetch;
+  // Keep each query's dimension hash tables device-resident across the
+  // batch (ssb::QueryRunner::set_reuse_prepared): the first execution of a
+  // query pays the hash.build kernels, repeats skip them. The build side
+  // depends only on the replicated dimension tables, so results are
+  // unchanged. Off by default to keep single-query latencies comparable
+  // with the pre-cluster benchmarks; the cluster scheduler turns it on.
+  bool reuse_hash_tables = false;
 };
 
 struct ServedQuery {
@@ -209,6 +216,12 @@ class Server {
   // Serve `batch` in order. Per-query latency is measured on the query's
   // stream; the makespan is the device synchronize at the end.
   ServeReport Serve(const std::vector<ssb::QueryId>& batch);
+
+  // Build each query's dimension hash tables now so later Serve calls skip
+  // them (a no-op unless options.reuse_hash_tables). The build kernels run
+  // on the device timeline at the call point; the cluster scheduler calls
+  // this at placement time, before its serving clock starts.
+  void Prewarm(const std::vector<ssb::QueryId>& queries);
 
   const TileCache& cache() const { return cache_; }
   const ssb::QueryRunner& runner() const { return runner_; }

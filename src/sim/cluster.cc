@@ -1,0 +1,136 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+namespace tilecomp::sim {
+
+const char* ClusterLimiterName(ClusterLimiter limiter) {
+  switch (limiter) {
+    case ClusterLimiter::kCompute:
+      return "compute";
+    case ClusterLimiter::kHbm:
+      return "hbm";
+    case ClusterLimiter::kInterconnect:
+      return "interconnect";
+  }
+  return "?";
+}
+
+Cluster::Cluster(int num_devices, const DeviceSpec& spec, const LinkSpec& link)
+    : link_(link) {
+  TILECOMP_CHECK(num_devices >= 1);
+  for (int i = 0; i < num_devices; ++i) {
+    devices_.push_back(std::make_unique<Device>(spec));
+  }
+  ports_.resize(static_cast<size_t>(num_devices));
+}
+
+Cluster::Cluster(const std::vector<DeviceSpec>& specs, const LinkSpec& link)
+    : link_(link) {
+  TILECOMP_CHECK(!specs.empty());
+  for (const DeviceSpec& spec : specs) {
+    devices_.push_back(std::make_unique<Device>(spec));
+  }
+  ports_.resize(specs.size());
+}
+
+double Cluster::EstimateLinkMs(uint64_t bytes) const {
+  return link_.latency_us * 1e-3 +
+         static_cast<double>(bytes) / (link_.gbps * 1e9) * 1e3;
+}
+
+double Cluster::TransferBetween(int src, int dst, uint64_t bytes,
+                                double ready_ms, const std::string& label) {
+  CheckDevice(src);
+  CheckDevice(dst);
+  if (src == dst) return ready_ms;
+  PortState& sp = ports_[static_cast<size_t>(src)];
+  PortState& dp = ports_[static_cast<size_t>(dst)];
+  const double duration = EstimateLinkMs(bytes);
+  const double start =
+      std::max({ready_ms, sp.out_free_ms, dp.in_free_ms});
+  const double end = start + duration;
+  sp.out_free_ms = end;
+  dp.in_free_ms = end;
+  sp.out_busy_ms += duration;
+  dp.in_busy_ms += duration;
+  link_bytes_total_ += bytes;
+  LinkTransfer record;
+  record.src_device = src;
+  record.dst_device = dst;
+  record.bytes = bytes;
+  record.start_ms = start;
+  record.duration_ms = duration;
+  record.label = label;
+  if (link_sink_ != nullptr) {
+    link_sink_->OnLink(src, dst, bytes, start, duration, label);
+  }
+  link_log_.push_back(std::move(record));
+  return end;
+}
+
+double Cluster::SynchronizeAll() {
+  for (auto& dev : devices_) dev->DeviceSynchronize();
+  return MakespanMs();
+}
+
+double Cluster::MakespanMs() const {
+  double makespan = 0.0;
+  for (const auto& dev : devices_) {
+    makespan = std::max(makespan, dev->elapsed_ms());
+  }
+  for (const PortState& port : ports_) {
+    makespan = std::max({makespan, port.in_free_ms, port.out_free_ms});
+  }
+  return makespan;
+}
+
+double Cluster::link_in_busy_ms(int device) const {
+  CheckDevice(device);
+  return ports_[static_cast<size_t>(device)].in_busy_ms;
+}
+
+double Cluster::link_out_busy_ms(int device) const {
+  CheckDevice(device);
+  return ports_[static_cast<size_t>(device)].out_busy_ms;
+}
+
+double Cluster::max_link_busy_ms() const {
+  double best = 0.0;
+  for (const PortState& port : ports_) {
+    best = std::max({best, port.in_busy_ms, port.out_busy_ms});
+  }
+  return best;
+}
+
+ClusterBreakdown Cluster::Breakdown(
+    double extra_compute_ms, const std::vector<size_t>& skip_launches) const {
+  ClusterBreakdown out;
+  for (size_t d = 0; d < devices_.size(); ++d) {
+    double compute = extra_compute_ms / static_cast<double>(devices_.size());
+    double hbm = 0.0;
+    const std::vector<KernelResult>& log = devices_[d]->launch_log();
+    const size_t skip =
+        d < skip_launches.size() ? std::min(skip_launches[d], log.size()) : 0;
+    for (size_t k = skip; k < log.size(); ++k) {
+      const Limiter limiter = log[k].breakdown.limiter();
+      if (limiter == Limiter::kBandwidth || limiter == Limiter::kLatency) {
+        hbm += log[k].time_ms;
+      } else {
+        compute += log[k].time_ms;
+      }
+    }
+    out.compute_ms = std::max(out.compute_ms, compute);
+    out.hbm_ms = std::max(out.hbm_ms, hbm);
+  }
+  out.interconnect_ms = max_link_busy_ms();
+  return out;
+}
+
+void Cluster::CheckDevice(int device) const {
+  TILECOMP_CHECK_MSG(
+      device >= 0 && device < static_cast<int>(devices_.size()),
+      "invalid device index");
+}
+
+}  // namespace tilecomp::sim

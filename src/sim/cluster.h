@@ -1,0 +1,160 @@
+// A cluster of simulated devices connected by a modeled interconnect.
+//
+// Every device keeps its own independent timeline (streams, copy/compute
+// engines) exactly as before — the cluster adds nothing to single-device
+// execution. What the cluster owns is the interconnect: one full-duplex
+// link port per device whose inbound and outbound engines are separate
+// serializing resources, in the same discrete-event style as the per-device
+// copy/compute engines (PR 2). All device timelines share one clock (they
+// start together at t = 0), so a cross-device transfer is scheduled against
+// absolute timestamps: it becomes ready when the producing device reaches
+// `ready_ms`, waits for the source port's outbound engine and the
+// destination port's inbound engine, then occupies both for
+// latency + bytes/bandwidth.
+//
+// Two transfers into the same device serialize (the fan-in of a partial-
+// aggregate merge); a send and a receive on one device overlap (full
+// duplex); transfers between disjoint device pairs are fully concurrent
+// (switched fabric, no global bottleneck modeled).
+//
+// The cluster-level time breakdown classifies what bounds a multi-device
+// workload: the busiest serializing resource across the cluster — compute
+// (SM busy time that the perf model attributed to compute/shared/
+// scheduling/launch terms), HBM (busy time attributed to global-memory
+// bandwidth or latency), or the interconnect (the busiest link engine).
+#ifndef TILECOMP_SIM_CLUSTER_H_
+#define TILECOMP_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "sim/device.h"
+#include "sim/device_spec.h"
+
+namespace tilecomp::sim {
+
+// One completed inter-device transfer, for the link log and trace export.
+struct LinkTransfer {
+  int src_device = 0;
+  int dst_device = 0;
+  uint64_t bytes = 0;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  std::string label;
+
+  double end_ms() const { return start_ms + duration_ms; }
+};
+
+// What bounds the cluster: the busiest serializing resource class.
+enum class ClusterLimiter {
+  kCompute,       // SM time (compute/shared/scheduling/launch terms)
+  kHbm,           // global-memory bandwidth/latency time
+  kInterconnect,  // the busiest link engine
+};
+
+const char* ClusterLimiterName(ClusterLimiter limiter);
+
+// Busy time per resource class, maxed over the devices (for compute/HBM)
+// and over the link engines (for the interconnect): the throughput ceiling
+// of a pipelined workload is its busiest serial resource.
+struct ClusterBreakdown {
+  double compute_ms = 0.0;
+  double hbm_ms = 0.0;
+  double interconnect_ms = 0.0;
+
+  ClusterLimiter limiter() const {
+    ClusterLimiter which = ClusterLimiter::kCompute;
+    double best = compute_ms;
+    if (hbm_ms > best) {
+      best = hbm_ms;
+      which = ClusterLimiter::kHbm;
+    }
+    if (interconnect_ms > best) which = ClusterLimiter::kInterconnect;
+    return which;
+  }
+};
+
+class Cluster {
+ public:
+  // Homogeneous cluster: `num_devices` copies of `spec`.
+  Cluster(int num_devices, const DeviceSpec& spec, const LinkSpec& link);
+  // Heterogeneous cluster: one device per spec.
+  Cluster(const std::vector<DeviceSpec>& specs, const LinkSpec& link);
+
+  TILECOMP_DISALLOW_COPY_AND_ASSIGN(Cluster);
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  Device& device(int i) { return *devices_[static_cast<size_t>(i)]; }
+  const Device& device(int i) const { return *devices_[static_cast<size_t>(i)]; }
+  const LinkSpec& link() const { return link_; }
+
+  // Model a transfer of `bytes` from device `src` to device `dst`, ready no
+  // earlier than `ready_ms` (typically the producing stream's tail). The
+  // transfer starts once the source outbound and destination inbound
+  // engines are both free, occupies both for latency + bytes/bandwidth,
+  // and is appended to the link log (and the attached sink, if any).
+  // Returns the arrival time in ms. src == dst is a no-op returning
+  // `ready_ms` — local data needs no link.
+  double TransferBetween(int src, int dst, uint64_t bytes, double ready_ms,
+                         const std::string& label);
+
+  // Pure timing estimate of one transfer of `bytes`, ms (no scheduling).
+  double EstimateLinkMs(uint64_t bytes) const;
+
+  // Synchronize every device; returns the cluster makespan (the latest
+  // point on any device timeline or link engine).
+  double SynchronizeAll();
+  // Latest scheduled completion across devices and link engines, ms.
+  double MakespanMs() const;
+
+  const std::vector<LinkTransfer>& link_log() const { return link_log_; }
+  uint64_t link_bytes_total() const { return link_bytes_total_; }
+  // Busy time of one device's link engines, ms.
+  double link_in_busy_ms(int device) const;
+  double link_out_busy_ms(int device) const;
+  // The busiest single link engine across the cluster, ms.
+  double max_link_busy_ms() const;
+
+  // Classify what bounds the work scheduled so far: per-device kernel time
+  // split into compute vs HBM by each launch's perf-model limiter, maxed
+  // over devices, against the busiest link engine. `extra_compute_ms`, if
+  // nonzero, is added to every device's compute bucket share — the caller's
+  // off-device serial work (e.g. partial-aggregate merges it models
+  // outside Device::Launch), already maxed/apportioned by the caller.
+  // `skip_launches[d]`, when provided, excludes the first entries of device
+  // d's launch log — setup work (e.g. placement-time hash-table prewarm)
+  // the caller does not count toward the classified window.
+  ClusterBreakdown Breakdown(double extra_compute_ms = 0.0,
+                             const std::vector<size_t>& skip_launches =
+                                 {}) const;
+
+  // Attach an observer for link transfers (not owned; nullptr to detach).
+  // Per-device kernels/transfers keep reporting to each device's own
+  // tracer; this sink only sees OnLink.
+  void AttachLinkSink(TraceSink* sink) { link_sink_ = sink; }
+
+ private:
+  // Per-device link-port engine availability, ms.
+  struct PortState {
+    double in_free_ms = 0.0;
+    double out_free_ms = 0.0;
+    double in_busy_ms = 0.0;
+    double out_busy_ms = 0.0;
+  };
+
+  void CheckDevice(int device) const;
+
+  LinkSpec link_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<PortState> ports_;
+  std::vector<LinkTransfer> link_log_;
+  uint64_t link_bytes_total_ = 0;
+  TraceSink* link_sink_ = nullptr;
+};
+
+}  // namespace tilecomp::sim
+
+#endif  // TILECOMP_SIM_CLUSTER_H_

@@ -71,6 +71,19 @@ class TraceSink {
     (void)start_ms;
   }
   virtual void OnScopeEnd(double end_ms) { (void)end_ms; }
+  // One inter-device link transfer completed (sim::Cluster interconnect,
+  // trace schema v8). Single-device pipelines never see this; default
+  // no-op so existing sinks are unaffected.
+  virtual void OnLink(int src_device, int dst_device, uint64_t bytes,
+                      double start_ms, double duration_ms,
+                      const std::string& label) {
+    (void)src_device;
+    (void)dst_device;
+    (void)bytes;
+    (void)start_ms;
+    (void)duration_ms;
+    (void)label;
+  }
 };
 
 class Device {

@@ -64,6 +64,47 @@ struct DeviceSpec {
   static constexpr int kSectorBytes = 32;
   // Size of a full coalesced transaction, bytes (Section 2.1 / [40]).
   static constexpr int kTransactionBytes = 128;
+
+  // --- Named presets ---
+  // The V100 of the paper's evaluation: exactly the defaults above.
+  static DeviceSpec V100() { return DeviceSpec(); }
+  // An A100-class device: ~2 TB/s HBM2e, 108 SMs, double the per-thread
+  // shared-memory and register budgets (Section 8's "as GPUs improve"
+  // projection), PCIe 4 host link. Shared by bench_gpu_scaling and
+  // heterogeneous sim::Cluster configurations.
+  static DeviceSpec A100() {
+    DeviceSpec spec;
+    spec.global_bw_gbps = 2000.0;
+    spec.shared_bw_gbps = 19000.0;
+    spec.sm_count = 108;
+    spec.smem_bytes_per_thread_full_occupancy = 96;  // 164 KB/SM vs 96 KB
+    spec.regs_per_thread_full_occupancy = 96;
+    spec.regs_per_thread_limit = 192;
+    spec.int_ops_per_sec = 19.0e12;
+    spec.pcie_gbps = 25.0;  // PCIe 4
+    return spec;
+  }
+};
+
+// One class of inter-device link in a sim::Cluster. Every device owns one
+// full-duplex port of this class: its inbound and outbound engines are
+// separate serializing resources (like the copy/compute engines of a
+// Device), so two transfers *into* one device serialize while a send and a
+// receive overlap.
+struct LinkSpec {
+  // Per-direction bandwidth of one port, GB/s.
+  double gbps = 150.0;
+  // Fixed per-message cost (DMA setup, routing), microseconds.
+  double latency_us = 2.0;
+  const char* name = "nvlink";
+
+  // NVLink-class port: V100-generation NVLink2 aggregate (6 links x 25
+  // GB/s per direction).
+  static LinkSpec NvLink() { return LinkSpec{150.0, 2.0, "nvlink"}; }
+  // PCIe-class port: PCIe 3 x16 peer transfers staged through the host —
+  // the paper's Section 9.1 host link, with a higher per-message setup
+  // cost than a direct NVLink write.
+  static LinkSpec Pcie() { return LinkSpec{12.8, 8.0, "pcie"}; }
 };
 
 }  // namespace tilecomp::sim

@@ -1,0 +1,110 @@
+#include "ssb/layout.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tilecomp::ssb {
+
+void ClusterByOrderdate(LineorderTable* lo) {
+  std::vector<uint32_t> idx(lo->size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    return lo->orderdate[a] < lo->orderdate[b];
+  });
+  auto apply = [&](std::vector<uint32_t>& v) {
+    std::vector<uint32_t> out(v.size());
+    for (size_t i = 0; i < idx.size(); ++i) out[i] = v[idx[i]];
+    v = std::move(out);
+  };
+  apply(lo->orderkey);
+  apply(lo->orderdate);
+  apply(lo->ordtotalprice);
+  apply(lo->custkey);
+  apply(lo->partkey);
+  apply(lo->suppkey);
+  apply(lo->linenumber);
+  apply(lo->quantity);
+  apply(lo->tax);
+  apply(lo->discount);
+  apply(lo->commitdate);
+  apply(lo->extendedprice);
+  apply(lo->revenue);
+  apply(lo->supplycost);
+}
+
+LineorderTable SliceRows(const LineorderTable& lo, size_t row_begin,
+                         size_t row_end) {
+  TILECOMP_CHECK(row_begin <= row_end && row_end <= lo.size());
+  LineorderTable out;
+  auto slice = [&](const std::vector<uint32_t>& src,
+                   std::vector<uint32_t>& dst) {
+    dst.assign(src.begin() + static_cast<ptrdiff_t>(row_begin),
+               src.begin() + static_cast<ptrdiff_t>(row_end));
+  };
+  slice(lo.orderkey, out.orderkey);
+  slice(lo.orderdate, out.orderdate);
+  slice(lo.ordtotalprice, out.ordtotalprice);
+  slice(lo.custkey, out.custkey);
+  slice(lo.partkey, out.partkey);
+  slice(lo.suppkey, out.suppkey);
+  slice(lo.linenumber, out.linenumber);
+  slice(lo.quantity, out.quantity);
+  slice(lo.tax, out.tax);
+  slice(lo.discount, out.discount);
+  slice(lo.commitdate, out.commitdate);
+  slice(lo.extendedprice, out.extendedprice);
+  slice(lo.revenue, out.revenue);
+  slice(lo.supplycost, out.supplycost);
+  return out;
+}
+
+LineorderTable SliceRows(const LineorderTable& lo,
+                         const std::vector<std::pair<size_t, size_t>>& ranges) {
+  size_t total = 0;
+  for (const auto& [begin, end] : ranges) {
+    TILECOMP_CHECK(begin <= end && end <= lo.size());
+    total += end - begin;
+  }
+  LineorderTable out;
+  auto slice = [&](const std::vector<uint32_t>& src,
+                   std::vector<uint32_t>& dst) {
+    dst.reserve(total);
+    for (const auto& [begin, end] : ranges) {
+      dst.insert(dst.end(), src.begin() + static_cast<ptrdiff_t>(begin),
+                 src.begin() + static_cast<ptrdiff_t>(end));
+    }
+  };
+  slice(lo.orderkey, out.orderkey);
+  slice(lo.orderdate, out.orderdate);
+  slice(lo.ordtotalprice, out.ordtotalprice);
+  slice(lo.custkey, out.custkey);
+  slice(lo.partkey, out.partkey);
+  slice(lo.suppkey, out.suppkey);
+  slice(lo.linenumber, out.linenumber);
+  slice(lo.quantity, out.quantity);
+  slice(lo.tax, out.tax);
+  slice(lo.discount, out.discount);
+  slice(lo.commitdate, out.commitdate);
+  slice(lo.extendedprice, out.extendedprice);
+  slice(lo.revenue, out.revenue);
+  slice(lo.supplycost, out.supplycost);
+  return out;
+}
+
+SsbData ShardData(const SsbData& data, size_t row_begin, size_t row_end) {
+  SsbData shard = data;  // replicate dimensions + dictionaries
+  shard.lineorder = SliceRows(data.lineorder, row_begin, row_end);
+  return shard;
+}
+
+SsbData ShardData(const SsbData& data,
+                  const std::vector<std::pair<size_t, size_t>>& ranges) {
+  SsbData shard = data;  // replicate dimensions + dictionaries
+  shard.lineorder = SliceRows(data.lineorder, ranges);
+  return shard;
+}
+
+}  // namespace tilecomp::ssb

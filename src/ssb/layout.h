@@ -1,0 +1,43 @@
+// Physical layout helpers for the lineorder fact table: clustering (sort
+// order) and row-range sharding for multi-device placement. Both preserve
+// row contents exactly — group-by results are order-independent, so the
+// host reference stays the oracle for any layout.
+#ifndef TILECOMP_SSB_LAYOUT_H_
+#define TILECOMP_SSB_LAYOUT_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ssb/schema.h"
+
+namespace tilecomp::ssb {
+
+// Physically cluster lineorder by orderdate (stable, so orderkey runs
+// survive within a date) — the standard date-partitioned fact-table layout.
+// Date predicates then align with tile boundaries and the zone maps get
+// something to prune; with range sharding on top, each shard covers a
+// contiguous date range so per-shard zone maps keep pruning.
+void ClusterByOrderdate(LineorderTable* lo);
+
+// Copy rows [row_begin, row_end) of every lineorder column.
+LineorderTable SliceRows(const LineorderTable& lo, size_t row_begin,
+                         size_t row_end);
+
+// Concatenate several disjoint ascending [begin, end) row ranges — the
+// striped-shard layout. When ranges are tile-aligned, each source tile maps
+// onto exactly one destination tile, so per-tile zone maps built on the
+// slice prune exactly as they would on the full table.
+LineorderTable SliceRows(const LineorderTable& lo,
+                         const std::vector<std::pair<size_t, size_t>>& ranges);
+
+// A shard of the dataset: the selected lineorder rows with the dimension
+// tables and dictionaries replicated (they are small; replicating them per
+// device is exactly what the cluster placement does).
+SsbData ShardData(const SsbData& data, size_t row_begin, size_t row_end);
+SsbData ShardData(const SsbData& data,
+                  const std::vector<std::pair<size_t, size_t>>& ranges);
+
+}  // namespace tilecomp::ssb
+
+#endif  // TILECOMP_SSB_LAYOUT_H_

@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "codec/systems.h"
@@ -53,6 +54,12 @@ struct PredicateRange {
 // is empty. The serving layer uses these to decide which tiles a query can
 // possibly touch before materializing columns.
 std::vector<PredicateRange> QueryPredicates(QueryId query);
+
+// Slots in the query's dense group-by accumulator (the product of its group
+// dimensions; 1 for the scalar flight-1 queries). Crystal keeps group-by
+// results in dense arrays, so this times 8 bytes is what a device ships
+// when partial aggregates merge across a cluster.
+uint64_t QueryGroupSlots(QueryId query, const SsbData& data);
 
 // The lineorder fact table as stored by one system (dimension tables are
 // small and stay uncompressed, as in the paper).
@@ -96,6 +103,7 @@ struct QueryResult {
 class QueryRunner {
  public:
   explicit QueryRunner(const SsbData& data);
+  ~QueryRunner();
 
   // Execute on the simulated device using the system's pipeline. `accessor`
   // overrides how the Crystal kernel accesses fact-column tiles (default:
@@ -114,6 +122,24 @@ class QueryRunner {
   // Independent row-at-a-time reference executor (host).
   QueryResult RunHostReference(QueryId query) const;
 
+  // Reuse each query's prepared dimension hash tables across Run calls on
+  // the same device. The build side of an SSB query is immutable — it
+  // depends only on the dimension tables, never on the fact shard — so a
+  // serving deployment builds it once and keeps it resident; repeats of a
+  // query then skip their hash.build kernels. Off by default: the one-shot
+  // figure benchmarks measure the build as part of the query, as the paper
+  // does. The cache is invalidated if Run is called with a different
+  // device (tables are device-resident).
+  void set_reuse_prepared(bool reuse);
+  bool reuse_prepared() const { return prepared_cache_ != nullptr; }
+
+  // Build `query`'s dimension hash tables into the prepared cache now (a
+  // no-op without set_reuse_prepared). The build kernels run on `dev`'s
+  // timeline at the call point — callers that treat preparation as
+  // placement-time work (the cluster scheduler) prewarm before starting
+  // their serving clock.
+  void Prewarm(sim::Device& dev, QueryId query) const;
+
   const SsbData& data() const { return data_; }
 
  private:
@@ -124,6 +150,10 @@ class QueryRunner {
                           QueryId query) const;
 
   const SsbData& data_;
+  // Device-resident prepared queries, present iff set_reuse_prepared(true).
+  // Mutable: caching a build is not an observable change to query results.
+  struct PreparedCache;
+  mutable std::unique_ptr<PreparedCache> prepared_cache_;
 };
 
 }  // namespace tilecomp::ssb

@@ -96,15 +96,15 @@ bool IsKnownTraceSchema(const std::string& schema) {
   return schema == kTraceSchema || schema == kTraceSchemaV1 ||
          schema == kTraceSchemaV2 || schema == kTraceSchemaV3 ||
          schema == kTraceSchemaV4 || schema == kTraceSchemaV5 ||
-         schema == kTraceSchemaV6;
+         schema == kTraceSchemaV6 || schema == kTraceSchemaV7;
 }
 
-std::string ToJson(const Tracer& tracer) {
+std::string ToJson(const std::vector<Span>& spans) {
   std::string out;
-  out.reserve(512 + tracer.spans().size() * 512);
+  out.reserve(512 + spans.size() * 512);
   AppendF(&out, "{\"schema\":\"%s\",\"spans\":[", kTraceSchema);
   bool first = true;
-  for (const Span& span : tracer.spans()) {
+  for (const Span& span : spans) {
     if (!first) out.append(",");
     first = false;
     out.append("\n{");
@@ -112,7 +112,8 @@ std::string ToJson(const Tracer& tracer) {
     AppendF(&out, "\"name\":\"%s\",", JsonEscape(span.name).c_str());
     AppendF(&out, "\"path\":\"%s\",", JsonEscape(span.path).c_str());
     AppendF(&out, "\"depth\":%d,", span.depth);
-    if (span.kind != SpanKind::kScope) {
+    AppendF(&out, "\"device\":%d,", span.device_id);
+    if (span.kind != SpanKind::kScope && span.kind != SpanKind::kLink) {
       AppendF(&out, "\"stream\":%d,", span.stream_id);
     }
     if (span.kind == SpanKind::kKernel) AppendKernelFields(&out, span.kernel);
@@ -120,6 +121,11 @@ std::string ToJson(const Tracer& tracer) {
       AppendF(&out, "\"bytes\":%" PRIu64 ",", span.transfer_bytes);
       AppendF(&out, "\"faults\":{\"retries\":%d,\"failed\":%s},",
               span.fault_retries, span.fault_failed ? "true" : "false");
+    }
+    if (span.kind == SpanKind::kLink) {
+      AppendF(&out, "\"bytes\":%" PRIu64 ",", span.transfer_bytes);
+      AppendF(&out, "\"src_device\":%d,\"dst_device\":%d,", span.link_src,
+              span.link_dst);
     }
     AppendDouble(&out, "start_ms", span.start_ms);
     AppendDouble(&out, "duration_ms", span.duration_ms,
@@ -129,6 +135,8 @@ std::string ToJson(const Tracer& tracer) {
   out.append("\n]}\n");
   return out;
 }
+
+std::string ToJson(const Tracer& tracer) { return ToJson(tracer.spans()); }
 
 bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
                    std::string* error) {
@@ -154,6 +162,8 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
       span.kind = SpanKind::kTransfer;
     } else if (kind == "scope") {
       span.kind = SpanKind::kScope;
+    } else if (kind == "link") {
+      span.kind = SpanKind::kLink;
     } else {
       if (error != nullptr) *error = "unknown span kind: " + kind;
       return false;
@@ -166,6 +176,10 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
     // v1 traces predate streams; everything ran on the default stream.
     span.stream_id =
         record.Has("stream") ? static_cast<int>(record.Get("stream").AsInt64())
+                             : 0;
+    // Pre-v8 traces predate clusters: everything ran on device 0.
+    span.device_id =
+        record.Has("device") ? static_cast<int>(record.Get("device").AsInt64())
                              : 0;
     // Pre-v5 traces predate fault injection: zero retries, not failed.
     if (record.Has("faults")) {
@@ -270,38 +284,73 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
     if (span.kind == SpanKind::kTransfer) {
       span.transfer_bytes = record.Get("bytes").AsUint64();
     }
+    if (span.kind == SpanKind::kLink) {
+      span.transfer_bytes = record.Get("bytes").AsUint64();
+      span.link_src = static_cast<int>(record.Get("src_device").AsInt64());
+      span.link_dst = static_cast<int>(record.Get("dst_device").AsInt64());
+    }
     spans->push_back(std::move(span));
   }
   return true;
 }
 
-std::string ToChromeTrace(const Tracer& tracer) {
+std::string ToChromeTrace(const std::vector<Span>& spans) {
   std::string out;
-  out.reserve(1024 + tracer.spans().size() * 256);
+  out.reserve(1024 + spans.size() * 256);
   out.append("{\"traceEvents\":[");
-  // Lane layout: scopes on tid 0 bracket the per-stream work lanes on
-  // tid 1 + stream, mirroring how nvprof shows streams under the launching
-  // API row. Metadata events name each lane.
+  // Lane layout: per device, scopes on the first lane bracket the per-stream
+  // work lanes below it, mirroring how nvprof shows streams under the
+  // launching API row; link spans get one interconnect lane per source
+  // device after all the device groups. Single-device traces keep the
+  // original tids (0 = scopes, 1 + stream). Metadata events name each lane.
   int max_stream = 0;
-  for (const Span& span : tracer.spans()) {
+  int max_device = 0;
+  bool has_links = false;
+  for (const Span& span : spans) {
     max_stream = std::max(max_stream, span.stream_id);
+    max_device = std::max({max_device, span.device_id, span.link_dst});
+    if (span.kind == SpanKind::kLink) has_links = true;
   }
+  const int lane_stride = max_stream + 2;
+  const int link_base = (max_device + 1) * lane_stride;
   out.append(
       "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
       "\"args\":{\"name\":\"tilecomp sim\"}}");
-  out.append(
-      ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-      "\"args\":{\"name\":\"scopes\"}}");
-  for (int s = 0; s <= max_stream; ++s) {
+  for (int d = 0; d <= max_device; ++d) {
+    char prefix[32];
+    if (max_device > 0) {
+      std::snprintf(prefix, sizeof(prefix), "dev%d ", d);
+    } else {
+      prefix[0] = '\0';
+    }
     AppendF(&out,
             ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
-            "\"args\":{\"name\":\"stream %d%s\"}}",
-            1 + s, s, s == 0 ? " (default)" : "");
+            "\"args\":{\"name\":\"%sscopes\"}}",
+            d * lane_stride, prefix);
+    for (int s = 0; s <= max_stream; ++s) {
+      AppendF(&out,
+              ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+              "\"args\":{\"name\":\"%sstream %d%s\"}}",
+              d * lane_stride + 1 + s, prefix, s, s == 0 ? " (default)" : "");
+    }
   }
-  for (const Span& span : tracer.spans()) {
+  if (has_links) {
+    for (int d = 0; d <= max_device; ++d) {
+      AppendF(&out,
+              ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+              "\"args\":{\"name\":\"dev%d link-out\"}}",
+              link_base + d, d);
+    }
+  }
+  for (const Span& span : spans) {
     out.append(",");
     out.append("\n{");
-    const int tid = span.kind == SpanKind::kScope ? 0 : 1 + span.stream_id;
+    int tid = span.device_id * lane_stride;
+    if (span.kind == SpanKind::kLink) {
+      tid = link_base + span.link_src;
+    } else if (span.kind != SpanKind::kScope) {
+      tid += 1 + span.stream_id;
+    }
     AppendF(&out, "\"name\":\"%s\",", JsonEscape(span.name).c_str());
     AppendF(&out, "\"cat\":\"%s\",", SpanKindName(span.kind));
     AppendF(&out, "\"ph\":\"X\",\"pid\":0,\"tid\":%d,", tid);
@@ -320,11 +369,19 @@ std::string ToChromeTrace(const Tracer& tracer) {
     } else if (span.kind == SpanKind::kTransfer) {
       AppendF(&out, "\"stream\":%d,", span.stream_id);
       AppendF(&out, "\"bytes\":%" PRIu64, span.transfer_bytes);
+    } else if (span.kind == SpanKind::kLink) {
+      AppendF(&out, "\"src_device\":%d,\"dst_device\":%d,", span.link_src,
+              span.link_dst);
+      AppendF(&out, "\"bytes\":%" PRIu64, span.transfer_bytes);
     }
     out.append("}}");
   }
   out.append("\n]}\n");
   return out;
+}
+
+std::string ToChromeTrace(const Tracer& tracer) {
+  return ToChromeTrace(tracer.spans());
 }
 
 bool WriteTextFile(const std::string& path, const std::string& content) {
@@ -351,6 +408,14 @@ void PrintSummary(const Tracer& tracer, std::FILE* out) {
                    static_cast<int>(34 - indent.size()), span.name.c_str(),
                    span.duration_ms, "-", span.transfer_bytes / 1e6, "-", "-",
                    "pcie");
+      continue;
+    }
+    if (span.kind == SpanKind::kLink) {
+      std::fprintf(out, "%s%-*s %10.4f %10s %9.2f %9s %5s %-10s\n",
+                   indent.c_str(),
+                   static_cast<int>(34 - indent.size()), span.name.c_str(),
+                   span.duration_ms, "-", span.transfer_bytes / 1e6, "-", "-",
+                   "link");
       continue;
     }
     const sim::KernelResult& k = span.kernel;

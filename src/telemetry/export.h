@@ -3,14 +3,17 @@
 // JSON schema (stable; version bumps on breaking change):
 //
 //   {
-//     "schema": "tilecomp.trace.v7",
+//     "schema": "tilecomp.trace.v8",
 //     "spans": [
 //       {
-//         "kind": "kernel" | "transfer" | "scope",
-//         "name": "<launch label / scope name>",
+//         "kind": "kernel" | "transfer" | "scope" | "link",
+//         "name": "<launch label / scope name / link label>",
 //         "path": "<'/'-joined enclosing scope names, '' at top level>",
 //         "depth": <int>,
 //         "start_ms": <double>, "duration_ms": <double>,
+//         // v8: device the span belongs to (0 in single-device traces; link
+//         // spans carry their source device here).
+//         "device": <int>,
 //         // kind == "kernel" | "transfer" only:
 //         "stream": <int, 0 = default stream>,
 //         // kind == "kernel" only:
@@ -32,8 +35,11 @@
 //         "limiter": "bandwidth"|"latency"|"scheduling"|"shared"|"compute",
 //         // kind == "kernel" | "transfer" only:
 //         "faults": {"retries": <int>, "failed": <bool>},
-//         // kind == "transfer" only:
-//         "bytes": <uint64>
+//         // kind == "transfer" | "link" only:
+//         "bytes": <uint64>,
+//         // kind == "link" only (v8): inter-device interconnect transfer
+//         // endpoints (sim::Cluster).
+//         "src_device": <int>, "dst_device": <int>
 //       }, ...
 //     ]
 //   }
@@ -51,16 +57,22 @@
 // serving layer's speculative tile prefetching: decodes issued / useful /
 // wasted / late, see serve/prefetcher.h) and the "prefetch_hits" cache field
 // (demand hits served by speculatively staged tiles, counted apart from
-// "hits"). Older traces still load through TraceFromJson: a missing "stream"
-// defaults to the synchronizing stream 0, missing v3 fields default to a
-// static launch with no wave data, a missing v4 "cache" object defaults to
-// all-zero counters, a missing v5 "faults" object defaults to zero retries /
-// not failed, a missing v6 "pushdown" object defaults to all-zero counters,
-// and missing v7 prefetch fields default to all-zero counters.
+// "hits"); v8 adds multi-device cluster serving: the per-span "device" field
+// (which device's timeline the span sits on) and the "link" span kind (one
+// inter-device transfer over the modeled interconnect, carrying "bytes" plus
+// "src_device"/"dst_device"). Older traces still load through TraceFromJson:
+// a missing "stream" defaults to the synchronizing stream 0, missing v3
+// fields default to a static launch with no wave data, a missing v4 "cache"
+// object defaults to all-zero counters, a missing v5 "faults" object
+// defaults to zero retries / not failed, a missing v6 "pushdown" object
+// defaults to all-zero counters, missing v7 prefetch fields default to
+// all-zero counters, and a missing v8 "device" field defaults to device 0.
 //
 // The chrome://tracing exporter emits the Trace Event JSON format ("X"
 // duration events, microsecond timestamps) loadable in chrome://tracing or
-// https://ui.perfetto.dev, with one named lane (tid) per device stream.
+// https://ui.perfetto.dev, with one named lane (tid) per device stream;
+// multi-device traces get one lane group per device plus a per-device
+// interconnect lane for link spans.
 #ifndef TILECOMP_TELEMETRY_EXPORT_H_
 #define TILECOMP_TELEMETRY_EXPORT_H_
 
@@ -72,32 +84,38 @@
 
 namespace tilecomp::telemetry {
 
-inline constexpr const char* kTraceSchema = "tilecomp.trace.v7";
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v8";
 inline constexpr const char* kTraceSchemaV1 = "tilecomp.trace.v1";
 inline constexpr const char* kTraceSchemaV2 = "tilecomp.trace.v2";
 inline constexpr const char* kTraceSchemaV3 = "tilecomp.trace.v3";
 inline constexpr const char* kTraceSchemaV4 = "tilecomp.trace.v4";
 inline constexpr const char* kTraceSchemaV5 = "tilecomp.trace.v5";
 inline constexpr const char* kTraceSchemaV6 = "tilecomp.trace.v6";
+inline constexpr const char* kTraceSchemaV7 = "tilecomp.trace.v7";
 
-// True for every schema version TraceFromJson accepts (v1 through v7).
+// True for every schema version TraceFromJson accepts (v1 through v8).
 bool IsKnownTraceSchema(const std::string& schema);
 
-// Machine-readable trace (schema above).
+// Machine-readable trace (schema above). The span-vector overload serializes
+// a merged multi-device timeline (see MergeSpans in tracer.h).
 std::string ToJson(const Tracer& tracer);
+std::string ToJson(const std::vector<Span>& spans);
 
-// Parse a tilecomp.trace.v1 through .v7 document back into spans. Limiter
+// Parse a tilecomp.trace.v1 through .v8 document back into spans. Limiter
 // and derived fields are recomputed from the stored breakdown; spans from a
 // v1 trace carry stream 0, pre-v3 spans carry static scheduling with no wave
 // data, pre-v4 spans carry all-zero cache counters, pre-v5 spans carry zero
 // fault retries / not failed, pre-v6 spans carry all-zero pushdown counters,
-// and pre-v7 spans carry all-zero prefetch counters. Returns false (and
-// fills *error) on malformed input or an unknown schema.
+// pre-v7 spans carry all-zero prefetch counters, and pre-v8 spans carry
+// device 0. Returns false (and fills *error) on malformed input or an
+// unknown schema.
 bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
                    std::string* error);
 
-// chrome://tracing / Perfetto Trace Event format.
+// chrome://tracing / Perfetto Trace Event format. The span-vector overload
+// lays out one lane group per device plus interconnect lanes for link spans.
 std::string ToChromeTrace(const Tracer& tracer);
+std::string ToChromeTrace(const std::vector<Span>& spans);
 
 // Write `content` to `path`. Returns false on I/O error.
 bool WriteTextFile(const std::string& path, const std::string& content);

@@ -1,5 +1,7 @@
 #include "telemetry/tracer.h"
 
+#include <algorithm>
+
 namespace tilecomp::telemetry {
 
 const char* SpanKindName(SpanKind kind) {
@@ -10,6 +12,8 @@ const char* SpanKindName(SpanKind kind) {
       return "transfer";
     case SpanKind::kScope:
       return "scope";
+    case SpanKind::kLink:
+      return "link";
   }
   return "?";
 }
@@ -32,6 +36,7 @@ void Tracer::OnKernel(const sim::KernelResult& result) {
   span.start_ms = result.start_ms;
   span.duration_ms = result.time_ms;
   span.stream_id = result.stream_id;
+  span.device_id = device_id_;
   span.kernel = result;
   spans_.push_back(std::move(span));
 }
@@ -46,6 +51,7 @@ void Tracer::OnTransfer(uint64_t bytes, double start_ms, double duration_ms,
   span.start_ms = start_ms;
   span.duration_ms = duration_ms;
   span.stream_id = stream_id;
+  span.device_id = device_id_;
   span.transfer_bytes = bytes;
   span.fault_retries = retries;
   span.fault_failed = failed;
@@ -60,6 +66,7 @@ void Tracer::OnScopeBegin(const std::string& name, double start_ms) {
   span.depth = static_cast<int>(open_scopes_.size());
   span.start_ms = start_ms;
   span.duration_ms = 0.0;
+  span.device_id = device_id_;
   spans_.push_back(std::move(span));
   open_scopes_.push_back(spans_.size() - 1);
 }
@@ -87,9 +94,40 @@ std::vector<sim::KernelResult> Tracer::KernelsSince(size_t mark) const {
   return out;
 }
 
+void Tracer::OnLink(int src_device, int dst_device, uint64_t bytes,
+                    double start_ms, double duration_ms,
+                    const std::string& label) {
+  Span span;
+  span.kind = SpanKind::kLink;
+  span.name = label.empty() ? "link.transfer" : label;
+  span.path = CurrentPath();
+  span.depth = static_cast<int>(open_scopes_.size());
+  span.start_ms = start_ms;
+  span.duration_ms = duration_ms;
+  span.device_id = src_device;
+  span.transfer_bytes = bytes;
+  span.link_src = src_device;
+  span.link_dst = dst_device;
+  spans_.push_back(std::move(span));
+}
+
 void Tracer::Clear() {
   spans_.clear();
   open_scopes_.clear();
+}
+
+std::vector<Span> MergeSpans(const std::vector<const Tracer*>& tracers) {
+  std::vector<Span> merged;
+  for (const Tracer* tracer : tracers) {
+    if (tracer == nullptr) continue;
+    merged.insert(merged.end(), tracer->spans().begin(),
+                  tracer->spans().end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.start_ms < b.start_ms;
+                   });
+  return merged;
 }
 
 ScopedSpan::ScopedSpan(sim::Device& dev, const std::string& name) {

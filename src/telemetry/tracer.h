@@ -24,13 +24,14 @@
 
 namespace tilecomp::telemetry {
 
-enum class SpanKind { kKernel, kTransfer, kScope };
+enum class SpanKind { kKernel, kTransfer, kScope, kLink };
 
 const char* SpanKindName(SpanKind kind);
 
 // One record of the trace. Kernel spans carry the full KernelResult
 // (config, stats, breakdown); transfer spans carry the byte count; scope
-// spans only bracket their children in time.
+// spans only bracket their children in time; link spans (schema v8) record
+// one inter-device transfer over a sim::Cluster interconnect.
 struct Span {
   SpanKind kind = SpanKind::kKernel;
   std::string name;
@@ -45,10 +46,17 @@ struct Span {
   // Stream the operation ran on (kKernel/kTransfer; 0 = default stream).
   // Scope spans are host-side and always report stream 0.
   int stream_id = 0;
+  // Device the span belongs to (schema v8). Single-device traces record 0;
+  // in a cluster trace each device's tracer stamps its own id. Link spans
+  // carry the *source* device here (plus both endpoints below).
+  int device_id = 0;
   // kKernel only.
   sim::KernelResult kernel;
-  // kTransfer only.
+  // kTransfer / kLink only.
   uint64_t transfer_bytes = 0;
+  // kLink only: interconnect endpoints (schema v8).
+  int link_src = 0;
+  int link_dst = 0;
   // kTransfer only: injected-fault outcome (schema v5). Kernel spans carry
   // the same information inside `kernel` (fault_retries / failed).
   int fault_retries = 0;
@@ -63,6 +71,14 @@ class Tracer : public sim::TraceSink {
                   int stream_id, int retries, bool failed) override;
   void OnScopeBegin(const std::string& name, double start_ms) override;
   void OnScopeEnd(double end_ms) override;
+  void OnLink(int src_device, int dst_device, uint64_t bytes, double start_ms,
+              double duration_ms, const std::string& label) override;
+
+  // Device id stamped onto every span this tracer records (schema v8).
+  // Defaults to 0, so single-device traces are unchanged; a cluster attaches
+  // one tracer per device and sets the id before serving.
+  void set_device_id(int id) { device_id_ = id; }
+  int device_id() const { return device_id_; }
 
   const std::vector<Span>& spans() const { return spans_; }
   // Current number of recorded spans; use as a mark for KernelsSince.
@@ -79,7 +95,13 @@ class Tracer : public sim::TraceSink {
   std::vector<Span> spans_;
   // Indices into spans_ of the currently open scope spans, outermost first.
   std::vector<size_t> open_scopes_;
+  int device_id_ = 0;
 };
+
+// Merge the spans of several tracers (one per device) plus optional extra
+// spans (e.g. a link tracer's) into one timeline ordered by start time.
+// Span device ids are preserved — callers stamp each tracer before running.
+std::vector<Span> MergeSpans(const std::vector<const Tracer*>& tracers);
 
 // RAII scope marker bound to a device: no-op when the device has no tracer
 // attached, so instrumented code paths cost nothing un-traced.

@@ -397,7 +397,7 @@ TEST(ExportTest, CacheCountersRoundTrip) {
   JsonValue root;
   std::string error;
   ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
-  EXPECT_EQ(root.Get("schema").AsString(), "tilecomp.trace.v7");
+  EXPECT_EQ(root.Get("schema").AsString(), telemetry::kTraceSchema);
   const JsonValue& span = root.Get("spans").AsArray()[0];
   ASSERT_TRUE(span.Has("cache"));
   const JsonValue& cache = span.Get("cache");
