@@ -1,0 +1,539 @@
+// SLO capacity benchmark: sweep offered load through the admission-controlled
+// serving loop (serve::Server::ServeLoad) to find the maximum sustained
+// throughput that still meets every priority class's p99 end-to-end SLO,
+// under 0% and 1% injected fault rates.
+//
+// Calibration first runs the same Zipfian mix as a fixed batch (the
+// bench_serve configuration at the same budget) to get the fixed-batch
+// throughput and p99 service time; the per-class SLO targets are multiples
+// of that p99 (interactive 4x, standard 6x, batch 12x — end-to-end, so
+// admission-queue wait counts against them). The open-loop sweep offers
+// Poisson and bursty (MMPP-2) arrivals at fractions of the fixed-batch
+// rate; the closed-loop sweep scales concurrent users. Each point reports
+// goodput (ok queries/sec over the makespan), the service vs end-to-end
+// percentile split, shed/failed/deadline counters, and per-class SLO
+// verdicts. The headline "sustained" number is the best goodput among
+// points meeting every class SLO.
+//
+// Three properties are enforced (exit 1 on violation), making this bench a
+// replayability gate as much as a capacity probe:
+//   * bit-exactness: every ok query's groups equal the host reference;
+//   * determinism: re-running a sweep point through a fresh device/server
+//     reproduces the full report byte-identically;
+//   * shed invariance: replaying a shedding point's schedule with its shed
+//     requests removed reproduces every admitted query's timing, status,
+//     result, and the cache/fault counters exactly — shed requests provably
+//     never touched the device, the cache, or the fault-plan sequence.
+//
+// --json [path] emits machine-readable BENCH_slo.json (schema
+// tilecomp.bench_slo.v1). --trace/--chrome re-run one loaded point with a
+// tracer attached and export schema-v9 query spans (arrival/admit/start/
+// finish), which Chrome renders as per-class queue+service lanes.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "codec/systems.h"
+#include "common/random.h"
+#include "fault/fault.h"
+#include "load/load_gen.h"
+#include "serve/server.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+#include "telemetry/export.h"
+
+namespace tilecomp {
+namespace {
+
+codec::System ParseSystem(const std::string& name) {
+  if (name == "nvcomp") return codec::System::kNvcomp;
+  if (name == "planner") return codec::System::kPlanner;
+  if (name == "gpubp") return codec::System::kGpuBp;
+  if (name == "gpustar") return codec::System::kGpuStar;
+  if (name == "none") return codec::System::kNone;
+  std::fprintf(stderr,
+               "unknown --system '%s' (want nvcomp|planner|gpubp|gpustar|"
+               "none)\n",
+               name.c_str());
+  std::exit(1);
+}
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+// Canonical text form of a loaded-serving report: every per-query outcome
+// at full precision plus the exact counters. Two runs are "deterministic"
+// iff these strings are byte-identical.
+std::string Canonical(const serve::ServeReport& r) {
+  std::string s;
+  for (const serve::ServedQuery& q : r.queries) {
+    Append(&s, "%" PRIu64 " %s %s %d %.9f %.9f %.9f %.9f %zu %" PRId64 "\n",
+           q.request_id, ssb::QueryName(q.query),
+           serve::QueryStatusName(q.status), q.stream, q.arrival_ms,
+           q.admit_ms, q.finish_ms, q.queue_ms, q.result.groups.size(),
+           q.result.scalar());
+  }
+  Append(&s, "adm %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+             " %.9f\n",
+         r.admission.offered, r.admission.admitted_immediately,
+         r.admission.queued, r.admission.shed, r.admission.max_queue_depth,
+         r.admission.queue_wait_ms_total);
+  Append(&s, "cache %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+         r.cache.hits, r.cache.misses, r.cache.evictions, r.cache.inserts);
+  Append(&s, "faults %" PRIu64 " %" PRIu64 " %.9f\n", r.faults.retries,
+         r.faults.terminal_failures, r.makespan_ms);
+  return s;
+}
+
+struct Point {
+  std::string process;  // "poisson" | "bursty" | "closed"
+  double fault_rate = 0.0;
+  double offered_qps = 0.0;  // open loop
+  double rate_frac = 0.0;    // of the fixed-batch rate (open loop)
+  int users = 0;             // closed loop
+  serve::ServeReport report;
+  double goodput_qps = 0.0;
+  bool slo_met = true;
+};
+
+struct Harness {
+  const ssb::SsbData& data;
+  const ssb::EncodedLineorder& enc;
+  const std::map<ssb::QueryId, ssb::QueryResult>& expected;
+  serve::ServeOptions base_options;
+  uint64_t fault_seed = 0;
+  bool ok = true;  // sticky: any bit-exactness violation clears it
+
+  // Run `workload` through a fresh device/server (and a fresh fault plan
+  // rebuilt from fault_seed, so every run at the same fault rate sees the
+  // same injection sequence) and bit-exact-check every ok query.
+  serve::ServeReport Run(load::Workload& workload, double fault_rate,
+                         telemetry::Tracer* tracer = nullptr) {
+    sim::Device dev;
+    if (tracer != nullptr) dev.AttachTracer(tracer);
+    fault::FaultPlan plan(
+        fault::FaultPlanOptions::Uniform(fault_rate, fault_seed));
+    serve::ServeOptions options = base_options;
+    options.fault_plan = fault_rate > 0.0 ? &plan : nullptr;
+    serve::Server server(dev, data, enc, options);
+    serve::ServeReport report = server.ServeLoad(workload);
+    for (const serve::ServedQuery& sq : report.queries) {
+      if (sq.status != serve::QueryStatus::kOk) continue;
+      if (sq.result.groups != expected.at(sq.query).groups) {
+        std::fprintf(stderr,
+                     "BIT-EXACTNESS VIOLATION: request %" PRIu64
+                     " (%s) diverges from host reference\n",
+                     sq.request_id, ssb::QueryName(sq.query));
+        ok = false;
+      }
+    }
+    return report;
+  }
+};
+
+bool AllSloMet(const serve::ServeReport& r) {
+  for (const serve::ClassReport& c : r.classes) {
+    if (!c.slo_met) return false;
+  }
+  return true;
+}
+
+double Goodput(const serve::ServeReport& r) {
+  uint64_t ok = 0;
+  for (const serve::ClassReport& c : r.classes) ok += c.ok;
+  return r.makespan_ms > 0.0 ? 1000.0 * static_cast<double>(ok) / r.makespan_ms
+                             : 0.0;
+}
+
+// Shed-invariance gate: replay `schedule` minus the requests `first` shed
+// and require every admitted query's outcome (timing, status, result) and
+// the cache/fault counters to reproduce exactly.
+bool CheckShedInvariance(Harness& harness, const load::Schedule& schedule,
+                         const load::WorkloadSpec& spec,
+                         const serve::ServeReport& first, double fault_rate) {
+  load::Schedule pruned;
+  for (const load::Request& r : schedule.requests) {
+    if (first.queries[r.id].status != serve::QueryStatus::kShed) {
+      pruned.requests.push_back(r);
+    }
+  }
+  load::OpenLoopWorkload workload(pruned, spec);
+  const serve::ServeReport second = harness.Run(workload, fault_rate);
+  if (second.queries.size() != pruned.requests.size()) return false;
+  size_t j = 0;
+  for (const serve::ServedQuery& sq : first.queries) {
+    if (sq.status == serve::QueryStatus::kShed) continue;
+    const serve::ServedQuery& rq = second.queries[j++];
+    if (rq.request_id != sq.request_id || rq.status != sq.status ||
+        rq.admit_ms != sq.admit_ms || rq.finish_ms != sq.finish_ms ||
+        rq.queue_ms != sq.queue_ms ||
+        rq.result.groups != sq.result.groups) {
+      std::fprintf(stderr,
+                   "SHED-INVARIANCE VIOLATION: request %" PRIu64
+                   " changed when the shed requests were removed\n",
+                   sq.request_id);
+      return false;
+    }
+  }
+  if (second.cache.hits != first.cache.hits ||
+      second.cache.misses != first.cache.misses ||
+      second.cache.evictions != first.cache.evictions ||
+      second.cache.inserts != first.cache.inserts) {
+    std::fprintf(stderr,
+                 "SHED-INVARIANCE VIOLATION: cache counters changed\n");
+    return false;
+  }
+  if (second.faults.consults != first.faults.consults ||
+      second.faults.injected != first.faults.injected ||
+      second.faults.retries != first.faults.retries) {
+    std::fprintf(stderr,
+                 "SHED-INVARIANCE VIOLATION: fault-plan sequence changed\n");
+    return false;
+  }
+  return true;
+}
+
+void AppendClasses(std::string* out, const serve::ServeReport& r) {
+  out->append("\"classes\":[");
+  for (size_t c = 0; c < load::kNumClasses; ++c) {
+    const serve::ClassReport& cr = r.classes[c];
+    Append(out,
+           "%s{\"class\":\"%s\",\"offered\":%" PRIu64 ",\"ok\":%" PRIu64
+           ",\"shed\":%" PRIu64 ",\"failed\":%" PRIu64
+           ",\"deadline_missed\":%" PRIu64
+           ",\"p50_e2e_ms\":%.6f,\"p99_e2e_ms\":%.6f,\"slo_p99_ms\":%.6f,"
+           "\"slo_met\":%s}",
+           c == 0 ? "" : ",",
+           load::QueryClassName(static_cast<load::QueryClass>(c)), cr.offered,
+           cr.ok, cr.shed, cr.failed, cr.deadline_missed, cr.p50_e2e_ms,
+           cr.p99_e2e_ms, cr.slo_p99_ms, cr.slo_met ? "true" : "false");
+  }
+  out->append("]");
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint32_t rows = static_cast<uint32_t>(flags.GetInt("rows", 30000));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("queries", 48));
+  const double alpha = flags.GetDouble("alpha", 1.2);
+  const int streams = static_cast<int>(flags.GetInt("streams", 3));
+  const size_t queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue", 4));
+  const std::string system_name = flags.GetString("system", "gpustar");
+  const codec::System system = ParseSystem(system_name);
+  const bench::CommonOptions common =
+      bench::ParseCommonOptions(flags, "BENCH_slo.json");
+
+  const ssb::SsbData data = ssb::GenerateSsbSmall(rows);
+  const ssb::EncodedLineorder enc = ssb::EncodeLineorder(data, system);
+
+  // Host-reference results, once per distinct query.
+  std::map<ssb::QueryId, ssb::QueryResult> expected;
+  {
+    ssb::QueryRunner reference(data);
+    for (ssb::QueryId q : ssb::AllQueries()) {
+      expected.emplace(q, reference.RunHostReference(q));
+    }
+  }
+
+  serve::ServeOptions base_options;
+  base_options.num_streams = streams;
+  base_options.cache_budget_bytes = 256ull << 20;  // holds the working set
+  base_options.admission.policy = serve::AdmissionPolicy::kShedLowPriority;
+  base_options.admission.queue_capacity = queue_capacity;
+
+  bench::PrintTitle("SLO capacity: loaded serving under admission control (" +
+                    std::string(codec::SystemName(system)) + ")");
+
+  // --- Calibration: the same mix as a fixed batch, at the same budget ---
+  const std::vector<ssb::QueryId> all = ssb::AllQueries();
+  const std::vector<uint32_t> ranks =
+      GenZipf(num_queries, all.size(), alpha, common.seed);
+  std::vector<ssb::QueryId> batch(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) batch[i] = all[ranks[i]];
+
+  double fixed_qps = 0.0;
+  double fixed_p99_service = 0.0;
+  double fixed_makespan = 0.0;
+  {
+    sim::Device dev;
+    serve::Server server(dev, data, enc, base_options);
+    const serve::ServeReport fixed = server.Serve(batch);
+    for (const serve::ServedQuery& sq : fixed.queries) {
+      if (sq.result.groups != expected.at(sq.query).groups) {
+        std::fprintf(stderr, "fixed-batch results diverge from reference\n");
+        return 1;
+      }
+    }
+    fixed_makespan = fixed.makespan_ms;
+    fixed_qps = 1000.0 * static_cast<double>(num_queries) / fixed.makespan_ms;
+    fixed_p99_service = fixed.p99_latency_ms;
+  }
+
+  // Per-class end-to-end SLOs as multiples of the fixed-batch p99 service
+  // time, deadlines at twice the SLO. Interactive gets the tightest target
+  // but also the highest admission priority.
+  load::WorkloadSpec spec;
+  const double multipliers[load::kNumClasses] = {4.0, 6.0, 12.0};
+  for (size_t c = 0; c < load::kNumClasses; ++c) {
+    spec.classes[c].slo_p99_ms = multipliers[c] * fixed_p99_service;
+    spec.classes[c].deadline_ms = 2.0 * spec.classes[c].slo_p99_ms;
+  }
+
+  bench::PrintNote(
+      "rows=" + std::to_string(data.lineorder.size()) + " queries=" +
+      std::to_string(num_queries) + " streams=" + std::to_string(streams) +
+      " queue=" + std::to_string(queue_capacity));
+  std::printf("fixed batch: %.1f qps, p99 service %.4f ms, makespan %.4f ms\n",
+              fixed_qps, fixed_p99_service, fixed_makespan);
+  std::printf("SLO p99 e2e: interactive %.4f / standard %.4f / batch %.4f ms\n",
+              spec.classes[0].slo_p99_ms, spec.classes[1].slo_p99_ms,
+              spec.classes[2].slo_p99_ms);
+
+  Harness harness{data, enc, expected, base_options, common.seed ^ 0xFA57,
+                  true};
+
+  // --- Open-loop sweep: rate fractions x process x fault rate ---
+  const double fractions[] = {0.6, 1.0, 1.5, 2.0};
+  const double fault_rates[] = {0.0, 0.01};
+  std::vector<Point> points;
+  // Remember one shedding schedule per fault rate for the invariance gate.
+  struct InvarianceCase {
+    bool found = false;
+    load::Schedule schedule;
+    serve::ServeReport report;
+  };
+  InvarianceCase invariance[2];
+
+  std::printf("\n%-8s %6s %6s %9s %9s %5s %5s %5s %9s %9s %4s\n", "process",
+              "fault", "frac", "offered", "goodput", "ok", "shed", "fail",
+              "p99_svc", "p99_e2e", "slo");
+  for (const char* process : {"poisson", "bursty"}) {
+    const bool bursty = std::strcmp(process, "bursty") == 0;
+    for (double frac : fractions) {
+      load::OpenLoopOptions gen;
+      gen.rate_qps = frac * fixed_qps;
+      gen.num_queries = num_queries;
+      gen.zipf_alpha = alpha;
+      gen.seed = common.seed + (bursty ? 1000 : 0);
+      if (bursty) gen.burst_factor = 8.0;
+      const load::Schedule schedule = load::GenOpenLoop(gen);
+      for (size_t f = 0; f < 2; ++f) {
+        load::OpenLoopWorkload workload(schedule, spec);
+        Point p;
+        p.process = process;
+        p.fault_rate = fault_rates[f];
+        p.offered_qps = gen.rate_qps;
+        p.rate_frac = frac;
+        p.report = harness.Run(workload, p.fault_rate);
+        p.goodput_qps = Goodput(p.report);
+        p.slo_met = AllSloMet(p.report);
+        std::printf("%-8s %6.2f %6.2f %9.1f %9.1f %5" PRIu64 " %5" PRIu64
+                    " %5" PRIu64 " %9.4f %9.4f %4s\n",
+                    p.process.c_str(), p.fault_rate, frac, p.offered_qps,
+                    p.goodput_qps, p.report.admission.started() -
+                        p.report.failed_queries,
+                    p.report.shed_queries, p.report.failed_queries,
+                    p.report.p99_latency_ms, p.report.p99_e2e_ms,
+                    p.slo_met ? "yes" : "NO");
+        if (!invariance[f].found && p.report.shed_queries > 0) {
+          invariance[f].found = true;
+          invariance[f].schedule = schedule;
+          invariance[f].report = p.report;
+        }
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  // --- Closed-loop sweep: users x fault rate ---
+  std::vector<Point> closed_points;
+  for (int users : {2, 4, 8, 16}) {
+    for (double fault_rate : fault_rates) {
+      load::ClosedLoopOptions gen;
+      gen.num_users = users;
+      gen.num_queries = num_queries;
+      gen.think_ms = 0.5;
+      gen.zipf_alpha = alpha;
+      gen.seed = common.seed + 2000;
+      load::ClosedLoopWorkload workload(gen, spec);
+      Point p;
+      p.process = "closed";
+      p.fault_rate = fault_rate;
+      p.users = users;
+      p.report = harness.Run(workload, fault_rate);
+      p.goodput_qps = Goodput(p.report);
+      p.slo_met = AllSloMet(p.report);
+      std::printf("%-8s %6.2f u=%-4d %9s %9.1f %5" PRIu64 " %5" PRIu64
+                  " %5" PRIu64 " %9.4f %9.4f %4s\n",
+                  p.process.c_str(), p.fault_rate, users, "-", p.goodput_qps,
+                  p.report.admission.started() - p.report.failed_queries,
+                  p.report.shed_queries, p.report.failed_queries,
+                  p.report.p99_latency_ms, p.report.p99_e2e_ms,
+                  p.slo_met ? "yes" : "NO");
+      closed_points.push_back(std::move(p));
+    }
+  }
+
+  // --- Headline: max sustained goodput meeting every class SLO ---
+  double sustained_open[2] = {0.0, 0.0};
+  double sustained_closed[2] = {0.0, 0.0};
+  for (const Point& p : points) {
+    const size_t f = p.fault_rate > 0.0 ? 1 : 0;
+    if (p.slo_met) {
+      sustained_open[f] = std::max(sustained_open[f], p.goodput_qps);
+    }
+  }
+  for (const Point& p : closed_points) {
+    const size_t f = p.fault_rate > 0.0 ? 1 : 0;
+    if (p.slo_met) {
+      sustained_closed[f] = std::max(sustained_closed[f], p.goodput_qps);
+    }
+  }
+  std::printf(
+      "\nsustained (all-class SLO met): open %.1f qps @0%% faults, %.1f qps "
+      "@1%%; closed %.1f qps @0%%, %.1f qps @1%%\n",
+      sustained_open[0], sustained_open[1], sustained_closed[0],
+      sustained_closed[1]);
+  std::printf("fixed-batch bar: sustained %.1f >= fixed %.1f qps: %s\n",
+              sustained_open[0], fixed_qps,
+              sustained_open[0] >= fixed_qps ? "yes" : "NO");
+
+  // --- Gates: determinism, shed invariance, bit-exactness ---
+  bool deterministic = true;
+  {
+    load::OpenLoopOptions gen;
+    gen.rate_qps = 2.0 * fixed_qps;
+    gen.num_queries = num_queries;
+    gen.zipf_alpha = alpha;
+    gen.seed = common.seed;
+    const load::Schedule schedule = load::GenOpenLoop(gen);
+    load::OpenLoopWorkload w1(schedule, spec);
+    load::OpenLoopWorkload w2(schedule, spec);
+    const std::string a = Canonical(harness.Run(w1, 0.01));
+    const std::string b = Canonical(harness.Run(w2, 0.01));
+    deterministic = a == b;
+    if (!deterministic) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: identical runs diverged\n");
+    }
+  }
+  bool shed_invariant = true;
+  for (size_t f = 0; f < 2; ++f) {
+    if (!invariance[f].found) {
+      std::fprintf(stderr,
+                   "no shedding point found at fault rate %.2f — sweep "
+                   "cannot verify shed invariance\n",
+                   fault_rates[f]);
+      shed_invariant = false;
+      continue;
+    }
+    shed_invariant =
+        CheckShedInvariance(harness, invariance[f].schedule, spec,
+                            invariance[f].report, fault_rates[f]) &&
+        shed_invariant;
+  }
+  std::printf("gates: bit_exact=%s deterministic=%s shed_invariant=%s\n",
+              harness.ok ? "yes" : "NO", deterministic ? "yes" : "NO",
+              shed_invariant ? "yes" : "NO");
+
+  // --- Optional trace export: one loaded point with a tracer attached ---
+  if (!common.trace_path.empty() || !common.chrome_path.empty()) {
+    telemetry::Tracer tracer;
+    load::OpenLoopOptions gen;
+    gen.rate_qps = 1.5 * fixed_qps;
+    gen.num_queries = num_queries;
+    gen.zipf_alpha = alpha;
+    gen.seed = common.seed;
+    load::OpenLoopWorkload workload(load::GenOpenLoop(gen), spec);
+    harness.Run(workload, 0.0, &tracer);
+    if (!bench::ExportTraces(common, tracer)) return 1;
+  }
+
+  if (common.emit_json) {
+    std::string out;
+    Append(&out,
+           "{\"schema\":\"tilecomp.bench_slo.v1\",\"system\":\"%s\","
+           "\"rows\":%u,\"queries\":%zu,\"alpha\":%.3f,\"streams\":%d,"
+           "\"queue_capacity\":%zu,\"seed\":%" PRIu64 ",",
+           codec::SystemName(system), data.lineorder.size(), num_queries,
+           alpha, streams, queue_capacity, common.seed);
+    Append(&out,
+           "\"fixed_batch\":{\"qps\":%.4f,\"p99_service_ms\":%.6f,"
+           "\"makespan_ms\":%.6f},",
+           fixed_qps, fixed_p99_service, fixed_makespan);
+    Append(&out,
+           "\"slo_p99_ms\":{\"interactive\":%.6f,\"standard\":%.6f,"
+           "\"batch\":%.6f},\"open_loop\":[",
+           spec.classes[0].slo_p99_ms, spec.classes[1].slo_p99_ms,
+           spec.classes[2].slo_p99_ms);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      Append(&out,
+             "%s\n  {\"process\":\"%s\",\"fault_rate\":%.4f,"
+             "\"rate_frac\":%.2f,\"offered_qps\":%.4f,\"goodput_qps\":%.4f,"
+             "\"shed\":%" PRIu64 ",\"failed\":%" PRIu64
+             ",\"deadline_missed\":%" PRIu64 ",\"max_queue_depth\":%" PRIu64
+             ",\"p50_service_ms\":%.6f,\"p99_service_ms\":%.6f,"
+             "\"p50_e2e_ms\":%.6f,\"p99_e2e_ms\":%.6f,\"slo_met\":%s,",
+             i == 0 ? "" : ",", p.process.c_str(), p.fault_rate, p.rate_frac,
+             p.offered_qps, p.goodput_qps, p.report.shed_queries,
+             p.report.failed_queries, p.report.admission.deadline_missed,
+             p.report.admission.max_queue_depth, p.report.p50_latency_ms,
+             p.report.p99_latency_ms, p.report.p50_e2e_ms,
+             p.report.p99_e2e_ms, p.slo_met ? "true" : "false");
+      AppendClasses(&out, p.report);
+      out.append("}");
+    }
+    out.append("\n],\"closed_loop\":[");
+    for (size_t i = 0; i < closed_points.size(); ++i) {
+      const Point& p = closed_points[i];
+      Append(&out,
+             "%s\n  {\"users\":%d,\"fault_rate\":%.4f,\"goodput_qps\":%.4f,"
+             "\"shed\":%" PRIu64 ",\"failed\":%" PRIu64
+             ",\"deadline_missed\":%" PRIu64
+             ",\"p50_service_ms\":%.6f,\"p99_service_ms\":%.6f,"
+             "\"p50_e2e_ms\":%.6f,\"p99_e2e_ms\":%.6f,\"slo_met\":%s,",
+             i == 0 ? "" : ",", p.users, p.fault_rate, p.goodput_qps,
+             p.report.shed_queries, p.report.failed_queries,
+             p.report.admission.deadline_missed, p.report.p50_latency_ms,
+             p.report.p99_latency_ms, p.report.p50_e2e_ms,
+             p.report.p99_e2e_ms, p.slo_met ? "true" : "false");
+      AppendClasses(&out, p.report);
+      out.append("}");
+    }
+    Append(&out,
+           "\n],\"sustained\":{\"open_qps_fault0\":%.4f,"
+           "\"open_qps_fault1\":%.4f,\"closed_qps_fault0\":%.4f,"
+           "\"closed_qps_fault1\":%.4f},",
+           sustained_open[0], sustained_open[1], sustained_closed[0],
+           sustained_closed[1]);
+    Append(&out,
+           "\"checks\":{\"bit_exact\":%s,\"deterministic\":%s,"
+           "\"shed_invariant\":%s}}\n",
+           harness.ok ? "true" : "false", deterministic ? "true" : "false",
+           shed_invariant ? "true" : "false");
+    if (!bench::ExportJson(common, out)) return 1;
+  }
+
+  if (!harness.ok || !deterministic || !shed_invariant) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

@@ -1,0 +1,136 @@
+#include "serve/admission.h"
+
+#include "common/macros.h"
+
+namespace tilecomp::serve {
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kShedLowPriority:
+      return "shed_low_priority";
+    case AdmissionPolicy::kQueueAll:
+      return "queue_all";
+  }
+  return "?";
+}
+
+AdmissionQueue::AdmissionQueue(const AdmissionOptions& options,
+                               const load::WorkloadSpec& spec,
+                               int max_in_flight)
+    : options_(options), spec_(spec), max_in_flight_(max_in_flight) {
+  TILECOMP_CHECK(max_in_flight_ > 0);
+}
+
+size_t AdmissionQueue::BestWaiter() const {
+  size_t best = 0;
+  for (size_t i = 1; i < queue_.size(); ++i) {
+    const load::Request& a = queue_[i].request;
+    const load::Request& b = queue_[best].request;
+    const int pa = PriorityOf(a);
+    const int pb = PriorityOf(b);
+    if (pa != pb) {
+      if (pa > pb) best = i;
+    } else if (a.arrival_ms != b.arrival_ms) {
+      if (a.arrival_ms < b.arrival_ms) best = i;
+    } else if (a.id < b.id) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+size_t AdmissionQueue::WorstWaiter() const {
+  size_t worst = 0;
+  for (size_t i = 1; i < queue_.size(); ++i) {
+    const load::Request& a = queue_[i].request;
+    const load::Request& b = queue_[worst].request;
+    const int pa = PriorityOf(a);
+    const int pb = PriorityOf(b);
+    if (pa != pb) {
+      if (pa < pb) worst = i;
+    } else if (a.arrival_ms != b.arrival_ms) {
+      if (a.arrival_ms > b.arrival_ms) worst = i;
+    } else if (a.id > b.id) {
+      worst = i;
+    }
+  }
+  return worst;
+}
+
+void AdmissionQueue::CountShed(const load::Request& request) {
+  ++stats_.shed;
+  ++stats_.shed_by_class[static_cast<size_t>(request.cls)];
+}
+
+AdmissionQueue::Decision AdmissionQueue::Offer(const load::Request& request,
+                                               double now_ms) {
+  ++stats_.offered;
+  ++stats_.offered_by_class[static_cast<size_t>(request.cls)];
+
+  Decision decision;
+  if (in_flight_ < max_in_flight_) {
+    // A free slot: start immediately. The queue must be empty — waiters are
+    // drained into slots the moment a completion frees one.
+    TILECOMP_CHECK(queue_.empty());
+    ++in_flight_;
+    ++stats_.admitted_immediately;
+    decision.outcome = Outcome::kStart;
+    return decision;
+  }
+
+  if (options_.policy == AdmissionPolicy::kShedLowPriority &&
+      queue_.size() >= options_.queue_capacity) {
+    if (queue_.empty()) {
+      // capacity 0: nothing can wait.
+      CountShed(request);
+      decision.outcome = Outcome::kShed;
+      return decision;
+    }
+    const size_t victim_idx = WorstWaiter();
+    const Waiting victim = queue_[victim_idx];
+    // Strict waterline: the incoming request displaces a waiter only when
+    // that waiter's priority is strictly lower. Ties shed the newcomer, so
+    // a full queue of equals is never churned.
+    if (PriorityOf(victim.request) < PriorityOf(request)) {
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(victim_idx));
+      CountShed(victim.request);
+      ++stats_.shed_from_queue;
+      queue_.push_back({request, now_ms});
+      ++stats_.queued;
+      decision.outcome = Outcome::kQueued;
+      decision.shed_victim = true;
+      decision.victim = victim.request;
+      decision.victim_queue_ms = now_ms - victim.enqueue_ms;
+      return decision;
+    }
+    CountShed(request);
+    decision.outcome = Outcome::kShed;
+    return decision;
+  }
+
+  queue_.push_back({request, now_ms});
+  ++stats_.queued;
+  if (queue_.size() > stats_.max_queue_depth) {
+    stats_.max_queue_depth = queue_.size();
+  }
+  decision.outcome = Outcome::kQueued;
+  return decision;
+}
+
+bool AdmissionQueue::OnComplete(double now_ms, load::Request* next,
+                                double* queue_wait_ms) {
+  TILECOMP_CHECK(in_flight_ > 0);
+  --in_flight_;
+  if (queue_.empty()) return false;
+  const size_t best = BestWaiter();
+  const Waiting w = queue_[best];
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(best));
+  ++in_flight_;
+  const double wait = now_ms - w.enqueue_ms;
+  stats_.queue_wait_ms_total += wait;
+  if (next != nullptr) *next = w.request;
+  if (queue_wait_ms != nullptr) *queue_wait_ms = wait;
+  return true;
+}
+
+}  // namespace tilecomp::serve

@@ -1,0 +1,117 @@
+// Admission control in front of the serving streams: a bounded priority
+// queue on the simulated clock.
+//
+// The server owns `max_in_flight` service slots (its stream pool). An
+// offered request either starts immediately (free slot), waits in the
+// queue, or is shed. Under kShedLowPriority the queue is bounded: when it
+// overflows, the lowest-priority request — incoming or already queued —
+// goes, so the queue fills strictly in priority order and nothing above the
+// priority waterline is ever dropped for something below it. Under
+// kQueueAll the queue is unbounded and nothing is shed; offered overload
+// turns into queueing delay (pure backpressure), which is what the SLO
+// sweep uses to show why shedding exists.
+//
+// AdmissionQueue is a pure discrete-event component: it never touches the
+// device, the cache or the fault plan, so a shed decision provably has no
+// side effects on replay state, and scripted saturation tests can assert
+// its counters against hand-computed timelines.
+#ifndef TILECOMP_SERVE_ADMISSION_H_
+#define TILECOMP_SERVE_ADMISSION_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "load/load_gen.h"
+
+namespace tilecomp::serve {
+
+enum class AdmissionPolicy {
+  kShedLowPriority = 0,  // bounded queue; overflow sheds below the waterline
+  kQueueAll,             // unbounded queue; never sheds (pure backpressure)
+};
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+
+struct AdmissionOptions {
+  AdmissionPolicy policy = AdmissionPolicy::kShedLowPriority;
+  // Waiting requests (in-service queries not counted). Ignored by
+  // kQueueAll. 0 = shed everything that cannot start immediately.
+  size_t queue_capacity = 16;
+};
+
+// Exact counters of every admission decision. deadline_missed is filled by
+// the latency aggregation (it needs end-to-end times), not by the queue.
+struct AdmissionStats {
+  uint64_t offered = 0;
+  uint64_t admitted_immediately = 0;  // started on arrival, no wait
+  uint64_t queued = 0;                // waited in the queue before starting
+  uint64_t shed = 0;
+  uint64_t deadline_missed = 0;
+  std::array<uint64_t, load::kNumClasses> offered_by_class = {};
+  std::array<uint64_t, load::kNumClasses> shed_by_class = {};
+  std::array<uint64_t, load::kNumClasses> deadline_missed_by_class = {};
+  uint64_t max_queue_depth = 0;
+  // Total wait of requests that left the queue into service, ms.
+  double queue_wait_ms_total = 0.0;
+
+  uint64_t started() const { return admitted_immediately + queued - shed_from_queue; }
+  // Queued requests later shed as overflow victims (subset of `shed`).
+  uint64_t shed_from_queue = 0;
+};
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue(const AdmissionOptions& options,
+                 const load::WorkloadSpec& spec, int max_in_flight);
+
+  enum class Outcome { kStart, kQueued, kShed };
+  struct Decision {
+    Outcome outcome = Outcome::kStart;
+    // kQueued only: a lower-priority waiter was evicted to make room.
+    bool shed_victim = false;
+    load::Request victim;
+    double victim_queue_ms = 0.0;  // how long the victim had waited
+  };
+
+  // Offer `request` at time `now_ms`. kStart means the caller must begin
+  // service now (the slot is taken); kShed means the request never touches
+  // the system.
+  Decision Offer(const load::Request& request, double now_ms);
+
+  // A started request finished at `now_ms`, freeing its slot. Pops the
+  // highest-priority waiter (FIFO within a priority) into the slot;
+  // returns false when the queue is empty and the slot stays free.
+  bool OnComplete(double now_ms, load::Request* next, double* queue_wait_ms);
+
+  size_t queue_depth() const { return queue_.size(); }
+  int in_flight() const { return in_flight_; }
+  const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  struct Waiting {
+    load::Request request;
+    double enqueue_ms = 0.0;
+  };
+  int PriorityOf(const load::Request& request) const {
+    return spec_.priority_of(request.cls);
+  }
+  // Index of the best waiter to serve next: highest priority, then
+  // earliest arrival, then smallest id.
+  size_t BestWaiter() const;
+  // Index of the overflow victim: lowest priority, then latest arrival,
+  // then largest id (the youngest of the least important).
+  size_t WorstWaiter() const;
+  void CountShed(const load::Request& request);
+
+  AdmissionOptions options_;
+  load::WorkloadSpec spec_;
+  int max_in_flight_ = 1;
+  int in_flight_ = 0;
+  std::vector<Waiting> queue_;
+  AdmissionStats stats_;
+};
+
+}  // namespace tilecomp::serve
+
+#endif  // TILECOMP_SERVE_ADMISSION_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/macros.h"
 #include "ssb/layout.h"
@@ -10,6 +11,22 @@
 namespace tilecomp::serve {
 
 namespace {
+
+void AccumulateAdmission(const AdmissionStats& in, AdmissionStats* out) {
+  out->offered += in.offered;
+  out->admitted_immediately += in.admitted_immediately;
+  out->queued += in.queued;
+  out->shed += in.shed;
+  out->shed_from_queue += in.shed_from_queue;
+  out->deadline_missed += in.deadline_missed;
+  for (size_t c = 0; c < load::kNumClasses; ++c) {
+    out->offered_by_class[c] += in.offered_by_class[c];
+    out->shed_by_class[c] += in.shed_by_class[c];
+    out->deadline_missed_by_class[c] += in.deadline_missed_by_class[c];
+  }
+  out->max_queue_depth = std::max(out->max_queue_depth, in.max_queue_depth);
+  out->queue_wait_ms_total += in.queue_wait_ms_total;
+}
 
 // Merge-reduction time on the root's merge engine: one kernel that streams
 // the shipped accumulators once and read-modify-writes the root's own —
@@ -222,6 +239,177 @@ ClusterServeReport ClusterScheduler::Serve(
   out.p50_latency_ms = NearestRankPercentile(latencies, 50);
   out.p95_latency_ms = NearestRankPercentile(latencies, 95);
   out.p99_latency_ms = NearestRankPercentile(latencies, 99);
+  out.p50_e2e_ms = out.p50_latency_ms;
+  out.p99_e2e_ms = out.p99_latency_ms;
+  out.breakdown = cluster_.Breakdown(out.merge_ms_total, skip_launches);
+  return out;
+}
+
+ClusterServeReport ClusterScheduler::ServeLoad(const load::Schedule& schedule,
+                                               const load::WorkloadSpec& spec) {
+  const int n = cluster_.num_devices();
+  ClusterServeReport out;
+  out.device_reports.resize(static_cast<size_t>(n));
+
+  // --- Route: same shard fan-out as Serve, keyed by schedule position so
+  // replicated shards rotate their replicas across the arrival stream. The
+  // sub-schedules keep the global request ids and arrival times, so every
+  // device's admission queue sees the true offered process for its slice.
+  std::vector<std::vector<int>> participants(schedule.requests.size());
+  std::vector<load::Schedule> sub(static_cast<size_t>(n));
+  for (size_t i = 0; i < schedule.requests.size(); ++i) {
+    for (const placement::Shard& shard : placement_.shards) {
+      const int d = shard.devices[i % shard.devices.size()];
+      participants[i].push_back(d);
+      if (devices_[static_cast<size_t>(d)].server != nullptr) {
+        sub[static_cast<size_t>(d)].requests.push_back(schedule.requests[i]);
+      }
+    }
+  }
+
+  const size_t num_devices = static_cast<size_t>(n);
+  std::vector<double> epoch(num_devices, 0.0);
+  std::vector<size_t> skip_launches(num_devices, 0);
+  for (int d = 0; d < n; ++d) {
+    epoch[static_cast<size_t>(d)] = cluster_.device(d).elapsed_ms();
+    skip_launches[static_cast<size_t>(d)] =
+        cluster_.device(d).launch_log().size();
+  }
+
+  // --- Per-device loaded serving, one host thread per device (each thread
+  // owns its device's timeline, cache and admission queue). Server::
+  // ServeLoad reports epoch-relative times already, and its epoch equals
+  // the one captured above (nothing ran in between).
+  {
+    std::vector<std::thread> threads;
+    for (int d = 0; d < n; ++d) {
+      if (sub[static_cast<size_t>(d)].requests.empty()) continue;
+      threads.emplace_back([this, d, &sub, &out, &spec]() {
+        load::OpenLoopWorkload workload(sub[static_cast<size_t>(d)], spec);
+        out.device_reports[static_cast<size_t>(d)] =
+            devices_[static_cast<size_t>(d)].server->ServeLoad(workload);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Request id -> the device's ServedQuery (nullptr for devices whose shard
+  // is empty: they contribute an empty partial, ready at t = 0).
+  std::vector<std::unordered_map<uint64_t, const ServedQuery*>> partial_of(
+      num_devices);
+  for (int d = 0; d < n; ++d) {
+    const ServeReport& report = out.device_reports[static_cast<size_t>(d)];
+    AccumulateAdmission(report.admission, &out.admission);
+    for (const ServedQuery& sq : report.queries) {
+      partial_of[static_cast<size_t>(d)][sq.request_id] = &sq;
+    }
+  }
+
+  // --- Merge by request id, in schedule order. Identical timing model to
+  // Serve; shed requests ship nothing (their merged aggregate would be
+  // incomplete, so the result is discarded anyway).
+  std::vector<double> latencies;
+  std::vector<double> e2es;
+  latencies.reserve(schedule.requests.size());
+  for (size_t i = 0; i < schedule.requests.size(); ++i) {
+    const load::Request& req = schedule.requests[i];
+    const std::vector<int>& parts = participants[i];
+    ClusterServedQuery cq;
+    cq.query = req.query;
+    cq.request_id = req.id;
+    cq.cls = req.cls;
+    cq.arrival_ms = req.arrival_ms;
+    cq.num_partials = static_cast<int>(parts.size());
+    cq.root_device = parts[(options_.placement_seed + i) % parts.size()];
+    DeviceState& root = devices_[static_cast<size_t>(cq.root_device)];
+
+    const uint64_t accumulator_bytes =
+        ssb::QueryGroupSlots(req.query, data_) * sizeof(int64_t);
+    double inputs_ready = 0.0;
+    double admit = -1.0;
+    bool any_shed = false;
+    for (int d : parts) {
+      const auto& dev_partials = partial_of[static_cast<size_t>(d)];
+      const auto it = dev_partials.find(req.id);
+      const ServedQuery* partial =
+          it != dev_partials.end() ? it->second : nullptr;
+      if (partial == nullptr) continue;
+      if (partial->status == QueryStatus::kShed) {
+        any_shed = true;
+        inputs_ready = std::max(inputs_ready, partial->finish_ms);
+        continue;
+      }
+      if (admit < 0.0 || partial->admit_ms < admit) admit = partial->admit_ms;
+      cq.queue_ms = std::max(cq.queue_ms, partial->queue_ms);
+      if (partial->status != QueryStatus::kOk &&
+          cq.status == QueryStatus::kOk) {
+        cq.status = partial->status;
+      }
+      for (const auto& [key, value] : partial->result.groups) {
+        cq.result.groups[key] += value;
+      }
+      if (d == cq.root_device) {
+        inputs_ready = std::max(inputs_ready, partial->finish_ms);
+        continue;
+      }
+      const double arrival = cluster_.TransferBetween(
+          d, cq.root_device, accumulator_bytes, partial->finish_ms,
+          std::string("merge/") + ssb::QueryName(req.query));
+      inputs_ready = std::max(inputs_ready, arrival);
+      cq.link_bytes += accumulator_bytes;
+    }
+    if (any_shed) {
+      cq.status = QueryStatus::kShed;
+      cq.result.groups.clear();
+    }
+    if (admit < 0.0) admit = req.arrival_ms;
+    cq.admit_ms = admit;
+    if (cq.status != QueryStatus::kShed && parts.size() > 1) {
+      cq.merge_ms = MergeMs(cluster_.device(cq.root_device).spec(),
+                            cq.link_bytes);
+      const double start = std::max(inputs_ready, root.merge_free_ms);
+      cq.finish_ms = start + cq.merge_ms;
+      root.merge_free_ms = cq.finish_ms;
+    } else {
+      cq.finish_ms = inputs_ready;
+    }
+    cq.latency_ms = cq.finish_ms - cq.admit_ms;
+    cq.e2e_ms = cq.finish_ms - cq.arrival_ms;
+    for (auto it = cq.result.groups.begin(); it != cq.result.groups.end();) {
+      it = it->second == 0 ? cq.result.groups.erase(it) : std::next(it);
+    }
+    cq.result.time_ms = cq.latency_ms;
+    if (cq.status == QueryStatus::kShed) {
+      ++out.shed_queries;
+    } else {
+      if (cq.status != QueryStatus::kOk) ++out.failed_queries;
+      latencies.push_back(cq.latency_ms);
+      e2es.push_back(cq.e2e_ms);
+    }
+    out.link_bytes_total += cq.link_bytes;
+    out.merge_ms_total += cq.merge_ms;
+    out.queries.push_back(std::move(cq));
+  }
+
+  out.makespan_ms = 0.0;
+  for (int d = 0; d < n; ++d) {
+    cluster_.device(d).DeviceSynchronize();
+    out.makespan_ms =
+        std::max(out.makespan_ms, cluster_.device(d).elapsed_ms() -
+                                      epoch[static_cast<size_t>(d)]);
+  }
+  for (const ClusterServedQuery& cq : out.queries) {
+    out.makespan_ms = std::max(out.makespan_ms, cq.finish_ms);
+  }
+  for (const DeviceState& state : devices_) {
+    out.makespan_ms = std::max(out.makespan_ms, state.merge_free_ms);
+  }
+  out.link_transfers = cluster_.link_log().size();
+  out.p50_latency_ms = NearestRankPercentile(latencies, 50);
+  out.p95_latency_ms = NearestRankPercentile(latencies, 95);
+  out.p99_latency_ms = NearestRankPercentile(latencies, 99);
+  out.p50_e2e_ms = NearestRankPercentile(e2es, 50);
+  out.p99_e2e_ms = NearestRankPercentile(e2es, 99);
   out.breakdown = cluster_.Breakdown(out.merge_ms_total, skip_launches);
   return out;
 }

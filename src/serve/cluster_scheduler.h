@@ -54,7 +54,9 @@ struct ClusterOptions {
 struct ClusterServedQuery {
   ssb::QueryId query = ssb::QueryId::kQ11;
   // Worst status over the shard partials: a single failed shard fails the
-  // whole query cleanly (its merged result must be ignored).
+  // whole query cleanly (its merged result must be ignored). Under loaded
+  // serving a shard that shed the request makes the whole query kShed —
+  // the merged aggregate would be missing that shard's rows.
   QueryStatus status = QueryStatus::kOk;
   // Merged result (integer sums of the partial group maps; zero-total
   // groups dropped, matching the dense accumulators' extraction).
@@ -66,6 +68,13 @@ struct ClusterServedQuery {
   int num_partials = 1;       // devices that produced a partial
   uint64_t link_bytes = 0;    // accumulator bytes shipped to the root
   double merge_ms = 0.0;      // merge-reduction time on the root
+
+  // --- Loaded serving (ServeLoad) only; zero/default under fixed batches.
+  uint64_t request_id = 0;
+  load::QueryClass cls = load::QueryClass::kStandard;
+  double arrival_ms = 0.0;  // offered time (cluster serving clock)
+  double queue_ms = 0.0;    // worst admission-queue wait over the shards
+  double e2e_ms = 0.0;      // arrival -> merged finish
 };
 
 struct ClusterServeReport {
@@ -75,7 +84,15 @@ struct ClusterServeReport {
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  // End-to-end (arrival -> merged finish) percentiles for loaded serving;
+  // equal to the service percentiles under fixed batches (nothing queues).
+  double p50_e2e_ms = 0.0;
+  double p99_e2e_ms = 0.0;
   uint64_t failed_queries = 0;
+  // Requests shed by any shard's admission queue (ServeLoad only).
+  uint64_t shed_queries = 0;
+  // Admission counters summed over every device's server (ServeLoad only).
+  AdmissionStats admission;
   uint64_t link_bytes_total = 0;
   uint64_t link_transfers = 0;
   double merge_ms_total = 0.0;
@@ -99,6 +116,17 @@ class ClusterScheduler {
 
   // Serve `batch` in order across the cluster.
   ClusterServeReport Serve(const std::vector<ssb::QueryId>& batch);
+
+  // Loaded serving: drive an open-loop arrival schedule across the cluster.
+  // Each request fans out to its shard participants (same routing as
+  // Serve); every participating device runs its own admission queue +
+  // ServeLoad over the sub-schedule, and the partials merge by request id.
+  // A request shed by any shard reports kShed for the whole query (and
+  // ships nothing — its merged aggregate would be incomplete). Closed-loop
+  // workloads are not supported here: a user's next arrival would depend on
+  // the cross-device merge time, coupling every device's admission state.
+  ClusterServeReport ServeLoad(const load::Schedule& schedule,
+                               const load::WorkloadSpec& spec);
 
   const placement::Placement& placement() const { return placement_; }
   int num_devices() const { return cluster_.num_devices(); }

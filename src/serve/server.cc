@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <queue>
 #include <utility>
 
 #include "codec/systems.h"
@@ -19,6 +20,8 @@ const char* QueryStatusName(QueryStatus status) {
       return "launch_failed";
     case QueryStatus::kDecodeFailed:
       return "decode_failed";
+    case QueryStatus::kShed:
+      return "shed";
   }
   return "?";
 }
@@ -339,6 +342,119 @@ void Server::Prewarm(const std::vector<ssb::QueryId>& queries) {
   dev_.DeviceSynchronize();
 }
 
+void AggregateLatencies(const load::WorkloadSpec& spec, ServeReport* report) {
+  report->failed_queries = 0;
+  report->shed_queries = 0;
+  report->admission.deadline_missed = 0;
+  report->admission.deadline_missed_by_class = {};
+  std::vector<double> service;
+  std::vector<double> e2e;
+  std::array<std::vector<double>, load::kNumClasses> class_e2e;
+  std::array<ClassReport, load::kNumClasses> classes = {};
+  service.reserve(report->queries.size());
+  e2e.reserve(report->queries.size());
+
+  for (ServedQuery& sq : report->queries) {
+    const size_t c = static_cast<size_t>(sq.cls);
+    ++classes[c].offered;
+    sq.e2e_ms = sq.finish_ms - sq.arrival_ms;
+    if (sq.status == QueryStatus::kShed) {
+      ++report->shed_queries;
+      ++classes[c].shed;
+      continue;
+    }
+    // Queued time is *excluded* from the service-time percentiles and
+    // *included* in the end-to-end ones — conflating them would let
+    // admission queueing masquerade as slow kernels (or vice versa).
+    service.push_back(sq.latency_ms);
+    e2e.push_back(sq.e2e_ms);
+    if (sq.status != QueryStatus::kOk) {
+      ++report->failed_queries;
+      ++classes[c].failed;
+      continue;
+    }
+    ++classes[c].ok;
+    class_e2e[c].push_back(sq.e2e_ms);
+    const double deadline = spec.spec_of(sq.cls).deadline_ms;
+    sq.deadline_missed = deadline > 0.0 && sq.e2e_ms > deadline;
+    if (sq.deadline_missed) {
+      ++classes[c].deadline_missed;
+      ++report->admission.deadline_missed;
+      ++report->admission.deadline_missed_by_class[c];
+    }
+  }
+
+  report->p50_latency_ms = NearestRankPercentile(service, 50);
+  report->p95_latency_ms = NearestRankPercentile(service, 95);
+  report->p99_latency_ms = NearestRankPercentile(service, 99);
+  report->p50_e2e_ms = NearestRankPercentile(e2e, 50);
+  report->p95_e2e_ms = NearestRankPercentile(e2e, 95);
+  report->p99_e2e_ms = NearestRankPercentile(e2e, 99);
+  for (size_t c = 0; c < load::kNumClasses; ++c) {
+    classes[c].p50_e2e_ms = NearestRankPercentile(class_e2e[c], 50);
+    classes[c].p99_e2e_ms = NearestRankPercentile(class_e2e[c], 99);
+    classes[c].slo_p99_ms =
+        spec.classes[c].slo_p99_ms;
+    classes[c].slo_met = classes[c].slo_p99_ms <= 0.0 ||
+                         class_e2e[c].empty() ||
+                         classes[c].p99_e2e_ms <= classes[c].slo_p99_ms;
+  }
+  report->classes = classes;
+}
+
+void Server::RunQueryOnStream(ssb::QueryId query, sim::StreamId stream,
+                              uint64_t* decompress_skips, ServedQuery* sq) {
+  sim::StreamGuard guard(dev_, stream);
+  sq->query = query;
+  sq->stream = stream;
+  sq->admit_ms = dev_.stream_tail_ms(stream);
+  // This query's slice of the launch log, for the launch-failure scan.
+  const size_t q_log_start = dev_.launch_log().size();
+  // Close the previous access round and speculate ahead of this query.
+  // The prefetch launches go to the prefetcher's own streams (inside the
+  // slice, so this query's report carries their counters) but their
+  // fate never affects the query's status — see the label check below.
+  if (prefetcher_ != nullptr) prefetcher_->IssueRound();
+  if (decompress_system() && options_.use_cache) {
+    std::vector<TileCache::PinnedTile> pins;
+    ssb::EncodedLineorder materialized =
+        MaterializeColumns(query, &pins, decompress_skips, &sq->status);
+    // The query kernel reads resident tiles straight from the cache; the
+    // materialized copy is only the loader's miss backstop. A query whose
+    // materialization already failed is not run at all.
+    if (sq->status == QueryStatus::kOk) {
+      sq->result =
+          runner_.Run(dev_, materialized, query, &loader_, options_.pushdown);
+    }
+    // `pins` release here, after the query's launches are issued.
+  } else {
+    crystal::ColumnAccessor* accessor =
+        options_.use_cache && !decompress_system() ? &loader_ : nullptr;
+    sq->result =
+        runner_.Run(dev_, lineorder_, query, accessor, options_.pushdown);
+  }
+  // Any launch of this query that exhausted its attempt budget never ran
+  // its body — the query's aggregates are unusable. Speculative prefetch
+  // launches are exempt: a failed speculation costs only the speculation
+  // (counted wasted by the prefetcher), never the query's correctness.
+  const std::vector<sim::KernelResult>& qlog = dev_.launch_log();
+  for (size_t j = q_log_start; j < qlog.size(); ++j) {
+    sq->prefetch += qlog[j].stats.prefetch;
+    const bool is_prefetch = qlog[j].label.rfind("prefetch.", 0) == 0;
+    if (qlog[j].failed && !is_prefetch && sq->status == QueryStatus::kOk) {
+      sq->status = QueryStatus::kLaunchFailed;
+    }
+  }
+  // Always consume the loader's sticky flag so a decode failure in this
+  // query can never leak into the next one's status.
+  const bool decode_failed = loader_.TakeDecodeFailure();
+  if (decode_failed && sq->status == QueryStatus::kOk) {
+    sq->status = QueryStatus::kDecodeFailed;
+  }
+  sq->finish_ms = dev_.stream_tail_ms(stream);
+  sq->latency_ms = sq->finish_ms - sq->admit_ms;
+}
+
 ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
   ServeReport report;
   const double t0 = dev_.elapsed_ms();
@@ -346,10 +462,6 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
   const size_t max_concurrent = static_cast<size_t>(
       options_.max_concurrent > 0 ? options_.max_concurrent
                                   : options_.num_streams);
-  const bool decompress_system =
-      lineorder_.system == codec::System::kGpuBp ||
-      lineorder_.system == codec::System::kNvcomp ||
-      lineorder_.system == codec::System::kPlanner;
 
   std::vector<sim::Event> done(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -359,72 +471,18 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
     if (i >= max_concurrent) {
       dev_.StreamWaitEvent(stream, done[i - max_concurrent]);
     }
-    sim::StreamGuard guard(dev_, stream);
-
     ServedQuery sq;
-    sq.query = batch[i];
-    sq.stream = stream;
-    sq.admit_ms = dev_.stream_tail_ms(stream);
-    // This query's slice of the launch log, for the launch-failure scan.
-    const size_t q_log_start = dev_.launch_log().size();
-    // Close the previous access round and speculate ahead of this query.
-    // The prefetch launches go to the prefetcher's own streams (inside the
-    // slice, so this query's report carries their counters) but their
-    // fate never affects the query's status — see the label check below.
-    if (prefetcher_ != nullptr) prefetcher_->IssueRound();
-    if (decompress_system && options_.use_cache) {
-      std::vector<TileCache::PinnedTile> pins;
-      ssb::EncodedLineorder materialized = MaterializeColumns(
-          batch[i], &pins, &report.decompress_skips, &sq.status);
-      // The query kernel reads resident tiles straight from the cache; the
-      // materialized copy is only the loader's miss backstop. A query whose
-      // materialization already failed is not run at all.
-      if (sq.status == QueryStatus::kOk) {
-        sq.result = runner_.Run(dev_, materialized, batch[i], &loader_,
-                                options_.pushdown);
-      }
-      // `pins` release here, after the query's launches are issued.
-    } else {
-      crystal::ColumnAccessor* accessor =
-          options_.use_cache && !decompress_system ? &loader_ : nullptr;
-      sq.result =
-          runner_.Run(dev_, lineorder_, batch[i], accessor, options_.pushdown);
-    }
-    // Any launch of this query that exhausted its attempt budget never ran
-    // its body — the query's aggregates are unusable. Speculative prefetch
-    // launches are exempt: a failed speculation costs only the speculation
-    // (counted wasted by the prefetcher), never the query's correctness.
-    const std::vector<sim::KernelResult>& qlog = dev_.launch_log();
-    for (size_t j = q_log_start; j < qlog.size(); ++j) {
-      sq.prefetch += qlog[j].stats.prefetch;
-      const bool is_prefetch = qlog[j].label.rfind("prefetch.", 0) == 0;
-      if (qlog[j].failed && !is_prefetch && sq.status == QueryStatus::kOk) {
-        sq.status = QueryStatus::kLaunchFailed;
-      }
-    }
-    // Always consume the loader's sticky flag so a decode failure in this
-    // query can never leak into the next one's status.
-    const bool decode_failed = loader_.TakeDecodeFailure();
-    if (decode_failed && sq.status == QueryStatus::kOk) {
-      sq.status = QueryStatus::kDecodeFailed;
-    }
-    if (sq.status != QueryStatus::kOk) ++report.failed_queries;
-    sq.finish_ms = dev_.stream_tail_ms(stream);
-    sq.latency_ms = sq.finish_ms - sq.admit_ms;
+    sq.request_id = static_cast<uint64_t>(i);
+    RunQueryOnStream(batch[i], stream, &report.decompress_skips, &sq);
+    // A fixed batch has no arrival process: every query is "offered" the
+    // moment its stream picks it up, so e2e == service and queue_ms == 0.
+    sq.cls = load::ClassOf(batch[i]);
+    sq.arrival_ms = sq.admit_ms;
     done[i] = dev_.RecordEvent(stream);
     report.queries.push_back(std::move(sq));
   }
 
   report.makespan_ms = dev_.DeviceSynchronize() - t0;
-
-  std::vector<double> latencies;
-  latencies.reserve(report.queries.size());
-  for (const ServedQuery& sq : report.queries) {
-    latencies.push_back(sq.latency_ms);
-  }
-  report.p50_latency_ms = NearestRankPercentile(latencies, 50);
-  report.p95_latency_ms = NearestRankPercentile(latencies, 95);
-  report.p99_latency_ms = NearestRankPercentile(latencies, 99);
 
   const std::vector<sim::KernelResult>& log = dev_.launch_log();
   for (size_t i = log_start; i < log.size(); ++i) {
@@ -436,6 +494,193 @@ ServeReport Server::Serve(const std::vector<ssb::QueryId>& batch) {
   if (options_.fault_plan != nullptr) {
     report.faults = options_.fault_plan->stats();
   }
+  AggregateLatencies(load::WorkloadSpec(), &report);
+  return report;
+}
+
+ServeReport Server::ServeLoad(load::Workload& workload) {
+  ServeReport report;
+  // The serving epoch: everything before this call (prewarm, prior batches)
+  // has drained; arrivals are offsets from here. Report times are
+  // epoch-relative, trace spans absolute (to line up with kernel spans).
+  const double t0 = dev_.DeviceSynchronize();
+  const size_t log_start = dev_.launch_log().size();
+  // One service slot per stream, bounded by max_concurrent: each in-flight
+  // query owns its stream, so its service starts the instant its slot
+  // frees — the admission clock and the stream clock agree exactly.
+  const size_t slots = std::min(
+      streams_.size(),
+      static_cast<size_t>(options_.max_concurrent > 0 ? options_.max_concurrent
+                                                      : options_.num_streams));
+  AdmissionQueue adm(options_.admission, workload.spec(),
+                     static_cast<int>(slots));
+
+  // Discrete-event state. Arrivals ordered by (time, id); in-flight
+  // completions by (finish, id). Completions at time t are processed before
+  // arrivals at time t, so a slot freed "now" admits a request arriving
+  // "now" instead of shedding it.
+  struct Arrival {
+    double t = 0.0;
+    load::Request req;
+    bool operator>(const Arrival& o) const {
+      if (t != o.t) return t > o.t;
+      return req.id > o.req.id;
+    }
+  };
+  struct Completion {
+    double t = 0.0;  // epoch-relative finish
+    load::Request req;
+    size_t stream_idx = 0;  // index into streams_[0..slots)
+    size_t query_idx = 0;   // index into report.queries
+    bool operator>(const Completion& o) const {
+      if (t != o.t) return t > o.t;
+      return req.id > o.req.id;
+    }
+  };
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
+      arrivals;
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      inflight;
+  std::vector<bool> stream_busy(slots, false);
+
+  for (const load::Request& r : workload.InitialRequests()) {
+    arrivals.push({r.arrival_ms, r});
+  }
+
+  auto emit_span = [&](const ServedQuery& sq, const load::Request& req,
+                       double admit_rel) {
+    sim::QueryTraceInfo info;
+    info.label = ssb::QueryName(req.query);
+    info.stream_id = sq.stream;
+    info.request_id = req.id;
+    info.arrival_ms = t0 + req.arrival_ms;
+    info.admit_ms = t0 + admit_rel;
+    info.start_ms = t0 + sq.admit_ms;
+    info.finish_ms = t0 + sq.finish_ms;
+    info.cls = load::QueryClassName(req.cls);
+    info.status = QueryStatusName(sq.status);
+    dev_.EmitQuerySpan(info);
+  };
+
+  // Record one shed request: no device work, no result, e2e covers only the
+  // time it sat in the queue (zero when shed on arrival).
+  auto record_shed = [&](const load::Request& req, double now,
+                         double queue_ms) {
+    ServedQuery sq;
+    sq.query = req.query;
+    sq.stream = -1;
+    sq.status = QueryStatus::kShed;
+    sq.request_id = req.id;
+    sq.cls = req.cls;
+    sq.user = req.user;
+    sq.arrival_ms = req.arrival_ms;
+    sq.queue_ms = queue_ms;
+    sq.admit_ms = now;
+    sq.finish_ms = now;
+    emit_span(sq, req, now);
+    report.queries.push_back(std::move(sq));
+    // The issuer sees the error now and moves on (closed loop: the user's
+    // next request is released after think time).
+    for (const load::Request& next : workload.OnComplete(req, now)) {
+      arrivals.push({next.arrival_ms, next});
+    }
+  };
+
+  // Start service for an admitted request at epoch-relative `start_rel` on
+  // the lowest-numbered free stream. The stream is free precisely because
+  // its previous query finished at or before `start_rel`, so the fabricated
+  // wait event lands the stream tail exactly at the start time.
+  auto start_service = [&](const load::Request& req, double start_rel,
+                           double queue_ms) {
+    size_t stream_idx = slots;
+    for (size_t s = 0; s < slots; ++s) {
+      if (!stream_busy[s]) {
+        stream_idx = s;
+        break;
+      }
+    }
+    TILECOMP_CHECK(stream_idx < slots);
+    stream_busy[stream_idx] = true;
+    const sim::StreamId stream = streams_[stream_idx];
+    dev_.StreamWaitEvent(stream, sim::Event{t0 + start_rel});
+
+    ServedQuery sq;
+    sq.request_id = req.id;
+    sq.cls = req.cls;
+    sq.user = req.user;
+    sq.arrival_ms = req.arrival_ms;
+    sq.queue_ms = queue_ms;
+    RunQueryOnStream(req.query, stream, &report.decompress_skips, &sq);
+    sq.admit_ms -= t0;
+    sq.finish_ms -= t0;
+    emit_span(sq, req, start_rel);  // admit == service start in this model
+    inflight.push({sq.finish_ms, req, stream_idx, report.queries.size()});
+    report.queries.push_back(std::move(sq));
+  };
+
+  while (!arrivals.empty() || !inflight.empty()) {
+    const bool take_completion =
+        !inflight.empty() &&
+        (arrivals.empty() || inflight.top().t <= arrivals.top().t);
+    if (take_completion) {
+      const Completion done = inflight.top();
+      inflight.pop();
+      stream_busy[done.stream_idx] = false;
+      // Release the slot; the highest-priority waiter (if any) takes it
+      // immediately at this completion's time.
+      load::Request next;
+      double wait_ms = 0.0;
+      const bool popped = adm.OnComplete(done.t, &next, &wait_ms);
+      // The issuer reacts to the finish (closed loop: think, then re-issue).
+      for (const load::Request& r :
+           workload.OnComplete(done.req, done.t)) {
+        arrivals.push({r.arrival_ms, r});
+      }
+      if (popped) start_service(next, done.t, wait_ms);
+      continue;
+    }
+    const Arrival arr = arrivals.top();
+    arrivals.pop();
+    const AdmissionQueue::Decision decision = adm.Offer(arr.req, arr.t);
+    switch (decision.outcome) {
+      case AdmissionQueue::Outcome::kStart:
+        start_service(arr.req, arr.t, 0.0);
+        break;
+      case AdmissionQueue::Outcome::kQueued:
+        // Nothing to do now — the request starts when a slot frees. A
+        // displaced lower-priority waiter is shed here, at the moment of
+        // displacement.
+        if (decision.shed_victim) {
+          record_shed(decision.victim, arr.t, decision.victim_queue_ms);
+        }
+        break;
+      case AdmissionQueue::Outcome::kShed:
+        record_shed(arr.req, arr.t, 0.0);
+        break;
+    }
+  }
+
+  report.makespan_ms = dev_.DeviceSynchronize() - t0;
+  report.admission = adm.stats();
+
+  const std::vector<sim::KernelResult>& log = dev_.launch_log();
+  for (size_t i = log_start; i < log.size(); ++i) {
+    report.global_bytes_read += log[i].stats.global_bytes_read;
+    report.pushdown += log[i].stats.pushdown;
+    report.prefetch += log[i].stats.prefetch;
+  }
+  report.cache = cache_.stats();
+  if (options_.fault_plan != nullptr) {
+    report.faults = options_.fault_plan->stats();
+  }
+  // Canonical order: by request id, so two runs of the same schedule are
+  // directly comparable row by row.
+  std::sort(report.queries.begin(), report.queries.end(),
+            [](const ServedQuery& a, const ServedQuery& b) {
+              return a.request_id < b.request_id;
+            });
+  AggregateLatencies(workload.spec(), &report);
   return report;
 }
 

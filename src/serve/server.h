@@ -28,9 +28,18 @@
 // Scheduling: queries are assigned round-robin to N async streams, with at
 // most `max_concurrent` queries admitted at once (modeled with stream-wait
 // events, like a real admission-control semaphore).
+//
+// Loaded serving (ServeLoad): instead of a fixed batch, the server drives a
+// load::Workload — requests arrive on the simulated clock, pass through the
+// bounded priority AdmissionQueue (admission.h), and either start on a free
+// stream, wait (queueing delay, measured separately from service time), or
+// are shed with QueryStatus::kShed. Shed requests never touch the device,
+// the cache or the fault plan, so a schedule with its shed requests removed
+// replays bit-identically — the shed-invariance property bench_slo enforces.
 #ifndef TILECOMP_SERVE_SERVER_H_
 #define TILECOMP_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -38,6 +47,8 @@
 
 #include "crystal/load_column.h"
 #include "fault/fault.h"
+#include "load/load_gen.h"
+#include "serve/admission.h"
 #include "serve/prefetcher.h"
 #include "serve/tile_cache.h"
 #include "sim/device.h"
@@ -54,6 +65,7 @@ enum class QueryStatus {
   kTransferFailed,  // a column upload exhausted its transfer attempts
   kLaunchFailed,    // a kernel launch exhausted its issue attempts
   kDecodeFailed,    // a tile decode exhausted its attempts (output zeroed)
+  kShed,            // dropped by admission control; never entered service
 };
 
 const char* QueryStatusName(QueryStatus status);
@@ -162,31 +174,72 @@ struct ServeOptions {
   // unchanged. Off by default to keep single-query latencies comparable
   // with the pre-cluster benchmarks; the cluster scheduler turns it on.
   bool reuse_hash_tables = false;
+  // Admission policy + queue bound for ServeLoad (ignored by fixed-batch
+  // Serve, which admits everything in order).
+  AdmissionOptions admission;
 };
 
 struct ServedQuery {
   ssb::QueryId query = ssb::QueryId::kQ11;
   int stream = 0;
-  double admit_ms = 0.0;   // stream-timeline position at admission
+  double admit_ms = 0.0;   // stream-timeline position at service start
   double finish_ms = 0.0;  // stream-timeline position at completion
+  // Service time only: admit -> finish. Queueing delay is `queue_ms`.
   double latency_ms = 0.0;
   // kOk: `result` is valid and bit-exact. Anything else: an injected fault
-  // exhausted its recovery budget and `result` must be ignored.
+  // exhausted its recovery budget (or admission shed the query) and
+  // `result` must be ignored.
   QueryStatus status = QueryStatus::kOk;
   ssb::QueryResult result;
   // Speculative-prefetch counters summed over this query's launch-log slice
   // (the prefetch round issued ahead of it plus its own kernels).
   sim::PrefetchCounters prefetch;
+
+  // --- Loaded serving (ServeLoad); fixed-batch Serve fills the request id
+  // with the batch index and leaves arrival == admit (queue_ms = 0).
+  uint64_t request_id = 0;
+  load::QueryClass cls = load::QueryClass::kStandard;
+  int user = -1;             // issuing closed-loop user, -1 otherwise
+  double arrival_ms = 0.0;   // offered time on the serving clock
+  double queue_ms = 0.0;     // admission-queue wait: arrival -> service start
+  double e2e_ms = 0.0;       // arrival -> finish (= queue_ms + latency_ms)
+  bool deadline_missed = false;  // e2e exceeded the class deadline (ok only)
+};
+
+// Per-priority-class slice of a serving run. `p99_e2e_ms` is over ok
+// queries' end-to-end latencies; `slo_met` compares it against the
+// workload's per-class target (vacuously true with no target or no ok
+// queries).
+struct ClassReport {
+  uint64_t offered = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;  // non-ok, non-shed (injected faults)
+  uint64_t deadline_missed = 0;
+  double p50_e2e_ms = 0.0;
+  double p99_e2e_ms = 0.0;
+  double slo_p99_ms = 0.0;  // from the WorkloadSpec; 0 = no target
+  bool slo_met = true;
 };
 
 struct ServeReport {
   std::vector<ServedQuery> queries;
   double makespan_ms = 0.0;
-  // Nearest-rank percentiles over per-query latency: index ceil(q*n) - 1 of
-  // the sorted latencies (so p95 of 10 queries reads the 10th, not the 9th).
+  // Nearest-rank percentiles over per-query *service* latency (admit ->
+  // finish, shed queries excluded): index ceil(q*n) - 1 of the sorted
+  // latencies (so p95 of 10 queries reads the 10th, not the 9th).
+  // Admission-queue wait is deliberately excluded here — it lands in the
+  // end-to-end percentiles below — so service-time percentiles stay
+  // comparable between fixed-batch and loaded serving.
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  // Nearest-rank percentiles over end-to-end latency (arrival -> finish =
+  // queue wait + service, shed queries excluded). Equal to the service
+  // percentiles whenever nothing queued.
+  double p50_e2e_ms = 0.0;
+  double p95_e2e_ms = 0.0;
+  double p99_e2e_ms = 0.0;
   // Cache counters over the whole batch (all-zero with use_cache = false).
   TileCache::Stats cache;
   // Column decompress launches skipped because every tile was resident
@@ -200,12 +253,27 @@ struct ServeReport {
   // Speculative-prefetch counters summed over the batch's kernels
   // (all-zero with prefetch disabled).
   sim::PrefetchCounters prefetch;
-  // Queries whose status is not kOk (always 0 without a fault plan).
+  // Queries whose status is neither kOk nor kShed (always 0 without a
+  // fault plan).
   uint64_t failed_queries = 0;
+  // Queries dropped by admission control (always 0 for fixed-batch Serve).
+  uint64_t shed_queries = 0;
+  // Exact admission counters (offered/queued/shed/deadline-missed) for
+  // ServeLoad; all-zero for fixed-batch Serve.
+  AdmissionStats admission;
+  // Per-priority-class breakdown, indexed by load::QueryClass.
+  std::array<ClassReport, load::kNumClasses> classes;
   // Snapshot of the fault plan's counters after the batch (all-zero
   // without a plan).
   fault::FaultStats faults;
 };
+
+// Recompute every latency-derived field of `report` from its queries:
+// service and end-to-end percentiles (shed excluded), per-class breakdown,
+// deadline misses (per-query flags + admission counters), and the
+// failed/shed totals. Both Serve and ServeLoad end with this; it is a free
+// function so the regression tests can pin it on hand-built timelines.
+void AggregateLatencies(const load::WorkloadSpec& spec, ServeReport* report);
 
 class Server {
  public:
@@ -216,6 +284,16 @@ class Server {
   // Serve `batch` in order. Per-query latency is measured on the query's
   // stream; the makespan is the device synchronize at the end.
   ServeReport Serve(const std::vector<ssb::QueryId>& batch);
+
+  // Drive `workload` on the simulated clock: a discrete-event loop over
+  // arrivals and completions, with the bounded priority AdmissionQueue
+  // (options.admission) in front of the streams. Every offered request is
+  // reported (shed ones with status kShed and no result); report times are
+  // relative to the call (arrival 0 = serving start), and queries are
+  // ordered by request id. Emits one trace query span per offered request
+  // when a tracer is attached (schema v9). The workload is left consumed —
+  // call workload.Reset() to replay it.
+  ServeReport ServeLoad(load::Workload& workload);
 
   // Build each query's dimension hash tables now so later Serve calls skip
   // them (a no-op unless options.reuse_hash_tables). The build kernels run
@@ -238,6 +316,18 @@ class Server {
   ssb::EncodedLineorder MaterializeColumns(
       ssb::QueryId query, std::vector<TileCache::PinnedTile>* pins,
       uint64_t* decompress_skips, QueryStatus* status);
+
+  // Issue one query's full pipeline (prefetch round, materialization, query
+  // kernels, fault scans) on `stream`, filling sq->admit/finish/latency
+  // (absolute device time) and sq->status. Shared by Serve and ServeLoad.
+  void RunQueryOnStream(ssb::QueryId query, sim::StreamId stream,
+                        uint64_t* decompress_skips, ServedQuery* sq);
+
+  bool decompress_system() const {
+    return lineorder_.system == codec::System::kGpuBp ||
+           lineorder_.system == codec::System::kNvcomp ||
+           lineorder_.system == codec::System::kPlanner;
+  }
 
   sim::Device& dev_;
   const ssb::EncodedLineorder& lineorder_;

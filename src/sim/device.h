@@ -50,6 +50,24 @@ struct Event {
   double timestamp_ms = 0.0;
 };
 
+// One served query's lifecycle on the serving clock (trace schema v9):
+// offered at `arrival`, dequeued from the admission queue at `admit`,
+// service begins on the stream at `start`, last stream operation done at
+// `finish`. All absolute device-timeline ms, so query spans line up with
+// the kernel spans they contain. Emitted by serve::Server under load
+// (Device::EmitQuerySpan); fixed-batch serving emits none.
+struct QueryTraceInfo {
+  std::string label;  // SSB query name
+  int stream_id = 0;
+  uint64_t request_id = 0;
+  double arrival_ms = 0.0;
+  double admit_ms = 0.0;
+  double start_ms = 0.0;
+  double finish_ms = 0.0;
+  std::string cls;     // priority class name ("interactive"/...)
+  std::string status;  // serve::QueryStatusName ("ok"/"shed"/...)
+};
+
 // Observer interface for the device timeline. telemetry::Tracer implements
 // it; the sim layer only knows this interface so that sim does not depend on
 // the telemetry library.
@@ -84,6 +102,10 @@ class TraceSink {
     (void)duration_ms;
     (void)label;
   }
+  // One served query's arrival/admit/start/finish lifecycle (trace schema
+  // v9), so queueing delay is separable from service time in the export.
+  // Default no-op so existing sinks are unaffected.
+  virtual void OnQuerySpan(const QueryTraceInfo& info) { (void)info; }
 };
 
 class Device {
@@ -171,6 +193,12 @@ class Device {
   // way; the tracer additionally sees scope markers and transfers.
   void AttachTracer(TraceSink* tracer) { tracer_ = tracer; }
   TraceSink* tracer() const { return tracer_; }
+
+  // Forward one query-lifecycle record to the attached tracer (no-op
+  // un-traced). The serving layer calls this once per offered query.
+  void EmitQuerySpan(const QueryTraceInfo& info) {
+    if (tracer_ != nullptr) tracer_->OnQuerySpan(info);
+  }
 
   // Attach/detach a fault plan (not owned; nullptr to detach). When set,
   // Launch consults it at the kKernelLaunch site (an injected fault

@@ -96,7 +96,8 @@ bool IsKnownTraceSchema(const std::string& schema) {
   return schema == kTraceSchema || schema == kTraceSchemaV1 ||
          schema == kTraceSchemaV2 || schema == kTraceSchemaV3 ||
          schema == kTraceSchemaV4 || schema == kTraceSchemaV5 ||
-         schema == kTraceSchemaV6 || schema == kTraceSchemaV7;
+         schema == kTraceSchemaV6 || schema == kTraceSchemaV7 ||
+         schema == kTraceSchemaV8;
 }
 
 std::string ToJson(const std::vector<Span>& spans) {
@@ -126,6 +127,13 @@ std::string ToJson(const std::vector<Span>& spans) {
       AppendF(&out, "\"bytes\":%" PRIu64 ",", span.transfer_bytes);
       AppendF(&out, "\"src_device\":%d,\"dst_device\":%d,", span.link_src,
               span.link_dst);
+    }
+    if (span.kind == SpanKind::kQuery) {
+      AppendF(&out, "\"request_id\":%" PRIu64 ",", span.q_request_id);
+      AppendF(&out, "\"class\":\"%s\",", JsonEscape(span.q_class).c_str());
+      AppendF(&out, "\"status\":\"%s\",", JsonEscape(span.q_status).c_str());
+      AppendDouble(&out, "admit_ms", span.q_admit_ms);
+      AppendDouble(&out, "service_start_ms", span.q_start_ms);
     }
     AppendDouble(&out, "start_ms", span.start_ms);
     AppendDouble(&out, "duration_ms", span.duration_ms,
@@ -164,6 +172,8 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
       span.kind = SpanKind::kScope;
     } else if (kind == "link") {
       span.kind = SpanKind::kLink;
+    } else if (kind == "query") {
+      span.kind = SpanKind::kQuery;
     } else {
       if (error != nullptr) *error = "unknown span kind: " + kind;
       return false;
@@ -289,6 +299,13 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
       span.link_src = static_cast<int>(record.Get("src_device").AsInt64());
       span.link_dst = static_cast<int>(record.Get("dst_device").AsInt64());
     }
+    if (span.kind == SpanKind::kQuery) {
+      span.q_request_id = record.Get("request_id").AsUint64();
+      span.q_class = record.Get("class").AsString();
+      span.q_status = record.Get("status").AsString();
+      span.q_admit_ms = record.Get("admit_ms").AsDouble();
+      span.q_start_ms = record.Get("service_start_ms").AsDouble();
+    }
     spans->push_back(std::move(span));
   }
   return true;
@@ -306,13 +323,28 @@ std::string ToChromeTrace(const std::vector<Span>& spans) {
   int max_stream = 0;
   int max_device = 0;
   bool has_links = false;
+  bool has_queries = false;
   for (const Span& span : spans) {
     max_stream = std::max(max_stream, span.stream_id);
     max_device = std::max({max_device, span.device_id, span.link_dst});
     if (span.kind == SpanKind::kLink) has_links = true;
+    if (span.kind == SpanKind::kQuery) has_queries = true;
   }
   const int lane_stride = max_stream + 2;
   const int link_base = (max_device + 1) * lane_stride;
+  // Query lanes (schema v9) come after the link lanes: one lane per
+  // (device, priority class), each query drawn as a "(queued)" slice from
+  // arrival to service start followed by its service slice — so queueing
+  // delay and service time separate visually.
+  const int query_base = link_base + (has_links ? max_device + 1 : 0);
+  static constexpr const char* kQueryClassLanes[3] = {"interactive",
+                                                      "standard", "batch"};
+  auto query_class_idx = [](const std::string& cls) {
+    for (int i = 0; i < 3; ++i) {
+      if (cls == kQueryClassLanes[i]) return i;
+    }
+    return 0;
+  };
   out.append(
       "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
       "\"args\":{\"name\":\"tilecomp sim\"}}");
@@ -342,7 +374,49 @@ std::string ToChromeTrace(const std::vector<Span>& spans) {
               link_base + d, d);
     }
   }
+  if (has_queries) {
+    for (int d = 0; d <= max_device; ++d) {
+      for (int c = 0; c < 3; ++c) {
+        char prefix[32];
+        if (max_device > 0) {
+          std::snprintf(prefix, sizeof(prefix), "dev%d ", d);
+        } else {
+          prefix[0] = '\0';
+        }
+        AppendF(&out,
+                ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                "\"tid\":%d,\"args\":{\"name\":\"%squeries %s\"}}",
+                query_base + d * 3 + c, prefix, kQueryClassLanes[c]);
+      }
+    }
+  }
   for (const Span& span : spans) {
+    if (span.kind == SpanKind::kQuery) {
+      const int tid =
+          query_base + span.device_id * 3 + query_class_idx(span.q_class);
+      const double finish_ms = span.start_ms + span.duration_ms;
+      if (span.q_start_ms > span.start_ms) {
+        AppendF(&out,
+                ",\n{\"name\":\"%s (queued)\",\"cat\":\"query\",\"ph\":\"X\","
+                "\"pid\":0,\"tid\":%d,\"ts\":%.12g,\"dur\":%.12g,"
+                "\"args\":{\"request_id\":%" PRIu64 ",\"status\":\"%s\"}}",
+                JsonEscape(span.name).c_str(), tid, span.start_ms * 1e3,
+                (span.q_start_ms - span.start_ms) * 1e3, span.q_request_id,
+                JsonEscape(span.q_status).c_str());
+      }
+      AppendF(&out,
+              ",\n{\"name\":\"%s%s\",\"cat\":\"query\",\"ph\":\"X\","
+              "\"pid\":0,\"tid\":%d,\"ts\":%.12g,\"dur\":%.12g,"
+              "\"args\":{\"request_id\":%" PRIu64
+              ",\"class\":\"%s\",\"status\":\"%s\",\"stream\":%d}}",
+              JsonEscape(span.name).c_str(),
+              span.q_status == "ok" ? "" : (" (" + span.q_status + ")").c_str(),
+              tid, span.q_start_ms * 1e3,
+              std::max(0.0, finish_ms - span.q_start_ms) * 1e3,
+              span.q_request_id, JsonEscape(span.q_class).c_str(),
+              JsonEscape(span.q_status).c_str(), span.stream_id);
+      continue;
+    }
     out.append(",");
     out.append("\n{");
     int tid = span.device_id * lane_stride;
@@ -416,6 +490,13 @@ void PrintSummary(const Tracer& tracer, std::FILE* out) {
                    static_cast<int>(34 - indent.size()), span.name.c_str(),
                    span.duration_ms, "-", span.transfer_bytes / 1e6, "-", "-",
                    "link");
+      continue;
+    }
+    if (span.kind == SpanKind::kQuery) {
+      std::fprintf(out, "%s%s [%s] e2e %.4f ms (queued %.4f) %s\n",
+                   indent.c_str(), span.name.c_str(), span.q_class.c_str(),
+                   span.duration_ms, span.q_start_ms - span.start_ms,
+                   span.q_status.c_str());
       continue;
     }
     const sim::KernelResult& k = span.kernel;

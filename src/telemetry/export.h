@@ -3,10 +3,10 @@
 // JSON schema (stable; version bumps on breaking change):
 //
 //   {
-//     "schema": "tilecomp.trace.v8",
+//     "schema": "tilecomp.trace.v9",
 //     "spans": [
 //       {
-//         "kind": "kernel" | "transfer" | "scope" | "link",
+//         "kind": "kernel" | "transfer" | "scope" | "link" | "query",
 //         "name": "<launch label / scope name / link label>",
 //         "path": "<'/'-joined enclosing scope names, '' at top level>",
 //         "depth": <int>,
@@ -39,7 +39,18 @@
 //         "bytes": <uint64>,
 //         // kind == "link" only (v8): inter-device interconnect transfer
 //         // endpoints (sim::Cluster).
-//         "src_device": <int>, "dst_device": <int>
+//         "src_device": <int>, "dst_device": <int>,
+//         // kind == "query" only (v9): one served query's admission
+//         // lifecycle under load. The span covers arrival -> finish
+//         // (start_ms = arrival, duration_ms = end-to-end latency);
+//         // "admit_ms" is when the request left the admission queue and
+//         // "service_start_ms" when its kernels became eligible, so
+//         // queueing delay (admit - arrival) is separable from service
+//         // time (finish - start). Shed queries carry stream -1, status
+//         // "shed", and admit == service_start == arrival + queue wait.
+//         "request_id": <uint64>, "class": "interactive"|"standard"|"batch",
+//         "status": "ok"|"shed"|..., "admit_ms": <double>,
+//         "service_start_ms": <double>
 //       }, ...
 //     ]
 //   }
@@ -60,7 +71,10 @@
 // "hits"); v8 adds multi-device cluster serving: the per-span "device" field
 // (which device's timeline the span sits on) and the "link" span kind (one
 // inter-device transfer over the modeled interconnect, carrying "bytes" plus
-// "src_device"/"dst_device"). Older traces still load through TraceFromJson:
+// "src_device"/"dst_device"); v9 adds loaded serving: the "query" span kind
+// (one served query's arrival/admit/service-start/finish lifecycle with its
+// request id, priority class and final status — see serve/admission.h).
+// Older traces still load through TraceFromJson:
 // a missing "stream" defaults to the synchronizing stream 0, missing v3
 // fields default to a static launch with no wave data, a missing v4 "cache"
 // object defaults to all-zero counters, a missing v5 "faults" object
@@ -84,7 +98,7 @@
 
 namespace tilecomp::telemetry {
 
-inline constexpr const char* kTraceSchema = "tilecomp.trace.v8";
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v9";
 inline constexpr const char* kTraceSchemaV1 = "tilecomp.trace.v1";
 inline constexpr const char* kTraceSchemaV2 = "tilecomp.trace.v2";
 inline constexpr const char* kTraceSchemaV3 = "tilecomp.trace.v3";
@@ -92,8 +106,9 @@ inline constexpr const char* kTraceSchemaV4 = "tilecomp.trace.v4";
 inline constexpr const char* kTraceSchemaV5 = "tilecomp.trace.v5";
 inline constexpr const char* kTraceSchemaV6 = "tilecomp.trace.v6";
 inline constexpr const char* kTraceSchemaV7 = "tilecomp.trace.v7";
+inline constexpr const char* kTraceSchemaV8 = "tilecomp.trace.v8";
 
-// True for every schema version TraceFromJson accepts (v1 through v8).
+// True for every schema version TraceFromJson accepts (v1 through v9).
 bool IsKnownTraceSchema(const std::string& schema);
 
 // Machine-readable trace (schema above). The span-vector overload serializes
@@ -101,7 +116,7 @@ bool IsKnownTraceSchema(const std::string& schema);
 std::string ToJson(const Tracer& tracer);
 std::string ToJson(const std::vector<Span>& spans);
 
-// Parse a tilecomp.trace.v1 through .v8 document back into spans. Limiter
+// Parse a tilecomp.trace.v1 through .v9 document back into spans. Limiter
 // and derived fields are recomputed from the stored breakdown; spans from a
 // v1 trace carry stream 0, pre-v3 spans carry static scheduling with no wave
 // data, pre-v4 spans carry all-zero cache counters, pre-v5 spans carry zero

@@ -14,6 +14,8 @@ const char* SpanKindName(SpanKind kind) {
       return "scope";
     case SpanKind::kLink:
       return "link";
+    case SpanKind::kQuery:
+      return "query";
   }
   return "?";
 }
@@ -108,6 +110,24 @@ void Tracer::OnLink(int src_device, int dst_device, uint64_t bytes,
   span.transfer_bytes = bytes;
   span.link_src = src_device;
   span.link_dst = dst_device;
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::OnQuerySpan(const sim::QueryTraceInfo& info) {
+  Span span;
+  span.kind = SpanKind::kQuery;
+  span.name = info.label;
+  span.path = CurrentPath();
+  span.depth = static_cast<int>(open_scopes_.size());
+  span.start_ms = info.arrival_ms;
+  span.duration_ms = info.finish_ms - info.arrival_ms;
+  span.stream_id = info.stream_id;
+  span.device_id = device_id_;
+  span.q_request_id = info.request_id;
+  span.q_admit_ms = info.admit_ms;
+  span.q_start_ms = info.start_ms;
+  span.q_class = info.cls;
+  span.q_status = info.status;
   spans_.push_back(std::move(span));
 }
 

@@ -24,14 +24,17 @@
 
 namespace tilecomp::telemetry {
 
-enum class SpanKind { kKernel, kTransfer, kScope, kLink };
+enum class SpanKind { kKernel, kTransfer, kScope, kLink, kQuery };
 
 const char* SpanKindName(SpanKind kind);
 
 // One record of the trace. Kernel spans carry the full KernelResult
 // (config, stats, breakdown); transfer spans carry the byte count; scope
 // spans only bracket their children in time; link spans (schema v8) record
-// one inter-device transfer over a sim::Cluster interconnect.
+// one inter-device transfer over a sim::Cluster interconnect; query spans
+// (schema v9) record one served query's admission lifecycle — the span runs
+// arrival -> finish, with the admit/service-start timestamps inside it so
+// queueing delay is separable from service time.
 struct Span {
   SpanKind kind = SpanKind::kKernel;
   std::string name;
@@ -61,6 +64,16 @@ struct Span {
   // the same information inside `kernel` (fault_retries / failed).
   int fault_retries = 0;
   bool fault_failed = false;
+  // kQuery only (schema v9): admission lifecycle. The span itself covers
+  // arrival -> finish (start_ms = arrival, duration = end-to-end latency);
+  // these carry the interior timestamps and the request identity. Shed
+  // queries record stream -1 and status "shed" with admit == start ==
+  // finish at the shed instant.
+  uint64_t q_request_id = 0;
+  double q_admit_ms = 0.0;  // left the admission queue (== service start)
+  double q_start_ms = 0.0;  // service began on the stream
+  std::string q_class;      // priority class name
+  std::string q_status;     // serve::QueryStatusName
 };
 
 class Tracer : public sim::TraceSink {
@@ -73,6 +86,7 @@ class Tracer : public sim::TraceSink {
   void OnScopeEnd(double end_ms) override;
   void OnLink(int src_device, int dst_device, uint64_t bytes, double start_ms,
               double duration_ms, const std::string& label) override;
+  void OnQuerySpan(const sim::QueryTraceInfo& info) override;
 
   // Device id stamped onto every span this tracer records (schema v8).
   // Defaults to 0, so single-device traces are unchanged; a cluster attaches

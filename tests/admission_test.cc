@@ -1,0 +1,477 @@
+// Tests for admission control under load: scripted AdmissionQueue
+// saturation scenarios with exact counter assertions (the queue is a pure
+// discrete-event component, so every decision is checkable against a
+// hand-computed timeline), the AggregateLatencies regression pin separating
+// queued time from service time, and Server::ServeLoad saturation runs with
+// exact shed/queue accounting. The ServeLoad tests also run under TSan in
+// CI — kernel bodies execute on the device's host thread pool while the
+// admission bookkeeping runs on the serving thread.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/systems.h"
+#include "gtest/gtest.h"
+#include "load/load_gen.h"
+#include "serve/admission.h"
+#include "serve/server.h"
+#include "sim/device.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
+
+namespace tilecomp::serve {
+namespace {
+
+load::Request Req(uint64_t id, load::QueryClass cls, double arrival_ms) {
+  load::Request r;
+  r.id = id;
+  r.cls = cls;
+  r.query = cls == load::QueryClass::kInteractive ? ssb::QueryId::kQ11
+            : cls == load::QueryClass::kStandard  ? ssb::QueryId::kQ21
+                                                  : ssb::QueryId::kQ41;
+  r.arrival_ms = arrival_ms;
+  return r;
+}
+
+constexpr auto kInteractive = load::QueryClass::kInteractive;
+constexpr auto kStandard = load::QueryClass::kStandard;
+constexpr auto kBatch = load::QueryClass::kBatch;
+
+// --- AdmissionQueue: scripted scenarios, every counter hand-computed ---
+
+TEST(AdmissionQueueTest, StartsImmediatelyWhileSlotsAreFree) {
+  AdmissionOptions options;
+  options.queue_capacity = 4;
+  AdmissionQueue adm(options, load::WorkloadSpec(), /*max_in_flight=*/2);
+
+  EXPECT_EQ(adm.Offer(Req(0, kBatch, 0.0), 0.0).outcome,
+            AdmissionQueue::Outcome::kStart);
+  EXPECT_EQ(adm.Offer(Req(1, kBatch, 1.0), 1.0).outcome,
+            AdmissionQueue::Outcome::kStart);
+  EXPECT_EQ(adm.in_flight(), 2);
+  EXPECT_EQ(adm.Offer(Req(2, kBatch, 2.0), 2.0).outcome,
+            AdmissionQueue::Outcome::kQueued);
+  EXPECT_EQ(adm.queue_depth(), 1u);
+
+  const AdmissionStats& s = adm.stats();
+  EXPECT_EQ(s.offered, 3u);
+  EXPECT_EQ(s.admitted_immediately, 2u);
+  EXPECT_EQ(s.queued, 1u);
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(s.max_queue_depth, 1u);
+  EXPECT_EQ(s.started(), 3u);
+}
+
+TEST(AdmissionQueueTest, PopsHighestPriorityFirstFifoWithin) {
+  AdmissionOptions options;
+  options.queue_capacity = 4;
+  AdmissionQueue adm(options, load::WorkloadSpec(), /*max_in_flight=*/1);
+
+  ASSERT_EQ(adm.Offer(Req(0, kBatch, 0.0), 0.0).outcome,
+            AdmissionQueue::Outcome::kStart);
+  ASSERT_EQ(adm.Offer(Req(1, kStandard, 1.0), 1.0).outcome,
+            AdmissionQueue::Outcome::kQueued);
+  ASSERT_EQ(adm.Offer(Req(2, kBatch, 2.0), 2.0).outcome,
+            AdmissionQueue::Outcome::kQueued);
+  ASSERT_EQ(adm.Offer(Req(3, kInteractive, 3.0), 3.0).outcome,
+            AdmissionQueue::Outcome::kQueued);
+  ASSERT_EQ(adm.Offer(Req(4, kStandard, 4.0), 4.0).outcome,
+            AdmissionQueue::Outcome::kQueued);
+  EXPECT_EQ(adm.queue_depth(), 4u);
+
+  // Pop order: interactive(3), standard FIFO (1 then 4), batch(2) — and
+  // the reported queue waits match the hand timeline exactly.
+  load::Request next;
+  double wait = 0.0;
+  ASSERT_TRUE(adm.OnComplete(10.0, &next, &wait));
+  EXPECT_EQ(next.id, 3u);
+  EXPECT_DOUBLE_EQ(wait, 7.0);
+  ASSERT_TRUE(adm.OnComplete(20.0, &next, &wait));
+  EXPECT_EQ(next.id, 1u);
+  EXPECT_DOUBLE_EQ(wait, 19.0);
+  ASSERT_TRUE(adm.OnComplete(30.0, &next, &wait));
+  EXPECT_EQ(next.id, 4u);
+  EXPECT_DOUBLE_EQ(wait, 26.0);
+  ASSERT_TRUE(adm.OnComplete(40.0, &next, &wait));
+  EXPECT_EQ(next.id, 2u);
+  EXPECT_DOUBLE_EQ(wait, 38.0);
+  EXPECT_EQ(adm.in_flight(), 1);  // the popped request occupies the slot
+  ASSERT_FALSE(adm.OnComplete(50.0, &next, &wait));
+  EXPECT_EQ(adm.in_flight(), 0);
+
+  const AdmissionStats& s = adm.stats();
+  EXPECT_EQ(s.queued, 4u);
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_DOUBLE_EQ(s.queue_wait_ms_total, 7.0 + 19.0 + 26.0 + 38.0);
+}
+
+TEST(AdmissionQueueTest, OverflowShedsStrictlyBelowTheWaterline) {
+  AdmissionOptions options;
+  options.queue_capacity = 2;
+  AdmissionQueue adm(options, load::WorkloadSpec(), /*max_in_flight=*/1);
+
+  ASSERT_EQ(adm.Offer(Req(0, kBatch, 0.0), 0.0).outcome,
+            AdmissionQueue::Outcome::kStart);
+  ASSERT_EQ(adm.Offer(Req(1, kStandard, 1.0), 1.0).outcome,
+            AdmissionQueue::Outcome::kQueued);
+  ASSERT_EQ(adm.Offer(Req(2, kStandard, 2.0), 2.0).outcome,
+            AdmissionQueue::Outcome::kQueued);
+
+  // Equal priority never displaces a waiter: the newcomer is shed (no
+  // churn between equally full queues).
+  const AdmissionQueue::Decision tie = adm.Offer(Req(3, kStandard, 3.0), 3.0);
+  EXPECT_EQ(tie.outcome, AdmissionQueue::Outcome::kShed);
+  EXPECT_FALSE(tie.shed_victim);
+
+  // Lower priority than everything queued: shed on arrival.
+  const AdmissionQueue::Decision low = adm.Offer(Req(4, kBatch, 4.0), 4.0);
+  EXPECT_EQ(low.outcome, AdmissionQueue::Outcome::kShed);
+  EXPECT_FALSE(low.shed_victim);
+
+  // Higher priority displaces the worst waiter — the *latest-arrived* of
+  // the lowest-priority class (id 2, queued at t=2).
+  const AdmissionQueue::Decision high =
+      adm.Offer(Req(5, kInteractive, 5.0), 5.0);
+  EXPECT_EQ(high.outcome, AdmissionQueue::Outcome::kQueued);
+  ASSERT_TRUE(high.shed_victim);
+  EXPECT_EQ(high.victim.id, 2u);
+  EXPECT_DOUBLE_EQ(high.victim_queue_ms, 3.0);
+  EXPECT_EQ(adm.queue_depth(), 2u);
+
+  const AdmissionStats& s = adm.stats();
+  EXPECT_EQ(s.offered, 6u);
+  EXPECT_EQ(s.shed, 3u);
+  EXPECT_EQ(s.shed_from_queue, 1u);
+  EXPECT_EQ(s.shed_by_class[static_cast<size_t>(kStandard)], 2u);
+  EXPECT_EQ(s.shed_by_class[static_cast<size_t>(kBatch)], 1u);
+  EXPECT_EQ(s.shed_by_class[static_cast<size_t>(kInteractive)], 0u);
+  EXPECT_EQ(s.started(), 1u + 3u - 1u);  // immediate + queued - victims
+}
+
+TEST(AdmissionQueueTest, ZeroShedsAtOrBelowSlotsPlusCapacity) {
+  AdmissionOptions options;
+  options.queue_capacity = 3;
+  AdmissionQueue adm(options, load::WorkloadSpec(), /*max_in_flight=*/2);
+  for (uint64_t i = 0; i < 5; ++i) {  // == slots + capacity
+    const auto outcome = adm.Offer(Req(i, kBatch, double(i)), double(i)).outcome;
+    EXPECT_NE(outcome, AdmissionQueue::Outcome::kShed) << "request " << i;
+  }
+  EXPECT_EQ(adm.stats().shed, 0u);
+  EXPECT_EQ(adm.stats().max_queue_depth, 3u);
+}
+
+TEST(AdmissionQueueTest, CapacityZeroShedsEveryOverflow) {
+  AdmissionOptions options;
+  options.queue_capacity = 0;
+  AdmissionQueue adm(options, load::WorkloadSpec(), /*max_in_flight=*/1);
+  ASSERT_EQ(adm.Offer(Req(0, kBatch, 0.0), 0.0).outcome,
+            AdmissionQueue::Outcome::kStart);
+  // Even an interactive request is shed: there is no queue to displace
+  // from, and the in-service query is never preempted.
+  EXPECT_EQ(adm.Offer(Req(1, kInteractive, 1.0), 1.0).outcome,
+            AdmissionQueue::Outcome::kShed);
+  EXPECT_EQ(adm.Offer(Req(2, kStandard, 2.0), 2.0).outcome,
+            AdmissionQueue::Outcome::kShed);
+  EXPECT_EQ(adm.stats().shed, 2u);
+  EXPECT_EQ(adm.stats().started(), 1u);
+}
+
+TEST(AdmissionQueueTest, QueueAllNeverShedsAndIgnoresCapacity) {
+  AdmissionOptions options;
+  options.policy = AdmissionPolicy::kQueueAll;
+  options.queue_capacity = 0;  // ignored
+  AdmissionQueue adm(options, load::WorkloadSpec(), /*max_in_flight=*/1);
+  ASSERT_EQ(adm.Offer(Req(0, kBatch, 0.0), 0.0).outcome,
+            AdmissionQueue::Outcome::kStart);
+  for (uint64_t i = 1; i <= 9; ++i) {
+    EXPECT_EQ(adm.Offer(Req(i, kBatch, double(i)), double(i)).outcome,
+              AdmissionQueue::Outcome::kQueued);
+  }
+  EXPECT_EQ(adm.stats().shed, 0u);
+  EXPECT_EQ(adm.stats().queued, 9u);
+  EXPECT_EQ(adm.stats().max_queue_depth, 9u);
+}
+
+// --- AggregateLatencies: the queued-time / service-time split, pinned on a
+// hand-built timeline (regression test for the percentile accounting) ---
+
+ServedQuery Timed(uint64_t id, load::QueryClass cls, QueryStatus status,
+                  double arrival, double admit, double finish) {
+  ServedQuery sq;
+  sq.request_id = id;
+  sq.cls = cls;
+  sq.status = status;
+  sq.arrival_ms = arrival;
+  sq.admit_ms = admit;
+  sq.finish_ms = finish;
+  sq.latency_ms = finish - admit;
+  return sq;
+}
+
+TEST(AggregateLatenciesTest, QueuedTimeExcludedFromServiceIncludedInE2e) {
+  load::WorkloadSpec spec;
+  spec.classes[static_cast<size_t>(kInteractive)].deadline_ms = 10.0;
+  spec.classes[static_cast<size_t>(kInteractive)].slo_p99_ms = 12.0;
+  spec.classes[static_cast<size_t>(kBatch)].deadline_ms = 100.0;
+
+  ServeReport report;
+  // Service times 4,4,4,4 ms; queue waits 0,8,2,0 ms. One shed, one failed.
+  report.queries = {
+      Timed(0, kInteractive, QueryStatus::kOk, 0.0, 0.0, 4.0),    // e2e 4
+      Timed(1, kInteractive, QueryStatus::kOk, 1.0, 9.0, 13.0),   // e2e 12 -> misses 10ms deadline
+      Timed(2, kStandard, QueryStatus::kOk, 2.0, 4.0, 8.0),       // e2e 6
+      Timed(3, kBatch, QueryStatus::kDecodeFailed, 3.0, 3.0, 7.0),// failed
+      Timed(4, kBatch, QueryStatus::kShed, 5.0, 5.0, 5.0),        // shed
+  };
+
+  AggregateLatencies(spec, &report);
+
+  // Service percentiles over {4,4,4,4} (shed excluded, failed included):
+  // queue wait never leaks in.
+  EXPECT_DOUBLE_EQ(report.p50_latency_ms, 4.0);
+  EXPECT_DOUBLE_EQ(report.p99_latency_ms, 4.0);
+  // E2e percentiles over {4,12,6,4}: the 8ms queue wait of query 1 shows
+  // up here and only here.
+  EXPECT_DOUBLE_EQ(report.p50_e2e_ms, 4.0);
+  EXPECT_DOUBLE_EQ(report.p99_e2e_ms, 12.0);
+
+  EXPECT_EQ(report.shed_queries, 1u);
+  EXPECT_EQ(report.failed_queries, 1u);
+
+  // Deadline misses are end-to-end: query 1's service time (4ms) is well
+  // inside the 10ms deadline, but its e2e (12ms) is not.
+  EXPECT_EQ(report.admission.deadline_missed, 1u);
+  EXPECT_TRUE(report.queries[1].deadline_missed);
+  EXPECT_FALSE(report.queries[0].deadline_missed);
+  EXPECT_FALSE(report.queries[2].deadline_missed);  // no standard deadline
+
+  const ClassReport& inter =
+      report.classes[static_cast<size_t>(kInteractive)];
+  EXPECT_EQ(inter.offered, 2u);
+  EXPECT_EQ(inter.ok, 2u);
+  EXPECT_EQ(inter.deadline_missed, 1u);
+  EXPECT_DOUBLE_EQ(inter.p99_e2e_ms, 12.0);
+  EXPECT_TRUE(inter.slo_met);  // 12 <= 12
+
+  const ClassReport& batch = report.classes[static_cast<size_t>(kBatch)];
+  EXPECT_EQ(batch.offered, 2u);
+  EXPECT_EQ(batch.ok, 0u);
+  EXPECT_EQ(batch.failed, 1u);
+  EXPECT_EQ(batch.shed, 1u);
+  EXPECT_TRUE(batch.slo_met);  // vacuous: no ok queries, no target
+
+  // Per-query e2e is recomputed for everything, including the shed query
+  // (its queue residence until the victim decision).
+  EXPECT_DOUBLE_EQ(report.queries[1].e2e_ms, 12.0);
+  EXPECT_DOUBLE_EQ(report.queries[4].e2e_ms, 0.0);
+}
+
+TEST(AggregateLatenciesTest, SloViolationIsReported) {
+  load::WorkloadSpec spec;
+  spec.classes[static_cast<size_t>(kStandard)].slo_p99_ms = 5.0;
+  ServeReport report;
+  report.queries = {
+      Timed(0, kStandard, QueryStatus::kOk, 0.0, 0.0, 4.0),
+      Timed(1, kStandard, QueryStatus::kOk, 0.0, 4.0, 8.0),  // e2e 8 > 5
+  };
+  AggregateLatencies(spec, &report);
+  EXPECT_FALSE(report.classes[static_cast<size_t>(kStandard)].slo_met);
+  EXPECT_DOUBLE_EQ(
+      report.classes[static_cast<size_t>(kStandard)].p99_e2e_ms, 8.0);
+}
+
+// --- Server::ServeLoad: saturation on the real serving stack ---
+
+const ssb::SsbData& TestData() {
+  static const ssb::SsbData* data =
+      new ssb::SsbData(ssb::GenerateSsbSmall(60000));
+  return *data;
+}
+
+// A burst of `n` same-class requests offered (almost) at once against one
+// service slot: exactly 1 starts, queue_capacity wait, the rest shed.
+TEST(ServeLoadTest, SaturationCountersMatchHandTimeline) {
+  const ssb::SsbData& data = TestData();
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(data, codec::System::kGpuStar);
+
+  load::Schedule schedule;
+  for (uint64_t i = 0; i < 6; ++i) {
+    // Same class throughout: ties never displace, so the shed set is
+    // exactly the overflow tail.
+    schedule.requests.push_back(Req(i, kStandard, 0.001 * double(i)));
+  }
+
+  sim::Device dev;
+  ServeOptions options;
+  options.num_streams = 1;
+  options.cache_budget_bytes = 64ull << 20;
+  options.admission.queue_capacity = 2;
+  Server server(dev, data, enc, options);
+  load::OpenLoopWorkload workload(schedule, load::WorkloadSpec());
+  const ServeReport report = server.ServeLoad(workload);
+
+  ASSERT_EQ(report.queries.size(), 6u);
+  EXPECT_EQ(report.admission.offered, 6u);
+  EXPECT_EQ(report.admission.admitted_immediately, 1u);
+  EXPECT_EQ(report.admission.queued, 2u);
+  EXPECT_EQ(report.admission.shed, 3u);
+  EXPECT_EQ(report.admission.shed_from_queue, 0u);
+  EXPECT_EQ(report.admission.max_queue_depth, 2u);
+  EXPECT_EQ(report.shed_queries, 3u);
+  EXPECT_EQ(report.failed_queries, 0u);
+
+  // The shed requests are exactly the last three offered; the served ones
+  // are bit-exact and the queued ones carry positive queue time with
+  // e2e = queue + service.
+  for (const ServedQuery& sq : report.queries) {
+    if (sq.request_id >= 3) {
+      EXPECT_EQ(sq.status, QueryStatus::kShed) << sq.request_id;
+      EXPECT_EQ(sq.stream, -1);
+      continue;
+    }
+    ASSERT_EQ(sq.status, QueryStatus::kOk) << sq.request_id;
+    const ssb::QueryResult ref = server.runner().RunHostReference(sq.query);
+    EXPECT_EQ(sq.result.groups, ref.groups);
+    EXPECT_NEAR(sq.e2e_ms, sq.queue_ms + sq.latency_ms, 1e-9);
+    if (sq.request_id > 0) {
+      EXPECT_GT(sq.queue_ms, 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(report.admission.queue_wait_ms_total,
+                   report.queries[1].queue_ms + report.queries[2].queue_ms);
+}
+
+TEST(ServeLoadTest, QueueAllServesEverythingUnderOverload) {
+  const ssb::SsbData& data = TestData();
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(data, codec::System::kGpuStar);
+
+  load::OpenLoopOptions gen;
+  gen.rate_qps = 50000.0;  // far past capacity: pure backpressure
+  gen.num_queries = 24;
+  gen.seed = 11;
+  load::OpenLoopWorkload workload(load::GenOpenLoop(gen),
+                                  load::WorkloadSpec());
+
+  sim::Device dev;
+  ServeOptions options;
+  options.num_streams = 2;
+  options.cache_budget_bytes = 128ull << 20;
+  options.admission.policy = AdmissionPolicy::kQueueAll;
+  Server server(dev, data, enc, options);
+  const ServeReport report = server.ServeLoad(workload);
+
+  ASSERT_EQ(report.queries.size(), gen.num_queries);
+  EXPECT_EQ(report.admission.shed, 0u);
+  EXPECT_EQ(report.shed_queries, 0u);
+  EXPECT_GT(report.admission.queued, 0u);
+  EXPECT_GT(report.admission.queue_wait_ms_total, 0.0);
+  // Backpressure shows up as e2e >> service at the tail.
+  EXPECT_GT(report.p99_e2e_ms, report.p99_latency_ms);
+  for (const ServedQuery& sq : report.queries) {
+    ASSERT_EQ(sq.status, QueryStatus::kOk);
+    const ssb::QueryResult ref = server.runner().RunHostReference(sq.query);
+    EXPECT_EQ(sq.result.groups, ref.groups);
+  }
+}
+
+// Multi-stream admission under a bursty open-loop schedule: the TSan
+// stress — kernel bodies run on the device's host thread pool while the
+// serving loop mutates admission state. Also checks the e2e/service
+// decomposition and class accounting on a non-trivial run.
+TEST(ServeLoadTest, MultiStreamBurstStress) {
+  const ssb::SsbData& data = TestData();
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(data, codec::System::kGpuStar);
+
+  load::OpenLoopOptions gen;
+  gen.rate_qps = 4000.0;
+  gen.num_queries = 40;
+  gen.burst_factor = 8.0;
+  gen.seed = 13;
+  load::WorkloadSpec spec;
+  load::OpenLoopWorkload workload(load::GenOpenLoop(gen), spec);
+
+  sim::Device dev;
+  ServeOptions options;
+  options.num_streams = 4;
+  options.cache_budget_bytes = 256ull << 20;
+  options.admission.queue_capacity = 4;
+  Server server(dev, data, enc, options);
+  const ServeReport report = server.ServeLoad(workload);
+
+  ASSERT_EQ(report.queries.size(), gen.num_queries);
+  uint64_t offered = 0;
+  for (size_t c = 0; c < load::kNumClasses; ++c) {
+    offered += report.classes[c].offered;
+    EXPECT_EQ(report.classes[c].offered,
+              report.classes[c].ok + report.classes[c].shed +
+                  report.classes[c].failed);
+  }
+  EXPECT_EQ(offered, gen.num_queries);
+  EXPECT_EQ(report.admission.offered, gen.num_queries);
+  EXPECT_EQ(report.admission.shed, report.shed_queries);
+  for (const ServedQuery& sq : report.queries) {
+    if (sq.status == QueryStatus::kShed) continue;
+    ASSERT_EQ(sq.status, QueryStatus::kOk);
+    const ssb::QueryResult ref = server.runner().RunHostReference(sq.query);
+    EXPECT_EQ(sq.result.groups, ref.groups);
+    EXPECT_NEAR(sq.e2e_ms, sq.queue_ms + sq.latency_ms, 1e-9);
+    EXPECT_GE(sq.queue_ms, 0.0);
+  }
+  // Identical rerun: the whole loaded run is deterministic on the
+  // simulated clock, kernel-thread scheduling notwithstanding.
+  workload.Reset();
+  sim::Device dev2;
+  Server server2(dev2, data, enc, options);
+  const ServeReport again = server2.ServeLoad(workload);
+  ASSERT_EQ(again.queries.size(), report.queries.size());
+  for (size_t i = 0; i < report.queries.size(); ++i) {
+    EXPECT_EQ(again.queries[i].status, report.queries[i].status);
+    EXPECT_DOUBLE_EQ(again.queries[i].finish_ms, report.queries[i].finish_ms);
+    EXPECT_EQ(again.queries[i].result.groups, report.queries[i].result.groups);
+  }
+  EXPECT_DOUBLE_EQ(again.makespan_ms, report.makespan_ms);
+}
+
+// Closed-loop serving through the real server: the population invariant
+// shows up as max_queue_depth + in-service never exceeding num_users.
+TEST(ServeLoadTest, ClosedLoopSelfLimitsInFlight) {
+  const ssb::SsbData& data = TestData();
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(data, codec::System::kGpuStar);
+
+  load::ClosedLoopOptions gen;
+  gen.num_users = 3;
+  gen.num_queries = 24;
+  gen.think_ms = 0.2;
+  gen.seed = 17;
+  load::WorkloadSpec spec;
+  load::ClosedLoopWorkload workload(gen, spec);
+
+  sim::Device dev;
+  ServeOptions options;
+  options.num_streams = 2;  // fewer slots than users: someone always waits
+  options.cache_budget_bytes = 128ull << 20;
+  options.admission.policy = AdmissionPolicy::kQueueAll;
+  Server server(dev, data, enc, options);
+  const ServeReport report = server.ServeLoad(workload);
+
+  ASSERT_EQ(report.queries.size(), gen.num_queries);
+  EXPECT_EQ(report.admission.shed, 0u);
+  // At most num_users requests can be offered-but-unfinished at once, so
+  // the queue can never hold more than users - slots.
+  EXPECT_LE(report.admission.max_queue_depth,
+            static_cast<uint64_t>(gen.num_users));
+  for (const ServedQuery& sq : report.queries) {
+    ASSERT_EQ(sq.status, QueryStatus::kOk);
+    EXPECT_GE(sq.user, 0);
+    EXPECT_LT(sq.user, gen.num_users);
+    const ssb::QueryResult ref = server.runner().RunHostReference(sq.query);
+    EXPECT_EQ(sq.result.groups, ref.groups);
+  }
+}
+
+}  // namespace
+}  // namespace tilecomp::serve

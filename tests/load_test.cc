@@ -1,0 +1,233 @@
+// Tests for the seeded load generator (src/load): arrival-process
+// statistics at fixed seeds (Poisson mean/variance, bursty inflation),
+// byte-identical regeneration of open-loop schedules and closed-loop
+// scripts, and the closed-loop population invariant (never more than N
+// requests outstanding, no matter how service times fall).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "load/load_gen.h"
+#include "ssb/queries.h"
+
+namespace tilecomp::load {
+namespace {
+
+TEST(LoadGenTest, ClassOfFollowsSsbFlights) {
+  EXPECT_EQ(ClassOf(ssb::QueryId::kQ11), QueryClass::kInteractive);
+  EXPECT_EQ(ClassOf(ssb::QueryId::kQ13), QueryClass::kInteractive);
+  EXPECT_EQ(ClassOf(ssb::QueryId::kQ21), QueryClass::kStandard);
+  EXPECT_EQ(ClassOf(ssb::QueryId::kQ34), QueryClass::kStandard);
+  EXPECT_EQ(ClassOf(ssb::QueryId::kQ41), QueryClass::kBatch);
+  EXPECT_EQ(ClassOf(ssb::QueryId::kQ43), QueryClass::kBatch);
+}
+
+TEST(LoadGenTest, DefaultPrioritiesOrderInteractiveFirst) {
+  const WorkloadSpec spec;
+  EXPECT_GT(spec.priority_of(QueryClass::kInteractive),
+            spec.priority_of(QueryClass::kStandard));
+  EXPECT_GT(spec.priority_of(QueryClass::kStandard),
+            spec.priority_of(QueryClass::kBatch));
+}
+
+TEST(LoadGenTest, OpenLoopArrivalsSortedTaggedAndIdByIndex) {
+  OpenLoopOptions options;
+  options.rate_qps = 2000.0;
+  options.num_queries = 256;
+  options.seed = 42;
+  const Schedule schedule = GenOpenLoop(options);
+  ASSERT_EQ(schedule.requests.size(), options.num_queries);
+  for (size_t i = 0; i < schedule.requests.size(); ++i) {
+    const Request& r = schedule.requests[i];
+    EXPECT_EQ(r.id, i);
+    EXPECT_EQ(r.cls, ClassOf(r.query));
+    EXPECT_EQ(r.user, -1);
+    if (i > 0) {
+      EXPECT_GE(r.arrival_ms, schedule.requests[i - 1].arrival_ms);
+    }
+  }
+}
+
+// At a fixed seed the empirical interarrival mean and variance of a large
+// Poisson schedule must sit near the exponential's mean = 1/rate and
+// variance = mean^2. The draws are deterministic, so the tolerances are
+// pinned statements about this seed, not flaky statistical bounds.
+TEST(LoadGenTest, PoissonInterarrivalMeanAndVarianceAtFixedSeed) {
+  OpenLoopOptions options;
+  options.rate_qps = 1000.0;  // mean gap 1 ms
+  options.num_queries = 8192;
+  options.seed = 7;
+  const Schedule schedule = GenOpenLoop(options);
+  const IntervalStats stats = InterarrivalStats(schedule);
+  ASSERT_EQ(stats.n, options.num_queries - 1);
+  EXPECT_NEAR(stats.mean_ms, 1.0, 0.05);
+  // Exponential: variance == mean^2 (squared coefficient of variation 1).
+  const double cv2 = stats.variance / (stats.mean_ms * stats.mean_ms);
+  EXPECT_NEAR(cv2, 1.0, 0.1);
+}
+
+// The MMPP keeps the long-run rate at rate_qps but inflates variability:
+// the squared coefficient of variation must come out well above the
+// Poisson's 1 at the same seed.
+TEST(LoadGenTest, BurstyScheduleKeepsMeanRateButInflatesVariance) {
+  OpenLoopOptions options;
+  options.rate_qps = 1000.0;
+  options.num_queries = 8192;
+  options.seed = 7;
+  options.burst_factor = 10.0;
+  options.mean_calm_ms = 20.0;
+  options.mean_burst_ms = 5.0;
+  const Schedule schedule = GenOpenLoop(options);
+  const IntervalStats stats = InterarrivalStats(schedule);
+  EXPECT_NEAR(stats.mean_ms, 1.0, 0.15);
+  const double cv2 = stats.variance / (stats.mean_ms * stats.mean_ms);
+  EXPECT_GT(cv2, 1.5) << "bursty arrivals should be over-dispersed";
+}
+
+TEST(LoadGenTest, OpenLoopScheduleRegeneratesByteIdentically) {
+  for (double burst : {1.0, 6.0}) {
+    OpenLoopOptions options;
+    options.rate_qps = 500.0;
+    options.num_queries = 512;
+    options.seed = 99;
+    options.burst_factor = burst;
+    const std::string a = GenOpenLoop(options).Serialize();
+    const std::string b = GenOpenLoop(options).Serialize();
+    EXPECT_EQ(a, b) << "burst_factor " << burst;
+    EXPECT_FALSE(a.empty());
+
+    options.seed = 100;
+    EXPECT_NE(GenOpenLoop(options).Serialize(), a)
+        << "different seed must give a different schedule";
+  }
+}
+
+TEST(LoadGenTest, ClosedLoopScriptRegeneratesByteIdentically) {
+  ClosedLoopOptions options;
+  options.num_users = 5;
+  options.num_queries = 64;
+  options.seed = 21;
+  const WorkloadSpec spec;
+  ClosedLoopWorkload a(options, spec);
+  ClosedLoopWorkload b(options, spec);
+  EXPECT_EQ(a.SerializeScript(), b.SerializeScript());
+  EXPECT_FALSE(a.SerializeScript().empty());
+
+  options.seed = 22;
+  ClosedLoopWorkload c(options, spec);
+  EXPECT_NE(c.SerializeScript(), a.SerializeScript());
+}
+
+// Drive a closed-loop workload against a synthetic server (fixed service
+// time, unlimited capacity) and record every event. The population
+// invariant — never more than num_users outstanding — must hold at every
+// instant, and the full event log must replay byte-identically after
+// Reset().
+std::string DriveClosedLoop(ClosedLoopWorkload& workload, double service_ms,
+                            int* max_in_flight) {
+  struct Ev {
+    double t;
+    uint64_t id;
+    bool completion;  // completions before arrivals at equal time
+    bool operator>(const Ev& o) const {
+      if (t != o.t) return t > o.t;
+      if (completion != o.completion) return !completion;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events;
+  std::vector<Request> pending;  // request bodies, indexed by push order
+  auto push_arrival = [&](const Request& r) {
+    events.push({r.arrival_ms, static_cast<uint64_t>(pending.size()), false});
+    pending.push_back(r);
+  };
+  for (const Request& r : workload.InitialRequests()) push_arrival(r);
+
+  std::string log;
+  int in_flight = 0;
+  *max_in_flight = 0;
+  while (!events.empty()) {
+    const Ev ev = events.top();
+    events.pop();
+    const Request r = pending[ev.id];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s %llu %d %.9f\n",
+                  ev.completion ? "done" : "arrive",
+                  static_cast<unsigned long long>(r.id), r.user, ev.t);
+    log.append(buf);
+    if (ev.completion) {
+      --in_flight;
+      for (const Request& next : workload.OnComplete(r, ev.t)) {
+        push_arrival(next);
+      }
+    } else {
+      ++in_flight;
+      *max_in_flight = std::max(*max_in_flight, in_flight);
+      events.push({ev.t + service_ms, ev.id, true});
+    }
+  }
+  EXPECT_EQ(in_flight, 0);
+  return log;
+}
+
+TEST(LoadGenTest, ClosedLoopNeverExceedsNInFlightAndReplaysExactly) {
+  ClosedLoopOptions options;
+  options.num_users = 4;
+  options.num_queries = 80;
+  options.think_ms = 0.5;
+  options.seed = 31;
+  const WorkloadSpec spec;
+  ClosedLoopWorkload workload(options, spec);
+
+  // Service far slower than think time: every user is almost always
+  // waiting, so the population presses against the ceiling.
+  int max_in_flight = 0;
+  const std::string first = DriveClosedLoop(workload, 5.0, &max_in_flight);
+  EXPECT_LE(max_in_flight, options.num_users);
+  EXPECT_EQ(max_in_flight, options.num_users)
+      << "slow service should saturate all users";
+
+  workload.Reset();
+  int max_again = 0;
+  const std::string second = DriveClosedLoop(workload, 5.0, &max_again);
+  EXPECT_EQ(first, second) << "replay after Reset must be byte-identical";
+
+  // A different service time changes the timeline but never the ceiling.
+  workload.Reset();
+  const std::string fast = DriveClosedLoop(workload, 0.01, &max_again);
+  EXPECT_LE(max_again, options.num_users);
+  EXPECT_NE(fast, first);
+}
+
+// Every user issues its scripted queries in order; the total issued equals
+// the configured num_queries even when it does not divide num_users.
+TEST(LoadGenTest, ClosedLoopIssuesEveryScriptedQueryExactlyOnce) {
+  ClosedLoopOptions options;
+  options.num_users = 3;
+  options.num_queries = 31;
+  options.seed = 5;
+  const WorkloadSpec spec;
+  ClosedLoopWorkload workload(options, spec);
+  int max_in_flight = 0;
+  const std::string log = DriveClosedLoop(workload, 1.0, &max_in_flight);
+  size_t arrivals = 0;
+  std::vector<bool> seen(options.num_queries, false);
+  size_t pos = 0;
+  while ((pos = log.find("arrive ", pos)) != std::string::npos) {
+    ++arrivals;
+    const uint64_t id = std::strtoull(log.c_str() + pos + 7, nullptr, 10);
+    ASSERT_LT(id, seen.size());
+    EXPECT_FALSE(seen[id]) << "request id " << id << " issued twice";
+    seen[id] = true;
+    ++pos;
+  }
+  EXPECT_EQ(arrivals, options.num_queries);
+}
+
+}  // namespace
+}  // namespace tilecomp::load

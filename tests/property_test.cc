@@ -22,13 +22,18 @@
 #include <atomic>
 
 #include "codec/column.h"
+#include "codec/systems.h"
 #include "common/random.h"
 #include "crystal/load_column.h"
+#include "fault/fault.h"
 #include "gtest/gtest.h"
 #include "kernels/dispatch.h"
+#include "load/load_gen.h"
 #include "serve/prefetcher.h"
 #include "serve/server.h"
 #include "sim/device.h"
+#include "ssb/generator.h"
+#include "ssb/queries.h"
 
 namespace tilecomp {
 namespace {
@@ -405,6 +410,142 @@ TEST(PropertyTest, DirectedEdgeConfigs) {
       cfg.seed = 0xDEADBEEF;
       CheckConfig(cfg);
     }
+  }
+}
+
+// --- Loaded serving: admitted-ok bit-exactness and shed invariance over
+// load-generator kind x admission policy x fault rate ---
+
+const ssb::SsbData& LoadSweepData() {
+  static const ssb::SsbData* data =
+      new ssb::SsbData(ssb::GenerateSsbSmall(30000));
+  return *data;
+}
+
+// Run `workload` through a fresh device/server/fault-plan and check every
+// admitted-ok query bit-exact against the host reference. The fault plan is
+// rebuilt from (fault_rate, fault_seed) each call, so two runs with the
+// same arguments see identical injection sequences.
+serve::ServeReport RunLoadedServe(const ssb::EncodedLineorder& enc,
+                                  load::Workload& workload,
+                                  serve::AdmissionPolicy policy,
+                                  double fault_rate, uint64_t fault_seed) {
+  sim::Device dev;
+  fault::FaultPlan plan(fault::FaultPlanOptions::Uniform(fault_rate, fault_seed));
+  serve::ServeOptions options;
+  options.num_streams = 2;
+  options.cache_budget_bytes = 128ull << 20;
+  options.admission.policy = policy;
+  options.admission.queue_capacity = 2;
+  if (fault_rate > 0.0) options.fault_plan = &plan;
+  serve::Server server(dev, LoadSweepData(), enc, options);
+  serve::ServeReport report = server.ServeLoad(workload);
+  for (const serve::ServedQuery& sq : report.queries) {
+    if (sq.status != serve::QueryStatus::kOk) continue;
+    const ssb::QueryResult ref = server.runner().RunHostReference(sq.query);
+    EXPECT_EQ(sq.result.groups, ref.groups)
+        << "request " << sq.request_id << " " << ssb::QueryName(sq.query);
+  }
+  return report;
+}
+
+TEST(PropertyTest, LoadedServingBitExactAndShedInvariant) {
+  const uint64_t base_seed = EnvU64("TILECOMP_PROPERTY_SEED", 0xC0FFEE);
+  const ssb::EncodedLineorder enc =
+      ssb::EncodeLineorder(LoadSweepData(), codec::System::kGpuStar);
+
+  for (bool bursty : {false, true}) {
+    for (serve::AdmissionPolicy policy :
+         {serve::AdmissionPolicy::kShedLowPriority,
+          serve::AdmissionPolicy::kQueueAll}) {
+      for (double fault_rate : {0.0, 0.01}) {
+        SCOPED_TRACE(std::string(bursty ? "bursty" : "poisson") + " / " +
+                     serve::AdmissionPolicyName(policy) + " / fault_rate " +
+                     std::to_string(fault_rate));
+        load::OpenLoopOptions gen;
+        // Far past capacity even in the MMPP's rate-scaled calm phase, so
+        // the bounded-queue legs genuinely shed.
+        gen.rate_qps = 100000.0;
+        gen.num_queries = 24;
+        gen.seed = base_seed + (bursty ? 1 : 0);
+        if (bursty) gen.burst_factor = 6.0;
+        const load::Schedule schedule = load::GenOpenLoop(gen);
+        const load::WorkloadSpec spec;
+        const uint64_t fault_seed = base_seed ^ 0xFA;
+
+        load::OpenLoopWorkload workload(schedule, spec);
+        const serve::ServeReport first =
+            RunLoadedServe(enc, workload, policy, fault_rate, fault_seed);
+        if (HasFatalFailure() || HasNonfatalFailure()) return;
+
+        if (policy == serve::AdmissionPolicy::kQueueAll) {
+          EXPECT_EQ(first.admission.shed, 0u);
+          continue;
+        }
+        ASSERT_GT(first.shed_queries, 0u)
+            << "overload sweep should actually shed under the bounded queue";
+
+        // Shed invariance: shed requests never touched the device, the
+        // cache or the fault plan, so the schedule minus its shed requests
+        // must replay every admitted query bit-identically — same modeled
+        // times, same statuses, same results, same cache and fault
+        // counters.
+        load::Schedule pruned;
+        for (const load::Request& r : schedule.requests) {
+          const serve::ServedQuery& sq = first.queries[r.id];
+          ASSERT_EQ(sq.request_id, r.id);  // ServeLoad sorts by request id
+          if (sq.status != serve::QueryStatus::kShed) {
+            pruned.requests.push_back(r);
+          }
+        }
+        load::OpenLoopWorkload pruned_workload(pruned, spec);
+        const serve::ServeReport second =
+            RunLoadedServe(enc, pruned_workload, policy, fault_rate, fault_seed);
+        if (HasFatalFailure() || HasNonfatalFailure()) return;
+
+        ASSERT_EQ(second.queries.size(), pruned.requests.size());
+        size_t j = 0;
+        for (const serve::ServedQuery& sq : first.queries) {
+          if (sq.status == serve::QueryStatus::kShed) continue;
+          const serve::ServedQuery& rq = second.queries[j++];
+          EXPECT_EQ(rq.request_id, sq.request_id);
+          EXPECT_EQ(rq.status, sq.status);
+          EXPECT_DOUBLE_EQ(rq.admit_ms, sq.admit_ms);
+          EXPECT_DOUBLE_EQ(rq.finish_ms, sq.finish_ms);
+          EXPECT_DOUBLE_EQ(rq.queue_ms, sq.queue_ms);
+          EXPECT_EQ(rq.result.groups, sq.result.groups);
+        }
+        EXPECT_EQ(second.cache.hits, first.cache.hits);
+        EXPECT_EQ(second.cache.misses, first.cache.misses);
+        EXPECT_EQ(second.cache.evictions, first.cache.evictions);
+        EXPECT_EQ(second.cache.inserts, first.cache.inserts);
+        EXPECT_EQ(second.faults.consults, first.faults.consults);
+        EXPECT_EQ(second.faults.injected, first.faults.injected);
+        EXPECT_EQ(second.faults.retries, first.faults.retries);
+        EXPECT_EQ(second.admission.shed, 0u)
+            << "the pruned schedule fits: nothing left to shed";
+        if (HasFatalFailure() || HasNonfatalFailure()) return;
+      }
+    }
+  }
+
+  // Closed-loop x fault-rate leg: the population self-limits (no shedding
+  // with queue_all) and every finished query stays bit-exact.
+  for (double fault_rate : {0.0, 0.01}) {
+    SCOPED_TRACE("closed-loop / fault_rate " + std::to_string(fault_rate));
+    load::ClosedLoopOptions gen;
+    gen.num_users = 4;
+    gen.num_queries = 24;
+    gen.think_ms = 0.1;
+    gen.seed = base_seed + 2;
+    load::ClosedLoopWorkload workload(gen, load::WorkloadSpec());
+    const serve::ServeReport report =
+        RunLoadedServe(enc, workload, serve::AdmissionPolicy::kQueueAll,
+                       fault_rate, base_seed ^ 0xFB);
+    EXPECT_EQ(report.admission.shed, 0u);
+    EXPECT_LE(report.admission.max_queue_depth,
+              static_cast<uint64_t>(gen.num_users));
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
   }
 }
 
