@@ -1,0 +1,381 @@
+// Mutable-column ingest: interleaved append / patch / query mix.
+//
+// The bench grows a codec::MutableColumn round by round — each round appends
+// a batch (whose bit width drifts, so tiles land at different budgets),
+// point-patches random rows (decode-and-free), hands the dirty set to a
+// background ReencodeDirty on a ThreadPool, and immediately runs a wave of
+// range-predicate count/sum queries through the serving path
+// (serve::MutableColumnAccessor + TileCache, zone pruning from the live
+// bounds) while the re-encode is still in flight. Every query is checked
+// bit-exact against a host mirror of the column.
+//
+// Three acceptance gates, enforced in-binary (exit 1 on failure):
+//   1. every query in every round bit-exact vs the host reference;
+//   2. space amplification (arena words / live words) <= 1.25 after the
+//      dirty set drains and Compact() runs;
+//   3. p95 modeled query latency with a background re-encode racing the
+//      wave within 15% of the same queries on a quiescent, fully
+//      re-encoded copy of the final column.
+//
+// --json [path] emits machine-readable BENCH_ingest.json (schema
+// tilecomp.bench_ingest.v1); --trace additionally carries the committed
+// re-encodes as trace v10 reencode spans.
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "codec/column.h"
+#include "codec/column_id.h"
+#include "codec/mutable_column.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "crystal/load_column.h"
+#include "serve/mutable_loader.h"
+#include "serve/server.h"
+#include "serve/tile_cache.h"
+#include "sim/device.h"
+
+namespace tilecomp {
+namespace {
+
+struct QuerySpec {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+};
+
+struct RoundRow {
+  int round = 0;
+  int64_t rows = 0;
+  uint64_t arena_words = 0;
+  uint64_t dirty_tiles = 0;
+  uint64_t reencodes = 0;
+  uint64_t tiles_pruned = 0;
+  uint64_t cache_hits = 0;
+  double wave_ms = 0.0;
+};
+
+// One range-predicate count/sum scan over the first `rows` rows of the
+// mutable column, served through `accessor` (cache + charged decode of the
+// variable-rate extents, zone pruning from the live bounds). Returns the
+// launch's modeled time; count/sum through out-params.
+double Scan(sim::Device& dev, serve::MutableColumnAccessor& accessor,
+            codec::ColumnId col_id, int64_t rows, const QuerySpec& q,
+            uint64_t* out_count, uint64_t* out_sum) {
+  // The accessor ignores the CompressedColumn& of the interface — the
+  // mutable store is the source of truth; pass a placeholder.
+  static const codec::CompressedColumn placeholder;
+  const crystal::TilePredicate pred = crystal::TilePredicate::Range(q.lo, q.hi);
+  const int64_t num_tiles =
+      (rows + crystal::kTileSize - 1) / crystal::kTileSize;
+
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> sum{0};
+  sim::LaunchConfig lc;
+  lc.grid_dim = num_tiles;
+  lc.block_threads = 128;
+  lc.smem_bytes_per_block = crystal::kTileSize * 4;
+  const sim::KernelResult r =
+      dev.Launch("ingest.scan", lc, [&](sim::BlockContext& ctx) {
+        const int64_t tile = ctx.block_id();
+        crystal::TileMask mask = crystal::TileMask::AllSet();
+        uint32_t n = accessor.EvaluateOnTile(ctx, placeholder, col_id, tile,
+                                             pred, &mask);
+        if (!mask.Any()) return;  // late materialization
+        uint32_t vals[crystal::kTileSize];
+        n = accessor.LoadTile(ctx, placeholder, col_id, tile, vals);
+        // Clamp the tail to the caller's row-count snapshot: appends only
+        // grow the column, so rows < the snapshot are stable positions.
+        const int64_t first_row = tile * crystal::kTileSize;
+        if (first_row + n > rows) n = static_cast<uint32_t>(rows - first_row);
+        uint64_t local_sum = 0;
+        uint32_t local_count = 0;
+        for (uint32_t i = 0; i < n; ++i) {
+          if (!mask.Test(i)) continue;
+          local_sum += vals[i];
+          ++local_count;
+        }
+        count.fetch_add(local_count, std::memory_order_relaxed);
+        sum.fetch_add(local_sum, std::memory_order_relaxed);
+      });
+  *out_count = count.load();
+  *out_sum = sum.load();
+  return r.time_ms;
+}
+
+// Host reference over the mirror.
+void HostScan(const std::vector<uint32_t>& host, int64_t rows,
+              const QuerySpec& q, uint64_t* out_count, uint64_t* out_sum) {
+  uint64_t count = 0, sum = 0;
+  for (int64_t i = 0; i < rows; ++i) {
+    if (host[static_cast<size_t>(i)] >= q.lo &&
+        host[static_cast<size_t>(i)] <= q.hi) {
+      ++count;
+      sum += host[static_cast<size_t>(i)];
+    }
+  }
+  *out_count = count;
+  *out_sum = sum;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bench::CommonOptions common =
+      bench::ParseCommonOptions(flags, "BENCH_ingest.json");
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 12));
+  const int64_t batch = flags.GetInt("batch", 8192);
+  const int patches = static_cast<int>(flags.GetInt("patches", 256));
+  const int queries = static_cast<int>(flags.GetInt("queries", 6));
+
+  Rng rng(common.seed);
+  const codec::ColumnId col_id(1);
+  codec::MutableColumn col(col_id);
+  std::vector<uint32_t> host;
+  serve::TileCache cache(4ull << 20);
+  serve::MutableColumnAccessor accessor(&col, &cache);
+  ThreadPool pool(2);
+
+  telemetry::Tracer tracer;
+  sim::Device dev;
+  dev.AttachTracer(&tracer);
+
+  bench::PrintTitle("Ingest: interleaved append / patch / query mix");
+  std::printf("%-6s %10s %10s %8s %9s %8s %8s %10s\n", "round", "rows",
+              "arena_w", "dirty", "reencode", "pruned", "hits", "wave_ms");
+
+  std::vector<RoundRow> round_rows;
+  std::vector<double> mixed_ms;
+  uint64_t queries_checked = 0;
+  for (int round = 0; round < rounds; ++round) {
+    // Append a batch whose bit width drifts round to round, so tiles seal
+    // at genuinely different budgets (the variable-rate case).
+    const uint32_t bits = 6 + static_cast<uint32_t>((round * 5) % 18);
+    std::vector<uint32_t> vals(static_cast<size_t>(batch));
+    for (auto& v : vals) {
+      v = static_cast<uint32_t>(rng.NextBounded(1ull << bits));
+    }
+    col.Append(U32Span(vals.data(), vals.size()));
+    host.insert(host.end(), vals.begin(), vals.end());
+
+    // Random point patches; a slice of them widen the value past the
+    // tile's sealed bit budget so the re-encode actually changes widths.
+    for (int p = 0; p < patches; ++p) {
+      const int64_t row = static_cast<int64_t>(rng.NextBounded(host.size()));
+      uint32_t value = static_cast<uint32_t>(rng.NextBounded(1u << bits));
+      if (p % 4 == 0) value |= 1u << 24;  // width-widening patch
+      col.Patch(row, value);
+      host[static_cast<size_t>(row)] = value;
+    }
+
+    // Background re-encode races the query wave below. ReencodeDirty must
+    // not be called from inside ParallelFor on the same pool, so the worker
+    // runs it with pool = nullptr.
+    pool.Submit([&col] { col.ReencodeDirty(nullptr); });
+
+    const int64_t rows_snapshot = col.size();
+    double wave_ms = 0.0;
+    for (int qi = 0; qi < queries; ++qi) {
+      const uint32_t lo = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+      QuerySpec q;
+      q.lo = lo;
+      q.hi = lo + static_cast<uint32_t>(rng.NextBounded(1u << 22));
+      uint64_t want_count = 0, want_sum = 0;
+      HostScan(host, rows_snapshot, q, &want_count, &want_sum);
+      uint64_t got_count = 0, got_sum = 0;
+      const double ms = Scan(dev, accessor, col_id, rows_snapshot, q,
+                             &got_count, &got_sum);
+      if (got_count != want_count || got_sum != want_sum) {
+        std::fprintf(stderr,
+                     "round %d query %d diverges from host: got %" PRIu64
+                     " rows sum %" PRIu64 ", want %" PRIu64 " sum %" PRIu64
+                     "\n",
+                     round, qi, got_count, got_sum, want_count, want_sum);
+        return 1;
+      }
+      ++queries_checked;
+      mixed_ms.push_back(ms);
+      wave_ms += ms;
+    }
+    pool.Wait();
+
+    const codec::MutableColumn::Stats st = col.GetStats();
+    RoundRow row;
+    row.round = round;
+    row.rows = rows_snapshot;
+    row.arena_words = st.arena_words;
+    row.dirty_tiles = st.dirty_tiles;
+    row.reencodes = st.reencodes;
+    row.tiles_pruned = dev.total_stats().pushdown.tiles_pruned;
+    row.cache_hits = cache.stats().hits;
+    row.wave_ms = wave_ms;
+    round_rows.push_back(row);
+    std::printf("%-6d %10" PRId64 " %10" PRIu64 " %8" PRIu64 " %9" PRIu64
+                " %8" PRIu64 " %8" PRIu64 " %10.4f\n",
+                row.round, row.rows, row.arena_words, row.dirty_tiles,
+                row.reencodes, row.tiles_pruned, row.cache_hits, row.wave_ms);
+  }
+
+  // ---------------------------------------------------------------
+  // Gate 1 already enforced per query. Drain + compact for gate 2.
+  // ---------------------------------------------------------------
+  col.ReencodeDirty(&pool);
+  const codec::MutableColumn::Stats before = col.GetStats();
+  const uint64_t reclaimed = col.Compact(1.0);
+  const codec::MutableColumn::Stats after = col.GetStats();
+
+  // Full-column bit-exactness after drain + compact.
+  const std::vector<uint32_t> decoded = col.DecodeHost();
+  if (decoded != host) {
+    std::fprintf(stderr, "final column diverges from the host mirror\n");
+    return 1;
+  }
+
+  bench::PrintTitle("Space reclamation");
+  std::printf("arena %" PRIu64 " -> %" PRIu64 " words (reclaimed %" PRIu64
+              "), live %" PRIu64 ", amplification %.3f -> %.3f\n",
+              before.arena_words, after.arena_words, reclaimed,
+              after.live_words, before.space_amplification,
+              after.space_amplification);
+  const bool space_ok = after.space_amplification <= 1.25;
+  if (!space_ok) {
+    std::fprintf(stderr,
+                 "space amplification %.3f exceeds the 1.25x bar\n",
+                 after.space_amplification);
+  }
+
+  // ---------------------------------------------------------------
+  // Gate 3: p95 with a background re-encode racing the wave, vs the
+  // same queries on a quiescent fully re-encoded copy.
+  // ---------------------------------------------------------------
+  const int64_t final_rows = col.size();
+  std::vector<QuerySpec> probe;
+  for (int qi = 0; qi < queries * 4; ++qi) {
+    QuerySpec q;
+    q.lo = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+    q.hi = q.lo + static_cast<uint32_t>(rng.NextBounded(1u << 22));
+    probe.push_back(q);
+  }
+
+  // Perturbed run: dirty a spread of tiles, then query while the
+  // re-encode drains in the background.
+  for (int p = 0; p < patches; ++p) {
+    const int64_t row = static_cast<int64_t>(rng.NextBounded(host.size()));
+    const uint32_t value = host[static_cast<size_t>(row)];  // content-preserving
+    col.Patch(row, value);
+  }
+  pool.Submit([&col] { col.ReencodeDirty(nullptr); });
+  std::vector<double> perturbed_ms;
+  for (const QuerySpec& q : probe) {
+    uint64_t want_count = 0, want_sum = 0;
+    HostScan(host, final_rows, q, &want_count, &want_sum);
+    uint64_t got_count = 0, got_sum = 0;
+    perturbed_ms.push_back(
+        Scan(dev, accessor, col_id, final_rows, q, &got_count, &got_sum));
+    if (got_count != want_count || got_sum != want_sum) {
+      std::fprintf(stderr, "perturbed probe diverges from host\n");
+      return 1;
+    }
+    ++queries_checked;
+  }
+  pool.Wait();
+  col.ReencodeDirty(nullptr);
+
+  // Quiescent baseline: the same data rebuilt, fully re-encoded, with its
+  // own cold cache, on a fresh device timeline.
+  codec::MutableColumn base_col(col_id);
+  base_col.Append(U32Span(host.data(), host.size()));
+  base_col.ReencodeDirty(&pool);
+  base_col.Compact(1.0);
+  serve::TileCache base_cache(4ull << 20);
+  serve::MutableColumnAccessor base_accessor(&base_col, &base_cache);
+  sim::Device base_dev;
+  std::vector<double> baseline_ms;
+  for (const QuerySpec& q : probe) {
+    uint64_t got_count = 0, got_sum = 0;
+    baseline_ms.push_back(Scan(base_dev, base_accessor, col_id, final_rows, q,
+                               &got_count, &got_sum));
+  }
+
+  const double p95_perturbed = serve::NearestRankPercentile(perturbed_ms, 95);
+  const double p95_baseline = serve::NearestRankPercentile(baseline_ms, 95);
+  const double ratio =
+      p95_baseline > 0.0 ? p95_perturbed / p95_baseline : 1.0;
+  bench::PrintTitle("Query p95 under background re-encode");
+  std::printf("perturbed %.4f ms, quiescent baseline %.4f ms, ratio %.3f\n",
+              p95_perturbed, p95_baseline, ratio);
+  const bool p95_ok = ratio <= 1.15;
+  if (!p95_ok) {
+    std::fprintf(stderr, "p95 ratio %.3f exceeds the 1.15x bar\n", ratio);
+  }
+
+  // Carry the committed re-encodes into the trace as v10 reencode spans.
+  const std::vector<codec::MutableColumn::ReencodeRecord> reencode_log =
+      col.TakeReencodeLog();
+  for (const auto& rec : reencode_log) {
+    tracer.OnReencode(col_id.value(), rec.tile, rec.generation, rec.old_words,
+                      rec.new_words, rec.start_us / 1000.0,
+                      (rec.end_us - rec.start_us) / 1000.0);
+  }
+
+  const codec::MutableColumn::Stats final_st = col.GetStats();
+  bench::PrintNote(
+      "every query bit-exact vs the host mirror under interleaved "
+      "append/patch/query with background re-encode");
+  std::printf("queries %" PRIu64 ", reencodes %" PRIu64 " (retries %" PRIu64
+              "), patches %" PRIu64 ", stale inserts refused %" PRIu64 "\n",
+              queries_checked, final_st.reencodes, final_st.reencode_retries,
+              final_st.patches, cache.stats().stale_refused);
+
+  if (common.emit_json) {
+    std::string out;
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"schema\":\"tilecomp.bench_ingest.v1\",\"rounds\":%d,"
+        "\"batch\":%" PRId64 ",\"patches_per_round\":%d,"
+        "\"queries_per_round\":%d,\"seed\":%" PRIu64 ",\"final_rows\":%" PRId64
+        ",\"queries_checked\":%" PRIu64 ",\"reencodes\":%" PRIu64
+        ",\"reencode_retries\":%" PRIu64 ",\"stale_inserts_refused\":%" PRIu64
+        ",\"space\":{\"arena_words\":%" PRIu64 ",\"live_words\":%" PRIu64
+        ",\"reclaimed_words\":%" PRIu64
+        ",\"amplification_before_compact\":%.4f,"
+        "\"amplification_after_compact\":%.4f},"
+        "\"p95\":{\"perturbed_ms\":%.6f,\"baseline_ms\":%.6f,"
+        "\"ratio\":%.4f},"
+        "\"gates\":{\"bit_exact\":true,\"space_amp_ok\":%s,\"p95_ok\":%s},"
+        "\"rounds_detail\":[",
+        rounds, batch, patches, queries, common.seed, final_rows,
+        queries_checked, final_st.reencodes, final_st.reencode_retries,
+        cache.stats().stale_refused, after.arena_words, after.live_words,
+        reclaimed, before.space_amplification, after.space_amplification,
+        p95_perturbed, p95_baseline, ratio, space_ok ? "true" : "false",
+        p95_ok ? "true" : "false");
+    out.append(buf);
+    for (size_t i = 0; i < round_rows.size(); ++i) {
+      const RoundRow& r = round_rows[i];
+      char row_buf[320];
+      std::snprintf(row_buf, sizeof(row_buf),
+                    "%s\n  {\"round\":%d,\"rows\":%" PRId64
+                    ",\"arena_words\":%" PRIu64 ",\"dirty_tiles\":%" PRIu64
+                    ",\"reencodes\":%" PRIu64 ",\"tiles_pruned\":%" PRIu64
+                    ",\"cache_hits\":%" PRIu64 ",\"wave_ms\":%.6f}",
+                    i == 0 ? "" : ",", r.round, r.rows, r.arena_words,
+                    r.dirty_tiles, r.reencodes, r.tiles_pruned, r.cache_hits,
+                    r.wave_ms);
+      out.append(row_buf);
+    }
+    out.append("\n]}\n");
+    if (!bench::ExportJson(common, out)) return 1;
+  }
+  if (!bench::ExportTraces(common, tracer)) return 1;
+
+  return (space_ok && p95_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tilecomp
+
+int main(int argc, char** argv) { return tilecomp::Run(argc, argv); }

@@ -55,9 +55,13 @@ class CompressedColumn {
   }
   double compression_ratio() const {
     const uint64_t raw = static_cast<uint64_t>(count_) * 4;
-    return compressed_bytes() == 0
-               ? 1.0
-               : static_cast<double>(raw) / compressed_bytes();
+    const uint64_t comp = compressed_bytes();
+    // A ratio is only meaningful when both sides are nonzero: an empty
+    // column still carries encoding headers (raw == 0, comp > 0 would
+    // otherwise report 0x), and a zero-byte encoding of real values would
+    // otherwise divide by zero. Both degenerate cases report neutral 1.0.
+    return (raw == 0 || comp == 0) ? 1.0
+                                   : static_cast<double>(raw) / comp;
   }
 
   // Host-side (reference) decode.
@@ -77,7 +81,8 @@ class CompressedColumn {
   // Per-tile/per-block min-max index for predicate pushdown. Built by
   // Encode() and FromRaw(); null for columns adopted from already-encoded
   // streams (the other From* constructors) — those stay correct but cannot
-  // prune. Not serialized.
+  // prune. Serialized as an optional trailing section (format v2) so a
+  // save/load round-trip keeps pruning; v1 files load with a null map.
   const ZoneMap* zone_map() const { return zone_map_.get(); }
   std::shared_ptr<const ZoneMap> shared_zone_map() const { return zone_map_; }
   // Attach an externally built zone map. The serving layer uses this to

@@ -1,0 +1,497 @@
+#include "codec/mutable_column.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "format/packtile.h"
+
+namespace tilecomp::codec {
+
+static_assert(MutableColumn::kTileSize == format::kPackTileMaxValues);
+static_assert(MutableColumn::kTileSize == ZoneMap::kTileSize);
+static_assert(MutableColumn::kBlockSize == ZoneMap::kBlockSize);
+
+int64_t MutableColumn::HostNowUs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void MutableColumn::AddListener(Listener* listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(listener);
+}
+
+void MutableColumn::RemoveListener(Listener* listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+int64_t MutableColumn::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+int64_t MutableColumn::num_tiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(tiles_.size());
+}
+
+uint32_t MutableColumn::AllocLocked(uint32_t words) {
+  TILECOMP_CHECK(words > 0);
+  // Best fit: smallest free extent that holds `words`; ties go to the
+  // lowest offset (the map iterates in offset order).
+  auto best = free_.end();
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < words) continue;
+    if (best == free_.end() || it->second < best->second) best = it;
+  }
+  if (best != free_.end()) {
+    const uint32_t offset = best->first;
+    const uint32_t len = best->second;
+    free_.erase(best);
+    if (len > words) free_.emplace(offset + words, len - words);
+    return offset;
+  }
+  // No fit: grow the arena. If a free extent already touches the end, widen
+  // it instead of stranding it behind the new allocation.
+  uint32_t offset = static_cast<uint32_t>(arena_.size());
+  if (!free_.empty()) {
+    auto last = std::prev(free_.end());
+    if (last->first + last->second == arena_.size()) {
+      offset = last->first;
+      free_.erase(last);
+    }
+  }
+  TILECOMP_CHECK(static_cast<uint64_t>(offset) + words < kNoExtent);
+  arena_.resize(offset + words);
+  return offset;
+}
+
+void MutableColumn::FreeLocked(uint32_t offset, uint32_t words) {
+  if (words == 0) return;
+  auto [it, inserted] = free_.emplace(offset, words);
+  TILECOMP_CHECK(inserted);
+  // Coalesce with the successor, then the predecessor.
+  auto next = std::next(it);
+  if (next != free_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_.erase(next);
+  }
+  if (it != free_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_.erase(it);
+    }
+  }
+}
+
+void MutableColumn::BumpGenerationLocked(int64_t tile) {
+  const uint64_t gen = ++tiles_[tile].generation;
+  for (Listener* l : listeners_) l->OnTileInvalidated(id_, tile, gen);
+}
+
+void MutableColumn::AppendZonesLocked(int64_t row, uint32_t value) {
+  const size_t t = static_cast<size_t>(row) / kTileSize;
+  if (t == tile_mins_.size()) {
+    tile_mins_.push_back(value);
+    tile_maxs_.push_back(value);
+  } else {
+    tile_mins_[t] = std::min(tile_mins_[t], value);
+    tile_maxs_[t] = std::max(tile_maxs_[t], value);
+  }
+  const size_t b = static_cast<size_t>(row) / kBlockSize;
+  if (b == block_mins_.size()) {
+    block_mins_.push_back(value);
+    block_maxs_.push_back(value);
+  } else {
+    block_mins_[b] = std::min(block_mins_[b], value);
+    block_maxs_[b] = std::max(block_maxs_[b], value);
+  }
+}
+
+void MutableColumn::RecomputeTileZonesLocked(int64_t tile,
+                                             const uint32_t* values,
+                                             uint32_t count) {
+  TILECOMP_CHECK(count > 0);
+  uint32_t lo = values[0], hi = values[0];
+  for (uint32_t i = 1; i < count; ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  tile_mins_[tile] = lo;
+  tile_maxs_[tile] = hi;
+  const size_t first_block =
+      static_cast<size_t>(tile) * (kTileSize / kBlockSize);
+  for (uint32_t begin = 0; begin < count; begin += kBlockSize) {
+    const uint32_t end = std::min(begin + kBlockSize, count);
+    uint32_t blo = values[begin], bhi = values[begin];
+    for (uint32_t i = begin + 1; i < end; ++i) {
+      blo = std::min(blo, values[i]);
+      bhi = std::max(bhi, values[i]);
+    }
+    block_mins_[first_block + begin / kBlockSize] = blo;
+    block_maxs_[first_block + begin / kBlockSize] = bhi;
+  }
+}
+
+void MutableColumn::SealTileLocked(int64_t tile) {
+  TileMeta& meta = tiles_[tile];
+  auto it = side_buffers_.find(tile);
+  TILECOMP_CHECK(meta.dirty && it != side_buffers_.end());
+  const std::vector<uint32_t>& values = it->second;
+  TILECOMP_CHECK(values.size() == meta.count && meta.count > 0);
+  const uint32_t width = format::PackTileWidth(values.data(), meta.count);
+  const uint32_t words = format::PackTileWords(meta.count, width);
+  const uint32_t offset = AllocLocked(words);
+  const uint32_t written =
+      format::PackTile(values.data(), meta.count, arena_.data() + offset);
+  TILECOMP_CHECK(written == words);
+  meta.offset = offset;
+  meta.words = words;
+  meta.freed_words = 0;
+  meta.dirty = false;
+  side_buffers_.erase(it);
+}
+
+void MutableColumn::Append(U32Span values) {
+  if (values.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Tiles whose content changes in this batch; generations bump once per
+  // tile at the end, after the batch is fully applied.
+  std::vector<int64_t> touched;
+  size_t i = 0;
+  while (i < values.size()) {
+    const int64_t tile = rows_ / kTileSize;
+    const uint32_t in_tile = static_cast<uint32_t>(rows_ % kTileSize);
+    if (tile == static_cast<int64_t>(tiles_.size())) {
+      TILECOMP_CHECK(in_tile == 0);
+      tiles_.emplace_back();
+      tiles_.back().dirty = true;
+      side_buffers_[tile].reserve(kTileSize);
+    } else if (!tiles_[tile].dirty) {
+      // A previously sealed partial tail (ReencodeDirty encodes the tail
+      // too): decode-and-free it back into its side buffer before growing.
+      TileMeta& meta = tiles_[tile];
+      TILECOMP_CHECK(meta.count == in_tile && meta.offset != kNoExtent);
+      std::vector<uint32_t>& buf = side_buffers_[tile];
+      buf.resize(meta.count);
+      const uint32_t n = format::UnpackPackTile(arena_.data() + meta.offset,
+                                                meta.words, buf.data());
+      TILECOMP_CHECK(n == meta.count);
+      FreeLocked(meta.offset, meta.words);
+      meta.freed_words = meta.words;
+      meta.offset = kNoExtent;
+      meta.words = 0;
+      meta.dirty = true;
+    }
+    TileMeta& meta = tiles_[tile];
+    std::vector<uint32_t>& buf = side_buffers_[tile];
+    const size_t take =
+        std::min<size_t>(values.size() - i, kTileSize - in_tile);
+    for (size_t k = 0; k < take; ++k) {
+      const uint32_t v = values[i + k];
+      buf.push_back(v);
+      AppendZonesLocked(rows_, v);
+      ++rows_;
+    }
+    meta.count += static_cast<uint32_t>(take);
+    appended_rows_ += take;
+    if (touched.empty() || touched.back() != tile) touched.push_back(tile);
+    if (meta.count == kTileSize) SealTileLocked(tile);
+    i += take;
+  }
+  for (int64_t tile : touched) BumpGenerationLocked(tile);
+}
+
+void MutableColumn::Patch(int64_t row, uint32_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TILECOMP_CHECK(row >= 0 && row < rows_);
+  const int64_t tile = row / kTileSize;
+  TileMeta& meta = tiles_[tile];
+  if (!meta.dirty) {
+    // Decode-and-free: the old extent's words return to the free list now;
+    // the tile is served from the side buffer until ReencodeDirty lands.
+    std::vector<uint32_t>& buf = side_buffers_[tile];
+    buf.resize(meta.count);
+    const uint32_t n = format::UnpackPackTile(arena_.data() + meta.offset,
+                                              meta.words, buf.data());
+    TILECOMP_CHECK(n == meta.count);
+    FreeLocked(meta.offset, meta.words);
+    meta.freed_words = meta.words;
+    meta.offset = kNoExtent;
+    meta.words = 0;
+    meta.dirty = true;
+  }
+  std::vector<uint32_t>& buf = side_buffers_[tile];
+  buf[static_cast<size_t>(row % kTileSize)] = value;
+  RecomputeTileZonesLocked(tile, buf.data(), meta.count);
+  ++patches_;
+  BumpGenerationLocked(tile);
+}
+
+uint32_t MutableColumn::At(int64_t row) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TILECOMP_CHECK(row >= 0 && row < rows_);
+  const int64_t tile = row / kTileSize;
+  const uint32_t in_tile = static_cast<uint32_t>(row % kTileSize);
+  const TileMeta& meta = tiles_[tile];
+  if (meta.dirty) return side_buffers_.at(tile)[in_tile];
+  format::PackTileHeader h;
+  TILECOMP_CHECK(format::ParsePackTileHeader(arena_.data() + meta.offset,
+                                             meta.words, &h));
+  return format::PackTileValueAt(arena_.data() + meta.offset, h, in_tile);
+}
+
+size_t MutableColumn::ReencodeDirty(ThreadPool* pool) {
+  struct Job {
+    int64_t tile = 0;
+    uint64_t generation = 0;
+    uint32_t count = 0;
+    uint32_t old_words = 0;
+    int64_t start_us = 0;
+    std::vector<uint32_t> values;
+    std::vector<uint32_t> encoded;
+  };
+  std::vector<Job> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs.reserve(side_buffers_.size());
+    for (const auto& [tile, values] : side_buffers_) {
+      const TileMeta& meta = tiles_[tile];
+      TILECOMP_CHECK(meta.dirty);
+      Job job;
+      job.tile = tile;
+      job.generation = meta.generation;
+      job.count = meta.count;
+      job.old_words = meta.freed_words;
+      job.start_us = HostNowUs();
+      job.values = values;  // copy: encode runs outside the lock
+      jobs.push_back(std::move(job));
+    }
+  }
+  if (jobs.empty()) return 0;
+
+  const auto encode = [&jobs](size_t i) {
+    Job& job = jobs[i];
+    const uint32_t width =
+        format::PackTileWidth(job.values.data(), job.count);
+    job.encoded.resize(format::PackTileWords(job.count, width));
+    const uint32_t written = format::PackTile(job.values.data(), job.count,
+                                              job.encoded.data());
+    TILECOMP_CHECK(written == job.encoded.size());
+  };
+  if (pool != nullptr) {
+    // Note: must not be the pool this call itself runs on — ParallelFor
+    // waits, and a worker waiting on its own pool deadlocks. Background
+    // callers Submit(ReencodeDirty(nullptr)) instead.
+    pool->ParallelFor(jobs.size(), encode);
+  } else {
+    for (size_t i = 0; i < jobs.size(); ++i) encode(i);
+  }
+
+  size_t committed = 0;
+  for (Job& job : jobs) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TileMeta& meta = tiles_[job.tile];
+    if (meta.generation != job.generation) {
+      // Patched (or grown) again since the snapshot: this encode is stale.
+      // The side buffer is still the truth; the next pass retries.
+      ++reencode_retries_;
+      continue;
+    }
+    const uint32_t words = static_cast<uint32_t>(job.encoded.size());
+    const uint32_t offset = AllocLocked(words);
+    std::memcpy(arena_.data() + offset, job.encoded.data(),
+                static_cast<size_t>(words) * 4);
+    meta.offset = offset;
+    meta.words = words;
+    meta.freed_words = 0;
+    meta.dirty = false;
+    side_buffers_.erase(job.tile);
+    ++reencodes_;
+    ++committed;
+    // The encoding changed homes: invalidate so no cache entry keyed to the
+    // pre-re-encode generation survives (content-identical, but a racing
+    // demand-load of the freed extent must not be able to re-insert).
+    BumpGenerationLocked(job.tile);
+    ReencodeRecord rec;
+    rec.tile = job.tile;
+    rec.generation = meta.generation;
+    rec.old_words = job.old_words;
+    rec.new_words = words;
+    rec.start_us = job.start_us;
+    rec.end_us = HostNowUs();
+    reencode_log_.push_back(rec);
+  }
+  return committed;
+}
+
+uint64_t MutableColumn::Compact(double threshold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t live = LiveWordsLocked();
+  const uint64_t arena = arena_.size();
+  if (live > 0 && threshold > 1.0 &&
+      static_cast<double>(arena) <= threshold * static_cast<double>(live)) {
+    return 0;
+  }
+  if (arena == live) return 0;  // already tight (covers live == 0, empty)
+  // Slide live extents down in offset order. Offsets only decrease, so a
+  // plain forward pass never overwrites an unmoved extent.
+  std::vector<int64_t> live_tiles;
+  live_tiles.reserve(tiles_.size());
+  for (size_t t = 0; t < tiles_.size(); ++t) {
+    if (tiles_[t].offset != kNoExtent) live_tiles.push_back(t);
+  }
+  std::sort(live_tiles.begin(), live_tiles.end(), [&](int64_t a, int64_t b) {
+    return tiles_[a].offset < tiles_[b].offset;
+  });
+  uint32_t write = 0;
+  for (int64_t t : live_tiles) {
+    TileMeta& meta = tiles_[t];
+    if (meta.offset != write) {
+      std::memmove(arena_.data() + write, arena_.data() + meta.offset,
+                   static_cast<size_t>(meta.words) * 4);
+      meta.offset = write;
+    }
+    write += meta.words;
+  }
+  TILECOMP_CHECK(write == live);
+  arena_.resize(write);
+  arena_.shrink_to_fit();
+  free_.clear();
+  ++compactions_;
+  return arena - write;
+}
+
+uint32_t MutableColumn::DecodeTileLocked(int64_t tile, uint32_t* out) const {
+  const TileMeta& meta = tiles_[tile];
+  if (meta.dirty) {
+    const std::vector<uint32_t>& buf = side_buffers_.at(tile);
+    std::memcpy(out, buf.data(), buf.size() * 4);
+    return meta.count;
+  }
+  const uint32_t n = format::UnpackPackTile(arena_.data() + meta.offset,
+                                            meta.words, out);
+  TILECOMP_CHECK(n == meta.count);
+  return n;
+}
+
+bool MutableColumn::SnapshotTile(int64_t tile, TileSnapshot* snap) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tile < 0 || tile >= static_cast<int64_t>(tiles_.size())) return false;
+  const TileMeta& meta = tiles_[tile];
+  snap->generation = meta.generation;
+  snap->count = meta.count;
+  snap->from_side_buffer = meta.dirty;
+  snap->extent.clear();
+  snap->values.clear();
+  if (meta.dirty) {
+    snap->values = side_buffers_.at(tile);
+  } else {
+    snap->extent.assign(arena_.begin() + meta.offset,
+                        arena_.begin() + meta.offset + meta.words);
+  }
+  return true;
+}
+
+uint32_t MutableColumn::ReadTile(int64_t tile, uint32_t* out,
+                                 uint64_t* generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tile < 0 || tile >= static_cast<int64_t>(tiles_.size())) return 0;
+  if (generation != nullptr) *generation = tiles_[tile].generation;
+  return DecodeTileLocked(tile, out);
+}
+
+uint64_t MutableColumn::tile_generation(int64_t tile) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tile < 0 || tile >= static_cast<int64_t>(tiles_.size())) return 0;
+  return tiles_[tile].generation;
+}
+
+bool MutableColumn::TileBounds(int64_t tile, uint32_t* lo,
+                               uint32_t* hi) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tile < 0 || tile >= static_cast<int64_t>(tile_mins_.size())) {
+    return false;
+  }
+  *lo = tile_mins_[tile];
+  *hi = tile_maxs_[tile];
+  return true;
+}
+
+std::shared_ptr<const ZoneMap> MutableColumn::SnapshotZoneMap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::make_shared<const ZoneMap>(
+      ZoneMap::FromParts(tile_mins_, tile_maxs_, block_mins_, block_maxs_));
+}
+
+std::vector<uint32_t> MutableColumn::DecodeHost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> out(static_cast<size_t>(rows_));
+  uint32_t tile_buf[kTileSize];
+  size_t pos = 0;
+  for (size_t t = 0; t < tiles_.size(); ++t) {
+    const uint32_t n = DecodeTileLocked(static_cast<int64_t>(t), tile_buf);
+    std::memcpy(out.data() + pos, tile_buf, static_cast<size_t>(n) * 4);
+    pos += n;
+  }
+  TILECOMP_CHECK(pos == out.size());
+  return out;
+}
+
+uint64_t MutableColumn::LiveWordsLocked() const {
+  uint64_t live = 0;
+  for (const TileMeta& meta : tiles_) {
+    if (meta.offset != kNoExtent) live += meta.words;
+  }
+  return live;
+}
+
+MutableColumn::Stats MutableColumn::StatsLocked() const {
+  Stats s;
+  s.rows = static_cast<uint64_t>(rows_);
+  s.tiles = tiles_.size();
+  s.arena_words = arena_.size();
+  s.live_words = LiveWordsLocked();
+  for (const auto& [offset, words] : free_) {
+    (void)offset;
+    s.free_words += words;
+    ++s.free_extents;
+  }
+  s.dirty_tiles = side_buffers_.size();
+  for (const auto& [tile, buf] : side_buffers_) {
+    (void)tile;
+    s.side_buffer_words += buf.size();
+  }
+  s.reencodes = reencodes_;
+  s.reencode_retries = reencode_retries_;
+  s.compactions = compactions_;
+  s.patches = patches_;
+  s.appended_rows = appended_rows_;
+  s.space_amplification =
+      s.live_words == 0 ? 1.0
+                        : static_cast<double>(s.arena_words) /
+                              static_cast<double>(s.live_words);
+  return s;
+}
+
+MutableColumn::Stats MutableColumn::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StatsLocked();
+}
+
+std::vector<MutableColumn::ReencodeRecord> MutableColumn::TakeReencodeLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ReencodeRecord> log;
+  log.swap(reencode_log_);
+  return log;
+}
+
+}  // namespace tilecomp::codec

@@ -1,0 +1,228 @@
+// MutableColumn: a variable-rate, mutable tile store for streaming ingest
+// and in-place updates — the zfp tile2 idiom (per-tile bit budgets, a
+// free-list allocator over compressed storage, decode-and-free) specialized
+// to integer frame-of-reference tiles.
+//
+// Storage model. Every 512-value tile is an independently encoded
+// format::PackTile extent living in one word arena managed by a best-fit
+// free list. Append() stages the partial tail tile in a decoded side buffer
+// and seals it into an extent when it fills; Patch() decodes the owning
+// tile into a side buffer, frees its extent immediately (decode-and-free:
+// the words are reusable before the re-encode lands), and marks the tile
+// dirty. ReencodeDirty() re-encodes dirty tiles at their new bit width into
+// best-fit free extents — off the caller's thread when given a ThreadPool —
+// and Compact() rewrites all live extents contiguously when fragmentation
+// exceeds a threshold.
+//
+// Consistency model. One mutex orders all mutations. Readers take per-tile
+// snapshots (SnapshotTile) under the lock, so a reader never observes a
+// half-applied mutation of a tile; cross-tile consistency is by row-count
+// snapshot (appends only grow the tail, so rows < a snapshotted size() are
+// stable positions). Every content or encoding change bumps the tile's
+// generation counter and notifies listeners while the lock is held — the
+// serving layer uses the generation to invalidate cached decodes and to
+// refuse stale re-inserts from racing demand-loads (see
+// serve::TileCache::InvalidateStale). Lock order is column → cache; no
+// cache path calls back into the column.
+//
+// Zone maps. Per-tile and per-128-block min/max entries are maintained
+// eagerly: extended on append, recomputed exactly for a tile on patch — so
+// predicate pushdown never prunes against stale bounds. SnapshotZoneMap()
+// materializes a codec::ZoneMap copy for immutable consumers.
+#ifndef TILECOMP_CODEC_MUTABLE_COLUMN_H_
+#define TILECOMP_CODEC_MUTABLE_COLUMN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/column_id.h"
+#include "codec/zone_map.h"
+#include "common/span.h"
+#include "common/thread_pool.h"
+
+namespace tilecomp::codec {
+
+class MutableColumn {
+ public:
+  static constexpr uint32_t kTileSize = 512;
+  static constexpr uint32_t kBlockSize = 128;  // zone-map block granularity
+  static constexpr uint32_t kNoExtent = 0xFFFFFFFFu;
+
+  // Content-independent per-call storage snapshot.
+  struct Stats {
+    uint64_t rows = 0;
+    uint64_t tiles = 0;
+    uint64_t arena_words = 0;
+    uint64_t live_words = 0;       // words inside live extents
+    uint64_t free_words = 0;       // words on the free list
+    uint64_t free_extents = 0;     // free-list fragments
+    uint64_t dirty_tiles = 0;      // side-buffered, awaiting re-encode
+    uint64_t side_buffer_words = 0;
+    uint64_t reencodes = 0;        // lifetime committed re-encodes
+    uint64_t reencode_retries = 0; // commits skipped: tile patched again
+    uint64_t compactions = 0;
+    uint64_t patches = 0;
+    uint64_t appended_rows = 0;
+    // arena_words / live_words; 1.0 while no extent is live. Dirty tiles
+    // hold no extent, so a freshly patched store can legitimately dip
+    // below 1.0 worth of live words — the bench measures after
+    // ReencodeDirty() has drained.
+    double space_amplification = 1.0;
+  };
+
+  // One committed background re-encode, for trace v10 reencode spans.
+  // Timestamps are microseconds on the host steady clock, from the same
+  // epoch as HostNowUs().
+  struct ReencodeRecord {
+    int64_t tile = 0;
+    uint64_t generation = 0;  // tile generation after the commit
+    uint32_t old_words = 0;   // extent size freed at Patch() time
+    uint32_t new_words = 0;   // best-fit extent written
+    int64_t start_us = 0;
+    int64_t end_us = 0;
+  };
+
+  // Reader-side per-tile snapshot: either the encoded extent (clean tile)
+  // or the decoded side buffer (dirty/tail tile). Taken under the column
+  // lock; owns its storage so the reader touches no shared state after.
+  struct TileSnapshot {
+    uint64_t generation = 0;
+    uint32_t count = 0;
+    bool from_side_buffer = false;
+    std::vector<uint32_t> extent;  // encoded words; empty iff side buffer
+    std::vector<uint32_t> values;  // decoded; empty iff extent
+  };
+
+  // Invalidation hook, called with the column lock held immediately after a
+  // tile's generation advances. Implementations must not call back into the
+  // column and must not block (the TileCache's own mutex is fine — lock
+  // order is column → cache, never the reverse).
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void OnTileInvalidated(ColumnId column, int64_t tile,
+                                   uint64_t generation) = 0;
+  };
+
+  explicit MutableColumn(ColumnId id = ColumnId(0)) : id_(id) {}
+
+  ColumnId id() const { return id_; }
+
+  void AddListener(Listener* listener);
+  void RemoveListener(Listener* listener);
+
+  int64_t size() const;
+  int64_t num_tiles() const;
+
+  // Append values at the tail. Fills the staged tail tile, sealing full
+  // tiles into encoded extents as they complete.
+  void Append(U32Span values);
+
+  // Point-update row (must be < size()). Decodes the owning tile into its
+  // side buffer if needed, frees the old extent, applies the update,
+  // recomputes the tile's zone entries, bumps the generation.
+  void Patch(int64_t row, uint32_t value);
+
+  // Random access (reference/host path; decodes nothing persistent).
+  uint32_t At(int64_t row) const;
+
+  // Re-encode dirty tiles into best-fit free extents. Encoding runs on
+  // `pool` (nullptr: caller's thread). A tile patched again between the
+  // snapshot and the commit keeps its side buffer and is retried on the
+  // next call. Returns the number of tiles committed.
+  size_t ReencodeDirty(ThreadPool* pool = nullptr);
+
+  // Rewrite live extents contiguously if space amplification exceeds
+  // `threshold` (always when threshold <= 1.0). Returns words reclaimed.
+  // Moves bytes only — generations do not advance and cached decodes stay
+  // valid.
+  uint64_t Compact(double threshold = 1.0);
+
+  // Per-tile consistent snapshot for the serving layer. Returns false for
+  // an out-of-range tile.
+  bool SnapshotTile(int64_t tile, TileSnapshot* snap) const;
+
+  // Host decode of one tile into out[kTileSize]; returns the value count
+  // (0 if out of range). Optionally reports the tile's generation.
+  uint32_t ReadTile(int64_t tile, uint32_t* out,
+                    uint64_t* generation = nullptr) const;
+
+  uint64_t tile_generation(int64_t tile) const;
+
+  // Current (never stale) bounds of one tile, for pushdown pruning.
+  bool TileBounds(int64_t tile, uint32_t* lo, uint32_t* hi) const;
+
+  // Immutable copy of the live zone map (tile + block granularity).
+  std::shared_ptr<const ZoneMap> SnapshotZoneMap() const;
+
+  // Full host-side decode (reference path for tests and benches).
+  std::vector<uint32_t> DecodeHost() const;
+
+  Stats GetStats() const;
+
+  // Drain the committed-re-encode log (for trace emission).
+  std::vector<ReencodeRecord> TakeReencodeLog();
+
+  // Microseconds on the process-wide steady-clock epoch used by
+  // ReencodeRecord timestamps.
+  static int64_t HostNowUs();
+
+ private:
+  friend std::vector<uint8_t> SerializeMutable(const MutableColumn& column);
+  friend bool DeserializeMutable(const uint8_t* data, size_t size,
+                                 MutableColumn* column);
+
+  struct TileMeta {
+    uint32_t offset = kNoExtent;  // word offset into arena_, or kNoExtent
+    uint32_t words = 0;           // extent size (0 iff offset == kNoExtent)
+    uint32_t count = 0;           // values in the tile (512 except the tail)
+    uint32_t freed_words = 0;     // extent freed at Patch() time (for logs)
+    uint64_t generation = 1;
+    bool dirty = false;  // decoded truth lives in side_buffers_[tile]
+  };
+
+  // All private helpers below require mu_ held.
+  uint32_t AllocLocked(uint32_t words);
+  void FreeLocked(uint32_t offset, uint32_t words);
+  void SealTileLocked(int64_t tile);
+  void BumpGenerationLocked(int64_t tile);
+  void RecomputeTileZonesLocked(int64_t tile, const uint32_t* values,
+                                uint32_t count);
+  void AppendZonesLocked(int64_t row, uint32_t value);
+  uint32_t DecodeTileLocked(int64_t tile, uint32_t* out) const;
+  uint64_t LiveWordsLocked() const;
+  Stats StatsLocked() const;
+
+  ColumnId id_;  // reassigned only by DeserializeMutable
+
+  mutable std::mutex mu_;
+  std::vector<uint32_t> arena_;
+  // Free extents, offset → words; coalesced on insertion. Invariant: live
+  // extents and free extents exactly partition [0, arena_.size()).
+  std::map<uint32_t, uint32_t> free_;
+  std::vector<TileMeta> tiles_;
+  // Decoded truth for dirty tiles and the staged partial tail.
+  std::unordered_map<int64_t, std::vector<uint32_t>> side_buffers_;
+  int64_t rows_ = 0;
+
+  // Eagerly maintained zone entries (see header comment).
+  std::vector<uint32_t> tile_mins_, tile_maxs_;
+  std::vector<uint32_t> block_mins_, block_maxs_;
+
+  std::vector<Listener*> listeners_;
+  std::vector<ReencodeRecord> reencode_log_;
+
+  uint64_t reencodes_ = 0;
+  uint64_t reencode_retries_ = 0;
+  uint64_t compactions_ = 0;
+  uint64_t patches_ = 0;
+  uint64_t appended_rows_ = 0;
+};
+
+}  // namespace tilecomp::codec
+
+#endif  // TILECOMP_CODEC_MUTABLE_COLUMN_H_

@@ -1,16 +1,33 @@
 #include "codec/serialize.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 
+#include "codec/mutable_column.h"
+#include "common/bit_util.h"
 #include "common/macros.h"
+#include "format/packtile.h"
 
 namespace tilecomp::codec {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x504D4354;  // "TCMP" little endian
-constexpr uint32_t kVersion = 1;
+// v1: header + payload + payload crc. v2 appends a checksummed optional
+// zone-map section so a save/load round-trip keeps pushdown pruning. v1
+// files still load (with a null zone map); v2 writers always emit the
+// section, flagged empty when the column has no map.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
+
+// Mutable-column arena container ("TCMM"): see SerializeMutable below.
+constexpr uint32_t kMutableMagic = 0x4D4D4354;  // "TCMM" little endian
+constexpr uint32_t kMutableVersion = 1;
 
 uint32_t CrcTableEntry(uint32_t i) {
   uint32_t c = i;
@@ -47,6 +64,7 @@ class ByteReader {
  public:
   ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
+  bool U8(uint8_t* v) { return Bytes(v, 1); }
   bool U32(uint32_t* v) { return Bytes(v, 4); }
   bool U64(uint64_t* v) { return Bytes(v, 8); }
   bool VecU32(std::vector<uint32_t>* v) {
@@ -71,7 +89,9 @@ class ByteReader {
     // `pos_ + n` can wrap for adversarial n; compare against the space left
     // (pos_ <= size_ is an invariant, so the subtraction is safe).
     if (n > size_ - pos_) return false;
-    std::memcpy(p, data_ + pos_, n);
+    // n == 0 is legal (empty vector section) but p may be null then, and
+    // memcpy's pointer arguments must be non-null even for zero sizes.
+    if (n != 0) std::memcpy(p, data_ + pos_, n);
     pos_ += n;
     return true;
   }
@@ -175,32 +195,29 @@ std::vector<uint8_t> Serialize(const CompressedColumn& column) {
   header.U64(payload.size());
   out.insert(out.end(), payload.begin(), payload.end());
   header.U32(Crc32(payload.data(), payload.size()));
+
+  // v2 zone-map section: [flag u8][4 x VecU32 if flag][crc32 over section].
+  // Separately checksummed so the pruning index is as corruption-hardened as
+  // the data payload, and so v1 readers that stop at the payload crc are not
+  // confused by trailing bytes (they reject on the version field anyway).
+  std::vector<uint8_t> section;
+  const ZoneMap* zm = column.zone_map();
+  section.push_back(zm != nullptr ? 1 : 0);
+  if (zm != nullptr) {
+    ByteWriter sw(&section);
+    sw.VecU32(zm->tile_mins());
+    sw.VecU32(zm->tile_maxs());
+    sw.VecU32(zm->block_mins());
+    sw.VecU32(zm->block_maxs());
+  }
+  out.insert(out.end(), section.begin(), section.end());
+  header.U32(Crc32(section.data(), section.size()));
   return out;
 }
 
-bool Deserialize(const uint8_t* data, size_t size, CompressedColumn* column) {
-  ByteReader r(data, size);
-  uint32_t magic = 0, version = 0, scheme_raw = 0;
-  uint64_t payload_size = 0;
-  if (!r.U32(&magic) || !r.U32(&version) || !r.U32(&scheme_raw) ||
-      !r.U64(&payload_size)) {
-    return false;
-  }
-  // Bad magic/version means "not one of our files", not a programming
-  // error: reject it instead of aborting the process.
-  if (magic != kMagic || version != kVersion) return false;
-  // `payload_size + 4` wraps when payload_size is near UINT64_MAX, which
-  // would bypass this check and read out of bounds below.
-  if (r.remaining() < 4 || payload_size > r.remaining() - 4) return false;
+namespace {
 
-  // Verify checksum before parsing.
-  const uint8_t* payload = data + r.pos();
-  uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, payload + payload_size, 4);
-  if (Crc32(payload, payload_size) != stored_crc) return false;
-
-  ByteReader p(payload, payload_size);
-  const Scheme scheme = static_cast<Scheme>(scheme_raw);
+bool ParsePayload(ByteReader& p, Scheme scheme, CompressedColumn* column) {
   switch (scheme) {
     case Scheme::kNone: {
       std::vector<uint32_t> values;
@@ -280,6 +297,248 @@ bool Deserialize(const uint8_t* data, size_t size, CompressedColumn* column) {
     }
   }
   return false;
+}
+
+// Parse and validate the v2 zone-map section (everything after the payload
+// crc). `section` spans [flag .. section crc]; returns false on truncation,
+// checksum failure, or entry counts inconsistent with the column's size.
+bool ParseZoneMapSection(const uint8_t* section, size_t section_size,
+                         CompressedColumn* column) {
+  // Minimum section: flag byte + crc32.
+  if (section_size < 5) return false;
+  const size_t body_size = section_size - 4;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, section + body_size, 4);
+  if (Crc32(section, body_size) != stored_crc) return false;
+
+  ByteReader s(section, body_size);
+  uint8_t flag_byte = 0;
+  if (!s.U8(&flag_byte)) return false;
+  if (flag_byte == 0) {
+    // Empty section must be exactly the flag byte.
+    return s.remaining() == 0;
+  }
+  if (flag_byte != 1) return false;
+  std::vector<uint32_t> mins, maxs, block_mins, block_maxs;
+  if (!s.VecU32(&mins) || !s.VecU32(&maxs) || !s.VecU32(&block_mins) ||
+      !s.VecU32(&block_maxs) || s.remaining() != 0) {
+    return false;
+  }
+  const uint64_t count = column->size();
+  const uint64_t want_tiles = CeilDiv<uint64_t>(count, ZoneMap::kTileSize);
+  const uint64_t want_blocks = CeilDiv<uint64_t>(count, ZoneMap::kBlockSize);
+  if (mins.size() != want_tiles || maxs.size() != want_tiles ||
+      block_mins.size() != want_blocks || block_maxs.size() != want_blocks) {
+    return false;
+  }
+  column->set_zone_map(std::make_shared<const ZoneMap>(
+      ZoneMap::FromParts(std::move(mins), std::move(maxs),
+                         std::move(block_mins), std::move(block_maxs))));
+  return true;
+}
+
+}  // namespace
+
+bool Deserialize(const uint8_t* data, size_t size, CompressedColumn* column) {
+  ByteReader r(data, size);
+  uint32_t magic = 0, version = 0, scheme_raw = 0;
+  uint64_t payload_size = 0;
+  if (!r.U32(&magic) || !r.U32(&version) || !r.U32(&scheme_raw) ||
+      !r.U64(&payload_size)) {
+    return false;
+  }
+  // Bad magic/version means "not one of our files", not a programming
+  // error: reject it instead of aborting the process.
+  if (magic != kMagic || version < kMinVersion || version > kVersion) {
+    return false;
+  }
+  // `payload_size + 4` wraps when payload_size is near UINT64_MAX, which
+  // would bypass this check and read out of bounds below.
+  if (r.remaining() < 4 || payload_size > r.remaining() - 4) return false;
+
+  // Verify checksum before parsing.
+  const uint8_t* payload = data + r.pos();
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, payload + payload_size, 4);
+  if (Crc32(payload, payload_size) != stored_crc) return false;
+
+  ByteReader p(payload, payload_size);
+  if (!ParsePayload(p, static_cast<Scheme>(scheme_raw), column)) return false;
+
+  if (version >= 2) {
+    // The zone-map section is mandatory in v2 (flagged empty when the column
+    // has none) and must consume the rest of the buffer exactly, so any
+    // truncation or trailing garbage is rejected.
+    const size_t section_pos = r.pos() + payload_size + 4;
+    return ParseZoneMapSection(data + section_pos, size - section_pos, column);
+  }
+  return true;
+}
+
+std::vector<uint8_t> SerializeMutable(const MutableColumn& column) {
+  std::lock_guard<std::mutex> lock(column.mu_);
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.U32(column.id_.value());
+  w.U64(static_cast<uint64_t>(column.rows_));
+  w.U64(column.tiles_.size());
+  for (const MutableColumn::TileMeta& meta : column.tiles_) {
+    w.U32(meta.offset);
+    w.U32(meta.words);
+    w.U32(meta.count);
+  }
+  w.VecU32(column.arena_);
+  w.U64(column.side_buffers_.size());
+  // Deterministic order: iterate tiles, not the unordered map.
+  for (size_t t = 0; t < column.tiles_.size(); ++t) {
+    auto it = column.side_buffers_.find(static_cast<int64_t>(t));
+    if (it == column.side_buffers_.end()) continue;
+    w.U64(static_cast<uint64_t>(t));
+    w.VecU32(it->second);
+  }
+
+  std::vector<uint8_t> out;
+  ByteWriter header(&out);
+  header.U32(kMutableMagic);
+  header.U32(kMutableVersion);
+  header.U64(payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  header.U32(Crc32(payload.data(), payload.size()));
+  return out;
+}
+
+bool DeserializeMutable(const uint8_t* data, size_t size,
+                        MutableColumn* column) {
+  ByteReader r(data, size);
+  uint32_t magic = 0, version = 0;
+  uint64_t payload_size = 0;
+  if (!r.U32(&magic) || !r.U32(&version) || !r.U64(&payload_size)) {
+    return false;
+  }
+  if (magic != kMutableMagic || version != kMutableVersion) return false;
+  if (r.remaining() < 4 || payload_size > r.remaining() - 4) return false;
+  const uint8_t* payload = data + r.pos();
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, payload + payload_size, 4);
+  if (Crc32(payload, payload_size) != stored_crc) return false;
+  // Exact consumption: trailing bytes after the crc are rejected.
+  if (r.pos() + payload_size + 4 != size) return false;
+
+  ByteReader p(payload, payload_size);
+  uint32_t id = 0;
+  uint64_t rows = 0, num_tiles = 0;
+  if (!p.U32(&id) || !p.U64(&rows) || !p.U64(&num_tiles)) return false;
+  if (num_tiles != CeilDiv<uint64_t>(rows, MutableColumn::kTileSize)) {
+    return false;
+  }
+  // 12 bytes of meta per tile bounds num_tiles by the payload size.
+  if (num_tiles > p.remaining() / 12) return false;
+
+  std::vector<MutableColumn::TileMeta> tiles(num_tiles);
+  std::vector<uint32_t> arena;
+  std::unordered_map<int64_t, std::vector<uint32_t>> side_buffers;
+  std::map<uint32_t, uint32_t> free_list;
+  uint64_t count_sum = 0;
+  for (uint64_t t = 0; t < num_tiles; ++t) {
+    MutableColumn::TileMeta& meta = tiles[t];
+    if (!p.U32(&meta.offset) || !p.U32(&meta.words) || !p.U32(&meta.count)) {
+      return false;
+    }
+    const bool last = t + 1 == num_tiles;
+    if (meta.count == 0 || meta.count > MutableColumn::kTileSize) return false;
+    if (!last && meta.count != MutableColumn::kTileSize) return false;
+    if (meta.offset == MutableColumn::kNoExtent) {
+      if (meta.words != 0) return false;
+      meta.dirty = true;
+    } else {
+      if (meta.words < format::kPackTileHeaderWords) return false;
+    }
+    count_sum += meta.count;
+  }
+  if (count_sum != rows) return false;
+  if (!p.VecU32(&arena)) return false;
+
+  uint64_t num_side = 0;
+  if (!p.U64(&num_side)) return false;
+  uint64_t dirty_tiles = 0;
+  for (const MutableColumn::TileMeta& meta : tiles) {
+    if (meta.dirty) ++dirty_tiles;
+  }
+  if (num_side != dirty_tiles) return false;
+  for (uint64_t i = 0; i < num_side; ++i) {
+    uint64_t tile = 0;
+    if (!p.U64(&tile) || tile >= num_tiles) return false;
+    MutableColumn::TileMeta& meta = tiles[tile];
+    if (!meta.dirty) return false;
+    auto [it, inserted] = side_buffers.emplace(static_cast<int64_t>(tile),
+                                               std::vector<uint32_t>());
+    if (!inserted) return false;  // duplicate side buffer
+    if (!p.VecU32(&it->second)) return false;
+    if (it->second.size() != meta.count) return false;
+  }
+  if (p.remaining() != 0) return false;
+
+  // Structural validation of the extent table: every extent parses, matches
+  // its tile's count, stays in bounds, and no two overlap. The gaps become
+  // the free list, so live + free extents partition the arena exactly.
+  std::vector<std::pair<uint32_t, uint32_t>> extents;
+  extents.reserve(num_tiles);
+  for (uint64_t t = 0; t < num_tiles; ++t) {
+    const MutableColumn::TileMeta& meta = tiles[t];
+    if (meta.dirty) continue;
+    const uint64_t end = static_cast<uint64_t>(meta.offset) + meta.words;
+    if (end > arena.size()) return false;
+    format::PackTileHeader h;
+    if (!format::ParsePackTileHeader(arena.data() + meta.offset, meta.words,
+                                     &h) ||
+        h.count != meta.count) {
+      return false;
+    }
+    extents.emplace_back(meta.offset, meta.words);
+  }
+  std::sort(extents.begin(), extents.end());
+  uint32_t cursor = 0;
+  for (const auto& [offset, words] : extents) {
+    if (offset < cursor) return false;  // overlap
+    if (offset > cursor) free_list.emplace(cursor, offset - cursor);
+    cursor = offset + words;
+  }
+  if (cursor < arena.size()) {
+    free_list.emplace(cursor, static_cast<uint32_t>(arena.size()) - cursor);
+  }
+
+  // Commit into the destination (std::mutex pins MutableColumn in place, so
+  // the fields move in under its own lock), then rebuild zone entries from
+  // decoded truth: a loaded store must never prune against bounds the file
+  // merely claims.
+  std::lock_guard<std::mutex> lock(column->mu_);
+  column->id_ = ColumnId(id);
+  column->rows_ = static_cast<int64_t>(rows);
+  column->tiles_ = std::move(tiles);
+  column->arena_ = std::move(arena);
+  column->side_buffers_ = std::move(side_buffers);
+  column->free_ = std::move(free_list);
+  column->reencodes_ = 0;
+  column->reencode_retries_ = 0;
+  column->compactions_ = 0;
+  column->patches_ = 0;
+  column->appended_rows_ = 0;
+  column->reencode_log_.clear();
+  column->tile_mins_.resize(num_tiles);
+  column->tile_maxs_.resize(num_tiles);
+  const uint64_t num_blocks =
+      CeilDiv<uint64_t>(rows, MutableColumn::kBlockSize);
+  column->block_mins_.resize(num_blocks);
+  column->block_maxs_.resize(num_blocks);
+  std::vector<uint32_t> tile_buf(MutableColumn::kTileSize);
+  for (uint64_t t = 0; t < num_tiles; ++t) {
+    const uint32_t n =
+        column->DecodeTileLocked(static_cast<int64_t>(t), tile_buf.data());
+    TILECOMP_CHECK(n == column->tiles_[t].count);
+    column->RecomputeTileZonesLocked(static_cast<int64_t>(t), tile_buf.data(),
+                                     n);
+  }
+  return true;
 }
 
 bool WriteColumnFile(const std::string& path,

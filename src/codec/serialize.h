@@ -20,6 +20,8 @@
 
 namespace tilecomp::codec {
 
+class MutableColumn;
+
 // Serialize to an in-memory buffer.
 std::vector<uint8_t> Serialize(const CompressedColumn& column);
 
@@ -30,6 +32,19 @@ bool Deserialize(const uint8_t* data, size_t size, CompressedColumn* column);
 // File convenience wrappers. Return false on I/O failure.
 bool WriteColumnFile(const std::string& path, const CompressedColumn& column);
 bool ReadColumnFile(const std::string& path, CompressedColumn* column);
+
+// Mutable-column arena container ("TCMM", versioned, crc-checked):
+//   [magic][version u32][payload u64][payload ...][crc32 over payload]
+// The payload carries the column id, per-tile extent table, arena words and
+// dirty-tile side buffers. DeserializeMutable validates the structure
+// exhaustively — extents must parse, must not overlap, and must exactly
+// partition the arena together with the implied free list — and rebuilds
+// zone entries by decoding every tile, so a loaded store never prunes
+// against unvalidated bounds. Generations restart at 1 (an address space
+// fresh to every cache). Returns false on any corruption.
+std::vector<uint8_t> SerializeMutable(const MutableColumn& column);
+bool DeserializeMutable(const uint8_t* data, size_t size,
+                        MutableColumn* column);
 
 // CRC-32 (IEEE 802.3) used for the payload checksum; exposed for tests.
 uint32_t Crc32(const uint8_t* data, size_t size);

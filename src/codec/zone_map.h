@@ -36,6 +36,21 @@ class ZoneMap {
     return Build(values.data(), values.size());
   }
 
+  // Reassemble from stored entry vectors (serialization, mutable-column
+  // snapshots). The caller guarantees the vectors are pairwise equal-length
+  // per granularity and consistent with the column's value count.
+  static ZoneMap FromParts(std::vector<uint32_t> mins,
+                           std::vector<uint32_t> maxs,
+                           std::vector<uint32_t> block_mins,
+                           std::vector<uint32_t> block_maxs) {
+    ZoneMap zm;
+    zm.mins_ = std::move(mins);
+    zm.maxs_ = std::move(maxs);
+    zm.block_mins_ = std::move(block_mins);
+    zm.block_maxs_ = std::move(block_maxs);
+    return zm;
+  }
+
   size_t num_tiles() const { return mins_.size(); }
   uint32_t tile_min(size_t tile) const { return mins_[tile]; }
   uint32_t tile_max(size_t tile) const { return maxs_[tile]; }
@@ -67,6 +82,12 @@ class ZoneMap {
   bool BlockFullyInside(size_t block, uint32_t lo, uint32_t hi) const {
     return block_mins_[block] >= lo && block_maxs_[block] <= hi;
   }
+
+  // Entry vectors for the serializer (codec/serialize.cc zone-map section).
+  const std::vector<uint32_t>& tile_mins() const { return mins_; }
+  const std::vector<uint32_t>& tile_maxs() const { return maxs_; }
+  const std::vector<uint32_t>& block_mins() const { return block_mins_; }
+  const std::vector<uint32_t>& block_maxs() const { return block_maxs_; }
 
   // Number of tiles a [lo, hi] range predicate must actually decode.
   size_t CountMatchingTiles(uint32_t lo, uint32_t hi) const {

@@ -1,0 +1,88 @@
+#include "format/packtile.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "format/bitpack.h"
+
+namespace tilecomp::format {
+
+uint32_t PackTileWidth(const uint32_t* values, uint32_t count) {
+  if (count == 0) return 0;
+  uint32_t lo = values[0], hi = values[0];
+  for (uint32_t i = 1; i < count; ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  return BitsNeeded(hi - lo);
+}
+
+uint32_t PackTile(const uint32_t* values, uint32_t count, uint32_t* out) {
+  TILECOMP_CHECK(count >= 1 && count <= kPackTileMaxValues);
+  uint32_t lo = values[0];
+  for (uint32_t i = 1; i < count; ++i) lo = std::min(lo, values[i]);
+  uint32_t width = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    width = std::max(width, BitsNeeded(values[i] - lo));
+  }
+  const uint32_t words = PackTileWords(count, width);
+  out[0] = (count & 0xFFFFu) | (width << 16);
+  out[1] = lo;
+  // Zero the payload words, then OR the packed bit strings in.
+  for (uint32_t w = kPackTileHeaderWords; w < words; ++w) out[w] = 0;
+  uint64_t bit = 0;
+  uint32_t* payload = out + kPackTileHeaderWords;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t delta = values[i] - lo;
+    if (width == 0) continue;
+    const uint64_t word = bit >> 5;
+    const uint32_t shift = static_cast<uint32_t>(bit & 31);
+    payload[word] |= delta << shift;
+    if (shift + width > 32) payload[word + 1] |= delta >> (32 - shift);
+    bit += width;
+  }
+  return words;
+}
+
+bool ParsePackTileHeader(const uint32_t* extent, uint32_t extent_words,
+                         PackTileHeader* header) {
+  if (extent == nullptr || extent_words < kPackTileHeaderWords) return false;
+  const uint32_t count = extent[0] & 0xFFFFu;
+  const uint32_t width = (extent[0] >> 16) & 0xFFu;
+  // Bits 24..31 of word 0 are reserved-zero; reject so corruption there is
+  // never silently ignored.
+  if ((extent[0] >> 24) != 0) return false;
+  if (count == 0 || count > kPackTileMaxValues || width > 32) return false;
+  if (PackTileWords(count, width) != extent_words) return false;
+  header->count = count;
+  header->width = width;
+  header->reference = extent[1];
+  return true;
+}
+
+uint32_t UnpackPackTile(const uint32_t* extent, uint32_t extent_words,
+                        uint32_t* out) {
+  PackTileHeader h;
+  if (!ParsePackTileHeader(extent, extent_words, &h)) return 0;
+  const uint32_t* payload = extent + kPackTileHeaderWords;
+  if (h.width == 0) {
+    std::fill(out, out + h.count, h.reference);
+    return h.count;
+  }
+  uint64_t bit = 0;
+  for (uint32_t i = 0; i < h.count; ++i, bit += h.width) {
+    out[i] = h.reference + UnpackBits(payload, bit, h.width);
+  }
+  return h.count;
+}
+
+uint32_t PackTileValueAt(const uint32_t* extent, const PackTileHeader& header,
+                         uint32_t index) {
+  TILECOMP_DCHECK(index < header.count);
+  if (header.width == 0) return header.reference;
+  const uint64_t bit = static_cast<uint64_t>(index) * header.width;
+  return header.reference +
+         UnpackBits(extent + kPackTileHeaderWords, bit, header.width);
+}
+
+}  // namespace tilecomp::format

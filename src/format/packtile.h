@@ -1,0 +1,71 @@
+// Self-describing variable-rate tile extents for the mutable column store.
+//
+// The immutable formats (gpufor.h and friends) encode a whole column with one
+// shared header; a mutable store instead re-encodes single 512-value tiles as
+// their content drifts, so each tile must carry its own header and be
+// decodable in isolation. An extent is the zfp tile2 idiom specialized to
+// integer FOR: a two-word header followed by a frame-of-reference bit-packed
+// payload whose width is chosen per tile.
+//
+//   word 0: count (low 16 bits) | width (bits 16..23)
+//   word 1: reference (the tile minimum)
+//   words 2..: count values of `width` bits each, LSB-first, word-aligned tail
+//
+// Patching a value can widen or narrow the payload, which is exactly why the
+// arena above this format needs a free list: extents change size in place.
+#ifndef TILECOMP_FORMAT_PACKTILE_H_
+#define TILECOMP_FORMAT_PACKTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_util.h"
+
+namespace tilecomp::format {
+
+// Values per full tile; matches codec::ZoneMap::kTileSize and
+// crystal::kTileSize.
+inline constexpr uint32_t kPackTileMaxValues = 512;
+inline constexpr uint32_t kPackTileHeaderWords = 2;
+
+struct PackTileHeader {
+  uint32_t count = 0;      // values in the tile, 1..512
+  uint32_t width = 0;      // payload bits per value, 0..32
+  uint32_t reference = 0;  // frame of reference (tile minimum)
+};
+
+// Payload bit width for `count` values: bits needed for max(v) - min(v).
+// Returns 0 for count == 0 (an empty extent is never materialized).
+uint32_t PackTileWidth(const uint32_t* values, uint32_t count);
+
+// Total extent size (header + word-aligned payload) for a given shape.
+inline constexpr uint32_t PackTileWords(uint32_t count, uint32_t width) {
+  const uint64_t payload_bits = static_cast<uint64_t>(count) * width;
+  return kPackTileHeaderWords +
+         static_cast<uint32_t>(CeilDiv<uint64_t>(payload_bits, 32));
+}
+
+// Encode `count` (1..512) values into out[0..PackTileWords). `out` must have
+// at least PackTileWords(count, PackTileWidth(values, count)) writable words.
+// Returns the number of words written.
+uint32_t PackTile(const uint32_t* values, uint32_t count, uint32_t* out);
+
+// Validate and parse the header of the extent at extent[0..extent_words).
+// Rejects malformed headers: zero/oversized count, width > 32, or an
+// extent_words that does not match the header's implied size exactly.
+bool ParsePackTileHeader(const uint32_t* extent, uint32_t extent_words,
+                         PackTileHeader* header);
+
+// Decode a full extent into out[0..count). Returns the value count, or 0 if
+// the extent fails header validation (callers treat 0 as corruption).
+uint32_t UnpackPackTile(const uint32_t* extent, uint32_t extent_words,
+                        uint32_t* out);
+
+// Random access without materializing the tile: value `index` of the extent.
+// The caller must have validated the header (asserts in debug builds only).
+uint32_t PackTileValueAt(const uint32_t* extent, const PackTileHeader& header,
+                         uint32_t index);
+
+}  // namespace tilecomp::format
+
+#endif  // TILECOMP_FORMAT_PACKTILE_H_

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/bit_util.h"
+#include "common/macros.h"
+#include "format/packtile.h"
 #include "kernels/block_scan.h"
 
 namespace tilecomp::kernels {
@@ -423,6 +425,32 @@ uint32_t BlockLoadRaw(sim::BlockContext& ctx, const uint32_t* column,
       std::min<uint64_t>(tile_size, column_count - begin));
   ctx.CoalescedRead(static_cast<uint64_t>(n) * 4, /*aligned=*/true);
   std::memcpy(out_tile, column + begin, static_cast<size_t>(n) * 4);
+  return n;
+}
+
+uint32_t LoadPackedTile(sim::BlockContext& ctx, const uint32_t* extent,
+                        uint32_t extent_words, uint32_t* out_tile) {
+  format::PackTileHeader h;
+  if (!format::ParsePackTileHeader(extent, extent_words, &h)) return 0;
+  const uint64_t extent_bytes = static_cast<uint64_t>(extent_words) * 4;
+
+  // One coalesced staging pass of the whole extent (header words ride along
+  // with the payload — the extent is self-describing and contiguous), then
+  // the single-width unpack: per value an 8-byte shared-memory window plus
+  // the broadcast (reference, width) pair, extracted in ~5 ALU ops. A
+  // width-0 extent decodes by broadcast alone.
+  ctx.CoalescedRead(extent_bytes, /*aligned=*/false);
+  ctx.Shared(extent_bytes);
+  ctx.Barrier();
+  if (h.width == 0) {
+    ctx.Compute(h.count);
+  } else {
+    ctx.Shared(static_cast<uint64_t>(h.count) * (8 + 4));
+    ctx.Compute(static_cast<uint64_t>(h.count) * 5);
+  }
+
+  const uint32_t n = format::UnpackPackTile(extent, extent_words, out_tile);
+  TILECOMP_CHECK(n == h.count);
   return n;
 }
 

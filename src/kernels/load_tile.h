@@ -89,6 +89,14 @@ uint32_t BlockLoadRaw(sim::BlockContext& ctx, const uint32_t* column,
                       uint32_t column_count, int64_t tile_id,
                       uint32_t tile_size, uint32_t* out_tile);
 
+// Decode one self-describing variable-rate extent (format/packtile.h, the
+// mutable column store's tile unit) into out_tile. Charges like the staged
+// single-block FOR unpack: coalesced read of header + payload, smem
+// staging, then a per-value shift/mask from shared memory. Returns the
+// extent's value count, or 0 if the extent fails header validation.
+uint32_t LoadPackedTile(sim::BlockContext& ctx, const uint32_t* extent,
+                        uint32_t extent_words, uint32_t* out_tile);
+
 // --- Compressed-domain predicate evaluation ---
 //
 // The Evaluate* functions are the decode-free counterparts of the Load*

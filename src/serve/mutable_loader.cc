@@ -1,0 +1,157 @@
+#include "serve/mutable_loader.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+#include "kernels/load_tile.h"
+#include "sim/stats.h"
+
+namespace tilecomp::serve {
+
+MutableColumnAccessor::MutableColumnAccessor(codec::MutableColumn* column,
+                                             TileCache* cache,
+                                             Prefetcher* prefetcher)
+    : column_(column), cache_(cache), prefetcher_(prefetcher) {
+  TILECOMP_CHECK(column_ != nullptr && cache_ != nullptr);
+  column_->AddListener(this);
+}
+
+MutableColumnAccessor::~MutableColumnAccessor() {
+  column_->RemoveListener(this);
+}
+
+void MutableColumnAccessor::OnTileInvalidated(codec::ColumnId column,
+                                              int64_t tile,
+                                              uint64_t generation) {
+  // Lock order: the column's mutex is held here; the cache and prefetcher
+  // each take only their own mutex and never call back into the column.
+  cache_->InvalidateStale(column, tile, generation);
+  if (prefetcher_ != nullptr) prefetcher_->Invalidate(column, tile);
+  invalidations_forwarded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t MutableColumnAccessor::LoadTile(sim::BlockContext& ctx,
+                                         const codec::CompressedColumn& column,
+                                         codec::ColumnId column_id,
+                                         int64_t tile_id, uint32_t* out_tile) {
+  (void)column;  // the mutable store is the source of truth
+  if (prefetcher_ != nullptr) prefetcher_->RecordAccess(column_id, tile_id);
+  TileCache::LookupInfo info;
+  TileCache::PinnedTile pin = cache_->Lookup(column_id, tile_id, 0, &info);
+  if (pin.valid()) {
+    // Eager invalidation + the insert floor guarantee a resident entry is
+    // never stale, so a hit serves directly: read the decoded tile back
+    // from global memory.
+    const uint32_t n = pin.count();
+    std::memcpy(out_tile, pin.data(), static_cast<size_t>(n) * 4);
+    ctx.CoalescedRead(static_cast<uint64_t>(n) * 4, /*aligned=*/true);
+    if (info.prefetch_hit) {
+      ctx.CachePrefetchHit();
+    } else {
+      ctx.CacheHit();
+    }
+    if (info.promoted) ctx.PrefetchUseful();
+    return n;
+  }
+
+  codec::MutableColumn::TileSnapshot snap;
+  if (!column_->SnapshotTile(tile_id, &snap)) return 0;
+  const uint64_t cost_mark = sim::BlockCostProxy(ctx.stats());
+  uint32_t n = 0;
+  uint64_t encoded_bytes = 0;
+  if (snap.from_side_buffer) {
+    // Dirty or tail tile: the decoded truth is staged on-device; a read of
+    // the side buffer is a plain coalesced load, no decode.
+    n = snap.count;
+    std::memcpy(out_tile, snap.values.data(), static_cast<size_t>(n) * 4);
+    ctx.CoalescedRead(static_cast<uint64_t>(n) * 4, /*aligned=*/false);
+    side_buffer_loads_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    n = kernels::LoadPackedTile(ctx, snap.extent.data(),
+                                static_cast<uint32_t>(snap.extent.size()),
+                                out_tile);
+    TILECOMP_CHECK(n == snap.count);
+    encoded_bytes = snap.extent.size() * 4;
+    extent_loads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ctx.CacheMiss();
+  if (n == 0) return 0;
+
+  uint64_t evicted = 0;
+  TileCost cost;
+  cost.decode_cost =
+      std::max<uint64_t>(1, sim::BlockCostProxy(ctx.stats()) - cost_mark);
+  cost.encoded_bytes = encoded_bytes;
+  TileCache::PinnedTile inserted =
+      cache_->Insert(column_id, tile_id, out_tile, n, &evicted, cost,
+                     snap.generation);
+  ctx.CacheEvictions(evicted);
+  if (inserted.valid()) {
+    ctx.CoalescedWrite(static_cast<uint64_t>(n) * 4, /*aligned=*/true);
+  }
+  return n;
+}
+
+bool MutableColumnAccessor::TileStats(const codec::CompressedColumn& column,
+                                      codec::ColumnId column_id,
+                                      int64_t tile_id, uint32_t* min,
+                                      uint32_t* max) {
+  (void)column;
+  (void)column_id;
+  // Live bounds straight from the mutable store — updated under the same
+  // lock as every mutation, so pruning can never use pre-patch bounds.
+  return column_->TileBounds(tile_id, min, max);
+}
+
+uint32_t MutableColumnAccessor::EvaluateOnTile(
+    sim::BlockContext& ctx, const codec::CompressedColumn& column,
+    codec::ColumnId column_id, int64_t tile_id,
+    const crystal::TilePredicate& pred, crystal::TileMask* mask) {
+  (void)column;
+  (void)column_id;
+  // Zone classification from live bounds: two header words decide the
+  // whole tile when its range is disjoint from (or inside) the predicate.
+  uint32_t lo = 0, hi = 0;
+  codec::MutableColumn::TileSnapshot snap;
+  if (!column_->SnapshotTile(tile_id, &snap)) return 0;
+  if (column_->TileBounds(tile_id, &lo, &hi)) {
+    ctx.CoalescedRead(8, /*aligned=*/false);  // the tile's (min, max) pair
+    ctx.Compute(2);
+    if (pred.DisjointFrom(lo, hi)) {
+      mask->ClearRange(0, crystal::TileMask::kBits);
+      ctx.PushdownTilePruned();
+      return snap.count;
+    }
+    if (pred.Contains(lo, hi)) {
+      mask->ClearRange(snap.count, crystal::TileMask::kBits);
+      ctx.PushdownTilePruned();
+      return snap.count;
+    }
+  }
+  // Mixed tile: decode (or read the side buffer) and test each value. A
+  // resident cached copy would do, but peeking the cache here would skew
+  // its replacement order accounting — the snapshot read is charged the
+  // same either way.
+  uint32_t tile_buf[crystal::kTileSize];
+  uint32_t n = 0;
+  if (snap.from_side_buffer) {
+    n = snap.count;
+    std::memcpy(tile_buf, snap.values.data(), static_cast<size_t>(n) * 4);
+    ctx.CoalescedRead(static_cast<uint64_t>(n) * 4, /*aligned=*/false);
+  } else {
+    n = kernels::LoadPackedTile(ctx, snap.extent.data(),
+                                static_cast<uint32_t>(snap.extent.size()),
+                                tile_buf);
+    TILECOMP_CHECK(n == snap.count);
+  }
+  ctx.TileDecoded();
+  ctx.Compute(static_cast<uint64_t>(n) * 2);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!pred.Matches(tile_buf[i])) mask->Clear(i);
+  }
+  mask->ClearRange(n, crystal::TileMask::kBits);
+  return n;
+}
+
+}  // namespace tilecomp::serve

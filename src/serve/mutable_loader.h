@@ -1,0 +1,90 @@
+// MutableColumnAccessor: the serving-layer bridge between query kernels and
+// a codec::MutableColumn.
+//
+// It plays two roles at once:
+//   * a crystal::ColumnAccessor — query kernels materialize tiles through
+//     LoadTile (TileCache lookup, then a charged decode of the tile's
+//     variable-rate extent or a read of its decoded side buffer on miss)
+//     and prune through TileStats/EvaluateOnTile against the column's LIVE
+//     zone entries, so pushdown never prunes against stale bounds;
+//   * a codec::MutableColumn::Listener — every generation bump (patch,
+//     tail append, background re-encode) lands here with the column lock
+//     held and is forwarded to TileCache::InvalidateStale (dropping the
+//     resident decode and raising the insert floor against racing
+//     demand-loads) and Prefetcher::Invalidate (killing in-flight
+//     predictions for the column).
+//
+// Consistency: a LoadTile takes one per-tile snapshot under the column
+// lock, so a kernel never observes a half-applied mutation; cross-tile
+// reads are anchored by the caller's row-count snapshot (appends only grow
+// the tail). The CompressedColumn& parameter of the ColumnAccessor
+// interface is ignored — the mutable store is the source of truth; callers
+// pass a placeholder.
+#ifndef TILECOMP_SERVE_MUTABLE_LOADER_H_
+#define TILECOMP_SERVE_MUTABLE_LOADER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "codec/mutable_column.h"
+#include "crystal/load_column.h"
+#include "serve/prefetcher.h"
+#include "serve/tile_cache.h"
+
+namespace tilecomp::serve {
+
+class MutableColumnAccessor : public crystal::ColumnAccessor,
+                              public codec::MutableColumn::Listener {
+ public:
+  // `column` and `cache` must outlive the accessor; `prefetcher` may be
+  // nullptr and is not owned. Registers itself as the column's listener.
+  MutableColumnAccessor(codec::MutableColumn* column, TileCache* cache,
+                        Prefetcher* prefetcher = nullptr);
+  ~MutableColumnAccessor() override;
+
+  MutableColumnAccessor(const MutableColumnAccessor&) = delete;
+  MutableColumnAccessor& operator=(const MutableColumnAccessor&) = delete;
+
+  // crystal::ColumnAccessor. The `column` parameter is ignored (see file
+  // comment); `column_id` must be the mutable column's id.
+  uint32_t LoadTile(sim::BlockContext& ctx,
+                    const codec::CompressedColumn& column,
+                    codec::ColumnId column_id, int64_t tile_id,
+                    uint32_t* out_tile) override;
+  bool TileStats(const codec::CompressedColumn& column,
+                 codec::ColumnId column_id, int64_t tile_id, uint32_t* min,
+                 uint32_t* max) override;
+  uint32_t EvaluateOnTile(sim::BlockContext& ctx,
+                          const codec::CompressedColumn& column,
+                          codec::ColumnId column_id, int64_t tile_id,
+                          const crystal::TilePredicate& pred,
+                          crystal::TileMask* mask) override;
+
+  // codec::MutableColumn::Listener (called with the column lock held).
+  void OnTileInvalidated(codec::ColumnId column, int64_t tile,
+                         uint64_t generation) override;
+
+  // Monotonic counters (relaxed; exact under quiescence).
+  uint64_t side_buffer_loads() const {
+    return side_buffer_loads_.load(std::memory_order_relaxed);
+  }
+  uint64_t extent_loads() const {
+    return extent_loads_.load(std::memory_order_relaxed);
+  }
+  uint64_t invalidations_forwarded() const {
+    return invalidations_forwarded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  codec::MutableColumn* const column_;
+  TileCache* const cache_;
+  Prefetcher* const prefetcher_;
+
+  std::atomic<uint64_t> side_buffer_loads_{0};
+  std::atomic<uint64_t> extent_loads_{0};
+  std::atomic<uint64_t> invalidations_forwarded_{0};
+};
+
+}  // namespace tilecomp::serve
+
+#endif  // TILECOMP_SERVE_MUTABLE_LOADER_H_

@@ -95,6 +95,20 @@ void Prefetcher::RecordAccess(codec::ColumnId column_id, int64_t tile_id) {
   st.any_access = true;
 }
 
+void Prefetcher::Invalidate(codec::ColumnId column_id, int64_t tile_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = columns_.find(column_id.value());
+  if (it == columns_.end()) return;
+  ColumnState& st = it->second;
+  (void)tile_id;  // any tile's mutation poisons the whole column's pattern
+  st.pattern = Pattern::kIdle;
+  st.stride = 1;
+  st.streak = 0;
+  st.last_tile = -1;
+  st.last_depth = 0;
+  st.idle_rounds = 0;
+}
+
 uint64_t Prefetcher::IssueRound() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ColumnPlan> plans;

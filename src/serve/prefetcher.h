@@ -112,6 +112,16 @@ class Prefetcher {
   // happen to record them in. Unregistered columns are ignored.
   void RecordAccess(codec::ColumnId column_id, int64_t tile_id);
 
+  // Kill a column's in-flight speculation state because `tile` mutated
+  // (mutable-column generation bump): the established pattern, streak and
+  // depth are reset, so no already-classified prediction keeps issuing
+  // decodes across a mutation — the next round re-learns the pattern from
+  // post-mutation accesses. The current round's access bitmap is preserved
+  // (those accesses really happened). Unregistered columns are ignored.
+  // Called with the mutating column's lock held (lock order: column ->
+  // prefetcher; IssueRound never calls back into a column).
+  void Invalidate(codec::ColumnId column_id, int64_t tile_id);
+
   // Close the current access round: classify every column's recorded
   // accesses, update streaks and depths, and launch one speculative decode
   // per regular-pattern column covering its next predicted (non-resident)

@@ -42,6 +42,8 @@ struct TileCacheEntry {
   uint64_t hit_count = 0;    // demand hits (kCostAware frequency signal)
   uint64_t decode_cost = 1;
   uint64_t encoded_bytes = 0;
+  // Mutable-column tile generation the decode observed (0: immutable).
+  uint64_t generation = 0;
   std::list<TileCacheEntry*>::iterator pos;
 
   uint64_t bytes() const { return values.size() * sizeof(uint32_t); }
@@ -325,9 +327,17 @@ void TileCache::CreditSaved(uint64_t bytes) {
 
 TileCache::PinnedTile TileCache::Insert(codec::ColumnId column_id, int64_t tile_id,
                                         const uint32_t* values, uint32_t count,
-                                        uint64_t* evictions, TileCost cost) {
+                                        uint64_t* evictions, TileCost cost,
+                                        uint64_t generation) {
   std::lock_guard<std::mutex> lock(mu_);
   if (evictions != nullptr) *evictions = 0;
+  // Generation floor: a decode that observed a pre-mutation extent must not
+  // become resident, no matter how the insert raced the invalidation.
+  auto floor = insert_floors_.find(MakeKey(column_id, tile_id));
+  if (floor != insert_floors_.end() && generation < floor->second) {
+    ++stats_.stale_refused;
+    return PinnedTile();
+  }
   if (Entry* existing = FindLocked(column_id, tile_id)) {
     // Another block inserted this tile first; pin the resident copy. If a
     // prefetch staged it but demand re-decoded anyway (possible when the
@@ -364,6 +374,7 @@ TileCache::PinnedTile TileCache::Insert(codec::ColumnId column_id, int64_t tile_
   entry->referenced = true;
   entry->decode_cost = cost.decode_cost;
   entry->encoded_bytes = cost.encoded_bytes;
+  entry->generation = generation;
   Entry* raw = entry.get();
   order_.push_back(raw);
   raw->pos = std::prev(order_.end());
@@ -376,8 +387,17 @@ TileCache::PinnedTile TileCache::Insert(codec::ColumnId column_id, int64_t tile_
 SpeculativeInsert TileCache::InsertSpeculative(codec::ColumnId column_id,
                                                int64_t tile_id,
                                                const uint32_t* values,
-                                               uint32_t count, TileCost cost) {
+                                               uint32_t count, TileCost cost,
+                                               uint64_t generation) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Same staleness barrier as the demand path; a refused speculative decode
+  // is also wasted prefetch work.
+  auto floor = insert_floors_.find(MakeKey(column_id, tile_id));
+  if (floor != insert_floors_.end() && generation < floor->second) {
+    ++stats_.stale_refused;
+    ++stats_.prefetch_wasted;
+    return SpeculativeInsert::kRefused;
+  }
   if (FindLocked(column_id, tile_id) != nullptr) {
     // The demand path (or an earlier prefetch round) got here first.
     ++stats_.prefetch_late;
@@ -410,6 +430,7 @@ SpeculativeInsert TileCache::InsertSpeculative(codec::ColumnId column_id,
   entry->prefetched = true;
   entry->decode_cost = cost.decode_cost;
   entry->encoded_bytes = cost.encoded_bytes;
+  entry->generation = generation;
   Entry* raw = entry.get();
   // Stage at the warm end: a predicted tile exists to be read by the NEXT
   // query, so it gets one replacement cycle of residency to prove itself —
@@ -442,14 +463,11 @@ void TileCache::CountPrefetchWasted(uint64_t n) {
   stats_.prefetch_wasted += n;
 }
 
-bool TileCache::Invalidate(codec::ColumnId column_id, int64_t tile_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Entry* entry = FindLocked(column_id, tile_id);
-  if (entry == nullptr) return false;
+void TileCache::InvalidateEntryLocked(Entry* entry) {
   ++stats_.invalidations;
   if (entry->pins == 0) {
     RemoveLocked(entry, /*count_eviction=*/false);
-    return true;
+    return;
   }
   // Pinned: unlink from the index and replacement order so no future probe
   // sees the poisoned data (and the key is free for a fresh insert), but
@@ -466,6 +484,27 @@ bool TileCache::Invalidate(codec::ColumnId column_id, int64_t tile_id) {
   TILECOMP_DCHECK(it != entries_.end());
   zombies_.push_back(std::move(it->second));
   entries_.erase(it);
+}
+
+bool TileCache::Invalidate(codec::ColumnId column_id, int64_t tile_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindLocked(column_id, tile_id);
+  if (entry == nullptr) return false;
+  InvalidateEntryLocked(entry);
+  return true;
+}
+
+bool TileCache::InvalidateStale(codec::ColumnId column_id, int64_t tile_id,
+                                uint64_t min_generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Raise the insert floor first: from this point no decode tagged with an
+  // older generation can become resident, closing the re-insert race that
+  // plain Invalidate leaves open.
+  uint64_t& floor = insert_floors_[MakeKey(column_id, tile_id)];
+  floor = std::max(floor, min_generation);
+  Entry* entry = FindLocked(column_id, tile_id);
+  if (entry == nullptr || entry->generation >= min_generation) return false;
+  InvalidateEntryLocked(entry);
   return true;
 }
 

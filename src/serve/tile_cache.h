@@ -92,6 +92,11 @@ class TileCache {
     // Insert calls refused because eviction could not make room (entry
     // larger than the budget, or every resident entry was pinned).
     uint64_t insert_failures = 0;
+    // Inserts refused by the generation floor: a demand-load raced a
+    // mutation and decoded from a pre-mutation extent (see InvalidateStale).
+    // Counted separately from insert_failures — these are correctness
+    // refusals, not capacity ones.
+    uint64_t stale_refused = 0;
     // Encoded bytes that hits avoided re-reading. Credited by callers
     // (CreditSaved) only for hits actually served — a hit whose data is
     // then discarded (e.g. an injected poison) must not be credited.
@@ -216,9 +221,15 @@ class TileCache {
   // promoted without counting a prefetch hit — and returned. `evictions`
   // (optional) receives the number of entries this call evicted. `cost`
   // feeds the kCostAware victim ranking.
+  // `generation` tags the entry with the mutable-column tile generation the
+  // decode observed (0 for immutable columns, which never invalidate); an
+  // insert whose generation is below the key's floor (set by
+  // InvalidateStale) is refused — the decode raced a mutation and read the
+  // pre-mutation extent.
   PinnedTile Insert(codec::ColumnId column_id, int64_t tile_id,
                     const uint32_t* values, uint32_t count,
-                    uint64_t* evictions = nullptr, TileCost cost = TileCost());
+                    uint64_t* evictions = nullptr, TileCost cost = TileCost(),
+                    uint64_t generation = 0);
 
   // Insert a speculatively decoded tile (prefetch path). The entry is
   // staged unpinned at the warm end of the replacement order — it was
@@ -232,8 +243,8 @@ class TileCache {
   // prefetch_wasted when the insert is refused.
   SpeculativeInsert InsertSpeculative(codec::ColumnId column_id,
                                       int64_t tile_id, const uint32_t* values,
-                                      uint32_t count,
-                                      TileCost cost = TileCost());
+                                      uint32_t count, TileCost cost = TileCost(),
+                                      uint64_t generation = 0);
 
   // Count `n` misses without probing — used by the column-granularity load
   // path, which decides hit/miss per column but accounts per tile.
@@ -252,6 +263,20 @@ class TileCache {
   // PinnedTile releases, so existing handles never dangle. Counted under
   // `invalidations`, not `evictions`.
   bool Invalidate(codec::ColumnId column_id, int64_t tile_id);
+
+  // Generation-mismatch invalidation, the mutable-column staleness barrier.
+  // Plain Invalidate closes the resident window but leaves a race open: a
+  // demand-load that decoded the pre-mutation extent can re-insert the
+  // stale tile AFTER the invalidation ran. InvalidateStale additionally
+  // raises a persistent per-key insert floor to `min_generation`, so any
+  // later Insert/InsertSpeculative tagged with an older generation is
+  // refused (counted under stale_refused). A resident entry whose
+  // generation is already >= min_generation is left alone. Returns true if
+  // a resident entry was dropped. Called by the serving layer's
+  // MutableColumn::Listener with the column lock held (lock order: column
+  // -> cache, never the reverse).
+  bool InvalidateStale(codec::ColumnId column_id, int64_t tile_id,
+                       uint64_t min_generation);
 
   // Attach a fault plan (not owned; nullptr to detach). When set, Insert
   // and InsertSpeculative consult the kDeviceAlloc and kCacheInsert sites
@@ -302,6 +327,9 @@ class TileCache {
   // Ghost adaptation on a demand miss (kCostAware): a miss on a B1 key
   // shifts the weight toward recency, on a B2 key toward frequency.
   void GhostMissLocked(uint64_t key);
+  // Drop `entry` as Invalidate does: unpinned entries are freed, pinned
+  // ones become zombies. Counts under `invalidations`.
+  void InvalidateEntryLocked(Entry* entry);
   // Unlink an unpinned entry from the index and replacement order and free
   // it. Capacity evictions count under `evictions`; invalidations do not.
   // A still-speculative entry leaving residency counts as wasted prefetch.
@@ -330,6 +358,10 @@ class TileCache {
   // cache could ever hold stops being evidence about sizing.
   GhostList ghost_recency_;    // B1: evicted with zero demand hits
   GhostList ghost_frequency_;  // B2: evicted after at least one demand hit
+  // Per-key minimum acceptable insert generation (see InvalidateStale).
+  // Grows one slot per mutated (column, tile) key — bounded by the mutable
+  // working set, not by traffic.
+  std::unordered_map<uint64_t, uint64_t> insert_floors_;
   const uint64_t ghost_capacity_;
   // Frequency weight p in [0, 1] for the kCostAware hotness mix.
   double frequency_weight_ = 0.5;

@@ -97,7 +97,7 @@ bool IsKnownTraceSchema(const std::string& schema) {
          schema == kTraceSchemaV2 || schema == kTraceSchemaV3 ||
          schema == kTraceSchemaV4 || schema == kTraceSchemaV5 ||
          schema == kTraceSchemaV6 || schema == kTraceSchemaV7 ||
-         schema == kTraceSchemaV8;
+         schema == kTraceSchemaV8 || schema == kTraceSchemaV9;
 }
 
 std::string ToJson(const std::vector<Span>& spans) {
@@ -134,6 +134,13 @@ std::string ToJson(const std::vector<Span>& spans) {
       AppendF(&out, "\"status\":\"%s\",", JsonEscape(span.q_status).c_str());
       AppendDouble(&out, "admit_ms", span.q_admit_ms);
       AppendDouble(&out, "service_start_ms", span.q_start_ms);
+    }
+    if (span.kind == SpanKind::kReencode) {
+      AppendF(&out, "\"column\":%u,", span.re_column);
+      AppendF(&out, "\"tile\":%" PRId64 ",", span.re_tile);
+      AppendF(&out, "\"generation\":%" PRIu64 ",", span.re_generation);
+      AppendF(&out, "\"old_words\":%u,", span.re_old_words);
+      AppendF(&out, "\"new_words\":%u,", span.re_new_words);
     }
     AppendDouble(&out, "start_ms", span.start_ms);
     AppendDouble(&out, "duration_ms", span.duration_ms,
@@ -174,6 +181,8 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
       span.kind = SpanKind::kLink;
     } else if (kind == "query") {
       span.kind = SpanKind::kQuery;
+    } else if (kind == "reencode") {
+      span.kind = SpanKind::kReencode;
     } else {
       if (error != nullptr) *error = "unknown span kind: " + kind;
       return false;
@@ -306,6 +315,15 @@ bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
       span.q_admit_ms = record.Get("admit_ms").AsDouble();
       span.q_start_ms = record.Get("service_start_ms").AsDouble();
     }
+    if (span.kind == SpanKind::kReencode) {
+      span.re_column = static_cast<uint32_t>(record.Get("column").AsUint64());
+      span.re_tile = record.Get("tile").AsInt64();
+      span.re_generation = record.Get("generation").AsUint64();
+      span.re_old_words =
+          static_cast<uint32_t>(record.Get("old_words").AsUint64());
+      span.re_new_words =
+          static_cast<uint32_t>(record.Get("new_words").AsUint64());
+    }
     spans->push_back(std::move(span));
   }
   return true;
@@ -422,7 +440,10 @@ std::string ToChromeTrace(const std::vector<Span>& spans) {
     int tid = span.device_id * lane_stride;
     if (span.kind == SpanKind::kLink) {
       tid = link_base + span.link_src;
-    } else if (span.kind != SpanKind::kScope) {
+    } else if (span.kind != SpanKind::kScope &&
+               span.kind != SpanKind::kReencode) {
+      // Reencode spans are host-side background work, so they share the
+      // scopes lane rather than claiming a device stream.
       tid += 1 + span.stream_id;
     }
     AppendF(&out, "\"name\":\"%s\",", JsonEscape(span.name).c_str());
@@ -447,6 +468,12 @@ std::string ToChromeTrace(const std::vector<Span>& spans) {
       AppendF(&out, "\"src_device\":%d,\"dst_device\":%d,", span.link_src,
               span.link_dst);
       AppendF(&out, "\"bytes\":%" PRIu64, span.transfer_bytes);
+    } else if (span.kind == SpanKind::kReencode) {
+      AppendF(&out, "\"column\":%u,\"tile\":%" PRId64 ",", span.re_column,
+              span.re_tile);
+      AppendF(&out, "\"generation\":%" PRIu64 ",", span.re_generation);
+      AppendF(&out, "\"old_words\":%u,\"new_words\":%u", span.re_old_words,
+              span.re_new_words);
     }
     out.append("}}");
   }
@@ -497,6 +524,15 @@ void PrintSummary(const Tracer& tracer, std::FILE* out) {
                    indent.c_str(), span.name.c_str(), span.q_class.c_str(),
                    span.duration_ms, span.q_start_ms - span.start_ms,
                    span.q_status.c_str());
+      continue;
+    }
+    if (span.kind == SpanKind::kReencode) {
+      std::fprintf(out,
+                   "%s%s col %u tile %" PRId64 " gen %" PRIu64
+                   " %u -> %u words %.4f ms\n",
+                   indent.c_str(), span.name.c_str(), span.re_column,
+                   span.re_tile, span.re_generation, span.re_old_words,
+                   span.re_new_words, span.duration_ms);
       continue;
     }
     const sim::KernelResult& k = span.kernel;

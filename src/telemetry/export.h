@@ -98,7 +98,7 @@
 
 namespace tilecomp::telemetry {
 
-inline constexpr const char* kTraceSchema = "tilecomp.trace.v9";
+inline constexpr const char* kTraceSchema = "tilecomp.trace.v10";
 inline constexpr const char* kTraceSchemaV1 = "tilecomp.trace.v1";
 inline constexpr const char* kTraceSchemaV2 = "tilecomp.trace.v2";
 inline constexpr const char* kTraceSchemaV3 = "tilecomp.trace.v3";
@@ -107,8 +107,9 @@ inline constexpr const char* kTraceSchemaV5 = "tilecomp.trace.v5";
 inline constexpr const char* kTraceSchemaV6 = "tilecomp.trace.v6";
 inline constexpr const char* kTraceSchemaV7 = "tilecomp.trace.v7";
 inline constexpr const char* kTraceSchemaV8 = "tilecomp.trace.v8";
+inline constexpr const char* kTraceSchemaV9 = "tilecomp.trace.v9";
 
-// True for every schema version TraceFromJson accepts (v1 through v9).
+// True for every schema version TraceFromJson accepts (v1 through v10).
 bool IsKnownTraceSchema(const std::string& schema);
 
 // Machine-readable trace (schema above). The span-vector overload serializes
@@ -116,14 +117,14 @@ bool IsKnownTraceSchema(const std::string& schema);
 std::string ToJson(const Tracer& tracer);
 std::string ToJson(const std::vector<Span>& spans);
 
-// Parse a tilecomp.trace.v1 through .v9 document back into spans. Limiter
+// Parse a tilecomp.trace.v1 through .v10 document back into spans. Limiter
 // and derived fields are recomputed from the stored breakdown; spans from a
 // v1 trace carry stream 0, pre-v3 spans carry static scheduling with no wave
 // data, pre-v4 spans carry all-zero cache counters, pre-v5 spans carry zero
 // fault retries / not failed, pre-v6 spans carry all-zero pushdown counters,
-// pre-v7 spans carry all-zero prefetch counters, and pre-v8 spans carry
-// device 0. Returns false (and fills *error) on malformed input or an
-// unknown schema.
+// pre-v7 spans carry all-zero prefetch counters, pre-v8 spans carry
+// device 0, and pre-v10 traces simply contain no reencode spans. Returns
+// false (and fills *error) on malformed input or an unknown schema.
 bool TraceFromJson(const std::string& json, std::vector<Span>* spans,
                    std::string* error);
 

@@ -16,6 +16,8 @@ const char* SpanKindName(SpanKind kind) {
       return "link";
     case SpanKind::kQuery:
       return "query";
+    case SpanKind::kReencode:
+      return "reencode";
   }
   return "?";
 }
@@ -128,6 +130,25 @@ void Tracer::OnQuerySpan(const sim::QueryTraceInfo& info) {
   span.q_start_ms = info.start_ms;
   span.q_class = info.cls;
   span.q_status = info.status;
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::OnReencode(uint32_t column, int64_t tile, uint64_t generation,
+                        uint32_t old_words, uint32_t new_words,
+                        double start_ms, double duration_ms) {
+  Span span;
+  span.kind = SpanKind::kReencode;
+  span.name = "reencode";
+  span.path = CurrentPath();
+  span.depth = static_cast<int>(open_scopes_.size());
+  span.start_ms = start_ms;
+  span.duration_ms = duration_ms;
+  span.device_id = device_id_;
+  span.re_column = column;
+  span.re_tile = tile;
+  span.re_generation = generation;
+  span.re_old_words = old_words;
+  span.re_new_words = new_words;
   spans_.push_back(std::move(span));
 }
 

@@ -24,7 +24,7 @@
 
 namespace tilecomp::telemetry {
 
-enum class SpanKind { kKernel, kTransfer, kScope, kLink, kQuery };
+enum class SpanKind { kKernel, kTransfer, kScope, kLink, kQuery, kReencode };
 
 const char* SpanKindName(SpanKind kind);
 
@@ -34,7 +34,9 @@ const char* SpanKindName(SpanKind kind);
 // one inter-device transfer over a sim::Cluster interconnect; query spans
 // (schema v9) record one served query's admission lifecycle — the span runs
 // arrival -> finish, with the admit/service-start timestamps inside it so
-// queueing delay is separable from service time.
+// queueing delay is separable from service time; reencode spans (schema v10)
+// record one mutable-column background re-encode — which tile was rewritten
+// at which generation and how its extent size changed.
 struct Span {
   SpanKind kind = SpanKind::kKernel;
   std::string name;
@@ -74,6 +76,15 @@ struct Span {
   double q_start_ms = 0.0;  // service began on the stream
   std::string q_class;      // priority class name
   std::string q_status;     // serve::QueryStatusName
+  // kReencode only (schema v10): one background re-encode of a mutable
+  // column's dirty tile. `re_generation` is the tile's generation *after*
+  // the commit (the value cache invalidation was issued with); old/new word
+  // counts give the extent-size delta the re-encode bought.
+  uint32_t re_column = 0;
+  int64_t re_tile = 0;
+  uint64_t re_generation = 0;
+  uint32_t re_old_words = 0;
+  uint32_t re_new_words = 0;
 };
 
 class Tracer : public sim::TraceSink {
@@ -87,6 +98,13 @@ class Tracer : public sim::TraceSink {
   void OnLink(int src_device, int dst_device, uint64_t bytes, double start_ms,
               double duration_ms, const std::string& label) override;
   void OnQuerySpan(const sim::QueryTraceInfo& info) override;
+
+  // Record one mutable-column background re-encode (schema v10). Not part
+  // of the TraceSink interface — the ingest path reports these directly
+  // from codec::MutableColumn::TakeReencodeLog records.
+  void OnReencode(uint32_t column, int64_t tile, uint64_t generation,
+                  uint32_t old_words, uint32_t new_words, double start_ms,
+                  double duration_ms);
 
   // Device id stamped onto every span this tracer records (schema v8).
   // Defaults to 0, so single-device traces are unchanged; a cluster attaches

@@ -33,6 +33,26 @@ TEST(CompressedColumnTest, CompressionRatioSane) {
   EXPECT_LT(col.compression_ratio(), 4.0);
 }
 
+TEST(CompressedColumnTest, CompressionRatioEdgeCases) {
+  // A default-constructed column has neither raw nor compressed bytes:
+  // the ratio must be the neutral 1.0, not 0, inf, or NaN.
+  CompressedColumn empty;
+  EXPECT_DOUBLE_EQ(empty.compression_ratio(), 1.0);
+
+  // An empty encode still carries headers (raw == 0, compressed >= 0):
+  // previously this reported 0x; it must also be neutral.
+  for (Scheme scheme : {Scheme::kNone, Scheme::kGpuFor, Scheme::kRle}) {
+    auto col = CompressedColumn::Encode(scheme, std::vector<uint32_t>{});
+    EXPECT_DOUBLE_EQ(col.compression_ratio(), 1.0) << SchemeName(scheme);
+  }
+
+  // A single-value column: both sides nonzero, ratio finite and positive.
+  auto one = CompressedColumn::Encode(Scheme::kGpuFor,
+                                      std::vector<uint32_t>{42});
+  EXPECT_GT(one.compression_ratio(), 0.0);
+  EXPECT_LT(one.compression_ratio(), 100.0);
+}
+
 TEST(ColumnStatsTest, DetectsSortedness) {
   auto sorted = GenSortedGaps(10000, 5, 3);
   auto stats = ComputeStats(sorted);

@@ -1,0 +1,437 @@
+// Tests for the mutable tile store: append/patch round trips, the
+// free-list arena (decode-and-free, best-fit re-encode, compaction),
+// generation-counter invalidation through the serving layer, and the
+// staleness races mutation exposes (run under TSan in CI).
+#include "codec/mutable_column.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "codec/serialize.h"
+#include "common/random.h"
+#include "common/span.h"
+#include "common/thread_pool.h"
+#include "serve/mutable_loader.h"
+#include "serve/prefetcher.h"
+#include "serve/tile_cache.h"
+#include "sim/device.h"
+
+namespace tilecomp::codec {
+namespace {
+
+constexpr uint32_t kTile = MutableColumn::kTileSize;
+
+void AppendAll(MutableColumn* col, const std::vector<uint32_t>& values) {
+  col->Append(U32Span(values.data(), values.size()));
+}
+
+TEST(MutableColumnTest, AppendRoundTripAcrossBatchShapes) {
+  MutableColumn col;
+  std::vector<uint32_t> want;
+  Rng rng(3);
+  // Batch sizes straddling tile boundaries: sub-tile, exactly one tile,
+  // several tiles plus a remainder.
+  for (size_t batch : {7u, 512u, 1300u, 1u, 511u, 2048u, 93u}) {
+    std::vector<uint32_t> vals(batch);
+    for (auto& v : vals) v = static_cast<uint32_t>(rng.Next() & 0xFFFF);
+    AppendAll(&col, vals);
+    want.insert(want.end(), vals.begin(), vals.end());
+  }
+  EXPECT_EQ(col.size(), static_cast<int64_t>(want.size()));
+  EXPECT_EQ(col.num_tiles(),
+            static_cast<int64_t>((want.size() + kTile - 1) / kTile));
+  EXPECT_EQ(col.DecodeHost(), want);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t row = static_cast<int64_t>(rng.NextBounded(want.size()));
+    EXPECT_EQ(col.At(row), want[static_cast<size_t>(row)]);
+  }
+}
+
+TEST(MutableColumnTest, ReencodeSealsVariableRateTiles) {
+  MutableColumn col;
+  // Tile 0 narrow (6-bit range), tile 1 wide (24-bit range): after the
+  // re-encode the wide tile's extent must be larger — per-tile budgets,
+  // not a column-global width.
+  std::vector<uint32_t> narrow(kTile), wide(kTile);
+  Rng rng(5);
+  for (auto& v : narrow) v = static_cast<uint32_t>(rng.NextBounded(64));
+  for (auto& v : wide) v = static_cast<uint32_t>(rng.NextBounded(1u << 24));
+  AppendAll(&col, narrow);
+  AppendAll(&col, wide);
+  // Full tiles seal into extents as they fill — no re-encode pass needed.
+  const MutableColumn::Stats stats = col.GetStats();
+  EXPECT_EQ(stats.dirty_tiles, 0u);
+  EXPECT_EQ(col.ReencodeDirty(), 0u);
+  MutableColumn::TileSnapshot s0, s1;
+  ASSERT_TRUE(col.SnapshotTile(0, &s0));
+  ASSERT_TRUE(col.SnapshotTile(1, &s1));
+  ASSERT_FALSE(s0.from_side_buffer);
+  ASSERT_FALSE(s1.from_side_buffer);
+  EXPECT_LT(s0.extent.size(), s1.extent.size());
+  std::vector<uint32_t> want = narrow;
+  want.insert(want.end(), wide.begin(), wide.end());
+  EXPECT_EQ(col.DecodeHost(), want);
+}
+
+TEST(MutableColumnTest, PatchUpdatesValueBoundsAndGeneration) {
+  MutableColumn col;
+  std::vector<uint32_t> vals(kTile * 2, 100u);
+  AppendAll(&col, vals);
+  col.ReencodeDirty();
+
+  uint32_t lo = 0, hi = 0;
+  ASSERT_TRUE(col.TileBounds(0, &lo, &hi));
+  EXPECT_EQ(lo, 100u);
+  EXPECT_EQ(hi, 100u);
+  const uint64_t gen_before = col.tile_generation(0);
+
+  col.Patch(17, 5000u);
+  EXPECT_EQ(col.At(17), 5000u);
+  ASSERT_TRUE(col.TileBounds(0, &lo, &hi));
+  EXPECT_EQ(lo, 100u);
+  EXPECT_EQ(hi, 5000u);  // bounds recomputed eagerly, never stale
+  EXPECT_GT(col.tile_generation(0), gen_before);
+
+  // Patching back down must shrink the bounds again (exact recompute, not
+  // a monotone widen).
+  col.Patch(17, 100u);
+  ASSERT_TRUE(col.TileBounds(0, &lo, &hi));
+  EXPECT_EQ(hi, 100u);
+
+  // The untouched tile's generation is unaffected by tile 0's patches.
+  EXPECT_EQ(col.tile_generation(1), gen_before);
+}
+
+TEST(MutableColumnTest, DecodeAndFreeReusesArena) {
+  MutableColumn col;
+  Rng rng(9);
+  std::vector<uint32_t> vals(kTile * 8);
+  for (auto& v : vals) v = static_cast<uint32_t>(rng.NextBounded(1u << 12));
+  AppendAll(&col, vals);
+  col.ReencodeDirty();
+  const uint64_t arena_before = col.GetStats().arena_words;
+
+  // Patch every tile (same width): each extent is freed at patch time and
+  // the re-encode lands in a best-fit hole, so the arena must not grow.
+  for (int t = 0; t < 8; ++t) {
+    col.Patch(t * static_cast<int64_t>(kTile) + 3,
+              static_cast<uint32_t>(rng.NextBounded(1u << 12)));
+  }
+  EXPECT_EQ(col.GetStats().dirty_tiles, 8u);
+  EXPECT_EQ(col.ReencodeDirty(), 8u);
+  EXPECT_EQ(col.GetStats().arena_words, arena_before);
+  EXPECT_LE(col.GetStats().space_amplification, 1.05);
+}
+
+TEST(MutableColumnTest, CompactReclaimsFragmentation) {
+  MutableColumn col;
+  Rng rng(11);
+  std::vector<uint32_t> vals(kTile * 16);
+  for (auto& v : vals) v = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+  AppendAll(&col, vals);
+  col.ReencodeDirty();
+
+  // Shrink every other tile dramatically (patch all its values down to a
+  // 4-bit range): the re-encode leaves big holes behind.
+  for (int t = 0; t < 16; t += 2) {
+    for (uint32_t i = 0; i < kTile; ++i) {
+      col.Patch(t * static_cast<int64_t>(kTile) + i,
+                static_cast<uint32_t>(rng.NextBounded(16)));
+    }
+  }
+  col.ReencodeDirty();
+  const MutableColumn::Stats frag = col.GetStats();
+  EXPECT_GT(frag.free_words, 0u);
+  EXPECT_GT(frag.space_amplification, 1.0);
+
+  const std::vector<uint32_t> want = col.DecodeHost();
+  const std::vector<uint64_t> gens_before = [&] {
+    std::vector<uint64_t> g;
+    for (int64_t t = 0; t < col.num_tiles(); ++t) {
+      g.push_back(col.tile_generation(t));
+    }
+    return g;
+  }();
+
+  const uint64_t reclaimed = col.Compact(1.0);
+  EXPECT_EQ(reclaimed, frag.free_words);
+  const MutableColumn::Stats after = col.GetStats();
+  EXPECT_EQ(after.free_words, 0u);
+  EXPECT_DOUBLE_EQ(after.space_amplification, 1.0);
+  EXPECT_EQ(col.DecodeHost(), want);
+  // Compact moves bytes, not content or encoding: generations must not
+  // advance (cached decodes stay valid).
+  for (int64_t t = 0; t < col.num_tiles(); ++t) {
+    EXPECT_EQ(col.tile_generation(t), gens_before[static_cast<size_t>(t)]);
+  }
+
+  // Below-threshold fragmentation is left alone.
+  EXPECT_EQ(col.Compact(1.5), 0u);
+}
+
+class RecordingListener : public MutableColumn::Listener {
+ public:
+  void OnTileInvalidated(ColumnId column, int64_t tile,
+                         uint64_t generation) override {
+    events.push_back({column.value(), tile, generation});
+  }
+  struct Event {
+    uint32_t column;
+    int64_t tile;
+    uint64_t generation;
+  };
+  std::vector<Event> events;
+};
+
+TEST(MutableColumnTest, ListenerSeesEveryGenerationBump) {
+  MutableColumn col(ColumnId(42));
+  RecordingListener listener;
+  col.AddListener(&listener);
+
+  std::vector<uint32_t> vals(kTile + 10, 7u);
+  AppendAll(&col, vals);
+  // One bump per touched tile per batch: tiles 0 and 1.
+  ASSERT_EQ(listener.events.size(), 2u);
+  EXPECT_EQ(listener.events[0].column, 42u);
+  EXPECT_EQ(listener.events[0].tile, 0);
+  EXPECT_EQ(listener.events[1].tile, 1);
+
+  listener.events.clear();
+  col.Patch(3, 9u);
+  ASSERT_EQ(listener.events.size(), 1u);
+  EXPECT_EQ(listener.events[0].tile, 0);
+  EXPECT_EQ(listener.events[0].generation, col.tile_generation(0));
+
+  listener.events.clear();
+  col.ReencodeDirty();  // tiles 0 (patched) and 1 (staged tail) commit
+  EXPECT_EQ(listener.events.size(), 2u);
+
+  listener.events.clear();
+  col.RemoveListener(&listener);
+  col.Patch(5, 1u);
+  EXPECT_TRUE(listener.events.empty());
+}
+
+TEST(MutableColumnTest, SnapshotZoneMapMatchesDecodedData) {
+  MutableColumn col;
+  Rng rng(13);
+  std::vector<uint32_t> vals(kTile * 3 + 77);
+  for (auto& v : vals) v = static_cast<uint32_t>(rng.NextBounded(1u << 18));
+  AppendAll(&col, vals);
+  col.Patch(700, 0u);
+  col.Patch(701, 0xFFFFFu);
+
+  const std::shared_ptr<const ZoneMap> zm = col.SnapshotZoneMap();
+  ASSERT_NE(zm, nullptr);
+  const std::vector<uint32_t> decoded = col.DecodeHost();
+  for (int64_t t = 0; t < col.num_tiles(); ++t) {
+    const size_t begin = static_cast<size_t>(t) * kTile;
+    const size_t end = std::min(decoded.size(), begin + kTile);
+    uint32_t lo = decoded[begin], hi = decoded[begin];
+    for (size_t i = begin; i < end; ++i) {
+      lo = std::min(lo, decoded[i]);
+      hi = std::max(hi, decoded[i]);
+    }
+    uint32_t got_lo = 0, got_hi = 0;
+    ASSERT_TRUE(col.TileBounds(t, &got_lo, &got_hi));
+    EXPECT_EQ(got_lo, lo) << "tile " << t;
+    EXPECT_EQ(got_hi, hi) << "tile " << t;
+    EXPECT_EQ(zm->tile_mins()[static_cast<size_t>(t)], lo);
+    EXPECT_EQ(zm->tile_maxs()[static_cast<size_t>(t)], hi);
+  }
+}
+
+TEST(MutableColumnTest, ReencodeLogCarriesSpans) {
+  MutableColumn col;
+  // A partial tile stays staged until a re-encode pass seals it.
+  std::vector<uint32_t> vals(300, 3u);
+  AppendAll(&col, vals);
+  col.ReencodeDirty();
+  col.Patch(0, 4u);
+  col.ReencodeDirty();
+
+  const auto log = col.TakeReencodeLog();
+  ASSERT_EQ(log.size(), 2u);
+  for (const auto& rec : log) {
+    EXPECT_EQ(rec.tile, 0);
+    EXPECT_GT(rec.new_words, 0u);
+    EXPECT_GE(rec.end_us, rec.start_us);
+  }
+  EXPECT_GT(log[1].generation, log[0].generation);
+  EXPECT_EQ(log[1].old_words, log[0].new_words);  // freed what was written
+  EXPECT_TRUE(col.TakeReencodeLog().empty());  // drained
+}
+
+TEST(MutableColumnTest, ReencodeOnPoolMatchesInline) {
+  ThreadPool pool(4);
+  MutableColumn a, b;
+  Rng rng(17);
+  std::vector<uint32_t> vals(kTile * 20);
+  for (auto& v : vals) v = static_cast<uint32_t>(rng.Next() & 0x3FFFFF);
+  AppendAll(&a, vals);
+  AppendAll(&b, vals);
+  for (int t = 0; t < 20; t += 3) {
+    a.Patch(t * static_cast<int64_t>(kTile), 1u);
+    b.Patch(t * static_cast<int64_t>(kTile), 1u);
+  }
+  EXPECT_EQ(a.ReencodeDirty(&pool), b.ReencodeDirty(nullptr));
+  EXPECT_EQ(a.DecodeHost(), b.DecodeHost());
+  EXPECT_EQ(a.GetStats().live_words, b.GetStats().live_words);
+}
+
+// --- TileCache generation floor: the re-insert race ---
+
+TEST(TileCacheGenerationTest, InvalidateStaleDropsAndRefusesOldInserts) {
+  serve::TileCache cache(1ull << 20);
+  const ColumnId id(1);
+  std::vector<uint32_t> tile(kTile, 5u);
+
+  ASSERT_TRUE(cache.Insert(id, 0, tile.data(), kTile, nullptr,
+                           serve::TileCost(), /*generation=*/1)
+                  .valid());
+  ASSERT_TRUE(cache.Lookup(id, 0, 0).valid());
+
+  // The mutation bumps the tile to generation 2 and invalidates.
+  EXPECT_TRUE(cache.InvalidateStale(id, 0, 2));
+  EXPECT_FALSE(cache.Lookup(id, 0, 0).valid());
+
+  // A racing demand-load that decoded from the pre-mutation extent tries
+  // to re-insert with the old generation: refused, counted.
+  EXPECT_FALSE(cache.Insert(id, 0, tile.data(), kTile, nullptr,
+                            serve::TileCost(), /*generation=*/1)
+                   .valid());
+  EXPECT_EQ(cache.stats().stale_refused, 1u);
+
+  // The post-mutation decode is accepted.
+  EXPECT_TRUE(cache.Insert(id, 0, tile.data(), kTile, nullptr,
+                           serve::TileCost(), /*generation=*/2)
+                  .valid());
+  EXPECT_TRUE(cache.Lookup(id, 0, 0).valid());
+
+  // The floor is persistent, not one-shot: another stale insert of the
+  // same generation is still refused even after the fresh insert.
+  cache.Invalidate(id, 0);
+  EXPECT_FALSE(cache.Insert(id, 0, tile.data(), kTile, nullptr,
+                            serve::TileCost(), /*generation=*/1)
+                   .valid());
+  EXPECT_EQ(cache.stats().stale_refused, 2u);
+}
+
+TEST(TileCacheGenerationTest, StaleSpeculativeInsertCountsWasted) {
+  serve::TileCache cache(1ull << 20);
+  const ColumnId id(2);
+  std::vector<uint32_t> tile(kTile, 5u);
+  ASSERT_TRUE(cache.InvalidateStale(id, 7, 3) == false);  // nothing resident
+  const auto result = cache.InsertSpeculative(id, 7, tile.data(), kTile,
+                                              serve::TileCost(),
+                                              /*generation=*/2);
+  EXPECT_EQ(result, serve::SpeculativeInsert::kRefused);
+  EXPECT_EQ(cache.stats().stale_refused, 1u);
+  EXPECT_EQ(cache.stats().prefetch_wasted, 1u);
+  EXPECT_FALSE(cache.Lookup(id, 7, 0).valid());
+}
+
+// --- Prefetcher invalidation on mutation ---
+
+TEST(PrefetcherInvalidateTest, MutationKillsEstablishedPattern) {
+  sim::Device dev;
+  serve::TileCache cache(256ull << 20);
+  serve::PrefetchOptions opts;
+  opts.enabled = true;
+  opts.initial_depth = 4;
+  std::vector<uint32_t> vals(kTile * 16);
+  for (size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<uint32_t>(i);
+  const CompressedColumn column =
+      CompressedColumn::Encode(Scheme::kGpuFor, vals);
+  serve::Prefetcher prefetcher(dev, &cache, opts);
+  prefetcher.RegisterColumn(ColumnId(0), &column);
+
+  for (int64_t t = 0; t < 4; ++t) prefetcher.RecordAccess(ColumnId(0), t);
+  prefetcher.IssueRound();
+  ASSERT_EQ(prefetcher.pattern(ColumnId(0)),
+            serve::Prefetcher::Pattern::kSequential);
+
+  // A mutation of any tile resets the column's speculation state: no
+  // already-classified prediction keeps issuing decodes across it.
+  prefetcher.Invalidate(ColumnId(0), 2);
+  EXPECT_EQ(prefetcher.pattern(ColumnId(0)),
+            serve::Prefetcher::Pattern::kIdle);
+  EXPECT_EQ(prefetcher.IssueRound(), 0u);
+
+  // Unregistered columns are ignored (no crash, no state).
+  prefetcher.Invalidate(ColumnId(99), 0);
+}
+
+// --- The staleness race under the serving layer (TSan target) ---
+//
+// A patcher thread bumps rows with strictly increasing values and a
+// re-encoder thread drains the dirty set, while the main thread reads every
+// tile through the MutableColumnAccessor (TileCache demand path) on a
+// simulated device. Values per row must be observed monotonically
+// non-decreasing: serving a stale cached decode (the bug
+// TileCache::InvalidateStale exists for) would travel back in time.
+TEST(MutableServeRaceTest, CachedReadsNeverTravelBackInTime) {
+  constexpr int kTiles = 4;
+  constexpr int kPatchRows = 8;
+  MutableColumn col(ColumnId(3));
+  std::vector<uint32_t> vals(kTile * kTiles, 0u);
+  AppendAll(&col, vals);
+  col.ReencodeDirty();
+
+  serve::TileCache cache(1ull << 20);
+  serve::MutableColumnAccessor accessor(&col, &cache);
+  const CompressedColumn placeholder;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint32_t> counter{0};
+  std::thread patcher([&] {
+    Rng rng(19);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t row =
+          static_cast<int64_t>(rng.NextBounded(kPatchRows)) * kTile / 2;
+      col.Patch(row, counter.fetch_add(1, std::memory_order_relaxed) + 1);
+    }
+  });
+  std::thread reencoder([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      col.ReencodeDirty(nullptr);
+    }
+  });
+
+  std::vector<uint32_t> last_seen(kTile * kTiles, 0u);
+  sim::Device dev;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint32_t> seen(kTile * kTiles, 0u);
+    sim::LaunchConfig lc;
+    lc.grid_dim = kTiles;
+    lc.block_threads = 128;
+    dev.Launch("race.read", lc, [&](sim::BlockContext& ctx) {
+      const int64_t tile = ctx.block_id();
+      uint32_t buf[kTile];
+      const uint32_t n = accessor.LoadTile(ctx, placeholder, ColumnId(3),
+                                           tile, buf);
+      ASSERT_EQ(n, kTile);
+      std::copy(buf, buf + n, seen.begin() + tile * kTile);
+    });
+    for (size_t i = 0; i < seen.size(); ++i) {
+      ASSERT_GE(seen[i], last_seen[i]) << "stale read at row " << i;
+      last_seen[i] = seen[i];
+    }
+  }
+  stop.store(true);
+  patcher.join();
+  reencoder.join();
+
+  // Quiesce and verify the final state end to end.
+  col.ReencodeDirty(nullptr);
+  const std::vector<uint32_t> decoded = col.DecodeHost();
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    ASSERT_GE(decoded[i], last_seen[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tilecomp::codec
